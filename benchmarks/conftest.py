@@ -1,0 +1,82 @@
+"""Benchmark harness support.
+
+Every experiment benchmark measures the paper's quantity on the simulated
+1987 substrate (deterministic virtual time) and registers a
+paper-vs-measured table through the :func:`report` fixture.  The tables
+are printed in the terminal summary — outside pytest's output capture —
+so ``pytest benchmarks/ --benchmark-only`` shows them alongside the
+pytest-benchmark wall-time table, and they are also written to
+``benchmarks/results/experiments.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.nameserver import NameServer
+from repro.sim import MICROVAX_II, NameWorkload, SimClock
+from repro.storage import SimFS
+
+_REPORTS: list[str] = []
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "experiments.txt")
+
+
+@pytest.fixture
+def report():
+    """Register a paper-vs-measured table for the terminal summary."""
+
+    def add(title: str, lines: list[str]) -> None:
+        block = "\n".join([f"── {title} " + "─" * max(0, 68 - len(title)), *lines, ""])
+        _REPORTS.append(block)
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper-vs-measured (simulated 1987 substrate)")
+    for block in _REPORTS:
+        terminalreporter.write_line(block)
+    os.makedirs(os.path.dirname(_RESULTS_PATH), exist_ok=True)
+    with open(_RESULTS_PATH, "w", encoding="utf-8") as f:
+        f.write("\n".join(_REPORTS))
+    terminalreporter.write_line(f"(tables also written to {_RESULTS_PATH})")
+
+
+# -- shared builders ------------------------------------------------------------
+
+
+def build_sim_nameserver(
+    target_bytes: int = 1_000_000,
+    seed: int = 1987,
+    value_bytes: int = 400,
+) -> tuple[SimFS, NameServer, NameWorkload]:
+    """The paper's testbed: a ~1 MB name server database on the simulated
+    MicroVAX II + 1987 disk, loaded deterministically."""
+    fs = SimFS(clock=SimClock())
+    server = NameServer(fs, cost_model=MICROVAX_II)
+    workload = NameWorkload(seed=seed, population=2000, value_bytes=value_bytes)
+    workload.populate_to_bytes(server, target_bytes)
+    return fs, server, workload
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark.
+
+    Simulated-time measurements are deterministic; re-running them only
+    wastes wall clock.  The wall-time number pytest-benchmark reports for
+    these is the cost of *running the simulation*, not the modelled time —
+    the modelled results are in the summary tables.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:8.1f} ms"
+
+
+def fmt_s(seconds: float) -> str:
+    return f"{seconds:8.2f} s"

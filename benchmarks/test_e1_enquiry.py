@@ -1,0 +1,74 @@
+"""E1 — enquiry latency (paper section 5).
+
+    A typical simple enquiry operation takes 5 msecs plus the network
+    communication costs.  This is entirely the computational cost of
+    exploring the virtual memory structure.
+
+The simulated measurement reproduces the number by construction of the
+cost model; what the experiment actually *verifies* is the structural
+claim: enquiries never touch the disk, so their latency is flat in both
+database size and update history.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import build_sim_nameserver, fmt_ms, once
+
+PAPER_ENQUIRY_SECONDS = 0.005
+
+
+def _measure_enquiries(server, workload, count, rng):
+    clock = server.db.clock
+    reads_before = server.db.fs.disk.stats.snapshot()["page_reads"]
+    start = clock.now()
+    for _ in range(count):
+        server.lookup(rng.choice(workload.names[:200]))
+    elapsed = clock.now() - start
+    reads_after = server.db.fs.disk.stats.snapshot()["page_reads"]
+    return elapsed / count, reads_after - reads_before
+
+
+def test_e1_enquiry_latency(benchmark, report):
+    fs, server, workload = build_sim_nameserver(target_bytes=1_000_000)
+    rng = random.Random(42)
+
+    def run():
+        return _measure_enquiries(server, workload, 500, rng)
+
+    per_enquiry, disk_reads = once(benchmark, run)
+
+    # The structural claims behind the number:
+    assert disk_reads == 0, "an enquiry must never touch the disk"
+    assert abs(per_enquiry - PAPER_ENQUIRY_SECONDS) < 0.002
+
+    report(
+        "E1 enquiry latency (1 MB resident database)",
+        [
+            f"paper:    {fmt_ms(PAPER_ENQUIRY_SECONDS)} per enquiry (pure VM cost)",
+            f"measured: {fmt_ms(per_enquiry)} per enquiry, {disk_reads} disk reads",
+        ],
+    )
+
+
+def test_e1_enquiry_flat_in_database_size(benchmark, report):
+    rng = random.Random(7)
+    rows = []
+    sizes = (250_000, 500_000, 1_000_000)
+
+    def run():
+        rows.clear()
+        for size in sizes:
+            fs, server, workload = build_sim_nameserver(target_bytes=size)
+            per_enquiry, _reads = _measure_enquiries(server, workload, 200, rng)
+            rows.append((size, per_enquiry))
+        return rows
+
+    once(benchmark, run)
+    latencies = [latency for _size, latency in rows]
+    assert max(latencies) - min(latencies) < 1e-9, "enquiries must be flat in size"
+    report(
+        "E1b enquiry latency vs database size (must be flat)",
+        [f"{size // 1000:5d} KB database: {fmt_ms(latency)}" for size, latency in rows],
+    )

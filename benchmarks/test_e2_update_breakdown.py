@@ -1,0 +1,87 @@
+"""E2 — update latency and its breakdown (paper section 5).
+
+    A typical update takes 54 msecs plus the network communication
+    costs.  This includes the costs of exploring (6 msecs) and modifying
+    (6 msecs) the virtual memory structure, converting the parameters of
+    the update from strongly typed values into bits suitable for
+    preserving as a log entry (22 msecs), and using our file system for
+    the disk write of the log entry (20 msecs).
+
+and the ratio the paper highlights in section 6:
+
+    about 40% of the cost of an update is in PickleWrite.
+"""
+
+from __future__ import annotations
+
+from conftest import build_sim_nameserver, fmt_ms, once
+
+PAPER = {
+    "explore": 0.006,
+    "pickle": 0.022,
+    "log write": 0.020,
+    "modify": 0.006,
+    "total": 0.054,
+}
+
+
+def test_e2_update_breakdown(benchmark, report):
+    fs, server, workload = build_sim_nameserver(target_bytes=500_000)
+
+    def run():
+        for path in workload.names[:100]:
+            server.bind(path, workload.value_for(path))
+        return server.db.stats.mean_update_breakdown()
+
+    mean = once(benchmark, run)
+    measured = {
+        "explore": mean.explore_seconds,
+        "pickle": mean.pickle_seconds,
+        "log write": mean.log_write_seconds,
+        "modify": mean.apply_seconds,
+        "total": mean.total(),
+    }
+
+    # Shape: each phase within 2x of the paper; ordering preserved
+    # (pickle and disk write dominate, explore/modify are small and equal).
+    for phase, expected in PAPER.items():
+        assert 0.4 * expected < measured[phase] < 2.1 * expected, (
+            phase,
+            measured[phase],
+        )
+    assert measured["pickle"] > measured["explore"]
+    assert measured["log write"] > measured["modify"]
+
+    pickle_fraction = measured["pickle"] / measured["total"]
+    assert 0.25 < pickle_fraction < 0.55  # the paper's "about 40 %"
+
+    rows = [
+        f"{phase:10s} paper {fmt_ms(PAPER[phase])}   measured {fmt_ms(measured[phase])}"
+        for phase in ("explore", "pickle", "log write", "modify", "total")
+    ]
+    rows.append(
+        f"PickleWrite fraction of update: paper ~40 %, "
+        f"measured {100 * pickle_fraction:.0f} %"
+    )
+    report("E2 update latency breakdown", rows)
+
+
+def test_e2_update_is_enquiry_plus_one_disk_write(benchmark, report):
+    """The design identity: update == enquiry work + one log fsync."""
+    fs, server, workload = build_sim_nameserver(target_bytes=250_000)
+
+    def run():
+        before = fs.disk.stats.snapshot()
+        path = workload.names[0]
+        server.bind(path, workload.value_for(path))
+        after = fs.disk.stats.snapshot()
+        return after["write_calls"] - before["write_calls"], (
+            after["page_writes"] - before["page_writes"]
+        )
+
+    write_calls, pages = once(benchmark, run)
+    assert write_calls == 1, "exactly one disk write per update"
+    report(
+        "E2b disk writes per update",
+        [f"paper: 1 disk write   measured: {write_calls} write ({pages} page)"],
+    )

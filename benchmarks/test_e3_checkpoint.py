@@ -1,0 +1,109 @@
+"""E3 — checkpoint cost (paper section 5).
+
+    A checkpoint operation takes about one minute.  This involves
+    converting the entire virtual memory structure from a strongly typed
+    value into bits suitable for preserving on disk (55 seconds), and the
+    disk writes (5 seconds).
+
+The sweep also establishes the scaling the paper's section 7 worries
+about: checkpoint time grows linearly with database size, which is what
+ultimately caps the update rate / restart time trade-off.
+"""
+
+from __future__ import annotations
+
+from conftest import build_sim_nameserver, fmt_s, once
+
+PAPER_TOTAL_SECONDS = 60.0
+PAPER_PICKLE_SECONDS = 55.0
+PAPER_DISK_SECONDS = 5.0
+
+
+def test_e3_checkpoint_one_megabyte(benchmark, report):
+    fs, server, workload = build_sim_nameserver(target_bytes=1_000_000)
+    clock = server.db.clock
+
+    def run():
+        start = clock.now()
+        server.checkpoint()
+        return clock.now() - start, server.db.stats.checkpoint_bytes_written
+
+    total, payload_bytes = once(benchmark, run)
+    pickle_seconds = payload_bytes * 55e-6
+    disk_seconds = total - pickle_seconds
+
+    assert 0.5 * PAPER_TOTAL_SECONDS < total < 1.6 * PAPER_TOTAL_SECONDS
+    assert pickle_seconds > disk_seconds, "pickling dominates, as in the paper"
+
+    report(
+        "E3 checkpoint of the ~1 MB name server database",
+        [
+            f"paper:    total {fmt_s(PAPER_TOTAL_SECONDS)}  "
+            f"(pickle {fmt_s(PAPER_PICKLE_SECONDS)}, disk {fmt_s(PAPER_DISK_SECONDS)})",
+            f"measured: total {fmt_s(total)}  "
+            f"(pickle {fmt_s(pickle_seconds)}, disk {fmt_s(disk_seconds)}) "
+            f"for {payload_bytes} pickled bytes",
+        ],
+    )
+
+
+def test_e3_checkpoint_scales_linearly(benchmark, report):
+    sizes = (250_000, 500_000, 1_000_000)
+    rows = []
+
+    def run():
+        rows.clear()
+        for size in sizes:
+            fs, server, workload = build_sim_nameserver(target_bytes=size)
+            clock = server.db.clock
+            start = clock.now()
+            server.checkpoint()
+            rows.append((size, clock.now() - start))
+        return rows
+
+    once(benchmark, run)
+    (s1, t1), (_s2, t2), (_s4, t4) = rows
+    assert 1.6 < t2 / t1 < 2.6  # halving size roughly halves time
+    assert 2.9 < t4 / t1 < 5.2
+    report(
+        "E3b checkpoint time vs database size (linear)",
+        [f"{size // 1000:5d} KB: {fmt_s(seconds)}" for size, seconds in rows],
+    )
+
+
+def test_e3_checkpoint_admits_enquiries_but_blocks_updates(benchmark, report):
+    """The availability property: a checkpoint holds only the update lock."""
+    import threading
+
+    from repro.concurrency import LockMode, LockTimeout
+
+    fs, server, workload = build_sim_nameserver(target_bytes=250_000)
+    lock = server.db.lock
+    observations = {}
+
+    def attempt(mode: LockMode, key: str) -> None:
+        try:
+            lock.acquire(mode, timeout=0.05)
+            lock.release(mode)
+            observations[key] = True
+        except LockTimeout:
+            observations[key] = False
+
+    def run():
+        with lock.update():  # what checkpoint() holds while pickling
+            for mode, key in (
+                (LockMode.SHARED, "enquiry_admitted"),
+                (LockMode.UPDATE, "update_admitted"),
+            ):
+                thread = threading.Thread(target=attempt, args=(mode, key))
+                thread.start()
+                thread.join(5)
+        return observations
+
+    once(benchmark, run)
+    assert observations["enquiry_admitted"] is True
+    assert observations["update_admitted"] is False
+    report(
+        "E3c lock mode during checkpoint",
+        ["paper: enquiries admitted, updates excluded — measured: confirmed"],
+    )

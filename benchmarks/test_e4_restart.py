@@ -1,0 +1,92 @@
+"""E4 — restart time (paper section 5).
+
+    Restart takes about 20 seconds to read the checkpoint, plus about
+    20 msecs per log entry. […] a log containing 10,000 updates would
+    cause the restart time to be about 5 minutes.
+
+The series regenerated here is restart time versus log length at a fixed
+~1 MB checkpoint, which must be an affine line: intercept ≈ checkpoint
+read, slope ≈ per-entry replay cost.
+"""
+
+from __future__ import annotations
+
+from conftest import build_sim_nameserver, fmt_s, once
+from repro.nameserver import NameServer
+from repro.sim import MICROVAX_II
+
+PAPER_CHECKPOINT_READ_SECONDS = 20.0
+PAPER_PER_ENTRY_SECONDS = 0.020
+
+
+def _restart_time(fs):
+    clock = fs.clock
+    start = clock.now()
+    server = NameServer(fs, cost_model=MICROVAX_II)
+    return clock.now() - start, server
+
+
+def test_e4_restart_series(benchmark, report):
+    rows = []
+
+    def run():
+        rows.clear()
+        fs, server, workload = build_sim_nameserver(target_bytes=1_000_000)
+        server.checkpoint()  # empty log baseline
+        extra_names = workload.names
+        bound = 0
+        for log_entries in (0, 250, 500, 1000):
+            while bound < log_entries:
+                path = extra_names[bound % len(extra_names)]
+                server.bind(path, workload.value_for(path))
+                bound += 1
+            fs.crash()
+            seconds, server = _restart_time(fs)
+            rows.append((log_entries, seconds))
+        return rows
+
+    once(benchmark, run)
+
+    base = rows[0][1]
+    # Intercept: the checkpoint read, paper ≈ 20 s.
+    assert 0.5 * PAPER_CHECKPOINT_READ_SECONDS < base < 2.0 * PAPER_CHECKPOINT_READ_SECONDS
+    # Slope: per-entry replay, paper ≈ 20 ms.
+    slope = (rows[-1][1] - base) / rows[-1][0]
+    assert 0.4 * PAPER_PER_ENTRY_SECONDS < slope < 2.0 * PAPER_PER_ENTRY_SECONDS
+
+    projected_10k = base + 10_000 * slope
+    lines = [
+        f"{entries:6d} log entries: restart {fmt_s(seconds)}"
+        for entries, seconds in rows
+    ]
+    lines.append(
+        f"intercept (checkpoint read): paper {fmt_s(PAPER_CHECKPOINT_READ_SECONDS)}, "
+        f"measured {fmt_s(base)}"
+    )
+    lines.append(
+        f"slope (per entry): paper {PAPER_PER_ENTRY_SECONDS * 1000:.0f} ms, "
+        f"measured {slope * 1000:.1f} ms"
+    )
+    lines.append(
+        f"projected 10,000-entry restart: paper ~300 s, measured {fmt_s(projected_10k)}"
+    )
+    report("E4 restart time vs log length (1 MB checkpoint)", lines)
+    assert 150 < projected_10k < 600  # "about 5 minutes"
+
+
+def test_e4_restart_after_checkpoint_is_fast(benchmark, report):
+    def run():
+        fs, server, workload = build_sim_nameserver(target_bytes=1_000_000)
+        for path in workload.names[:200]:
+            server.bind(path, workload.value_for(path))
+        server.checkpoint()  # log reset to empty
+        fs.crash()
+        seconds, _server = _restart_time(fs)
+        return seconds
+
+    seconds = once(benchmark, run)
+    assert seconds < 2 * PAPER_CHECKPOINT_READ_SECONDS
+    report(
+        "E4b restart immediately after a checkpoint (empty log)",
+        [f"measured {fmt_s(seconds)} — checkpoint read only, no replay"],
+    )

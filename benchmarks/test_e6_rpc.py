@@ -1,0 +1,84 @@
+"""E6 — remote access costs (paper section 5).
+
+    Our round-trip network communication costs are about 8 msecs for
+    name server operations, so remote network clients can perform a name
+    server enquiry in 13 msecs and an update in 62 msecs elapsed time.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import build_sim_nameserver, fmt_ms, once
+from repro.nameserver import NAMESERVER_INTERFACE, RemoteNameServer
+from repro.rpc import LAN_1987, LoopbackTransport, RpcServer
+
+PAPER_RTT = 0.008
+PAPER_REMOTE_ENQUIRY = 0.013
+PAPER_REMOTE_UPDATE = 0.062
+
+
+def _remote(server):
+    rpc = RpcServer()
+    rpc.export(NAMESERVER_INTERFACE, server)
+    transport = LoopbackTransport(rpc, clock=server.db.clock, network=LAN_1987)
+    return RemoteNameServer(transport)
+
+
+def test_e6_remote_enquiry_and_update(benchmark, report):
+    fs, server, workload = build_sim_nameserver(target_bytes=500_000)
+    clock = server.db.clock
+    remote = _remote(server)
+    rng = random.Random(3)
+
+    def run():
+        count = 100
+        start = clock.now()
+        for _ in range(count):
+            remote.lookup(rng.choice(workload.names[:200]))
+        enquiry = (clock.now() - start) / count
+        start = clock.now()
+        for index in range(count):
+            path = workload.names[index]
+            remote.bind(path, workload.value_for(path))
+        update = (clock.now() - start) / count
+        return enquiry, update
+
+    enquiry, update = once(benchmark, run)
+    assert abs(enquiry - PAPER_REMOTE_ENQUIRY) < 0.004
+    assert 0.6 * PAPER_REMOTE_UPDATE < update < 1.5 * PAPER_REMOTE_UPDATE
+
+    report(
+        "E6 remote operations (8 ms modelled round trip)",
+        [
+            f"remote enquiry: paper {fmt_ms(PAPER_REMOTE_ENQUIRY)}  "
+            f"measured {fmt_ms(enquiry)}",
+            f"remote update:  paper {fmt_ms(PAPER_REMOTE_UPDATE)}  "
+            f"measured {fmt_ms(update)}",
+        ],
+    )
+
+
+def test_e6_network_overhead_is_additive(benchmark, report):
+    """remote latency == local latency + round trip, for both op kinds."""
+    fs, server, workload = build_sim_nameserver(target_bytes=250_000)
+    clock = server.db.clock
+    remote = _remote(server)
+    path = workload.names[0]
+
+    def run():
+        start = clock.now()
+        server.lookup(path)
+        local = clock.now() - start
+        start = clock.now()
+        remote.lookup(list(path))
+        remote_cost = clock.now() - start
+        return local, remote_cost
+
+    local, remote_cost = once(benchmark, run)
+    overhead = remote_cost - local
+    assert abs(overhead - PAPER_RTT) < 0.002
+    report(
+        "E6b network overhead (remote - local)",
+        [f"paper {fmt_ms(PAPER_RTT)} round trip, measured {fmt_ms(overhead)}"],
+    )

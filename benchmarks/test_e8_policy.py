@@ -1,0 +1,119 @@
+"""E8 — the checkpoint-frequency trade-off (paper sections 5 and 7).
+
+    The implementor (or the system manager) can tradeoff between the time
+    required for a restart and the availability for updates by deciding
+    how often to make a checkpoint. […] with update rates of up to
+    [10,000] per day (our target long term rate) a simple scheme of
+    making a checkpoint each night will suffice.
+
+The sweep regenerates the trade-off curve: more checkpoints per day ⇒
+lower worst-case restart time but more daily seconds with updates
+blocked, and vice versa.  The nightly point must satisfy both of the
+paper's acceptability criteria.
+"""
+
+from __future__ import annotations
+
+from conftest import build_sim_nameserver, fmt_s, once
+
+#: the paper's long-term envelope
+UPDATES_PER_DAY = 10_000
+DAY_SECONDS = 86_400.0
+
+
+def _tradeoff_for(checkpoints_per_day, checkpoint_seconds, per_entry_replay):
+    """Analytic form of the trade-off, fed with *measured* constants."""
+    entries_between = UPDATES_PER_DAY / checkpoints_per_day
+    worst_restart = 20.0 + entries_between * per_entry_replay
+    blocked_seconds = checkpoints_per_day * checkpoint_seconds
+    availability = 1.0 - blocked_seconds / DAY_SECONDS
+    return worst_restart, availability
+
+
+def test_e8_tradeoff_curve(benchmark, report):
+    measured = {}
+
+    def run():
+        # Measure the two constants on the simulated testbed.
+        fs, server, workload = build_sim_nameserver(target_bytes=1_000_000)
+        clock = fs.clock
+        start = clock.now()
+        server.checkpoint()
+        measured["checkpoint_seconds"] = clock.now() - start
+        for path in workload.names[:100]:
+            server.bind(path, workload.value_for(path))
+        fs.crash()
+        start = clock.now()
+        from repro.nameserver import NameServer
+        from repro.sim import MICROVAX_II
+
+        NameServer(fs, cost_model=MICROVAX_II)
+        restart = clock.now() - start
+        measured["per_entry_replay"] = (restart - 20.0) / 100
+        return measured
+
+    once(benchmark, run)
+    checkpoint_seconds = measured["checkpoint_seconds"]
+    per_entry = max(measured["per_entry_replay"], 0.001)
+
+    rows = []
+    curve = {}
+    for checkpoints_per_day in (1, 4, 24, 96):
+        worst_restart, availability = _tradeoff_for(
+            checkpoints_per_day, checkpoint_seconds, per_entry
+        )
+        curve[checkpoints_per_day] = (worst_restart, availability)
+        rows.append(
+            f"{checkpoints_per_day:3d} checkpoints/day: worst restart "
+            f"{fmt_s(worst_restart)}, update availability "
+            f"{100 * availability:7.3f} %"
+        )
+
+    # Monotonicity of the trade-off:
+    restarts = [curve[n][0] for n in (1, 4, 24, 96)]
+    availabilities = [curve[n][1] for n in (1, 4, 24, 96)]
+    assert restarts == sorted(restarts, reverse=True)
+    assert availabilities == sorted(availabilities, reverse=True)
+
+    # The paper's operating point: nightly is good enough.
+    nightly_restart, nightly_availability = curve[1]
+    assert nightly_restart < 600  # "about 5 minutes" is acceptable
+    assert nightly_availability > 0.999
+
+    rows.append(
+        f"nightly checkpoint verdict: restart {fmt_s(nightly_restart)} "
+        f"(paper: ~5 min), availability {100 * nightly_availability:.3f} %"
+    )
+    report("E8 checkpoint-frequency trade-off (10,000 updates/day)", rows)
+
+
+def test_e8_policies_fire_as_configured(benchmark, report):
+    """The policy objects drive the same trade-off automatically."""
+    from repro.core import EveryNUpdates, LogSizeThreshold
+    from repro.nameserver import NameServer
+    from repro.sim import MICROVAX_II, NameWorkload, SimClock
+    from repro.storage import SimFS
+
+    results = {}
+
+    def run():
+        for label, policy, updates in (
+            ("EveryNUpdates(50)", EveryNUpdates(50), 120),
+            ("LogSizeThreshold(64 KB)", LogSizeThreshold(64 * 1024), 120),
+        ):
+            fs = SimFS(clock=SimClock())
+            server = NameServer(fs, cost_model=MICROVAX_II, policy=policy)
+            workload = NameWorkload(seed=8, population=200, value_bytes=400)
+            for index in range(updates):
+                path = workload.names[index % len(workload.names)]
+                server.bind(path, workload.value_for(path))
+            results[label] = server.db.stats.checkpoints
+        return results
+
+    once(benchmark, run)
+    assert results["EveryNUpdates(50)"] == 2
+    assert results["LogSizeThreshold(64 KB)"] >= 1
+    report(
+        "E8b automatic checkpoint policies",
+        [f"{label}: {count} checkpoints" for label, count in results.items()],
+    )

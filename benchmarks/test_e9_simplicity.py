@@ -1,0 +1,151 @@
+"""E9 — simplicity, measured as the paper measures it (section 6).
+
+    The implementation of the checkpoint and log facilities (excluding
+    the pickle mechanism) occupies 638 source lines.  The code to
+    implement the name server's database semantics occupies 1404 source
+    lines. […] The automatically generated RPC stub modules for client
+    access to the name server occupy 663 source lines in the server and
+    622 source lines in the client.  The (pre-existing) pickle package
+    occupies 1648 source lines.
+
+We census the corresponding modules of this reproduction.  Python is
+denser than Modula-2+, so our counts land below the paper's; the claim
+being checked is the *structure* of the comparison: the checkpoint/log
+package is small, the name server semantics are of the same order, and
+the pickle package is the largest single reusable piece.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import once
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+#: paper component -> (paper source lines, our module files)
+COMPONENTS = {
+    "checkpoint+log package": (
+        638,
+        [
+            "core/log.py",
+            "core/checkpoint.py",
+            "core/version.py",
+            "core/recovery.py",
+            "core/database.py",
+            "core/policy.py",
+        ],
+    ),
+    "name server semantics": (
+        1404,
+        [
+            "nameserver/tree.py",
+            "nameserver/operations.py",
+            "nameserver/server.py",
+            "nameserver/errors.py",
+        ],
+    ),
+    "pickle package": (
+        1648,
+        [
+            "pickles/wire.py",
+            "pickles/encode.py",
+            "pickles/decode.py",
+            "pickles/registry.py",
+            "pickles/errors.py",
+        ],
+    ),
+    "RPC stubs (generated)": (
+        663 + 622,
+        [
+            "rpc/marshal.py",
+            "rpc/interface.py",
+            "rpc/client.py",
+            "rpc/server.py",
+        ],
+    ),
+    "replication & consistency": (
+        0,  # the paper reports two programmer-months, not lines
+        [
+            "nameserver/replication.py",
+            "nameserver/client.py",
+        ],
+    ),
+}
+
+
+def _count_code_lines(path: str) -> int:
+    """Source lines: non-blank, non-comment, outside docstrings."""
+    lines = 0
+    in_doc = False
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            stripped = raw.strip()
+            if in_doc:
+                if stripped.endswith('"""') or stripped.endswith("'''"):
+                    in_doc = False
+                continue
+            if not stripped or stripped.startswith("#"):
+                continue
+            if stripped.startswith('"""') or stripped.startswith("'''"):
+                if not (len(stripped) > 3 and stripped.endswith(stripped[:3])):
+                    in_doc = True
+                continue
+            lines += 1
+    return lines
+
+
+def test_e9_code_size_census(benchmark, report):
+    census = {}
+
+    def run():
+        for component, (paper_lines, files) in COMPONENTS.items():
+            total = sum(
+                _count_code_lines(os.path.join(_SRC, relative))
+                for relative in files
+            )
+            census[component] = (paper_lines, total)
+        return census
+
+    once(benchmark, run)
+
+    ours = {name: mine for name, (_paper, mine) in census.items()}
+    # Structural claims:
+    assert ours["checkpoint+log package"] < 1200, "the core must stay small"
+    assert ours["pickle package"] > 0.3 * ours["name server semantics"]
+    # Everything exists and is non-trivial.
+    assert all(count > 50 for count in ours.values())
+
+    rows = []
+    for component, (paper_lines, mine) in census.items():
+        paper_text = f"{paper_lines:5d}" if paper_lines else "  n/a"
+        rows.append(f"{component:28s} paper {paper_text} lines   ours {mine:5d}")
+    rows.append(
+        "(Python vs Modula-2+: expect ours lower; the shape — a small core, "
+        "a reusable pickle package — is the claim)"
+    )
+    report("E9 source-line census (paper section 6)", rows)
+
+
+def test_e9_stub_generation_is_automatic(benchmark, report):
+    """The paper's stubs were compiler-generated; ours are generated at
+    run time — zero hand-written marshalling lines in the name server."""
+    import inspect
+
+    from repro.nameserver import NAMESERVER_INTERFACE, server as server_module
+
+    def run():
+        source = inspect.getsource(server_module)
+        return source
+
+    source = once(benchmark, run)
+    for token in ("encode_varint", "to_bytes", "struct.pack"):
+        assert token not in source, f"hand-written marshalling found: {token}"
+    methods = len(NAMESERVER_INTERFACE.methods)
+    report(
+        "E9b generated stubs",
+        [
+            f"{methods} methods marshalled from declarations; "
+            "0 hand-written byte-handling lines in the name server"
+        ],
+    )

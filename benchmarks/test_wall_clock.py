@@ -1,0 +1,94 @@
+"""Wall-clock microbenchmarks of the real code paths.
+
+Unlike the E-series (which measure *modelled* 1987 time), these are
+honest pytest-benchmark measurements of this implementation on the host:
+pickle throughput, log append+fsync on a real directory, enquiry rate,
+recovery rate.  They answer "is the library itself fast enough to use",
+independently of the paper reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Database, OperationRegistry
+from repro.pickles import pickle_read, pickle_write
+from repro.sim import NameWorkload
+from repro.storage import LocalFS
+
+
+def _ops() -> OperationRegistry:
+    ops = OperationRegistry()
+
+    @ops.operation("set")
+    def op_set(root, key, value):
+        root[key] = value
+
+    return ops
+
+
+@pytest.fixture
+def sample_value():
+    workload = NameWorkload(seed=1, population=10, value_bytes=400)
+    return workload.value_for(workload.names[0])
+
+
+def test_pickle_write_throughput(benchmark, sample_value):
+    update = ("set", (("com", "dec", "src"), sample_value), {})
+    blob = benchmark(pickle_write, update)
+    assert len(blob) > 400
+
+
+def test_pickle_read_throughput(benchmark, sample_value):
+    update = ("set", (("com", "dec", "src"), sample_value), {})
+    blob = pickle_write(update)
+    result = benchmark(pickle_read, blob)
+    assert result[0] == "set"
+
+
+def test_pickle_large_structure(benchmark):
+    workload = NameWorkload(seed=2, population=500, value_bytes=300)
+    state = {
+        "/".join(path): workload.value_for(path) for path in workload.names
+    }
+    blob = benchmark(pickle_write, state)
+    assert len(blob) > 100_000
+
+
+def test_real_update_latency(benchmark, tmp_path, sample_value):
+    """One durable update on the host file system (fsync-bound)."""
+    db = Database(LocalFS(str(tmp_path)), initial=dict, operations=_ops())
+    counter = iter(range(10**9))
+
+    def one_update():
+        db.update("set", f"key{next(counter)}", sample_value)
+
+    benchmark(one_update)
+    assert db.stats.updates >= 1
+
+
+def test_real_enquiry_latency(benchmark, tmp_path):
+    db = Database(LocalFS(str(tmp_path)), initial=dict, operations=_ops())
+    for i in range(1000):
+        db.update("set", f"key{i:05d}", i)
+
+    result = benchmark(db.enquire, lambda root: root["key00500"])
+    assert result == 500
+
+
+def test_real_recovery_rate(benchmark, tmp_path, sample_value):
+    """Entries replayed per second from a real on-disk log."""
+    directory = str(tmp_path / "db")
+    db = Database(LocalFS(directory), initial=dict, operations=_ops())
+    for i in range(300):
+        db.update("set", f"key{i:05d}", sample_value)
+    db.close()
+
+    def recover():
+        recovered = Database(
+            LocalFS(directory), initial=dict, operations=_ops()
+        )
+        assert recovered.last_recovery.entries_replayed == 300
+        recovered.close()
+
+    benchmark(recover)

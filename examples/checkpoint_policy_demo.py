@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The checkpoint-frequency trade-off, on the simulated 1987 machine.
+
+Replays a day of paper-envelope traffic (10,000 updates) under different
+checkpoint policies and reports what the system manager cares about:
+checkpoints taken, seconds of update unavailability, and restart time
+after a crash at the end of the day.  The paper's conclusion — "a simple
+scheme of making a checkpoint each night will suffice" — falls out of
+the numbers.
+"""
+
+from repro import MICROVAX_II, NameServer
+from repro.core import EveryNUpdates, LogSizeThreshold, Never, Periodic
+from repro.sim import NameWorkload, SimClock
+from repro.storage import SimFS
+
+UPDATES = 1_000          # scaled-down day (x10 for the paper's 10,000)
+DAY_SECONDS = 8_640.0    # scaled-down day length, same update rate
+
+
+def run_policy(label, policy) -> None:
+    clock = SimClock()
+    fs = SimFS(clock=clock)
+    server = NameServer(fs, cost_model=MICROVAX_II, policy=policy)
+    workload = NameWorkload(seed=1987, population=UPDATES, value_bytes=300)
+
+    gap = DAY_SECONDS / UPDATES
+    for index in range(UPDATES):
+        path = workload.names[index % len(workload.names)]
+        server.bind(path, workload.value_for(path))
+        clock.advance(gap)  # traffic spread across the (scaled) day
+
+    checkpoints = server.stats.checkpoints
+    blocked = checkpoints * server.stats.last_checkpoint_seconds
+
+    fs.crash()
+    start = clock.now()
+    recovered = NameServer(fs, cost_model=MICROVAX_II)
+    restart = clock.now() - start
+    replayed = recovered.stats.snapshot()["entries_replayed"]
+
+    print(
+        f"{label:28s} checkpoints={checkpoints:3d}  "
+        f"blocked={blocked:7.1f}s  "
+        f"restart={restart:7.1f}s (replaying {replayed} entries)"
+    )
+
+
+def main() -> None:
+    print(f"{UPDATES} updates over a {DAY_SECONDS:.0f}s simulated day\n")
+    run_policy("Never (manual only)", Never())
+    run_policy("EveryNUpdates(100)", EveryNUpdates(100))
+    run_policy("LogSizeThreshold(256 KB)", LogSizeThreshold(256 * 1024))
+    run_policy("Periodic(1/4 day)", Periodic(DAY_SECONDS / 4))
+    run_policy("'nightly' (once per day)", Periodic(DAY_SECONDS))
+    print(
+        "\nThe trade-off: more checkpoints -> shorter restart, more "
+        "blocked time.\nAt this update rate the nightly policy keeps both "
+        "acceptable — the paper's conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: a durable user-accounts database in ~30 lines.
+
+The paper's motivating example is exactly this: the kind of small
+structured database (like /etc/passwd) every operating system carries
+around.  The database is an ordinary dict-of-records in memory; every
+update is one log write; restarting the process recovers everything.
+
+Run it twice to see durability across runs:
+
+    python examples/quickstart.py
+    python examples/quickstart.py
+"""
+
+import tempfile
+import os
+
+from repro import Database, LocalFS, OperationRegistry, PreconditionFailed
+
+# 1. Declare the update operations (the "schema" of the log).
+ops = OperationRegistry()
+
+
+@ops.operation("create_account")
+def create_account(root, user, uid, home):
+    root[user] = {"uid": uid, "home": home, "groups": []}
+
+
+@create_account.precondition
+def _create_pre(root, user, uid, home):
+    if user in root:
+        raise PreconditionFailed(f"account {user!r} already exists")
+
+
+@ops.operation("add_to_group")
+def add_to_group(root, user, group):
+    root[user]["groups"].append(group)
+
+
+@add_to_group.precondition
+def _group_pre(root, user, group):
+    if user not in root:
+        raise PreconditionFailed(f"no account {user!r}")
+
+
+@ops.operation("remove_account")
+def remove_account(root, user):
+    del root[user]
+
+
+def main() -> None:
+    directory = os.path.join(tempfile.gettempdir(), "smalldb-quickstart")
+    db = Database(LocalFS(directory), initial=dict, operations=ops)
+
+    print(f"database directory: {directory}")
+    print(f"accounts recovered from previous runs: "
+          f"{db.enquire(lambda root: len(root))}")
+
+    # 2. Updates: single-shot transactions, durable when the call returns.
+    run_number = db.enquire(lambda root: len(root))
+    user = f"user{run_number:03d}"
+    db.update("create_account", user, 1000 + run_number, f"/home/{user}")
+    db.update("add_to_group", user, "staff")
+    print(f"created {user}")
+
+    # A precondition failure aborts before anything reaches the disk.
+    try:
+        db.update("create_account", user, 9999, "/tmp")
+    except PreconditionFailed as exc:
+        print(f"rejected cleanly: {exc}")
+
+    # 3. Enquiries: plain functions of the in-memory structure.
+    accounts = db.enquire(lambda root: sorted(root))
+    print(f"all accounts: {accounts}")
+
+    # 4. A checkpoint bounds future restart time (run it "nightly").
+    version = db.checkpoint()
+    print(f"checkpointed as version {version}; "
+          f"files: {sorted(os.listdir(directory))}")
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

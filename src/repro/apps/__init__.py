@@ -1,0 +1,40 @@
+"""Applications: the paper's section-1 examples, built on the library.
+
+    Examples of these operating system databases include records of user
+    accounts, network name servers, network configuration information
+    and file directories.
+
+The name server lives in :mod:`repro.nameserver`; this package supplies
+the other three as complete applications, each exercising a different
+part of the library the way a downstream user would:
+
+* :mod:`repro.apps.accounts` — user accounts: typed pickleable records,
+  in-state identifier allocation, rich preconditions;
+* :mod:`repro.apps.netconfig` — network configuration with a change
+  audit trail (who changed what, replayable point-in-time);
+* :mod:`repro.apps.filedir` — file directories over a *sharded* database
+  (the paper's own suggestion for this very example).
+"""
+
+from repro.apps.accounts import Account, AccountError, AccountRegistry
+from repro.apps.accounts_rpc import (
+    ACCOUNTS_INTERFACE,
+    AccountService,
+    RemoteAccountRegistry,
+)
+from repro.apps.filedir import DirectoryService, FileDirError, FileEntry
+from repro.apps.netconfig import NetConfig, NetConfigError
+
+__all__ = [
+    "ACCOUNTS_INTERFACE",
+    "Account",
+    "AccountError",
+    "AccountRegistry",
+    "AccountService",
+    "DirectoryService",
+    "FileDirError",
+    "FileEntry",
+    "NetConfig",
+    "NetConfigError",
+    "RemoteAccountRegistry",
+]

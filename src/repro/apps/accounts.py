@@ -1,0 +1,257 @@
+"""User accounts: the paper's /etc/passwd example, done properly.
+
+A registry of typed account records with group membership, uid
+allocation and lifecycle operations — everything /etc/passwd does with a
+flat text file, but with single-shot transactional updates, one disk
+write each, and crash recovery.
+
+Design points worth noticing as a library consumer:
+
+* ``Account`` is an ordinary class registered with the pickle package; it
+  appears in checkpoints and log entries automatically.
+* uid allocation happens *inside* the operation, from a counter in the
+  root — so replay allocates the same uids (the determinism contract),
+  with no coordination outside the update path.
+* every operation has a precondition, so invalid requests never reach
+  the disk.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import Database
+from repro.core.errors import PreconditionFailed
+from repro.core.transactions import OperationRegistry
+from repro.pickles import pickleable
+from repro.storage.interface import FileSystem
+
+
+class AccountError(PreconditionFailed):
+    """An account operation's precondition failed."""
+
+
+@pickleable(name="apps.Account")
+class Account:
+    """One user account record."""
+
+    def __init__(self, name: str, uid: int, home: str, shell: str) -> None:
+        self.name = name
+        self.uid = uid
+        self.home = home
+        self.shell = shell
+        self.groups: list[str] = []
+        self.disabled = False
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "uid": self.uid,
+            "home": self.home,
+            "shell": self.shell,
+            "groups": list(self.groups),
+            "disabled": self.disabled,
+        }
+
+    def __repr__(self) -> str:
+        state = " (disabled)" if self.disabled else ""
+        return f"Account({self.name!r}, uid={self.uid}{state})"
+
+
+ACCOUNT_OPS = OperationRegistry()
+
+_FIRST_UID = 1000
+
+
+def _fresh_root() -> dict:
+    return {"accounts": {}, "groups": {}, "next_uid": _FIRST_UID}
+
+
+def _need_account(root: dict, name: str) -> Account:
+    account = root["accounts"].get(name)
+    if account is None:
+        raise AccountError(f"no account named {name!r}")
+    return account
+
+
+def _need_group(root: dict, group: str) -> list[str]:
+    members = root["groups"].get(group)
+    if members is None:
+        raise AccountError(f"no group named {group!r}")
+    return members
+
+
+@ACCOUNT_OPS.operation("create_account")
+def _create_account(root, name, home=None, shell="/bin/sh"):
+    uid = root["next_uid"]
+    root["next_uid"] = uid + 1
+    account = Account(name, uid, home if home is not None else f"/home/{name}", shell)
+    root["accounts"][name] = account
+    return uid
+
+
+@_create_account.precondition
+def _create_account_pre(root, name, home=None, shell="/bin/sh"):
+    if not name or not name.isidentifier():
+        raise AccountError(f"bad account name {name!r}")
+    if name in root["accounts"]:
+        raise AccountError(f"account {name!r} already exists")
+
+
+@ACCOUNT_OPS.operation("remove_account")
+def _remove_account(root, name):
+    account = root["accounts"].pop(name)
+    for group in account.groups:
+        members = root["groups"].get(group)
+        if members and name in members:
+            members.remove(name)
+
+
+@_remove_account.precondition
+def _remove_account_pre(root, name):
+    _need_account(root, name)
+
+
+@ACCOUNT_OPS.operation("set_shell")
+def _set_shell(root, name, shell):
+    root["accounts"][name].shell = shell
+
+
+@_set_shell.precondition
+def _set_shell_pre(root, name, shell):
+    account = _need_account(root, name)
+    if account.disabled:
+        raise AccountError(f"account {name!r} is disabled")
+
+
+@ACCOUNT_OPS.operation("set_disabled")
+def _set_disabled(root, name, disabled):
+    root["accounts"][name].disabled = bool(disabled)
+
+
+@_set_disabled.precondition
+def _set_disabled_pre(root, name, disabled):
+    _need_account(root, name)
+
+
+@ACCOUNT_OPS.operation("create_group")
+def _create_group(root, group):
+    root["groups"][group] = []
+
+
+@_create_group.precondition
+def _create_group_pre(root, group):
+    if group in root["groups"]:
+        raise AccountError(f"group {group!r} already exists")
+
+
+@ACCOUNT_OPS.operation("add_member")
+def _add_member(root, group, name):
+    root["groups"][group].append(name)
+    root["accounts"][name].groups.append(group)
+
+
+@_add_member.precondition
+def _add_member_pre(root, group, name):
+    members = _need_group(root, group)
+    _need_account(root, name)
+    if name in members:
+        raise AccountError(f"{name!r} is already in {group!r}")
+
+
+@ACCOUNT_OPS.operation("remove_member")
+def _remove_member(root, group, name):
+    root["groups"][group].remove(name)
+    root["accounts"][name].groups.remove(group)
+
+
+@_remove_member.precondition
+def _remove_member_pre(root, group, name):
+    members = _need_group(root, group)
+    if name not in members:
+        raise AccountError(f"{name!r} is not in {group!r}")
+
+
+class AccountRegistry:
+    """The public API of the accounts application."""
+
+    def __init__(self, fs: FileSystem, **db_options: object) -> None:
+        self.db = Database(
+            fs, initial=_fresh_root, operations=ACCOUNT_OPS, **db_options
+        )
+
+    # -- updates ------------------------------------------------------------
+
+    def create(self, name: str, home: str | None = None, shell: str = "/bin/sh") -> int:
+        """Create an account; returns its allocated uid."""
+        return self.db.update("create_account", name, home=home, shell=shell)
+
+    def remove(self, name: str) -> None:
+        self.db.update("remove_account", name)
+
+    def set_shell(self, name: str, shell: str) -> None:
+        self.db.update("set_shell", name, shell)
+
+    def disable(self, name: str) -> None:
+        self.db.update("set_disabled", name, True)
+
+    def enable(self, name: str) -> None:
+        self.db.update("set_disabled", name, False)
+
+    def create_group(self, group: str) -> None:
+        self.db.update("create_group", group)
+
+    def add_to_group(self, group: str, name: str) -> None:
+        self.db.update("add_member", group, name)
+
+    def remove_from_group(self, group: str, name: str) -> None:
+        self.db.update("remove_member", group, name)
+
+    # -- enquiries ------------------------------------------------------------
+
+    def get(self, name: str) -> dict:
+        """A copy of the account record (never the live object)."""
+        return self.db.enquire(lambda root: _need_account(root, name).as_dict())
+
+    def uid_of(self, name: str) -> int:
+        return self.db.enquire(lambda root: _need_account(root, name).uid)
+
+    def by_uid(self, uid: int) -> str:
+        def find(root):
+            for account in root["accounts"].values():
+                if account.uid == uid:
+                    return account.name
+            raise AccountError(f"no account with uid {uid}")
+
+        return self.db.enquire(find)
+
+    def names(self) -> list[str]:
+        return self.db.enquire(lambda root: sorted(root["accounts"]))
+
+    def members_of(self, group: str) -> list[str]:
+        return self.db.enquire(lambda root: sorted(_need_group(root, group)))
+
+    def groups_of(self, name: str) -> list[str]:
+        return self.db.enquire(
+            lambda root: sorted(_need_account(root, name).groups)
+        )
+
+    def is_disabled(self, name: str) -> bool:
+        return self.db.enquire(lambda root: _need_account(root, name).disabled)
+
+    def passwd_lines(self) -> list[str]:
+        """The classic /etc/passwd rendering, for old times' sake."""
+
+        def render(root):
+            return [
+                f"{a.name}:x:{a.uid}:{a.uid}::{a.home}:{a.shell}"
+                for a in sorted(root["accounts"].values(), key=lambda a: a.uid)
+            ]
+
+        return self.db.enquire(render)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        return self.db.checkpoint()
+
+    def close(self) -> None:
+        self.db.close()

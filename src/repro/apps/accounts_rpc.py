@@ -1,0 +1,167 @@
+"""Remote access to the accounts registry, with *static* record marshalling.
+
+Where the name server's interface leans on the ``Pickled`` escape hatch
+(its values are genuinely dynamic), the accounts service has a fixed
+schema — which is exactly what the RPC package's static marshalling is
+for.  ``Account`` crosses the wire as a :class:`~repro.rpc.marshal.RecordOf`
+with a declared field list: no type tags, no pickling, and a client/server
+schema mismatch fails loudly at the marshalling layer.
+
+    service = AccountService(registry)
+    rpc.export(ACCOUNTS_INTERFACE, service)
+    remote = RemoteAccountRegistry(transport)
+"""
+
+from __future__ import annotations
+
+from repro.apps.accounts import Account, AccountError, AccountRegistry
+from repro.rpc import (
+    Bool,
+    Int,
+    Interface,
+    ListOf,
+    OptionalOf,
+    RecordOf,
+    RpcClient,
+    Str,
+    Transport,
+    Void,
+)
+
+#: the static wire schema of one account record
+ACCOUNT_RECORD = RecordOf(
+    Account,
+    [
+        ("name", Str),
+        ("uid", Int),
+        ("home", Str),
+        ("shell", Str),
+        ("groups", ListOf(Str)),
+        ("disabled", Bool),
+    ],
+)
+
+ACCOUNTS_INTERFACE = Interface("Accounts", version=1)
+ACCOUNTS_INTERFACE.method(
+    "create",
+    params=[("name", Str), ("home", OptionalOf(Str)), ("shell", Str)],
+    returns=Int,
+)
+ACCOUNTS_INTERFACE.method("remove", params=[("name", Str)], returns=Void)
+ACCOUNTS_INTERFACE.method(
+    "set_shell", params=[("name", Str), ("shell", Str)], returns=Void
+)
+ACCOUNTS_INTERFACE.method(
+    "set_disabled", params=[("name", Str), ("disabled", Bool)], returns=Void
+)
+ACCOUNTS_INTERFACE.method("create_group", params=[("group", Str)], returns=Void)
+ACCOUNTS_INTERFACE.method(
+    "add_to_group", params=[("group", Str), ("name", Str)], returns=Void
+)
+ACCOUNTS_INTERFACE.method(
+    "remove_from_group", params=[("group", Str), ("name", Str)], returns=Void
+)
+ACCOUNTS_INTERFACE.method(
+    "fetch", params=[("name", Str)], returns=ACCOUNT_RECORD
+)
+ACCOUNTS_INTERFACE.method("names", returns=ListOf(Str))
+ACCOUNTS_INTERFACE.method(
+    "members_of", params=[("group", Str)], returns=ListOf(Str)
+)
+ACCOUNTS_INTERFACE.method("by_uid", params=[("uid", Int)], returns=Str)
+ACCOUNTS_INTERFACE.error(AccountError)
+
+
+class AccountService:
+    """Server-side adapter: registry methods in interface shape."""
+
+    def __init__(self, registry: AccountRegistry) -> None:
+        self.registry = registry
+
+    def create(self, name, home, shell):
+        return self.registry.create(name, home=home, shell=shell)
+
+    def remove(self, name):
+        self.registry.remove(name)
+
+    def set_shell(self, name, shell):
+        self.registry.set_shell(name, shell)
+
+    def set_disabled(self, name, disabled):
+        if disabled:
+            self.registry.disable(name)
+        else:
+            self.registry.enable(name)
+
+    def create_group(self, group):
+        self.registry.create_group(group)
+
+    def add_to_group(self, group, name):
+        self.registry.add_to_group(group, name)
+
+    def remove_from_group(self, group, name):
+        self.registry.remove_from_group(group, name)
+
+    def fetch(self, name) -> Account:
+        """The whole typed record (statically marshalled on the wire)."""
+        data = self.registry.get(name)
+        account = Account(data["name"], data["uid"], data["home"], data["shell"])
+        account.groups = list(data["groups"])
+        account.disabled = data["disabled"]
+        return account
+
+    def names(self):
+        return self.registry.names()
+
+    def members_of(self, group):
+        return self.registry.members_of(group)
+
+    def by_uid(self, uid):
+        return self.registry.by_uid(uid)
+
+
+class RemoteAccountRegistry:
+    """Client facade: the registry API over generated stubs."""
+
+    def __init__(self, transport: Transport) -> None:
+        self._client = RpcClient(ACCOUNTS_INTERFACE, transport)
+        self._proxy = self._client.proxy()
+
+    def create(self, name: str, home: str | None = None, shell: str = "/bin/sh") -> int:
+        return self._proxy.create(name, home, shell)
+
+    def remove(self, name: str) -> None:
+        self._proxy.remove(name)
+
+    def set_shell(self, name: str, shell: str) -> None:
+        self._proxy.set_shell(name, shell)
+
+    def disable(self, name: str) -> None:
+        self._proxy.set_disabled(name, True)
+
+    def enable(self, name: str) -> None:
+        self._proxy.set_disabled(name, False)
+
+    def create_group(self, group: str) -> None:
+        self._proxy.create_group(group)
+
+    def add_to_group(self, group: str, name: str) -> None:
+        self._proxy.add_to_group(group, name)
+
+    def remove_from_group(self, group: str, name: str) -> None:
+        self._proxy.remove_from_group(group, name)
+
+    def fetch(self, name: str) -> Account:
+        return self._proxy.fetch(name)
+
+    def names(self) -> list[str]:
+        return self._proxy.names()
+
+    def members_of(self, group: str) -> list[str]:
+        return self._proxy.members_of(group)
+
+    def by_uid(self, uid: int) -> str:
+        return self._proxy.by_uid(uid)
+
+    def close(self) -> None:
+        self._client.close()

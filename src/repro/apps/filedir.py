@@ -1,0 +1,302 @@
+"""File directories over a sharded database (the paper's §7 example).
+
+    …it seems likely that many larger databases (for example the
+    directories of a large file system) could be handled by considering
+    them as multiple separate databases for the purpose of writing
+    checkpoints.
+
+``DirectoryService`` stores file-system directory metadata — not file
+contents — sharded by top-level directory, so checkpointing one volume's
+metadata never blocks operations on another's.  Entries are typed
+records; timestamps and inode numbers are passed in as arguments (never
+read from the environment inside an operation: the replay contract).
+
+A deliberate, documented limitation mirrors the design's semantics:
+renames *across shards* are two single-shot transactions (unlink +
+create), not one — the library offers no cross-database transactions,
+exactly as the paper's technique offers none.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PreconditionFailed
+from repro.core.sharding import ShardedDatabase
+from repro.core.transactions import OperationRegistry
+from repro.pickles import pickleable
+from repro.storage.interface import FileSystem
+
+
+class FileDirError(PreconditionFailed):
+    """A directory operation's precondition failed."""
+
+
+@pickleable(name="apps.FileEntry")
+class FileEntry:
+    """Metadata for one directory entry."""
+
+    def __init__(self, kind: str, inode: int, size: int, mtime: float) -> None:
+        self.kind = kind  # "file" | "dir"
+        self.inode = inode
+        self.size = size
+        self.mtime = mtime
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "inode": self.inode,
+            "size": self.size,
+            "mtime": self.mtime,
+        }
+
+    def __repr__(self) -> str:
+        return f"FileEntry({self.kind}, ino={self.inode}, {self.size}B)"
+
+
+FILEDIR_OPS = OperationRegistry()
+
+
+def _split(path: str) -> list[str]:
+    parts = [part for part in path.split("/") if part]
+    if not parts:
+        raise FileDirError(f"bad path {path!r}")
+    return parts
+
+
+def _walk_to_parent(root: dict, parts: list[str]) -> dict:
+    """The containing directory's entry table, or raise."""
+    table = root["tree"]
+    for depth, part in enumerate(parts[:-1]):
+        entry = table.get(part)
+        if entry is None or not isinstance(entry, dict):
+            raise FileDirError(
+                f"no such directory: {'/'.join(parts[: depth + 1])}"
+            )
+        table = entry
+    return table
+
+
+@FILEDIR_OPS.operation("fd_mkdir")
+def _mkdir(root, path):
+    parts = _split(path)
+    table = _walk_to_parent(root, parts)
+    table[parts[-1]] = {}
+
+
+@_mkdir.precondition
+def _mkdir_pre(root, path):
+    parts = _split(path)
+    table = _walk_to_parent(root, parts)
+    if parts[-1] in table:
+        raise FileDirError(f"{path!r} already exists")
+
+
+@FILEDIR_OPS.operation("fd_create")
+def _create(root, path, inode, size, mtime):
+    parts = _split(path)
+    table = _walk_to_parent(root, parts)
+    table[parts[-1]] = FileEntry("file", inode, size, mtime)
+
+
+@_create.precondition
+def _create_pre(root, path, inode, size, mtime):
+    parts = _split(path)
+    table = _walk_to_parent(root, parts)
+    if parts[-1] in table:
+        raise FileDirError(f"{path!r} already exists")
+
+
+@FILEDIR_OPS.operation("fd_update")
+def _update(root, path, size, mtime):
+    parts = _split(path)
+    table = _walk_to_parent(root, parts)
+    entry = table[parts[-1]]
+    entry.size = size
+    entry.mtime = mtime
+
+
+@_update.precondition
+def _update_pre(root, path, size, mtime):
+    parts = _split(path)
+    table = _walk_to_parent(root, parts)
+    entry = table.get(parts[-1])
+    if not isinstance(entry, FileEntry):
+        raise FileDirError(f"{path!r} is not a file")
+
+
+@FILEDIR_OPS.operation("fd_unlink")
+def _unlink(root, path):
+    parts = _split(path)
+    table = _walk_to_parent(root, parts)
+    del table[parts[-1]]
+
+
+@_unlink.precondition
+def _unlink_pre(root, path):
+    parts = _split(path)
+    table = _walk_to_parent(root, parts)
+    entry = table.get(parts[-1])
+    if entry is None:
+        raise FileDirError(f"no such entry: {path!r}")
+    if isinstance(entry, dict) and entry:
+        raise FileDirError(f"directory {path!r} is not empty")
+
+
+@FILEDIR_OPS.operation("fd_rename")
+def _rename(root, old_path, new_path):
+    old_parts = _split(old_path)
+    new_parts = _split(new_path)
+    source = _walk_to_parent(root, old_parts)
+    entry = source.pop(old_parts[-1])
+    destination = _walk_to_parent(root, new_parts)
+    destination[new_parts[-1]] = entry
+
+
+@_rename.precondition
+def _rename_pre(root, old_path, new_path):
+    old_parts = _split(old_path)
+    new_parts = _split(new_path)
+    source = _walk_to_parent(root, old_parts)
+    if old_parts[-1] not in source:
+        raise FileDirError(f"no such entry: {old_path!r}")
+    destination = _walk_to_parent(root, new_parts)
+    if new_parts[-1] in destination:
+        raise FileDirError(f"{new_path!r} already exists")
+
+
+def _fresh_root() -> dict:
+    return {"tree": {}}
+
+
+def _max_inode(table: dict) -> int:
+    highest = 0
+    for entry in table.values():
+        if isinstance(entry, dict):
+            highest = max(highest, _max_inode(entry))
+        else:
+            highest = max(highest, entry.inode)
+    return highest
+
+
+def _top_level(path: str, *rest: object, **kwargs: object) -> str:
+    return _split(path)[0]
+
+
+class DirectoryService:
+    """The public API of the file-directory application."""
+
+    def __init__(
+        self, fs: FileSystem, num_shards: int = 4, **db_options: object
+    ) -> None:
+        self.db = ShardedDatabase(
+            fs,
+            num_shards=num_shards,
+            shard_key=_top_level,
+            initial=_fresh_root,
+            operations=FILEDIR_OPS,
+            **db_options,
+        )
+        # Inode numbers live in the entries; recover the allocator's high
+        # water mark from the restarted state so restarts never reuse one.
+        self._next_inode = 1 + max(
+            self.db.enquire_all(lambda root: _max_inode(root["tree"])),
+            default=0,
+        )
+
+    # -- updates --------------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        self.db.update("fd_mkdir", path)
+
+    def create(self, path: str, size: int = 0, mtime: float = 0.0) -> int:
+        """Create a file entry; returns the inode number assigned."""
+        inode = self._next_inode
+        self._next_inode += 1
+        self.db.update("fd_create", path, inode, size, mtime)
+        return inode
+
+    def update(self, path: str, size: int, mtime: float) -> None:
+        self.db.update("fd_update", path, size, mtime)
+
+    def unlink(self, path: str) -> None:
+        self.db.update("fd_unlink", path)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Rename; cross-shard renames are two transactions (documented)."""
+        if self.db.shard_of(old_path) == self.db.shard_of(new_path):
+            self.db.update("fd_rename", old_path, new_path)
+            return
+        entry = self.stat(old_path)
+        if entry["kind"] != "file":
+            raise FileDirError(
+                f"cross-volume rename of directories is not supported "
+                f"({old_path!r} -> {new_path!r})"
+            )
+        self.db.update(
+            "fd_create", new_path, entry["inode"], entry["size"], entry["mtime"]
+        )
+        self.db.update("fd_unlink", old_path)
+
+    # -- enquiries ------------------------------------------------------------
+
+    def stat(self, path: str) -> dict:
+        parts = _split(path)
+
+        def read(root, _path):
+            table = _walk_to_parent(root, parts)
+            entry = table.get(parts[-1])
+            if entry is None:
+                raise FileDirError(f"no such entry: {path!r}")
+            if isinstance(entry, dict):
+                return {"kind": "dir", "entries": len(entry)}
+            return entry.as_dict()
+
+        return self.db.enquire(read, path)
+
+    def listdir(self, path: str = "") -> list[str]:
+        if not path:
+            # The root spans all shards.
+            return sorted(
+                name
+                for names in self.db.enquire_all(lambda root: list(root["tree"]))
+                for name in names
+            )
+        parts = _split(path)
+
+        def read(root, _path):
+            parent = _walk_to_parent(root, parts)
+            entry = parent.get(parts[-1])
+            if not isinstance(entry, dict):
+                raise FileDirError(f"{path!r} is not a directory")
+            return sorted(entry)
+
+        return self.db.enquire(read, path)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except FileDirError:
+            return False
+
+    def total_entries(self) -> int:
+        def count(table: dict) -> int:
+            total = 0
+            for entry in table.values():
+                total += 1
+                if isinstance(entry, dict):
+                    total += count(entry)
+            return total
+
+        return sum(self.db.enquire_all(lambda root: count(root["tree"])))
+
+    # -- maintenance ------------------------------------------------------------
+
+    def checkpoint_volume(self, top_level: str) -> int:
+        """Checkpoint just the shard holding one top-level directory."""
+        return self.db.checkpoint_shard(self.db.shard_of(top_level))
+
+    def checkpoint_all(self) -> list[int]:
+        return self.db.checkpoint_all()
+
+    def close(self) -> None:
+        self.db.close()

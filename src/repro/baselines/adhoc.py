@@ -1,0 +1,85 @@
+"""Baseline 2: the ad hoc paged scheme (paper section 2, second technique).
+
+    The corresponding databases in larger scale operating systems are
+    often implemented by ad hoc schemes, involving a custom designed data
+    representation in a disk file, and specialized code for accessing and
+    modifying the data. […] updates are typically performed by
+    overwriting existing data in place.  This leaves the database quite
+    vulnerable to transient errors […] particularly true if the update
+    modifies multiple pages. […] The performance of these databases is
+    generally quite good for updates, requiring typically one disk write
+    per update.
+
+Faithfully reproduced properties:
+
+* one fsync per update, overwriting the record's pages in place;
+* a record that outgrows its span moves: the new span is written and the
+  old span freed under the *same* fsync, so a crash in between leaves
+  either a duplicate (resolved at scan time) or a torn record;
+* a crash mid-way through a multi-page in-place overwrite leaves a
+  half-old half-new record with no way to tell — the scan only notices
+  when the bytes fail to decode, and silently returns merged garbage
+  when they happen to parse (experiment E11 exhibits both);
+* recovery is just re-scanning the file; anything unreadable is lost.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interface import KVStore, KeyNotFound, check_key, check_value
+from repro.baselines.paged import PagedFile, encode_record, pages_needed
+from repro.storage.interface import FileSystem
+
+_FILE = "records.dat"
+
+
+class AdHocPagedDB(KVStore):
+    """Custom record layout, in-place updates, no commit protocol."""
+
+    technique = "adhoc"
+
+    def __init__(self, fs: FileSystem) -> None:
+        self.fs = fs
+        self.pages = PagedFile(fs, _FILE)
+
+    @property
+    def corrupt_records_detected(self) -> int:
+        """Spans found unreadable or undecodable at the last open."""
+        return self.pages.corrupt_spans
+
+    def get(self, key: str) -> str:
+        check_key(key)
+        span = self.pages.index.get(key)
+        if span is None:
+            raise KeyNotFound(key)
+        _key, value = self.pages.read_record(span)
+        return value
+
+    def keys(self) -> list[str]:
+        return sorted(self.pages.index)
+
+    def set(self, key: str, value: str) -> None:
+        check_key(key)
+        check_value(value)
+        record = encode_record(key, value)
+        npages = pages_needed(len(record), self.pages.page_size)
+        existing = self.pages.index.get(key)
+        if existing is not None and existing.npages == npages:
+            # The dangerous fast path: overwrite in place.
+            self.pages.write_span(existing, record)
+            self.pages.sync()
+            return
+        span = self.pages.allocate_span(npages)
+        self.pages.write_span(span, record)
+        if existing is not None:
+            self.pages.free_span(existing)
+        self.pages.sync()  # new record and old-span free in one flush
+        self.pages.index[key] = span
+
+    def delete(self, key: str) -> None:
+        check_key(key)
+        span = self.pages.index.get(key)
+        if span is None:
+            raise KeyNotFound(key)
+        self.pages.free_span(span)
+        self.pages.sync()
+        del self.pages.index[key]

@@ -1,0 +1,65 @@
+"""The common face of the rival techniques (paper section 2).
+
+Every baseline implements the same small key-value contract over the same
+:class:`~repro.storage.interface.FileSystem` substrate the real database
+uses, so experiment E7's comparison — disk writes per update, update
+latency, reliability class — is internally valid.
+
+Keys are non-empty strings without newlines; values are strings.  (The
+paper's rivals store text or fixed records; the string restriction is
+theirs, not ours — the checkpoint+log engine itself stores arbitrary
+typed structures.)
+"""
+
+from __future__ import annotations
+
+
+class BaselineError(Exception):
+    """Base class for baseline engine errors."""
+
+
+class KeyNotFound(BaselineError):
+    def __init__(self, key: str) -> None:
+        super().__init__(f"no such key: {key!r}")
+        self.key = key
+
+
+class CorruptStore(BaselineError):
+    """The on-disk structure failed validation during open or read."""
+
+
+class KVStore:
+    """Minimal key-value database interface shared by all engines."""
+
+    #: short identifier used in benchmark tables
+    technique = "abstract"
+
+    def get(self, key: str) -> str:
+        raise NotImplementedError
+
+    def set(self, key: str, value: str) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def keys(self) -> list[str]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; committed data must already be durable."""
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+
+def check_key(key: str) -> str:
+    if not isinstance(key, str) or not key or "\n" in key or "=" in key:
+        raise BaselineError(f"bad key: {key!r}")
+    return key
+
+
+def check_value(value: str) -> str:
+    if not isinstance(value, str):
+        raise BaselineError(f"bad value (must be str): {value!r}")
+    return value

@@ -1,0 +1,80 @@
+"""The paper's technique behind the same KV interface, for comparison.
+
+Experiment E7 runs the identical update stream through all four engines;
+this adapter puts the checkpoint+log database behind the baseline
+interface so the comparison is engine-for-engine.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interface import KVStore, KeyNotFound, check_key, check_value
+from repro.core.database import Database
+from repro.core.errors import PreconditionFailed
+from repro.core.policy import CheckpointPolicy
+from repro.core.transactions import OperationRegistry
+from repro.storage.interface import FileSystem
+
+_KV_OPS = OperationRegistry()
+
+
+@_KV_OPS.operation("set")
+def _op_set(root: dict, key: str, value: str) -> None:
+    root[key] = value
+
+
+@_KV_OPS.operation("delete")
+def _op_delete(root: dict, key: str) -> None:
+    del root[key]
+
+
+@_op_delete.precondition
+def _delete_pre(root: dict, key: str) -> None:
+    if key not in root:
+        raise PreconditionFailed(f"no such key: {key!r}")
+
+
+class CheckpointLogDB(KVStore):
+    """Main-memory structure + redo log + checkpoints (this paper)."""
+
+    technique = "checkpoint+log"
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        policy: CheckpointPolicy | None = None,
+        **db_options: object,
+    ) -> None:
+        if policy is not None:
+            db_options["policy"] = policy
+        self.db = Database(fs, initial=dict, operations=_KV_OPS, **db_options)
+
+    def get(self, key: str) -> str:
+        check_key(key)
+
+        def read(root: dict) -> str:
+            if key not in root:
+                raise KeyNotFound(key)
+            return root[key]
+
+        return self.db.enquire(read)
+
+    def keys(self) -> list[str]:
+        return self.db.enquire(lambda root: sorted(root))
+
+    def set(self, key: str, value: str) -> None:
+        check_key(key)
+        check_value(value)
+        self.db.update("set", key, value)
+
+    def delete(self, key: str) -> None:
+        check_key(key)
+        try:
+            self.db.update("delete", key)
+        except PreconditionFailed:
+            raise KeyNotFound(key) from None
+
+    def checkpoint(self) -> int:
+        return self.db.checkpoint()
+
+    def close(self) -> None:
+        self.db.close()

@@ -1,0 +1,185 @@
+"""Shared paged-record layout for the ad hoc and atomic-commit baselines.
+
+A record occupies a contiguous *span* of pages in a single data file::
+
+    status   1 byte   0x00 free / 0x01 used
+    keylen   varint
+    key      utf-8 bytes
+    vallen   varint
+    value    utf-8 bytes
+
+The remainder of the span's final page is padding.  There are no
+checksums — the historical schemes had none, which is exactly why a crash
+mid-update leaves silent inconsistency (experiment E11 demonstrates it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.interface import CorruptStore
+from repro.pickles.wire import WireReader, encode_varint
+from repro.storage.errors import HardError
+from repro.storage.interface import FileSystem
+
+STATUS_FREE = 0x00
+STATUS_USED = 0x01
+
+
+def encode_record(key: str, value: str) -> bytes:
+    out = bytearray([STATUS_USED])
+    raw_key = key.encode("utf-8")
+    encode_varint(len(raw_key), out)
+    out.extend(raw_key)
+    raw_value = value.encode("utf-8")
+    encode_varint(len(raw_value), out)
+    out.extend(raw_value)
+    return bytes(out)
+
+
+def decode_record(data: bytes) -> tuple[str, str, int]:
+    """Returns (key, value, encoded length); raises CorruptStore."""
+    reader = WireReader(data)
+    try:
+        status = reader.read_byte()
+        if status != STATUS_USED:
+            raise CorruptStore(f"record status {status:#x} is not 'used'")
+        key_len = reader.read_varint()
+        key = reader.read_bytes(key_len).decode("utf-8")
+        value_len = reader.read_varint()
+        value = reader.read_bytes(value_len).decode("utf-8")
+    except CorruptStore:
+        raise
+    except Exception as exc:
+        raise CorruptStore(f"record does not decode: {exc!r}") from exc
+    return key, value, reader.offset
+
+
+@dataclass
+class Span:
+    """A record's location: first page index and page count."""
+
+    first_page: int
+    npages: int
+
+
+def pages_needed(record_len: int, page_size: int) -> int:
+    return max(1, (record_len + page_size - 1) // page_size)
+
+
+def pad_to_span(record: bytes, npages: int, page_size: int) -> bytes:
+    return record + bytes(npages * page_size - len(record))
+
+
+class PagedFile:
+    """A data file of record spans with a volatile index.
+
+    Scanning at open rebuilds the index from the file alone — the only
+    "recovery" the ad hoc technique has.  Unreadable (torn) or
+    undecodable spans are counted and treated as free; their records are
+    simply gone, which is the data-loss the paper criticises.
+    """
+
+    def __init__(self, fs: FileSystem, name: str) -> None:
+        self.fs = fs
+        self.name = name
+        self.page_size: int = getattr(fs, "page_size", 512)
+        if not fs.exists(name):
+            fs.write(name, b"")
+            fs.fsync(name)
+        self.index: dict[str, Span] = {}
+        self.free: set[int] = set()
+        self.total_pages = 0
+        self.corrupt_spans = 0
+        self._scan()
+
+    def _scan(self) -> None:
+        size = self.fs.size(self.name)
+        self.total_pages = (size + self.page_size - 1) // self.page_size
+        page = 0
+        while page < self.total_pages:
+            try:
+                head = self.fs.read_range(
+                    self.name, page * self.page_size, self.page_size
+                )
+            except HardError:
+                self.corrupt_spans += 1
+                self.free.add(page)
+                page += 1
+                continue
+            if not head or head[0] == STATUS_FREE:
+                self.free.add(page)
+                page += 1
+                continue
+            try:
+                key, value, length = self._decode_span(page, head)
+            except (CorruptStore, HardError):
+                self.corrupt_spans += 1
+                self.free.add(page)
+                page += 1
+                continue
+            npages = pages_needed(length, self.page_size)
+            if key in self.index:
+                # Duplicate key after a crash between "write new" and
+                # "free old": keep the later span (higher page number).
+                old = self.index[key]
+                self.free.update(range(old.first_page, old.first_page + old.npages))
+            self.index[key] = Span(page, npages)
+            page += npages
+
+    def _decode_span(self, page: int, head: bytes) -> tuple[str, str, int]:
+        # Fast path: record fits the first page.
+        try:
+            return decode_record(head)
+        except CorruptStore:
+            pass
+        # The record may span pages; read a generous window.
+        window = self.fs.read_range(
+            self.name, page * self.page_size, 64 * self.page_size
+        )
+        return decode_record(window)
+
+    # -- operations used by the engines --------------------------------------------
+
+    def read_record(self, span: Span) -> tuple[str, str]:
+        data = self.fs.read_range(
+            self.name,
+            span.first_page * self.page_size,
+            span.npages * self.page_size,
+        )
+        key, value, _length = decode_record(data)
+        return key, value
+
+    def allocate_span(self, npages: int) -> Span:
+        """A contiguous free run, extending the file when necessary."""
+        run: list[int] = []
+        for page in sorted(self.free):
+            if run and page != run[-1] + 1:
+                run = []
+            run.append(page)
+            if len(run) == npages:
+                for used in run:
+                    self.free.discard(used)
+                return Span(run[0], npages)
+        first = self.total_pages
+        self.total_pages += npages
+        return Span(first, npages)
+
+    def write_span(self, span: Span, record: bytes) -> None:
+        """Overwrite the span in place (volatile until fsync)."""
+        payload = pad_to_span(record, span.npages, self.page_size)
+        self.fs.write_at(self.name, span.first_page * self.page_size, payload)
+
+    def free_span(self, span: Span) -> None:
+        """Mark every page of a span free by zero-filling it in place.
+
+        Whole-page writes (rather than just the status byte) keep freeing
+        well-defined even when a page of the span was torn by a crash.
+        """
+        zero_page = bytes(self.page_size)
+        for page in range(span.first_page, span.first_page + span.npages):
+            self.fs.write_at(self.name, page * self.page_size, zero_page)
+        self.free.update(range(span.first_page, span.first_page + span.npages))
+
+    def sync(self) -> None:
+        self.fs.fsync(self.name)

@@ -1,0 +1,128 @@
+"""Baseline 1: the flat text file (paper section 2, first technique).
+
+    In relatively simple operating systems such as Unix, almost all
+    databases are stored as ordinary text files (for example /etc/passwd
+    …).  Whenever a program wishes to access the data it does so by
+    reading and parsing the file. […] An update involves rewriting the
+    entire file. […] The reliability of updates in the face of transient
+    errors can be made quite good, by using an atomic file rename
+    operation to install a new version of the file.
+
+Faithfully reproduced properties:
+
+* every enquiry re-reads and re-parses the whole file (there is no
+  resident state at all — the "program" runs afresh each time);
+* every update rewrites the whole file to a scratch name, fsyncs, then
+  atomically renames it over the old version — safe but O(database) disk
+  traffic per update;
+* hard errors are unrecoverable without a backup copy.
+
+Format: one ``key=value\\n`` line per entry, values escaped so they may
+contain newlines and non-ASCII text.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interface import (
+    CorruptStore,
+    KVStore,
+    KeyNotFound,
+    check_key,
+    check_value,
+)
+from repro.storage.interface import FileSystem
+
+_DATA = "data.txt"
+_SCRATCH = "data.txt.new"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace("=", "\\e")
+
+
+def _unescape(value: str) -> str:
+    out = []
+    index = 0
+    while index < len(value):
+        ch = value[index]
+        if ch == "\\":
+            index += 1
+            if index >= len(value):
+                raise CorruptStore("dangling escape in value")
+            code = value[index]
+            if code == "n":
+                out.append("\n")
+            elif code == "e":
+                out.append("=")
+            elif code == "\\":
+                out.append("\\")
+            else:
+                raise CorruptStore(f"bad escape \\{code}")
+        else:
+            out.append(ch)
+        index += 1
+    return "".join(out)
+
+
+class TextFileDB(KVStore):
+    """The /etc/passwd technique: parse on read, rewrite on update."""
+
+    technique = "textfile"
+
+    def __init__(self, fs: FileSystem) -> None:
+        self.fs = fs
+        if not fs.exists(_DATA):
+            fs.write(_DATA, b"")
+            fs.fsync(_DATA)
+        # A crash may have left a scratch file from an unfinished update;
+        # it is simply discarded (the rename never happened).
+        fs.delete_if_exists(_SCRATCH)
+
+    # -- reads (parse the file every time) -------------------------------------
+
+    def _parse(self) -> dict[str, str]:
+        text = self.fs.read(_DATA).decode("utf-8")
+        entries: dict[str, str] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line:
+                continue
+            key, sep, raw = line.partition("=")
+            if not sep:
+                raise CorruptStore(f"line {lineno}: no separator")
+            entries[key] = _unescape(raw)
+        return entries
+
+    def get(self, key: str) -> str:
+        check_key(key)
+        entries = self._parse()
+        if key not in entries:
+            raise KeyNotFound(key)
+        return entries[key]
+
+    def keys(self) -> list[str]:
+        return sorted(self._parse())
+
+    # -- updates (rewrite the whole file, commit by rename) ----------------------
+
+    def _rewrite(self, entries: dict[str, str]) -> None:
+        lines = [f"{key}={_escape(entries[key])}\n" for key in sorted(entries)]
+        payload = "".join(lines).encode("utf-8")
+        self.fs.write(_SCRATCH, payload)
+        self.fs.fsync(_SCRATCH)
+        self.fs.rename(_SCRATCH, _DATA)
+        self.fs.fsync_dir()
+
+    def set(self, key: str, value: str) -> None:
+        check_key(key)
+        check_value(value)
+        entries = self._parse()
+        entries[key] = value
+        self._rewrite(entries)
+
+    def delete(self, key: str) -> None:
+        check_key(key)
+        entries = self._parse()
+        if key not in entries:
+            raise KeyNotFound(key)
+        del entries[key]
+        self._rewrite(entries)

@@ -1,0 +1,19 @@
+"""Concurrency control: the paper's shared/update/exclusive lock."""
+
+from repro.concurrency.locks import (
+    COMPATIBILITY,
+    LockMode,
+    LockProtocolError,
+    LockStats,
+    LockTimeout,
+    SUELock,
+)
+
+__all__ = [
+    "COMPATIBILITY",
+    "LockMode",
+    "LockProtocolError",
+    "LockStats",
+    "LockTimeout",
+    "SUELock",
+]

@@ -1,0 +1,299 @@
+"""The paper's three-mode lock: shared / update / exclusive.
+
+Compatibility matrix (section 3)::
+
+                shared      update      exclusive
+    shared      compatible  compatible  conflict
+    update      compatible  conflict    conflict
+    exclusive   conflict    conflict    conflict
+
+The protocol the database builds on top:
+
+* an **enquiry** runs under *shared*;
+* an **update** acquires *update* (excluding other updates but admitting
+  enquiries), validates its preconditions and writes its log entry, then
+  **upgrades** to *exclusive* for the virtual-memory mutation only;
+* a **checkpoint** holds *update* while pickling, so it snapshots a
+  consistent state without ever blocking enquiries.
+
+The upgrade path is deadlock-free because only one thread can hold
+*update* at a time, so at most one upgrade is ever pending; it merely
+waits for the shared holders to drain.  While an upgrade (or a direct
+exclusive request) is pending, new shared requests are held back so the
+upgrade cannot starve.
+
+The lock is intentionally not reentrant and a thread must not request a
+second mode while holding one (other than via :meth:`upgrade` /
+:meth:`downgrade`); doing so raises :class:`LockProtocolError` where
+detectable rather than deadlocking silently.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    UPDATE = "update"
+    EXCLUSIVE = "exclusive"
+
+
+#: (held, requested) pairs that may coexist.
+COMPATIBILITY: dict[tuple[LockMode, LockMode], bool] = {
+    (LockMode.SHARED, LockMode.SHARED): True,
+    (LockMode.SHARED, LockMode.UPDATE): True,
+    (LockMode.SHARED, LockMode.EXCLUSIVE): False,
+    (LockMode.UPDATE, LockMode.SHARED): True,
+    (LockMode.UPDATE, LockMode.UPDATE): False,
+    (LockMode.UPDATE, LockMode.EXCLUSIVE): False,
+    (LockMode.EXCLUSIVE, LockMode.SHARED): False,
+    (LockMode.EXCLUSIVE, LockMode.UPDATE): False,
+    (LockMode.EXCLUSIVE, LockMode.EXCLUSIVE): False,
+}
+
+
+class LockProtocolError(Exception):
+    """The lock was used outside its protocol (bad release, bad upgrade…)."""
+
+
+class LockTimeout(Exception):
+    """The lock could not be acquired within the requested timeout."""
+
+
+@dataclass
+class LockStats:
+    """Counters for lock traffic (E10 evidence)."""
+
+    shared_acquired: int = 0
+    update_acquired: int = 0
+    exclusive_acquired: int = 0
+    upgrades: int = 0
+    shared_waits: int = 0
+    update_waits: int = 0
+    exclusive_waits: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "shared_acquired": self.shared_acquired,
+                "update_acquired": self.update_acquired,
+                "exclusive_acquired": self.exclusive_acquired,
+                "upgrades": self.upgrades,
+                "shared_waits": self.shared_waits,
+                "update_waits": self.update_waits,
+                "exclusive_waits": self.exclusive_waits,
+            }
+
+
+class SUELock:
+    """A shared/update/exclusive lock with update→exclusive upgrade."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._shared_holders: dict[int, int] = {}  # thread ident -> count (==1)
+        self._update_holder: int | None = None
+        self._exclusive_holder: int | None = None
+        #: number of threads waiting for exclusive (directly or by upgrade);
+        #: while non-zero, new shared requests are held back (anti-starvation)
+        self._exclusive_pending = 0
+        self.stats = LockStats()
+
+    # -- acquire / release ----------------------------------------------------
+
+    def acquire(self, mode: LockMode, timeout: float | None = None) -> None:
+        me = threading.get_ident()
+        if mode is LockMode.SHARED:
+            self._acquire_shared(me, timeout)
+        elif mode is LockMode.UPDATE:
+            self._acquire_update(me, timeout)
+        elif mode is LockMode.EXCLUSIVE:
+            self._acquire_exclusive(me, timeout)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown mode {mode!r}")
+
+    def release(self, mode: LockMode) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if mode is LockMode.SHARED:
+                if self._shared_holders.get(me, 0) == 0:
+                    raise LockProtocolError("releasing shared lock not held")
+                del self._shared_holders[me]
+            elif mode is LockMode.UPDATE:
+                if self._update_holder != me:
+                    raise LockProtocolError("releasing update lock not held")
+                self._update_holder = None
+            elif mode is LockMode.EXCLUSIVE:
+                if self._exclusive_holder != me:
+                    raise LockProtocolError("releasing exclusive lock not held")
+                self._exclusive_holder = None
+            self._cond.notify_all()
+
+    def upgrade(self, timeout: float | None = None) -> None:
+        """Convert a held update lock to exclusive.
+
+        Waits for current shared holders to drain; new shared requests are
+        held back while the upgrade is pending.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._update_holder != me:
+                raise LockProtocolError("upgrade requires holding the update lock")
+            if me in self._shared_holders:
+                raise LockProtocolError(
+                    "cannot upgrade while also holding a shared lock"
+                )
+            self._exclusive_pending += 1
+            try:
+                if not self._wait_for(lambda: not self._shared_holders, timeout):
+                    raise LockTimeout("timed out waiting for shared holders to drain")
+            finally:
+                self._exclusive_pending -= 1
+            self._update_holder = None
+            self._exclusive_holder = me
+            with self.stats._lock:
+                self.stats.upgrades += 1
+            self._cond.notify_all()
+
+    def downgrade(self) -> None:
+        """Convert a held exclusive lock back to update."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._exclusive_holder != me:
+                raise LockProtocolError("downgrade requires holding exclusive")
+            self._exclusive_holder = None
+            self._update_holder = me
+            self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------------
+
+    @contextmanager
+    def shared(self, timeout: float | None = None) -> Iterator[None]:
+        self.acquire(LockMode.SHARED, timeout)
+        try:
+            yield
+        finally:
+            self.release(LockMode.SHARED)
+
+    @contextmanager
+    def update(self, timeout: float | None = None) -> Iterator[None]:
+        self.acquire(LockMode.UPDATE, timeout)
+        try:
+            yield
+        finally:
+            self.release(LockMode.UPDATE)
+
+    @contextmanager
+    def exclusive(self, timeout: float | None = None) -> Iterator[None]:
+        self.acquire(LockMode.EXCLUSIVE, timeout)
+        try:
+            yield
+        finally:
+            self.release(LockMode.EXCLUSIVE)
+
+    @contextmanager
+    def upgraded(self, timeout: float | None = None) -> Iterator[None]:
+        """Temporarily upgrade update→exclusive around a mutation."""
+        self.upgrade(timeout)
+        try:
+            yield
+        finally:
+            self.downgrade()
+
+    # -- introspection ----------------------------------------------------------
+
+    def holders(self) -> dict[str, object]:
+        with self._cond:
+            return {
+                "shared": len(self._shared_holders),
+                "update": self._update_holder is not None,
+                "exclusive": self._exclusive_holder is not None,
+                "exclusive_pending": self._exclusive_pending,
+            }
+
+    # -- internals ----------------------------------------------------------------
+
+    def _acquire_shared(self, me: int, timeout: float | None) -> None:
+        with self._cond:
+            if me in self._shared_holders:
+                raise LockProtocolError("shared lock is not reentrant")
+            if self._exclusive_holder == me or self._update_holder == me:
+                raise LockProtocolError(
+                    "cannot take shared while holding update/exclusive"
+                )
+
+            def admissible() -> bool:
+                return self._exclusive_holder is None and not self._exclusive_pending
+
+            if not admissible():
+                with self.stats._lock:
+                    self.stats.shared_waits += 1
+            if not self._wait_for(admissible, timeout):
+                raise LockTimeout("timed out acquiring shared lock")
+            self._shared_holders[me] = 1
+            with self.stats._lock:
+                self.stats.shared_acquired += 1
+
+    def _acquire_update(self, me: int, timeout: float | None) -> None:
+        with self._cond:
+            if self._update_holder == me or self._exclusive_holder == me:
+                raise LockProtocolError("update lock is not reentrant")
+            if me in self._shared_holders:
+                raise LockProtocolError(
+                    "cannot take update while holding shared (deadlock hazard)"
+                )
+
+            def admissible() -> bool:
+                return (
+                    self._update_holder is None
+                    and self._exclusive_holder is None
+                    and not self._exclusive_pending
+                )
+
+            if not admissible():
+                with self.stats._lock:
+                    self.stats.update_waits += 1
+            if not self._wait_for(admissible, timeout):
+                raise LockTimeout("timed out acquiring update lock")
+            self._update_holder = me
+            with self.stats._lock:
+                self.stats.update_acquired += 1
+
+    def _acquire_exclusive(self, me: int, timeout: float | None) -> None:
+        with self._cond:
+            if self._exclusive_holder == me or self._update_holder == me:
+                raise LockProtocolError("exclusive lock is not reentrant")
+            if me in self._shared_holders:
+                raise LockProtocolError(
+                    "cannot take exclusive while holding shared (deadlock hazard)"
+                )
+            self._exclusive_pending += 1
+            try:
+
+                def admissible() -> bool:
+                    return (
+                        self._update_holder is None
+                        and self._exclusive_holder is None
+                        and not self._shared_holders
+                    )
+
+                if not admissible():
+                    with self.stats._lock:
+                        self.stats.exclusive_waits += 1
+                if not self._wait_for(admissible, timeout):
+                    raise LockTimeout("timed out acquiring exclusive lock")
+            finally:
+                self._exclusive_pending -= 1
+            self._exclusive_holder = me
+            with self.stats._lock:
+                self.stats.exclusive_acquired += 1
+            self._cond.notify_all()
+
+    def _wait_for(self, predicate, timeout: float | None) -> bool:
+        """``Condition.wait_for`` under the already-held condition lock."""
+        return self._cond.wait_for(predicate, timeout=timeout)

@@ -1,0 +1,114 @@
+"""The database core: the paper's main-memory log+checkpoint technique."""
+
+from repro.core.audit import (
+    ArchivingDatabase,
+    AuditReader,
+    AuditRecord,
+    archive_name,
+    archived_epochs,
+)
+from repro.core.checkpoint import (
+    CheckpointDamaged,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.core.backup import backup_database, verify_backup
+from repro.core.daemon import CheckpointDaemon
+from repro.core.database import Database
+from repro.core.mirror import MirroringDatabase, restore_from_mirror
+from repro.core.sharding import ShardedDatabase, default_hash
+from repro.core.errors import (
+    DatabaseClosed,
+    DatabaseError,
+    DatabasePoisoned,
+    LogDamaged,
+    OperationExists,
+    PreconditionFailed,
+    RecoveryError,
+    UnknownOperation,
+)
+from repro.core.log import LogEntry, LogScan, LogWriter, ScanOutcome, encode_entry
+from repro.core.policy import (
+    AnyOf,
+    CheckpointPolicy,
+    EveryNUpdates,
+    LogSizeThreshold,
+    Never,
+    Periodic,
+    nightly,
+)
+from repro.core.recovery import RecoveredState, recover
+from repro.core.stats import DatabaseStats, PhaseBreakdown
+from repro.core.transactions import (
+    DEFAULT_OPERATIONS,
+    Operation,
+    OperationRegistry,
+    operation,
+)
+from repro.core.version import (
+    CurrentVersion,
+    checkpoint_name,
+    cleanup_after_restart,
+    commit_new_version,
+    complete_versions,
+    finalize_switch,
+    logfile_name,
+    numbered_files,
+    read_current_version,
+)
+
+__all__ = [
+    "AnyOf",
+    "ArchivingDatabase",
+    "AuditReader",
+    "AuditRecord",
+    "CheckpointDaemon",
+    "CheckpointDamaged",
+    "MirroringDatabase",
+    "ShardedDatabase",
+    "restore_from_mirror",
+    "archive_name",
+    "archived_epochs",
+    "backup_database",
+    "verify_backup",
+    "default_hash",
+    "CheckpointPolicy",
+    "CurrentVersion",
+    "DEFAULT_OPERATIONS",
+    "Database",
+    "DatabaseClosed",
+    "DatabaseError",
+    "DatabasePoisoned",
+    "DatabaseStats",
+    "EveryNUpdates",
+    "LogDamaged",
+    "LogEntry",
+    "LogScan",
+    "LogSizeThreshold",
+    "LogWriter",
+    "Never",
+    "Operation",
+    "OperationExists",
+    "OperationRegistry",
+    "Periodic",
+    "PhaseBreakdown",
+    "PreconditionFailed",
+    "RecoveredState",
+    "RecoveryError",
+    "ScanOutcome",
+    "UnknownOperation",
+    "checkpoint_name",
+    "cleanup_after_restart",
+    "commit_new_version",
+    "complete_versions",
+    "encode_entry",
+    "finalize_switch",
+    "logfile_name",
+    "nightly",
+    "numbered_files",
+    "operation",
+    "read_checkpoint",
+    "read_current_version",
+    "recover",
+    "write_checkpoint",
+]

@@ -1,0 +1,91 @@
+"""Checkpoint files: a complete pickled database state.
+
+File format::
+
+    MAGIC    4 bytes  b"SDB1"
+    length   varint   payload byte count
+    payload  bytes    PickleWrite of the database root
+    crc32    4 bytes  big-endian, over the payload
+
+The checksum stands in for the paper's assumption that "our disks and
+virtual memory give either correct data or an error": over ``SimFS`` a
+torn or damaged page already raises ``HardError``, but over a real
+directory (``LocalFS``) the CRC is what turns silent corruption into a
+detected error so recovery can fall back to an older checkpoint or a
+replica.
+
+Checkpoint files are written once and never modified — the atomicity of a
+checkpoint *switch* comes from the version-file protocol in
+:mod:`repro.core.version`, not from anything in this module.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.errors import RecoveryError
+from repro.pickles.wire import WireReader, encode_varint
+from repro.storage.interface import FileSystem
+
+MAGIC = b"SDB1"
+_CRC_BYTES = 4
+#: stream the body in pieces so huge checkpoints do not double memory
+_CHUNK = 256 * 1024
+
+
+class CheckpointDamaged(RecoveryError):
+    """The checkpoint file is unreadable or fails validation."""
+
+    def __init__(self, name: str, detail: str) -> None:
+        super().__init__(f"checkpoint {name!r} damaged: {detail}")
+        self.name = name
+        self.detail = detail
+
+
+def write_checkpoint(fs: FileSystem, name: str, payload: bytes) -> int:
+    """Write and fsync a checkpoint file; returns bytes written.
+
+    The caller produces ``payload`` with PickleWrite (and charges its CPU
+    cost); this function owns the framing and durability.
+    """
+    header = bytearray(MAGIC)
+    encode_varint(len(payload), header)
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    fs.create(name)
+    fs.append(name, bytes(header))
+    for start in range(0, len(payload), _CHUNK):
+        fs.append(name, payload[start : start + _CHUNK])
+    fs.append(name, crc.to_bytes(_CRC_BYTES, "big"))
+    fs.fsync(name)
+    return len(header) + len(payload) + _CRC_BYTES
+
+
+def read_checkpoint(fs: FileSystem, name: str) -> bytes:
+    """Read and validate a checkpoint file; returns the pickled payload.
+
+    Raises :class:`CheckpointDamaged` on any validation failure and lets
+    the substrate's ``HardError`` propagate for media damage — recovery
+    treats both as "try the previous checkpoint / a replica".
+    """
+    data = fs.read(name)
+    if len(data) < len(MAGIC) + 1 + _CRC_BYTES:
+        raise CheckpointDamaged(name, f"too short ({len(data)} bytes)")
+    if data[: len(MAGIC)] != MAGIC:
+        raise CheckpointDamaged(name, "bad magic")
+    reader = WireReader(data, len(MAGIC))
+    try:
+        length = reader.read_varint()
+    except Exception as exc:
+        raise CheckpointDamaged(name, f"bad length header: {exc}") from exc
+    body_start = reader.offset
+    expected_size = body_start + length + _CRC_BYTES
+    if expected_size != len(data):
+        raise CheckpointDamaged(
+            name,
+            f"size mismatch: header says {expected_size} bytes, file has {len(data)}",
+        )
+    payload = data[body_start : body_start + length]
+    crc_stored = int.from_bytes(data[-_CRC_BYTES:], "big")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc_stored:
+        raise CheckpointDamaged(name, "checksum mismatch")
+    return payload

@@ -1,0 +1,81 @@
+"""A background checkpoint daemon.
+
+The paper's name server checkpoints "from time to time" — in practice a
+nightly job.  The inline policy check (after each update) cannot fire
+during quiet periods; this daemon moves the decision off the update path
+entirely: a thread polls the policy and runs the checkpoint itself, so an
+idle database still gets its nightly checkpoint, and the update that tips
+a threshold never pays the checkpoint latency.
+
+Thread-safety comes from the database's own lock protocol: the daemon's
+``checkpoint()`` takes the update lock like any other writer, so it
+serialises naturally against updates and never blocks enquiries.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.database import Database
+from repro.core.errors import DatabaseClosed
+from repro.core.policy import CheckpointPolicy
+
+
+class CheckpointDaemon:
+    """Runs checkpoints in the background when a policy says so."""
+
+    def __init__(
+        self,
+        db: Database,
+        policy: CheckpointPolicy | None = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        """``policy`` defaults to the database's own policy.
+
+        ``poll_interval`` is real (wall-clock) seconds between policy
+        evaluations; with a simulated database clock the policy still
+        reads simulated time, the daemon merely re-checks it on a wall
+        cadence.
+        """
+        self.db = db
+        self.policy = policy if policy is not None else db.policy
+        self.poll_interval = poll_interval
+        self.checkpoints_taken = 0
+        self.last_error: BaseException | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "CheckpointDaemon":
+        if self._thread is not None:
+            raise RuntimeError("daemon already started")
+        self._thread = threading.Thread(
+            target=self._run, name="checkpoint-daemon", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                if self.policy.should_checkpoint(self.db):
+                    self.db.checkpoint()
+                    self.checkpoints_taken += 1
+            except DatabaseClosed:
+                return
+            except BaseException as exc:  # noqa: BLE001 - surfaced via attribute
+                self.last_error = exc
+                return
+            self._stop.wait(self.poll_interval)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop polling and wait for any in-flight checkpoint to finish."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "CheckpointDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

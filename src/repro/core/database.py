@@ -1,0 +1,413 @@
+"""The database: a typed structure in virtual memory, a log and checkpoints.
+
+This class is the paper's contribution, assembled from the substrates:
+
+* the whole database is an ordinary Python object graph (the *root*),
+  organised however the application likes;
+* an **enquiry** is any read-only function of the root, run under the
+  shared lock — it never touches the disk;
+* an **update** is a registered single-shot transaction, executed with the
+  paper's three-step protocol (verify preconditions under the update lock,
+  commit the pickled parameters to the log, apply to virtual memory under
+  the exclusive lock);
+* a **checkpoint** pickles the entire root under the update lock —
+  consistent, yet never blocking enquiries — and installs it with the
+  atomic version-file switch;
+* **restart** recovers the newest committed state from the disk files.
+
+Example::
+
+    from repro.core import Database, OperationRegistry
+    from repro.storage import LocalFS
+
+    ops = OperationRegistry()
+
+    @ops.operation("deposit")
+    def deposit(root, account, amount):
+        root[account] = root.get(account, 0) + amount
+
+    db = Database(LocalFS("/tmp/bank"), initial=dict, operations=ops)
+    db.update("deposit", "alice", 100)
+    balance = db.enquire(lambda root: root["alice"])
+    db.checkpoint()
+    db.close()
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.concurrency.locks import SUELock
+from repro.core.checkpoint import write_checkpoint
+from repro.core.errors import (
+    DatabaseClosed,
+    DatabaseError,
+    DatabasePoisoned,
+    PreconditionFailed,
+)
+from repro.core.log import LogWriter
+from repro.core.policy import CheckpointPolicy, Never
+from repro.core.recovery import recover
+from repro.core.stats import DatabaseStats
+from repro.core.transactions import DEFAULT_OPERATIONS, OperationRegistry
+from repro.core.version import (
+    VERSION_FILE,
+    checkpoint_name,
+    commit_new_version,
+    finalize_switch,
+    logfile_name,
+)
+from repro.pickles import DEFAULT_REGISTRY, TypeRegistry, pickle_write
+from repro.sim.clock import Clock, Stopwatch, WallClock
+from repro.sim.costmodel import NULL_COST_MODEL, CostModel
+from repro.storage.interface import FileSystem
+
+
+class Database:
+    """A small database: main-memory structure + redo log + checkpoints."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        initial: Callable[[], object] = dict,
+        operations: OperationRegistry | None = None,
+        pickle_registry: TypeRegistry | None = None,
+        clock: Clock | None = None,
+        cost_model: CostModel | None = None,
+        policy: CheckpointPolicy | None = None,
+        keep_versions: int = 1,
+        pad_log_to_page: bool = True,
+        ignore_damaged_log: bool = False,
+        paranoid_enquiries: bool = False,
+        auto_open: bool = True,
+    ) -> None:
+        """Create (and by default open) a database over ``fs``.
+
+        ``initial`` builds the root for a brand-new database; it is not
+        called when committed state already exists on disk.
+
+        ``keep_versions=2`` retains the previous checkpoint+log pair, the
+        paper's optional redundancy against hard errors in the current
+        checkpoint.
+
+        ``pad_log_to_page=False`` reproduces the paper's exact log layout,
+        in which a torn append can damage the previously committed entry
+        sharing its page; the default pads entries to page boundaries.
+        """
+        self.fs = fs
+        self.initial = initial
+        self.operations = operations if operations is not None else DEFAULT_OPERATIONS
+        self.pickle_registry = (
+            pickle_registry if pickle_registry is not None else DEFAULT_REGISTRY
+        )
+        self.clock = clock if clock is not None else getattr(fs, "clock", None) or WallClock()
+        self.cost_model = cost_model if cost_model is not None else NULL_COST_MODEL
+        self.policy = policy if policy is not None else Never()
+        if keep_versions < 1:
+            raise ValueError("keep_versions must be at least 1")
+        self.keep_versions = keep_versions
+        self.pad_log_to_page = pad_log_to_page
+        self.ignore_damaged_log = ignore_damaged_log
+        #: debug mode: verify that enquiries really are read-only by
+        #: comparing a pickle of the root before and after each one.
+        self.paranoid_enquiries = paranoid_enquiries
+        self.page_size = getattr(fs, "page_size", 512)
+
+        self.lock = SUELock()
+        self.stats = DatabaseStats()
+        self.last_checkpoint_time = self.clock.now()
+        self.entries_since_checkpoint = 0
+
+        self._root: object = None
+        self._log: LogWriter | None = None
+        self._version = 0
+        self._open = False
+        self._poisoned: BaseException | None = None
+
+        if auto_open:
+            self.open()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self) -> None:
+        """Run the restart sequence (or bootstrap a brand-new database)."""
+        if self._open:
+            return
+        watch = Stopwatch(self.clock)
+        state = recover(
+            self.fs,
+            self.operations,
+            self.pickle_registry,
+            self.clock,
+            self.cost_model,
+            keep_versions=self.keep_versions,
+            ignore_damaged_log=self.ignore_damaged_log,
+        )
+        if state is None:
+            self._bootstrap()
+            self.stats.record_restart(watch.elapsed(), 0)
+            self._open = True
+            return
+        self._root = state.root
+        self._version = state.version
+        # The writer resumes at the file's true end: recovery has already
+        # truncated any torn tail in strict mode, and in ignore mode the
+        # padded framing realigns the next entry to a page boundary.
+        self._log = LogWriter(
+            self.fs,
+            logfile_name(state.version),
+            page_size=self.page_size,
+            pad_to_page=self.pad_log_to_page,
+            start_seq=state.next_seq,
+        )
+        self.entries_since_checkpoint = state.entries_replayed
+        self.stats.record_restart(watch.elapsed(), state.entries_replayed)
+        self.last_recovery = state
+        self._open = True
+        if state.entries_skipped or state.used_previous_checkpoint:
+            # Damaged files served this recovery; retire them immediately
+            # by checkpointing the recovered state to a fresh version.
+            self.checkpoint()
+
+    def _bootstrap(self) -> None:
+        """First ever start: write version 1 from the initial root."""
+        self._root = self.initial()
+        self._version = 1
+        payload = pickle_write(self._root, self.pickle_registry)
+        self.cost_model.charge_pickle(self.clock, len(payload))
+        write_checkpoint(self.fs, checkpoint_name(1), payload)
+        self.fs.create(logfile_name(1))
+        self.fs.fsync(logfile_name(1))
+        self.fs.write(VERSION_FILE, b"1")
+        self.fs.fsync(VERSION_FILE)
+        self._log = LogWriter(
+            self.fs,
+            logfile_name(1),
+            page_size=self.page_size,
+            pad_to_page=self.pad_log_to_page,
+        )
+        self.last_recovery = None
+
+    def close(self) -> None:
+        """Shut down cleanly.  All committed updates are already durable."""
+        self._open = False
+
+    def __enter__(self) -> "Database":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- operations ----------------------------------------------------------
+
+    def enquire(self, fn: Callable, *args: object, **kwargs: object) -> object:
+        """Run a read-only function of the root under the shared lock.
+
+        ``fn`` must not mutate the root: mutations outside :meth:`update`
+        are invisible to the log and will not survive a restart.  With
+        ``paranoid_enquiries=True`` that rule is *checked* — the root is
+        pickled before and after, and a difference raises — at a cost
+        that makes it a debug/test mode, not a production one.
+        """
+        self._check_usable()
+        with self.lock.shared():
+            self.cost_model.charge_enquiry(self.clock)
+            if self.paranoid_enquiries:
+                before = pickle_write(self._root, self.pickle_registry)
+            result = fn(self._root, *args, **kwargs)
+            if self.paranoid_enquiries:
+                after = pickle_write(self._root, self.pickle_registry)
+                if before != after:
+                    raise DatabaseError(
+                        "enquiry mutated the root; such changes are not "
+                        "logged and would vanish on restart — use update()"
+                    )
+        self.stats.record_enquiry()
+        return result
+
+    def update(self, op_name: str, *args: object, **kwargs: object) -> object:
+        """Execute one single-shot transaction; durable on return.
+
+        The paper's three steps: (1) verify preconditions against virtual
+        memory; (2) commit the parameters to the log — the commit point;
+        (3) apply to virtual memory under the exclusive lock.
+        """
+        self._check_usable()
+        op = self.operations.get(op_name)
+        assert self._log is not None
+        with self.lock.update():
+            watch = Stopwatch(self.clock)
+            try:
+                op.check(self._root, *args, **kwargs)
+            except PreconditionFailed:
+                self.stats.record_rejected_update()
+                raise
+            self.cost_model.charge_explore(self.clock)
+            explore_s = watch.restart()
+
+            payload = pickle_write((op_name, args, kwargs), self.pickle_registry)
+            self.cost_model.charge_pickle(self.clock, len(payload))
+            pickle_s = watch.restart()
+
+            entry = self._log.append(payload)  # the commit point
+            log_write_s = watch.restart()
+
+            self.lock.upgrade()
+            try:
+                try:
+                    result = op.apply(self._root, *args, **kwargs)
+                except Exception as exc:
+                    # The log says this update happened; memory disagrees.
+                    self._poisoned = exc
+                    raise DatabasePoisoned(exc) from exc
+                self.cost_model.charge_modify(self.clock)
+            finally:
+                self.lock.downgrade()
+            apply_s = watch.restart()
+            # Counted under the update lock: a concurrent checkpoint's
+            # reset must order strictly before or after this update.
+            self.entries_since_checkpoint += 1
+
+        self.stats.record_update(
+            explore_s, pickle_s, log_write_s, apply_s, entry.length, len(payload)
+        )
+        if self.policy.should_checkpoint(self):
+            self.checkpoint()
+        return result
+
+    def update_many(self, batch: list[tuple]) -> list[object]:
+        """Group commit: several single-shot transactions, one disk write.
+
+        ``batch`` holds ``(op_name, args)`` or ``(op_name, args, kwargs)``
+        tuples.  This is the paper's suggested improvement — "arranging
+        to record multiple commit records in a single log entry" — with
+        its semantics made precise:
+
+        * durability is amortised: all entries share one fsync;
+        * atomicity stays **per update**: a crash during the commit can
+          durably retain a prefix of the batch (each entry is separately
+          framed and replayed);
+        * preconditions are evaluated against the pre-batch state, so the
+          batched updates must be mutually independent;
+        * no intermediate state is visible to enquiries: the in-memory
+          applications all happen under one exclusive section after the
+          commit.
+        """
+        self._check_usable()
+        if not batch:
+            return []
+        plan = []
+        for item in batch:
+            if len(item) == 2:
+                op_name, args = item
+                kwargs: dict = {}
+            else:
+                op_name, args, kwargs = item
+            plan.append((self.operations.get(op_name), op_name, tuple(args), kwargs))
+        assert self._log is not None
+        with self.lock.update():
+            watch = Stopwatch(self.clock)
+            for op, _name, args, kwargs in plan:
+                try:
+                    op.check(self._root, *args, **kwargs)
+                except PreconditionFailed:
+                    self.stats.record_rejected_update()
+                    raise
+                self.cost_model.charge_explore(self.clock)
+            explore_s = watch.restart() / len(plan)
+
+            payloads = []
+            for _op, name, args, kwargs in plan:
+                payload = pickle_write((name, args, kwargs), self.pickle_registry)
+                self.cost_model.charge_pickle(self.clock, len(payload))
+                payloads.append(payload)
+            pickle_s = watch.restart() / len(plan)
+
+            entries = self._log.append_many(payloads)  # one commit fsync
+            log_write_s = watch.restart() / len(plan)
+
+            results: list[object] = []
+            self.lock.upgrade()
+            try:
+                for op, _name, args, kwargs in plan:
+                    try:
+                        results.append(op.apply(self._root, *args, **kwargs))
+                    except Exception as exc:
+                        self._poisoned = exc
+                        raise DatabasePoisoned(exc) from exc
+                    self.cost_model.charge_modify(self.clock)
+            finally:
+                self.lock.downgrade()
+            apply_s = watch.restart() / len(plan)
+            self.entries_since_checkpoint += len(plan)
+
+        for entry, payload in zip(entries, payloads):
+            self.stats.record_update(
+                explore_s, pickle_s, log_write_s, apply_s,
+                entry.length, len(payload),
+            )
+        if self.policy.should_checkpoint(self):
+            self.checkpoint()
+        return results
+
+    def checkpoint(self) -> int:
+        """Write a checkpoint and reset the log; returns the new version.
+
+        Runs under the update lock: concurrent updates wait (the paper's
+        availability cost, measured in E8/E10), enquiries proceed.
+        """
+        self._check_usable()
+        with self.lock.update():
+            watch = Stopwatch(self.clock)
+            self._before_log_reset(self._version)
+            new_version = self._version + 1
+            payload = pickle_write(self._root, self.pickle_registry)
+            self.cost_model.charge_pickle(self.clock, len(payload))
+            write_checkpoint(self.fs, checkpoint_name(new_version), payload)
+            self.fs.create(logfile_name(new_version))
+            self.fs.fsync(logfile_name(new_version))
+            commit_new_version(self.fs, new_version)  # the commit point
+            finalize_switch(self.fs, new_version, self.keep_versions)
+            self._log = LogWriter(
+                self.fs,
+                logfile_name(new_version),
+                page_size=self.page_size,
+                pad_to_page=self.pad_log_to_page,
+            )
+            self._version = new_version
+            self.entries_since_checkpoint = 0
+            self.last_checkpoint_time = self.clock.now()
+            elapsed = watch.elapsed()
+        self.stats.record_checkpoint(elapsed, len(payload))
+        self.policy.note_checkpoint(self)
+        return new_version
+
+    def _before_log_reset(self, old_version: int) -> None:
+        """Hook: runs under the update lock just before a checkpoint
+        supersedes ``logfile{old_version}``.
+
+        The base database does nothing; :class:`~repro.core.audit.\
+        ArchivingDatabase` copies the log to its archive name here, while
+        no update can slip past it.
+        """
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The current checkpoint version number."""
+        return self._version
+
+    def log_size(self) -> int:
+        """Bytes currently in the log file."""
+        return self._log.size() if self._log is not None else 0
+
+    def log_entry_count(self) -> int:
+        return self.entries_since_checkpoint
+
+    def _check_usable(self) -> None:
+        if not self._open:
+            raise DatabaseClosed("database is not open")
+        if self._poisoned is not None:
+            raise DatabasePoisoned(self._poisoned)

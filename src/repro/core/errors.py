@@ -1,0 +1,65 @@
+"""Errors raised by the database core."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for database core errors."""
+
+
+class DatabaseClosed(DatabaseError):
+    """The database has been closed; no further operations are allowed."""
+
+
+class DatabasePoisoned(DatabaseError):
+    """An update failed *after* its log entry was committed.
+
+    The in-memory state may disagree with the log, so the only safe path
+    is a restart (which replays the log deterministically).  This only
+    happens when an operation violates its contract: the precondition
+    passed but the apply raised.
+    """
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(
+            "database poisoned: an operation's apply raised after its log "
+            f"entry committed ({cause!r}); restart to recover"
+        )
+        self.cause = cause
+
+
+class PreconditionFailed(DatabaseError):
+    """An update's precondition rejected it; nothing was logged or applied.
+
+    Raise this from an operation's precondition (or apply, before any
+    mutation) to abort the update cleanly — e.g. "name already bound",
+    "no such account", or an access-control denial.
+    """
+
+
+class UnknownOperation(DatabaseError):
+    """An update names an operation absent from the registry.
+
+    During replay this usually means the process registered a different
+    set of operations than the one that wrote the log.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown operation {name!r}")
+        self.name = name
+
+
+class OperationExists(DatabaseError):
+    """An operation name was registered twice."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"operation {name!r} is already registered")
+        self.name = name
+
+
+class RecoveryError(DatabaseError):
+    """The restart sequence could not reconstruct a database state."""
+
+
+class LogDamaged(RecoveryError):
+    """The log contains damage that the configured policy will not skip."""

@@ -1,0 +1,93 @@
+"""Checkpoint policies: *when* to pay the checkpoint cost.
+
+The paper leaves this to "the implementor (or the system manager)", noting
+the trade-off: frequent checkpoints block updates and burn time; rare
+checkpoints grow the log, and "restart time (which is mostly proportional
+to the log size) will be too long".  Their conclusion for 10k updates/day
+is "a simple scheme of making a checkpoint each night will suffice".
+
+The database consults its policy after every committed update.  Policies
+read, never mutate, the database.  Experiment E8 sweeps these policies to
+regenerate the availability-versus-restart-time trade-off curve.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.database import Database
+
+
+class CheckpointPolicy:
+    """Decides, after each committed update, whether to checkpoint now."""
+
+    def should_checkpoint(self, db: "Database") -> bool:
+        raise NotImplementedError
+
+    def note_checkpoint(self, db: "Database") -> None:
+        """Called after any checkpoint completes (manual ones included)."""
+
+
+class Never(CheckpointPolicy):
+    """Only explicit :meth:`Database.checkpoint` calls (the default)."""
+
+    def should_checkpoint(self, db: "Database") -> bool:
+        return False
+
+
+class EveryNUpdates(CheckpointPolicy):
+    """Checkpoint after every ``n`` committed updates."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        self.n = n
+
+    def should_checkpoint(self, db: "Database") -> bool:
+        return db.entries_since_checkpoint >= self.n
+
+
+class LogSizeThreshold(CheckpointPolicy):
+    """Checkpoint when the log exceeds ``max_bytes`` on disk."""
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+
+    def should_checkpoint(self, db: "Database") -> bool:
+        return db.log_size() >= self.max_bytes
+
+
+class Periodic(CheckpointPolicy):
+    """Checkpoint when ``interval_seconds`` have passed on the db's clock.
+
+    Under a simulated clock, ``Periodic(86400.0)`` is exactly the paper's
+    "checkpoint each night" once a day of virtual time has been charged.
+    """
+
+    def __init__(self, interval_seconds: float) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval must be positive")
+        self.interval_seconds = interval_seconds
+
+    def should_checkpoint(self, db: "Database") -> bool:
+        return db.clock.now() - db.last_checkpoint_time >= self.interval_seconds
+
+
+class AnyOf(CheckpointPolicy):
+    """Checkpoint when any member policy says so."""
+
+    def __init__(self, *policies: CheckpointPolicy) -> None:
+        if not policies:
+            raise ValueError("AnyOf needs at least one policy")
+        self.policies = policies
+
+    def should_checkpoint(self, db: "Database") -> bool:
+        return any(policy.should_checkpoint(db) for policy in self.policies)
+
+
+def nightly() -> Periodic:
+    """The paper's recommendation: one checkpoint per (virtual) day."""
+    return Periodic(86_400.0)

@@ -1,0 +1,222 @@
+"""The restart sequence: checkpoint restore + log replay.
+
+The paper, section 3:
+
+    Restarting the system from its disk files consists of three steps:
+    determine which is the current checkpoint (and discard any partially
+    written ones, old ones or old logs); read the current checkpoint to
+    obtain an old version of the virtual memory data structure; replay
+    the updates from the log and apply them to the virtual memory
+    structure to obtain the most recent state of the database.
+
+Plus the section-4 failure handling:
+
+* a partially written (torn) trailing log entry is detected and discarded;
+* a damaged current checkpoint falls back, when ``keep_versions > 1``, to
+  "reloading the previous checkpoint, replaying the previous log, then
+  replaying the current log";
+* with ``ignore_damaged_log=True``, a hard error confined to one log
+  entry's pages skips just that entry (for applications whose updates are
+  independent — the name server's are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.checkpoint import CheckpointDamaged, read_checkpoint
+from repro.core.errors import RecoveryError, UnknownOperation
+from repro.core.log import LogScan
+from repro.core.transactions import OperationRegistry
+from repro.core.version import (
+    CurrentVersion,
+    checkpoint_name,
+    cleanup_after_restart,
+    complete_versions,
+    logfile_name,
+    read_current_version,
+)
+from repro.pickles import TypeRegistry, pickle_read
+from repro.sim.clock import Clock
+from repro.sim.costmodel import CostModel
+from repro.storage.errors import HardError
+from repro.storage.interface import FileSystem
+
+
+@dataclass
+class RecoveredState:
+    """Everything :class:`~repro.core.database.Database` needs to resume."""
+
+    root: object
+    version: int
+    next_seq: int
+    log_offset: int
+    entries_replayed: int
+    log_truncated: bool
+    damage_note: str | None
+    entries_skipped: int
+    used_previous_checkpoint: bool
+
+
+def recover(
+    fs: FileSystem,
+    operations: OperationRegistry,
+    registry: TypeRegistry,
+    clock: Clock,
+    cost_model: CostModel,
+    keep_versions: int = 1,
+    ignore_damaged_log: bool = False,
+) -> RecoveredState | None:
+    """Run the restart sequence; ``None`` means no committed state exists.
+
+    Raises :class:`RecoveryError` when a state exists but cannot be
+    reconstructed locally (the paper's answer at that point is "restore
+    from a replica" — see :mod:`repro.nameserver.replication`).
+    """
+    current = read_current_version(fs)
+    if current is None:
+        return None
+    cleanup_after_restart(fs, current, keep_versions)
+
+    used_previous = False
+    try:
+        root = _load_checkpoint(fs, current.number, registry, clock, cost_model)
+    except (CheckpointDamaged, HardError) as exc:
+        root, used_previous = _fall_back_to_previous(
+            fs,
+            current,
+            operations,
+            registry,
+            clock,
+            cost_model,
+            ignore_damaged_log,
+            cause=exc,
+        )
+
+    outcome, replayed, skipped = _replay_log(
+        fs,
+        logfile_name(current.number),
+        root,
+        operations,
+        registry,
+        clock,
+        cost_model,
+        ignore_damaged_log,
+    )
+    if outcome.truncated:
+        # Cut the torn or damaged tail off so the writer can resume
+        # appending cleanly after it.
+        fs.truncate(logfile_name(current.number), outcome.good_length)
+
+    return RecoveredState(
+        root=root,
+        version=current.number,
+        next_seq=outcome.last_seq + 1,
+        log_offset=outcome.good_length,
+        entries_replayed=replayed,
+        log_truncated=outcome.truncated,
+        damage_note=outcome.damage,
+        entries_skipped=skipped,
+        used_previous_checkpoint=used_previous,
+    )
+
+
+def _load_checkpoint(
+    fs: FileSystem,
+    version: int,
+    registry: TypeRegistry,
+    clock: Clock,
+    cost_model: CostModel,
+) -> object:
+    payload = read_checkpoint(fs, checkpoint_name(version))
+    cost_model.charge_unpickle(clock, len(payload))
+    return pickle_read(payload, registry)
+
+
+def _fall_back_to_previous(
+    fs: FileSystem,
+    current: CurrentVersion,
+    operations: OperationRegistry,
+    registry: TypeRegistry,
+    clock: Clock,
+    cost_model: CostModel,
+    ignore_damaged_log: bool,
+    cause: Exception,
+) -> tuple[object, bool]:
+    """Section 4's hard-error recipe using the retained previous pair."""
+    previous_candidates = [
+        v for v in complete_versions(fs) if v < current.number
+    ]
+    if not previous_candidates:
+        raise RecoveryError(
+            f"checkpoint {current.number} is damaged and no previous "
+            f"checkpoint is retained; restore from a replica or backup"
+        ) from cause
+    previous = previous_candidates[-1]
+    try:
+        root = _load_checkpoint(fs, previous, registry, clock, cost_model)
+    except (CheckpointDamaged, HardError) as second:
+        raise RecoveryError(
+            f"checkpoints {current.number} and {previous} are both damaged"
+        ) from second
+    # Replay the *previous* log in full to reach the state the damaged
+    # checkpoint captured, before the caller replays the current log.
+    outcome, _, _ = _replay_log(
+        fs,
+        logfile_name(previous),
+        root,
+        operations,
+        registry,
+        clock,
+        cost_model,
+        ignore_damaged_log,
+    )
+    if outcome.truncated:
+        raise RecoveryError(
+            f"previous log {logfile_name(previous)!r} is damaged "
+            f"({outcome.damage}); cannot bridge to the current log"
+        ) from cause
+    return root, True
+
+
+def _replay_log(
+    fs: FileSystem,
+    name: str,
+    root: object,
+    operations: OperationRegistry,
+    registry: TypeRegistry,
+    clock: Clock,
+    cost_model: CostModel,
+    ignore_damaged: bool,
+):
+    """Apply every committed update in ``name`` to ``root``."""
+    scan = LogScan(fs, name, ignore_damaged=ignore_damaged)
+    replayed = 0
+    for entry in scan:
+        cost_model.charge_unpickle(clock, len(entry.payload))
+        try:
+            op_name, args, kwargs = pickle_read(entry.payload, registry)
+        except Exception as exc:
+            raise RecoveryError(
+                f"log entry seq {entry.seq} of {name!r} does not decode: {exc!r}"
+            ) from exc
+        try:
+            op = operations.get(op_name)
+        except UnknownOperation as exc:
+            raise RecoveryError(
+                f"log entry seq {entry.seq} of {name!r} names unknown "
+                f"operation {op_name!r}; the replaying process must register "
+                f"the same operations as the writer"
+            ) from exc
+        try:
+            op.apply(root, *args, **kwargs)
+        except Exception as exc:
+            raise RecoveryError(
+                f"replaying seq {entry.seq} ({op_name!r}) of {name!r} "
+                f"raised {exc!r}; operations must be deterministic"
+            ) from exc
+        # Replay applies without re-verifying preconditions, so only the
+        # modify phase's CPU is charged (plus the unpickle above).
+        cost_model.charge_modify(clock)
+        replayed += 1
+    return scan.outcome, replayed, scan.outcome.damaged_skipped

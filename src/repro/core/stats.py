@@ -1,0 +1,135 @@
+"""Instrumentation for the database core.
+
+Every quantity the paper reports in section 5 is measured here: counts of
+enquiries/updates/checkpoints/restarts, and the per-phase breakdown of an
+update (explore, pickle, log write, modify) that reproduces the paper's
+"54 msecs = 6 + 22 + 20 + 6" decomposition.  Timings are taken on whatever
+clock the database runs on, so under a :class:`~repro.sim.clock.SimClock`
+they are modelled 1987 times and under a wall clock they are real times.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseBreakdown:
+    """Accumulated and last-observed durations of one update's phases."""
+
+    explore_seconds: float = 0.0
+    pickle_seconds: float = 0.0
+    log_write_seconds: float = 0.0
+    apply_seconds: float = 0.0
+
+    def total(self) -> float:
+        return (
+            self.explore_seconds
+            + self.pickle_seconds
+            + self.log_write_seconds
+            + self.apply_seconds
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "explore_seconds": self.explore_seconds,
+            "pickle_seconds": self.pickle_seconds,
+            "log_write_seconds": self.log_write_seconds,
+            "apply_seconds": self.apply_seconds,
+            "total_seconds": self.total(),
+        }
+
+
+@dataclass
+class DatabaseStats:
+    """Counters and timing accumulators for one database instance."""
+
+    enquiries: int = 0
+    updates: int = 0
+    updates_rejected: int = 0
+    checkpoints: int = 0
+    restarts: int = 0
+    entries_replayed: int = 0
+    log_entries_written: int = 0
+    log_bytes_written: int = 0
+    pickle_bytes_written: int = 0
+    checkpoint_bytes_written: int = 0
+    last_checkpoint_seconds: float = 0.0
+    last_restart_seconds: float = 0.0
+    cumulative: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    last_update: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_enquiry(self) -> None:
+        with self._lock:
+            self.enquiries += 1
+
+    def record_rejected_update(self) -> None:
+        with self._lock:
+            self.updates_rejected += 1
+
+    def record_update(
+        self,
+        explore_seconds: float,
+        pickle_seconds: float,
+        log_write_seconds: float,
+        apply_seconds: float,
+        entry_bytes: int,
+        payload_bytes: int,
+    ) -> None:
+        with self._lock:
+            self.updates += 1
+            self.log_entries_written += 1
+            self.log_bytes_written += entry_bytes
+            self.pickle_bytes_written += payload_bytes
+            self.last_update = PhaseBreakdown(
+                explore_seconds, pickle_seconds, log_write_seconds, apply_seconds
+            )
+            self.cumulative.explore_seconds += explore_seconds
+            self.cumulative.pickle_seconds += pickle_seconds
+            self.cumulative.log_write_seconds += log_write_seconds
+            self.cumulative.apply_seconds += apply_seconds
+
+    def record_checkpoint(self, seconds: float, nbytes: int) -> None:
+        with self._lock:
+            self.checkpoints += 1
+            self.last_checkpoint_seconds = seconds
+            self.checkpoint_bytes_written += nbytes
+
+    def record_restart(self, seconds: float, entries_replayed: int) -> None:
+        with self._lock:
+            self.restarts += 1
+            self.last_restart_seconds = seconds
+            self.entries_replayed += entries_replayed
+
+    def mean_update_breakdown(self) -> PhaseBreakdown:
+        """Average per-update phase times over the life of the instance."""
+        with self._lock:
+            if not self.updates:
+                return PhaseBreakdown()
+            n = self.updates
+            return PhaseBreakdown(
+                self.cumulative.explore_seconds / n,
+                self.cumulative.pickle_seconds / n,
+                self.cumulative.log_write_seconds / n,
+                self.cumulative.apply_seconds / n,
+            )
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "enquiries": self.enquiries,
+                "updates": self.updates,
+                "updates_rejected": self.updates_rejected,
+                "checkpoints": self.checkpoints,
+                "restarts": self.restarts,
+                "entries_replayed": self.entries_replayed,
+                "log_entries_written": self.log_entries_written,
+                "log_bytes_written": self.log_bytes_written,
+                "pickle_bytes_written": self.pickle_bytes_written,
+                "checkpoint_bytes_written": self.checkpoint_bytes_written,
+                "last_checkpoint_seconds": self.last_checkpoint_seconds,
+                "last_restart_seconds": self.last_restart_seconds,
+                "last_update": self.last_update.as_dict(),
+            }

@@ -1,0 +1,136 @@
+"""Single-shot update transactions.
+
+The paper's databases support exactly one kind of update: a *single-shot
+transaction* — "there are no update transactions composed of multiple
+client actions, and the database implementation does not make any
+intermediate state visible to its clients".
+
+We model one as a named, registered :class:`Operation` with two phases
+that mirror the paper's three-step update protocol:
+
+1. ``precondition(root, *args, **kwargs)`` — runs under the *update* lock,
+   reads the virtual memory structure, raises
+   :class:`~repro.core.errors.PreconditionFailed` to abort cleanly before
+   anything reaches the disk;
+2. ``apply(root, *args, **kwargs)`` — runs under the *exclusive* lock,
+   after the log entry is durable, and performs the mutation.
+
+The **replay contract**: ``apply`` must be a deterministic function of the
+root and its (pickleable) arguments, because recovery replays it from the
+log.  No wall-clock reads, no randomness, no I/O — pass such values in as
+arguments instead.  Preconditions are *not* re-run during replay: the log
+only contains updates whose preconditions passed, and replaying them
+against the same earlier state must succeed by determinism.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.core.errors import OperationExists, UnknownOperation
+
+
+class Operation:
+    """A named single-shot transaction type."""
+
+    def __init__(
+        self,
+        name: str,
+        apply: Callable,
+        precondition: Callable | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("operation name must be non-empty")
+        self.name = name
+        self.apply = apply
+        self._precondition = precondition
+
+    def precondition(self, fn: Callable) -> Callable:
+        """Decorator attaching a precondition to this operation.
+
+        >>> ops = OperationRegistry()
+        >>> @ops.operation("credit")
+        ... def credit(root, account, amount):
+        ...     root[account] += amount
+        >>> @credit.precondition
+        ... def _credit_pre(root, account, amount):
+        ...     if account not in root:
+        ...         raise PreconditionFailed(f"no account {account!r}")
+        """
+        self._precondition = fn
+        return fn
+
+    def check(self, root: object, *args: object, **kwargs: object) -> None:
+        """Run the precondition (a no-op when none is attached)."""
+        if self._precondition is not None:
+            self._precondition(root, *args, **kwargs)
+
+    def __call__(self, root: object, *args: object, **kwargs: object) -> object:
+        return self.apply(root, *args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"Operation({self.name!r})"
+
+
+class OperationRegistry:
+    """The set of update operations a database understands.
+
+    The registry must be identical (same names, same semantics) in every
+    process that replays a given log — it is the schema of the log.
+    """
+
+    def __init__(self) -> None:
+        self._operations: dict[str, Operation] = {}
+        self._lock = threading.Lock()
+
+    def operation(self, name: str | None = None) -> Callable[[Callable], Operation]:
+        """Decorator registering a function as an operation's apply phase."""
+
+        def decorate(fn: Callable) -> Operation:
+            return self.register(name if name is not None else fn.__name__, fn)
+
+        return decorate
+
+    def register(
+        self,
+        name: str,
+        apply: Callable,
+        precondition: Callable | None = None,
+    ) -> Operation:
+        op = Operation(name, apply, precondition)
+        with self._lock:
+            if name in self._operations:
+                raise OperationExists(name)
+            self._operations[name] = op
+        return op
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            if name not in self._operations:
+                raise UnknownOperation(name)
+            del self._operations[name]
+
+    def get(self, name: str) -> Operation:
+        with self._lock:
+            op = self._operations.get(name)
+        if op is None:
+            raise UnknownOperation(name)
+        return op
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._operations
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._operations)
+
+
+#: Default registry used by databases constructed without an explicit one.
+DEFAULT_OPERATIONS = OperationRegistry()
+
+
+def operation(name: str | None = None) -> Callable[[Callable], Operation]:
+    """Module-level convenience: register into :data:`DEFAULT_OPERATIONS`."""
+    return DEFAULT_OPERATIONS.operation(name)

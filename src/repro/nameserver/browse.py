@@ -1,0 +1,77 @@
+"""Browsing enquiries: pattern enumeration over the name tree.
+
+The paper's name server "provides a variety of enquiry and browsing
+operations"; this module is that variety.  Patterns are paths whose
+components may be:
+
+* a literal string — matches that component exactly;
+* ``*`` — matches exactly one component, any name;
+* ``**`` — matches zero or more components;
+* a string containing ``*`` — shell-style matching within one component
+  (``printer*`` matches ``printer3``).
+
+Matching walks the tree of hash tables directly, so enumeration is a pure
+virtual-memory enquiry like everything else — the point the paper makes
+about caching applies: the enumeration the paper says custom caches could
+accelerate is here served by the resident structure itself.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Iterator
+
+from repro.nameserver.tree import Node, Path, parse_path
+
+
+def parse_pattern(pattern: object) -> Path:
+    """Like :func:`parse_path` but admits wildcard components."""
+    if isinstance(pattern, str):
+        parts: tuple[str, ...] = tuple(pattern.split("/")) if pattern else ()
+    elif isinstance(pattern, (tuple, list)):
+        parts = tuple(pattern)
+    else:
+        parts = ()
+    # Wildcards aside, the same shape rules as paths apply.
+    checked = parse_path([part if part != "**" else "x" for part in parts])
+    del checked
+    return parts
+
+
+def glob_entries(root: Node, pattern: Path) -> list[tuple[Path, object]]:
+    """All live ``(path, value)`` pairs matching ``pattern``, sorted.
+
+    Deduplicated: overlapping ``**`` expansions match a path only once.
+    """
+    unique: dict[Path, object] = {}
+    for path, value in _walk(root, tuple(pattern), ()):
+        unique.setdefault(path, value)
+    return sorted(unique.items())
+
+
+def _walk(
+    node: Node, pattern: tuple[str, ...], prefix: Path
+) -> Iterator[tuple[Path, object]]:
+    if not pattern:
+        if node.leaf is not None and not node.leaf.deleted:
+            yield prefix, node.leaf.value
+        return
+    head, rest = pattern[0], pattern[1:]
+    if head == "**":
+        # Zero components…
+        yield from _walk(node, rest, prefix)
+        # …or one-or-more: descend everywhere, keeping the ``**``.
+        for name in sorted(node.children):
+            yield from _walk(node.children[name], pattern, prefix + (name,))
+        return
+    for name in sorted(node.children):
+        if _component_matches(name, head):
+            yield from _walk(node.children[name], rest, prefix + (name,))
+
+
+def _component_matches(name: str, component: str) -> bool:
+    if component == "*":
+        return True
+    if "*" in component or "?" in component or "[" in component:
+        return fnmatch.fnmatchcase(name, component)
+    return name == component

@@ -1,0 +1,84 @@
+"""Client-side access to a remote name server.
+
+``RemoteNameServer`` wraps the generated RPC proxy with the same Python
+API as a local :class:`~repro.nameserver.server.NameServer` — paths may be
+``"a/b/c"`` strings or tuples, values are arbitrary pickleable objects —
+so application code cannot tell a local instance from a remote one (the
+paper's clients likewise saw only strongly typed procedures).
+"""
+
+from __future__ import annotations
+
+from repro.nameserver.server import NAMESERVER_INTERFACE
+from repro.nameserver.tree import parse_path
+from repro.rpc import RpcClient, Transport
+
+
+class RemoteNameServer:
+    """A typed facade over the generated name server stubs."""
+
+    def __init__(self, transport: Transport) -> None:
+        self._client = RpcClient(NAMESERVER_INTERFACE, transport)
+        self._proxy = self._client.proxy()
+
+    # -- enquiries -----------------------------------------------------------
+
+    def lookup(self, path) -> object:
+        return self._proxy.lookup(list(parse_path(path)))
+
+    def exists(self, path) -> bool:
+        return self._proxy.exists(list(parse_path(path)))
+
+    def list_dir(self, path=()) -> list[str]:
+        parsed = list(parse_path(path)) if path else []
+        return self._proxy.list_dir(parsed)
+
+    def read_subtree(self, path=()) -> list:
+        parsed = list(parse_path(path)) if path else []
+        return self._proxy.read_subtree(parsed)
+
+    def count(self) -> int:
+        return self._proxy.count()
+
+    def glob(self, pattern) -> list:
+        from repro.nameserver.browse import parse_pattern
+
+        return self._proxy.glob(list(parse_pattern(pattern)))
+
+    # -- updates -------------------------------------------------------------
+
+    def bind(self, path, value, exclusive: bool = False) -> None:
+        self._proxy.bind(list(parse_path(path)), value, bool(exclusive))
+
+    def unbind(self, path) -> None:
+        self._proxy.unbind(list(parse_path(path)))
+
+    def unbind_subtree(self, path) -> None:
+        self._proxy.unbind_subtree(list(parse_path(path)))
+
+    def write_subtree(self, path, entries) -> None:
+        canonical = [(list(parse_path(rel)), value) for rel, value in entries]
+        self._proxy.write_subtree(list(parse_path(path)), canonical)
+
+    # -- replication hooks ------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        return self._proxy.summary()
+
+    def updates_since(self, vector: dict[str, int]) -> list:
+        return self._proxy.updates_since(dict(vector))
+
+    def apply_remote(self, records: list) -> int:
+        return self._proxy.apply_remote(records)
+
+    def export_state(self) -> list:
+        return self._proxy.export_state()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def calls_made(self) -> int:
+        return self._client.calls_made
+
+    def close(self) -> None:
+        self._client.close()

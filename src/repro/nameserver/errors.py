@@ -1,0 +1,52 @@
+"""Errors raised by the name server.
+
+The update-shaped errors derive from
+:class:`~repro.core.errors.PreconditionFailed` so the database aborts the
+update before anything reaches the log, and they are registered on the RPC
+interface so remote clients receive the same exception types.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PreconditionFailed
+
+
+class NameServerError(Exception):
+    """Base class for name server errors."""
+
+
+class NameNotFound(NameServerError, PreconditionFailed):
+    """The path names no live value."""
+
+    def __init__(self, path) -> None:
+        super().__init__(_message("name not found", path))
+
+
+class NameExists(NameServerError, PreconditionFailed):
+    """An exclusive bind found the name already bound."""
+
+    def __init__(self, path) -> None:
+        super().__init__(_message("name already bound", path))
+
+
+class BadPath(NameServerError, PreconditionFailed):
+    """The path is empty or contains an empty component."""
+
+    def __init__(self, path) -> None:
+        super().__init__(_message("bad path", path))
+
+
+def format_path(path) -> str:
+    if isinstance(path, str):
+        return path
+    if isinstance(path, (tuple, list)):
+        return "/".join(str(part) for part in path)
+    return repr(path)
+
+
+def _message(prefix: str, path) -> str:
+    # When an RPC client reconstructs the exception from the remote
+    # message, the prefix is already present; do not stack it.
+    if isinstance(path, str) and path.startswith(prefix):
+        return path
+    return f"{prefix}: {format_path(path)}"

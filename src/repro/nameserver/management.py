@@ -1,0 +1,125 @@
+"""Management interface: the paper's server administration surface.
+
+Section 6 counts, among the "other parts of the name server",
+"management interfaces to the servers".  This module is that interface:
+a second RPC interface exported alongside the name service proper, giving
+operators remote access to statistics, checkpoint control, replication
+status and synchronisation triggers — without touching the data plane.
+
+    manager = ManagementService(replica)
+    rpc.export(MANAGEMENT_INTERFACE, manager)
+
+Client side, :class:`RemoteManagement` wraps the generated proxy.
+"""
+
+from __future__ import annotations
+
+from repro.nameserver.server import NameServer
+from repro.rpc import (
+    Bool,
+    DictOf,
+    Float,
+    Int,
+    Interface,
+    Pickled,
+    RpcClient,
+    Str,
+    Transport,
+)
+
+
+class ManagementService:
+    """The server-side implementation, wrapping a NameServer/Replica."""
+
+    def __init__(self, server: NameServer) -> None:
+        self.server = server
+
+    # -- status -----------------------------------------------------------------
+
+    def status(self) -> dict:
+        """A one-call health summary."""
+        db = self.server.db
+        return {
+            "replica_id": self.server.replica_id,
+            "version": db.version,
+            "names": self.server.count(),
+            "log_bytes": db.log_size(),
+            "entries_since_checkpoint": db.entries_since_checkpoint,
+            "clock": db.clock.now(),
+        }
+
+    def statistics(self) -> dict:
+        """The full counter snapshot (enquiries, updates, timings…)."""
+        return self.server.stats.snapshot()
+
+    def lock_statistics(self) -> dict:
+        return self.server.db.lock.stats.snapshot()
+
+    def version(self) -> int:
+        return self.server.db.version
+
+    def log_bytes(self) -> int:
+        return self.server.db.log_size()
+
+    def estimated_restart_seconds(self, per_entry_seconds: float) -> float:
+        """Worst-case restart estimate at a given replay cost."""
+        db = self.server.db
+        return 20.0 + db.entries_since_checkpoint * per_entry_seconds
+
+    # -- control ----------------------------------------------------------------
+
+    def force_checkpoint(self) -> int:
+        """Run a checkpoint now; returns the new version number."""
+        return self.server.checkpoint()
+
+    def replication_vector(self) -> dict[str, int]:
+        return self.server.summary()
+
+    def propagate(self) -> int:
+        """Push pending updates to peers (replicas only); returns count."""
+        propagate = getattr(self.server, "propagate", None)
+        if propagate is None:
+            return 0
+        return propagate()
+
+    def is_replica(self) -> bool:
+        return hasattr(self.server, "sync_from")
+
+
+MANAGEMENT_INTERFACE = Interface("Management", version=1)
+MANAGEMENT_INTERFACE.method("status", returns=Pickled())
+MANAGEMENT_INTERFACE.method("statistics", returns=Pickled())
+MANAGEMENT_INTERFACE.method("lock_statistics", returns=Pickled())
+MANAGEMENT_INTERFACE.method("version", returns=Int)
+MANAGEMENT_INTERFACE.method("log_bytes", returns=Int)
+MANAGEMENT_INTERFACE.method(
+    "estimated_restart_seconds",
+    params=[("per_entry_seconds", Float)],
+    returns=Float,
+)
+MANAGEMENT_INTERFACE.method("force_checkpoint", returns=Int)
+MANAGEMENT_INTERFACE.method("replication_vector", returns=DictOf(Str, Int))
+MANAGEMENT_INTERFACE.method("propagate", returns=Int)
+MANAGEMENT_INTERFACE.method("is_replica", returns=Bool)
+
+
+class RemoteManagement:
+    """Typed client facade over the generated management stubs."""
+
+    def __init__(self, transport: Transport) -> None:
+        self._client = RpcClient(MANAGEMENT_INTERFACE, transport)
+        proxy = self._client.proxy()
+        # The facade is one-to-one; bind the stubs directly.
+        self.status = proxy.status
+        self.statistics = proxy.statistics
+        self.lock_statistics = proxy.lock_statistics
+        self.version = proxy.version
+        self.log_bytes = proxy.log_bytes
+        self.estimated_restart_seconds = proxy.estimated_restart_seconds
+        self.force_checkpoint = proxy.force_checkpoint
+        self.replication_vector = proxy.replication_vector
+        self.propagate = proxy.propagate
+        self.is_replica = proxy.is_replica
+
+    def close(self) -> None:
+        self._client.close()

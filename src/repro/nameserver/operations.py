@@ -1,0 +1,212 @@
+"""The name server's single-shot transactions.
+
+All updates flow through exactly two registered operations:
+
+* ``ns_local`` — an update originated at this replica.  It assigns the
+  update an identity ``(replica_id, seq)`` and a Lamport stamp, performs
+  the action, and records the update in the replication history.  Both
+  counters live *inside the root*, so a log replay regenerates identical
+  ids and stamps — the determinism the replay contract requires.
+
+* ``ns_remote`` — a batch of updates received from a peer replica.
+  Idempotent (already-applied ids are skipped) and commutative per name
+  (last-writer-wins by ``(lamport, origin)``), which is what lets the
+  anti-entropy protocol run in any order and still converge.
+
+The database root is a dictionary::
+
+    {
+        "replica":  str,                  # this replica's id
+        "lamport":  int,                  # Lamport clock
+        "next_seq": int,                  # local update counter
+        "tree":     Node,                 # the tree of hash tables
+        "applied":  set[(origin, seq)],   # update ids seen
+        "vector":   {origin: max seq},    # version vector (for sync)
+        "history":  [(id, lamport, action, params), ...],
+    }
+
+Actions (the ``action``/``params`` pairs):
+
+* ``("bind", (path, value, exclusive))`` — bind a value at a path;
+* ``("unbind", (path,))`` — tombstone one binding;
+* ``("unbind_subtree", (path,))`` — tombstone everything at/below a path;
+* ``("write_subtree", (path, entries))`` — replace a whole subtree: every
+  existing live leaf below the path is tombstoned unless re-bound by
+  ``entries`` (a list of ``(relative path, value)`` pairs).  This is the
+  paper's "update operations for any set of sub-trees" as one single-shot
+  transaction — one log entry, one disk write.
+"""
+
+from __future__ import annotations
+
+from repro.core.transactions import OperationRegistry
+from repro.nameserver.errors import BadPath, NameExists, NameNotFound
+from repro.nameserver.tree import (
+    Leaf,
+    Node,
+    Path,
+    ensure_node,
+    find_node,
+    iter_leaves,
+    live_leaf,
+    parse_path,
+)
+
+NAMESERVER_OPS = OperationRegistry()
+
+#: A history record: (update id, lamport, action, params)
+Record = tuple[tuple[str, int], int, str, tuple]
+
+
+def new_root(replica_id: str = "primary") -> dict:
+    """A fresh name server database root."""
+    if not replica_id:
+        raise ValueError("replica_id must be non-empty")
+    return {
+        "replica": replica_id,
+        "lamport": 0,
+        "next_seq": 1,
+        "tree": Node(),
+        "applied": set(),
+        "vector": {},
+        "history": [],
+    }
+
+
+@NAMESERVER_OPS.operation("ns_local")
+def ns_local(root: dict, action: str, params: tuple):
+    """Apply a locally originated update; returns its update id."""
+    seq = root["next_seq"]
+    root["next_seq"] = seq + 1
+    root["lamport"] += 1
+    lamport = root["lamport"]
+    origin = root["replica"]
+    update_id = (origin, seq)
+    _perform(root["tree"], action, params, lamport, origin)
+    _record(root, update_id, lamport, action, params)
+    return update_id
+
+
+@ns_local.precondition
+def _ns_local_pre(root: dict, action: str, params: tuple) -> None:
+    tree = root["tree"]
+    if action == "bind":
+        path, _value, exclusive = params
+        _validate(path)
+        if exclusive and live_leaf(tree, path) is not None:
+            raise NameExists(path)
+    elif action == "unbind":
+        (path,) = params
+        _validate(path)
+        if live_leaf(tree, path) is None:
+            raise NameNotFound(path)
+    elif action == "unbind_subtree":
+        (path,) = params
+        _validate(path)
+        node = find_node(tree, path)
+        if node is None or not any(True for _ in iter_leaves(node)):
+            raise NameNotFound(path)
+    elif action == "write_subtree":
+        path, entries = params
+        _validate(path)
+        for relative, _value in entries:
+            _validate(path + tuple(relative))
+    else:
+        raise BadPath(f"unknown action {action!r}")
+
+
+@NAMESERVER_OPS.operation("ns_remote")
+def ns_remote(root: dict, records: list[Record]) -> int:
+    """Apply a batch of peer updates; returns how many were new."""
+    fresh = 0
+    for update_id, lamport, action, params in records:
+        update_id = tuple(update_id)
+        if update_id in root["applied"]:
+            continue
+        root["lamport"] = max(root["lamport"], lamport)
+        origin, seq = update_id
+        if origin == root["replica"] and seq >= root["next_seq"]:
+            # A restored replica re-learns its own past updates from a
+            # peer; later local updates must not reuse those ids.
+            root["next_seq"] = seq + 1
+        _perform(root["tree"], action, params, lamport, origin)
+        _record(root, update_id, lamport, action, params)
+        fresh += 1
+    return fresh
+
+
+def _record(
+    root: dict, update_id: tuple[str, int], lamport: int, action: str, params: tuple
+) -> None:
+    root["applied"].add(update_id)
+    origin, seq = update_id
+    if seq > root["vector"].get(origin, 0):
+        root["vector"][origin] = seq
+    root["history"].append((update_id, lamport, action, params))
+
+
+def _validate(path: object) -> Path:
+    return parse_path(path)
+
+
+def _perform(
+    tree: Node, action: str, params: tuple, lamport: int, origin: str
+) -> None:
+    if action == "bind":
+        path, value, _exclusive = params
+        _set_leaf(tree, tuple(path), value, lamport, origin, deleted=False)
+    elif action == "unbind":
+        (path,) = params
+        _set_leaf(tree, tuple(path), None, lamport, origin, deleted=True)
+    elif action == "unbind_subtree":
+        (path,) = params
+        node = find_node(tree, tuple(path))
+        if node is not None:
+            for relative, _leaf in list(iter_leaves(node)):
+                _set_leaf(
+                    tree, tuple(path) + relative, None, lamport, origin, deleted=True
+                )
+    elif action == "write_subtree":
+        path, entries = params
+        base = tuple(path)
+        kept = {base + tuple(relative) for relative, _value in entries}
+        node = find_node(tree, base)
+        if node is not None:
+            for relative, _leaf in list(iter_leaves(node)):
+                absolute = base + relative
+                if absolute not in kept:
+                    _set_leaf(tree, absolute, None, lamport, origin, deleted=True)
+        for relative, value in entries:
+            _set_leaf(tree, base + tuple(relative), value, lamport, origin, False)
+    else:
+        raise ValueError(f"unknown action {action!r}")
+
+
+def _set_leaf(
+    tree: Node,
+    path: Path,
+    value: object,
+    lamport: int,
+    origin: str,
+    deleted: bool,
+) -> None:
+    """Write a leaf (or tombstone) if the stamp wins; last writer wins.
+
+    The comparison key is ``(lamport, origin)``: Lamport order first, the
+    origin id as a deterministic tiebreak, so every replica resolves a
+    conflict identically.
+    """
+    node = ensure_node(tree, path)
+    existing = node.leaf
+    if existing is not None and existing.stamp() >= (lamport, origin):
+        return
+    node.leaf = Leaf(value, lamport, origin, deleted)
+
+
+def updates_since(root: dict, vector: dict[str, int]) -> list[Record]:
+    """History records the holder of ``vector`` has not seen."""
+    return [
+        record
+        for record in root["history"]
+        if record[0][1] > vector.get(record[0][0], 0)
+    ]

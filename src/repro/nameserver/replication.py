@@ -1,0 +1,171 @@
+"""Replication: update propagation, anti-entropy, replica restoration.
+
+The paper runs several name server replicas and uses them, rather than
+local disk redundancy, to recover from hard failures:
+
+    We respond to a hard error on a particular name server replica by
+    restoring its data from another replica.  This causes us to lose only
+    those updates that had been applied to the damaged replica but not
+    propagated to any other replica. […] We have automatic mechanisms for
+    ensuring the long-term consistency of the name server replicas.
+
+Three mechanisms live here:
+
+* **eager propagation** — after local updates, push the new history
+  records to every reachable peer (best effort; failures are tolerated);
+* **anti-entropy** — periodic pairwise reconciliation by version vector:
+  each side fetches exactly the records it lacks.  Updates are idempotent
+  and last-writer-wins per name, so any gossip order converges;
+* **restoration** — rebuild a replica whose local recovery failed by
+  replaying a peer's complete history into a fresh database.
+
+A "peer" is anything with the replication hooks — a local
+:class:`NameServer`, a :class:`RemoteNameServer` over RPC, or another
+:class:`Replica` — so the same code drives in-process simulation and real
+TCP deployments.
+"""
+
+from __future__ import annotations
+
+from repro.nameserver.server import NameServer
+from repro.storage.interface import FileSystem
+
+
+class PeerUnavailable(Exception):
+    """The peer could not be reached for propagation or sync."""
+
+
+class Replica(NameServer):
+    """A name server replica with propagation and reconciliation."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        replica_id: str,
+        **db_options: object,
+    ) -> None:
+        super().__init__(fs, replica_id=replica_id, **db_options)
+        self.peers: list[object] = []
+        self.propagation_failures = 0
+
+    def add_peer(self, peer: object) -> None:
+        """Register a peer (NameServer, Replica or RemoteNameServer)."""
+        self.peers.append(peer)
+
+    # -- propagation -----------------------------------------------------------
+
+    def propagate(self) -> int:
+        """Push everything each peer lacks; returns records delivered.
+
+        Best-effort, exactly as the paper accepts: a peer that is down
+        simply misses this round and is healed later by anti-entropy.
+        """
+        delivered = 0
+        for peer in self.peers:
+            try:
+                their_vector = peer.summary()
+                missing = self.updates_since(their_vector)
+                if missing:
+                    peer.apply_remote(missing)
+                    delivered += len(missing)
+            except Exception:
+                self.propagation_failures += 1
+        return delivered
+
+    # -- anti-entropy -------------------------------------------------------------
+
+    def sync_from(self, peer: object) -> int:
+        """Pull updates this replica lacks from ``peer``; returns count."""
+        try:
+            missing = peer.updates_since(self.summary())
+        except Exception as exc:
+            raise PeerUnavailable(f"sync failed: {exc!r}") from exc
+        if not missing:
+            return 0
+        return self.apply_remote(missing)
+
+    def sync_with(self, peer: object) -> tuple[int, int]:
+        """Bidirectional reconciliation; returns (pulled, pushed)."""
+        pulled = self.sync_from(peer)
+        try:
+            missing = self.updates_since(peer.summary())
+            pushed = peer.apply_remote(missing) if missing else 0
+        except Exception as exc:
+            raise PeerUnavailable(f"push failed: {exc!r}") from exc
+        return pulled, pushed
+
+
+def restore_replica(
+    fs: FileSystem,
+    replica_id: str,
+    source: object,
+    **db_options: object,
+) -> Replica:
+    """Rebuild a replica from a peer after an unrecoverable hard error.
+
+    The damaged on-disk state is discarded entirely (every file deleted),
+    a fresh database is bootstrapped, and the source's complete update
+    history is replayed through the ordinary idempotent remote-apply
+    path — which also rebuilds the version vector, so future anti-entropy
+    picks up exactly where the restored data ends.  "This causes us to
+    lose only those updates that had been applied to the damaged replica
+    but not propagated to any other replica."
+    """
+    for name in list(fs.list_names()):
+        fs.delete(name)
+    fs.fsync_dir()
+    replica = Replica(fs, replica_id, **db_options)
+    history = source.export_state()
+    if history:
+        replica.apply_remote(history)
+    return replica
+
+
+class ReplicaGroup:
+    """A convenience wrapper driving a whole replica set in simulation."""
+
+    def __init__(self, replicas: list[Replica]) -> None:
+        if not replicas:
+            raise ValueError("a replica group needs at least one replica")
+        self.replicas = list(replicas)
+        for replica in self.replicas:
+            for other in self.replicas:
+                if other is not replica:
+                    replica.add_peer(other)
+
+    def propagate_all(self) -> int:
+        return sum(replica.propagate() for replica in self.replicas)
+
+    def anti_entropy_round(self) -> int:
+        """One gossip round: each replica pulls from its ring successor."""
+        moved = 0
+        count = len(self.replicas)
+        for index, replica in enumerate(self.replicas):
+            moved += replica.sync_from(self.replicas[(index + 1) % count])
+        return moved
+
+    def converge(self, max_rounds: int = 10) -> int:
+        """Run anti-entropy rounds until no records move."""
+        rounds = 0
+        for rounds in range(1, max_rounds + 1):
+            if self.anti_entropy_round() == 0:
+                break
+        return rounds
+
+    def is_consistent(self) -> bool:
+        """All replicas hold identical live name sets and version vectors."""
+        baseline = self.replicas[0]
+        base_tree = sorted(
+            (list(p), v) for p, v in _entries(baseline)
+        )
+        base_vector = baseline.summary()
+        for replica in self.replicas[1:]:
+            if replica.summary() != base_vector:
+                return False
+            if sorted((list(p), v) for p, v in _entries(replica)) != base_tree:
+                return False
+        return True
+
+
+def _entries(server: NameServer):
+    return server.read_subtree(())

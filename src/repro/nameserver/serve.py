@@ -1,0 +1,210 @@
+"""The name server as a deployable process.
+
+    python -m repro.nameserver.serve /var/lib/names --port 9999 \
+        --replica-id east --peer west-host:9999 --sync-interval 30 \
+        --checkpoint-updates 1000
+
+Wires together everything a production instance needs: the database on a
+real directory, the data and management RPC interfaces on one TCP
+listener, optional peers with a background anti-entropy loop, and an
+optional checkpoint policy.  ``build_node`` does all the assembly and is
+what the tests (and embedders) call; ``main`` adds argument parsing and
+blocks until interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import sys
+from dataclasses import dataclass, field
+
+from repro.core.daemon import CheckpointDaemon
+from repro.core.policy import AnyOf, CheckpointPolicy, EveryNUpdates, LogSizeThreshold
+from repro.nameserver.client import RemoteNameServer
+from repro.nameserver.management import MANAGEMENT_INTERFACE, ManagementService
+from repro.nameserver.replication import Replica
+from repro.nameserver.server import NAMESERVER_INTERFACE
+from repro.rpc import RpcServer, TcpServerThread, TcpTransport
+from repro.storage.localfs import LocalFS
+
+
+@dataclass
+class NodeOptions:
+    """Everything configurable about one server process."""
+
+    directory: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    replica_id: str = "primary"
+    peers: list[str] = field(default_factory=list)  # "host:port" strings
+    sync_interval: float = 30.0
+    checkpoint_updates: int | None = None
+    checkpoint_log_bytes: int | None = None
+
+
+class Node:
+    """One running name server process: replica + listener + daemons."""
+
+    def __init__(self, options: NodeOptions) -> None:
+        self.options = options
+        self.replica = Replica(LocalFS(options.directory), options.replica_id)
+        self._peer_transports: list[TcpTransport] = []
+        self._connect_peers()
+
+        self.rpc = RpcServer()
+        self.rpc.export(NAMESERVER_INTERFACE, self.replica)
+        self.rpc.export(MANAGEMENT_INTERFACE, ManagementService(self.replica))
+        self.listener = TcpServerThread(
+            self.rpc, host=options.host, port=options.port
+        ).start()
+
+        self._stop = threading.Event()
+        self._sync_thread: threading.Thread | None = None
+        if options.peers:
+            self._sync_thread = threading.Thread(
+                target=self._sync_loop, name="anti-entropy", daemon=True
+            )
+            self._sync_thread.start()
+
+        self.checkpoint_daemon: CheckpointDaemon | None = None
+        policy = _build_policy(options)
+        if policy is not None:
+            self.checkpoint_daemon = CheckpointDaemon(
+                self.replica.db, policy, poll_interval=0.25
+            ).start()
+
+    @property
+    def port(self) -> int:
+        return self.listener.port
+
+    def _connect_peers(self) -> None:
+        """Connect to peers; ones that are down are retried by the loop.
+
+        A node must come up before its peers do (whole-cluster cold
+        starts), so connection failures here are recorded, not fatal.
+        """
+        self.unreachable_peers: list[str] = []
+        for address in self.options.peers:
+            if not self._try_connect(address):
+                self.unreachable_peers.append(address)
+
+    def _try_connect(self, address: str) -> bool:
+        host, _, port_text = address.rpartition(":")
+        try:
+            transport = TcpTransport(host, int(port_text))
+        except Exception:
+            return False
+        self._peer_transports.append(transport)
+        self.replica.add_peer(RemoteNameServer(transport))
+        return True
+
+    def _sync_loop(self) -> None:
+        while not self._stop.wait(self.options.sync_interval):
+            # Retry peers that were unreachable at startup.
+            for address in list(self.unreachable_peers):
+                if self._try_connect(address):
+                    self.unreachable_peers.remove(address)
+            self.replica.propagate()
+            for peer in list(self.replica.peers):
+                try:
+                    self.replica.sync_from(peer)
+                except Exception:
+                    continue  # peer down; next round will retry
+
+    def sync_now(self) -> int:
+        """One synchronous gossip round (used by tests and operators)."""
+        moved = self.replica.propagate()
+        for peer in list(self.replica.peers):
+            try:
+                moved += self.replica.sync_from(peer)
+            except Exception:
+                continue
+        return moved
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        if self.checkpoint_daemon is not None:
+            self.checkpoint_daemon.stop()
+        if self._sync_thread is not None:
+            self._sync_thread.join(5)
+        self.listener.stop()
+        for transport in self._peer_transports:
+            transport.close()
+        self.replica.close()
+
+    def __enter__(self) -> "Node":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def _build_policy(options: NodeOptions) -> CheckpointPolicy | None:
+    policies: list[CheckpointPolicy] = []
+    if options.checkpoint_updates:
+        policies.append(EveryNUpdates(options.checkpoint_updates))
+    if options.checkpoint_log_bytes:
+        policies.append(LogSizeThreshold(options.checkpoint_log_bytes))
+    if not policies:
+        return None
+    return policies[0] if len(policies) == 1 else AnyOf(*policies)
+
+
+def build_node(options: NodeOptions) -> Node:
+    """Assemble a running node from options (the testable entry point)."""
+    return Node(options)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.nameserver.serve",
+        description="Run a (optionally replicated) name server.",
+    )
+    parser.add_argument("directory", help="database directory")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--replica-id", default="primary")
+    parser.add_argument(
+        "--peer", action="append", default=[], metavar="HOST:PORT",
+        help="peer replica to gossip with (repeatable)",
+    )
+    parser.add_argument("--sync-interval", type=float, default=30.0)
+    parser.add_argument(
+        "--checkpoint-updates", type=int, default=None,
+        help="checkpoint after this many updates",
+    )
+    parser.add_argument(
+        "--checkpoint-log-bytes", type=int, default=None,
+        help="checkpoint when the log exceeds this many bytes",
+    )
+    args = parser.parse_args(argv)
+
+    node = build_node(
+        NodeOptions(
+            directory=args.directory,
+            host=args.host,
+            port=args.port,
+            replica_id=args.replica_id,
+            peers=args.peer,
+            sync_interval=args.sync_interval,
+            checkpoint_updates=args.checkpoint_updates,
+            checkpoint_log_bytes=args.checkpoint_log_bytes,
+        )
+    )
+    print(
+        f"name server {args.replica_id!r} on {node.listener.host}:{node.port}, "
+        f"{node.replica.count()} names recovered",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()  # serve until interrupted
+    except KeyboardInterrupt:
+        pass
+    finally:
+        node.shutdown()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via build_node()
+    sys.exit(main())

@@ -1,0 +1,211 @@
+"""The name server: the paper's worked example, over the database core.
+
+``NameServer`` owns a :class:`~repro.core.database.Database` whose root is
+the tree-of-hash-tables structure, and exposes:
+
+* **enquiries** — ``lookup``, ``exists``, ``list_dir``, ``read_subtree``,
+  ``count`` — pure virtual-memory reads under the shared lock;
+* **updates** — ``bind``, ``unbind``, ``unbind_subtree``,
+  ``write_subtree`` — each one single-shot transaction, one log entry,
+  one disk write;
+* **replication hooks** — ``summary``, ``updates_since``,
+  ``apply_remote`` — used by :mod:`repro.nameserver.replication`.
+
+The RPC interface (:func:`nameserver_interface`) declares all of these so
+remote clients get generated stubs; ``NameServer`` itself is directly
+exportable through :class:`repro.rpc.RpcServer`.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import Database
+from repro.nameserver.errors import BadPath, NameExists, NameNotFound
+from repro.nameserver.operations import (
+    NAMESERVER_OPS,
+    new_root,
+    updates_since as _updates_since,
+)
+from repro.nameserver.tree import (
+    count_live,
+    list_directory,
+    live_leaf,
+    parse_path,
+    subtree_entries,
+)
+from repro.rpc import (
+    Bool,
+    DictOf,
+    Int,
+    Interface,
+    ListOf,
+    Pickled,
+    Str,
+    Void,
+)
+from repro.storage.interface import FileSystem
+
+
+class NameServer:
+    """A strongly typed name-to-value service with durable storage."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        replica_id: str = "primary",
+        **db_options: object,
+    ) -> None:
+        self.replica_id = replica_id
+        self.db = Database(
+            fs,
+            initial=lambda: new_root(replica_id),
+            operations=NAMESERVER_OPS,
+            **db_options,
+        )
+
+    # -- enquiries -----------------------------------------------------------
+
+    def lookup(self, path) -> object:
+        """The value bound at ``path``; raises :class:`NameNotFound`."""
+        parsed = parse_path(path)
+
+        def read(root):
+            leaf = live_leaf(root["tree"], parsed)
+            if leaf is None:
+                raise NameNotFound(parsed)
+            return leaf.value
+
+        return self.db.enquire(read)
+
+    def exists(self, path) -> bool:
+        parsed = parse_path(path)
+        return self.db.enquire(
+            lambda root: live_leaf(root["tree"], parsed) is not None
+        )
+
+    def list_dir(self, path=()) -> list[str]:
+        """Child names with live content under ``path`` (root for ``()``)."""
+        parsed = parse_path(path) if path else ()
+        return self.db.enquire(lambda root: list_directory(root["tree"], parsed))
+
+    def read_subtree(self, path=()) -> list[tuple[list[str], object]]:
+        """All live ``(relative path, value)`` pairs below ``path``."""
+        parsed = parse_path(path) if path else ()
+        return self.db.enquire(
+            lambda root: [
+                (list(relative), value)
+                for relative, value in subtree_entries(root["tree"], parsed)
+            ]
+        )
+
+    def count(self) -> int:
+        return self.db.enquire(lambda root: count_live(root["tree"]))
+
+    def glob(self, pattern) -> list[tuple[list[str], object]]:
+        """Live ``(path, value)`` pairs matching a wildcard pattern.
+
+        Components may be literals, ``*`` (one component), ``**`` (any
+        depth) or shell-style partial wildcards (``printer*``).
+        """
+        from repro.nameserver.browse import glob_entries, parse_pattern
+
+        parsed = parse_pattern(pattern)
+        return self.db.enquire(
+            lambda root: [
+                (list(path), value)
+                for path, value in glob_entries(root["tree"], parsed)
+            ]
+        )
+
+    # -- updates -------------------------------------------------------------
+
+    def bind(self, path, value, exclusive: bool = False) -> None:
+        parsed = parse_path(path)
+        self.db.update("ns_local", "bind", (parsed, value, bool(exclusive)))
+
+    def unbind(self, path) -> None:
+        parsed = parse_path(path)
+        self.db.update("ns_local", "unbind", (parsed,))
+
+    def unbind_subtree(self, path) -> None:
+        parsed = parse_path(path)
+        self.db.update("ns_local", "unbind_subtree", (parsed,))
+
+    def write_subtree(self, path, entries) -> None:
+        """Replace the subtree at ``path`` with ``entries`` in one commit.
+
+        ``entries`` is a list of ``(relative path, value)`` pairs; the
+        whole replacement is one single-shot transaction.
+        """
+        parsed = parse_path(path)
+        canonical = [(tuple(parse_path(rel)), value) for rel, value in entries]
+        self.db.update("ns_local", "write_subtree", (parsed, canonical))
+
+    # -- replication hooks -----------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """This replica's version vector (origin → highest seq applied)."""
+        return self.db.enquire(lambda root: dict(root["vector"]))
+
+    def updates_since(self, vector: dict[str, int]) -> list:
+        """History records the holder of ``vector`` lacks."""
+        return self.db.enquire(lambda root: list(_updates_since(root, vector)))
+
+    def apply_remote(self, records: list) -> int:
+        """Apply peer updates; idempotent; returns the number applied."""
+        if not records:
+            return 0
+        return self.db.update("ns_remote", records)
+
+    def export_state(self) -> list:
+        """Complete history for replica restoration after a hard error."""
+        return self.db.enquire(lambda root: list(root["history"]))
+
+    # -- administration ------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        return self.db.checkpoint()
+
+    def close(self) -> None:
+        self.db.close()
+
+    @property
+    def stats(self):
+        return self.db.stats
+
+
+def nameserver_interface(name: str = "NameServer") -> Interface:
+    """The RPC interface; clients and servers generate stubs from this."""
+    iface = Interface(name, version=1)
+    path = ListOf(Str)
+    iface.method("lookup", params=[("path", path)], returns=Pickled())
+    iface.method("exists", params=[("path", path)], returns=Bool)
+    iface.method("list_dir", params=[("path", path)], returns=ListOf(Str))
+    iface.method("read_subtree", params=[("path", path)], returns=Pickled())
+    iface.method("count", returns=Int)
+    iface.method("glob", params=[("pattern", path)], returns=Pickled())
+    iface.method(
+        "bind",
+        params=[("path", path), ("value", Pickled()), ("exclusive", Bool)],
+        returns=Void,
+    )
+    iface.method("unbind", params=[("path", path)], returns=Void)
+    iface.method("unbind_subtree", params=[("path", path)], returns=Void)
+    iface.method(
+        "write_subtree",
+        params=[("path", path), ("entries", Pickled())],
+        returns=Void,
+    )
+    iface.method("summary", returns=DictOf(Str, Int))
+    iface.method(
+        "updates_since", params=[("vector", DictOf(Str, Int))], returns=Pickled()
+    )
+    iface.method("apply_remote", params=[("records", Pickled())], returns=Int)
+    iface.method("export_state", returns=Pickled())
+    iface.error(NameNotFound)
+    iface.error(NameExists)
+    iface.error(BadPath)
+    return iface
+
+
+#: The canonical instance used by servers and clients alike.
+NAMESERVER_INTERFACE = nameserver_interface()

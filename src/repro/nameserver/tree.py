@@ -1,0 +1,171 @@
+"""The name server's virtual memory structure: a tree of hash tables.
+
+The paper:
+
+    The virtual memory data structure for the name server's database
+    consists primarily of a tree of hash tables.  The tables are indexed
+    by strings, and deliver values that are further hash tables.
+
+A :class:`Node` is one hash table (its ``children``); a :class:`Leaf`
+holds a bound value plus the replication stamp — a ``(lamport, origin)``
+pair — used for last-writer-wins reconciliation between replicas, and a
+``deleted`` flag so removals propagate (a tombstone).  Both classes are
+registered with the pickle registry at import time, so the whole tree
+checkpoints and logs automatically.
+
+Paths are tuples of non-empty strings; the convenience parser accepts
+``"a/b/c"``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.nameserver.errors import BadPath
+from repro.pickles import DEFAULT_REGISTRY
+
+Path = tuple[str, ...]
+Stamp = tuple[int, str]  # (lamport counter, origin replica id)
+
+
+class Leaf:
+    """A bound value (or its tombstone) with a replication stamp."""
+
+    def __init__(
+        self, value: object, lamport: int, origin: str, deleted: bool = False
+    ) -> None:
+        self.value = value
+        self.lamport = lamport
+        self.origin = origin
+        self.deleted = deleted
+
+    def stamp(self) -> Stamp:
+        return (self.lamport, self.origin)
+
+    def __repr__(self) -> str:
+        state = "tombstone" if self.deleted else repr(self.value)
+        return f"Leaf({state} @{self.lamport}:{self.origin})"
+
+
+class Node:
+    """One hash table of the tree; may also carry a leaf binding."""
+
+    def __init__(self) -> None:
+        self.children: dict[str, Node] = {}
+        self.leaf: Leaf | None = None
+
+    def is_empty(self) -> bool:
+        return self.leaf is None and not self.children
+
+
+DEFAULT_REGISTRY.register(Leaf, name="nameserver.Leaf")
+DEFAULT_REGISTRY.register(Node, name="nameserver.Node")
+
+
+def parse_path(path: object) -> Path:
+    """Normalise a path argument to a tuple of components.
+
+    Accepts ``"a/b/c"``, ``("a", "b", "c")`` or ``["a", "b", "c"]``.
+    """
+    if isinstance(path, str):
+        parts: tuple[str, ...] = tuple(path.split("/")) if path else ()
+    elif isinstance(path, (tuple, list)):
+        parts = tuple(path)
+    else:
+        raise BadPath(path)
+    if not parts:
+        raise BadPath(path)
+    for part in parts:
+        if not isinstance(part, str) or not part or "/" in part:
+            raise BadPath(path)
+    return parts
+
+
+def find_node(root: Node, path: Path) -> Node | None:
+    """The node at ``path``, or None if any component is missing."""
+    node = root
+    for part in path:
+        node = node.children.get(part)
+        if node is None:
+            return None
+    return node
+
+
+def ensure_node(root: Node, path: Path) -> Node:
+    """The node at ``path``, creating intermediate tables as needed."""
+    node = root
+    for part in path:
+        child = node.children.get(part)
+        if child is None:
+            child = Node()
+            node.children[part] = child
+        node = child
+    return node
+
+
+def live_leaf(root: Node, path: Path) -> Leaf | None:
+    """The leaf at ``path`` if it exists and is not a tombstone."""
+    node = find_node(root, path)
+    if node is None or node.leaf is None or node.leaf.deleted:
+        return None
+    return node.leaf
+
+
+def iter_leaves(
+    node: Node, prefix: Path = (), include_tombstones: bool = False
+) -> Iterator[tuple[Path, Leaf]]:
+    """All leaves below ``node`` in sorted path order."""
+    if node.leaf is not None and (include_tombstones or not node.leaf.deleted):
+        yield prefix, node.leaf
+    for name in sorted(node.children):
+        yield from iter_leaves(
+            node.children[name], prefix + (name,), include_tombstones
+        )
+
+
+def has_live_content(node: Node) -> bool:
+    """Whether any non-tombstone leaf exists at or below ``node``."""
+    if node.leaf is not None and not node.leaf.deleted:
+        return True
+    return any(has_live_content(child) for child in node.children.values())
+
+
+def list_directory(root: Node, path: Path) -> list[str]:
+    """Child names at ``path`` that lead to live content, sorted.
+
+    Raises :class:`NotADirectory` via the caller's checks; here a missing
+    node simply lists as empty (the enquiry layer decides the error).
+    """
+    node = find_node(root, path) if path else root
+    if node is None:
+        return []
+    return [
+        name
+        for name in sorted(node.children)
+        if has_live_content(node.children[name])
+    ]
+
+
+def subtree_entries(root: Node, path: Path) -> list[tuple[Path, object]]:
+    """All live ``(relative path, value)`` pairs below ``path``."""
+    node = find_node(root, path) if path else root
+    if node is None:
+        return []
+    return [(rel, leaf.value) for rel, leaf in iter_leaves(node)]
+
+
+def count_live(root: Node) -> int:
+    return sum(1 for _ in iter_leaves(root))
+
+
+def prune_empty(node: Node) -> None:
+    """Drop child subtrees containing neither leaves nor tombstones.
+
+    Tombstones are retained (they must keep propagating); fully empty
+    tables left by pruning are removed to bound memory.
+    """
+    for name in list(node.children):
+        child = node.children[name]
+        prune_empty(child)
+        if child.is_empty():
+            del node.children[name]

@@ -1,0 +1,196 @@
+"""PickleRead: bytes → a copy of the original strongly typed value.
+
+The decoder mirrors the encoder exactly: it reconstructs the swizzle table
+in the same encounter order, so back references resolve to the objects the
+encoder shared, "replacing addresses with addresses valid in the current
+execution environment" as the paper puts it.
+
+Safety: the input is treated as untrusted.  Every length is bounds-checked
+against the remaining input, reference indices must point backwards, and
+record class names must already be present in the type registry — decoding
+never imports modules or calls constructors, only ``cls.__new__``.
+"""
+
+from __future__ import annotations
+
+from repro.pickles.errors import (
+    MalformedPickle,
+    NestingTooDeep,
+    TruncatedPickle,
+    UnknownRecordClass,
+    UnknownTypeTag,
+)
+from repro.pickles.encode import MAX_DEPTH
+from repro.pickles.registry import DEFAULT_REGISTRY, TypeRegistry
+from repro.pickles.wire import (
+    TAG_BYTES,
+    TAG_DICT,
+    TAG_FALSE,
+    TAG_FLOAT,
+    TAG_FROZENSET,
+    TAG_INT,
+    TAG_LIST,
+    TAG_NONE,
+    TAG_RECORD,
+    TAG_REF,
+    TAG_SET,
+    TAG_STR,
+    TAG_TRUE,
+    TAG_TUPLE,
+    WireReader,
+)
+
+
+class PickleReader:
+    """One decoding pass; use :func:`pickle_read` unless streaming."""
+
+    def __init__(
+        self,
+        data: bytes,
+        registry: TypeRegistry | None = None,
+        max_depth: int = MAX_DEPTH,
+    ) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._reader = WireReader(data)
+        self._table: list[object] = []
+        self._max_depth = max_depth
+        self._depth = 0
+
+    def read(self) -> object:
+        """Decode the next value from the buffer."""
+        return self._decode()
+
+    def offset(self) -> int:
+        """Current position in the buffer (for streamed log replay)."""
+        return self._reader.offset
+
+    def at_end(self) -> bool:
+        return self._reader.remaining() == 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _decode(self) -> object:
+        self._depth += 1
+        if self._depth > self._max_depth:
+            raise NestingTooDeep(self._max_depth)
+        try:
+            return self._decode_inner()
+        finally:
+            self._depth -= 1
+
+    def _decode_inner(self) -> object:
+        reader = self._reader
+        tag = reader.read_byte()
+        if tag == TAG_NONE:
+            return None
+        if tag == TAG_FALSE:
+            return False
+        if tag == TAG_TRUE:
+            return True
+        if tag == TAG_INT:
+            return reader.read_signed()
+        if tag == TAG_FLOAT:
+            return reader.read_float()
+        if tag == TAG_STR or tag == TAG_BYTES:
+            length = self._checked_length(reader.read_varint())
+            raw = reader.read_bytes(length)
+            value: object = raw.decode("utf-8") if tag == TAG_STR else raw
+            self._table.append(value)
+            return value
+        if tag == TAG_REF:
+            index = reader.read_varint()
+            if index >= len(self._table):
+                raise MalformedPickle(
+                    f"forward reference to swizzle index {index} "
+                    f"(table has {len(self._table)} entries) "
+                    f"at offset {reader.offset}"
+                )
+            return self._table[index]
+        if tag == TAG_LIST:
+            result: list = []
+            self._table.append(result)
+            count = self._checked_length(reader.read_varint())
+            for _ in range(count):
+                result.append(self._decode())
+            return result
+        if tag == TAG_DICT:
+            mapping: dict = {}
+            self._table.append(mapping)
+            count = self._checked_length(reader.read_varint())
+            for _ in range(count):
+                key = self._decode()
+                mapping[key] = self._decode()
+            return mapping
+        if tag == TAG_SET:
+            collection: set = set()
+            self._table.append(collection)
+            count = self._checked_length(reader.read_varint())
+            for _ in range(count):
+                collection.add(self._decode())
+            return collection
+        if tag == TAG_TUPLE:
+            count = self._checked_length(reader.read_varint())
+            items = tuple(self._decode() for _ in range(count))
+            self._table.append(items)
+            return items
+        if tag == TAG_FROZENSET:
+            count = self._checked_length(reader.read_varint())
+            frozen = frozenset(self._decode() for _ in range(count))
+            self._table.append(frozen)
+            return frozen
+        if tag == TAG_RECORD:
+            return self._decode_record()
+        raise UnknownTypeTag(tag, reader.offset - 1)
+
+    def _decode_record(self) -> object:
+        # Reserve the swizzle slot first: children may refer back to the
+        # record (cyclic data structures).
+        slot = len(self._table)
+        self._table.append(None)
+        name = self._decode()
+        if not isinstance(name, str):
+            raise MalformedPickle(
+                f"record class name must be a string, got {type(name).__name__}"
+            )
+        cls = self._registry.class_for(name)
+        if cls is None:
+            raise UnknownRecordClass(name)
+        instance = cls.__new__(cls)
+        self._table[slot] = instance
+        count = self._checked_length(self._reader.read_varint())
+        for _ in range(count):
+            field = self._decode()
+            if not isinstance(field, str):
+                raise MalformedPickle(
+                    f"record field name must be a string, got {type(field).__name__}"
+                )
+            value = self._decode()
+            object.__setattr__(instance, field, value)
+        return instance
+
+    def _checked_length(self, length: int) -> int:
+        # A declared length can never exceed the bytes remaining: string
+        # bodies cost one byte per byte, container elements at least one
+        # byte each.  This bounds memory allocation on corrupt input.
+        if length > self._reader.remaining():
+            raise TruncatedPickle(
+                self._reader.offset,
+                f"declared length {length} exceeds remaining input",
+            )
+        return length
+
+
+def pickle_read(data: bytes, registry: TypeRegistry | None = None) -> object:
+    """Convert bytes back into a value (the paper's PickleRead).
+
+    Raises :class:`MalformedPickle` if decoding leaves trailing garbage;
+    use :class:`PickleReader` directly to stream several values from one
+    buffer (as the log replayer does).
+    """
+    reader = PickleReader(data, registry)
+    value = reader.read()
+    if not reader.at_end():
+        raise MalformedPickle(
+            f"{len(data) - reader.offset()} trailing bytes after pickle"
+        )
+    return value

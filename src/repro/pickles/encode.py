@@ -1,0 +1,208 @@
+"""PickleWrite: strongly typed value → bytes.
+
+The encoder walks the object graph the way the paper's pickle package
+walks the garbage collector's runtime type structures: fully automatically,
+identifying "the occurrences of addresses in the structure" so that shared
+sub-structures and cycles are preserved.  Our analogue of an address is the
+object's identity; the *n*-th pickled heap object is assigned swizzle index
+*n* and later occurrences are emitted as one-byte-plus-varint back
+references.
+
+Mutable containers (lists, sets, dicts, records) are entered into the
+swizzle table *before* their children are encoded, so cycles terminate.
+Immutable containers (tuples, frozensets) are entered *after* — a tuple
+reached again through a cycle in its own children is re-encoded, yielding
+an equal but not identical tuple on decode, the same compromise the
+standard library makes.
+
+Strings and byte strings are deduplicated by value: a log full of updates
+naming the same fields costs the field names once.
+"""
+
+from __future__ import annotations
+
+from repro.pickles.errors import NestingTooDeep, UnpickleableType
+
+#: default nesting bound; far above any sane database structure, far
+#: below Python's recursion limit so the error is ours, not the VM's.
+MAX_DEPTH = 200
+from repro.pickles.registry import DEFAULT_REGISTRY, TypeRegistry
+from repro.pickles.wire import (
+    TAG_BYTES,
+    TAG_DICT,
+    TAG_FALSE,
+    TAG_FLOAT,
+    TAG_FROZENSET,
+    TAG_INT,
+    TAG_LIST,
+    TAG_NONE,
+    TAG_RECORD,
+    TAG_REF,
+    TAG_SET,
+    TAG_STR,
+    TAG_TRUE,
+    TAG_TUPLE,
+    encode_float,
+    encode_signed,
+    encode_varint,
+)
+
+
+class PickleWriter:
+    """One encoding pass; use :func:`pickle_write` unless streaming."""
+
+    def __init__(
+        self,
+        registry: TypeRegistry | None = None,
+        max_depth: int = MAX_DEPTH,
+    ) -> None:
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._max_depth = max_depth
+        self._depth = 0
+        self._out = bytearray()
+        # Swizzle table: object identity (mutables) or value (str/bytes)
+        # to back-reference index.  Indices count all table entries in
+        # encounter order, mirrored exactly by the decoder.
+        self._by_id: dict[int, int] = {}
+        self._by_value: dict[tuple[type, object], int] = {}
+        self._next_index = 0
+        # Objects kept alive so ids stay unique during the pass.
+        self._pinned: list[object] = []
+
+    def write(self, value: object) -> None:
+        """Append the pickle of ``value`` to the output buffer."""
+        self._encode(value)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._out)
+
+    # -- internals -----------------------------------------------------------
+
+    def _assign_index(self, value: object, by_value: bool) -> None:
+        index = self._next_index
+        self._next_index += 1
+        if by_value:
+            self._by_value[(type(value), value)] = index
+        else:
+            self._by_id[id(value)] = index
+            self._pinned.append(value)
+
+    def _emit_ref(self, index: int) -> None:
+        self._out.append(TAG_REF)
+        encode_varint(index, self._out)
+
+    def _encode(self, value: object) -> None:
+        self._depth += 1
+        if self._depth > self._max_depth:
+            raise NestingTooDeep(self._max_depth)
+        try:
+            self._encode_inner(value)
+        finally:
+            self._depth -= 1
+
+    def _encode_inner(self, value: object) -> None:
+        out = self._out
+        if value is None:
+            out.append(TAG_NONE)
+            return
+        if value is False:
+            out.append(TAG_FALSE)
+            return
+        if value is True:
+            out.append(TAG_TRUE)
+            return
+        kind = type(value)
+        if kind is int:
+            out.append(TAG_INT)
+            encode_signed(value, out)
+            return
+        if kind is float:
+            out.append(TAG_FLOAT)
+            encode_float(value, out)
+            return
+        if kind is str or kind is bytes:
+            key = (kind, value)
+            index = self._by_value.get(key)
+            if index is not None:
+                self._emit_ref(index)
+                return
+            raw = value.encode("utf-8") if kind is str else value
+            out.append(TAG_STR if kind is str else TAG_BYTES)
+            encode_varint(len(raw), out)
+            out.extend(raw)
+            self._assign_index(value, by_value=True)
+            return
+        # Heap objects: shared structure via identity.
+        index = self._by_id.get(id(value))
+        if index is not None:
+            self._emit_ref(index)
+            return
+        if kind is list:
+            out.append(TAG_LIST)
+            self._assign_index(value, by_value=False)
+            encode_varint(len(value), out)
+            for item in value:
+                self._encode(item)
+            return
+        if kind is dict:
+            out.append(TAG_DICT)
+            self._assign_index(value, by_value=False)
+            encode_varint(len(value), out)
+            for key, item in value.items():
+                self._encode(key)
+                self._encode(item)
+            return
+        if kind is set:
+            out.append(TAG_SET)
+            self._assign_index(value, by_value=False)
+            encode_varint(len(value), out)
+            for item in _stable_set_order(value):
+                self._encode(item)
+            return
+        if kind is tuple:
+            out.append(TAG_TUPLE)
+            encode_varint(len(value), out)
+            for item in value:
+                self._encode(item)
+            self._assign_index(value, by_value=False)
+            return
+        if kind is frozenset:
+            out.append(TAG_FROZENSET)
+            encode_varint(len(value), out)
+            for item in _stable_set_order(value):
+                self._encode(item)
+            self._assign_index(value, by_value=False)
+            return
+        name = self._registry.name_for(kind)
+        if name is None:
+            raise UnpickleableType(value)
+        out.append(TAG_RECORD)
+        self._assign_index(value, by_value=False)
+        self._encode(name)
+        fields = self._registry.fields_for(kind)
+        if fields is None:
+            items = vars(value)
+            encode_varint(len(items), out)
+            for field, item in items.items():
+                self._encode(field)
+                self._encode(item)
+        else:
+            encode_varint(len(fields), out)
+            for field in fields:
+                self._encode(field)
+                self._encode(getattr(value, field))
+
+
+def _stable_set_order(items: set | frozenset) -> list:
+    """Deterministic element order so equal sets pickle identically."""
+    try:
+        return sorted(items)
+    except TypeError:
+        return sorted(items, key=lambda item: (type(item).__name__, repr(item)))
+
+
+def pickle_write(value: object, registry: TypeRegistry | None = None) -> bytes:
+    """Convert a strongly typed value into bytes (the paper's PickleWrite)."""
+    writer = PickleWriter(registry)
+    writer.write(value)
+    return writer.getvalue()

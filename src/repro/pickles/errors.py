@@ -1,0 +1,75 @@
+"""Errors raised by the pickle package."""
+
+from __future__ import annotations
+
+
+class PickleError(Exception):
+    """Base class for pickle package errors."""
+
+
+class UnpickleableType(PickleError):
+    """The value contains an object of a type pickles cannot represent."""
+
+    def __init__(self, value: object) -> None:
+        super().__init__(
+            f"cannot pickle object of type {type(value).__name__!r}; "
+            f"register the class with the type registry first"
+        )
+        self.value_type = type(value)
+
+
+class UnknownTypeTag(PickleError):
+    """The byte stream contains an unrecognised type tag (corrupt input)."""
+
+    def __init__(self, tag: int, offset: int) -> None:
+        super().__init__(f"unknown pickle type tag {tag:#x} at offset {offset}")
+        self.tag = tag
+        self.offset = offset
+
+
+class UnknownRecordClass(PickleError):
+    """The stream names a record class not present in the registry.
+
+    Unlike the standard library's ``pickle``, this package never imports or
+    instantiates arbitrary classes: a name must have been registered in this
+    process before it can be decoded.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"record class {name!r} is not registered")
+        self.name = name
+
+
+class TruncatedPickle(PickleError):
+    """The byte stream ended in the middle of a value."""
+
+    def __init__(self, offset: int, detail: str = "") -> None:
+        message = f"pickle truncated at offset {offset}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.offset = offset
+
+
+class MalformedPickle(PickleError):
+    """The byte stream is structurally invalid (bad ref, bad length, …)."""
+
+
+class RegistryError(PickleError):
+    """Invalid registration (duplicate name, unregistered class, …)."""
+
+
+class NestingTooDeep(PickleError):
+    """The value (or input) nests beyond the configured depth limit.
+
+    Raised instead of an unpredictable ``RecursionError``: the limit is a
+    property of the format (both sides must agree on what is encodable),
+    so it fails deterministically at the same depth everywhere.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            f"structure nests deeper than {limit} levels; "
+            f"restructure the data or raise max_depth"
+        )
+        self.limit = limit

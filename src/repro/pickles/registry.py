@@ -1,0 +1,121 @@
+"""The type registry driving record pickling.
+
+The paper's pickle package is "entirely automatic: it is driven by the
+run-time typing structures that are present for our garbage collection
+mechanism".  Python's analogue of those structures is the class object and
+its instance dictionary; the registry records which classes are *allowed*
+to cross the pickle boundary and under what stable wire name.
+
+Decoding will only ever instantiate registered classes (via
+``cls.__new__``, never ``__init__`` — matching the paper's semantics of
+reconstructing a stored structure rather than re-running constructors), so
+a corrupt or hostile byte stream cannot execute arbitrary code the way the
+standard library's ``pickle`` can.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.pickles.errors import RegistryError
+
+
+class TypeRegistry:
+    """Bidirectional mapping between classes and stable wire names."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, type] = {}
+        self._by_class: dict[type, str] = {}
+        self._fields: dict[type, tuple[str, ...] | None] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        cls: type,
+        name: str | None = None,
+        fields: tuple[str, ...] | None = None,
+    ) -> type:
+        """Register ``cls`` under ``name`` (default: the class name).
+
+        ``fields`` fixes the attribute set carried on the wire; ``None``
+        means "whatever ``vars(instance)`` holds at encode time", which is
+        the fully automatic mode the paper describes.  Returns ``cls`` so
+        this can be used via the :func:`pickleable` decorator.
+        """
+        wire_name = name if name is not None else cls.__name__
+        if not wire_name:
+            raise RegistryError("wire name must be non-empty")
+        with self._lock:
+            existing = self._by_name.get(wire_name)
+            if existing is not None and existing is not cls:
+                raise RegistryError(
+                    f"wire name {wire_name!r} is already registered "
+                    f"to {existing.__name__}"
+                )
+            previous_name = self._by_class.get(cls)
+            if previous_name is not None and previous_name != wire_name:
+                raise RegistryError(
+                    f"class {cls.__name__} is already registered "
+                    f"as {previous_name!r}"
+                )
+            self._by_name[wire_name] = cls
+            self._by_class[cls] = wire_name
+            self._fields[cls] = tuple(fields) if fields is not None else None
+        return cls
+
+    def unregister(self, cls: type) -> None:
+        with self._lock:
+            name = self._by_class.pop(cls, None)
+            if name is None:
+                raise RegistryError(f"class {cls.__name__} is not registered")
+            del self._by_name[name]
+            del self._fields[cls]
+
+    def name_for(self, cls: type) -> str | None:
+        with self._lock:
+            return self._by_class.get(cls)
+
+    def class_for(self, name: str) -> type | None:
+        with self._lock:
+            return self._by_name.get(name)
+
+    def fields_for(self, cls: type) -> tuple[str, ...] | None:
+        with self._lock:
+            return self._fields.get(cls)
+
+    def registered_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._by_name)
+
+    def clear(self) -> None:
+        """Forget all registrations (test isolation only)."""
+        with self._lock:
+            self._by_name.clear()
+            self._by_class.clear()
+            self._fields.clear()
+
+
+#: The process-wide default registry, used when none is passed explicitly.
+DEFAULT_REGISTRY = TypeRegistry()
+
+
+def pickleable(
+    name: str | None = None,
+    fields: tuple[str, ...] | None = None,
+    registry: TypeRegistry | None = None,
+):
+    """Class decorator registering a record type for pickling.
+
+    >>> @pickleable()
+    ... class Account:
+    ...     def __init__(self, owner, balance):
+    ...         self.owner = owner
+    ...         self.balance = balance
+    """
+
+    target = registry if registry is not None else DEFAULT_REGISTRY
+
+    def decorate(cls: type) -> type:
+        return target.register(cls, name=name, fields=fields)
+
+    return decorate

@@ -1,0 +1,94 @@
+"""RPC: remote procedure calls with generated stubs and static marshalling.
+
+The paper's clients "interact with our name server through a general
+purpose remote procedure call mechanism, well integrated into our
+programming language", with automatically generated marshalling for
+statically typed values.  This package reproduces that: declare an
+:class:`Interface`, export an implementation through :class:`RpcServer`,
+and :func:`connect` hands back a generated proxy.
+
+>>> from repro.rpc import Interface, Int, RpcServer, LoopbackTransport, connect
+>>> calc = Interface("Calculator")
+>>> _ = calc.method("add", params=[("a", Int), ("b", Int)], returns=Int)
+>>> class Impl:
+...     def add(self, a, b):
+...         return a + b
+>>> server = RpcServer()
+>>> server.export(calc, Impl())
+>>> proxy = connect(calc, LoopbackTransport(server))
+>>> proxy.add(2, 3)
+5
+"""
+
+from repro.rpc.client import Proxy, RpcClient, connect
+from repro.rpc.errors import (
+    BadRequest,
+    MarshalError,
+    RemoteError,
+    RpcError,
+    TransportError,
+    UnknownInterface,
+    UnknownMethod,
+)
+from repro.rpc.interface import Interface, MethodSpec
+from repro.rpc.marshal import (
+    Bool,
+    Bytes,
+    DictOf,
+    Float,
+    Int,
+    ListOf,
+    OptionalOf,
+    Pickled,
+    RecordOf,
+    Str,
+    TupleOf,
+    TypeExpr,
+    Void,
+)
+from repro.rpc.server import RpcServer
+from repro.rpc.transport import (
+    LAN_1987,
+    LoopbackTransport,
+    NetworkModel,
+    NULL_NETWORK,
+    TcpServerThread,
+    TcpTransport,
+    Transport,
+)
+
+__all__ = [
+    "BadRequest",
+    "Bool",
+    "Bytes",
+    "DictOf",
+    "Float",
+    "Int",
+    "Interface",
+    "LAN_1987",
+    "ListOf",
+    "LoopbackTransport",
+    "MarshalError",
+    "MethodSpec",
+    "NULL_NETWORK",
+    "NetworkModel",
+    "OptionalOf",
+    "Pickled",
+    "Proxy",
+    "RecordOf",
+    "RemoteError",
+    "RpcClient",
+    "RpcError",
+    "RpcServer",
+    "Str",
+    "TcpServerThread",
+    "TcpTransport",
+    "Transport",
+    "TransportError",
+    "TupleOf",
+    "TypeExpr",
+    "UnknownInterface",
+    "UnknownMethod",
+    "Void",
+    "connect",
+]

@@ -1,0 +1,47 @@
+"""Errors raised by the RPC package."""
+
+from __future__ import annotations
+
+
+class RpcError(Exception):
+    """Base class for RPC errors."""
+
+
+class MarshalError(RpcError):
+    """A value does not conform to the declared static signature."""
+
+
+class UnknownInterface(RpcError):
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no implementation exported for interface {name!r}")
+        self.name = name
+
+
+class UnknownMethod(RpcError):
+    def __init__(self, interface: str, method: str) -> None:
+        super().__init__(f"interface {interface!r} has no method {method!r}")
+        self.interface = interface
+        self.method = method
+
+
+class BadRequest(RpcError):
+    """The request bytes are malformed (framing or marshalling damage)."""
+
+
+class RemoteError(RpcError):
+    """The remote implementation raised; re-raised client-side.
+
+    Carries the remote exception's registered wire name and message.  Use
+    :meth:`repro.rpc.interface.Interface.error` to register exception
+    types so clients get the original class back instead of this generic
+    wrapper.
+    """
+
+    def __init__(self, error_name: str, message: str) -> None:
+        super().__init__(f"remote raised {error_name}: {message}")
+        self.error_name = error_name
+        self.message = message
+
+
+class TransportError(RpcError):
+    """The request could not be carried (connection refused, closed, …)."""

@@ -1,0 +1,140 @@
+"""Interface declarations: the input to stub generation.
+
+An :class:`Interface` declares methods with static signatures; from it the
+package generates both halves automatically (the paper: "The RPC stub
+modules were generated automatically"):
+
+* the client proxy (:meth:`repro.rpc.client.RpcClient.proxy`), whose
+  generated methods marshal arguments and unmarshal results; and
+* the server dispatcher (:class:`repro.rpc.server.RpcServer`), which
+  unmarshals, calls the implementation, and marshals the reply.
+
+Exception types can be registered on the interface so a server-side
+``PreconditionFailed`` arrives client-side as ``PreconditionFailed``.
+
+>>> calc = Interface("Calculator")
+>>> calc.method("add", params=[("a", Int), ("b", Int)], returns=Int)
+<repro.rpc.interface.MethodSpec object at ...>
+"""
+
+from __future__ import annotations
+
+from repro.pickles.wire import WireReader
+from repro.rpc.errors import UnknownMethod
+from repro.rpc.marshal import TypeExpr, Void, compile_params
+
+
+class MethodSpec:
+    """One method's name, signature, and compiled marshallers."""
+
+    def __init__(
+        self,
+        interface_name: str,
+        name: str,
+        params: list[tuple[str, TypeExpr]],
+        returns: TypeExpr,
+    ) -> None:
+        self.interface_name = interface_name
+        self.name = name
+        self.params = list(params)
+        self.returns = returns
+        self.encode_args, self.decode_args = compile_params(self.params)
+        self.encode_result = returns.encoder()
+        self.decode_result = returns.decoder()
+
+    def signature(self) -> str:
+        inner = ", ".join(f"{n}: {t.describe()}" for n, t in self.params)
+        return f"{self.name}({inner}) -> {self.returns.describe()}"
+
+
+class Interface:
+    """A named collection of method specifications."""
+
+    def __init__(self, name: str, version: int = 1) -> None:
+        if not name:
+            raise ValueError("interface name must be non-empty")
+        self.name = name
+        self.version = version
+        self.methods: dict[str, MethodSpec] = {}
+        self.errors: dict[str, type[Exception]] = {}
+
+    @property
+    def wire_name(self) -> str:
+        return f"{self.name}/{self.version}"
+
+    def method(
+        self,
+        name: str,
+        params: list[tuple[str, TypeExpr]] | None = None,
+        returns: TypeExpr = Void,
+    ) -> MethodSpec:
+        """Declare a method; returns its spec (mostly for introspection)."""
+        if name in self.methods:
+            raise ValueError(f"method {name!r} already declared")
+        spec = MethodSpec(self.name, name, params or [], returns)
+        self.methods[name] = spec
+        return spec
+
+    def error(self, exception_type: type[Exception], name: str | None = None) -> None:
+        """Register an exception type to cross the wire as itself."""
+        wire_name = name if name is not None else exception_type.__name__
+        existing = self.errors.get(wire_name)
+        if existing is not None and existing is not exception_type:
+            raise ValueError(f"error name {wire_name!r} already registered")
+        self.errors[wire_name] = exception_type
+
+    def error_name_for(self, exc: Exception) -> str | None:
+        for wire_name, exc_type in self.errors.items():
+            if type(exc) is exc_type:
+                return wire_name
+        return None
+
+    def spec(self, method: str) -> MethodSpec:
+        found = self.methods.get(method)
+        if found is None:
+            raise UnknownMethod(self.name, method)
+        return found
+
+    def describe(self) -> str:
+        lines = [f"interface {self.wire_name}"]
+        for name in sorted(self.methods):
+            lines.append(f"  {self.methods[name].signature()}")
+        return "\n".join(lines)
+
+
+# Request/response wire framing (shared by client and server) ----------------
+
+STATUS_OK = 0
+STATUS_APP_ERROR = 1
+STATUS_RPC_ERROR = 2
+
+
+def encode_request(interface: Interface, method: str, args: tuple) -> bytes:
+    """Marshal one call: wire name, method name, then the arguments."""
+    spec = interface.spec(method)
+    out = bytearray()
+    _encode_str(interface.wire_name, out)
+    _encode_str(method, out)
+    out.extend(spec.encode_args(args))
+    return bytes(out)
+
+
+def decode_request_header(data: bytes) -> tuple[str, str, WireReader]:
+    """Read the wire name and method; the reader stays at the arguments."""
+    reader = WireReader(data)
+    wire_name = _decode_str(reader)
+    method = _decode_str(reader)
+    return wire_name, method, reader
+
+
+def _encode_str(value: str, out: bytearray) -> None:
+    raw = value.encode("utf-8")
+    from repro.pickles.wire import encode_varint
+
+    encode_varint(len(raw), out)
+    out.extend(raw)
+
+
+def _decode_str(reader: WireReader) -> str:
+    length = reader.read_varint()
+    return reader.read_bytes(length).decode("utf-8")

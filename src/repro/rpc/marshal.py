@@ -1,0 +1,368 @@
+"""Static marshalling for RPC signatures.
+
+The paper is explicit that its two serialisers are different mechanisms:
+
+    our pickling implementation works only by interpreting at run-time the
+    structure of dynamically typed values, while our RPC implementation
+    works only by generating code for the marshalling of statically typed
+    values.
+
+This module is the static half.  A method signature is declared with type
+expressions (:data:`Str`, :data:`Int`, ``ListOf(...)``, ``RecordOf(...)``
+…), and each expression *compiles* its own encoder/decoder pair — the
+moral equivalent of the stub compiler emitting marshalling procedures.
+The wire format carries no type tags at all (the signature is the schema),
+which is why RPC marshalling is leaner than pickling.
+
+Values are validated against the declared types on both encode and
+decode, so a mismatched client and server fail with a clean
+:class:`MarshalError` rather than silent corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.pickles.wire import (
+    WireReader,
+    encode_float,
+    encode_signed,
+    encode_varint,
+)
+from repro.rpc.errors import MarshalError
+
+Encoder = Callable[[object, bytearray], None]
+Decoder = Callable[[WireReader], object]
+
+
+class TypeExpr:
+    """A static wire type; subclasses compile encoder/decoder pairs."""
+
+    def encoder(self) -> Encoder:
+        raise NotImplementedError
+
+    def decoder(self) -> Decoder:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+
+class _Atom(TypeExpr):
+    def __init__(self, name: str, encode: Encoder, decode: Decoder) -> None:
+        self._name = name
+        self._encode = encode
+        self._decode = decode
+
+    def encoder(self) -> Encoder:
+        return self._encode
+
+    def decoder(self) -> Decoder:
+        return self._decode
+
+    def describe(self) -> str:
+        return self._name
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise MarshalError(message)
+
+
+def _encode_int(value: object, out: bytearray) -> None:
+    _require(type(value) is int, f"expected int, got {type(value).__name__}")
+    encode_signed(value, out)
+
+
+def _encode_bool(value: object, out: bytearray) -> None:
+    _require(type(value) is bool, f"expected bool, got {type(value).__name__}")
+    out.append(1 if value else 0)
+
+
+def _decode_bool(reader: WireReader) -> bool:
+    byte = reader.read_byte()
+    _require(byte in (0, 1), f"bad bool byte {byte:#x}")
+    return byte == 1
+
+
+def _encode_float(value: object, out: bytearray) -> None:
+    _require(
+        type(value) in (float, int), f"expected float, got {type(value).__name__}"
+    )
+    encode_float(float(value), out)
+
+
+def _encode_str(value: object, out: bytearray) -> None:
+    _require(type(value) is str, f"expected str, got {type(value).__name__}")
+    raw = value.encode("utf-8")
+    encode_varint(len(raw), out)
+    out.extend(raw)
+
+
+def _decode_str(reader: WireReader) -> str:
+    length = reader.read_varint()
+    _require(length <= reader.remaining(), "string length exceeds input")
+    return reader.read_bytes(length).decode("utf-8")
+
+
+def _encode_bytes(value: object, out: bytearray) -> None:
+    _require(
+        type(value) in (bytes, bytearray),
+        f"expected bytes, got {type(value).__name__}",
+    )
+    encode_varint(len(value), out)
+    out.extend(value)
+
+
+def _decode_bytes(reader: WireReader) -> bytes:
+    length = reader.read_varint()
+    _require(length <= reader.remaining(), "bytes length exceeds input")
+    return reader.read_bytes(length)
+
+
+def _encode_void(value: object, out: bytearray) -> None:
+    _require(value is None, f"expected None, got {type(value).__name__}")
+
+
+Int = _Atom("int", _encode_int, lambda r: r.read_signed())
+Bool = _Atom("bool", _encode_bool, _decode_bool)
+Float = _Atom("float", _encode_float, lambda r: r.read_float())
+Str = _Atom("str", _encode_str, _decode_str)
+Bytes = _Atom("bytes", _encode_bytes, _decode_bytes)
+Void = _Atom("void", _encode_void, lambda r: None)
+
+
+class ListOf(TypeExpr):
+    def __init__(self, element: TypeExpr) -> None:
+        self.element = element
+
+    def encoder(self) -> Encoder:
+        encode_element = self.element.encoder()
+
+        def encode(value: object, out: bytearray) -> None:
+            _require(
+                type(value) in (list, tuple),
+                f"expected list, got {type(value).__name__}",
+            )
+            encode_varint(len(value), out)
+            for item in value:
+                encode_element(item, out)
+
+        return encode
+
+    def decoder(self) -> Decoder:
+        decode_element = self.element.decoder()
+
+        def decode(reader: WireReader) -> list:
+            count = reader.read_varint()
+            _require(count <= reader.remaining() + 1, "list count exceeds input")
+            return [decode_element(reader) for _ in range(count)]
+
+        return decode
+
+    def describe(self) -> str:
+        return f"list<{self.element.describe()}>"
+
+
+class DictOf(TypeExpr):
+    def __init__(self, key: TypeExpr, value: TypeExpr) -> None:
+        self.key = key
+        self.value = value
+
+    def encoder(self) -> Encoder:
+        encode_key = self.key.encoder()
+        encode_value = self.value.encoder()
+
+        def encode(value: object, out: bytearray) -> None:
+            _require(type(value) is dict, f"expected dict, got {type(value).__name__}")
+            encode_varint(len(value), out)
+            for k, v in value.items():
+                encode_key(k, out)
+                encode_value(v, out)
+
+        return encode
+
+    def decoder(self) -> Decoder:
+        decode_key = self.key.decoder()
+        decode_value = self.value.decoder()
+
+        def decode(reader: WireReader) -> dict:
+            count = reader.read_varint()
+            _require(count <= reader.remaining() + 1, "dict count exceeds input")
+            result = {}
+            for _ in range(count):
+                k = decode_key(reader)
+                result[k] = decode_value(reader)
+            return result
+
+        return decode
+
+    def describe(self) -> str:
+        return f"dict<{self.key.describe()},{self.value.describe()}>"
+
+
+class TupleOf(TypeExpr):
+    def __init__(self, *elements: TypeExpr) -> None:
+        self.elements = elements
+
+    def encoder(self) -> Encoder:
+        encoders = [e.encoder() for e in self.elements]
+
+        def encode(value: object, out: bytearray) -> None:
+            _require(
+                type(value) is tuple and len(value) == len(encoders),
+                f"expected {len(encoders)}-tuple, got {value!r}",
+            )
+            for item, encode_item in zip(value, encoders):
+                encode_item(item, out)
+
+        return encode
+
+    def decoder(self) -> Decoder:
+        decoders = [e.decoder() for e in self.elements]
+
+        def decode(reader: WireReader) -> tuple:
+            return tuple(decode_item(reader) for decode_item in decoders)
+
+        return decode
+
+    def describe(self) -> str:
+        inner = ",".join(e.describe() for e in self.elements)
+        return f"tuple<{inner}>"
+
+
+class OptionalOf(TypeExpr):
+    def __init__(self, element: TypeExpr) -> None:
+        self.element = element
+
+    def encoder(self) -> Encoder:
+        encode_element = self.element.encoder()
+
+        def encode(value: object, out: bytearray) -> None:
+            if value is None:
+                out.append(0)
+            else:
+                out.append(1)
+                encode_element(value, out)
+
+        return encode
+
+    def decoder(self) -> Decoder:
+        decode_element = self.element.decoder()
+
+        def decode(reader: WireReader) -> object:
+            flag = reader.read_byte()
+            _require(flag in (0, 1), f"bad optional flag {flag:#x}")
+            return decode_element(reader) if flag else None
+
+        return decode
+
+    def describe(self) -> str:
+        return f"optional<{self.element.describe()}>"
+
+
+class RecordOf(TypeExpr):
+    """A statically declared record: fixed class, fixed field order."""
+
+    def __init__(self, cls: type, fields: list[tuple[str, TypeExpr]]) -> None:
+        self.cls = cls
+        self.fields = list(fields)
+
+    def encoder(self) -> Encoder:
+        cls = self.cls
+        plan = [(name, expr.encoder()) for name, expr in self.fields]
+
+        def encode(value: object, out: bytearray) -> None:
+            _require(
+                isinstance(value, cls),
+                f"expected {cls.__name__}, got {type(value).__name__}",
+            )
+            for name, encode_field in plan:
+                encode_field(getattr(value, name), out)
+
+        return encode
+
+    def decoder(self) -> Decoder:
+        cls = self.cls
+        plan = [(name, expr.decoder()) for name, expr in self.fields]
+
+        def decode(reader: WireReader) -> object:
+            instance = cls.__new__(cls)
+            for name, decode_field in plan:
+                object.__setattr__(instance, name, decode_field(reader))
+            return instance
+
+        return decode
+
+    def describe(self) -> str:
+        return f"record<{self.cls.__name__}>"
+
+
+class Pickled(TypeExpr):
+    """Escape hatch: carry an arbitrary value via the pickle package.
+
+    The paper notes each mechanism "would benefit from adding the
+    mechanisms of the other"; this is that bridge, used where a signature
+    is genuinely dynamic (the name server's tree values).
+    """
+
+    def __init__(self, registry=None) -> None:
+        from repro.pickles import DEFAULT_REGISTRY
+
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+
+    def encoder(self) -> Encoder:
+        from repro.pickles import pickle_write
+
+        registry = self.registry
+
+        def encode(value: object, out: bytearray) -> None:
+            blob = pickle_write(value, registry)
+            encode_varint(len(blob), out)
+            out.extend(blob)
+
+        return encode
+
+    def decoder(self) -> Decoder:
+        from repro.pickles import pickle_read
+
+        registry = self.registry
+
+        def decode(reader: WireReader) -> object:
+            length = reader.read_varint()
+            _require(length <= reader.remaining(), "pickle length exceeds input")
+            return pickle_read(reader.read_bytes(length), registry)
+
+        return decode
+
+    def describe(self) -> str:
+        return "pickled"
+
+
+def compile_params(
+    params: list[tuple[str, TypeExpr]],
+) -> tuple[Callable[[tuple], bytes], Callable[[WireReader], tuple]]:
+    """Compile a parameter list into (encode_args, decode_args)."""
+    encoders = [(name, expr.encoder()) for name, expr in params]
+    decoders = [expr.decoder() for _, expr in params]
+
+    def encode_args(args: tuple) -> bytes:
+        if len(args) != len(encoders):
+            raise MarshalError(
+                f"expected {len(encoders)} arguments, got {len(args)}"
+            )
+        out = bytearray()
+        for (name, encode), value in zip(encoders, args):
+            try:
+                encode(value, out)
+            except MarshalError as exc:
+                raise MarshalError(f"argument {name!r}: {exc}") from None
+        return bytes(out)
+
+    def decode_args(reader: WireReader) -> tuple:
+        return tuple(decode(reader) for decode in decoders)
+
+    return encode_args, decode_args

@@ -1,0 +1,114 @@
+"""Clocks for the simulation substrate.
+
+Two clock implementations share one small interface:
+
+* :class:`SimClock` — a deterministic virtual clock.  It only moves when a
+  component explicitly charges time to it (disk I/O through the latency
+  model, CPU work through the cost model).  All of the paper-shaped
+  benchmarks run against a ``SimClock`` so the reported milliseconds are the
+  modelled 1987 costs, not the wall-clock speed of the host.
+
+* :class:`WallClock` — real elapsed time via ``time.perf_counter``.
+  ``advance`` is a no-op: real time cannot be pushed forward.  Used when the
+  library is embedded as an actual database over :class:`~repro.storage.LocalFS`.
+
+Both are thread-safe; the database serialises its own critical sections but
+the RPC server charges network time from multiple threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface for time sources used throughout the library."""
+
+    def now(self) -> float:
+        """Return the current time in seconds (monotonic)."""
+        raise NotImplementedError
+
+    def advance(self, seconds: float) -> float:
+        """Charge ``seconds`` of modelled time; returns the new time."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or model blocking) for ``seconds``."""
+        raise NotImplementedError
+
+
+class SimClock(Clock):
+    """Deterministic virtual clock advanced explicitly by cost models.
+
+    >>> clock = SimClock()
+    >>> clock.advance(0.020)
+    0.02
+    >>> clock.now()
+    0.02
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """In simulation, sleeping is just advancing the clock."""
+        self.advance(seconds)
+
+    def elapsed_since(self, mark: float) -> float:
+        """Seconds of virtual time since ``mark`` (a prior ``now()``)."""
+        return self.now() - mark
+
+
+class WallClock(Clock):
+    """Real time.  ``advance`` is a no-op so cost models are harmless."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        return self.now()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class Stopwatch:
+    """Measure an interval on any :class:`Clock`.
+
+    >>> clock = SimClock()
+    >>> watch = Stopwatch(clock)
+    >>> _ = clock.advance(1.5)
+    >>> watch.elapsed()
+    1.5
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self._start = clock.now()
+
+    def elapsed(self) -> float:
+        return self._clock.now() - self._start
+
+    def restart(self) -> float:
+        """Return the elapsed interval and start a new one."""
+        now = self._clock.now()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed

@@ -1,0 +1,202 @@
+"""Deterministic workload generators for benchmarks and crash tests.
+
+The paper's target envelope: databases up to ~10 MB, bursts of up to 10
+updates/second, ~10 000 updates/day, read-mostly.  The generators here
+build name populations shaped like the motivating examples (user
+accounts, network names, configuration) and emit operation streams with a
+configurable enquiry/update mix.  Everything is seeded, so a benchmark
+run is reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+_ORGS = ("dec", "cmu", "mit", "berkeley", "xerox", "bell")
+_KINDS = ("hosts", "users", "printers", "volumes", "services")
+_FIRST = (
+    "andrew", "michael", "edward", "barbara", "butler", "roger",
+    "susan", "david", "karen", "robert", "nancy", "james",
+)
+_LAST = (
+    "birrell", "jones", "wobber", "lampson", "needham", "schroeder",
+    "levin", "gray", "liskov", "satya", "terry", "swinehart",
+)
+
+
+def random_names(rng: random.Random, count: int, max_depth: int = 4) -> list[tuple[str, ...]]:
+    """A hierarchical name population, org/kind/name[/attr]."""
+    names: list[tuple[str, ...]] = []
+    seen: set[tuple[str, ...]] = set()
+    while len(names) < count:
+        org = rng.choice(_ORGS)
+        kind = rng.choice(_KINDS)
+        base = f"{rng.choice(_FIRST)}-{rng.choice(_LAST)}-{rng.randrange(10_000)}"
+        path: tuple[str, ...] = (org, kind, base)
+        if max_depth > 3 and rng.random() < 0.3:
+            path = path + (rng.choice(("address", "password", "aliases", "home")),)
+        if path in seen:
+            continue
+        seen.add(path)
+        names.append(path)
+    return names
+
+
+def account_record(rng: random.Random, name: str) -> dict:
+    """A user-account-shaped value (the paper's /etc/passwd motivation)."""
+    return {
+        "user": name,
+        "uid": rng.randrange(1, 65_536),
+        "home": f"/usr/{name}",
+        "shell": rng.choice(("/bin/sh", "/bin/csh")),
+        "groups": [rng.choice(_ORGS) for _ in range(rng.randrange(1, 4))],
+        "quota": rng.randrange(1_000, 100_000),
+        "remark": "x" * rng.randrange(10, 120),
+    }
+
+
+def account_records(rng: random.Random, count: int) -> list[tuple[str, dict]]:
+    records = []
+    for index in range(count):
+        name = f"{rng.choice(_FIRST)}{index:05d}"
+        records.append((name, account_record(rng, name)))
+    return records
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One generated operation."""
+
+    kind: str  # "lookup" | "list" | "bind" | "unbind" | "write_subtree"
+    path: tuple[str, ...]
+    value: object = None
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """Fractions of each operation kind (enquiries dominate by default)."""
+
+    lookup: float = 0.80
+    list_dir: float = 0.10
+    bind: float = 0.08
+    unbind: float = 0.02
+
+    def __post_init__(self) -> None:
+        total = self.lookup + self.list_dir + self.bind + self.unbind
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"mix fractions sum to {total}, not 1.0")
+
+
+#: The paper's long-term profile: read-mostly.
+READ_MOSTLY = OperationMix()
+#: A burst of updates (the 10 tx/s short-term envelope).
+UPDATE_HEAVY = OperationMix(lookup=0.10, list_dir=0.0, bind=0.80, unbind=0.10)
+
+
+class NameWorkload:
+    """A seeded name-server workload over a fixed name population."""
+
+    def __init__(
+        self,
+        seed: int = 1987,
+        population: int = 1000,
+        value_bytes: int = 200,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.names = random_names(self.rng, population)
+        self.value_bytes = value_bytes
+
+    def value_for(self, path: tuple[str, ...]) -> dict:
+        """A value sized so a pickled update entry matches the paper's.
+
+        The filler is derived from the path so that distinct names carry
+        distinct strings — otherwise the pickle package's string
+        deduplication would shrink the checkpoint far below the intended
+        database size.
+        """
+        filler = f"{'/'.join(path)}#{self.rng.randrange(2**20)}|"
+        data = (filler * (self.value_bytes // len(filler) + 1))[: self.value_bytes]
+        return {
+            "owner": path[-1],
+            "created": self.rng.randrange(2**30),
+            "data": data,
+        }
+
+    def populate(self, server) -> None:
+        """Bind the whole population (initial database load)."""
+        for path in self.names:
+            server.bind(path, self.value_for(path))
+
+    def populate_to_bytes(self, server, target_bytes: int) -> int:
+        """Bind names until the checkpoint would be about ``target_bytes``.
+
+        Returns the number of names bound.  Used to build the paper's
+        "1 megabyte database".
+        """
+        from repro.pickles import pickle_write
+
+        bound = 0
+        while True:
+            if bound >= len(self.names):
+                # Population exhausted below target: extend it.
+                self.names.extend(random_names(self.rng, 500))
+            path = self.names[bound]
+            server.bind(path, self.value_for(path))
+            bound += 1
+            if bound % 200 == 0:
+                size = len(pickle_write(server.db.enquire(lambda r: r)))
+                if size >= target_bytes:
+                    return bound
+
+    def operations(self, count: int, mix: OperationMix = READ_MOSTLY) -> Iterator[WorkloadOp]:
+        """A seeded stream of operations over the population."""
+        thresholds = (
+            mix.lookup,
+            mix.lookup + mix.list_dir,
+            mix.lookup + mix.list_dir + mix.bind,
+        )
+        for _ in range(count):
+            roll = self.rng.random()
+            path = self.rng.choice(self.names)
+            if roll < thresholds[0]:
+                yield WorkloadOp("lookup", path)
+            elif roll < thresholds[1]:
+                yield WorkloadOp("list", path[:-1])
+            elif roll < thresholds[2]:
+                yield WorkloadOp("bind", path, self.value_for(path))
+            else:
+                yield WorkloadOp("unbind", path)
+
+    def apply(self, server, op: WorkloadOp) -> None:
+        """Run one generated op against a NameServer-like object."""
+        from repro.nameserver.errors import NameNotFound
+
+        if op.kind == "lookup":
+            try:
+                server.lookup(op.path)
+            except NameNotFound:
+                pass  # an earlier unbind removed it; still a valid enquiry
+        elif op.kind == "list":
+            server.list_dir(op.path)
+        elif op.kind == "bind":
+            server.bind(op.path, op.value)
+        elif op.kind == "unbind":
+            try:
+                server.unbind(op.path)
+            except NameNotFound:
+                pass
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+@dataclass(frozen=True)
+class UpdateBurst:
+    """The paper's short-term envelope: a burst of updates at a rate."""
+
+    updates: int = 100
+    target_rate_per_second: float = 10.0
+
+    def within_envelope(self, achieved_rate: float) -> bool:
+        return achieved_rate >= self.target_rate_per_second

@@ -1,0 +1,51 @@
+"""Storage substrate: disks, file systems, latency models, failure injection.
+
+The database core (:mod:`repro.core`) is written against the
+:class:`FileSystem` interface and runs identically over:
+
+* :class:`SimFS` — a crash-faithful simulated file system over
+  :class:`SimulatedDisk`, with modelled 1987 disk timing, scheduled
+  crashes, torn page writes and injectable hard (media) errors; and
+* :class:`LocalFS` — a real directory, for embedded use.
+"""
+
+from repro.storage.disk import DiskStats, SimulatedDisk
+from repro.storage.errors import (
+    FileExists,
+    FileNotFound,
+    HandleClosed,
+    HardError,
+    InvalidFileName,
+    SimulatedCrash,
+    StorageError,
+)
+from repro.storage.failures import FailureInjector, NullInjector
+from repro.storage.interface import AppendHandle, FileSystem, ReadHandle
+from repro.storage.latency import MODERN_SSD, NULL_DISK_MODEL, RA81_1987, DiskModel
+from repro.storage.localfs import LocalFS
+from repro.storage.prefix import PrefixedFS
+from repro.storage.simfs import SimFS
+
+__all__ = [
+    "AppendHandle",
+    "DiskModel",
+    "DiskStats",
+    "FailureInjector",
+    "FileExists",
+    "FileNotFound",
+    "FileSystem",
+    "HandleClosed",
+    "HardError",
+    "InvalidFileName",
+    "LocalFS",
+    "MODERN_SSD",
+    "NULL_DISK_MODEL",
+    "NullInjector",
+    "PrefixedFS",
+    "RA81_1987",
+    "ReadHandle",
+    "SimFS",
+    "SimulatedCrash",
+    "SimulatedDisk",
+    "StorageError",
+]

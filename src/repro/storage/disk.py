@@ -1,0 +1,231 @@
+"""A simulated page-addressed disk.
+
+This is the bottom of the storage substrate: a flat array of fixed-size
+pages with
+
+* a free-page allocator,
+* modelled timing (charged to a :class:`~repro.sim.clock.SimClock` through a
+  :class:`~repro.storage.latency.DiskModel`),
+* torn-write behaviour on a scheduled crash (the page being written is
+  destroyed and subsequently reads as a hard error — the disk property the
+  paper's log recovery depends on), and
+* hard-error injection for media-failure experiments.
+
+The simulated file system (:class:`~repro.storage.simfs.SimFS`) stores file
+extents here; everything on this disk is by definition durable — volatile
+(unsynced) state lives in the file system layer, so "crash" at this layer
+needs no action beyond abandoning the in-flight write.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.sim.clock import Clock, SimClock
+from repro.storage.errors import HardError, StorageError
+from repro.storage.failures import FailureInjector, NullInjector
+from repro.storage.latency import DiskModel, RA81_1987
+
+#: Pattern filling a torn page; never produced by the pickle or log encoders,
+#: but recovery must not rely on that — torn pages also read as errors.
+_TORN_FILL = b"\xde"
+
+
+@dataclass
+class DiskStats:
+    """Counters for disk traffic; the basis of the E7 comparison."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_calls: int = 0
+    write_calls: int = 0
+    #: pages destroyed by a crash landing mid-write
+    pages_torn: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "page_reads": self.page_reads,
+                "page_writes": self.page_writes,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+                "read_calls": self.read_calls,
+                "write_calls": self.write_calls,
+                "pages_torn": self.pages_torn,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.page_reads = 0
+            self.page_writes = 0
+            self.bytes_read = 0
+            self.bytes_written = 0
+            self.read_calls = 0
+            self.write_calls = 0
+            self.pages_torn = 0
+
+
+class SimulatedDisk:
+    """Fixed-size-page store with modelled latency and failure injection."""
+
+    def __init__(
+        self,
+        model: DiskModel = RA81_1987,
+        clock: Clock | None = None,
+        injector: FailureInjector | None = None,
+    ) -> None:
+        self.model = model
+        self.clock = clock if clock is not None else SimClock()
+        self.injector = injector if injector is not None else NullInjector()
+        self.stats = DiskStats()
+        self._pages: dict[int, bytes] = {}
+        self._bad: set[int] = set()
+        self._free: list[int] = []
+        self._next_page = 0
+        self._lock = threading.RLock()
+
+    @property
+    def page_size(self) -> int:
+        return self.model.page_size
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(self) -> int:
+        """Reserve a fresh page id (contents undefined until written)."""
+        with self._lock:
+            if self._free:
+                return self._free.pop()
+            page_id = self._next_page
+            self._next_page += 1
+            return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the allocator; clears any bad mark."""
+        with self._lock:
+            self._pages.pop(page_id, None)
+            self._bad.discard(page_id)
+            self._free.append(page_id)
+
+    def pages_in_use(self) -> int:
+        with self._lock:
+            return self._next_page - len(self._free)
+
+    # -- I/O ----------------------------------------------------------------
+
+    def write_pages(
+        self, writes: list[tuple[int, bytes]], continuation: bool = False
+    ) -> None:
+        """Durably write a batch of ``(page_id, data)`` pairs in order.
+
+        The batch is charged as one positioning delay plus a sequential
+        transfer — this is how the file system expresses "flush these dirty
+        pages of one file"; ``continuation=True`` skips the positioning
+        delay entirely (the batch continues an earlier one).  Each page
+        write is a durable disk event for the failure injector; if the
+        scheduled crash lands on a page of this batch, the earlier pages
+        of the batch are durable, the page in flight is torn (old contents
+        destroyed, reads as an error), and the later pages are untouched.
+        """
+        if not writes:
+            return
+        total_bytes = 0
+        for index, (page_id, data) in enumerate(writes):
+            if len(data) > self.page_size:
+                raise StorageError(
+                    f"page write of {len(data)} bytes exceeds page size {self.page_size}"
+                )
+            self.clock.advance(
+                self.model.io_seconds(1, len(data), sequential=continuation or index > 0)
+            )
+            total_bytes += len(data)
+            with self._lock:
+                if self.injector.crash_is_due_next() and self.injector.tear:
+                    # The in-flight page is destroyed: old content gone,
+                    # new content incomplete, reads report an error.
+                    self._pages[page_id] = _TORN_FILL * self.page_size
+                    self._bad.add(page_id)
+                    with self.stats._lock:
+                        self.stats.pages_torn += 1
+                    self.injector.on_event(f"torn write of page {page_id}")
+                    raise AssertionError("unreachable: on_event must crash")
+                self._pages[page_id] = bytes(data)
+                self._bad.discard(page_id)
+            # With tear disabled, a crash scheduled on this event fires
+            # here, *after* the page write completed cleanly.
+            self.injector.on_event(f"page write {page_id}")
+        with self.stats._lock:
+            self.stats.page_writes += len(writes)
+            self.stats.bytes_written += total_bytes
+            self.stats.write_calls += 1
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read one page; raises :class:`HardError` for damaged pages."""
+        return self.read_pages([page_id])[0]
+
+    def read_pages(
+        self, page_ids: list[int], continuation: bool = False
+    ) -> list[bytes]:
+        """Read a batch of pages, charged as one sequential transfer.
+
+        ``continuation=True`` skips the positioning delay entirely — the
+        batch continues an earlier sequential read (a streaming scan).
+        """
+        if not page_ids:
+            return []
+        out: list[bytes] = []
+        nbytes = 0
+        for index, page_id in enumerate(page_ids):
+            self.clock.advance(
+                self.model.io_seconds(
+                    1, self.page_size, sequential=continuation or index > 0
+                )
+            )
+            with self._lock:
+                if page_id in self._bad:
+                    raise HardError(f"page {page_id} is unreadable")
+                if page_id not in self._pages:
+                    raise StorageError(f"page {page_id} was never written")
+                data = self._pages[page_id]
+            out.append(data)
+            nbytes += len(data)
+        with self.stats._lock:
+            self.stats.page_reads += len(page_ids)
+            self.stats.bytes_read += nbytes
+            self.stats.read_calls += 1
+        return out
+
+    def metadata_sync(self) -> None:
+        """Charge and count one directory-metadata write.
+
+        A crash scheduled on this event fires before the caller applies the
+        durable metadata change, modelling a directory update that never
+        reached the disk.
+        """
+        self.clock.advance(self.model.io_seconds(1, self.page_size))
+        self.injector.on_event("metadata sync")
+        with self.stats._lock:
+            self.stats.page_writes += 1
+            self.stats.write_calls += 1
+
+    # -- failure injection ---------------------------------------------------
+
+    def mark_bad(self, page_id: int) -> None:
+        """Inject a hard (media) error on ``page_id``."""
+        with self._lock:
+            self._bad.add(page_id)
+
+    def is_bad(self, page_id: int) -> bool:
+        with self._lock:
+            return page_id in self._bad
+
+    def repair(self, page_id: int, data: bytes) -> None:
+        """Replace a damaged page (models sector reassignment + restore)."""
+        if len(data) > self.page_size:
+            raise StorageError("repair data exceeds page size")
+        with self._lock:
+            self._pages[page_id] = bytes(data)
+            self._bad.discard(page_id)

@@ -1,0 +1,81 @@
+"""Errors raised by the storage substrate.
+
+The hierarchy mirrors the paper's failure taxonomy (section 4):
+
+* *transient* failures — the system just stops.  The simulated form is
+  :class:`SimulatedCrash`, which deliberately derives from
+  ``BaseException`` so that no ``except Exception`` handler in library or
+  application code can accidentally swallow a crash and keep running past
+  the point where the machine "halted".
+
+* *hard* failures — some data on disk has become unreadable.  The disk is
+  assumed (as in the paper) to return either correct data or an error,
+  never silent corruption, so hard failures surface as :class:`HardError`
+  on read.
+"""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for storage substrate errors."""
+
+
+class FileNotFound(StorageError):
+    """The named file does not exist."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no such file: {name!r}")
+        self.name = name
+
+
+class FileExists(StorageError):
+    """The named file already exists and the operation forbids overwrite."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"file exists: {name!r}")
+        self.name = name
+
+
+class InvalidFileName(StorageError):
+    """The file name is empty or contains a path separator."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"invalid file name: {name!r}")
+        self.name = name
+
+
+class HandleClosed(StorageError):
+    """An operation was attempted on a closed file handle."""
+
+
+class HardError(StorageError):
+    """A hard (media) failure: the addressed data is unreadable.
+
+    The paper assumes disks report an error rather than returning corrupt
+    data — including for a page that was only partially written before a
+    crash.  Recovery code catches this to discard torn log entries and, for
+    checkpoint damage, to fall back to an older checkpoint or a replica.
+    """
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(f"hard disk error: {detail}")
+        self.detail = detail
+
+
+class SimulatedCrash(BaseException):
+    """The simulated machine halted (transient failure).
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so it
+    propagates through ordinary error handling: after a crash nothing may
+    run except the harness that owns the simulation, which quiesces the
+    file system (discarding unsynced state) and restarts the database.
+    """
+
+    def __init__(self, event_number: int, detail: str = "") -> None:
+        message = f"simulated crash at disk event #{event_number}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+        self.event_number = event_number
+        self.detail = detail

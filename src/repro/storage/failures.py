@@ -1,0 +1,86 @@
+"""Failure injection for the simulated storage substrate.
+
+Two failure classes from the paper's section 4 are injectable:
+
+* **Transient failures** ("the system just stops"): the injector counts
+  every durable disk event — each page write during an fsync and each
+  metadata (directory) sync — and raises
+  :class:`~repro.storage.errors.SimulatedCrash` when the scheduled event
+  number is reached.  If the crash lands on a data-page write, that page is
+  *torn*: its old contents are destroyed and reading it reports a hard
+  error, which is exactly the disk property the paper's log recovery relies
+  on ("a partially written page will report an error when it is read").
+
+* **Hard failures** (media damage): tests mark individual pages bad via
+  :meth:`SimulatedDisk.mark_bad` /
+  :meth:`~repro.storage.simfs.SimFS.corrupt`; subsequent reads raise
+  :class:`~repro.storage.errors.HardError`.
+
+The crash-point sweep (:mod:`repro.sim.crashtest`) runs a workload with the
+crash scheduled at event 1, 2, 3, … until the workload completes without
+crashing, verifying recovery from *every* intermediate disk state.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.storage.errors import SimulatedCrash
+
+
+class FailureInjector:
+    """Schedules a crash at the Nth durable disk event.
+
+    ``crash_at_event`` counts from 1; ``None`` disables crashing.  The event
+    counter keeps running across crashes so a harness can inspect how many
+    events a full run takes (run once with no schedule, read
+    :attr:`events_seen`, then sweep 1..events_seen).
+    """
+
+    def __init__(self, crash_at_event: int | None = None, tear: bool = True) -> None:
+        if crash_at_event is not None and crash_at_event < 1:
+            raise ValueError("crash_at_event counts from 1")
+        self.crash_at_event = crash_at_event
+        #: whether a crash landing on a data-page write destroys that page
+        #: (True: crash mid-write; False: crash just after the write).
+        self.tear = tear
+        self.events_seen = 0
+        self.crashed = False
+        self._lock = threading.Lock()
+
+    def on_event(self, detail: str = "") -> None:
+        """Record one durable disk event; crash if this is the scheduled one.
+
+        Returns normally if no crash is scheduled for this event.  The
+        caller (the simulated disk) is responsible for tearing the page it
+        was writing *before* calling this, so the crash leaves the torn
+        state behind.
+        """
+        with self._lock:
+            self.events_seen += 1
+            event = self.events_seen
+            due = self.crash_at_event is not None and event == self.crash_at_event
+            if due:
+                self.crashed = True
+        if due:
+            raise SimulatedCrash(event, detail)
+
+    def crash_is_due_next(self) -> bool:
+        """Whether the next event is the scheduled crash (peek, no count)."""
+        with self._lock:
+            return (
+                self.crash_at_event is not None
+                and self.events_seen + 1 == self.crash_at_event
+            )
+
+    def disarm(self) -> None:
+        """Cancel any scheduled crash (used after recovery completes)."""
+        with self._lock:
+            self.crash_at_event = None
+
+
+class NullInjector(FailureInjector):
+    """An injector that never crashes (the default)."""
+
+    def __init__(self) -> None:
+        super().__init__(crash_at_event=None)

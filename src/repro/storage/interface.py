@@ -1,0 +1,231 @@
+"""The file system interface the database core is written against.
+
+The paper builds its checkpoint/log machinery "on top of a Unix-like file
+system", using only a handful of primitives: create, append, whole-file
+write, read, delete, atomic rename, and fsync.  This module pins down that
+contract so the core runs identically over two implementations:
+
+* :class:`~repro.storage.simfs.SimFS` — a crash-faithful simulation (data
+  survives a crash only if fsynced; in-flight page writes can tear; hard
+  errors can be injected) with modelled 1987 disk timing.
+
+* :class:`~repro.storage.localfs.LocalFS` — a real directory, for using the
+  library as an actual embedded database.
+
+All names are flat (a single directory, exactly as the paper's name server
+uses), and all byte counts are plain ``bytes``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.storage.errors import HandleClosed
+
+
+class FileSystem:
+    """Abstract flat-directory file system.
+
+    Durability contract (matching Unix semantics as the paper relies on
+    them):
+
+    * data written to a file is durable only after :meth:`fsync` on that
+      file;
+    * namespace operations (create / delete / rename) are durable only
+      after :meth:`fsync_dir` — except that :meth:`fsync` of a file also
+      makes that file's own directory entry durable, which is the
+      "appropriate number of fsync calls" the paper alludes to;
+    * :meth:`rename` is atomic: after a crash the destination name refers
+      to either the old or the new file, never a mixture.
+    """
+
+    # -- namespace ---------------------------------------------------------
+
+    def create(self, name: str, exclusive: bool = False) -> None:
+        """Create an empty file.  With ``exclusive`` raise if it exists."""
+        raise NotImplementedError
+
+    def exists(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove a file; raises :class:`FileNotFound` if absent."""
+        raise NotImplementedError
+
+    def delete_if_exists(self, name: str) -> bool:
+        """Remove a file if present; returns whether it existed."""
+        if self.exists(name):
+            self.delete(name)
+            return True
+        return False
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically rename ``src`` to ``dst``, replacing any existing ``dst``."""
+        raise NotImplementedError
+
+    def list_names(self) -> list[str]:
+        """All file names, sorted."""
+        raise NotImplementedError
+
+    def fsync_dir(self) -> None:
+        """Make all namespace operations durable."""
+        raise NotImplementedError
+
+    # -- data --------------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        """Return the entire current contents of ``name``."""
+        raise NotImplementedError
+
+    def read_range(self, name: str, offset: int, length: int) -> bytes:
+        """Return up to ``length`` bytes starting at ``offset``.
+
+        Returns fewer bytes only at end of file.  Raises
+        :class:`HardError` if the range covers damaged media.
+        """
+        raise NotImplementedError
+
+    def write(self, name: str, data: bytes) -> None:
+        """Replace the contents of ``name`` (creating it if needed)."""
+        raise NotImplementedError
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append ``data`` to ``name`` (creating it if needed)."""
+        raise NotImplementedError
+
+    def write_at(self, name: str, offset: int, data: bytes) -> None:
+        """Overwrite ``data`` in place at ``offset`` (may extend the file).
+
+        This is the primitive the paper's "ad hoc" rivals build on —
+        "updates are typically performed by overwriting existing data in
+        place" — and is exactly what makes them crash-fragile.  The
+        checkpoint/log core never uses it.
+        """
+        raise NotImplementedError
+
+    def size(self, name: str) -> int:
+        """Current length of ``name`` in bytes."""
+        raise NotImplementedError
+
+    def truncate(self, name: str, new_size: int) -> None:
+        """Discard bytes of ``name`` beyond ``new_size``."""
+        raise NotImplementedError
+
+    def fsync(self, name: str) -> None:
+        """Force the file's data (and its directory entry) to disk."""
+        raise NotImplementedError
+
+    # -- handles -----------------------------------------------------------
+
+    def open_append(self, name: str) -> "AppendHandle":
+        """Open ``name`` for appending, creating it if needed."""
+        return AppendHandle(self, name)
+
+    def open_read(self, name: str) -> "ReadHandle":
+        """Open ``name`` for sequential reading."""
+        return ReadHandle(self, name)
+
+
+class AppendHandle:
+    """A stateful append cursor over :class:`FileSystem.append`.
+
+    The log writer holds one of these open for the life of a log file; the
+    handle exists so implementations may keep buffers, but the durability
+    point is always :meth:`sync`.
+    """
+
+    def __init__(self, fs: FileSystem, name: str) -> None:
+        self._fs = fs
+        self.name = name
+        self._closed = False
+        if not fs.exists(name):
+            fs.create(name)
+
+    def write(self, data: bytes) -> None:
+        """Append ``data``; not durable until :meth:`sync`."""
+        self._check_open()
+        self._fs.append(self.name, data)
+
+    def sync(self) -> None:
+        """Force all appended data to disk (the commit point)."""
+        self._check_open()
+        self._fs.fsync(self.name)
+
+    def tell(self) -> int:
+        """Current (volatile) end-of-file offset."""
+        self._check_open()
+        return self._fs.size(self.name)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise HandleClosed(f"append handle for {self.name!r} is closed")
+
+    def __enter__(self) -> "AppendHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ReadHandle:
+    """A sequential read cursor over :class:`FileSystem.read_range`."""
+
+    def __init__(self, fs: FileSystem, name: str) -> None:
+        self._fs = fs
+        self.name = name
+        self._offset = 0
+        self._closed = False
+
+    def read(self, length: int) -> bytes:
+        """Read up to ``length`` bytes; empty at end of file."""
+        self._check_open()
+        data = self._fs.read_range(self.name, self._offset, length)
+        self._offset += len(data)
+        return data
+
+    def read_exact(self, length: int) -> bytes:
+        """Read exactly ``length`` bytes or raise ``EOFError``."""
+        data = self.read(length)
+        if len(data) != length:
+            raise EOFError(
+                f"wanted {length} bytes at offset {self._offset - len(data)} "
+                f"of {self.name!r}, got {len(data)}"
+            )
+        return data
+
+    def seek(self, offset: int) -> None:
+        if offset < 0:
+            raise ValueError("negative seek offset")
+        self._check_open()
+        self._offset = offset
+
+    def tell(self) -> int:
+        return self._offset
+
+    def size(self) -> int:
+        self._check_open()
+        return self._fs.size(self.name)
+
+    def chunks(self, chunk_size: int = 65536) -> Iterator[bytes]:
+        """Yield the remainder of the file in ``chunk_size`` pieces."""
+        while True:
+            piece = self.read(chunk_size)
+            if not piece:
+                return
+            yield piece
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise HandleClosed(f"read handle for {self.name!r} is closed")
+
+    def __enter__(self) -> "ReadHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,152 @@
+"""A real-directory implementation of the file system interface.
+
+``LocalFS`` makes the library usable as an actual embedded database: the
+checkpoint, log and version files land in an ordinary directory, appends
+are real appends, ``fsync`` is :func:`os.fsync`, and rename atomicity is
+the host file system's.  It implements exactly the same interface as
+:class:`~repro.storage.simfs.SimFS`, so the database core cannot tell the
+difference; what it cannot do is simulate crashes or inject media errors —
+those experiments require ``SimFS``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.storage.errors import (
+    FileExists,
+    FileNotFound,
+    InvalidFileName,
+    StorageError,
+)
+from repro.storage.interface import FileSystem
+
+
+class LocalFS(FileSystem):
+    """Flat-directory file system over a real OS directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.RLock()
+
+    def _path(self, name: str) -> str:
+        if not name or "/" in name or "\x00" in name or name in (".", ".."):
+            raise InvalidFileName(name)
+        return os.path.join(self.directory, name)
+
+    # -- namespace -----------------------------------------------------------
+
+    def create(self, name: str, exclusive: bool = False) -> None:
+        path = self._path(name)
+        with self._lock:
+            if exclusive and os.path.exists(path):
+                raise FileExists(name)
+            with open(path, "wb"):
+                pass
+
+    def exists(self, name: str) -> bool:
+        return os.path.isfile(self._path(name))
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        with self._lock:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                raise FileNotFound(name) from None
+
+    def rename(self, src: str, dst: str) -> None:
+        with self._lock:
+            try:
+                os.replace(self._path(src), self._path(dst))
+            except FileNotFoundError:
+                raise FileNotFound(src) from None
+
+    def list_names(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                entry
+                for entry in os.listdir(self.directory)
+                if os.path.isfile(os.path.join(self.directory, entry))
+            )
+
+    def fsync_dir(self) -> None:
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # -- data ------------------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        try:
+            with open(self._path(name), "rb") as f:
+                return f.read()
+        except FileNotFoundError:
+            raise FileNotFound(name) from None
+
+    def read_range(self, name: str, offset: int, length: int) -> bytes:
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset or length")
+        try:
+            with open(self._path(name), "rb") as f:
+                f.seek(offset)
+                return f.read(length)
+        except FileNotFoundError:
+            raise FileNotFound(name) from None
+
+    def write(self, name: str, data: bytes) -> None:
+        with open(self._path(name), "wb") as f:
+            f.write(data)
+
+    def append(self, name: str, data: bytes) -> None:
+        with open(self._path(name), "ab") as f:
+            f.write(data)
+
+    def write_at(self, name: str, offset: int, data: bytes) -> None:
+        if offset < 0:
+            raise ValueError("negative offset")
+        path = self._path(name)
+        mode = "r+b" if os.path.exists(path) else "w+b"
+        with open(path, mode) as f:
+            f.seek(0, os.SEEK_END)
+            size = f.tell()
+            if size < offset:
+                f.write(bytes(offset - size))
+            f.seek(offset)
+            f.write(data)
+
+    def size(self, name: str) -> int:
+        try:
+            return os.path.getsize(self._path(name))
+        except FileNotFoundError:
+            raise FileNotFound(name) from None
+
+    def truncate(self, name: str, new_size: int) -> None:
+        if new_size < 0:
+            raise ValueError("negative size")
+        path = self._path(name)
+        if not os.path.isfile(path):
+            raise FileNotFound(name)
+        if new_size > os.path.getsize(path):
+            raise StorageError(
+                f"cannot truncate {name!r} to {new_size}: larger than file"
+            )
+        os.truncate(path, new_size)
+
+    def fsync(self, name: str) -> None:
+        path = self._path(name)
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except FileNotFoundError:
+            raise FileNotFound(name) from None
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        # Make the directory entry durable too, as the paper's
+        # "appropriate number of fsync calls" requires.
+        self.fsync_dir()

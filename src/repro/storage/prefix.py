@@ -1,0 +1,84 @@
+"""A namespace adapter: many databases in one flat directory.
+
+``PrefixedFS`` exposes the :class:`FileSystem` interface over a slice of
+another file system's namespace: every name gains a ``prefix.`` on the
+way down and loses it on the way up.  This is what lets a
+:class:`~repro.core.sharding.ShardedDatabase` keep N independent
+checkpoint/log/version triples in a single directory, each invisible to
+the others' version-file protocol.
+"""
+
+from __future__ import annotations
+
+from repro.storage.errors import InvalidFileName
+from repro.storage.interface import FileSystem
+
+
+class PrefixedFS(FileSystem):
+    """A view of ``base`` restricted to names starting ``prefix.``."""
+
+    def __init__(self, base: FileSystem, prefix: str) -> None:
+        if not prefix or "/" in prefix or "." in prefix:
+            raise InvalidFileName(prefix)
+        self.base = base
+        self.prefix = prefix
+        self._full = f"{prefix}."
+        # The simulated substrate's attributes pass through so databases
+        # built on a prefixed view still find the clock and page size.
+        self.clock = getattr(base, "clock", None)
+        self.page_size = getattr(base, "page_size", 512)
+
+    def _wrap(self, name: str) -> str:
+        if not name:
+            raise InvalidFileName(name)
+        return self._full + name
+
+    # -- namespace -----------------------------------------------------------
+
+    def create(self, name: str, exclusive: bool = False) -> None:
+        self.base.create(self._wrap(name), exclusive)
+
+    def exists(self, name: str) -> bool:
+        return self.base.exists(self._wrap(name))
+
+    def delete(self, name: str) -> None:
+        self.base.delete(self._wrap(name))
+
+    def rename(self, src: str, dst: str) -> None:
+        self.base.rename(self._wrap(src), self._wrap(dst))
+
+    def list_names(self) -> list[str]:
+        return sorted(
+            name[len(self._full):]
+            for name in self.base.list_names()
+            if name.startswith(self._full)
+        )
+
+    def fsync_dir(self) -> None:
+        self.base.fsync_dir()
+
+    # -- data ------------------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        return self.base.read(self._wrap(name))
+
+    def read_range(self, name: str, offset: int, length: int) -> bytes:
+        return self.base.read_range(self._wrap(name), offset, length)
+
+    def write(self, name: str, data: bytes) -> None:
+        self.base.write(self._wrap(name), data)
+
+    def append(self, name: str, data: bytes) -> None:
+        self.base.append(self._wrap(name), data)
+
+    def write_at(self, name: str, offset: int, data: bytes) -> None:
+        self.base.write_at(self._wrap(name), offset, data)
+
+    def size(self, name: str) -> int:
+        return self.base.size(self._wrap(name))
+
+    def truncate(self, name: str, new_size: int) -> None:
+        self.base.truncate(self._wrap(name), new_size)
+
+    def fsync(self, name: str) -> None:
+        self.base.fsync(self._wrap(name))

@@ -1,0 +1,495 @@
+"""A crash-faithful simulated file system.
+
+``SimFS`` implements the :class:`~repro.storage.interface.FileSystem`
+contract over a :class:`~repro.storage.disk.SimulatedDisk` with Unix-like
+durability semantics, which is what lets the test suite crash the database
+at *every* intermediate disk state and check the paper's recovery claims:
+
+* File contents live in a volatile buffer (the "buffer cache") until
+  :meth:`fsync` flushes the dirty pages to the simulated disk.  A crash
+  discards everything volatile.
+
+* An fsync flushes only the dirty tail for append-only files (one page for
+  a typical log entry — the paper's "one disk write per update") but the
+  whole file after an overwrite.
+
+* Flushing rewrites the file's last partial page **in place**.  If a crash
+  tears that write, previously durable bytes in that page are destroyed and
+  read back as a hard error — the exact hazard the paper's log format
+  (length prefix + error-reporting pages) is designed to detect.
+
+* Namespace operations (create/delete/rename) are volatile until
+  :meth:`fsync_dir`; :meth:`fsync` of a file also makes that file's own
+  directory entry durable.  Rename is atomic.
+
+* :meth:`corrupt` injects a hard (media) error on the page containing a
+  given durable offset, for the section-4 hard-failure experiments.
+
+Reads are served from the volatile buffer when present (enquiries never
+touch the disk, as the paper stresses); after a crash the first read of a
+range fetches pages from the disk, charging modelled I/O time — which is
+why simulated restart time is dominated by checkpoint size and log length,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sim.clock import Clock, SimClock
+from repro.storage.disk import SimulatedDisk
+from repro.storage.errors import (
+    FileExists,
+    FileNotFound,
+    HardError,
+    InvalidFileName,
+    StorageError,
+)
+from repro.storage.failures import FailureInjector, NullInjector
+from repro.storage.interface import FileSystem
+from repro.storage.latency import DiskModel, RA81_1987
+
+
+class _Inode:
+    """Durable extent of one file: ordered disk pages plus a byte size."""
+
+    __slots__ = ("pages", "size")
+
+    def __init__(self) -> None:
+        self.pages: list[int] = []
+        self.size: int = 0
+
+
+class _File:
+    """Volatile view of one file."""
+
+    __slots__ = (
+        "inode",
+        "buffer",
+        "synced_size",
+        "prefix_dirty",
+        "dirty_pages",
+        "page_cache",
+        "last_faulted_page",
+        "shadow_bad",
+    )
+
+    def __init__(self, inode: _Inode, buffer: bytearray | None) -> None:
+        self.inode = inode
+        #: full current contents when known; None right after a crash
+        self.buffer = buffer
+        #: how many leading bytes of ``buffer`` match the durable content
+        self.synced_size = inode.size
+        #: True when the file was wholly rewritten since the last flush
+        self.prefix_dirty = False
+        #: page indexes touched by in-place writes since the last flush
+        self.dirty_pages: set[int] = set()
+        #: post-crash cache of clean pages read back from disk
+        self.page_cache: dict[int, bytes] = {}
+        #: last page index faulted in (sequential-scan detection)
+        self.last_faulted_page: int | None = None
+        #: buffer pages standing in for unreadable disk pages: their
+        #: placeholder contents must never be read or partially flushed
+        self.shadow_bad: set[int] = set()
+
+    def current_size(self) -> int:
+        if self.buffer is not None:
+            return len(self.buffer)
+        return self.inode.size
+
+
+class SimFS(FileSystem):
+    """Simulated flat-directory file system with crash semantics."""
+
+    def __init__(
+        self,
+        model: DiskModel = RA81_1987,
+        clock: Clock | None = None,
+        injector: FailureInjector | None = None,
+    ) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.injector = injector if injector is not None else NullInjector()
+        self.disk = SimulatedDisk(model=model, clock=self.clock, injector=self.injector)
+        self._files: dict[str, _File] = {}
+        self._durable: dict[str, _Inode] = {}
+        self._lock = threading.RLock()
+        self.fsync_calls = 0
+        self.crashes = 0
+
+    @property
+    def page_size(self) -> int:
+        return self.disk.page_size
+
+    # -- namespace -----------------------------------------------------------
+
+    def create(self, name: str, exclusive: bool = False) -> None:
+        self._check_name(name)
+        with self._lock:
+            if name in self._files:
+                if exclusive:
+                    raise FileExists(name)
+                self._files[name].buffer = bytearray()
+                self._files[name].prefix_dirty = True
+                return
+            self._files[name] = _File(_Inode(), bytearray())
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._files
+
+    def delete(self, name: str) -> None:
+        with self._lock:
+            if name not in self._files:
+                raise FileNotFound(name)
+            del self._files[name]
+
+    def rename(self, src: str, dst: str) -> None:
+        self._check_name(dst)
+        with self._lock:
+            if src not in self._files:
+                raise FileNotFound(src)
+            self._files[dst] = self._files.pop(src)
+
+    def list_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._files)
+
+    def fsync_dir(self) -> None:
+        """Make the whole namespace durable with one metadata write."""
+        with self._lock:
+            self.disk.metadata_sync()
+            self._durable = {name: f.inode for name, f in self._files.items()}
+            self._collect_unreferenced()
+
+    # -- data ------------------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        with self._lock:
+            f = self._get(name)
+            return bytes(self._read_range(f, 0, f.current_size()))
+
+    def read_range(self, name: str, offset: int, length: int) -> bytes:
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset or length")
+        with self._lock:
+            f = self._get(name)
+            end = min(offset + length, f.current_size())
+            if end <= offset:
+                return b""
+            return bytes(self._read_range(f, offset, end - offset))
+
+    def write(self, name: str, data: bytes) -> None:
+        self._check_name(name)
+        with self._lock:
+            f = self._files.get(name)
+            if f is None:
+                f = _File(_Inode(), bytearray())
+                self._files[name] = f
+            f.buffer = bytearray(data)
+            f.prefix_dirty = True
+            f.page_cache.clear()
+            f.shadow_bad.clear()  # a whole-file rewrite replaces everything
+
+    def append(self, name: str, data: bytes) -> None:
+        self._check_name(name)
+        with self._lock:
+            f = self._files.get(name)
+            if f is None:
+                f = _File(_Inode(), bytearray())
+                self._files[name] = f
+            if f.buffer is None:
+                self._materialize(f)
+            assert f.buffer is not None
+            if data and len(f.buffer) % self.page_size:
+                tail_page = (len(f.buffer) - 1) // self.page_size
+                if tail_page in f.shadow_bad:
+                    # Appending requires read-modify-write of the partial
+                    # tail page, which is unreadable.
+                    raise HardError(
+                        f"cannot append: tail page {tail_page} is unreadable"
+                    )
+            f.buffer.extend(data)
+
+    def write_at(self, name: str, offset: int, data: bytes) -> None:
+        """In-place overwrite; only the touched pages are flushed."""
+        if offset < 0:
+            raise ValueError("negative offset")
+        self._check_name(name)
+        with self._lock:
+            f = self._files.get(name)
+            if f is None:
+                f = _File(_Inode(), bytearray())
+                self._files[name] = f
+            if f.buffer is None:
+                self._materialize(f)
+            assert f.buffer is not None
+            end = offset + len(data)
+            new_size = max(len(f.buffer), end)
+            first = offset // self.page_size
+            last = (end - 1) // self.page_size if end else first
+            healed = []
+            for index in range(first, last + 1):
+                if index in f.shadow_bad:
+                    page_start = index * self.page_size
+                    page_end = min((index + 1) * self.page_size, new_size)
+                    if offset <= page_start and end >= page_end:
+                        healed.append(index)  # fully rewritten below
+                    else:
+                        raise HardError(
+                            f"partial in-place write to unreadable page {index}"
+                        )
+            if len(f.buffer) < end:
+                f.buffer.extend(bytes(end - len(f.buffer)))
+            f.buffer[offset:end] = data
+            for index in healed:
+                f.shadow_bad.discard(index)
+            f.dirty_pages.update(range(first, last + 1))
+
+    def size(self, name: str) -> int:
+        with self._lock:
+            return self._get(name).current_size()
+
+    def truncate(self, name: str, new_size: int) -> None:
+        """Discard bytes beyond ``new_size`` (volatile until a later flush).
+
+        Used by log recovery to cut a torn tail off the log.  Truncation to
+        a prefix of the durable content is free of disk writes: the durable
+        inode keeps its old size until an append is flushed, and a crash in
+        between simply makes recovery recompute the same truncation.
+        """
+        if new_size < 0:
+            raise ValueError("negative size")
+        with self._lock:
+            f = self._get(name)
+            if new_size > f.current_size():
+                raise StorageError(
+                    f"cannot truncate {name!r} to {new_size}: "
+                    f"larger than current size {f.current_size()}"
+                )
+            content = self._read_range(f, 0, new_size)
+            f.buffer = bytearray(content)
+            f.page_cache.clear()
+            f.shadow_bad.clear()  # the read above proved the prefix is clean
+            if new_size <= f.synced_size and not f.prefix_dirty:
+                f.synced_size = new_size
+            else:
+                f.prefix_dirty = True
+
+    def fsync(self, name: str) -> None:
+        """Flush dirty pages; also make this file's name durable.
+
+        This is where simulated crashes land: the disk's page writes are
+        the injector's events, and a torn write destroys the page in
+        flight (including any previously durable bytes sharing it).
+        """
+        with self._lock:
+            f = self._get(name)
+            self.fsync_calls += 1
+            if f.buffer is not None:
+                self._flush(f)
+            if self._durable.get(name) is not f.inode:
+                self.disk.metadata_sync()
+                self._durable[name] = f.inode
+
+    # -- crash / failure injection -----------------------------------------------
+
+    def crash(self) -> None:
+        """The machine halts: all volatile state is discarded.
+
+        After this, the file system presents exactly what had been made
+        durable — the state a restart sequence must recover from.
+        """
+        with self._lock:
+            self.crashes += 1
+            self._files = {
+                name: _File(inode, None) for name, inode in self._durable.items()
+            }
+            self._collect_unreferenced()
+
+    def corrupt(self, name: str, offset: int) -> None:
+        """Inject a hard error on the durable page containing ``offset``."""
+        with self._lock:
+            inode = self._durable.get(name)
+            if inode is None:
+                raise FileNotFound(name)
+            index = offset // self.page_size
+            if not 0 <= index < len(inode.pages):
+                raise StorageError(
+                    f"offset {offset} beyond durable size {inode.size} of {name!r}"
+                )
+            self.disk.mark_bad(inode.pages[index])
+
+    def durable_names(self) -> list[str]:
+        """The namespace a crash would leave behind (for tests)."""
+        with self._lock:
+            return sorted(self._durable)
+
+    def durable_size(self, name: str) -> int:
+        with self._lock:
+            inode = self._durable.get(name)
+            if inode is None:
+                raise FileNotFound(name)
+            return inode.size
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check_name(self, name: str) -> None:
+        if not name or "/" in name or "\x00" in name:
+            raise InvalidFileName(name)
+
+    def _get(self, name: str) -> _File:
+        f = self._files.get(name)
+        if f is None:
+            raise FileNotFound(name)
+        return f
+
+    def _read_range(self, f: _File, offset: int, length: int) -> bytes:
+        """Read from the buffer cache, faulting pages from disk if needed."""
+        if f.buffer is not None:
+            if f.shadow_bad:
+                first = offset // self.page_size
+                last = max(first, (offset + length - 1) // self.page_size)
+                for index in range(first, last + 1):
+                    if index in f.shadow_bad:
+                        raise HardError(
+                            f"page {index} of the file is unreadable"
+                        )
+            return bytes(f.buffer[offset : offset + length])
+        # Post-crash: assemble from durable pages, caching clean ones.
+        end = min(offset + length, f.inode.size)
+        if end <= offset:
+            return b""
+        first = offset // self.page_size
+        last = (end - 1) // self.page_size
+        missing = [
+            i for i in range(first, last + 1) if i not in f.page_cache
+        ]
+        if missing:
+            # A scan reading the file front to back pays positioning once,
+            # not per call: the fault that continues exactly after the
+            # previous one is a sequential transfer.
+            continuation = f.last_faulted_page is not None and (
+                missing[0] == f.last_faulted_page + 1
+            )
+            contents = self.disk.read_pages(
+                [f.inode.pages[i] for i in missing], continuation=continuation
+            )
+            for i, content in zip(missing, contents):
+                f.page_cache[i] = content
+            f.last_faulted_page = missing[-1]
+        chunks = []
+        for i in range(first, last + 1):
+            page = f.page_cache[i]
+            lo = offset - i * self.page_size if i == first else 0
+            hi = end - i * self.page_size if i == last else self.page_size
+            chunks.append(page[lo:hi])
+        return b"".join(chunks)
+
+    def _materialize(self, f: _File) -> None:
+        """Rebuild the full volatile buffer from durable pages.
+
+        Unreadable pages get zero placeholders and are remembered in
+        ``shadow_bad``: reading them still raises, and only a write
+        covering the whole page heals them — a file with a torn page can
+        therefore still be appended to or have other pages rewritten,
+        just as on a real file system.
+        """
+        size = f.inode.size
+        total_pages = (size + self.page_size - 1) // self.page_size
+        parts: list[bytes] = []
+        for index in range(total_pages):
+            content = f.page_cache.get(index)
+            if content is None:
+                try:
+                    content = self.disk.read_pages([f.inode.pages[index]])[0]
+                    f.page_cache[index] = content
+                except HardError:
+                    content = bytes(self.page_size)
+                    f.shadow_bad.add(index)
+            if len(content) < self.page_size:
+                content = content + bytes(self.page_size - len(content))
+            parts.append(content)
+        f.buffer = bytearray(b"".join(parts)[:size])
+        f.synced_size = size
+        f.prefix_dirty = False
+
+    def _flush(self, f: _File) -> None:
+        """Write the dirty portion of ``f.buffer`` to disk, then the inode."""
+        assert f.buffer is not None
+        size = len(f.buffer)
+        total_pages = (size + self.page_size - 1) // self.page_size
+        if f.prefix_dirty:
+            # Whole-file rewrite: every page goes out, and the durable
+            # size tracks the watermark from zero (a crash mid-rewrite
+            # loses the old content beyond the watermark — the known
+            # fragility of rewriting files in place).
+            pages = list(range(total_pages))
+            rewrite = True
+        else:
+            # Incremental: in-place dirty pages plus the appended tail
+            # (whose first page is a partial-page rewrite in place).
+            if size > f.synced_size:
+                first_tail = f.synced_size // self.page_size
+                tail = set(range(first_tail, total_pages))
+            else:
+                tail = set()
+            pages = sorted(i for i in f.dirty_pages | tail if i < total_pages)
+            rewrite = False
+        if not pages:
+            # No data to write, but the size may still have shrunk
+            # (truncate or rewrite-to-empty): that is an inode update,
+            # durable after one metadata write — as ftruncate+fsync is.
+            f.dirty_pages.clear()
+            if f.inode.size != size:
+                self.disk.metadata_sync()
+                f.inode.size = size
+            f.synced_size = size
+            f.prefix_dirty = False
+            return
+        # The extent only ever grows; shrinking it here could free pages
+        # still holding durable data if a crash interrupted the flush.
+        # Unreferenced pages are reclaimed when the whole inode dies.
+        while len(f.inode.pages) < total_pages:
+            f.inode.pages.append(self.disk.allocate())
+        # Pages go out one at a time, and the durable size advances with
+        # each page — as on real Unix, where the inode can reach the disk
+        # covering blocks whose data write then tears.  A crash therefore
+        # leaves a *visible* partial (possibly torn) tail, which is
+        # precisely what the log format's length+checksum must detect.
+        # Contiguous page runs are charged as sequential transfers;
+        # scattered in-place writes pay positioning per run.
+        previous = None
+        for i in pages:
+            lo = i * self.page_size
+            chunk = bytes(f.buffer[lo : lo + self.page_size])
+            watermark = min(size, lo + self.page_size)
+            if rewrite:
+                f.inode.size = watermark
+            else:
+                f.inode.size = max(f.inode.size, watermark)
+            self.disk.write_pages(
+                [(f.inode.pages[i], chunk)],
+                continuation=previous is not None and i == previous + 1,
+            )
+            previous = i
+        f.inode.size = size
+        f.synced_size = size
+        f.prefix_dirty = False
+        f.dirty_pages.clear()
+        f.page_cache.clear()
+
+    def _collect_unreferenced(self) -> None:
+        """Free disk pages no longer reachable from any live inode."""
+        referenced: set[int] = set()
+        for f in self._files.values():
+            referenced.update(f.inode.pages)
+        for inode in self._durable.values():
+            referenced.update(inode.pages)
+        for page_id in self._allocated_pages():
+            if page_id not in referenced:
+                self.disk.free(page_id)
+
+    def _allocated_pages(self) -> set[int]:
+        with self.disk._lock:
+            allocated = set(range(self.disk._next_page)) - set(self.disk._free)
+        return allocated

@@ -1,0 +1,35 @@
+"""Operator tools: inspect, validate and browse database directories.
+
+* ``python -m repro.tools.dump <directory>`` — show the version state,
+  checkpoint summary, log entries and any archives of a database
+  directory, without needing the application's operation registry.
+* ``python -m repro.tools.fsck <directory>`` — validate the on-disk
+  invariants of the version-file protocol, checkpoint framing and log
+  framing; exit status reflects the verdict.
+* ``python -m repro.tools.shell <directory>`` (or ``--connect
+  host:port``) — interactively browse and modify a name server.
+
+All three are read-only except the shell's explicit ``set``/``rm``
+commands.  The submodules are resolved lazily (PEP 562) so running one as
+``python -m`` does not pre-import it through the package.
+"""
+
+_LAZY = {
+    "FsckReport": "repro.tools.fsck",
+    "fsck_directory": "repro.tools.fsck",
+    "dump_directory": "repro.tools.dump",
+    "Shell": "repro.tools.shell",
+}
+
+__all__ = sorted(_LAZY)
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value

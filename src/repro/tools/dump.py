@@ -1,0 +1,127 @@
+"""Dump the contents of a database directory, human-readably.
+
+The dump decodes the version-file protocol, the checkpoint framing and
+every log/archive entry.  Entry payloads are decoded with the pickle
+package when the process has the right classes registered; otherwise the
+operation name and payload size are still shown (the framing is
+self-describing, the payload is not — by design).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import TextIO
+
+from repro.core.audit import archived_epochs, archive_name
+from repro.core.checkpoint import read_checkpoint
+from repro.core.log import LogScan
+from repro.core.version import (
+    logfile_name,
+    checkpoint_name,
+    numbered_files,
+    read_current_version,
+)
+from repro.pickles import PickleError, pickle_read
+from repro.storage.errors import StorageError
+from repro.storage.interface import FileSystem
+from repro.storage.localfs import LocalFS
+
+
+def _describe_payload(payload: bytes) -> str:
+    try:
+        operation, args, kwargs = pickle_read(payload)
+    except (PickleError, ValueError, TypeError):
+        return f"<{len(payload)} payload bytes (types not registered here)>"
+    parts = [repr(a) for a in args]
+    parts += [f"{k}={v!r}" for k, v in kwargs.items()]
+    return f"{operation}({', '.join(parts)})"
+
+
+def _dump_log(fs: FileSystem, name: str, out: TextIO, limit: int) -> None:
+    scan = LogScan(fs, name)
+    shown = 0
+    for entry in scan:
+        if shown < limit:
+            out.write(
+                f"    seq {entry.seq:6d} @ {entry.offset:8d} "
+                f"({len(entry.payload):5d} B): "
+                f"{_describe_payload(entry.payload)}\n"
+            )
+        shown += 1
+    if shown > limit:
+        out.write(f"    … {shown - limit} more entries\n")
+    outcome = scan.outcome
+    out.write(
+        f"    total {outcome.entries} entries, "
+        f"{outcome.good_length} good bytes"
+    )
+    if outcome.damage:
+        out.write(f", DAMAGED: {outcome.damage}")
+    out.write("\n")
+
+
+def dump_directory(
+    fs: FileSystem,
+    out: TextIO = sys.stdout,
+    limit: int = 20,
+) -> None:
+    """Write a human-readable dump of a database directory to ``out``."""
+    names = fs.list_names()
+    out.write(f"files: {', '.join(names) if names else '(none)'}\n")
+
+    current = read_current_version(fs)
+    if current is None:
+        out.write("no committed version: empty or never-bootstrapped directory\n")
+        return
+    out.write(
+        f"current version: {current.number} (named by {current.source!r})\n"
+    )
+
+    for version in sorted(numbered_files(fs)):
+        marker = "  <- current" if version == current.number else ""
+        out.write(f"version {version}:{marker}\n")
+        ckpt = checkpoint_name(version)
+        if fs.exists(ckpt):
+            try:
+                payload = read_checkpoint(fs, ckpt)
+                out.write(
+                    f"  {ckpt}: {fs.size(ckpt)} bytes on disk, "
+                    f"{len(payload)} pickled payload bytes, checksum OK\n"
+                )
+            except (StorageError, Exception) as exc:  # noqa: BLE001 - report any damage
+                out.write(f"  {ckpt}: UNREADABLE ({exc})\n")
+        log = logfile_name(version)
+        if fs.exists(log):
+            out.write(f"  {log}: {fs.size(log)} bytes\n")
+            _dump_log(fs, log, out, limit)
+
+    epochs = archived_epochs(fs)
+    if epochs:
+        out.write(f"audit archives: epochs {epochs}\n")
+        for epoch in epochs:
+            name = archive_name(epoch)
+            out.write(f"  {name}: {fs.size(name)} bytes\n")
+            _dump_log(fs, name, out, limit)
+
+
+def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.dump",
+        description="Dump a small-database directory (version files, "
+        "checkpoints, logs, archives).",
+    )
+    parser.add_argument("directory", help="the database directory")
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="log entries to show per file (default 20)",
+    )
+    options = parser.parse_args(argv)
+    dump_directory(LocalFS(options.directory), out=out, limit=options.limit)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""fsck for database directories: validate every on-disk invariant.
+
+Checks, in order:
+
+1. **version protocol** — a committed version is named, its checkpoint
+   and log both exist, and no stale ``newversion`` contradicts it;
+2. **checkpoint framing** — magic, declared length, checksum;
+3. **checkpoint payload** — the pickle decodes structurally (with
+   whatever classes this process has registered; unknown record classes
+   are reported as a warning, not an error);
+4. **log framing** — every entry's magic, length, checksum and sequence
+   continuity; a damaged *tail* is a warning (recovery truncates it), any
+   other damage is an error;
+5. **leftovers** — files outside the protocol's naming scheme, partial
+   versions awaiting cleanup.
+
+Errors mean recovery may fail or lose data; warnings mean recovery will
+cope.  Exit status: 0 clean, 1 warnings only, 2 errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import TextIO
+
+from repro.core.audit import archived_epochs
+from repro.core.checkpoint import CheckpointDamaged, read_checkpoint
+from repro.core.log import LogScan
+from repro.core.version import (
+    NEWVERSION_FILE,
+    checkpoint_name,
+    logfile_name,
+    numbered_files,
+    read_current_version,
+)
+from repro.pickles import PickleReader, UnknownRecordClass
+from repro.storage.errors import HardError
+from repro.storage.interface import FileSystem
+from repro.storage.localfs import LocalFS
+
+_KNOWN = re.compile(
+    r"^(checkpoint\d+|logfile\d+|archive\d+|version|newversion)$"
+)
+
+
+@dataclass
+class FsckReport:
+    """Findings of one validation pass."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors and not self.warnings
+
+    def exit_status(self) -> int:
+        if self.errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    def write(self, out: TextIO) -> None:
+        for message in self.errors:
+            out.write(f"ERROR:   {message}\n")
+        for message in self.warnings:
+            out.write(f"warning: {message}\n")
+        for message in self.notes:
+            out.write(f"note:    {message}\n")
+        verdict = ["clean", "warnings only", "errors found"][self.exit_status()]
+        out.write(f"verdict: {verdict}\n")
+
+
+def fsck_directory(fs: FileSystem) -> FsckReport:
+    """Validate a database directory; read-only."""
+    report = FsckReport()
+    current = read_current_version(fs)
+
+    if current is None:
+        if numbered_files(fs):
+            report.error(
+                "checkpoint/log files exist but no valid version file names "
+                "them; recovery would bootstrap a fresh database"
+            )
+        else:
+            report.note("empty directory: a fresh database would bootstrap here")
+        return report
+
+    report.note(f"current version {current.number} (from {current.source!r})")
+    if current.source == NEWVERSION_FILE:
+        report.warn(
+            "switch interrupted after its commit point: restart will "
+            "finish renaming newversion to version"
+        )
+    elif fs.exists(NEWVERSION_FILE):
+        report.warn("stale/invalid newversion present; restart deletes it")
+
+    _check_checkpoint(fs, current.number, report, fatal=True)
+    _check_log(fs, logfile_name(current.number), report, tail_is_warning=True)
+
+    for version in sorted(numbered_files(fs)):
+        if version == current.number:
+            continue
+        if version < current.number:
+            report.note(
+                f"older version {version} retained "
+                f"(hard-error redundancy or awaiting cleanup)"
+            )
+            _check_checkpoint(fs, version, report, fatal=False)
+            if fs.exists(logfile_name(version)):
+                _check_log(fs, logfile_name(version), report, tail_is_warning=False)
+        else:
+            report.warn(
+                f"partial newer version {version}: a checkpoint was "
+                f"interrupted before its commit point; restart deletes it"
+            )
+
+    for epoch in archived_epochs(fs):
+        _check_log(fs, f"archive{epoch}", report, tail_is_warning=False)
+
+    for name in fs.list_names():
+        if not _KNOWN.match(name):
+            report.warn(f"unrecognised file {name!r} in database directory")
+
+    return report
+
+
+def _check_checkpoint(
+    fs: FileSystem, version: int, report: FsckReport, fatal: bool
+) -> None:
+    name = checkpoint_name(version)
+    if not fs.exists(name):
+        report.error(f"{name} is missing")
+        return
+    try:
+        payload = read_checkpoint(fs, name)
+    except (CheckpointDamaged, HardError) as exc:
+        message = f"{name}: {exc}"
+        if fatal:
+            report.error(message)
+        else:
+            report.warn(message)
+        return
+    try:
+        reader = PickleReader(payload)
+        reader.read()
+        if not reader.at_end():
+            report.error(f"{name}: trailing bytes after the pickled root")
+            return
+    except UnknownRecordClass as exc:
+        report.warn(
+            f"{name}: structurally valid; {exc} (register the application's "
+            f"classes to decode fully)"
+        )
+        return
+    except Exception as exc:  # noqa: BLE001 - any decode failure is a finding
+        report.error(f"{name}: payload does not decode: {exc!r}")
+        return
+    report.note(f"{name}: framing and payload decode OK ({len(payload)} bytes)")
+
+
+def _check_log(
+    fs: FileSystem, name: str, report: FsckReport, tail_is_warning: bool
+) -> None:
+    if not fs.exists(name):
+        report.error(f"{name} is missing")
+        return
+    scan = LogScan(fs, name)
+    entries = sum(1 for _entry in scan)
+    outcome = scan.outcome
+    if outcome.damage is None:
+        report.note(f"{name}: {entries} entries, all frames valid")
+        return
+    trailing_garbage = fs.size(name) - outcome.good_length
+    message = (
+        f"{name}: {outcome.damage}; {entries} entries readable, "
+        f"{trailing_garbage} bytes after the last good entry"
+    )
+    if tail_is_warning:
+        report.warn(f"{message} (recovery truncates a damaged tail)")
+    else:
+        report.error(message)
+
+
+def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.fsck",
+        description="Validate the on-disk invariants of a small-database "
+        "directory.",
+    )
+    parser.add_argument("directory", help="the database directory")
+    options = parser.parse_args(argv)
+    report = fsck_directory(LocalFS(options.directory))
+    report.write(out)
+    return report.exit_status()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""An interactive shell for browsing and modifying a name server.
+
+Section 6 again: among the name server's surrounding parts were "user
+interfaces for browsing and modifying the database".  This is that user
+interface — a small command shell that drives either a local database
+directory or a remote server over TCP:
+
+    python -m repro.tools.shell /var/lib/names          # local directory
+    python -m repro.tools.shell --connect host:9999     # remote server
+
+Commands::
+
+    ls [path]            list a directory
+    tree [path]          the whole subtree with values
+    get <path>           look a value up
+    set <path> <value>   bind (value parsed as a Python literal if possible)
+    rm <path>            unbind one name
+    rmtree <path>        unbind a subtree
+    find <pattern>       glob enumeration (*, **)
+    count                live name count
+    checkpoint           force a checkpoint (local only)
+    help / quit
+
+The shell is deliberately dumb about values: scripting belongs in Python
+against the real API; this is for poking around.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import shlex
+import sys
+from typing import TextIO
+
+from repro.nameserver import (
+    NameServer,
+    NameServerError,
+    RemoteNameServer,
+)
+from repro.storage.localfs import LocalFS
+
+
+def parse_value(text: str) -> object:
+    """A Python literal when possible, else the raw string."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+class Shell:
+    """One shell session bound to a server-like object."""
+
+    def __init__(self, server, out: TextIO = sys.stdout) -> None:
+        self.server = server
+        self.out = out
+        self.running = True
+
+    def execute(self, line: str) -> None:
+        """Run one command line; errors are printed, never raised."""
+        try:
+            words = shlex.split(line)
+        except ValueError as exc:
+            self._print(f"parse error: {exc}")
+            return
+        if not words:
+            return
+        command, args = words[0], words[1:]
+        handler = getattr(self, f"do_{command}", None)
+        if handler is None:
+            self._print(f"unknown command {command!r}; try 'help'")
+            return
+        try:
+            handler(args)
+        except NameServerError as exc:
+            self._print(str(exc))
+        except TypeError:
+            self._print(f"usage error; try 'help'")
+
+    def repl(self, lines: TextIO) -> None:
+        for line in lines:
+            if not self.running:
+                break
+            self.execute(line.rstrip("\n"))
+
+    # -- commands ------------------------------------------------------------
+
+    def do_help(self, args: list[str]) -> None:
+        self._print(
+            "commands: ls [path] | tree [path] | get <path> | "
+            "set <path> <value> | rm <path> | rmtree <path> | "
+            "find <pattern> | count | checkpoint | quit"
+        )
+
+    def do_ls(self, args: list[str]) -> None:
+        path = args[0] if args else ()
+        for name in self.server.list_dir(path):
+            self._print(name)
+
+    def do_tree(self, args: list[str]) -> None:
+        path = args[0] if args else ()
+        entries = self.server.read_subtree(path)
+        if not entries:
+            self._print("(empty)")
+            return
+        for relative, value in entries:
+            self._print(f"{'/'.join(relative)} = {value!r}")
+
+    def do_get(self, args: list[str]) -> None:
+        (path,) = args
+        self._print(repr(self.server.lookup(path)))
+
+    def do_set(self, args: list[str]) -> None:
+        path, raw = args[0], " ".join(args[1:])
+        if not raw:
+            self._print("usage: set <path> <value>")
+            return
+        self.server.bind(path, parse_value(raw))
+        self._print("ok")
+
+    def do_rm(self, args: list[str]) -> None:
+        (path,) = args
+        self.server.unbind(path)
+        self._print("ok")
+
+    def do_rmtree(self, args: list[str]) -> None:
+        (path,) = args
+        self.server.unbind_subtree(path)
+        self._print("ok")
+
+    def do_find(self, args: list[str]) -> None:
+        (pattern,) = args
+        for path, value in self.server.glob(pattern):
+            self._print(f"{'/'.join(path)} = {value!r}")
+
+    def do_count(self, args: list[str]) -> None:
+        self._print(str(self.server.count()))
+
+    def do_checkpoint(self, args: list[str]) -> None:
+        checkpoint = getattr(self.server, "checkpoint", None)
+        if checkpoint is None:
+            self._print("checkpoint is not available over this connection")
+            return
+        self._print(f"checkpointed as version {checkpoint()}")
+
+    def do_quit(self, args: list[str]) -> None:
+        self.running = False
+
+    do_exit = do_quit
+
+    def _print(self, text: str) -> None:
+        self.out.write(text + "\n")
+
+
+def main(argv: list[str] | None = None, stdin: TextIO = sys.stdin,
+         out: TextIO = sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.shell",
+        description="Browse and modify a name server database.",
+    )
+    parser.add_argument(
+        "directory", nargs="?", help="local database directory"
+    )
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT", help="connect to a TCP name server"
+    )
+    options = parser.parse_args(argv)
+
+    if bool(options.directory) == bool(options.connect):
+        parser.error("give either a directory or --connect host:port")
+
+    if options.connect:
+        from repro.rpc import TcpTransport
+
+        host, _, port = options.connect.rpartition(":")
+        server = RemoteNameServer(TcpTransport(host, int(port)))
+    else:
+        server = NameServer(LocalFS(options.directory))
+
+    shell = Shell(server, out=out)
+    shell.repl(stdin)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""The accounts application: typed records, uid allocation, groups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import Account, AccountError, AccountRegistry
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+
+@pytest.fixture
+def fs() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+@pytest.fixture
+def registry(fs) -> AccountRegistry:
+    return AccountRegistry(fs)
+
+
+class TestAccounts:
+    def test_create_allocates_sequential_uids(self, registry):
+        assert registry.create("alice") == 1000
+        assert registry.create("bob") == 1001
+        assert registry.uid_of("alice") == 1000
+
+    def test_defaults(self, registry):
+        registry.create("carol")
+        record = registry.get("carol")
+        assert record["home"] == "/home/carol"
+        assert record["shell"] == "/bin/sh"
+        assert record["groups"] == []
+        assert not record["disabled"]
+
+    def test_custom_home_and_shell(self, registry):
+        registry.create("dave", home="/srv/dave", shell="/bin/csh")
+        record = registry.get("dave")
+        assert record["home"] == "/srv/dave"
+        assert record["shell"] == "/bin/csh"
+
+    def test_duplicate_rejected(self, registry):
+        registry.create("alice")
+        with pytest.raises(AccountError):
+            registry.create("alice")
+
+    @pytest.mark.parametrize("bad", ["", "has space", "has-dash", "1num"])
+    def test_bad_names_rejected(self, registry, bad):
+        with pytest.raises(AccountError):
+            registry.create(bad)
+
+    def test_by_uid(self, registry):
+        registry.create("alice")
+        assert registry.by_uid(1000) == "alice"
+        with pytest.raises(AccountError):
+            registry.by_uid(9999)
+
+    def test_remove(self, registry):
+        registry.create("alice")
+        registry.remove("alice")
+        assert registry.names() == []
+        with pytest.raises(AccountError):
+            registry.remove("alice")
+
+    def test_disable_enable(self, registry):
+        registry.create("alice")
+        registry.disable("alice")
+        assert registry.is_disabled("alice")
+        with pytest.raises(AccountError):
+            registry.set_shell("alice", "/bin/zsh")  # disabled accounts frozen
+        registry.enable("alice")
+        registry.set_shell("alice", "/bin/zsh")
+        assert registry.get("alice")["shell"] == "/bin/zsh"
+
+    def test_get_returns_a_copy(self, registry):
+        """Mutating an enquiry result must not touch the database."""
+        registry.create("alice")
+        record = registry.get("alice")
+        record["shell"] = "/bin/evil"
+        assert registry.get("alice")["shell"] == "/bin/sh"
+
+
+class TestGroups:
+    def test_membership(self, registry):
+        registry.create("alice")
+        registry.create("bob")
+        registry.create_group("staff")
+        registry.add_to_group("staff", "alice")
+        registry.add_to_group("staff", "bob")
+        assert registry.members_of("staff") == ["alice", "bob"]
+        assert registry.groups_of("alice") == ["staff"]
+
+    def test_double_membership_rejected(self, registry):
+        registry.create("alice")
+        registry.create_group("staff")
+        registry.add_to_group("staff", "alice")
+        with pytest.raises(AccountError):
+            registry.add_to_group("staff", "alice")
+
+    def test_unknown_group_or_member(self, registry):
+        registry.create("alice")
+        with pytest.raises(AccountError):
+            registry.add_to_group("ghost-group", "alice")
+        registry.create_group("staff")
+        with pytest.raises(AccountError):
+            registry.add_to_group("staff", "ghost")
+        with pytest.raises(AccountError):
+            registry.remove_from_group("staff", "alice")
+
+    def test_remove_account_leaves_group_consistent(self, registry):
+        registry.create("alice")
+        registry.create_group("staff")
+        registry.add_to_group("staff", "alice")
+        registry.remove("alice")
+        assert registry.members_of("staff") == []
+
+
+class TestDurability:
+    def test_uid_allocation_survives_restart(self, fs, registry):
+        registry.create("alice")
+        registry.create("bob")
+        fs.crash()
+        recovered = AccountRegistry(fs)
+        assert recovered.uid_of("alice") == 1000
+        assert recovered.create("carol") == 1002  # counter recovered too
+
+    def test_typed_records_survive_checkpoint_cycle(self, fs, registry):
+        registry.create("alice")
+        registry.create_group("staff")
+        registry.add_to_group("staff", "alice")
+        registry.checkpoint()
+        registry.disable("alice")
+        fs.crash()
+        recovered = AccountRegistry(fs)
+        assert recovered.is_disabled("alice")
+        assert recovered.members_of("staff") == ["alice"]
+        assert isinstance(
+            recovered.db.enquire(lambda root: root["accounts"]["alice"]),
+            Account,
+        )
+
+    def test_rejected_updates_write_nothing(self, fs, registry):
+        registry.create("alice")
+        size = fs.size("logfile1")
+        with pytest.raises(AccountError):
+            registry.create("alice")
+        assert fs.size("logfile1") == size
+
+    def test_passwd_rendering(self, registry):
+        registry.create("alice")
+        registry.create("bob", shell="/bin/csh")
+        lines = registry.passwd_lines()
+        assert lines == [
+            "alice:x:1000:1000::/home/alice:/bin/sh",
+            "bob:x:1001:1001::/home/bob:/bin/csh",
+        ]

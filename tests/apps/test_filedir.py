@@ -1,0 +1,157 @@
+"""The sharded file-directory application (paper §7's example)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import DirectoryService, FileDirError
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+
+@pytest.fixture
+def fs() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+@pytest.fixture
+def dirs(fs) -> DirectoryService:
+    service = DirectoryService(fs, num_shards=3)
+    service.mkdir("vol1")
+    service.mkdir("vol2")
+    service.mkdir("vol1/src")
+    return service
+
+
+class TestBasics:
+    def test_mkdir_and_listdir(self, dirs):
+        assert dirs.listdir() == ["vol1", "vol2"]
+        assert dirs.listdir("vol1") == ["src"]
+
+    def test_create_and_stat(self, dirs):
+        inode = dirs.create("vol1/src/main.c", size=1200, mtime=1.5)
+        info = dirs.stat("vol1/src/main.c")
+        assert info == {
+            "kind": "file",
+            "inode": inode,
+            "size": 1200,
+            "mtime": 1.5,
+        }
+
+    def test_stat_directory(self, dirs):
+        assert dirs.stat("vol1") == {"kind": "dir", "entries": 1}
+
+    def test_inodes_unique(self, dirs):
+        inodes = {
+            dirs.create(f"vol1/file{i}") for i in range(10)
+        } | {dirs.create(f"vol2/file{i}") for i in range(10)}
+        assert len(inodes) == 20
+
+    def test_update_metadata(self, dirs):
+        dirs.create("vol1/f", size=10, mtime=1.0)
+        dirs.update("vol1/f", size=99, mtime=2.0)
+        info = dirs.stat("vol1/f")
+        assert (info["size"], info["mtime"]) == (99, 2.0)
+
+    def test_update_rejects_directories(self, dirs):
+        with pytest.raises(FileDirError):
+            dirs.update("vol1/src", size=1, mtime=1.0)
+
+    def test_unlink(self, dirs):
+        dirs.create("vol1/f")
+        dirs.unlink("vol1/f")
+        assert not dirs.exists("vol1/f")
+
+    def test_unlink_refuses_nonempty_directory(self, dirs):
+        dirs.create("vol1/src/a.c")
+        with pytest.raises(FileDirError, match="not empty"):
+            dirs.unlink("vol1/src")
+        dirs.unlink("vol1/src/a.c")
+        dirs.unlink("vol1/src")  # now empty: fine
+        assert not dirs.exists("vol1/src")
+
+    def test_missing_paths(self, dirs):
+        with pytest.raises(FileDirError):
+            dirs.stat("vol1/ghost")
+        with pytest.raises(FileDirError):
+            dirs.create("ghostvol/f")
+        with pytest.raises(FileDirError):
+            dirs.unlink("vol1/ghost")
+        assert not dirs.exists("vol9")
+
+    def test_duplicate_create_rejected(self, dirs):
+        dirs.create("vol1/f")
+        with pytest.raises(FileDirError):
+            dirs.create("vol1/f")
+        with pytest.raises(FileDirError):
+            dirs.mkdir("vol1/src")
+
+    def test_total_entries(self, dirs):
+        dirs.create("vol1/f")
+        dirs.create("vol2/g")
+        assert dirs.total_entries() == 5  # vol1, vol2, src, f, g
+
+
+class TestRename:
+    def test_same_shard_rename(self, dirs):
+        inode = dirs.create("vol1/old", size=5, mtime=1.0)
+        dirs.rename("vol1/old", "vol1/src/new")
+        assert not dirs.exists("vol1/old")
+        assert dirs.stat("vol1/src/new")["inode"] == inode
+
+    def test_rename_target_conflict(self, dirs):
+        dirs.create("vol1/a")
+        dirs.create("vol1/b")
+        with pytest.raises(FileDirError):
+            dirs.rename("vol1/a", "vol1/b")
+
+    def test_cross_shard_rename_of_file(self, dirs):
+        """Two single-shot transactions; the inode follows the file."""
+        inode = dirs.create("vol1/move-me", size=7, mtime=3.0)
+        dirs.rename("vol1/move-me", "vol2/moved")
+        assert not dirs.exists("vol1/move-me")
+        moved = dirs.stat("vol2/moved")
+        assert moved["inode"] == inode
+        assert moved["size"] == 7
+
+    def test_cross_shard_rename_of_directory_refused(self, dirs):
+        # Find a volume name guaranteed to live on a different shard.
+        other = next(
+            name
+            for name in (f"volx{i}" for i in range(50))
+            if dirs.db.shard_of(name) != dirs.db.shard_of("vol1")
+        )
+        dirs.mkdir(other)
+        with pytest.raises(FileDirError, match="cross-volume"):
+            dirs.rename("vol1/src", f"{other}/src")
+
+
+class TestDurabilityAndSharding:
+    def test_state_survives_crash(self, fs, dirs):
+        dirs.create("vol1/src/main.c", size=100, mtime=1.0)
+        dirs.checkpoint_volume("vol1")
+        dirs.create("vol2/late", size=5, mtime=2.0)
+        fs.crash()
+        recovered = DirectoryService(fs, num_shards=3)
+        assert recovered.stat("vol1/src/main.c")["size"] == 100
+        assert recovered.exists("vol2/late")
+
+    def test_inode_allocator_survives_restart(self, fs, dirs):
+        first = dirs.create("vol1/a")
+        fs.crash()
+        recovered = DirectoryService(fs, num_shards=3)
+        second = recovered.create("vol1/b")
+        assert second > first
+
+    def test_volume_checkpoint_touches_one_shard(self, fs, dirs):
+        dirs.create("vol1/a")
+        dirs.create("vol2/b")
+        shard_for_vol1 = dirs.db.shard_of("vol1/x")
+        before = [db.version for db in dirs.db.shards]
+        dirs.checkpoint_volume("vol1")
+        after = [db.version for db in dirs.db.shards]
+        changed = [i for i, (b, a) in enumerate(zip(before, after)) if a != b]
+        assert changed == [shard_for_vol1]
+
+    def test_volumes_route_consistently(self, dirs):
+        assert dirs.db.shard_of("vol1/deep/path") == dirs.db.shard_of("vol1/x")

@@ -1,0 +1,110 @@
+"""The network-configuration application with its change audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import NetConfig, NetConfigError
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+
+@pytest.fixture
+def fs() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+@pytest.fixture
+def net(fs) -> NetConfig:
+    config = NetConfig(fs)
+    config.add_host("juniper", "10.0.0.1", changed_by="wobber")
+    config.add_host("acacia", "10.0.0.2", changed_by="birrell")
+    return config
+
+
+class TestHosts:
+    def test_resolve_and_reverse(self, net):
+        assert net.resolve("juniper") == "10.0.0.1"
+        assert net.reverse("10.0.0.2") == "acacia"
+
+    def test_unknown_names(self, net):
+        with pytest.raises(NetConfigError):
+            net.resolve("ghost")
+        with pytest.raises(NetConfigError):
+            net.reverse("10.9.9.9")
+
+    def test_duplicate_host_rejected(self, net):
+        with pytest.raises(NetConfigError):
+            net.add_host("juniper", "10.0.0.9", changed_by="x")
+
+    def test_duplicate_address_rejected(self, net):
+        with pytest.raises(NetConfigError, match="juniper"):
+            net.add_host("other", "10.0.0.1", changed_by="x")
+
+    @pytest.mark.parametrize("bad", ["", "10.0.0", "256.1.1.1", "a.b.c.d"])
+    def test_bad_addresses_rejected(self, net, bad):
+        with pytest.raises(NetConfigError):
+            net.add_host("newhost", bad, changed_by="x")
+
+    def test_remove_host_frees_address(self, net):
+        net.remove_host("juniper", changed_by="jones")
+        net.add_host("replacement", "10.0.0.1", changed_by="jones")
+        assert net.reverse("10.0.0.1") == "replacement"
+
+    def test_aliases(self, net):
+        net.add_alias("juniper", "mailhub", changed_by="wobber")
+        assert net.resolve("mailhub") == "10.0.0.1"
+        with pytest.raises(NetConfigError):
+            net.add_alias("acacia", "mailhub", changed_by="x")  # taken
+        with pytest.raises(NetConfigError):
+            net.add_alias("juniper", "acacia", changed_by="x")  # a hostname
+
+    def test_hosts_file_rendering(self, net):
+        net.add_alias("juniper", "mailhub", changed_by="wobber")
+        rendered = net.hosts_file()
+        assert "10.0.0.1\tjuniper mailhub" in rendered
+        assert "10.0.0.2\tacacia" in rendered
+
+
+class TestRoutes:
+    def test_set_and_drop(self, net):
+        net.set_route("192.168.0.0/16", "10.0.0.1", changed_by="ops")
+        assert net.route_for("192.168.0.0/16") == "10.0.0.1"
+        net.drop_route("192.168.0.0/16", changed_by="ops")
+        assert net.route_for("192.168.0.0/16") is None
+
+    def test_bad_gateway(self, net):
+        with pytest.raises(NetConfigError):
+            net.set_route("0.0.0.0/0", "not-an-ip", changed_by="ops")
+
+    def test_drop_missing(self, net):
+        with pytest.raises(NetConfigError):
+            net.drop_route("nowhere", changed_by="ops")
+
+
+class TestAudit:
+    def test_changes_are_attributed(self, net):
+        changes = net.changes()
+        assert changes == [
+            "add_host('juniper', '10.0.0.1') by wobber",
+            "add_host('acacia', '10.0.0.2') by birrell",
+        ]
+
+    def test_filter_by_author(self, net):
+        net.remove_host("acacia", changed_by="jones")
+        assert net.changes(by="jones") == ["remove_host('acacia') by jones"]
+
+    def test_audit_spans_checkpoints(self, net):
+        net.checkpoint()
+        net.set_route("0.0.0.0/0", "10.0.0.1", changed_by="ops")
+        changes = net.changes()
+        assert len(changes) == 3
+        assert changes[-1] == "set_route('0.0.0.0/0', '10.0.0.1') by ops"
+
+    def test_state_and_audit_survive_crash(self, fs, net):
+        net.checkpoint()
+        net.add_alias("juniper", "gw", changed_by="late")
+        fs.crash()
+        recovered = NetConfig(fs)
+        assert recovered.resolve("gw") == "10.0.0.1"
+        assert len(recovered.changes()) == 3

@@ -1,0 +1,241 @@
+"""All four engines: contract conformance + characteristic behaviours."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    ALL_ENGINES,
+    AdHocPagedDB,
+    AtomicCommitDB,
+    BaselineError,
+    CheckpointLogDB,
+    KeyNotFound,
+    TextFileDB,
+)
+from repro.sim import SimClock
+from repro.storage import SimFS, SimulatedCrash
+
+
+@pytest.fixture
+def fs() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+@pytest.fixture(params=ALL_ENGINES, ids=lambda e: e.technique)
+def engine_class(request):
+    return request.param
+
+
+class TestContract:
+    """Behaviour every engine must share."""
+
+    def test_set_get(self, fs, engine_class):
+        db = engine_class(fs)
+        db.set("k", "v")
+        assert db.get("k") == "v"
+
+    def test_overwrite(self, fs, engine_class):
+        db = engine_class(fs)
+        db.set("k", "old")
+        db.set("k", "new")
+        assert db.get("k") == "new"
+
+    def test_missing_key(self, fs, engine_class):
+        db = engine_class(fs)
+        with pytest.raises(KeyNotFound):
+            db.get("ghost")
+
+    def test_delete(self, fs, engine_class):
+        db = engine_class(fs)
+        db.set("k", "v")
+        db.delete("k")
+        with pytest.raises(KeyNotFound):
+            db.get("k")
+        with pytest.raises(KeyNotFound):
+            db.delete("k")
+
+    def test_keys_sorted(self, fs, engine_class):
+        db = engine_class(fs)
+        for key in ("zz", "aa", "mm"):
+            db.set(key, key)
+        assert db.keys() == ["aa", "mm", "zz"]
+        assert len(db) == 3
+
+    def test_committed_updates_survive_crash(self, fs, engine_class):
+        db = engine_class(fs)
+        for i in range(20):
+            db.set(f"key{i:02d}", f"value-{i}")
+        db.delete("key07")
+        fs.crash()
+        recovered = engine_class(fs)
+        assert len(recovered) == 19
+        assert recovered.get("key11") == "value-11"
+
+    def test_values_with_odd_characters(self, fs, engine_class):
+        db = engine_class(fs)
+        value = "line1\nline2=with equals \\ and unicode ∆"
+        db.set("tricky", value)
+        fs.crash()
+        assert engine_class(fs).get("tricky") == value
+
+    def test_large_values_span_pages(self, fs, engine_class):
+        db = engine_class(fs)
+        big = "x" * 3000  # several 512-byte pages
+        db.set("big", big)
+        db.set("big", "y" * 3000)
+        fs.crash()
+        assert engine_class(fs).get("big") == "y" * 3000
+
+    def test_bad_keys_rejected(self, fs, engine_class):
+        db = engine_class(fs)
+        for bad in ("", "a\nb", "a=b", 42):
+            with pytest.raises(BaselineError):
+                db.set(bad, "v")
+
+    def test_non_string_value_rejected(self, fs, engine_class):
+        db = engine_class(fs)
+        with pytest.raises(BaselineError):
+            db.set("k", 42)
+
+
+class TestDiskWriteCounts:
+    """The paper's performance characterisation of each technique."""
+
+    def _loaded(self, fs, engine_class, n=50):
+        db = engine_class(fs)
+        for i in range(n):
+            db.set(f"key{i:03d}", "v" * 80)
+        fs.disk.stats.reset()
+        return db
+
+    def test_adhoc_one_write_per_update(self, fs):
+        db = self._loaded(fs, AdHocPagedDB)
+        db.set("key010", "w" * 80)
+        assert fs.disk.stats.snapshot()["page_writes"] == 1
+
+    def test_ours_one_write_per_update(self, fs):
+        db = self._loaded(fs, CheckpointLogDB)
+        db.set("key010", "w" * 80)
+        assert fs.disk.stats.snapshot()["page_writes"] == 1
+
+    def test_atomic_commit_two_writes_per_update(self, fs):
+        db = self._loaded(fs, AtomicCommitDB)
+        db.set("key010", "w" * 80)
+        assert fs.disk.stats.snapshot()["page_writes"] == 2
+
+    def test_textfile_rewrites_whole_database(self, fs):
+        db = self._loaded(fs, TextFileDB)
+        db.set("key010", "w" * 80)
+        pages = fs.disk.stats.snapshot()["page_writes"]
+        assert pages > 5  # whole file, grows with the database
+
+    def test_textfile_update_cost_scales_with_size(self, fs):
+        db = TextFileDB(fs)
+        costs = []
+        for population in (10, 80):
+            for i in range(population):
+                db.set(f"k{population}-{i:03d}", "v" * 50)
+            fs.disk.stats.reset()
+            db.set("probe", "x")
+            costs.append(fs.disk.stats.snapshot()["page_writes"])
+        assert costs[1] > costs[0] * 2
+
+
+class TestCrashFragility:
+    """Reliability classes: the ad hoc scheme loses data, the rest do not."""
+
+    def _crash_mid_update(self, fs, db, key, value):
+        injector = fs.injector
+        injector.crash_at_event = injector.events_seen + 2
+        injector.tear = True
+        with pytest.raises(SimulatedCrash):
+            db.set(key, value)
+        fs.crash()
+        injector.disarm()
+
+    def test_adhoc_multipage_inplace_update_corrupts(self, fs):
+        """Crash mid-way through an in-place multi-page overwrite: the
+        record is neither old nor new — the paper's criticism verbatim."""
+        db = AdHocPagedDB(fs)
+        db.set("victim", "A" * 2000)  # four pages
+        self._crash_mid_update(fs, db, "victim", "B" * 2000)
+        recovered = AdHocPagedDB(fs)
+        if "victim" in recovered.keys():
+            value = recovered.get("victim")
+            assert value not in ("A" * 2000, "B" * 2000), "half-and-half expected"
+        else:
+            assert recovered.corrupt_records_detected >= 1
+
+    def test_atomic_commit_multipage_update_recovers(self, fs):
+        """The same crash against the redo-log engine: the update is
+        either absent or complete after recovery."""
+        db = AtomicCommitDB(fs)
+        db.set("victim", "A" * 2000)
+        self._crash_mid_update(fs, db, "victim", "B" * 2000)
+        recovered = AtomicCommitDB(fs)
+        assert recovered.get("victim") in ("A" * 2000, "B" * 2000)
+
+    def test_ours_multipage_update_recovers(self, fs):
+        db = CheckpointLogDB(fs)
+        db.set("victim", "A" * 2000)
+        self._crash_mid_update(fs, db, "victim", "B" * 2000)
+        recovered = CheckpointLogDB(fs)
+        assert recovered.get("victim") in ("A" * 2000, "B" * 2000)
+
+    def test_textfile_rename_commit_is_atomic(self, fs):
+        """Crash anywhere in a text-file update: old or new, never mixed."""
+        db = TextFileDB(fs)
+        for i in range(10):
+            db.set(f"k{i}", "A" * 100)
+        events_for_update = self._count_events(fs, db)
+        for crash_at in range(1, events_for_update + 1):
+            injector = fs.injector
+            injector.crash_at_event = injector.events_seen + crash_at
+            try:
+                db.set("k5", "B" * 100)
+            except SimulatedCrash:
+                pass
+            fs.crash()
+            injector.disarm()
+            recovered = TextFileDB(fs)
+            assert recovered.get("k5") in ("A" * 100, "B" * 100)
+            assert len(recovered) == 10
+            db = recovered
+
+    @staticmethod
+    def _count_events(fs, db):
+        before = fs.injector.events_seen
+        db.set("k5", "B" * 100)
+        events = fs.injector.events_seen - before
+        db.set("k5", "A" * 100)  # restore
+        return events
+
+
+class TestAtomicCommitInternals:
+    def test_log_compaction(self, fs):
+        db = AtomicCommitDB(fs)
+        for i in range(200):
+            db.set(f"k{i % 10}", "v" * 400)
+        assert fs.size("commitlog") < 200 * 512  # compacted along the way
+        fs.crash()
+        recovered = AtomicCommitDB(fs)
+        assert len(recovered) == 10
+
+    def test_redo_is_idempotent(self, fs):
+        db = AtomicCommitDB(fs)
+        db.set("k", "v1")
+        # Crash after the commit record is durable but before the data
+        # write: tear=False so the WAL page itself completes cleanly.
+        injector = fs.injector
+        injector.crash_at_event = injector.events_seen + 1
+        injector.tear = False
+        with pytest.raises(SimulatedCrash):
+            db.set("k", "v2")
+        fs.crash()
+        injector.disarm()
+        recovered = AtomicCommitDB(fs)
+        assert recovered.get("k") == "v2"  # redo completed the update
+        fs.crash()
+        again = AtomicCommitDB(fs)
+        assert again.get("k") == "v2"

@@ -1,0 +1,145 @@
+"""PagedFile internals: spans, allocation, scanning, crash remnants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CorruptStore, decode_record, encode_record
+from repro.baselines.paged import PagedFile, pad_to_span, pages_needed
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+
+@pytest.fixture
+def fs() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+@pytest.fixture
+def paged(fs) -> PagedFile:
+    return PagedFile(fs, "data")
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        record = encode_record("key", "value")
+        key, value, length = decode_record(record)
+        assert (key, value) == ("key", "value")
+        assert length == len(record)
+
+    def test_unicode(self):
+        record = encode_record("clé", "välue ∆")
+        assert decode_record(record)[:2] == ("clé", "välue ∆")
+
+    def test_free_status_rejected(self):
+        with pytest.raises(CorruptStore):
+            decode_record(b"\x00whatever")
+
+    def test_truncated_rejected(self):
+        record = encode_record("key", "value")
+        with pytest.raises(CorruptStore):
+            decode_record(record[:4])
+
+    def test_pages_needed(self):
+        assert pages_needed(0, 512) == 1
+        assert pages_needed(512, 512) == 1
+        assert pages_needed(513, 512) == 2
+
+    def test_pad_to_span(self):
+        padded = pad_to_span(b"abc", 2, 512)
+        assert len(padded) == 1024
+        assert padded[:3] == b"abc"
+
+
+class TestAllocation:
+    def test_fresh_file_allocates_from_end(self, paged):
+        first = paged.allocate_span(2)
+        second = paged.allocate_span(1)
+        assert first.first_page == 0
+        assert second.first_page == 2
+
+    def test_free_span_reused(self, paged):
+        span = paged.allocate_span(2)
+        paged.write_span(span, encode_record("k", "v" * 600))
+        paged.sync()
+        paged.free_span(span)
+        again = paged.allocate_span(2)
+        assert again.first_page == span.first_page
+
+    def test_contiguity_respected(self, paged):
+        a = paged.allocate_span(1)
+        b = paged.allocate_span(1)
+        c = paged.allocate_span(1)
+        paged.free_span(a)
+        paged.free_span(c)
+        # A 2-page request cannot use the non-adjacent singles.
+        wide = paged.allocate_span(2)
+        assert wide.first_page == 3
+
+    def test_adjacent_frees_merge(self, paged):
+        a = paged.allocate_span(1)
+        b = paged.allocate_span(1)
+        for span in (a, b):
+            paged.write_span(span, encode_record("k", "v"))
+        paged.free_span(a)
+        paged.free_span(b)
+        wide = paged.allocate_span(2)
+        assert wide.first_page == a.first_page
+
+
+class TestScan:
+    def test_scan_rebuilds_index(self, fs, paged):
+        for i in range(5):
+            span = paged.allocate_span(1)
+            paged.write_span(span, encode_record(f"k{i}", f"v{i}"))
+            paged.index[f"k{i}"] = span
+        paged.sync()
+        fs.crash()
+        rescanned = PagedFile(fs, "data")
+        assert sorted(rescanned.index) == [f"k{i}" for i in range(5)]
+        assert rescanned.read_record(rescanned.index["k3"]) == ("k3", "v3")
+
+    def test_scan_skips_freed_spans(self, fs, paged):
+        keep = paged.allocate_span(1)
+        paged.write_span(keep, encode_record("keep", "x"))
+        drop = paged.allocate_span(2)
+        paged.write_span(drop, encode_record("drop", "y" * 600))
+        paged.free_span(drop)
+        paged.sync()
+        fs.crash()
+        rescanned = PagedFile(fs, "data")
+        assert sorted(rescanned.index) == ["keep"]
+        assert rescanned.free >= {drop.first_page, drop.first_page + 1}
+
+    def test_duplicate_key_prefers_later_span(self, fs, paged):
+        """The crash remnant 'new written, old not yet freed'."""
+        old = paged.allocate_span(1)
+        paged.write_span(old, encode_record("dup", "old"))
+        new = paged.allocate_span(1)
+        paged.write_span(new, encode_record("dup", "new"))
+        paged.sync()
+        fs.crash()
+        rescanned = PagedFile(fs, "data")
+        assert rescanned.read_record(rescanned.index["dup"])[1] == "new"
+        assert old.first_page in rescanned.free
+
+    def test_torn_page_counted_and_freed(self, fs, paged):
+        span = paged.allocate_span(1)
+        paged.write_span(span, encode_record("gone", "x"))
+        paged.sync()
+        fs.crash()
+        fs.corrupt("data", span.first_page * fs.page_size)
+        rescanned = PagedFile(fs, "data")
+        assert rescanned.corrupt_spans == 1
+        assert "gone" not in rescanned.index
+        assert span.first_page in rescanned.free
+
+    def test_multi_page_record_scan(self, fs, paged):
+        big = encode_record("big", "z" * 2000)
+        span = paged.allocate_span(pages_needed(len(big), fs.page_size))
+        paged.write_span(span, big)
+        paged.sync()
+        fs.crash()
+        rescanned = PagedFile(fs, "data")
+        assert rescanned.index["big"].npages == 4
+        assert rescanned.read_record(rescanned.index["big"])[1] == "z" * 2000

@@ -1,0 +1,281 @@
+"""The shared/update/exclusive lock: matrix, upgrade, fairness, protocol."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import (
+    COMPATIBILITY,
+    LockMode,
+    LockProtocolError,
+    LockTimeout,
+    SUELock,
+)
+
+
+@pytest.fixture
+def lock() -> SUELock:
+    return SUELock()
+
+
+def in_thread(fn, *args):
+    """Run fn in a thread; returns the thread after starting it."""
+    thread = threading.Thread(target=fn, args=args, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestMatrix:
+    """The paper's compatibility matrix, verified pair by pair."""
+
+    def test_matrix_contents_match_paper(self):
+        S, U, E = LockMode.SHARED, LockMode.UPDATE, LockMode.EXCLUSIVE
+        assert COMPATIBILITY[(S, S)] is True
+        assert COMPATIBILITY[(S, U)] is True
+        assert COMPATIBILITY[(S, E)] is False
+        assert COMPATIBILITY[(U, S)] is True
+        assert COMPATIBILITY[(U, U)] is False
+        assert COMPATIBILITY[(U, E)] is False
+        assert COMPATIBILITY[(E, S)] is False
+        assert COMPATIBILITY[(E, U)] is False
+        assert COMPATIBILITY[(E, E)] is False
+
+    def _try_acquire_in_thread(self, lock, mode, timeout=0.05):
+        outcome = {}
+
+        def attempt():
+            try:
+                lock.acquire(mode, timeout=timeout)
+                lock.release(mode)
+                outcome["ok"] = True
+            except LockTimeout:
+                outcome["ok"] = False
+
+        thread = in_thread(attempt)
+        thread.join(5)
+        return outcome["ok"]
+
+    @pytest.mark.parametrize(
+        "held,requested",
+        [(h, r) for h in LockMode for r in LockMode],
+        ids=lambda m: m.value,
+    )
+    def test_pairwise_compatibility(self, lock, held, requested):
+        lock.acquire(held)
+        try:
+            observed = self._try_acquire_in_thread(lock, requested)
+        finally:
+            lock.release(held)
+        assert observed == COMPATIBILITY[(held, requested)]
+
+
+class TestContextManagers:
+    def test_shared(self, lock):
+        with lock.shared():
+            assert lock.holders()["shared"] == 1
+        assert lock.holders()["shared"] == 0
+
+    def test_update(self, lock):
+        with lock.update():
+            assert lock.holders()["update"]
+        assert not lock.holders()["update"]
+
+    def test_exclusive(self, lock):
+        with lock.exclusive():
+            assert lock.holders()["exclusive"]
+        assert not lock.holders()["exclusive"]
+
+    def test_released_on_exception(self, lock):
+        with pytest.raises(RuntimeError):
+            with lock.update():
+                raise RuntimeError("boom")
+        assert not lock.holders()["update"]
+
+    def test_upgraded_context(self, lock):
+        with lock.update():
+            with lock.upgraded():
+                assert lock.holders()["exclusive"]
+                assert not lock.holders()["update"]
+            assert lock.holders()["update"]
+
+
+class TestUpgrade:
+    def test_upgrade_requires_update(self, lock):
+        with pytest.raises(LockProtocolError):
+            lock.upgrade()
+
+    def test_downgrade_requires_exclusive(self, lock):
+        with pytest.raises(LockProtocolError):
+            lock.downgrade()
+
+    def test_upgrade_waits_for_shared_drain(self, lock):
+        lock.acquire(LockMode.SHARED)
+        order = []
+
+        def upgrader():
+            lock.acquire(LockMode.UPDATE)
+            order.append("update-held")
+            lock.upgrade()
+            order.append("exclusive-held")
+            lock.release(LockMode.EXCLUSIVE)
+
+        thread = in_thread(upgrader)
+        deadline = time.monotonic() + 5
+        while "update-held" not in order and time.monotonic() < deadline:
+            time.sleep(0.005)
+        time.sleep(0.05)
+        assert order == ["update-held"]  # upgrade is blocked by our shared
+        lock.release(LockMode.SHARED)
+        thread.join(5)
+        assert order == ["update-held", "exclusive-held"]
+
+    def test_pending_upgrade_blocks_new_shared(self, lock):
+        """Anti-starvation: new enquiries queue behind a pending upgrade."""
+        lock.acquire(LockMode.SHARED)
+        started = threading.Event()
+
+        def upgrader():
+            lock.acquire(LockMode.UPDATE)
+            started.set()
+            lock.upgrade()
+            lock.release(LockMode.EXCLUSIVE)
+
+        thread = in_thread(upgrader)
+        assert started.wait(5)
+        time.sleep(0.05)  # let the upgrade become pending
+
+        blocked = {}
+
+        def late_reader():
+            try:
+                lock.acquire(LockMode.SHARED, timeout=0.05)
+                lock.release(LockMode.SHARED)
+                blocked["got_in"] = True
+            except LockTimeout:
+                blocked["got_in"] = False
+
+        reader = in_thread(late_reader)
+        reader.join(5)
+        assert blocked["got_in"] is False
+        lock.release(LockMode.SHARED)
+        thread.join(5)
+
+    def test_upgrade_timeout(self, lock):
+        lock.acquire(LockMode.SHARED)
+
+        def upgrader(results):
+            lock.acquire(LockMode.UPDATE)
+            try:
+                lock.upgrade(timeout=0.05)
+                results["raised"] = False
+            except LockTimeout:
+                results["raised"] = True
+            finally:
+                lock.release(LockMode.UPDATE)
+
+        results = {}
+        thread = in_thread(upgrader, results)
+        thread.join(5)
+        lock.release(LockMode.SHARED)
+        assert results["raised"] is True
+
+    def test_stats_count_upgrades(self, lock):
+        with lock.update():
+            lock.upgrade()
+            lock.downgrade()
+        assert lock.stats.snapshot()["upgrades"] == 1
+
+
+class TestProtocolErrors:
+    def test_release_unheld_shared(self, lock):
+        with pytest.raises(LockProtocolError):
+            lock.release(LockMode.SHARED)
+
+    def test_release_unheld_update(self, lock):
+        with pytest.raises(LockProtocolError):
+            lock.release(LockMode.UPDATE)
+
+    def test_release_unheld_exclusive(self, lock):
+        with pytest.raises(LockProtocolError):
+            lock.release(LockMode.EXCLUSIVE)
+
+    def test_shared_not_reentrant(self, lock):
+        with lock.shared():
+            with pytest.raises(LockProtocolError):
+                lock.acquire(LockMode.SHARED)
+
+    def test_update_not_reentrant(self, lock):
+        with lock.update():
+            with pytest.raises(LockProtocolError):
+                lock.acquire(LockMode.UPDATE)
+
+    def test_shared_then_update_rejected(self, lock):
+        """Lock-order deadlock hazard is refused outright."""
+        with lock.shared():
+            with pytest.raises(LockProtocolError):
+                lock.acquire(LockMode.UPDATE)
+
+    def test_update_then_shared_rejected(self, lock):
+        with lock.update():
+            with pytest.raises(LockProtocolError):
+                lock.acquire(LockMode.SHARED)
+
+    def test_upgrade_while_holding_shared_rejected(self):
+        lock = SUELock()
+        lock.acquire(LockMode.UPDATE)
+        # simulate the same thread having shared as well via direct state:
+        lock._shared_holders[threading.get_ident()] = 1
+        with pytest.raises(LockProtocolError):
+            lock.upgrade()
+
+
+class TestConcurrencyStress:
+    def test_many_readers_one_writer(self, lock):
+        """Readers always see an even counter (writer increments twice)."""
+        counter = [0]
+        anomalies = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                with lock.shared():
+                    if counter[0] % 2 != 0:
+                        anomalies.append(counter[0])
+
+        def writer():
+            for _ in range(100):
+                with lock.update():
+                    lock.upgrade()
+                    counter[0] += 1
+                    counter[0] += 1
+                    lock.downgrade()
+
+        readers = [in_thread(reader) for _ in range(4)]
+        writer_thread = in_thread(writer)
+        writer_thread.join(30)
+        stop.set()
+        for thread in readers:
+            thread.join(5)
+        assert not anomalies
+        assert counter[0] == 200
+
+    def test_two_updaters_serialize(self, lock):
+        inside = []
+        overlap = []
+
+        def updater(tag):
+            for _ in range(50):
+                with lock.update():
+                    inside.append(tag)
+                    if len(inside) > 1:
+                        overlap.append(tuple(inside))
+                    time.sleep(0.0005)
+                    inside.remove(tag)
+
+        threads = [in_thread(updater, i) for i in range(2)]
+        for thread in threads:
+            thread.join(30)
+        assert not overlap

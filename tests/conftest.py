@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Database, OperationRegistry, PreconditionFailed
+from repro.sim import MICROVAX_II, SimClock
+from repro.storage import SimFS
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def fs(clock: SimClock) -> SimFS:
+    return SimFS(clock=clock)
+
+
+@pytest.fixture
+def kv_ops() -> OperationRegistry:
+    """A small key-value schema used across the core tests."""
+    ops = OperationRegistry()
+
+    @ops.operation("set")
+    def op_set(root, key, value):
+        root[key] = value
+
+    @ops.operation("incr")
+    def op_incr(root, key, amount=1):
+        root[key] = root.get(key, 0) + amount
+        return root[key]
+
+    @ops.operation("del")
+    def op_del(root, key):
+        del root[key]
+
+    @op_del.precondition
+    def _del_pre(root, key):
+        if key not in root:
+            raise PreconditionFailed(f"no key {key!r}")
+
+    return ops
+
+
+@pytest.fixture
+def make_db(fs: SimFS, kv_ops: OperationRegistry):
+    """Factory building (and rebuilding, after crashes) a database on fs."""
+
+    def build(**overrides) -> Database:
+        settings = {
+            "initial": dict,
+            "operations": kv_ops,
+            "cost_model": MICROVAX_II,
+        }
+        settings.update(overrides)
+        return Database(fs, **settings)
+
+    return build
+
+
+@pytest.fixture
+def db(make_db) -> Database:
+    return make_db()

@@ -1,0 +1,100 @@
+"""Online backup: exact live copies under the update lock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Database, RecoveryError
+from repro.core.backup import backup_database, verify_backup
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+
+@pytest.fixture
+def target() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+class TestBackup:
+    def test_backup_is_exact(self, fs, kv_ops, target, db):
+        db.update("set", "a", 1)
+        db.update("set", "b", 2)
+        copied = backup_database(db, target)
+        assert set(copied) == {"checkpoint1", "logfile1", "version"}
+        restored = Database(target, initial=dict, operations=kv_ops)
+        assert restored.enquire(lambda root: dict(root)) == {"a": 1, "b": 2}
+
+    def test_backup_includes_post_checkpoint_updates(self, kv_ops, target, db):
+        db.update("set", "old", 1)
+        db.checkpoint()
+        db.update("set", "new", 2)  # in the live log only
+        backup_database(db, target)
+        restored = Database(target, initial=dict, operations=kv_ops)
+        assert restored.enquire(lambda root: dict(root)) == {"old": 1, "new": 2}
+
+    def test_backup_replaces_previous_backup(self, kv_ops, target, db):
+        db.update("set", "v", 1)
+        backup_database(db, target)
+        db.update("set", "v", 2)
+        db.checkpoint()
+        backup_database(db, target)
+        names = set(target.list_names())
+        assert names == {"checkpoint2", "logfile2", "version"}
+        restored = Database(target, initial=dict, operations=kv_ops)
+        assert restored.enquire(lambda root: root["v"]) == 2
+
+    def test_source_database_keeps_working(self, target, db):
+        db.update("set", "a", 1)
+        backup_database(db, target)
+        db.update("set", "b", 2)
+        assert db.enquire(lambda root: len(root)) == 2
+
+    def test_verify_clean_backup(self, target, db):
+        db.update("set", "a", 1)
+        db.update("set", "b", 2)
+        backup_database(db, target)
+        assert verify_backup(target) == 2
+
+    def test_verify_empty_directory(self, target):
+        with pytest.raises(RecoveryError, match="no committed version"):
+            verify_backup(target)
+
+    def test_verify_detects_damage(self, target, db):
+        db.update("set", "a", "x" * 600)
+        backup_database(db, target)
+        target.crash()  # drop caches so the corruption is visible
+        target.corrupt("logfile1", 0)
+        with pytest.raises(RecoveryError):
+            verify_backup(target)
+
+    def test_enquiries_admitted_during_backup(self, db, target):
+        """The backup holds only the update lock."""
+        import threading
+
+        from repro.concurrency import LockMode, LockTimeout
+
+        db.update("set", "a", 1)
+        observed = {}
+
+        class SlowTarget(SimFS):
+            def fsync(self_inner, name):  # noqa: N805
+                # While the backup is mid-copy, probe the source's lock.
+                if "probed" not in observed:
+                    result = {}
+
+                    def probe():
+                        try:
+                            db.lock.acquire(LockMode.SHARED, timeout=0.2)
+                            db.lock.release(LockMode.SHARED)
+                            result["ok"] = True
+                        except LockTimeout:
+                            result["ok"] = False
+
+                    thread = threading.Thread(target=probe)
+                    thread.start()
+                    thread.join(5)
+                    observed["probed"] = result["ok"]
+                super().fsync(name)
+
+        backup_database(db, SlowTarget(clock=SimClock()))
+        assert observed["probed"] is True

@@ -1,0 +1,74 @@
+"""Checkpoint file framing and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointDamaged,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.sim import SimClock
+from repro.storage import HardError, SimFS
+
+
+@pytest.fixture
+def fs() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, fs):
+        payload = b"pickled root structure" * 100
+        written = write_checkpoint(fs, "checkpoint1", payload)
+        assert written == fs.size("checkpoint1")
+        assert read_checkpoint(fs, "checkpoint1") == payload
+
+    def test_empty_payload(self, fs):
+        write_checkpoint(fs, "ck", b"")
+        assert read_checkpoint(fs, "ck") == b""
+
+    def test_large_payload_chunked(self, fs):
+        payload = bytes(i % 251 for i in range(1_000_000))
+        write_checkpoint(fs, "big", payload)
+        assert read_checkpoint(fs, "big") == payload
+
+    def test_durable_after_crash(self, fs):
+        write_checkpoint(fs, "ck", b"state")
+        fs.crash()
+        assert read_checkpoint(fs, "ck") == b"state"
+
+    def test_too_short_rejected(self, fs):
+        fs.write("ck", b"SD")
+        with pytest.raises(CheckpointDamaged):
+            read_checkpoint(fs, "ck")
+
+    def test_bad_magic_rejected(self, fs):
+        write_checkpoint(fs, "ck", b"data")
+        raw = bytearray(fs.read("ck"))
+        raw[0] ^= 0xFF
+        fs.write("ck", bytes(raw))
+        with pytest.raises(CheckpointDamaged):
+            read_checkpoint(fs, "ck")
+
+    def test_payload_bitflip_rejected(self, fs):
+        write_checkpoint(fs, "ck", b"payload-bytes")
+        raw = bytearray(fs.read("ck"))
+        raw[8] ^= 0x01
+        fs.write("ck", bytes(raw))
+        with pytest.raises(CheckpointDamaged):
+            read_checkpoint(fs, "ck")
+
+    def test_truncated_file_rejected(self, fs):
+        write_checkpoint(fs, "ck", b"payload-bytes" * 50)
+        fs.truncate("ck", fs.size("ck") - 10)
+        with pytest.raises(CheckpointDamaged):
+            read_checkpoint(fs, "ck")
+
+    def test_hard_error_propagates(self, fs):
+        write_checkpoint(fs, "ck", b"x" * 2000)
+        fs.crash()
+        fs.corrupt("ck", 700)
+        with pytest.raises(HardError):
+            read_checkpoint(fs, "ck")

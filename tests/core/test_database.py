@@ -1,0 +1,263 @@
+"""Database behaviour: updates, enquiries, checkpoints, restart, locking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Database,
+    DatabaseClosed,
+    DatabasePoisoned,
+    EveryNUpdates,
+    OperationRegistry,
+    PreconditionFailed,
+    UnknownOperation,
+)
+from repro.sim import MICROVAX_II
+from repro.storage import SimulatedCrash
+
+
+def reopen(fs, kv_ops):
+    return Database(fs, initial=dict, operations=kv_ops, cost_model=MICROVAX_II)
+
+
+class TestBasics:
+    def test_fresh_database_bootstraps(self, db):
+        assert db.version == 1
+        assert db.enquire(lambda root: dict(root)) == {}
+
+    def test_update_and_enquire(self, db):
+        db.update("set", "k", 42)
+        assert db.enquire(lambda root: root["k"]) == 42
+
+    def test_update_returns_operation_result(self, db):
+        assert db.update("incr", "n") == 1
+        assert db.update("incr", "n", amount=9) == 10
+
+    def test_kwargs_roundtrip_through_log(self, fs, kv_ops, db):
+        db.update("incr", "n", amount=5)
+        fs.crash()
+        db2 = reopen(fs, kv_ops)
+        assert db2.enquire(lambda root: root["n"]) == 5
+
+    def test_unknown_operation(self, db):
+        with pytest.raises(UnknownOperation):
+            db.update("nonexistent")
+
+    def test_precondition_rejects_cleanly(self, db):
+        with pytest.raises(PreconditionFailed):
+            db.update("del", "ghost")
+        assert db.stats.updates_rejected == 1
+        assert db.stats.updates == 0
+        assert db.log_size() == 0  # nothing reached the disk
+
+    def test_closed_database_rejects_operations(self, db):
+        db.close()
+        with pytest.raises(DatabaseClosed):
+            db.enquire(lambda root: root)
+        with pytest.raises(DatabaseClosed):
+            db.update("set", "k", 1)
+
+    def test_context_manager(self, fs, kv_ops):
+        with Database(fs, initial=dict, operations=kv_ops) as db:
+            db.update("set", "a", 1)
+        with pytest.raises(DatabaseClosed):
+            db.update("set", "b", 2)
+
+    def test_open_is_idempotent(self, db):
+        db.open()
+        db.open()
+        assert db.version == 1
+
+
+class TestDurability:
+    def test_updates_survive_crash(self, fs, kv_ops, db):
+        for i in range(10):
+            db.update("set", f"key{i}", i)
+        fs.crash()
+        db2 = reopen(fs, kv_ops)
+        assert db2.enquire(lambda root: len(root)) == 10
+        assert db2.last_recovery.entries_replayed == 10
+
+    def test_crash_before_commit_loses_nothing_else(self, fs, kv_ops, db):
+        db.update("set", "kept", 1)
+        injector = fs.injector
+        injector.crash_at_event = injector.events_seen + 1
+        with pytest.raises(SimulatedCrash):
+            db.update("set", "lost", 2)
+        fs.crash()
+        injector.disarm()
+        db2 = reopen(fs, kv_ops)
+        state = db2.enquire(lambda root: dict(root))
+        assert state == {"kept": 1}
+
+    def test_replay_preserves_update_order(self, fs, kv_ops, db):
+        db.update("set", "x", "first")
+        db.update("set", "x", "second")
+        db.update("set", "x", "third")
+        fs.crash()
+        db2 = reopen(fs, kv_ops)
+        assert db2.enquire(lambda root: root["x"]) == "third"
+
+    def test_restart_then_more_updates(self, fs, kv_ops, db):
+        db.update("set", "a", 1)
+        fs.crash()
+        db2 = reopen(fs, kv_ops)
+        db2.update("set", "b", 2)
+        fs.crash()
+        db3 = reopen(fs, kv_ops)
+        assert db3.enquire(lambda root: sorted(root)) == ["a", "b"]
+
+    def test_clean_close_reopen_without_crash(self, fs, kv_ops, db):
+        db.update("set", "a", 1)
+        db.close()
+        db2 = reopen(fs, kv_ops)
+        assert db2.enquire(lambda root: root["a"]) == 1
+
+
+class TestCheckpoints:
+    def test_checkpoint_advances_version(self, db):
+        assert db.version == 1
+        db.update("set", "a", 1)
+        assert db.checkpoint() == 2
+        assert db.version == 2
+
+    def test_checkpoint_resets_log(self, db):
+        db.update("set", "a", 1)
+        assert db.log_size() > 0
+        db.checkpoint()
+        assert db.log_size() == 0
+        assert db.entries_since_checkpoint == 0
+
+    def test_recovery_from_checkpoint_plus_log(self, fs, kv_ops, db):
+        db.update("set", "before", 1)
+        db.checkpoint()
+        db.update("set", "after", 2)
+        fs.crash()
+        db2 = reopen(fs, kv_ops)
+        assert db2.enquire(lambda root: dict(root)) == {"before": 1, "after": 2}
+        assert db2.last_recovery.entries_replayed == 1  # only post-checkpoint
+
+    def test_checkpoint_then_crash_before_any_update(self, fs, kv_ops, db):
+        db.update("set", "a", 1)
+        db.checkpoint()
+        fs.crash()
+        db2 = reopen(fs, kv_ops)
+        assert db2.version == 2
+        assert db2.enquire(lambda root: root["a"]) == 1
+
+    def test_many_checkpoints(self, fs, kv_ops, db):
+        for i in range(5):
+            db.update("set", f"k{i}", i)
+            db.checkpoint()
+        assert db.version == 6
+        fs.crash()
+        db2 = reopen(fs, kv_ops)
+        assert db2.enquire(lambda root: len(root)) == 5
+
+    def test_old_checkpoint_files_removed(self, fs, kv_ops, db):
+        db.update("set", "a", 1)
+        db.checkpoint()
+        names = fs.list_names()
+        assert "checkpoint1" not in names
+        assert "logfile1" not in names
+        assert "newversion" not in names
+        assert set(names) == {"checkpoint2", "logfile2", "version"}
+
+    def test_keep_versions_retains_previous(self, fs, kv_ops):
+        db = Database(
+            fs, initial=dict, operations=kv_ops, keep_versions=2
+        )
+        db.update("set", "a", 1)
+        db.checkpoint()
+        db.update("set", "b", 2)
+        db.checkpoint()
+        names = set(fs.list_names())
+        assert {"checkpoint2", "logfile2", "checkpoint3", "logfile3"} <= names
+        assert "checkpoint1" not in names
+
+    def test_auto_checkpoint_policy(self, fs, kv_ops):
+        db = Database(
+            fs,
+            initial=dict,
+            operations=kv_ops,
+            policy=EveryNUpdates(3),
+        )
+        for i in range(7):
+            db.update("set", f"k{i}", i)
+        assert db.stats.checkpoints == 2
+        assert db.entries_since_checkpoint == 1
+
+
+class TestPoisoning:
+    def test_apply_failure_after_commit_poisons(self, fs):
+        ops = OperationRegistry()
+
+        @ops.operation("bad")
+        def bad(root):
+            raise RuntimeError("apply blew up")
+
+        db = Database(fs, initial=dict, operations=ops)
+        with pytest.raises(DatabasePoisoned):
+            db.update("bad")
+        # All further access is refused until a restart.
+        with pytest.raises(DatabasePoisoned):
+            db.enquire(lambda root: root)
+        with pytest.raises(DatabasePoisoned):
+            db.update("bad")
+
+    def test_lock_released_after_poisoning(self, fs):
+        ops = OperationRegistry()
+
+        @ops.operation("bad")
+        def bad(root):
+            raise RuntimeError("boom")
+
+        db = Database(fs, initial=dict, operations=ops)
+        with pytest.raises(DatabasePoisoned):
+            db.update("bad")
+        holders = db.lock.holders()
+        assert holders == {
+            "shared": 0,
+            "update": False,
+            "exclusive": False,
+            "exclusive_pending": 0,
+        }
+
+
+class TestStats:
+    def test_counts(self, db):
+        db.update("set", "a", 1)
+        db.enquire(lambda root: root["a"])
+        db.enquire(lambda root: len(root))
+        db.checkpoint()
+        snap = db.stats.snapshot()
+        assert snap["updates"] == 1
+        assert snap["enquiries"] == 2
+        assert snap["checkpoints"] == 1
+
+    def test_update_breakdown_shape(self, db):
+        """Simulated phase times: log write dominates tiny updates; the
+        paper's 1987 ordering (disk write > explore ≈ modify) holds."""
+        db.update("set", "account-name", "some-value-string")
+        breakdown = db.stats.last_update
+        assert breakdown.log_write_seconds > 0.015  # ~20 ms disk write
+        assert breakdown.explore_seconds == pytest.approx(0.006)
+        assert breakdown.apply_seconds == pytest.approx(0.006)
+        assert breakdown.total() > 0.030
+
+    def test_restart_stats(self, fs, kv_ops, db):
+        db.update("set", "a", 1)
+        db.update("set", "b", 2)
+        fs.crash()
+        db2 = reopen(fs, kv_ops)
+        assert db2.stats.restarts == 1
+        assert db2.stats.entries_replayed == 2
+        assert db2.stats.last_restart_seconds > 0
+
+    def test_mean_update_breakdown(self, db):
+        for i in range(4):
+            db.update("set", f"k{i}", i)
+        mean = db.stats.mean_update_breakdown()
+        assert mean.explore_seconds == pytest.approx(0.006)
+        assert 0 < mean.total() < 0.2

@@ -1,0 +1,123 @@
+"""Stateful model-checking of the Database against a plain dict.
+
+Hypothesis drives random interleavings of updates, batches, enquiries,
+checkpoints, crashes and restarts; after every step the database must
+agree exactly with the model.  This is the engine-level counterpart of
+the SimFS state machine — together they cover the stack from page writes
+to transactions.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import Database, OperationRegistry, PreconditionFailed
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+keys = st.sampled_from(["a", "b", "c", "d"])
+values = st.one_of(
+    st.integers(),
+    st.text(max_size=30),
+    st.lists(st.integers(), max_size=3),
+)
+
+
+def build_ops() -> OperationRegistry:
+    ops = OperationRegistry()
+
+    @ops.operation("set")
+    def op_set(root, key, value):
+        root[key] = value
+
+    @ops.operation("del")
+    def op_del(root, key):
+        del root[key]
+
+    @op_del.precondition
+    def _del_pre(root, key):
+        if key not in root:
+            raise PreconditionFailed(key)
+
+    @ops.operation("incr")
+    def op_incr(root, key):
+        current = root.get(key, 0)
+        root[key] = (current if isinstance(current, int) else 0) + 1
+
+    return ops
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.ops = build_ops()
+        self.fs = SimFS(clock=SimClock())
+        self.db = Database(self.fs, initial=dict, operations=self.ops)
+        self.model: dict = {}
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule(key=keys, value=values)
+    def set_value(self, key, value) -> None:
+        self.db.update("set", key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete_value(self, key) -> None:
+        if key in self.model:
+            self.db.update("del", key)
+            del self.model[key]
+        else:
+            try:
+                self.db.update("del", key)
+                raise AssertionError("precondition should have failed")
+            except PreconditionFailed:
+                pass
+
+    @rule(key=keys)
+    def increment(self, key) -> None:
+        self.db.update("incr", key)
+        current = self.model.get(key, 0)
+        self.model[key] = (current if isinstance(current, int) else 0) + 1
+
+    @rule(pairs=st.lists(st.tuples(keys, values), min_size=1, max_size=4))
+    def batch(self, pairs) -> None:
+        self.db.update_many([("set", pair) for pair in pairs])
+        for key, value in pairs:
+            self.model[key] = value
+
+    @rule()
+    def checkpoint(self) -> None:
+        self.db.checkpoint()
+
+    @rule()
+    def crash_and_restart(self) -> None:
+        self.fs.crash()
+        self.db = Database(self.fs, initial=dict, operations=self.ops)
+
+    @rule()
+    def clean_restart(self) -> None:
+        self.db.close()
+        self.db = Database(self.fs, initial=dict, operations=self.ops)
+
+    # -- invariant ----------------------------------------------------------------
+
+    @invariant()
+    def database_matches_model(self) -> None:
+        state = self.db.enquire(copy.deepcopy)
+        assert state == self.model
+
+
+DatabaseMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=25, deadline=None
+)
+TestDatabaseModel = DatabaseMachine.TestCase

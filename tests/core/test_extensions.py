@@ -1,0 +1,152 @@
+"""Group commit (update_many) and the background checkpoint daemon."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import (
+    CheckpointDaemon,
+    Database,
+    EveryNUpdates,
+    PreconditionFailed,
+)
+from repro.sim import MICROVAX_II
+
+
+class TestUpdateMany:
+    def test_batch_applies_all(self, db):
+        results = db.update_many(
+            [("set", ("a", 1)), ("set", ("b", 2)), ("incr", ("a",), {"amount": 9})]
+        )
+        assert results == [None, None, 10]
+        assert db.enquire(lambda root: dict(root)) == {"a": 10, "b": 2}
+
+    def test_empty_batch(self, db):
+        assert db.update_many([]) == []
+
+    def test_single_fsync_for_whole_batch(self, fs, db):
+        before = fs.fsync_calls
+        db.update_many([("set", (f"k{i}", i)) for i in range(10)])
+        assert fs.fsync_calls == before + 1
+
+    def test_batch_is_cheaper_than_individual(self, fs, kv_ops):
+        clock = fs.clock
+        db = Database(fs, initial=dict, operations=kv_ops, cost_model=MICROVAX_II)
+        start = clock.now()
+        for i in range(20):
+            db.update("set", f"solo{i}", i)
+        individual = clock.now() - start
+        start = clock.now()
+        db.update_many([("set", (f"batch{i}", i)) for i in range(20)])
+        batched = clock.now() - start
+        assert batched < individual * 0.7
+
+    def test_batch_durable_after_crash(self, fs, kv_ops, db):
+        db.update_many([("set", (f"k{i}", i)) for i in range(5)])
+        fs.crash()
+        recovered = Database(fs, initial=dict, operations=kv_ops)
+        assert recovered.enquire(lambda root: len(root)) == 5
+
+    def test_precondition_rejects_whole_batch_before_disk(self, fs, db):
+        with pytest.raises(PreconditionFailed):
+            db.update_many([("set", ("a", 1)), ("del", ("ghost",))])
+        assert db.log_size() == 0
+        assert db.enquire(lambda root: dict(root)) == {}
+
+    def test_stats_count_each_batched_update(self, db):
+        db.update_many([("set", (f"k{i}", i)) for i in range(4)])
+        assert db.stats.updates == 4
+        assert db.stats.log_entries_written == 4
+
+    def test_policy_consulted_after_batch(self, fs, kv_ops):
+        db = Database(
+            fs, initial=dict, operations=kv_ops, policy=EveryNUpdates(5)
+        )
+        db.update_many([("set", (f"k{i}", i)) for i in range(7)])
+        assert db.stats.checkpoints == 1
+
+    def test_prefix_of_batch_survives_mid_commit_crash(self, fs, kv_ops):
+        """Atomicity is per update: a crash can keep a batch prefix."""
+        from repro.storage import SimulatedCrash
+
+        db = Database(fs, initial=dict, operations=kv_ops)
+        db.update("set", "warm", 0)
+        injector = fs.injector
+        injector.tear = False
+        injector.crash_at_event = injector.events_seen + 2  # mid-batch
+        with pytest.raises(SimulatedCrash):
+            db.update_many([("set", (f"k{i}", "x" * 400)) for i in range(6)])
+        fs.crash()
+        injector.disarm()
+        recovered = Database(fs, initial=dict, operations=kv_ops)
+        state = recovered.enquire(lambda root: sorted(root))
+        kept = [key for key in state if key.startswith("k")]
+        assert kept == [f"k{i}" for i in range(len(kept))], "must be a prefix"
+        assert 0 < len(kept) < 6
+
+
+class TestCheckpointDaemon:
+    def test_daemon_checkpoints_when_policy_fires(self, fs, kv_ops):
+        db = Database(fs, initial=dict, operations=kv_ops)
+        with CheckpointDaemon(db, EveryNUpdates(3), poll_interval=0.01) as daemon:
+            for i in range(3):
+                db.update("set", f"k{i}", i)
+            deadline = time.monotonic() + 5
+            while db.stats.checkpoints == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert db.stats.checkpoints >= 1
+        assert daemon.checkpoints_taken >= 1
+        assert daemon.last_error is None
+
+    def test_daemon_idle_when_policy_quiet(self, fs, kv_ops):
+        db = Database(fs, initial=dict, operations=kv_ops)
+        with CheckpointDaemon(db, EveryNUpdates(1000), poll_interval=0.01):
+            db.update("set", "a", 1)
+            time.sleep(0.05)
+        assert db.stats.checkpoints == 0
+
+    def test_daemon_fires_during_quiet_period(self, fs, kv_ops):
+        """The daemon's point: no update needed to trigger the policy."""
+        from repro.core import Periodic
+
+        clock = fs.clock
+        db = Database(fs, initial=dict, operations=kv_ops)
+        db.update("set", "a", 1)
+        with CheckpointDaemon(db, Periodic(100.0), poll_interval=0.01):
+            clock.advance(101.0)  # a day passes with no traffic at all
+            deadline = time.monotonic() + 5
+            while db.stats.checkpoints == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert db.stats.checkpoints >= 1
+
+    def test_daemon_stops_cleanly_on_close(self, fs, kv_ops):
+        db = Database(fs, initial=dict, operations=kv_ops)
+        daemon = CheckpointDaemon(db, EveryNUpdates(1), poll_interval=0.01).start()
+        db.update("set", "a", 1)
+        time.sleep(0.05)
+        db.close()
+        time.sleep(0.05)
+        daemon.stop()
+        assert daemon.last_error is None
+
+    def test_double_start_rejected(self, fs, kv_ops):
+        db = Database(fs, initial=dict, operations=kv_ops)
+        daemon = CheckpointDaemon(db).start()
+        try:
+            with pytest.raises(RuntimeError):
+                daemon.start()
+        finally:
+            daemon.stop()
+
+    def test_daemon_updates_race_safely(self, fs, kv_ops):
+        """Updates from the main thread race daemon checkpoints."""
+        db = Database(fs, initial=dict, operations=kv_ops)
+        with CheckpointDaemon(db, EveryNUpdates(5), poll_interval=0.001):
+            for i in range(100):
+                db.update("set", f"k{i}", i)
+        assert db.enquire(lambda root: len(root)) == 100
+        fs.crash()
+        recovered = Database(fs, initial=dict, operations=kv_ops)
+        assert recovered.enquire(lambda root: len(root)) == 100

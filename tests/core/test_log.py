@@ -1,0 +1,243 @@
+"""Log writer/scanner: framing, commit durability, damage detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.log import LogScan, LogWriter, encode_entry
+from repro.sim import SimClock
+from repro.storage import SimFS, SimulatedCrash
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def fs(clock) -> SimFS:
+    return SimFS(clock=clock)
+
+
+def scan_all(fs, name, **kwargs):
+    scan = LogScan(fs, name, **kwargs)
+    entries = list(scan)
+    return entries, scan.outcome
+
+
+class TestFraming:
+    def test_encode_entry_layout(self):
+        entry = encode_entry(1, b"payload")
+        assert entry[0] == 0xA5
+        assert len(entry) == 1 + 1 + 1 + 7 + 4  # magic seq len payload crc
+
+    def test_seq_must_be_positive(self):
+        with pytest.raises(ValueError):
+            encode_entry(0, b"")
+
+    def test_writer_assigns_sequential_seqs(self, fs):
+        writer = LogWriter(fs, "log")
+        entries = [writer.append(bytes([i])) for i in range(5)]
+        assert [e.seq for e in entries] == [1, 2, 3, 4, 5]
+
+    def test_roundtrip_entries(self, fs):
+        writer = LogWriter(fs, "log")
+        payloads = [b"first", b"second", b"", b"x" * 1000]
+        for p in payloads:
+            writer.append(p)
+        entries, outcome = scan_all(fs, "log")
+        assert [e.payload for e in entries] == payloads
+        assert outcome.damage is None
+        assert outcome.entries == 4
+        assert outcome.last_seq == 4
+
+    def test_padding_aligns_entries(self, fs):
+        writer = LogWriter(fs, "log", page_size=512, pad_to_page=True)
+        writer.append(b"small")
+        assert writer.offset % 512 == 0
+        writer.append(b"x" * 600)  # spans two pages
+        assert writer.offset % 512 == 0
+
+    def test_unpadded_entries_are_compact(self, fs):
+        writer = LogWriter(fs, "log", pad_to_page=False)
+        writer.append(b"abc")
+        assert writer.offset == len(encode_entry(1, b"abc"))
+
+    def test_unpadded_log_scans_cleanly(self, fs):
+        writer = LogWriter(fs, "log", pad_to_page=False)
+        payloads = [bytes([i]) * (i * 37 % 100) for i in range(20)]
+        for p in payloads:
+            writer.append(p)
+        entries, outcome = scan_all(fs, "log")
+        assert [e.payload for e in entries] == payloads
+
+    def test_empty_log_scans_empty(self, fs):
+        fs.create("log")
+        entries, outcome = scan_all(fs, "log")
+        assert entries == []
+        assert outcome.damage is None
+        assert outcome.good_length == 0
+
+    def test_writer_resumes_at_offset(self, fs):
+        writer = LogWriter(fs, "log")
+        writer.append(b"one")
+        resumed = LogWriter(fs, "log", start_seq=2)
+        resumed.append(b"two")
+        entries, _ = scan_all(fs, "log")
+        assert [e.payload for e in entries] == [b"one", b"two"]
+
+
+class TestGroupCommit:
+    def test_append_many_single_fsync(self, fs):
+        writer = LogWriter(fs, "log")
+        before = fs.fsync_calls
+        records = writer.append_many([b"a", b"b", b"c"])
+        assert fs.fsync_calls == before + 1
+        assert [r.seq for r in records] == [1, 2, 3]
+
+    def test_append_many_empty(self, fs):
+        writer = LogWriter(fs, "log")
+        assert writer.append_many([]) == []
+
+    def test_unsynced_entries_lost_on_crash(self, fs):
+        writer = LogWriter(fs, "log")
+        writer.append(b"durable")
+        writer.append_unsynced(b"volatile")
+        fs.crash()
+        entries, _ = scan_all(fs, "log")
+        assert [e.payload for e in entries] == [b"durable"]
+
+
+class TestCommitPoint:
+    def test_synced_entry_survives_crash(self, fs):
+        LogWriter(fs, "log").append(b"committed")
+        fs.crash()
+        entries, outcome = scan_all(fs, "log")
+        assert entries[0].payload == b"committed"
+        assert outcome.damage is None
+
+    def test_torn_commit_discarded(self, fs):
+        writer = LogWriter(fs, "log")
+        writer.append(b"good")
+        injector = fs.injector
+        injector.crash_at_event = injector.events_seen + 1
+        injector.tear = True
+        with pytest.raises(SimulatedCrash):
+            writer.append(b"torn")
+        fs.crash()
+        entries, outcome = scan_all(fs, "log")
+        assert [e.payload for e in entries] == [b"good"]
+        assert outcome.truncated
+        assert outcome.good_length == entries[0].offset + entries[0].length
+
+    def test_partial_multipage_entry_discarded(self, fs):
+        """Crash mid-flush of a large entry leaves a detectable tail."""
+        writer = LogWriter(fs, "log")
+        writer.append(b"good")
+        injector = fs.injector
+        injector.tear = False
+        injector.crash_at_event = injector.events_seen + 2  # 2nd page of 5
+        with pytest.raises(SimulatedCrash):
+            writer.append(b"L" * 2000)
+        fs.crash()
+        entries, outcome = scan_all(fs, "log")
+        assert [e.payload for e in entries] == [b"good"]
+        assert outcome.truncated
+
+    def test_padding_protects_committed_entries(self, fs):
+        """With padding, a torn later append never damages earlier entries."""
+        writer = LogWriter(fs, "log", pad_to_page=True)
+        writer.append(b"protected")
+        injector = fs.injector
+        injector.crash_at_event = injector.events_seen + 1
+        injector.tear = True
+        with pytest.raises(SimulatedCrash):
+            writer.append(b"torn")
+        fs.crash()
+        entries, _ = scan_all(fs, "log")
+        assert [e.payload for e in entries] == [b"protected"]
+
+    def test_unpadded_torn_append_can_lose_committed_entry(self, fs):
+        """The paper's exact layout: a torn tail-page rewrite destroys the
+        committed entry sharing that page (design note D2)."""
+        writer = LogWriter(fs, "log", pad_to_page=False)
+        writer.append(b"victim")  # ends mid-page
+        injector = fs.injector
+        injector.crash_at_event = injector.events_seen + 1
+        injector.tear = True
+        with pytest.raises(SimulatedCrash):
+            writer.append(b"torn")
+        fs.crash()
+        entries, outcome = scan_all(fs, "log")
+        assert entries == []  # the committed entry is gone
+        assert outcome.truncated
+
+
+class TestDamage:
+    def _write_three(self, fs, pad=True):
+        """Entry 2 spans three pages so damage can avoid its header page."""
+        writer = LogWriter(fs, "log", pad_to_page=pad)
+        for payload in (b"one", b"two" * 400, b"three"):
+            writer.append(payload)
+        return writer
+
+    def test_hard_error_stops_scan_strict(self, fs):
+        writer = self._write_three(fs)
+        fs.crash()
+        # Damage the second entry's first page (header included).
+        fs.corrupt("log", 512)
+        entries, outcome = scan_all(fs, "log")
+        assert [e.payload for e in entries] == [b"one"]
+        assert outcome.truncated
+
+    def test_hard_error_skipped_when_ignoring(self, fs):
+        self._write_three(fs)
+        fs.crash()
+        fs.corrupt("log", 512 + 600)  # entry 2's payload, past its header page
+        entries, outcome = scan_all(fs, "log", ignore_damaged=True)
+        assert [e.payload for e in entries] == [b"one", b"three"]
+        assert outcome.damaged_skipped == 1
+        assert outcome.damage is None
+
+    def test_damaged_header_page_resyncs_at_page_boundary(self, fs):
+        """Header damage loses that entry; padding lets the scan resync."""
+        self._write_three(fs)
+        fs.crash()
+        fs.corrupt("log", 512)  # entry 2's header page
+        entries, outcome = scan_all(fs, "log", ignore_damaged=True)
+        assert [e.payload for e in entries] == [b"one", b"three"]
+        assert not outcome.truncated
+
+    def test_bad_magic_stops_scan(self, fs):
+        writer = LogWriter(fs, "log")
+        writer.append(b"fine")
+        fs.append("log", b"\x77garbage")
+        entries, outcome = scan_all(fs, "log")
+        assert [e.payload for e in entries] == [b"fine"]
+        assert "bad magic" in outcome.damage
+
+    def test_bitflip_in_payload_detected_by_crc(self, fs):
+        writer = LogWriter(fs, "log", pad_to_page=False)
+        writer.append(b"AAAA")
+        raw = bytearray(fs.read("log"))
+        raw[4] ^= 0xFF  # flip a payload byte
+        fs.write("log", bytes(raw))
+        entries, outcome = scan_all(fs, "log")
+        assert entries == []
+        assert "checksum" in outcome.damage
+
+    def test_sequence_discontinuity_detected(self, fs):
+        fs.create("log")
+        fs.append("log", encode_entry(1, b"a"))
+        fs.append("log", encode_entry(3, b"skipped two"))
+        entries, outcome = scan_all(fs, "log")
+        assert [e.seq for e in entries] == [1]
+        assert "discontinuity" in outcome.damage
+
+    def test_entry_extending_past_eof_detected(self, fs):
+        fs.create("log")
+        full = encode_entry(1, b"x" * 100)
+        fs.append("log", full[:-20])  # drop the tail
+        entries, outcome = scan_all(fs, "log")
+        assert entries == []
+        assert outcome.truncated

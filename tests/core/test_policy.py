@@ -1,0 +1,154 @@
+"""Checkpoint policies and the transactions registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AnyOf,
+    Database,
+    EveryNUpdates,
+    LogSizeThreshold,
+    OperationExists,
+    OperationRegistry,
+    Periodic,
+    UnknownOperation,
+    nightly,
+)
+from repro.core.transactions import Operation
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+
+class TestPolicies:
+    def test_never(self, db):
+        for i in range(10):
+            db.update("set", f"k{i}", i)
+        assert db.stats.checkpoints == 0
+
+    def test_every_n_updates(self, fs, kv_ops):
+        db = Database(fs, initial=dict, operations=kv_ops, policy=EveryNUpdates(4))
+        for i in range(9):
+            db.update("set", f"k{i}", i)
+        assert db.stats.checkpoints == 2
+
+    def test_log_size_threshold(self, fs, kv_ops):
+        db = Database(
+            fs, initial=dict, operations=kv_ops, policy=LogSizeThreshold(2000)
+        )
+        for i in range(10):
+            db.update("set", f"k{i}", "v" * 100)
+        assert db.stats.checkpoints >= 1
+        assert db.log_size() < 2000
+
+    def test_periodic_uses_database_clock(self, kv_ops):
+        clock = SimClock()
+        fs = SimFS(clock=clock)
+        db = Database(
+            fs,
+            initial=dict,
+            operations=kv_ops,
+            policy=Periodic(3600.0),
+        )
+        db.update("set", "a", 1)
+        assert db.stats.checkpoints == 0
+        clock.advance(3601.0)
+        db.update("set", "b", 2)
+        assert db.stats.checkpoints == 1
+
+    def test_nightly_is_86400_seconds(self):
+        assert nightly().interval_seconds == 86_400.0
+
+    def test_any_of(self, fs, kv_ops):
+        policy = AnyOf(EveryNUpdates(100), LogSizeThreshold(1500))
+        db = Database(fs, initial=dict, operations=kv_ops, policy=policy)
+        for i in range(6):
+            db.update("set", f"k{i}", "v" * 100)
+        assert db.stats.checkpoints >= 1
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: EveryNUpdates(0),
+            lambda: LogSizeThreshold(0),
+            lambda: Periodic(0),
+            lambda: AnyOf(),
+        ],
+    )
+    def test_invalid_parameters(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+    def test_manual_checkpoint_resets_periodic_baseline(self, kv_ops):
+        clock = SimClock()
+        fs = SimFS(clock=clock)
+        db = Database(
+            fs, initial=dict, operations=kv_ops, policy=Periodic(1000.0)
+        )
+        clock.advance(999.0)
+        db.checkpoint()  # manual; resets last_checkpoint_time
+        db.update("set", "a", 1)
+        assert db.stats.checkpoints == 1  # periodic did not also fire
+
+
+class TestOperationRegistry:
+    def test_register_and_get(self):
+        ops = OperationRegistry()
+        op = ops.register("touch", lambda root: None)
+        assert isinstance(op, Operation)
+        assert ops.get("touch") is op
+        assert "touch" in ops
+
+    def test_decorator_default_name(self):
+        ops = OperationRegistry()
+
+        @ops.operation()
+        def my_operation(root):
+            pass
+
+        assert "my_operation" in ops
+
+    def test_duplicate_rejected(self):
+        ops = OperationRegistry()
+        ops.register("x", lambda root: None)
+        with pytest.raises(OperationExists):
+            ops.register("x", lambda root: None)
+
+    def test_unknown_get(self):
+        ops = OperationRegistry()
+        with pytest.raises(UnknownOperation):
+            ops.get("ghost")
+
+    def test_unregister(self):
+        ops = OperationRegistry()
+        ops.register("x", lambda root: None)
+        ops.unregister("x")
+        assert "x" not in ops
+        with pytest.raises(UnknownOperation):
+            ops.unregister("x")
+
+    def test_names_sorted(self):
+        ops = OperationRegistry()
+        for name in ("zz", "aa", "mm"):
+            ops.register(name, lambda root: None)
+        assert ops.names() == ["aa", "mm", "zz"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("", lambda root: None)
+
+    def test_precondition_decorator(self):
+        ops = OperationRegistry()
+
+        @ops.operation("guarded")
+        def guarded(root, key):
+            root[key] = True
+
+        calls = []
+
+        @guarded.precondition
+        def _check(root, key):
+            calls.append(key)
+
+        guarded.check({}, "k")
+        assert calls == ["k"]

@@ -1,0 +1,72 @@
+"""Version retention (keep_versions) edge cases and LogScan reuse guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Database, complete_versions
+from repro.core.log import LogScan, LogWriter
+from repro.core.version import checkpoint_name
+
+
+class TestRetention:
+    def test_keep_three_versions(self, fs, kv_ops):
+        db = Database(fs, initial=dict, operations=kv_ops, keep_versions=3)
+        for i in range(5):
+            db.update("set", f"k{i}", i)
+            db.checkpoint()
+        assert complete_versions(fs) == [4, 5, 6]
+
+    def test_retention_window_slides(self, fs, kv_ops):
+        db = Database(fs, initial=dict, operations=kv_ops, keep_versions=2)
+        db.update("set", "a", 1)
+        db.checkpoint()  # -> 2, keeps 1
+        assert complete_versions(fs) == [1, 2]
+        db.checkpoint()  # -> 3, keeps 2, drops 1
+        assert complete_versions(fs) == [2, 3]
+
+    def test_fallback_skips_to_deepest_good_checkpoint(self, fs, kv_ops):
+        """With three versions kept and both newer ones damaged, recovery
+        reaches back to the oldest and replays forward through all logs."""
+        db = Database(fs, initial=dict, operations=kv_ops, keep_versions=3)
+        db.update("set", "v1", 1)
+        db.checkpoint()  # version 2
+        db.update("set", "v2", 2)
+        db.checkpoint()  # version 3
+        db.update("set", "v3", 3)
+        fs.crash()
+        fs.corrupt(checkpoint_name(3), 0)
+        recovered = Database(
+            fs, initial=dict, operations=kv_ops, keep_versions=3
+        )
+        assert recovered.enquire(lambda root: dict(root)) == {
+            "v1": 1,
+            "v2": 2,
+            "v3": 3,
+        }
+
+    def test_restart_respects_retention(self, fs, kv_ops):
+        db = Database(fs, initial=dict, operations=kv_ops, keep_versions=2)
+        db.update("set", "a", 1)
+        db.checkpoint()
+        db.checkpoint()
+        fs.crash()
+        Database(fs, initial=dict, operations=kv_ops, keep_versions=2)
+        assert complete_versions(fs) == [2, 3]
+
+
+class TestLogScanReuse:
+    def test_scan_is_single_use(self, fs):
+        writer = LogWriter(fs, "log")
+        writer.append(b"one")
+        scan = LogScan(fs, "log")
+        assert len(list(scan)) == 1
+        with pytest.raises(RuntimeError, match="single-use"):
+            list(scan)
+
+    def test_fresh_scan_works_after_consumed_one(self, fs):
+        writer = LogWriter(fs, "log")
+        writer.append(b"one")
+        list(LogScan(fs, "log"))
+        again = LogScan(fs, "log")
+        assert [e.payload for e in again] == [b"one"]

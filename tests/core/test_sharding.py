@@ -1,0 +1,165 @@
+"""Sharded databases and the prefix-namespace adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ShardedDatabase, default_hash
+from repro.storage import InvalidFileName, PrefixedFS
+
+
+class TestPrefixedFS:
+    def test_isolation_between_prefixes(self, fs):
+        a = PrefixedFS(fs, "a")
+        b = PrefixedFS(fs, "b")
+        a.write("data", b"from-a")
+        b.write("data", b"from-b")
+        assert a.read("data") == b"from-a"
+        assert b.read("data") == b"from-b"
+        assert a.list_names() == ["data"]
+
+    def test_base_sees_prefixed_names(self, fs):
+        view = PrefixedFS(fs, "shard0")
+        view.write("version", b"1")
+        assert fs.list_names() == ["shard0.version"]
+
+    def test_passthrough_operations(self, fs):
+        view = PrefixedFS(fs, "p")
+        view.write("f", b"0123456789")
+        view.append("f", b"AB")
+        view.write_at("f", 0, b"X")
+        view.truncate("f", 11)
+        assert view.read_range("f", 0, 3) == b"X12"
+        assert view.size("f") == 11
+        view.fsync("f")
+        view.rename("f", "g")
+        view.fsync_dir()
+        view.delete("g")
+        assert not view.exists("g")
+
+    def test_clock_and_page_size_pass_through(self, fs):
+        view = PrefixedFS(fs, "p")
+        assert view.clock is fs.clock
+        assert view.page_size == fs.page_size
+
+    @pytest.mark.parametrize("bad", ["", "a.b", "a/b"])
+    def test_bad_prefixes(self, fs, bad):
+        with pytest.raises(InvalidFileName):
+            PrefixedFS(fs, bad)
+
+    def test_crash_semantics_preserved(self, fs):
+        view = PrefixedFS(fs, "p")
+        view.write("durable", b"yes")
+        view.fsync("durable")
+        view.write("volatile", b"no")
+        fs.crash()
+        assert view.read("durable") == b"yes"
+        assert not view.exists("volatile")
+
+
+class TestShardedDatabase:
+    @pytest.fixture
+    def sharded(self, fs, kv_ops) -> ShardedDatabase:
+        return ShardedDatabase(
+            fs, num_shards=4, initial=dict, operations=kv_ops
+        )
+
+    def test_routing_is_deterministic(self, sharded):
+        assert sharded.shard_of("alice") == sharded.shard_of("alice")
+        assert sharded.shard_of("alice") == default_hash("alice") % 4
+
+    def test_updates_and_keyed_enquiries(self, sharded):
+        for i in range(40):
+            sharded.update("set", f"key{i}", i)
+        assert sharded.enquire(lambda root, key: root[key], "key7") == 7
+
+    def test_keys_spread_across_shards(self, sharded):
+        for i in range(100):
+            sharded.update("set", f"key{i}", i)
+        sizes = sharded.enquire_all(len)
+        assert sum(sizes) == 100
+        assert all(size > 0 for size in sizes), f"unbalanced: {sizes}"
+
+    def test_gather(self, sharded):
+        for i in range(20):
+            sharded.update("set", f"key{i}", i)
+        everything = sorted(sharded.gather(lambda root: root.items()))
+        assert everything == [(f"key{i}", i) for i in range(20)] or len(
+            everything
+        ) == 20
+
+    def test_each_shard_has_own_files(self, fs, sharded):
+        sharded.update("set", "a", 1)
+        names = fs.list_names()
+        assert any(name.startswith("shard0.") for name in names)
+        assert any(name.startswith("shard3.") for name in names)
+
+    def test_checkpoint_all_staggered(self, sharded):
+        for i in range(40):
+            sharded.update("set", f"key{i}", i)
+        versions = sharded.checkpoint_all()
+        assert versions == [2, 2, 2, 2]
+        assert sharded.total_entries_since_checkpoint() == 0
+
+    def test_recovery_of_all_shards(self, fs, kv_ops):
+        sharded = ShardedDatabase(fs, num_shards=3, initial=dict, operations=kv_ops)
+        for i in range(30):
+            sharded.update("set", f"key{i}", i)
+        sharded.checkpoint_shard(0)
+        sharded.update("set", "late", "entry")
+        fs.crash()
+        recovered = ShardedDatabase(
+            fs, num_shards=3, initial=dict, operations=kv_ops
+        )
+        total = sum(recovered.enquire_all(len))
+        assert total == 31
+        assert recovered.enquire(lambda root, k: root[k], "late") == "entry"
+
+    def test_checkpointing_one_shard_does_not_block_others(self, fs, kv_ops):
+        """The availability point of sharding (E12)."""
+        import threading
+        import time
+
+        sharded = ShardedDatabase(fs, num_shards=2, initial=dict, operations=kv_ops)
+        sharded.update("set", "warm", 0)
+        blocked_shard = sharded.shards[0]
+        other_shard = sharded.shards[1]
+        progress = []
+        release = threading.Event()
+
+        def slow_checkpointer():
+            with blocked_shard.lock.update():  # simulate a long checkpoint
+                release.wait(5)
+
+        holder = threading.Thread(target=slow_checkpointer)
+        holder.start()
+        time.sleep(0.02)
+        # Updates to the *other* shard proceed while shard 0 checkpoints.
+        other_shard.update("set", "independent", 1)
+        progress.append("other-shard-updated")
+        release.set()
+        holder.join(5)
+        assert progress == ["other-shard-updated"]
+
+    def test_custom_shard_key(self, fs, kv_ops):
+        sharded = ShardedDatabase(
+            fs,
+            num_shards=2,
+            shard_key=lambda key, value: key.split("/")[0],
+            initial=dict,
+            operations=kv_ops,
+        )
+        sharded.update("set", "tenant1/a", 1)
+        sharded.update("set", "tenant1/b", 2)
+        assert sharded.shard_of("tenant1/a", None) == sharded.shard_of(
+            "tenant1/zzz", None
+        )
+
+    def test_keyless_update_needs_custom_key(self, fs, kv_ops):
+        sharded = ShardedDatabase(fs, num_shards=2, initial=dict, operations=kv_ops)
+        with pytest.raises(ValueError):
+            sharded.shard_of()
+
+    def test_bad_shard_count(self, fs, kv_ops):
+        with pytest.raises(ValueError):
+            ShardedDatabase(fs, num_shards=0, initial=dict, operations=kv_ops)

@@ -1,0 +1,83 @@
+"""The stats module: breakdowns, accumulation, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import DatabaseStats, PhaseBreakdown
+
+
+class TestPhaseBreakdown:
+    def test_total(self):
+        phases = PhaseBreakdown(0.006, 0.022, 0.020, 0.006)
+        assert phases.total() == pytest.approx(0.054)
+
+    def test_as_dict(self):
+        phases = PhaseBreakdown(1.0, 2.0, 3.0, 4.0)
+        rendered = phases.as_dict()
+        assert rendered["explore_seconds"] == 1.0
+        assert rendered["total_seconds"] == 10.0
+
+    def test_empty(self):
+        assert PhaseBreakdown().total() == 0.0
+
+
+class TestDatabaseStats:
+    def test_record_update_accumulates(self):
+        stats = DatabaseStats()
+        stats.record_update(0.1, 0.2, 0.3, 0.4, entry_bytes=512, payload_bytes=100)
+        stats.record_update(0.1, 0.2, 0.3, 0.4, entry_bytes=512, payload_bytes=100)
+        assert stats.updates == 2
+        assert stats.log_bytes_written == 1024
+        assert stats.pickle_bytes_written == 200
+        assert stats.cumulative.explore_seconds == pytest.approx(0.2)
+        assert stats.last_update.apply_seconds == pytest.approx(0.4)
+
+    def test_mean_breakdown(self):
+        stats = DatabaseStats()
+        stats.record_update(0.2, 0.0, 0.0, 0.0, 1, 1)
+        stats.record_update(0.4, 0.0, 0.0, 0.0, 1, 1)
+        assert stats.mean_update_breakdown().explore_seconds == pytest.approx(0.3)
+
+    def test_mean_breakdown_with_no_updates(self):
+        assert DatabaseStats().mean_update_breakdown().total() == 0.0
+
+    def test_checkpoint_and_restart_records(self):
+        stats = DatabaseStats()
+        stats.record_checkpoint(60.0, 1_000_000)
+        stats.record_restart(20.0, 500)
+        assert stats.checkpoints == 1
+        assert stats.last_checkpoint_seconds == 60.0
+        assert stats.checkpoint_bytes_written == 1_000_000
+        assert stats.restarts == 1
+        assert stats.entries_replayed == 500
+
+    def test_snapshot_is_detached(self):
+        stats = DatabaseStats()
+        stats.record_enquiry()
+        snapshot = stats.snapshot()
+        stats.record_enquiry()
+        assert snapshot["enquiries"] == 1
+        assert stats.snapshot()["enquiries"] == 2
+
+    def test_rejected_updates_counted_separately(self):
+        stats = DatabaseStats()
+        stats.record_rejected_update()
+        assert stats.updates_rejected == 1
+        assert stats.updates == 0
+
+    def test_thread_safety_smoke(self):
+        import threading
+
+        stats = DatabaseStats()
+
+        def hammer():
+            for _ in range(1000):
+                stats.record_enquiry()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert stats.enquiries == 4000

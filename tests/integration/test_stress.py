@@ -1,0 +1,143 @@
+"""Concurrency stress and robustness sweeps."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import Database, OperationRegistry
+from repro.sim import SimClock
+from repro.storage import SimFS, SimulatedCrash
+from repro.tools import fsck_directory
+
+
+def _counter_ops() -> OperationRegistry:
+    ops = OperationRegistry()
+
+    @ops.operation("incr")
+    def incr(root, key):
+        root[key] = root.get(key, 0) + 1
+        return root[key]
+
+    return ops
+
+
+class TestConcurrentStress:
+    def test_many_writers_many_readers(self, fs):
+        """8 threads × 50 updates race 4 reader threads; nothing is lost,
+        nothing is double-applied, every read sees a consistent total."""
+        ops = _counter_ops()
+        db = Database(fs, initial=dict, operations=ops)
+        anomalies: list[str] = []
+        stop = threading.Event()
+
+        def writer(tag: str):
+            for _ in range(50):
+                db.update("incr", tag)
+
+        def reader():
+            while not stop.is_set():
+                total = db.enquire(lambda root: sum(root.values()))
+                if not 0 <= total <= 400:
+                    anomalies.append(f"impossible total {total}")
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        writers = [
+            threading.Thread(target=writer, args=(f"w{i}",)) for i in range(8)
+        ]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join(60)
+        stop.set()
+        for thread in readers:
+            thread.join(10)
+
+        assert not anomalies
+        final = db.enquire(dict)
+        assert final == {f"w{i}": 50 for i in range(8)}
+
+        # And the log agrees with memory after a crash.
+        fs.crash()
+        recovered = Database(fs, initial=dict, operations=ops)
+        assert recovered.enquire(dict) == final
+
+    def test_interleaved_checkpoints_under_write_load(self, fs):
+        ops = _counter_ops()
+        db = Database(fs, initial=dict, operations=ops)
+        failures: list[BaseException] = []
+
+        def writer():
+            try:
+                for _ in range(100):
+                    db.update("incr", "shared")
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        def checkpointer():
+            try:
+                for _ in range(10):
+                    db.checkpoint()
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=writer),
+            threading.Thread(target=checkpointer),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not failures
+        assert db.enquire(lambda root: root["shared"]) == 200
+        fs.crash()
+        recovered = Database(fs, initial=dict, operations=ops)
+        assert recovered.enquire(lambda root: root["shared"]) == 200
+
+
+class TestFsckRobustness:
+    def test_fsck_terminates_on_every_crash_state(self):
+        """fsck must give a verdict on any state a crash can produce."""
+        ops = _counter_ops()
+
+        def run_workload(fs):
+            db = Database(fs, initial=dict, operations=ops)
+            for _ in range(3):
+                db.update("incr", "k")
+            db.checkpoint()
+            db.update("incr", "k")
+
+        # Count the events once.
+        from repro.storage import FailureInjector
+
+        probe = FailureInjector()
+        run_workload(SimFS(clock=SimClock(), injector=probe))
+        total_events = probe.events_seen
+
+        for crash_at in range(1, total_events + 1):
+            for tear in (True, False):
+                injector = FailureInjector(crash_at_event=crash_at, tear=tear)
+                fs = SimFS(clock=SimClock(), injector=injector)
+                try:
+                    run_workload(fs)
+                except SimulatedCrash:
+                    pass
+                fs.crash()
+                injector.disarm()
+                report = fsck_directory(fs)  # must not raise
+                assert report.exit_status() in (0, 1, 2)
+
+    def test_fsck_agrees_with_recovery(self):
+        """If fsck says errors (2), recovery from that state should not be
+        silently fine with data present — and verdict 0/1 states must
+        recover.  (Directional consistency, not equivalence.)"""
+        ops = _counter_ops()
+        fs = SimFS(clock=SimClock())
+        db = Database(fs, initial=dict, operations=ops)
+        db.update("incr", "k")
+        db.checkpoint()
+        fs.crash()
+        assert fsck_directory(fs).exit_status() == 0
+        recovered = Database(fs, initial=dict, operations=ops)
+        assert recovered.enquire(lambda root: root["k"]) == 1

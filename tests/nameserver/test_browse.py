@@ -1,0 +1,92 @@
+"""Pattern browsing: glob over the name tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nameserver import BadPath, NAMESERVER_INTERFACE, NameServer, RemoteNameServer
+from repro.rpc import LoopbackTransport, RpcServer
+
+
+@pytest.fixture
+def ns(fs) -> NameServer:
+    server = NameServer(fs)
+    server.bind("com/dec/src/printer3", "p3")
+    server.bind("com/dec/src/printer4", "p4")
+    server.bind("com/dec/src/fileserver", "fs1")
+    server.bind("com/dec/wrl/printer1", "p1")
+    server.bind("com/cmu/cs/printer9", "p9")
+    server.bind("org/lab", "top")
+    return server
+
+
+def paths(results):
+    return ["/".join(p) for p, _v in results]
+
+
+class TestGlob:
+    def test_literal_pattern_is_lookup(self, ns):
+        results = ns.glob("com/dec/src/printer3")
+        assert results == [(["com", "dec", "src", "printer3"], "p3")]
+
+    def test_star_matches_one_component(self, ns):
+        assert paths(ns.glob("com/dec/src/*")) == [
+            "com/dec/src/fileserver",
+            "com/dec/src/printer3",
+            "com/dec/src/printer4",
+        ]
+
+    def test_partial_wildcard_in_component(self, ns):
+        assert paths(ns.glob("com/dec/src/printer*")) == [
+            "com/dec/src/printer3",
+            "com/dec/src/printer4",
+        ]
+
+    def test_star_in_middle(self, ns):
+        assert paths(ns.glob("com/dec/*/printer*")) == [
+            "com/dec/src/printer3",
+            "com/dec/src/printer4",
+            "com/dec/wrl/printer1",
+        ]
+
+    def test_doublestar_any_depth(self, ns):
+        assert paths(ns.glob("com/**/printer*")) == [
+            "com/cmu/cs/printer9",
+            "com/dec/src/printer3",
+            "com/dec/src/printer4",
+            "com/dec/wrl/printer1",
+        ]
+
+    def test_doublestar_alone_lists_everything(self, ns):
+        assert len(ns.glob("**")) == ns.count()
+
+    def test_doublestar_matches_zero_components(self, ns):
+        assert paths(ns.glob("org/**")) == ["org/lab"]
+        assert paths(ns.glob("**/lab")) == ["org/lab"]
+
+    def test_overlapping_doublestars_deduplicated(self, ns):
+        results = ns.glob("**/**")
+        assert len(results) == ns.count()
+        assert len({tuple(p) for p, _v in results}) == len(results)
+
+    def test_no_matches(self, ns):
+        assert ns.glob("net/*") == []
+
+    def test_tombstones_excluded(self, ns):
+        ns.unbind("com/dec/src/printer3")
+        assert "com/dec/src/printer3" not in paths(ns.glob("com/dec/src/*"))
+
+    def test_bad_pattern_rejected(self, ns):
+        with pytest.raises(BadPath):
+            ns.glob("")
+        with pytest.raises(BadPath):
+            ns.glob("a//b")
+
+    def test_glob_over_rpc(self, ns):
+        rpc = RpcServer()
+        rpc.export(NAMESERVER_INTERFACE, ns)
+        remote = RemoteNameServer(LoopbackTransport(rpc))
+        assert paths(remote.glob("com/dec/src/printer*")) == [
+            "com/dec/src/printer3",
+            "com/dec/src/printer4",
+        ]

@@ -1,0 +1,163 @@
+"""The management interface and the interactive shell."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.nameserver import NAMESERVER_INTERFACE, NameServer, Replica
+from repro.nameserver.management import (
+    MANAGEMENT_INTERFACE,
+    ManagementService,
+    RemoteManagement,
+)
+from repro.rpc import LoopbackTransport, RpcServer
+from repro.sim import SimClock
+from repro.storage import SimFS
+from repro.tools.shell import Shell, main as shell_main, parse_value
+
+
+@pytest.fixture
+def ns(fs) -> NameServer:
+    server = NameServer(fs)
+    server.bind("a/x", 1)
+    server.bind("a/y", "two")
+    server.bind("b", [3])
+    return server
+
+
+@pytest.fixture
+def manager(ns) -> RemoteManagement:
+    rpc = RpcServer()
+    rpc.export(MANAGEMENT_INTERFACE, ManagementService(ns))
+    return RemoteManagement(LoopbackTransport(rpc))
+
+
+class TestManagement:
+    def test_status(self, manager):
+        status = manager.status()
+        assert status["names"] == 3
+        assert status["version"] == 1
+        assert status["replica_id"] == "primary"
+        assert status["entries_since_checkpoint"] == 3
+
+    def test_statistics(self, manager):
+        stats = manager.statistics()
+        assert stats["updates"] == 3
+        assert "last_update" in stats
+
+    def test_lock_statistics(self, manager):
+        stats = manager.lock_statistics()
+        assert stats["upgrades"] == 3
+
+    def test_force_checkpoint(self, manager, ns):
+        assert manager.force_checkpoint() == 2
+        assert manager.version() == 2
+        assert manager.log_bytes() == 0
+
+    def test_restart_estimate(self, manager):
+        estimate = manager.estimated_restart_seconds(0.02)
+        assert estimate == pytest.approx(20.0 + 3 * 0.02)
+
+    def test_plain_server_is_not_replica(self, manager):
+        assert manager.is_replica() is False
+        assert manager.propagate() == 0
+
+    def test_replica_management(self):
+        fs_a, fs_b = SimFS(clock=SimClock()), SimFS(clock=SimClock())
+        a = Replica(fs_a, "a")
+        b = Replica(fs_b, "b")
+        a.add_peer(b)
+        a.bind("k", 1)
+        rpc = RpcServer()
+        rpc.export(MANAGEMENT_INTERFACE, ManagementService(a))
+        manager = RemoteManagement(LoopbackTransport(rpc))
+        assert manager.is_replica() is True
+        assert manager.replication_vector() == {"a": 1}
+        assert manager.propagate() == 1
+        assert b.lookup("k") == 1
+
+    def test_management_coexists_with_data_interface(self, ns):
+        rpc = RpcServer()
+        rpc.export(NAMESERVER_INTERFACE, ns)
+        rpc.export(MANAGEMENT_INTERFACE, ManagementService(ns))
+        assert sorted(rpc.exported_interfaces()) == [
+            "Management/1",
+            "NameServer/1",
+        ]
+
+
+class TestShell:
+    def run(self, ns, script: str) -> str:
+        out = io.StringIO()
+        shell = Shell(ns, out=out)
+        shell.repl(io.StringIO(script))
+        return out.getvalue()
+
+    def test_ls_and_tree(self, ns):
+        output = self.run(ns, "ls\nls a\ntree a\n")
+        assert "a\nb\n" in output
+        assert "x\ny\n" in output
+        assert "x = 1" in output
+
+    def test_get_set_rm(self, ns):
+        output = self.run(
+            ns, "set c/new [1, 2]\nget c/new\nrm c/new\nget c/new\n"
+        )
+        assert "ok" in output
+        assert "[1, 2]" in output
+        assert "name not found: c/new" in output
+
+    def test_set_parses_literals_and_strings(self, ns):
+        self.run(ns, "set lit/int 42\nset lit/str hello world\n")
+        assert ns.lookup("lit/int") == 42
+        assert ns.lookup("lit/str") == "hello world"
+
+    def test_find(self, ns):
+        output = self.run(ns, "find a/*\n")
+        assert "a/x = 1" in output
+        assert "a/y = 'two'" in output
+
+    def test_rmtree_and_count(self, ns):
+        output = self.run(ns, "rmtree a\ncount\n")
+        assert output.strip().endswith("1")
+
+    def test_checkpoint_command(self, ns):
+        output = self.run(ns, "checkpoint\n")
+        assert "version 2" in output
+
+    def test_unknown_command(self, ns):
+        output = self.run(ns, "frobnicate\n")
+        assert "unknown command" in output
+
+    def test_errors_do_not_kill_shell(self, ns):
+        output = self.run(ns, "get missing/name\ncount\n")
+        assert "name not found" in output
+        assert output.strip().endswith("3")
+
+    def test_quit_stops(self, ns):
+        output = self.run(ns, "quit\ncount\n")
+        assert "3" not in output
+
+    def test_help(self, ns):
+        assert "commands:" in self.run(ns, "help\n")
+
+    def test_main_on_local_directory(self, tmp_path):
+        directory = str(tmp_path / "names")
+        from repro.storage import LocalFS
+
+        seeded = NameServer(LocalFS(directory))
+        seeded.bind("seeded/name", 7)
+        seeded.close()
+        out = io.StringIO()
+        status = shell_main(
+            [directory], stdin=io.StringIO("get seeded/name\n"), out=out
+        )
+        assert status == 0
+        assert "7" in out.getvalue()
+
+    def test_parse_value(self):
+        assert parse_value("42") == 42
+        assert parse_value("[1, 'a']") == [1, "a"]
+        assert parse_value("plain words") == "plain words"

@@ -1,0 +1,112 @@
+"""Stateful model-checking of the NameServer against a flat dict model.
+
+Random interleavings of binds, unbinds, subtree writes, checkpoints,
+crashes and restarts; the model is a plain ``{path: value}`` mapping.
+Every enquiry surface (lookup, exists, count, list_dir, read_subtree,
+glob) must agree with the model after every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.nameserver import NameNotFound, NameServer
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+components = st.sampled_from(["a", "b", "c"])
+paths = st.lists(components, min_size=1, max_size=3).map(tuple)
+values = st.one_of(st.integers(), st.text(max_size=10))
+
+
+class NameServerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.fs = SimFS(clock=SimClock())
+        self.server = NameServer(self.fs)
+        self.model: dict[tuple[str, ...], object] = {}
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule(path=paths, value=values)
+    def bind(self, path, value) -> None:
+        self.server.bind(path, value)
+        self.model[path] = value
+
+    @rule(path=paths)
+    def unbind(self, path) -> None:
+        if path in self.model:
+            self.server.unbind(path)
+            del self.model[path]
+        else:
+            try:
+                self.server.unbind(path)
+                raise AssertionError("expected NameNotFound")
+            except NameNotFound:
+                pass
+
+    @rule(path=paths)
+    def unbind_subtree(self, path) -> None:
+        doomed = [
+            p for p in self.model if p[: len(path)] == path
+        ]
+        if doomed:
+            self.server.unbind_subtree(path)
+            for p in doomed:
+                del self.model[p]
+        else:
+            try:
+                self.server.unbind_subtree(path)
+                raise AssertionError("expected NameNotFound")
+            except NameNotFound:
+                pass
+
+    @rule(
+        base=paths,
+        entries=st.dictionaries(paths, values, min_size=0, max_size=3),
+    )
+    def write_subtree(self, base, entries) -> None:
+        self.server.write_subtree(base, list(entries.items()))
+        for p in [q for q in self.model if q[: len(base)] == base]:
+            del self.model[p]
+        for relative, value in entries.items():
+            self.model[base + relative] = value
+
+    @rule()
+    def checkpoint(self) -> None:
+        self.server.checkpoint()
+
+    @rule()
+    def crash_and_restart(self) -> None:
+        self.fs.crash()
+        self.server = NameServer(self.fs)
+
+    # -- invariants -------------------------------------------------------------
+
+    @invariant()
+    def lookups_match(self) -> None:
+        entries = {
+            tuple(p): v for p, v in self.server.read_subtree(())
+        }
+        assert entries == self.model
+
+    @invariant()
+    def count_matches(self) -> None:
+        assert self.server.count() == len(self.model)
+
+    @invariant()
+    def glob_all_matches(self) -> None:
+        globbed = {tuple(p): v for p, v in self.server.glob("**")}
+        assert globbed == self.model
+
+
+NameServerMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=20, deadline=None
+)
+TestNameServerModel = NameServerMachine.TestCase

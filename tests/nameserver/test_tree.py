@@ -1,0 +1,139 @@
+"""Tree-of-hash-tables structure and path handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nameserver import BadPath, Leaf, Node, parse_path
+from repro.nameserver.tree import (
+    count_live,
+    ensure_node,
+    find_node,
+    has_live_content,
+    iter_leaves,
+    list_directory,
+    live_leaf,
+    prune_empty,
+    subtree_entries,
+)
+from repro.pickles import pickle_read, pickle_write
+
+
+class TestPaths:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("a", ("a",)),
+            ("a/b/c", ("a", "b", "c")),
+            (("x", "y"), ("x", "y")),
+            (["x"], ("x",)),
+        ],
+    )
+    def test_parse(self, raw, expected):
+        assert parse_path(raw) == expected
+
+    @pytest.mark.parametrize("bad", ["", "a//b", "/a", "a/", (), ("a", ""), 42, ("a", 3)])
+    def test_bad_paths(self, bad):
+        with pytest.raises(BadPath):
+            parse_path(bad)
+
+
+def leaf(value, lamport=1, origin="x"):
+    return Leaf(value, lamport, origin)
+
+
+class TestNavigation:
+    def test_ensure_and_find(self):
+        root = Node()
+        node = ensure_node(root, ("a", "b", "c"))
+        assert find_node(root, ("a", "b", "c")) is node
+        assert find_node(root, ("a", "b")) is not None
+        assert find_node(root, ("a", "z")) is None
+
+    def test_ensure_idempotent(self):
+        root = Node()
+        first = ensure_node(root, ("a",))
+        second = ensure_node(root, ("a",))
+        assert first is second
+
+    def test_live_leaf_skips_tombstones(self):
+        root = Node()
+        node = ensure_node(root, ("a",))
+        node.leaf = Leaf(None, 5, "x", deleted=True)
+        assert live_leaf(root, ("a",)) is None
+        node.leaf = leaf("value")
+        assert live_leaf(root, ("a",)).value == "value"
+
+    def test_iter_leaves_sorted(self):
+        root = Node()
+        for name in ("zeta", "alpha", "mid"):
+            ensure_node(root, (name,)).leaf = leaf(name)
+        paths = [p for p, _ in iter_leaves(root)]
+        assert paths == [("alpha",), ("mid",), ("zeta",)]
+
+    def test_iter_leaves_tombstone_filter(self):
+        root = Node()
+        ensure_node(root, ("live",)).leaf = leaf(1)
+        ensure_node(root, ("dead",)).leaf = Leaf(None, 2, "x", deleted=True)
+        assert [p for p, _ in iter_leaves(root)] == [("live",)]
+        assert len(list(iter_leaves(root, include_tombstones=True))) == 2
+
+    def test_count_live(self):
+        root = Node()
+        for i in range(5):
+            ensure_node(root, ("dir", f"n{i}")).leaf = leaf(i)
+        ensure_node(root, ("dir", "gone")).leaf = Leaf(None, 9, "x", deleted=True)
+        assert count_live(root) == 5
+
+    def test_list_directory_hides_dead_subtrees(self):
+        root = Node()
+        ensure_node(root, ("keep", "a")).leaf = leaf(1)
+        ensure_node(root, ("drop", "b")).leaf = Leaf(None, 2, "x", deleted=True)
+        assert list_directory(root, ()) == ["keep"]
+        assert list_directory(root, ("keep",)) == ["a"]
+        assert list_directory(root, ("missing",)) == []
+
+    def test_subtree_entries(self):
+        root = Node()
+        ensure_node(root, ("a", "x")).leaf = leaf(1)
+        ensure_node(root, ("a", "y", "deep")).leaf = leaf(2)
+        ensure_node(root, ("b",)).leaf = leaf(3)
+        assert subtree_entries(root, ("a",)) == [(("x",), 1), (("y", "deep"), 2)]
+        assert subtree_entries(root, ()) == [
+            (("a", "x"), 1),
+            (("a", "y", "deep"), 2),
+            (("b",), 3),
+        ]
+
+    def test_has_live_content(self):
+        root = Node()
+        assert not has_live_content(root)
+        ensure_node(root, ("deep", "down")).leaf = leaf(1)
+        assert has_live_content(root)
+
+    def test_prune_empty(self):
+        root = Node()
+        ensure_node(root, ("a", "b", "c"))
+        ensure_node(root, ("keep",)).leaf = leaf(1)
+        ensure_node(root, ("tomb",)).leaf = Leaf(None, 2, "x", deleted=True)
+        prune_empty(root)
+        assert "a" not in root.children
+        assert "keep" in root.children
+        assert "tomb" in root.children  # tombstones must survive pruning
+
+
+class TestPickling:
+    def test_tree_roundtrips_through_pickles(self):
+        root = Node()
+        ensure_node(root, ("com", "dec", "src")).leaf = leaf({"host": "x"})
+        ensure_node(root, ("com", "cmu")).leaf = Leaf(None, 3, "b", deleted=True)
+        copy = pickle_read(pickle_write(root))
+        assert isinstance(copy, Node)
+        assert live_leaf(copy, ("com", "dec", "src")).value == {"host": "x"}
+        restored = find_node(copy, ("com", "cmu")).leaf
+        assert restored.deleted
+        assert restored.stamp() == (3, "b")
+
+    def test_leaf_repr(self):
+        assert "tombstone" in repr(Leaf(None, 1, "a", deleted=True))
+        assert "'v'" in repr(Leaf("v", 1, "a"))

@@ -1,0 +1,59 @@
+"""The nesting depth guard: deterministic errors, never RecursionError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pickles import PickleError, pickle_read, pickle_write
+from repro.pickles.decode import PickleReader
+from repro.pickles.encode import MAX_DEPTH, PickleWriter
+from repro.pickles.errors import NestingTooDeep
+
+
+def deep_list(depth: int) -> list:
+    value = inner = []
+    for _ in range(depth):
+        nested: list = []
+        inner.append(nested)
+        inner = nested
+    return value
+
+
+class TestDepthGuard:
+    def test_under_limit_roundtrips(self):
+        value = deep_list(MAX_DEPTH - 10)
+        assert pickle_read(pickle_write(value)) is not None
+
+    def test_encode_over_limit_raises_cleanly(self):
+        with pytest.raises(NestingTooDeep):
+            pickle_write(deep_list(MAX_DEPTH + 10))
+
+    def test_nesting_error_is_a_pickle_error(self):
+        assert issubclass(NestingTooDeep, PickleError)
+
+    def test_decode_over_limit_raises_cleanly(self):
+        """Hostile input with huge declared nesting cannot blow the stack."""
+        # Hand-build LIST-of-LIST-of-… deeper than the limit: each level
+        # is tag 0x07 + count 1.
+        blob = b"\x07\x01" * (MAX_DEPTH + 50) + b"\x00"  # innermost: None
+        with pytest.raises(NestingTooDeep):
+            pickle_read(blob)
+
+    def test_custom_limits(self):
+        writer = PickleWriter(max_depth=5)
+        with pytest.raises(NestingTooDeep):
+            writer.write(deep_list(10))
+        blob = pickle_write(deep_list(10))
+        with pytest.raises(NestingTooDeep):
+            PickleReader(blob, max_depth=5).read()
+        assert PickleReader(blob, max_depth=50).read() is not None
+
+    def test_wide_structures_unaffected(self):
+        """Depth, not size: a wide flat structure is fine."""
+        value = {f"key{i}": [i] * 3 for i in range(2000)}
+        assert pickle_read(pickle_write(value)) == value
+
+    def test_cycles_do_not_count_as_depth(self):
+        value: list = []
+        value.append(value)
+        assert pickle_read(pickle_write(value))[0] is not None

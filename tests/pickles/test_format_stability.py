@@ -1,0 +1,126 @@
+"""Wire-format stability: golden vectors.
+
+Checkpoints and logs persist across software upgrades, so the pickle wire
+format, the log entry framing and the checkpoint framing are *contracts*.
+These tests pin exact byte sequences; if one fails, an incompatible
+format change has been made and old databases would stop reading.
+Change the format only with an explicit new magic/tag, never by
+repurposing existing bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import MAGIC as CHECKPOINT_MAGIC, write_checkpoint
+from repro.core.log import encode_entry
+from repro.pickles import pickle_read, pickle_write
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+#: value -> exact pickle bytes (hex).  Append new rows; never edit old ones.
+GOLDEN_PICKLES = [
+    (None, "00"),
+    (False, "01"),
+    (True, "02"),
+    (0, "0300"),
+    (1, "0302"),
+    (-1, "0301"),
+    (300, "03d804"),
+    (1.5, "043ff8000000000000"),
+    ("", "0500"),
+    ("hi", "05026869"),
+    (b"\x00\xff", "060200ff"),
+    ([], "0700"),
+    ([1, 2], "070203020304"),
+    ((1,), "08010302"),
+    ({1, 2}, "090203020304"),
+    (frozenset({1}), "0a010302"),
+    ({}, "0b00"),
+    ({"k": 1}, "0b0105016b0302"),
+]
+
+
+class TestGoldenPickles:
+    @pytest.mark.parametrize("value,expected_hex", GOLDEN_PICKLES)
+    def test_encoding_pinned(self, value, expected_hex):
+        assert pickle_write(value).hex() == expected_hex
+
+    @pytest.mark.parametrize("value,expected_hex", GOLDEN_PICKLES)
+    def test_decoding_pinned(self, value, expected_hex):
+        assert pickle_read(bytes.fromhex(expected_hex)) == value
+
+    def test_backreference_encoding_pinned(self):
+        # list of two identical strings: STR once, REF(0 -> the string...)
+        blob = pickle_write(["x", "x"])
+        # LIST tag, count 2, STR "x", REF -> table index 1 (list is 0)
+        assert blob.hex() == "07020501780d01"
+        copy = pickle_read(blob)
+        assert copy == ["x", "x"]
+
+    def test_cycle_encoding_pinned(self):
+        value: list = []
+        value.append(value)
+        assert pickle_write(value).hex() == "07010d00"
+
+    def test_record_encoding_pinned(self):
+        from repro.pickles import TypeRegistry
+
+        registry = TypeRegistry()
+
+        class Rec:
+            pass
+
+        registry.register(Rec, name="R")
+        instance = Rec()
+        instance.f = 7
+        blob = pickle_write(instance, registry)
+        # RECORD tag, name "R", 1 field, name "f", INT 7
+        assert blob.hex() == "0c05015201050166030e"
+
+
+class TestGoldenLogFraming:
+    def test_entry_layout_pinned(self):
+        entry = encode_entry(1, b"ab")
+        # magic A5, seq varint 1, len varint 2, payload, crc32 big-endian
+        assert entry[:4].hex() == "a5010261"
+        assert entry[0] == 0xA5
+        assert len(entry) == 1 + 1 + 1 + 2 + 4
+        import zlib
+
+        crc = int.from_bytes(entry[-4:], "big")
+        assert crc == zlib.crc32(entry[1:-4]) & 0xFFFFFFFF
+
+    def test_known_entry_bytes(self):
+        assert encode_entry(1, b"").hex() == "a50100" + "%08x" % (
+            __import__("zlib").crc32(bytes.fromhex("0100")) & 0xFFFFFFFF
+        )
+
+
+class TestGoldenCheckpointFraming:
+    def test_magic_pinned(self):
+        assert CHECKPOINT_MAGIC == b"SDB1"
+
+    def test_layout_pinned(self):
+        fs = SimFS(clock=SimClock())
+        write_checkpoint(fs, "ck", b"PAYLOAD")
+        raw = fs.read("ck")
+        assert raw[:4] == b"SDB1"
+        assert raw[4] == 7  # varint length
+        assert raw[5:12] == b"PAYLOAD"
+        import zlib
+
+        assert int.from_bytes(raw[12:], "big") == zlib.crc32(b"PAYLOAD")
+
+
+class TestVersionFileFormat:
+    def test_version_file_is_ascii_digits(self, tmp_path):
+        from repro.core import Database, OperationRegistry
+        from repro.storage import LocalFS
+
+        ops = OperationRegistry()
+        ops.register("noop", lambda root: None)
+        db = Database(LocalFS(str(tmp_path)), initial=dict, operations=ops)
+        assert (tmp_path / "version").read_bytes() == b"1"
+        db.checkpoint()
+        assert (tmp_path / "version").read_bytes() == b"2"

@@ -1,0 +1,181 @@
+"""Pickle round trips: atoms, containers, sharing, cycles, determinism."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.pickles import (
+    MalformedPickle,
+    UnpickleableType,
+    pickle_read,
+    pickle_write,
+)
+
+
+def roundtrip(value):
+    return pickle_read(pickle_write(value))
+
+
+class TestAtoms:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            127,
+            128,
+            -(2**40),
+            2**100,
+            -(2**100),
+            0.0,
+            -0.0,
+            3.14159,
+            1e300,
+            -1e-300,
+            "",
+            "hello",
+            "unicode: héllo ∆ 名前",
+            b"",
+            b"raw \x00 bytes \xff",
+        ],
+    )
+    def test_value_roundtrip(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_float_nan(self):
+        result = roundtrip(float("nan"))
+        assert math.isnan(result)
+
+    def test_float_inf(self):
+        assert roundtrip(float("inf")) == float("inf")
+        assert roundtrip(float("-inf")) == float("-inf")
+
+    def test_bool_is_not_int(self):
+        """True must come back as True, not 1 (strong typing)."""
+        result = roundtrip([True, 1, False, 0])
+        assert [type(v) for v in result] == [bool, int, bool, int]
+
+
+class TestContainers:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            [],
+            [1, 2, 3],
+            (),
+            (1, "two", 3.0),
+            set(),
+            {1, 2, 3},
+            frozenset({"a", "b"}),
+            {},
+            {"k": "v", 1: 2},
+            [[1], [2, [3, [4]]]],
+            {"nested": {"dict": {"deep": [1, (2, {3})]}}},
+        ],
+    )
+    def test_container_roundtrip(self, value):
+        result = roundtrip(value)
+        assert result == value
+        assert type(result) is type(value)
+
+    def test_dict_preserves_insertion_order(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(roundtrip(value)) == ["z", "a", "m"]
+
+    def test_tuple_as_dict_key(self):
+        value = {(1, 2): "point"}
+        assert roundtrip(value) == value
+
+    def test_empty_string_key(self):
+        assert roundtrip({"": 0}) == {"": 0}
+
+
+class TestSharingAndCycles:
+    def test_shared_list_identity_preserved(self):
+        shared = [1, 2]
+        result = roundtrip({"a": shared, "b": shared})
+        assert result["a"] is result["b"]
+
+    def test_shared_dict_identity_preserved(self):
+        shared = {"x": 1}
+        result = roundtrip([shared, shared, shared])
+        assert result[0] is result[1] is result[2]
+
+    def test_equal_but_distinct_lists_stay_distinct(self):
+        result = roundtrip([[1], [1]])
+        assert result[0] is not result[1]
+
+    def test_self_referential_list(self):
+        value: list = [1]
+        value.append(value)
+        result = roundtrip(value)
+        assert result[0] == 1
+        assert result[1] is result
+
+    def test_self_referential_dict(self):
+        value: dict = {}
+        value["me"] = value
+        result = roundtrip(value)
+        assert result["me"] is result
+
+    def test_mutual_cycle(self):
+        a: list = []
+        b: list = [a]
+        a.append(b)
+        result = roundtrip(a)
+        assert result[0][0] is result
+
+    def test_string_deduplication_shrinks_output(self):
+        once = pickle_write(["repeated-string-value"])
+        many = pickle_write(["repeated-string-value"] * 50)
+        assert len(many) < len(once) + 50 * 4
+
+    def test_sharing_does_not_conflate_equal_strings(self):
+        """Value-deduped strings still decode equal."""
+        s1 = "same"
+        s2 = "sam" + "e"
+        result = roundtrip([s1, s2])
+        assert result == ["same", "same"]
+
+
+class TestDeterminism:
+    def test_equal_sets_pickle_identically(self):
+        assert pickle_write({3, 1, 2}) == pickle_write({2, 3, 1})
+
+    def test_equal_frozensets_pickle_identically(self):
+        assert pickle_write(frozenset("abc")) == pickle_write(frozenset("cba"))
+
+    def test_mixed_type_set_is_still_deterministic(self):
+        a = pickle_write({1, "x", (2, 3)})
+        b = pickle_write({(2, 3), 1, "x"})
+        assert a == b
+
+    def test_same_value_same_bytes(self):
+        value = {"tree": [1, {"k": (2, 3)}], "s": {4, 5}}
+        assert pickle_write(value) == pickle_write(value)
+
+
+class TestRejections:
+    def test_unregistered_class_rejected(self):
+        class Unknown:
+            pass
+
+        with pytest.raises(UnpickleableType):
+            pickle_write(Unknown())
+
+    def test_function_rejected(self):
+        with pytest.raises(UnpickleableType):
+            pickle_write(lambda: None)
+
+    def test_trailing_garbage_rejected(self):
+        blob = pickle_write(42) + b"\x00garbage"
+        with pytest.raises(MalformedPickle):
+            pickle_read(blob)

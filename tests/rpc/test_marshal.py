@@ -1,0 +1,156 @@
+"""Static marshalling: every type expression, validation, compactness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pickles.wire import WireReader
+from repro.rpc import (
+    Bool,
+    Bytes,
+    DictOf,
+    Float,
+    Int,
+    ListOf,
+    MarshalError,
+    OptionalOf,
+    Pickled,
+    RecordOf,
+    Str,
+    TupleOf,
+    Void,
+)
+from repro.rpc.marshal import compile_params
+
+
+def roundtrip(expr, value):
+    out = bytearray()
+    expr.encoder()(value, out)
+    return expr.decoder()(WireReader(bytes(out)))
+
+
+class TestAtoms:
+    @pytest.mark.parametrize(
+        "expr,value",
+        [
+            (Int, 0),
+            (Int, -12345),
+            (Int, 2**70),
+            (Bool, True),
+            (Bool, False),
+            (Float, 2.5),
+            (Float, -1e300),
+            (Str, "hello ∆"),
+            (Str, ""),
+            (Bytes, b"\x00\xffdata"),
+            (Void, None),
+        ],
+    )
+    def test_roundtrip(self, expr, value):
+        assert roundtrip(expr, value) == value
+
+    @pytest.mark.parametrize(
+        "expr,bad",
+        [
+            (Int, "1"),
+            (Int, 1.0),
+            (Int, True),  # bool is not int in a static signature
+            (Bool, 1),
+            (Str, b"bytes"),
+            (Bytes, "text"),
+            (Void, 0),
+        ],
+    )
+    def test_type_violation_rejected(self, expr, bad):
+        with pytest.raises(MarshalError):
+            expr.encoder()(bad, bytearray())
+
+    def test_float_accepts_int(self):
+        assert roundtrip(Float, 3) == 3.0
+
+
+class TestCompound:
+    def test_list(self):
+        assert roundtrip(ListOf(Int), [1, 2, 3]) == [1, 2, 3]
+        assert roundtrip(ListOf(Str), []) == []
+
+    def test_nested_list(self):
+        expr = ListOf(ListOf(Int))
+        assert roundtrip(expr, [[1], [], [2, 3]]) == [[1], [], [2, 3]]
+
+    def test_list_element_validated(self):
+        with pytest.raises(MarshalError):
+            ListOf(Int).encoder()([1, "two"], bytearray())
+
+    def test_dict(self):
+        expr = DictOf(Str, Int)
+        assert roundtrip(expr, {"a": 1, "b": 2}) == {"a": 1, "b": 2}
+
+    def test_tuple(self):
+        expr = TupleOf(Str, Int, Bool)
+        assert roundtrip(expr, ("x", 1, True)) == ("x", 1, True)
+
+    def test_tuple_arity_enforced(self):
+        expr = TupleOf(Str, Int)
+        with pytest.raises(MarshalError):
+            expr.encoder()(("only-one",), bytearray())
+
+    def test_optional(self):
+        expr = OptionalOf(Str)
+        assert roundtrip(expr, None) is None
+        assert roundtrip(expr, "present") == "present"
+
+    def test_record(self):
+        class Pair:
+            def __init__(self, x, y):
+                self.x = x
+                self.y = y
+
+        expr = RecordOf(Pair, [("x", Int), ("y", Str)])
+        result = roundtrip(expr, Pair(5, "five"))
+        assert isinstance(result, Pair)
+        assert (result.x, result.y) == (5, "five")
+
+    def test_record_type_enforced(self):
+        class Pair:
+            pass
+
+        expr = RecordOf(Pair, [])
+        with pytest.raises(MarshalError):
+            expr.encoder()("not a pair", bytearray())
+
+    def test_pickled_escape_hatch(self):
+        expr = Pickled()
+        value = {"arbitrary": [1, (2, 3)], "shape": {"x"}}
+        assert roundtrip(expr, value) == value
+
+    def test_describe(self):
+        assert ListOf(Int).describe() == "list<int>"
+        assert DictOf(Str, ListOf(Bool)).describe() == "dict<str,list<bool>>"
+        assert OptionalOf(Float).describe() == "optional<float>"
+
+
+class TestSignatures:
+    def test_compile_params_roundtrip(self):
+        encode, decode = compile_params([("name", Str), ("count", Int)])
+        blob = encode(("widget", 7))
+        assert decode(WireReader(blob)) == ("widget", 7)
+
+    def test_wrong_arity(self):
+        encode, _ = compile_params([("a", Int)])
+        with pytest.raises(MarshalError):
+            encode((1, 2))
+
+    def test_error_names_offending_argument(self):
+        encode, _ = compile_params([("good", Int), ("bad", Str)])
+        with pytest.raises(MarshalError, match="'bad'"):
+            encode((1, 2))
+
+    def test_no_type_tags_on_wire(self):
+        """Static marshalling is leaner than pickling the same value."""
+        from repro.pickles import pickle_write
+
+        encode, _ = compile_params([("values", ListOf(Int))])
+        static = encode(([1, 2, 3, 4, 5],))
+        dynamic = pickle_write([1, 2, 3, 4, 5])
+        assert len(static) < len(dynamic)

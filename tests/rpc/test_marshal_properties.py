@@ -1,0 +1,133 @@
+"""Property-based tests for static marshalling.
+
+Strategy: generate a random *schema* (a TypeExpr tree), then generate a
+value conforming to it, and check encode→decode identity plus the
+no-trailing-bytes invariant.  This exercises arbitrary compositions the
+hand-written tests cannot enumerate.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pickles.wire import WireReader
+from repro.rpc.marshal import (
+    Bool,
+    Bytes,
+    DictOf,
+    Float,
+    Int,
+    ListOf,
+    OptionalOf,
+    Str,
+    TupleOf,
+    compile_params,
+)
+
+# -- schema generation -----------------------------------------------------------
+
+atom_schemas = st.sampled_from([Int, Bool, Float, Str, Bytes])
+
+
+def _compound(children):
+    return st.one_of(
+        children.map(ListOf),
+        children.map(OptionalOf),
+        st.tuples(children, children).map(lambda pair: TupleOf(*pair)),
+        st.tuples(st.sampled_from([Int, Str]), children).map(
+            lambda pair: DictOf(*pair)
+        ),
+    )
+
+
+schemas = st.recursive(atom_schemas, _compound, max_leaves=6)
+
+
+def value_for(schema) -> st.SearchStrategy:
+    """A strategy producing values conforming to ``schema``."""
+    if schema is Int:
+        return st.integers()
+    if schema is Bool:
+        return st.booleans()
+    if schema is Float:
+        return st.floats(allow_nan=False)
+    if schema is Str:
+        return st.text(max_size=20)
+    if schema is Bytes:
+        return st.binary(max_size=20)
+    if isinstance(schema, ListOf):
+        return st.lists(value_for(schema.element), max_size=4)
+    if isinstance(schema, OptionalOf):
+        return st.none() | value_for(schema.element)
+    if isinstance(schema, TupleOf):
+        return st.tuples(*(value_for(e) for e in schema.elements))
+    if isinstance(schema, DictOf):
+        return st.dictionaries(
+            value_for(schema.key), value_for(schema.value), max_size=4
+        )
+    raise AssertionError(f"unhandled schema {schema!r}")
+
+
+@given(st.data(), schemas)
+@settings(max_examples=200, deadline=None)
+def test_schema_conforming_roundtrip(data, schema):
+    value = data.draw(value_for(schema))
+    out = bytearray()
+    schema.encoder()(value, out)
+    reader = WireReader(bytes(out))
+    decoded = schema.decoder()(reader)
+    assert reader.remaining() == 0, "decoder must consume exactly its bytes"
+    if isinstance(value, float):
+        assert decoded == value or (decoded != decoded and value != value)
+    elif isinstance(value, list):
+        assert list(decoded) == value
+    else:
+        assert decoded == value
+
+
+@given(st.data(), st.lists(schemas, min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_signature_roundtrip(data, param_schemas):
+    params = [(f"arg{i}", schema) for i, schema in enumerate(param_schemas)]
+    encode, decode = compile_params(params)
+    args = tuple(data.draw(value_for(schema)) for schema in param_schemas)
+    blob = encode(args)
+    reader = WireReader(blob)
+    decoded = decode(reader)
+    assert reader.remaining() == 0
+    assert len(decoded) == len(args)
+    for got, want in zip(decoded, args):
+        if isinstance(want, list):
+            assert list(got) == want
+        else:
+            assert got == want
+
+
+@given(st.data(), schemas)
+@settings(max_examples=100, deadline=None)
+def test_truncation_never_decodes_silently(data, schema):
+    """Any strict prefix either errors or leaves the reader short —
+    decode(prefix) must never quietly produce a full value AND consume
+    everything, except when the prefix is a valid encoding boundary of
+    the same schema (impossible for our length-prefixed layouts)."""
+    from repro.pickles.errors import PickleError
+    from repro.rpc.errors import MarshalError
+
+    value = data.draw(value_for(schema))
+    out = bytearray()
+    schema.encoder()(value, out)
+    blob = bytes(out)
+    if len(blob) < 2:
+        return
+    cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+    reader = WireReader(blob[:cut])
+    try:
+        schema.decoder()(reader)
+    except (PickleError, MarshalError, UnicodeDecodeError, OverflowError):
+        return  # loud failure: good
+    # Decoded without error: must at least have consumed the whole prefix
+    # (a short float/str read would have raised); this can only happen
+    # for prefixes that are themselves complete encodings (e.g. fewer
+    # list items is impossible — counts are explicit — but an Optional
+    # None prefix of a present Optional is).
+    assert reader.remaining() == 0

@@ -1,0 +1,86 @@
+"""Interface evolution: version mismatches fail cleanly, never misdecode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rpc import (
+    BadRequest,
+    Int,
+    Interface,
+    LoopbackTransport,
+    RpcClient,
+    RpcServer,
+    Str,
+    connect,
+)
+
+
+def make_server(version: int) -> RpcServer:
+    iface = Interface("Svc", version=version)
+    iface.method("ping", params=[("tag", Str)], returns=Str)
+
+    class Impl:
+        def ping(self, tag):
+            return f"v{version}:{tag}"
+
+    server = RpcServer()
+    server.export(iface, Impl())
+    return server
+
+
+class TestVersioning:
+    def test_matching_versions_work(self):
+        server = make_server(1)
+        client_iface = Interface("Svc", version=1)
+        client_iface.method("ping", params=[("tag", Str)], returns=Str)
+        proxy = connect(client_iface, LoopbackTransport(server))
+        assert proxy.ping("x") == "v1:x"
+
+    def test_version_mismatch_is_clean_error(self):
+        server = make_server(1)
+        v2 = Interface("Svc", version=2)
+        v2.method("ping", params=[("tag", Str)], returns=Str)
+        proxy = connect(v2, LoopbackTransport(server))
+        with pytest.raises(BadRequest, match="Svc/2"):
+            proxy.ping("x")
+
+    def test_changed_signature_same_version_fails_cleanly(self):
+        """The failure mode versioning exists to make loud."""
+        server = make_server(1)
+        drifted = Interface("Svc", version=1)
+        drifted.method("ping", params=[("tag", Int)], returns=Str)  # drift!
+        client = RpcClient(drifted, LoopbackTransport(server))
+        with pytest.raises(BadRequest):
+            client.call("ping", 123)
+
+    def test_added_method_on_old_server(self):
+        server = make_server(1)
+        newer = Interface("Svc", version=1)
+        newer.method("ping", params=[("tag", Str)], returns=Str)
+        newer.method("extra", returns=Int)
+        client = RpcClient(newer, LoopbackTransport(server))
+        assert client.call("ping", "ok") == "v1:ok"
+        with pytest.raises(BadRequest, match="extra"):
+            client.call("extra")
+
+    def test_two_versions_exported_side_by_side(self):
+        """A server can serve old and new clients during a migration."""
+        server = RpcServer()
+        for version in (1, 2):
+            iface = Interface("Svc", version=version)
+            iface.method("ping", params=[("tag", Str)], returns=Str)
+
+            class Impl:
+                def __init__(self, v):
+                    self.v = v
+
+                def ping(self, tag):
+                    return f"v{self.v}:{tag}"
+
+            server.export(iface, Impl(version))
+        for version in (1, 2):
+            iface = Interface("Svc", version=version)
+            iface.method("ping", params=[("tag", Str)], returns=Str)
+            proxy = connect(iface, LoopbackTransport(server))
+            assert proxy.ping("x") == f"v{version}:x"

@@ -1,0 +1,56 @@
+"""The CPU cost model and its MicroVAX calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import CostModel, MICROVAX_II, NULL_COST_MODEL, SimClock
+
+
+class TestCostModel:
+    def test_null_model_charges_nothing(self):
+        clock = SimClock()
+        NULL_COST_MODEL.charge_pickle(clock, 10_000)
+        NULL_COST_MODEL.charge_unpickle(clock, 10_000)
+        NULL_COST_MODEL.charge_enquiry(clock)
+        NULL_COST_MODEL.charge_explore(clock)
+        NULL_COST_MODEL.charge_modify(clock)
+        assert clock.now() == 0.0
+
+    def test_paper_calibration_pickle(self):
+        """~400 B of update parameters pickle in ~22 ms (paper §5)."""
+        clock = SimClock()
+        MICROVAX_II.charge_pickle(clock, 400)
+        assert clock.now() == pytest.approx(0.022)
+
+    def test_paper_calibration_megabyte_checkpoint(self):
+        clock = SimClock()
+        MICROVAX_II.charge_pickle(clock, 1_000_000)
+        assert clock.now() == pytest.approx(55.0)
+
+    def test_paper_calibration_checkpoint_read(self):
+        """PickleRead of 1 MB ≈ 15 s (the rest of the paper's 20 s is disk)."""
+        clock = SimClock()
+        MICROVAX_II.charge_unpickle(clock, 1_000_000)
+        assert clock.now() == pytest.approx(15.0)
+
+    def test_vm_operation_costs(self):
+        clock = SimClock()
+        MICROVAX_II.charge_enquiry(clock)
+        assert clock.now() == pytest.approx(0.005)
+        MICROVAX_II.charge_explore(clock)
+        MICROVAX_II.charge_modify(clock)
+        assert clock.now() == pytest.approx(0.005 + 0.006 + 0.006)
+
+    def test_per_call_overheads(self):
+        model = CostModel(
+            pickle_seconds_per_call=0.5, unpickle_seconds_per_call=0.25
+        )
+        clock = SimClock()
+        model.charge_pickle(clock, 0)
+        model.charge_unpickle(clock, 0)
+        assert clock.now() == pytest.approx(0.75)
+
+    def test_model_is_immutable(self):
+        with pytest.raises(Exception):
+            MICROVAX_II.enquiry_seconds = 1.0  # frozen dataclass

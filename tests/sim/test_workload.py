@@ -1,0 +1,95 @@
+"""Workload generators: determinism, shape, mixes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import (
+    NameWorkload,
+    OperationMix,
+    READ_MOSTLY,
+    UPDATE_HEAVY,
+    UpdateBurst,
+    account_records,
+    random_names,
+)
+
+
+class TestGenerators:
+    def test_random_names_unique_and_counted(self):
+        rng = random.Random(7)
+        names = random_names(rng, 500)
+        assert len(names) == 500
+        assert len(set(names)) == 500
+
+    def test_random_names_hierarchical(self):
+        rng = random.Random(7)
+        for name in random_names(rng, 100):
+            assert 3 <= len(name) <= 4
+            assert all(isinstance(part, str) and part for part in name)
+
+    def test_account_records_shape(self):
+        records = account_records(random.Random(1), 10)
+        assert len(records) == 10
+        name, record = records[0]
+        assert record["user"] == name
+        assert set(record) >= {"uid", "home", "shell", "groups", "quota"}
+
+    def test_deterministic_given_seed(self):
+        first = list(NameWorkload(seed=42, population=50).operations(100))
+        second = list(NameWorkload(seed=42, population=50).operations(100))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = list(NameWorkload(seed=1, population=50).operations(100))
+        b = list(NameWorkload(seed=2, population=50).operations(100))
+        assert a != b
+
+
+class TestMixes:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            OperationMix(lookup=0.5, list_dir=0.1, bind=0.1, unbind=0.1)
+
+    def test_read_mostly_is_mostly_reads(self):
+        workload = NameWorkload(seed=3, population=100)
+        ops = list(workload.operations(2000, READ_MOSTLY))
+        reads = sum(1 for op in ops if op.kind in ("lookup", "list"))
+        assert reads / len(ops) > 0.85
+
+    def test_update_heavy_is_mostly_updates(self):
+        workload = NameWorkload(seed=3, population=100)
+        ops = list(workload.operations(2000, UPDATE_HEAVY))
+        updates = sum(1 for op in ops if op.kind in ("bind", "unbind"))
+        assert updates / len(ops) > 0.85
+
+
+class TestApply:
+    def test_ops_apply_to_name_server(self, fs):
+        from repro.nameserver import NameServer
+
+        server = NameServer(fs)
+        workload = NameWorkload(seed=11, population=60)
+        workload.populate(server)
+        assert server.count() == 60
+        for op in workload.operations(200, UPDATE_HEAVY):
+            workload.apply(server, op)
+        assert server.count() > 0
+
+    def test_populate_to_bytes_reaches_target(self, fs):
+        from repro.nameserver import NameServer
+        from repro.pickles import pickle_write
+
+        server = NameServer(fs)
+        workload = NameWorkload(seed=5, population=300, value_bytes=300)
+        bound = workload.populate_to_bytes(server, 100_000)
+        size = len(pickle_write(server.db.enquire(lambda r: r)))
+        assert size >= 100_000
+        assert bound <= 300 + 500  # did not wildly overshoot the population
+
+    def test_burst_envelope(self):
+        burst = UpdateBurst(updates=100, target_rate_per_second=10.0)
+        assert burst.within_envelope(15.0)
+        assert not burst.within_envelope(5.0)

@@ -1,0 +1,188 @@
+"""SimulatedDisk: allocation, I/O accounting, latency, failure injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimClock
+from repro.storage import (
+    DiskModel,
+    FailureInjector,
+    HardError,
+    MODERN_SSD,
+    RA81_1987,
+    SimulatedCrash,
+    SimulatedDisk,
+    StorageError,
+)
+
+
+@pytest.fixture
+def disk() -> SimulatedDisk:
+    return SimulatedDisk(clock=SimClock())
+
+
+class TestAllocation:
+    def test_allocate_unique_ids(self, disk):
+        ids = {disk.allocate() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_free_recycles(self, disk):
+        page = disk.allocate()
+        disk.free(page)
+        assert disk.allocate() == page
+
+    def test_pages_in_use(self, disk):
+        a = disk.allocate()
+        disk.allocate()
+        assert disk.pages_in_use() == 2
+        disk.free(a)
+        assert disk.pages_in_use() == 1
+
+
+class TestIO:
+    def test_write_read_roundtrip(self, disk):
+        page = disk.allocate()
+        disk.write_pages([(page, b"content")])
+        assert disk.read_page(page) == b"content"
+
+    def test_oversized_write_rejected(self, disk):
+        page = disk.allocate()
+        with pytest.raises(StorageError):
+            disk.write_pages([(page, b"x" * (disk.page_size + 1))])
+
+    def test_read_unwritten_page_rejected(self, disk):
+        page = disk.allocate()
+        with pytest.raises(StorageError):
+            disk.read_page(page)
+
+    def test_stats_accounting(self, disk):
+        pages = [disk.allocate() for _ in range(3)]
+        disk.write_pages([(p, b"abc") for p in pages])
+        disk.read_pages(pages)
+        snap = disk.stats.snapshot()
+        assert snap["page_writes"] == 3
+        assert snap["page_reads"] == 3
+        assert snap["bytes_written"] == 9
+        assert snap["write_calls"] == 1
+
+    def test_stats_reset(self, disk):
+        page = disk.allocate()
+        disk.write_pages([(page, b"x")])
+        disk.stats.reset()
+        assert disk.stats.snapshot()["page_writes"] == 0
+
+
+class TestLatency:
+    def test_random_write_costs_positioning(self):
+        clock = SimClock()
+        disk = SimulatedDisk(model=RA81_1987, clock=clock)
+        page = disk.allocate()
+        disk.write_pages([(page, b"x" * 512)])
+        assert 0.015 < clock.now() < 0.03  # ~20 ms
+
+    def test_sequential_batch_cheaper_per_page(self):
+        clock = SimClock()
+        disk = SimulatedDisk(model=RA81_1987, clock=clock)
+        pages = [disk.allocate() for _ in range(10)]
+        disk.write_pages([(p, b"x" * 512) for p in pages])
+        batch_time = clock.now()
+        assert batch_time < 10 * 0.02  # far less than ten random writes
+
+    def test_continuation_skips_positioning(self):
+        clock = SimClock()
+        disk = SimulatedDisk(model=RA81_1987, clock=clock)
+        page = disk.allocate()
+        disk.write_pages([(page, b"x")], continuation=True)
+        assert clock.now() < RA81_1987.positioning_seconds()
+
+    def test_ssd_model_is_fast(self):
+        clock = SimClock()
+        disk = SimulatedDisk(model=MODERN_SSD, clock=clock)
+        page = disk.allocate()
+        disk.write_pages([(page, b"x" * 4096)])
+        assert clock.now() < 0.001
+
+    def test_null_model_free(self):
+        model = DiskModel(page_size=512)
+        assert model.io_seconds(5, 2048) == 0.0
+
+    def test_pages_for(self):
+        model = RA81_1987
+        assert model.pages_for(0) == 0
+        assert model.pages_for(1) == 1
+        assert model.pages_for(512) == 1
+        assert model.pages_for(513) == 2
+
+
+class TestFailures:
+    def test_mark_bad_then_read_raises(self, disk):
+        page = disk.allocate()
+        disk.write_pages([(page, b"x")])
+        disk.mark_bad(page)
+        with pytest.raises(HardError):
+            disk.read_page(page)
+
+    def test_repair_restores(self, disk):
+        page = disk.allocate()
+        disk.write_pages([(page, b"x")])
+        disk.mark_bad(page)
+        disk.repair(page, b"restored")
+        assert disk.read_page(page) == b"restored"
+
+    def test_free_clears_bad_mark(self, disk):
+        page = disk.allocate()
+        disk.write_pages([(page, b"x")])
+        disk.mark_bad(page)
+        disk.free(page)
+        recycled = disk.allocate()
+        disk.write_pages([(recycled, b"y")])
+        assert disk.read_page(recycled) == b"y"
+
+    def test_scheduled_crash_tears_page(self):
+        injector = FailureInjector(crash_at_event=2, tear=True)
+        disk = SimulatedDisk(clock=SimClock(), injector=injector)
+        pages = [disk.allocate() for _ in range(3)]
+        with pytest.raises(SimulatedCrash):
+            disk.write_pages([(p, b"d") for p in pages])
+        assert disk.read_page(pages[0]) == b"d"  # before the crash: durable
+        with pytest.raises(HardError):
+            disk.read_page(pages[1])  # in flight: torn
+        with pytest.raises(StorageError):
+            disk.read_page(pages[2])  # never written
+        assert disk.stats.snapshot()["pages_torn"] == 1
+
+    def test_untorn_crash_completes_event_page(self):
+        injector = FailureInjector(crash_at_event=1, tear=False)
+        disk = SimulatedDisk(clock=SimClock(), injector=injector)
+        page = disk.allocate()
+        with pytest.raises(SimulatedCrash):
+            disk.write_pages([(page, b"done")])
+        assert disk.read_page(page) == b"done"
+
+    def test_injector_event_numbering(self):
+        injector = FailureInjector(crash_at_event=3)
+        disk = SimulatedDisk(clock=SimClock(), injector=injector)
+        a, b, c = (disk.allocate() for _ in range(3))
+        disk.write_pages([(a, b"1")])
+        disk.write_pages([(b, b"2")])
+        assert injector.events_seen == 2
+        with pytest.raises(SimulatedCrash):
+            disk.write_pages([(c, b"3")])
+
+    def test_disarm_cancels_crash(self):
+        injector = FailureInjector(crash_at_event=1)
+        injector.disarm()
+        disk = SimulatedDisk(clock=SimClock(), injector=injector)
+        page = disk.allocate()
+        disk.write_pages([(page, b"ok")])  # no crash
+
+    def test_metadata_sync_counts_as_event(self):
+        injector = FailureInjector(crash_at_event=1)
+        disk = SimulatedDisk(clock=SimClock(), injector=injector)
+        with pytest.raises(SimulatedCrash):
+            disk.metadata_sync()
+
+    def test_bad_crash_event_number_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector(crash_at_event=0)

@@ -1,0 +1,112 @@
+"""Append/read handles and clock behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimClock, Stopwatch, WallClock
+from repro.storage import HandleClosed, SimFS
+
+
+@pytest.fixture
+def fs() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+class TestAppendHandle:
+    def test_creates_file(self, fs):
+        with fs.open_append("log") as handle:
+            handle.write(b"entry")
+        assert fs.read("log") == b"entry"
+
+    def test_tell_tracks_size(self, fs):
+        handle = fs.open_append("log")
+        assert handle.tell() == 0
+        handle.write(b"abcd")
+        assert handle.tell() == 4
+
+    def test_sync_makes_durable(self, fs):
+        handle = fs.open_append("log")
+        handle.write(b"committed")
+        handle.sync()
+        fs.crash()
+        assert fs.read("log") == b"committed"
+
+    def test_closed_handle_rejects_io(self, fs):
+        handle = fs.open_append("log")
+        handle.close()
+        with pytest.raises(HandleClosed):
+            handle.write(b"x")
+        with pytest.raises(HandleClosed):
+            handle.sync()
+
+
+class TestReadHandle:
+    def test_sequential_reads(self, fs):
+        fs.write("f", b"0123456789")
+        handle = fs.open_read("f")
+        assert handle.read(4) == b"0123"
+        assert handle.read(4) == b"4567"
+        assert handle.read(4) == b"89"
+        assert handle.read(4) == b""
+
+    def test_read_exact(self, fs):
+        fs.write("f", b"abcdef")
+        handle = fs.open_read("f")
+        assert handle.read_exact(3) == b"abc"
+        with pytest.raises(EOFError):
+            handle.read_exact(10)
+
+    def test_seek_tell(self, fs):
+        fs.write("f", b"0123456789")
+        handle = fs.open_read("f")
+        handle.seek(5)
+        assert handle.tell() == 5
+        assert handle.read(2) == b"56"
+        with pytest.raises(ValueError):
+            handle.seek(-1)
+
+    def test_chunks(self, fs):
+        fs.write("f", b"x" * 1000)
+        handle = fs.open_read("f")
+        pieces = list(handle.chunks(300))
+        assert [len(p) for p in pieces] == [300, 300, 300, 100]
+
+    def test_closed_read_rejected(self, fs):
+        fs.write("f", b"x")
+        handle = fs.open_read("f")
+        handle.close()
+        with pytest.raises(HandleClosed):
+            handle.read(1)
+
+
+class TestClocks:
+    def test_sim_clock_advances(self):
+        clock = SimClock()
+        assert clock.now() == 0.0
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+        clock.sleep(0.5)
+        assert clock.now() == 3.0
+
+    def test_sim_clock_rejects_negative(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            SimClock(start=-5)
+
+    def test_stopwatch(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(1.5)
+        assert watch.elapsed() == 1.5
+        assert watch.restart() == 1.5
+        clock.advance(0.25)
+        assert watch.elapsed() == 0.25
+
+    def test_wall_clock_advance_noop(self):
+        clock = WallClock()
+        t0 = clock.now()
+        clock.advance(100.0)
+        assert clock.now() - t0 < 10.0  # advancing did not jump time

@@ -1,0 +1,113 @@
+"""LocalFS: the same interface contract over a real directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import (
+    FileExists,
+    FileNotFound,
+    InvalidFileName,
+    LocalFS,
+    StorageError,
+)
+
+
+@pytest.fixture
+def fs(tmp_path) -> LocalFS:
+    return LocalFS(str(tmp_path / "dbdir"))
+
+
+class TestLocalFS:
+    def test_creates_directory(self, tmp_path):
+        LocalFS(str(tmp_path / "deep" / "dir"))
+        assert (tmp_path / "deep" / "dir").is_dir()
+
+    def test_write_read(self, fs):
+        fs.write("f", b"hello")
+        assert fs.read("f") == b"hello"
+
+    def test_append(self, fs):
+        fs.append("f", b"a")
+        fs.append("f", b"b")
+        assert fs.read("f") == b"ab"
+
+    def test_read_range(self, fs):
+        fs.write("f", b"0123456789")
+        assert fs.read_range("f", 3, 4) == b"3456"
+        assert fs.read_range("f", 9, 10) == b"9"
+
+    def test_size(self, fs):
+        fs.write("f", b"xyz")
+        assert fs.size("f") == 3
+
+    def test_exists_delete(self, fs):
+        fs.create("f")
+        assert fs.exists("f")
+        fs.delete("f")
+        assert not fs.exists("f")
+
+    def test_missing_file_errors(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.read("nope")
+        with pytest.raises(FileNotFound):
+            fs.delete("nope")
+        with pytest.raises(FileNotFound):
+            fs.size("nope")
+        with pytest.raises(FileNotFound):
+            fs.rename("nope", "other")
+        with pytest.raises(FileNotFound):
+            fs.fsync("nope")
+
+    def test_create_exclusive(self, fs):
+        fs.create("f")
+        with pytest.raises(FileExists):
+            fs.create("f", exclusive=True)
+
+    def test_rename_atomic_replace(self, fs):
+        fs.write("a", b"new")
+        fs.write("b", b"old")
+        fs.rename("a", "b")
+        assert fs.read("b") == b"new"
+        assert not fs.exists("a")
+
+    def test_list_names(self, fs):
+        for name in ("c", "a", "b"):
+            fs.create(name)
+        assert fs.list_names() == ["a", "b", "c"]
+
+    def test_truncate(self, fs):
+        fs.write("f", b"0123456789")
+        fs.truncate("f", 5)
+        assert fs.read("f") == b"01234"
+
+    def test_truncate_too_large(self, fs):
+        fs.write("f", b"abc")
+        with pytest.raises(StorageError):
+            fs.truncate("f", 99)
+
+    def test_fsync_smoke(self, fs):
+        fs.write("f", b"durable")
+        fs.fsync("f")
+        fs.fsync_dir()
+        assert fs.read("f") == b"durable"
+
+    @pytest.mark.parametrize("bad", ["", "a/b", ".", ".."])
+    def test_invalid_names(self, fs, bad):
+        with pytest.raises(InvalidFileName):
+            fs.write(bad, b"x")
+
+    def test_interface_parity_with_simfs(self, fs):
+        """The core only uses interface methods; both FSes must agree."""
+        from repro.sim import SimClock
+        from repro.storage import SimFS
+
+        sim = SimFS(clock=SimClock())
+        for target in (fs, sim):
+            target.write("f", b"0123456789")
+            target.append("f", b"AB")
+            target.truncate("f", 11)
+            target.fsync("f")
+            target.rename("f", "g")
+            target.fsync_dir()
+        assert fs.read("g") == sim.read("g") == b"0123456789A"

@@ -1,0 +1,336 @@
+"""SimFS semantics: durability, crash behaviour, namespace, torn writes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimClock
+from repro.storage import (
+    FailureInjector,
+    FileExists,
+    FileNotFound,
+    HardError,
+    InvalidFileName,
+    SimFS,
+    SimulatedCrash,
+    StorageError,
+)
+
+
+@pytest.fixture
+def fs() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+class TestNamespace:
+    def test_create_and_exists(self, fs):
+        assert not fs.exists("a")
+        fs.create("a")
+        assert fs.exists("a")
+        assert fs.size("a") == 0
+
+    def test_create_exclusive_conflicts(self, fs):
+        fs.create("a")
+        with pytest.raises(FileExists):
+            fs.create("a", exclusive=True)
+
+    def test_create_truncates_existing(self, fs):
+        fs.write("a", b"data")
+        fs.create("a")
+        assert fs.size("a") == 0
+
+    def test_delete(self, fs):
+        fs.create("a")
+        fs.delete("a")
+        assert not fs.exists("a")
+
+    def test_delete_missing_raises(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.delete("missing")
+
+    def test_delete_if_exists(self, fs):
+        assert fs.delete_if_exists("nope") is False
+        fs.create("yep")
+        assert fs.delete_if_exists("yep") is True
+
+    def test_rename_moves_content(self, fs):
+        fs.write("a", b"payload")
+        fs.rename("a", "b")
+        assert not fs.exists("a")
+        assert fs.read("b") == b"payload"
+
+    def test_rename_replaces_destination(self, fs):
+        fs.write("a", b"new")
+        fs.write("b", b"old")
+        fs.rename("a", "b")
+        assert fs.read("b") == b"new"
+
+    def test_rename_missing_raises(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.rename("ghost", "b")
+
+    def test_list_names_sorted(self, fs):
+        for name in ("zeta", "alpha", "mid"):
+            fs.create(name)
+        assert fs.list_names() == ["alpha", "mid", "zeta"]
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "a\x00b"])
+    def test_invalid_names_rejected(self, fs, bad):
+        with pytest.raises(InvalidFileName):
+            fs.create(bad)
+
+
+class TestReadWrite:
+    def test_write_read_roundtrip(self, fs):
+        fs.write("f", b"hello world")
+        assert fs.read("f") == b"hello world"
+
+    def test_append_accumulates(self, fs):
+        fs.append("f", b"one")
+        fs.append("f", b"two")
+        assert fs.read("f") == b"onetwo"
+
+    def test_append_creates_file(self, fs):
+        fs.append("new", b"x")
+        assert fs.exists("new")
+
+    def test_read_range(self, fs):
+        fs.write("f", b"0123456789")
+        assert fs.read_range("f", 2, 3) == b"234"
+        assert fs.read_range("f", 8, 100) == b"89"
+        assert fs.read_range("f", 20, 5) == b""
+
+    def test_read_range_negative_raises(self, fs):
+        fs.write("f", b"x")
+        with pytest.raises(ValueError):
+            fs.read_range("f", -1, 2)
+
+    def test_read_missing_raises(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.read("missing")
+
+    def test_multi_page_content(self, fs):
+        data = bytes(range(256)) * 10  # ~2.5 KiB, several pages
+        fs.write("big", data)
+        fs.fsync("big")
+        assert fs.read("big") == data
+
+    def test_truncate(self, fs):
+        fs.write("f", b"0123456789")
+        fs.truncate("f", 4)
+        assert fs.read("f") == b"0123"
+
+    def test_truncate_beyond_size_raises(self, fs):
+        fs.write("f", b"abc")
+        with pytest.raises(StorageError):
+            fs.truncate("f", 10)
+
+
+class TestCrashDurability:
+    def test_unsynced_data_lost_on_crash(self, fs):
+        fs.write("f", b"ephemeral")
+        fs.crash()
+        assert not fs.exists("f")
+
+    def test_fsync_makes_data_and_name_durable(self, fs):
+        fs.write("f", b"kept")
+        fs.fsync("f")
+        fs.crash()
+        assert fs.read("f") == b"kept"
+
+    def test_unsynced_append_lost(self, fs):
+        fs.write("f", b"base")
+        fs.fsync("f")
+        fs.append("f", b"+tail")
+        fs.crash()
+        assert fs.read("f") == b"base"
+
+    def test_fsynced_append_kept(self, fs):
+        fs.write("f", b"base")
+        fs.fsync("f")
+        fs.append("f", b"+tail")
+        fs.fsync("f")
+        fs.crash()
+        assert fs.read("f") == b"base+tail"
+
+    def test_unsynced_delete_reverts(self, fs):
+        fs.write("f", b"still here")
+        fs.fsync("f")
+        fs.delete("f")
+        fs.crash()
+        assert fs.read("f") == b"still here"
+
+    def test_fsync_dir_makes_delete_durable(self, fs):
+        fs.write("f", b"x")
+        fs.fsync("f")
+        fs.delete("f")
+        fs.fsync_dir()
+        fs.crash()
+        assert not fs.exists("f")
+
+    def test_unsynced_rename_reverts(self, fs):
+        fs.write("a", b"x")
+        fs.fsync("a")
+        fs.rename("a", "b")
+        fs.crash()
+        assert fs.exists("a")
+        assert not fs.exists("b")
+
+    def test_fsync_dir_makes_rename_durable(self, fs):
+        fs.write("a", b"x")
+        fs.fsync("a")
+        fs.rename("a", "b")
+        fs.fsync_dir()
+        fs.crash()
+        assert not fs.exists("a")
+        assert fs.read("b") == b"x"
+
+    def test_rename_is_atomic_across_crash(self, fs):
+        """After a crash, dst is entirely old or entirely new."""
+        fs.write("dst", b"old-content")
+        fs.fsync("dst")
+        fs.write("src", b"new-content")
+        fs.fsync("src")
+        fs.rename("src", "dst")
+        fs.crash()  # rename not yet durable
+        assert fs.read("dst") == b"old-content"
+        assert fs.read("src") == b"new-content"
+
+    def test_crash_then_reuse(self, fs):
+        fs.write("f", b"v1")
+        fs.fsync("f")
+        fs.crash()
+        fs.append("f", b"+v2")
+        fs.fsync("f")
+        fs.crash()
+        assert fs.read("f") == b"v1+v2"
+
+    def test_double_crash_idempotent(self, fs):
+        fs.write("f", b"x")
+        fs.fsync("f")
+        fs.crash()
+        fs.crash()
+        assert fs.read("f") == b"x"
+
+
+class TestScheduledCrashes:
+    def test_crash_fires_at_scheduled_event(self):
+        injector = FailureInjector(crash_at_event=1)
+        fs = SimFS(clock=SimClock(), injector=injector)
+        fs.write("f", b"x")
+        with pytest.raises(SimulatedCrash):
+            fs.fsync("f")
+        assert injector.crashed
+
+    def test_torn_page_destroys_previous_content(self):
+        """A torn rewrite of the tail page loses previously durable bytes."""
+        injector = FailureInjector()
+        fs = SimFS(clock=SimClock(), injector=injector)
+        fs.write("f", b"a" * 100)
+        fs.fsync("f")
+        injector.crash_at_event = injector.events_seen + 1
+        injector.tear = True
+        fs.append("f", b"b" * 100)
+        with pytest.raises(SimulatedCrash):
+            fs.fsync("f")
+        fs.crash()
+        with pytest.raises(HardError):
+            fs.read("f")
+
+    def test_untorn_crash_preserves_completed_page(self):
+        injector = FailureInjector(tear=False)
+        fs = SimFS(clock=SimClock(), injector=injector)
+        fs.write("f", b"a" * 100)
+        fs.fsync("f")
+        injector.crash_at_event = injector.events_seen + 1
+        fs.append("f", b"b" * 100)
+        with pytest.raises(SimulatedCrash):
+            fs.fsync("f")
+        fs.crash()
+        assert fs.read("f") == b"a" * 100 + b"b" * 100
+
+    def test_partial_multi_page_flush_visible_after_crash(self):
+        """Pages written before the crash become visible (partial tail)."""
+        injector = FailureInjector(tear=False)
+        fs = SimFS(clock=SimClock(), injector=injector)
+        fs.create("f")
+        fs.fsync("f")
+        injector.crash_at_event = injector.events_seen + 2  # second data page
+        fs.append("f", b"x" * 2000)  # four pages
+        with pytest.raises(SimulatedCrash):
+            fs.fsync("f")
+        fs.crash()
+        size = fs.size("f")
+        assert 0 < size < 2000
+        assert fs.read("f") == b"x" * size
+
+
+class TestHardErrors:
+    def test_corrupt_page_raises_on_read(self, fs):
+        fs.write("f", b"z" * 2000)
+        fs.fsync("f")
+        fs.crash()  # discard the buffer cache so reads hit the disk
+        fs.corrupt("f", 600)  # second page
+        with pytest.raises(HardError):
+            fs.read("f")
+        # The first page is still readable.
+        assert fs.read_range("f", 0, 512) == b"z" * 512
+
+    def test_corrupt_requires_durable_offset(self, fs):
+        fs.write("f", b"abc")
+        fs.fsync("f")
+        with pytest.raises(StorageError):
+            fs.corrupt("f", 9999)
+
+    def test_corrupt_missing_file(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.corrupt("nope", 0)
+
+    def test_rewrite_heals_bad_page(self, fs):
+        fs.write("f", b"z" * 100)
+        fs.fsync("f")
+        fs.corrupt("f", 0)
+        fs.write("f", b"fresh")
+        fs.fsync("f")
+        fs.crash()
+        assert fs.read("f") == b"fresh"
+
+
+class TestTiming:
+    def test_fsync_charges_disk_time(self):
+        clock = SimClock()
+        fs = SimFS(clock=clock)
+        fs.write("f", b"x" * 100)
+        before = clock.now()
+        fs.fsync("f")
+        # one ~20 ms page write plus one metadata sync
+        assert 0.02 < clock.now() - before < 0.08
+
+    def test_buffered_reads_are_free(self):
+        clock = SimClock()
+        fs = SimFS(clock=clock)
+        fs.write("f", b"x" * 5000)
+        fs.fsync("f")
+        before = clock.now()
+        fs.read("f")
+        assert clock.now() == before
+
+    def test_post_crash_reads_charge_disk_time(self):
+        clock = SimClock()
+        fs = SimFS(clock=clock)
+        fs.write("f", b"x" * 5000)
+        fs.fsync("f")
+        fs.crash()
+        before = clock.now()
+        fs.read("f")
+        assert clock.now() > before
+
+    def test_one_megabyte_checkpoint_write_is_about_five_seconds(self):
+        """Calibration: the paper reports ~5 s of disk writes per 1 MB."""
+        clock = SimClock()
+        fs = SimFS(clock=clock)
+        fs.write("ckpt", b"p" * 1_000_000)
+        before = clock.now()
+        fs.fsync("ckpt")
+        elapsed = clock.now() - before
+        assert 3.0 < elapsed < 8.0

@@ -1,0 +1,161 @@
+"""Property-based crash consistency of the simulated file system.
+
+The invariant behind every recovery argument upstream: after a crash, the
+namespace and contents revert to exactly what was made durable — for any
+interleaving of writes, appends, in-place writes, truncates, renames,
+deletes, fsyncs and directory syncs.
+
+The model mirrors the Unix-style split the implementation makes: files
+are identities (inodes) carrying volatile and synced content; the
+namespace maps names to identities, with volatile and durable versions.
+``fsync`` makes one file's content *and its own directory entry* durable;
+``fsync_dir`` makes the whole namespace durable; ``crash`` discards
+everything volatile.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+names = st.sampled_from(["alpha", "beta", "gamma"])
+small_bytes = st.binary(min_size=0, max_size=700)
+
+
+class SimFSMachine(RuleBasedStateMachine):
+    """Model-checks SimFS against an inode-style reference model."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.fs = SimFS(clock=SimClock())
+        self._ids = itertools.count()
+        self.volatile_ns: dict[str, int] = {}
+        self.durable_ns: dict[str, int] = {}
+        self.volatile_data: dict[int, bytes] = {}
+        self.synced_data: dict[int, bytes] = {}
+
+    def _file_for(self, name: str) -> int:
+        fid = self.volatile_ns.get(name)
+        if fid is None:
+            fid = next(self._ids)
+            self.volatile_ns[name] = fid
+            self.volatile_data[fid] = b""
+            self.synced_data[fid] = b""
+        return fid
+
+    # -- operations ------------------------------------------------------------
+
+    @rule(name=names, data=small_bytes)
+    def write(self, name: str, data: bytes) -> None:
+        self.fs.write(name, data)
+        self.volatile_data[self._file_for(name)] = data
+
+    @rule(name=names, data=small_bytes)
+    def append(self, name: str, data: bytes) -> None:
+        self.fs.append(name, data)
+        fid = self._file_for(name)
+        self.volatile_data[fid] += data
+
+    @rule(name=names, offset=st.integers(min_value=0, max_value=900), data=small_bytes)
+    def write_at(self, name: str, offset: int, data: bytes) -> None:
+        self.fs.write_at(name, offset, data)
+        fid = self._file_for(name)
+        current = bytearray(self.volatile_data[fid])
+        end = offset + len(data)
+        if len(current) < end:
+            current.extend(bytes(end - len(current)))
+        current[offset:end] = data
+        self.volatile_data[fid] = bytes(current)
+
+    @rule(name=names, fraction=st.floats(min_value=0.0, max_value=1.0))
+    def truncate(self, name: str, fraction: float) -> None:
+        fid = self.volatile_ns.get(name)
+        if fid is None:
+            return
+        content = self.volatile_data[fid]
+        cut = int(len(content) * fraction)
+        self.fs.truncate(name, cut)
+        self.volatile_data[fid] = content[:cut]
+
+    @rule(name=names)
+    def fsync(self, name: str) -> None:
+        fid = self.volatile_ns.get(name)
+        if fid is None:
+            return
+        self.fs.fsync(name)
+        self.synced_data[fid] = self.volatile_data[fid]
+        self.durable_ns[name] = fid
+
+    @rule()
+    def fsync_dir(self) -> None:
+        self.fs.fsync_dir()
+        self.durable_ns = dict(self.volatile_ns)
+
+    @rule(name=names)
+    def delete(self, name: str) -> None:
+        if name not in self.volatile_ns:
+            return
+        self.fs.delete(name)
+        del self.volatile_ns[name]
+
+    @rule(src=names, dst=names)
+    def rename(self, src: str, dst: str) -> None:
+        if src not in self.volatile_ns or src == dst:
+            return
+        self.fs.rename(src, dst)
+        self.volatile_ns[dst] = self.volatile_ns.pop(src)
+
+    @rule()
+    def crash(self) -> None:
+        self.fs.crash()
+        self.volatile_ns = dict(self.durable_ns)
+        for fid in self.volatile_ns.values():
+            self.volatile_data[fid] = self.synced_data[fid]
+
+    # -- invariants -------------------------------------------------------------
+
+    @invariant()
+    def contents_match_model(self) -> None:
+        assert sorted(self.fs.list_names()) == sorted(self.volatile_ns)
+        for name, fid in self.volatile_ns.items():
+            expected = self.volatile_data[fid]
+            assert self.fs.read(name) == expected, name
+            assert self.fs.size(name) == len(expected), name
+
+
+SimFSMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestSimFSModel = SimFSMachine.TestCase
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), st.binary(max_size=100)),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_durable_content_is_last_fsync(history):
+    """Write+fsync a sequence; crash; each file shows its last fsync."""
+    fs = SimFS(clock=SimClock())
+    last_synced: dict[str, bytes] = {}
+    for name, data in history:
+        fs.write(name, data)
+        fs.fsync(name)
+        last_synced[name] = data
+        fs.append(name, b"unsynced tail")  # never synced, must vanish
+    fs.crash()
+    for name, expected in last_synced.items():
+        assert fs.read(name) == expected
