@@ -33,9 +33,11 @@ from repro.concurrency import LockMode, SUELock
 from repro.core import (
     AnyOf,
     CheckpointPolicy,
+    CommitPolicy,
     Database,
     DatabaseError,
     EveryNUpdates,
+    GroupCommitDaemon,
     LogSizeThreshold,
     Never,
     OperationRegistry,
@@ -65,9 +67,11 @@ __version__ = "1.0.0"
 __all__ = [
     "AnyOf",
     "CheckpointPolicy",
+    "CommitPolicy",
     "Database",
     "DatabaseError",
     "EveryNUpdates",
+    "GroupCommitDaemon",
     "Interface",
     "LocalFS",
     "LockMode",

@@ -2,6 +2,7 @@
 
 from repro.concurrency.locks import (
     COMPATIBILITY,
+    CommitBarrier,
     LockMode,
     LockProtocolError,
     LockStats,
@@ -11,6 +12,7 @@ from repro.concurrency.locks import (
 
 __all__ = [
     "COMPATIBILITY",
+    "CommitBarrier",
     "LockMode",
     "LockProtocolError",
     "LockStats",

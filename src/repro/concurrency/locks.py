@@ -91,6 +91,135 @@ class LockStats:
             }
 
 
+class CommitBarrier:
+    """A leader/follower rendezvous for group commit.
+
+    Writers take monotonically increasing *tickets* for work they have
+    staged (typically an unsynced log append); one *leader* at a time
+    performs the shared completion step (one fsync covering every staged
+    ticket) and publishes the new completion watermark; followers block
+    until the watermark covers their ticket.  The barrier knows nothing
+    about logs — completion is whatever the leader does between
+    :meth:`try_lead` and :meth:`finish`::
+
+        ticket = barrier.issue()              # after staging the work
+        while not barrier.is_complete(ticket):
+            claim = barrier.try_lead()
+            if claim is None:                 # someone else is leading
+                barrier.wait_progress(ticket)
+                continue
+            try:
+                shared_fsync()                # covers tickets 1..claim
+            except BaseException as exc:
+                barrier.fail(exc)
+                raise
+            barrier.finish(claim)
+
+    A leader failure is **sticky**: the staged work behind a failed sync
+    can no longer be proven durable, so every current and future waiter
+    re-raises the leader's exception instead of hanging.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._issued = 0
+        self._completed = 0
+        self._leader_active = False
+        self._failure: BaseException | None = None
+
+    def issue(self) -> int:
+        """Take the next ticket; wakes a leader holding for a batch."""
+        with self._cond:
+            self._check_failed()
+            self._issued += 1
+            self._cond.notify_all()
+            return self._issued
+
+    def issued(self) -> int:
+        with self._cond:
+            return self._issued
+
+    def completed(self) -> int:
+        with self._cond:
+            return self._completed
+
+    def pending(self) -> int:
+        """Tickets issued but not yet covered by a completion."""
+        with self._cond:
+            return self._issued - self._completed
+
+    def is_complete(self, ticket: int) -> bool:
+        with self._cond:
+            self._check_failed()
+            return self._completed >= ticket
+
+    def try_lead(self) -> int | None:
+        """Claim leadership if there is uncompleted work.
+
+        Returns the watermark the new leader must complete (every ticket
+        up to it), or ``None`` when another leader is active or nothing
+        is pending.
+        """
+        with self._cond:
+            self._check_failed()
+            if self._leader_active or self._completed >= self._issued:
+                return None
+            self._leader_active = True
+            return self._issued
+
+    def hold(self, target_pending: int, timeout: float) -> int:
+        """Leader only: wait up to ``timeout`` seconds for more joiners.
+
+        Returns the refreshed watermark once ``target_pending`` tickets
+        are pending or the timeout elapses — the absorb window that lets
+        a batch fill before the leader pays the shared fsync.
+        """
+        with self._cond:
+            if not self._leader_active:
+                raise LockProtocolError("hold() requires leadership")
+            self._cond.wait_for(
+                lambda: self._issued - self._completed >= target_pending,
+                timeout=timeout,
+            )
+            return self._issued
+
+    def finish(self, upto: int) -> None:
+        """Leader only: publish completion of every ticket up to ``upto``."""
+        with self._cond:
+            if not self._leader_active:
+                raise LockProtocolError("finish() requires leadership")
+            self._leader_active = False
+            if upto > self._completed:
+                self._completed = upto
+            self._cond.notify_all()
+
+    def fail(self, exc: BaseException) -> None:
+        """Leader only: record a sticky failure and wake every waiter."""
+        with self._cond:
+            self._failure = exc
+            self._leader_active = False
+            self._cond.notify_all()
+
+    def wait_progress(self, ticket: int, timeout: float | None = None) -> None:
+        """Block until ``ticket`` completes, leadership frees up with work
+        still pending (the caller should then try to lead), or a failure
+        is recorded (re-raised here)."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: (
+                    self._failure is not None
+                    or self._completed >= ticket
+                    or (not self._leader_active and self._completed < self._issued)
+                ),
+                timeout=timeout,
+            )
+            self._check_failed()
+
+    def _check_failed(self) -> None:
+        if self._failure is not None:
+            raise self._failure
+
+
 class SUELock:
     """A shared/update/exclusive lock with update→exclusive upgrade."""
 

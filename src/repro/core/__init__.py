@@ -13,7 +13,8 @@ from repro.core.checkpoint import (
     write_checkpoint,
 )
 from repro.core.backup import backup_database, verify_backup
-from repro.core.daemon import CheckpointDaemon
+from repro.core.commit import DURABILITY_MODES, CommitCoordinator, CommitPolicy
+from repro.core.daemon import CheckpointDaemon, GroupCommitDaemon
 from repro.core.database import Database
 from repro.core.mirror import MirroringDatabase, restore_from_mirror
 from repro.core.sharding import ShardedDatabase, default_hash
@@ -64,6 +65,10 @@ __all__ = [
     "AuditRecord",
     "CheckpointDaemon",
     "CheckpointDamaged",
+    "CommitCoordinator",
+    "CommitPolicy",
+    "DURABILITY_MODES",
+    "GroupCommitDaemon",
     "MirroringDatabase",
     "ShardedDatabase",
     "restore_from_mirror",

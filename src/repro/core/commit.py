@@ -1,0 +1,192 @@
+"""The commit coordinator: transparent group commit for concurrent updates.
+
+The paper is explicit that one disk write per update is the floor for the
+naive protocol, and that "the only schemes that will perform better than
+this involve arranging to record multiple commit records in a single log
+entry".  :meth:`Database.update_many` is the *manual* form of that scheme;
+this module is the *automatic* one: concurrent ``update()`` callers share
+commit fsyncs without any API change.
+
+Protocol (leader/follower group commit):
+
+1. each update validates its preconditions, appends its log entry
+   **unsynced** and applies it to virtual memory, all under the usual lock
+   protocol, then takes a ticket from a :class:`~repro.concurrency.locks.\
+CommitBarrier`;
+2. outside the locks, the updater waits on the barrier.  The first waiter
+   becomes the *leader*: it (optionally) holds for up to
+   ``max_hold_seconds`` while more updaters stage entries, then performs
+   **one** fsync covering every staged ticket and publishes the
+   completion watermark;
+3. every waiter whose ticket the watermark covers returns — so each
+   ``update()`` still returns only after its entry is durable ("durable
+   on return" is preserved), but N concurrent updates share one disk
+   write.
+
+Durability modes (``Database(durability=...)``):
+
+``"immediate"``
+    The seed behaviour: every update pays its own fsync under the update
+    lock.  The commit point is inside the lock, so enquiries never
+    observe a non-durable state.
+
+``"group"`` (the default)
+    The coordinator protocol above.  Durable on return; the in-memory
+    apply happens *before* the shared fsync, so an enquiry racing an
+    in-flight update can observe state whose log entry is not yet on
+    disk.  A crash loses only updates whose callers had not returned,
+    and recovery always yields a clean prefix (the crash sweep in
+    ``tests/core/test_commit_crash.py`` proves this at every disk state).
+
+``"relaxed"``
+    Opt-in: ``update()`` returns after staging, *before* any fsync.  The
+    entry becomes durable at the next shared fsync — a later strict
+    committer, an explicit :meth:`Database.flush`, a checkpoint, a clean
+    :meth:`Database.close`, or a background
+    :class:`~repro.core.daemon.GroupCommitDaemon`.  A crash may lose
+    updates that already returned; use only when the workload tolerates
+    a bounded at-risk window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.concurrency.locks import CommitBarrier
+from repro.core.errors import DatabaseError
+from repro.sim.clock import Clock, Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.log import LogWriter
+    from repro.core.stats import DatabaseStats
+
+#: the values accepted by ``Database(durability=...)``
+DURABILITY_MODES = ("immediate", "group", "relaxed")
+
+
+@dataclass(frozen=True)
+class CommitPolicy:
+    """Tunables for the commit coordinator.
+
+    ``max_batch`` caps how many staged entries one fsync may cover before
+    the leader stops absorbing joiners.
+
+    ``max_hold_seconds`` lets a leader wait for joiners before paying the
+    fsync, trading commit latency for batch size.  The hold is bounded in
+    real time (a ``Condition`` wait); its duration is *reported* on the
+    database's :class:`~repro.sim.clock.Clock`, which coincides for the
+    wall-clock deployments where holding matters.  The default of zero
+    never delays a commit: batching then emerges purely from absorption —
+    entries staged while a leader's fsync is in flight join the next
+    batch.
+    """
+
+    max_batch: int = 64
+    max_hold_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_hold_seconds < 0:
+            raise ValueError("max_hold_seconds cannot be negative")
+
+
+class CommitCoordinator:
+    """Batches staged log appends into shared fsyncs (leader/follower).
+
+    One instance serves one database.  The database stages entries with
+    :meth:`LogWriter.append_unsynced` and takes a ticket per entry with
+    :meth:`note_append` (both under the update lock); callers then block
+    in :meth:`wait_durable` outside the locks.  When a checkpoint swaps
+    in a fresh log writer it must :meth:`flush` first and then
+    :meth:`rebind` — the coordinator never syncs a superseded file.
+    """
+
+    def __init__(
+        self,
+        writer: "LogWriter",
+        clock: Clock,
+        policy: CommitPolicy | None = None,
+        stats: "DatabaseStats | None" = None,
+    ) -> None:
+        self.writer = writer
+        self.clock = clock
+        self.policy = policy if policy is not None else CommitPolicy()
+        self.stats = stats
+        self.barrier = CommitBarrier()
+
+    # -- staging and waiting ---------------------------------------------------
+
+    def note_append(self) -> int:
+        """Take a ticket for an entry just staged (call under the update
+        lock, immediately after ``append_unsynced``)."""
+        return self.barrier.issue()
+
+    def wait_durable(self, ticket: int) -> float:
+        """Block until ``ticket``'s entry is durable; lead if needed.
+
+        Returns the seconds spent waiting, measured on the database's
+        clock.  Re-raises a leader's failure (including a simulated
+        crash) rather than reporting durability that never happened.
+        """
+        watch = Stopwatch(self.clock)
+        while not self.barrier.is_complete(ticket):
+            claim = self.barrier.try_lead()
+            if claim is None:
+                self.barrier.wait_progress(ticket)
+                continue
+            self._lead(claim)
+        return watch.elapsed()
+
+    def _lead(self, claim: int) -> None:
+        """Perform one shared fsync covering every ticket up to ``claim``."""
+        try:
+            if (
+                self.policy.max_hold_seconds > 0
+                and claim - self.barrier.completed() < self.policy.max_batch
+            ):
+                claim = self.barrier.hold(
+                    self.policy.max_batch, self.policy.max_hold_seconds
+                )
+            batch = claim - self.barrier.completed()
+            self.writer.sync()
+        except BaseException as exc:
+            # Nobody can prove the staged tail durable any more; poison
+            # the barrier so waiters unwind instead of hanging.
+            self.barrier.fail(exc)
+            raise
+        self.barrier.finish(claim)
+        if self.stats is not None:
+            self.stats.record_commit_batch(batch)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Make every staged entry durable before returning.
+
+        Used by checkpoints (before superseding the log file), by
+        :meth:`Database.flush` / :meth:`Database.close` for relaxed-mode
+        backlogs, and by the :class:`~repro.core.daemon.GroupCommitDaemon`.
+        """
+        target = self.barrier.issued()
+        if target:
+            self.wait_durable(target)
+
+    def pending(self) -> int:
+        """Entries staged but not yet covered by a shared fsync."""
+        return self.barrier.pending()
+
+    def rebind(self, writer: "LogWriter") -> None:
+        """Point at a fresh log writer after a checkpoint reset.
+
+        Tickets are monotonic across rebinds; the only requirement is
+        that nothing is still pending against the old file — the caller
+        must :meth:`flush` first.
+        """
+        if self.barrier.pending():
+            raise DatabaseError(
+                "cannot rebind the commit coordinator with entries still "
+                "pending against the old log file; flush first"
+            )
+        self.writer = writer

@@ -35,10 +35,12 @@ Example::
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.concurrency.locks import SUELock
 from repro.core.checkpoint import write_checkpoint
+from repro.core.commit import DURABILITY_MODES, CommitCoordinator, CommitPolicy
 from repro.core.errors import (
     DatabaseClosed,
     DatabaseError,
@@ -79,6 +81,8 @@ class Database:
         pad_log_to_page: bool = True,
         ignore_damaged_log: bool = False,
         paranoid_enquiries: bool = False,
+        durability: str = "group",
+        commit_policy: CommitPolicy | None = None,
         auto_open: bool = True,
     ) -> None:
         """Create (and by default open) a database over ``fs``.
@@ -93,6 +97,14 @@ class Database:
         ``pad_log_to_page=False`` reproduces the paper's exact log layout,
         in which a torn append can damage the previously committed entry
         sharing its page; the default pads entries to page boundaries.
+
+        ``durability`` selects the commit protocol (see
+        :mod:`repro.core.commit`): ``"group"`` (default) batches
+        concurrent updates into shared fsyncs while staying durable on
+        return; ``"immediate"`` is the seed's one-fsync-per-update
+        protocol; ``"relaxed"`` returns before the fsync and relies on a
+        later flush.  ``commit_policy`` tunes the group-commit batch size
+        and hold time.
         """
         self.fs = fs
         self.initial = initial
@@ -112,6 +124,14 @@ class Database:
         #: comparing a pickle of the root before and after each one.
         self.paranoid_enquiries = paranoid_enquiries
         self.page_size = getattr(fs, "page_size", 512)
+        if durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, not {durability!r}"
+            )
+        self.durability = durability
+        self.commit_policy = (
+            commit_policy if commit_policy is not None else CommitPolicy()
+        )
 
         self.lock = SUELock()
         self.stats = DatabaseStats()
@@ -120,9 +140,14 @@ class Database:
 
         self._root: object = None
         self._log: LogWriter | None = None
+        self._commit: CommitCoordinator | None = None
         self._version = 0
         self._open = False
         self._poisoned: BaseException | None = None
+        # Atomic check-and-claim of the checkpoint-policy trigger: two
+        # committers crossing a threshold together must not both fire.
+        self._trigger_lock = threading.Lock()
+        self._trigger_claimed = False
 
         if auto_open:
             self.open()
@@ -160,6 +185,9 @@ class Database:
             pad_to_page=self.pad_log_to_page,
             start_seq=state.next_seq,
         )
+        self._commit = CommitCoordinator(
+            self._log, self.clock, self.commit_policy, self.stats
+        )
         self.entries_since_checkpoint = state.entries_replayed
         self.stats.record_restart(watch.elapsed(), state.entries_replayed)
         self.last_recovery = state
@@ -186,10 +214,20 @@ class Database:
             page_size=self.page_size,
             pad_to_page=self.pad_log_to_page,
         )
+        self._commit = CommitCoordinator(
+            self._log, self.clock, self.commit_policy, self.stats
+        )
         self.last_recovery = None
 
     def close(self) -> None:
-        """Shut down cleanly.  All committed updates are already durable."""
+        """Shut down cleanly.
+
+        Strict-mode commits are already durable; any relaxed-mode backlog
+        is flushed here so a clean shutdown never loses an update that
+        returned.
+        """
+        if self._open and self._commit is not None and self._commit.pending():
+            self._commit.flush()
         self._open = False
 
     def __enter__(self) -> "Database":
@@ -230,8 +268,16 @@ class Database:
         """Execute one single-shot transaction; durable on return.
 
         The paper's three steps: (1) verify preconditions against virtual
-        memory; (2) commit the parameters to the log — the commit point;
-        (3) apply to virtual memory under the exclusive lock.
+        memory; (2) commit the parameters to the log; (3) apply to
+        virtual memory under the exclusive lock.
+
+        Where the commit point sits depends on the durability mode: in
+        ``"immediate"`` mode it is an fsync inside the update lock (the
+        seed protocol); in ``"group"`` mode the entry is staged unsynced
+        and the commit point is a *shared* fsync on the commit barrier,
+        awaited outside the locks so concurrent updates batch into one
+        disk write — still durable on return; in ``"relaxed"`` mode the
+        call returns after staging, before any fsync.
         """
         self._check_usable()
         op = self.operations.get(op_name)
@@ -250,7 +296,13 @@ class Database:
             self.cost_model.charge_pickle(self.clock, len(payload))
             pickle_s = watch.restart()
 
-            entry = self._log.append(payload)  # the commit point
+            if self.durability == "immediate":
+                entry = self._log.append(payload)  # the commit point
+                ticket = None
+            else:
+                entry = self._log.append_unsynced(payload)
+                assert self._commit is not None
+                ticket = self._commit.note_append()
             log_write_s = watch.restart()
 
             self.lock.upgrade()
@@ -269,11 +321,26 @@ class Database:
             # reset must order strictly before or after this update.
             self.entries_since_checkpoint += 1
 
+        commit_wait_s = 0.0
+        if ticket is None:
+            self.stats.record_commit_batch(1)
+        elif self.durability == "relaxed":
+            self.stats.record_relaxed_updates(1)
+        else:
+            # The commit point (group mode): one leader fsyncs for the
+            # whole batch before any member's update() returns.
+            commit_wait_s = self._commit.wait_durable(ticket)
+
         self.stats.record_update(
-            explore_s, pickle_s, log_write_s, apply_s, entry.length, len(payload)
+            explore_s,
+            pickle_s,
+            log_write_s + commit_wait_s,
+            apply_s,
+            entry.length,
+            len(payload),
+            commit_wait_seconds=commit_wait_s,
         )
-        if self.policy.should_checkpoint(self):
-            self.checkpoint()
+        self.maybe_checkpoint()
         return result
 
     def update_many(self, batch: list[tuple]) -> list[object]:
@@ -324,7 +391,17 @@ class Database:
                 payloads.append(payload)
             pickle_s = watch.restart() / len(plan)
 
-            entries = self._log.append_many(payloads)  # one commit fsync
+            if self.durability == "immediate":
+                entries = self._log.append_many(payloads)  # one commit fsync
+                ticket = None
+            else:
+                # Stage every entry and wait once on the commit barrier;
+                # the shared fsync may also absorb concurrent updaters.
+                assert self._commit is not None
+                entries = [self._log.append_unsynced(p) for p in payloads]
+                ticket = 0
+                for _ in entries:
+                    ticket = self._commit.note_append()
             log_write_s = watch.restart() / len(plan)
 
             results: list[object] = []
@@ -342,13 +419,22 @@ class Database:
             apply_s = watch.restart() / len(plan)
             self.entries_since_checkpoint += len(plan)
 
+        commit_wait_s = 0.0
+        if ticket is None:
+            self.stats.record_commit_batch(len(plan))
+        elif self.durability == "relaxed":
+            self.stats.record_relaxed_updates(len(plan))
+        else:
+            commit_wait_s = self._commit.wait_durable(ticket)  # one commit fsync
+        per_entry_wait = commit_wait_s / len(plan)
+
         for entry, payload in zip(entries, payloads):
             self.stats.record_update(
-                explore_s, pickle_s, log_write_s, apply_s,
+                explore_s, pickle_s, log_write_s + per_entry_wait, apply_s,
                 entry.length, len(payload),
+                commit_wait_seconds=per_entry_wait,
             )
-        if self.policy.should_checkpoint(self):
-            self.checkpoint()
+        self.maybe_checkpoint()
         return results
 
     def checkpoint(self) -> int:
@@ -360,6 +446,11 @@ class Database:
         self._check_usable()
         with self.lock.update():
             watch = Stopwatch(self.clock)
+            if self._commit is not None:
+                # Retire any unsynced tail (relaxed-mode backlog) before
+                # this log file is superseded: holding the update lock
+                # guarantees nothing new can be staged meanwhile.
+                self._commit.flush()
             self._before_log_reset(self._version)
             new_version = self._version + 1
             payload = pickle_write(self._root, self.pickle_registry)
@@ -375,6 +466,8 @@ class Database:
                 page_size=self.page_size,
                 pad_to_page=self.pad_log_to_page,
             )
+            if self._commit is not None:
+                self._commit.rebind(self._log)
             self._version = new_version
             self.entries_since_checkpoint = 0
             self.last_checkpoint_time = self.clock.now()
@@ -382,6 +475,44 @@ class Database:
         self.stats.record_checkpoint(elapsed, len(payload))
         self.policy.note_checkpoint(self)
         return new_version
+
+    def maybe_checkpoint(self, policy: CheckpointPolicy | None = None) -> bool:
+        """Atomically check-and-claim the checkpoint-policy trigger.
+
+        Evaluates ``policy`` (the database's own by default) and runs one
+        checkpoint when it fires.  The check and the claim happen under
+        one mutex, so concurrent committers — or a
+        :class:`~repro.core.daemon.CheckpointDaemon` racing them — cannot
+        all trigger for the same threshold crossing and stack redundant
+        checkpoints back to back.  Returns True when this caller ran the
+        checkpoint.
+        """
+        chosen = policy if policy is not None else self.policy
+        with self._trigger_lock:
+            if self._trigger_claimed or not chosen.should_checkpoint(self):
+                return False
+            self._trigger_claimed = True
+        try:
+            self.checkpoint()
+        finally:
+            with self._trigger_lock:
+                self._trigger_claimed = False
+        return True
+
+    def flush(self) -> None:
+        """Force every staged commit durable (a group-commit barrier).
+
+        A no-op unless updates are pending — which only happens in
+        ``"relaxed"`` mode, or transiently while strict group commits are
+        in flight on other threads.
+        """
+        self._check_usable()
+        if self._commit is not None:
+            self._commit.flush()
+
+    def pending_commits(self) -> int:
+        """Updates staged in the log but not yet covered by an fsync."""
+        return self._commit.pending() if self._commit is not None else 0
 
     def _before_log_reset(self, old_version: int) -> None:
         """Hook: runs under the update lock just before a checkpoint

@@ -113,16 +113,29 @@ class LogWriter:
         self.entries_written = 0
 
     def append(self, payload: bytes) -> LogEntry:
-        """Durably append one entry; returns after the commit fsync."""
-        framed, prefix_len = self._build(payload)
-        self.fs.append(self.name, framed)
-        self.fs.fsync(self.name)  # the commit point
-        return self._note_written(payload, framed, prefix_len)
+        """Durably append one entry; returns after the commit fsync.
+
+        Bookkeeping advances with the *write*, not the fsync: if the
+        fsync raises (a hard error, or a simulated crash the harness
+        chooses to continue past), ``offset``/``next_seq`` still match
+        the file contents, so a retried append cannot frame a duplicate
+        sequence number at a stale offset.
+        """
+        entry = self.append_unsynced(payload)
+        self.sync()  # the commit point
+        return entry
 
     def append_unsynced(self, payload: bytes) -> LogEntry:
         """Append without forcing; pair with :meth:`sync` (group commit)."""
         framed, prefix_len = self._build(payload)
-        self.fs.append(self.name, framed)
+        try:
+            self.fs.append(self.name, framed)
+        except BaseException:
+            # The file may hold any prefix of ``framed``; realign the
+            # tracked offset with reality so later appends pad from the
+            # true end and recovery sees at worst one damaged region.
+            self._resync_offset_from_file()
+            raise
         return self._note_written(payload, framed, prefix_len)
 
     def append_many(self, payloads: list[bytes]) -> list[LogEntry]:
@@ -139,6 +152,15 @@ class LogWriter:
 
     def sync(self) -> None:
         self.fs.fsync(self.name)
+
+    def _resync_offset_from_file(self) -> None:
+        """Re-learn the true end of file after a failed append."""
+        try:
+            self.offset = self.fs.size(self.name)
+        except Exception:
+            # Even the size is unreadable; keep the stale offset — the
+            # next append will fail against the same broken substrate.
+            pass
 
     def size(self) -> int:
         return self.offset
@@ -223,10 +245,26 @@ class LogScan:
             page_size if page_size is not None else getattr(fs, "page_size", 512)
         )
         self._consumed = False
+        #: inside a run of page resyncs through one damaged region
+        self._in_damaged_run = False
 
     def _resync_offset(self, offset: int) -> int:
         """The next page boundary, where a padded log's entries start."""
         return (offset // self._page_size + 1) * self._page_size
+
+    def _note_resync_skip(self) -> None:
+        """Count a damaged region once, however many page resyncs it takes.
+
+        Every skip mechanism must feed :attr:`ScanOutcome.damaged_skipped`
+        or recovery under-reports damage; resync-based skips advance one
+        page at a time, so consecutive resyncs are one region, closed only
+        by the next successfully parsed entry.  A length-based skip counts
+        its entry and *keeps the run open*: the skipped entry's declared
+        end may land inside the same damaged pages.
+        """
+        if not self._in_damaged_run:
+            self.outcome.damaged_skipped += 1
+            self._in_damaged_run = True
 
     def __iter__(self):
         if self._consumed:
@@ -266,6 +304,7 @@ class LogScan:
                     chunk = self.fs.read_range(self.name, offset, 1)
                 except HardError:
                     if self.ignore_damaged:
+                        self._note_resync_skip()
                         offset = self._resync_offset(offset)
                         self._expected_seq = None
                         continue
@@ -280,6 +319,7 @@ class LogScan:
                 if chunk[advance] == MAGIC:
                     break
                 if self.ignore_damaged:
+                    self._note_resync_skip()
                     offset = self._resync_offset(offset)
                     self._expected_seq = None
                     continue
@@ -293,6 +333,7 @@ class LogScan:
             header = self.fs.read_range(self.name, offset, _MAX_HEADER)
         except HardError:
             if self.ignore_damaged:
+                self._note_resync_skip()
                 self._expected_seq = None
                 return None, self._resync_offset(offset)
             return self._stop(f"unreadable entry header at offset {offset}")
@@ -302,6 +343,7 @@ class LogScan:
             length = reader.read_varint()
         except Exception:
             if self.ignore_damaged:
+                self._note_resync_skip()
                 self._expected_seq = None
                 return None, self._resync_offset(offset)
             return self._stop(f"truncated entry header at offset {offset}")
@@ -309,6 +351,7 @@ class LogScan:
         end = body_start + length + _CRC_BYTES
         if end > size:
             if self.ignore_damaged:
+                self._note_resync_skip()
                 self._expected_seq = None
                 return None, self._resync_offset(offset)
             return self._stop(f"entry at offset {offset} extends past end of log")
@@ -320,6 +363,9 @@ class LogScan:
         except HardError:
             if self.ignore_damaged:
                 self.outcome.damaged_skipped += 1
+                # The declared end may still sit inside the damaged pages;
+                # any immediate resync continues this already-counted run.
+                self._in_damaged_run = True
                 self._expected_seq = None  # type: ignore[assignment]
                 return None, end
             return self._stop(f"unreadable entry body at offset {offset}")
@@ -328,6 +374,8 @@ class LogScan:
         if crc_stored != crc_actual:
             if self.ignore_damaged:
                 self.outcome.damaged_skipped += 1
+                # As above: stay in the counted run until a good entry.
+                self._in_damaged_run = True
                 self._expected_seq = None  # type: ignore[assignment]
                 return None, end
             return self._stop(f"checksum mismatch at offset {offset}")
@@ -339,5 +387,6 @@ class LogScan:
                 )
             # Ignore mode: a gap after skipped damage is expected.
         self._expected_seq = seq + 1
+        self._in_damaged_run = False  # a good entry closes any damaged region
         payload = bytes(body[reader.offset - 1 : reader.offset - 1 + length])
         return LogEntry(seq, payload, offset, end - offset), end

@@ -57,6 +57,17 @@ class DatabaseStats:
     checkpoint_bytes_written: int = 0
     last_checkpoint_seconds: float = 0.0
     last_restart_seconds: float = 0.0
+    #: commit-point fsyncs on the log (one per immediate-mode update, one
+    #: per coordinator batch); checkpoint-file fsyncs are not included
+    log_fsyncs: int = 0
+    #: how many entries each commit fsync covered: {batch size: count}
+    commit_batch_histogram: dict[int, int] = field(default_factory=dict)
+    max_commit_batch: int = 0
+    #: seconds updates spent blocked on the commit barrier (cumulative)
+    commit_wait_seconds: float = 0.0
+    last_commit_wait_seconds: float = 0.0
+    #: updates that returned before their fsync (durability="relaxed")
+    relaxed_updates: int = 0
     cumulative: PhaseBreakdown = field(default_factory=PhaseBreakdown)
     last_update: PhaseBreakdown = field(default_factory=PhaseBreakdown)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -77,12 +88,15 @@ class DatabaseStats:
         apply_seconds: float,
         entry_bytes: int,
         payload_bytes: int,
+        commit_wait_seconds: float = 0.0,
     ) -> None:
         with self._lock:
             self.updates += 1
             self.log_entries_written += 1
             self.log_bytes_written += entry_bytes
             self.pickle_bytes_written += payload_bytes
+            self.commit_wait_seconds += commit_wait_seconds
+            self.last_commit_wait_seconds = commit_wait_seconds
             self.last_update = PhaseBreakdown(
                 explore_seconds, pickle_seconds, log_write_seconds, apply_seconds
             )
@@ -90,6 +104,25 @@ class DatabaseStats:
             self.cumulative.pickle_seconds += pickle_seconds
             self.cumulative.log_write_seconds += log_write_seconds
             self.cumulative.apply_seconds += apply_seconds
+
+    def record_commit_batch(self, size: int) -> None:
+        """One commit fsync just covered ``size`` log entries."""
+        with self._lock:
+            self.log_fsyncs += 1
+            self.commit_batch_histogram[size] = (
+                self.commit_batch_histogram.get(size, 0) + 1
+            )
+            if size > self.max_commit_batch:
+                self.max_commit_batch = size
+
+    def record_relaxed_updates(self, count: int = 1) -> None:
+        with self._lock:
+            self.relaxed_updates += count
+
+    def mean_commit_batch(self) -> float:
+        """Average entries per commit fsync (0.0 before any fsync)."""
+        with self._lock:
+            return self._mean_commit_batch_locked()
 
     def record_checkpoint(self, seconds: float, nbytes: int) -> None:
         with self._lock:
@@ -131,5 +164,17 @@ class DatabaseStats:
                 "checkpoint_bytes_written": self.checkpoint_bytes_written,
                 "last_checkpoint_seconds": self.last_checkpoint_seconds,
                 "last_restart_seconds": self.last_restart_seconds,
+                "log_fsyncs": self.log_fsyncs,
+                "commit_batch_histogram": dict(self.commit_batch_histogram),
+                "max_commit_batch": self.max_commit_batch,
+                "mean_commit_batch": self._mean_commit_batch_locked(),
+                "commit_wait_seconds": self.commit_wait_seconds,
+                "last_commit_wait_seconds": self.last_commit_wait_seconds,
+                "relaxed_updates": self.relaxed_updates,
                 "last_update": self.last_update.as_dict(),
             }
+
+    def _mean_commit_batch_locked(self) -> float:
+        total = sum(s * n for s, n in self.commit_batch_histogram.items())
+        fsyncs = sum(self.commit_batch_histogram.values())
+        return total / fsyncs if fsyncs else 0.0

@@ -75,8 +75,6 @@ class TestRemoteAccounts:
     def test_no_pickles_on_this_wire(self, registry):
         """The record marshalling is static: the encoded request/response
         carries no pickle type tags (sanity check of the mechanism)."""
-        from repro.rpc.interface import encode_request
-
         registry.create("alice")
         service = AccountService(registry)
         account = service.fetch("alice")

@@ -1,0 +1,71 @@
+"""The checkpoint-policy trigger must fire once per threshold crossing.
+
+Regression for a race in the inline trigger: the policy used to be
+evaluated after the update lock was released, so two committers crossing
+a threshold together could both see it crossed and stack two checkpoints
+back to back.  :meth:`Database.maybe_checkpoint` now makes the check and
+the claim atomic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from repro.core import EveryNUpdates
+from repro.core.policy import CheckpointPolicy
+
+
+class RendezvousPolicy(CheckpointPolicy):
+    """Fires at a threshold; stalls inside the check to widen the race.
+
+    The barrier forces two concurrent evaluations to meet *inside*
+    ``should_checkpoint`` when the implementation allows them to overlap
+    (the pre-fix behaviour, where both then saw the threshold crossed).
+    Under the atomic trigger the evaluations are serialised, the barrier
+    times out, and each thread just reads the current counter.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self.rendezvous = threading.Barrier(2, timeout=0.3)
+
+    def should_checkpoint(self, db) -> bool:
+        with contextlib.suppress(threading.BrokenBarrierError):
+            self.rendezvous.wait()
+        return db.entries_since_checkpoint >= self.threshold
+
+
+class TestCheckpointTriggerRace:
+    def test_two_committers_trigger_one_checkpoint(self, make_db):
+        db = make_db(policy=RendezvousPolicy(threshold=2))
+        errors: list[BaseException] = []
+
+        def worker(i: int) -> None:
+            try:
+                db.update("set", f"k{i}", i)
+            except BaseException as exc:  # surfaced via the errors list
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Exactly one checkpoint for the one threshold crossing.
+        assert db.stats.snapshot()["checkpoints"] == 1
+        assert db.version == 2
+        assert db.entries_since_checkpoint == 0
+
+    def test_maybe_checkpoint_reports_what_it_did(self, make_db):
+        db = make_db(policy=EveryNUpdates(2))
+        assert db.maybe_checkpoint() is False  # nothing committed yet
+        db.update("set", "a", 1)
+        db.update("set", "b", 2)  # the trigger fires inline here
+        assert db.stats.snapshot()["checkpoints"] == 1
+        assert db.maybe_checkpoint() is False  # counter was reset
+        assert db.maybe_checkpoint(EveryNUpdates(1)) is False  # still zero
+        db.update("set", "c", 3)
+        assert db.maybe_checkpoint(EveryNUpdates(1)) is True  # explicit policy
+        assert db.stats.snapshot()["checkpoints"] == 2

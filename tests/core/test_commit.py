@@ -1,0 +1,293 @@
+"""Group commit: the barrier, the coordinator and the durability modes."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import CommitBarrier, LockProtocolError
+from repro.core import Database, DatabaseError, GroupCommitDaemon
+from repro.core.commit import CommitCoordinator, CommitPolicy
+from repro.core.log import LogScan, LogWriter
+
+
+class TestCommitBarrier:
+    def test_tickets_are_monotonic(self):
+        barrier = CommitBarrier()
+        assert [barrier.issue() for _ in range(3)] == [1, 2, 3]
+        assert barrier.issued() == 3
+        assert barrier.pending() == 3
+
+    def test_leader_completes_all_pending(self):
+        barrier = CommitBarrier()
+        t1, t2 = barrier.issue(), barrier.issue()
+        claim = barrier.try_lead()
+        assert claim == 2
+        assert barrier.try_lead() is None  # leadership is exclusive
+        barrier.finish(claim)
+        assert barrier.is_complete(t1) and barrier.is_complete(t2)
+        assert barrier.pending() == 0
+        assert barrier.try_lead() is None  # nothing left to lead
+
+    def test_hold_absorbs_joiners(self):
+        barrier = CommitBarrier()
+        barrier.issue()
+        assert barrier.try_lead() == 1
+        joiner = threading.Thread(target=barrier.issue)
+        joiner.start()
+        claim = barrier.hold(2, timeout=5.0)
+        joiner.join()
+        assert claim == 2
+        barrier.finish(claim)
+        assert barrier.pending() == 0
+
+    def test_hold_returns_on_timeout(self):
+        barrier = CommitBarrier()
+        barrier.issue()
+        assert barrier.try_lead() == 1
+        assert barrier.hold(5, timeout=0.01) == 1  # batch stays what it was
+
+    def test_leader_protocol_enforced(self):
+        barrier = CommitBarrier()
+        with pytest.raises(LockProtocolError):
+            barrier.finish(1)
+        with pytest.raises(LockProtocolError):
+            barrier.hold(1, timeout=0.01)
+
+    def test_failure_is_sticky(self):
+        barrier = CommitBarrier()
+        barrier.issue()
+        assert barrier.try_lead() == 1
+        barrier.fail(RuntimeError("disk on fire"))
+        with pytest.raises(RuntimeError):
+            barrier.is_complete(1)
+        with pytest.raises(RuntimeError):
+            barrier.issue()
+
+    def test_wait_progress_reraises_leader_failure(self):
+        barrier = CommitBarrier()
+        ticket = barrier.issue()
+        assert barrier.try_lead() == 1
+        seen: list[BaseException] = []
+
+        def waiter():
+            try:
+                barrier.wait_progress(ticket, timeout=5.0)
+            except RuntimeError as exc:
+                seen.append(exc)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        barrier.fail(RuntimeError("boom"))
+        thread.join()
+        assert len(seen) == 1
+
+
+class _ExplodingWriter:
+    """A stand-in log writer whose shared fsync always fails."""
+
+    def sync(self):
+        raise RuntimeError("sync failed")
+
+
+class TestCommitCoordinator:
+    def test_wait_durable_leads_one_fsync(self, fs, clock):
+        writer = LogWriter(fs, "log")
+        coordinator = CommitCoordinator(writer, clock)
+        writer.append_unsynced(b"a")
+        t1 = coordinator.note_append()
+        writer.append_unsynced(b"b")
+        t2 = coordinator.note_append()
+        before = fs.fsync_calls
+        coordinator.wait_durable(t2)
+        assert fs.fsync_calls == before + 1  # one fsync covered both
+        assert coordinator.pending() == 0
+        assert coordinator.barrier.is_complete(t1)
+        fs.crash()
+        assert [e.payload for e in LogScan(fs, "log")] == [b"a", b"b"]
+
+    def test_flush_covers_backlog(self, fs, clock):
+        writer = LogWriter(fs, "log")
+        coordinator = CommitCoordinator(writer, clock)
+        writer.append_unsynced(b"a")
+        coordinator.note_append()
+        assert coordinator.pending() == 1
+        coordinator.flush()
+        assert coordinator.pending() == 0
+        coordinator.flush()  # idempotent with nothing staged
+
+    def test_rebind_requires_flush(self, fs, clock):
+        writer = LogWriter(fs, "log")
+        coordinator = CommitCoordinator(writer, clock)
+        writer.append_unsynced(b"a")
+        coordinator.note_append()
+        replacement = LogWriter(fs, "log2")
+        with pytest.raises(DatabaseError):
+            coordinator.rebind(replacement)
+        coordinator.flush()
+        coordinator.rebind(replacement)
+        assert coordinator.writer is replacement
+
+    def test_leader_failure_poisons_waiters(self, fs, clock):
+        coordinator = CommitCoordinator(_ExplodingWriter(), clock)
+        ticket = coordinator.note_append()
+        with pytest.raises(RuntimeError):
+            coordinator.wait_durable(ticket)
+        with pytest.raises(RuntimeError):  # sticky: nothing is provably durable
+            coordinator.wait_durable(ticket)
+
+
+class TestCommitPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommitPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            CommitPolicy(max_hold_seconds=-1.0)
+
+    def test_invalid_durability_rejected(self, fs, kv_ops):
+        with pytest.raises(ValueError):
+            Database(fs, operations=kv_ops, durability="yolo")
+
+
+class TestDurabilityModes:
+    def test_group_mode_is_durable_on_return(self, fs, make_db):
+        db = make_db()  # durability="group" is the default
+        db.update("set", "k", 1)
+        assert db.pending_commits() == 0
+        fs.crash()
+        db2 = make_db()
+        assert db2.enquire(lambda root: root["k"]) == 1
+
+    def test_group_mode_single_update_costs_one_fsync(self, fs, db):
+        before = fs.fsync_calls
+        db.update("set", "k", 1)
+        assert fs.fsync_calls == before + 1
+        snap = db.stats.snapshot()
+        assert snap["log_fsyncs"] == 1
+        assert snap["commit_batch_histogram"] == {1: 1}
+        assert snap["mean_commit_batch"] == 1.0
+
+    def test_immediate_mode_counts_its_fsyncs(self, fs, make_db):
+        db = make_db(durability="immediate")
+        for i in range(3):
+            db.update("set", f"k{i}", i)
+        snap = db.stats.snapshot()
+        assert snap["log_fsyncs"] == 3
+        assert snap["commit_batch_histogram"] == {1: 3}
+        assert snap["commit_wait_seconds"] == 0.0
+
+    def test_relaxed_update_can_be_lost(self, fs, make_db):
+        db = make_db(durability="relaxed")
+        db.update("set", "k", 1)
+        assert db.pending_commits() == 1
+        assert db.stats.snapshot()["relaxed_updates"] == 1
+        fs.crash()  # before any flush
+        db2 = make_db()
+        assert db2.enquire(lambda root: "k" in root) is False
+
+    def test_relaxed_update_durable_after_flush(self, fs, make_db):
+        db = make_db(durability="relaxed")
+        db.update("set", "k", 1)
+        db.flush()
+        assert db.pending_commits() == 0
+        fs.crash()
+        db2 = make_db()
+        assert db2.enquire(lambda root: root["k"]) == 1
+
+    def test_close_flushes_relaxed_backlog(self, fs, make_db):
+        db = make_db(durability="relaxed")
+        db.update("set", "k", 1)
+        db.close()
+        fs.crash()
+        db2 = make_db()
+        assert db2.enquire(lambda root: root["k"]) == 1
+
+    def test_update_many_shares_one_fsync_in_group_mode(self, fs, db):
+        before = fs.fsync_calls
+        db.update_many([("set", ("a", 1)), ("set", ("b", 2)), ("set", ("c", 3))])
+        assert fs.fsync_calls == before + 1
+        snap = db.stats.snapshot()
+        assert snap["log_fsyncs"] == 1
+        assert snap["max_commit_batch"] == 3
+
+    def test_checkpoint_flushes_then_rebinds(self, fs, make_db):
+        db = make_db(durability="relaxed")
+        db.update("set", "a", 1)
+        assert db.pending_commits() == 1
+        db.checkpoint()  # must retire the backlog before superseding the log
+        assert db.pending_commits() == 0
+        db.update("set", "b", 2)
+        db.flush()
+        fs.crash()
+        db2 = make_db()
+        assert db2.enquire(lambda root: dict(root)) == {"a": 1, "b": 2}
+
+    def test_group_commit_continues_across_checkpoint(self, fs, make_db):
+        db = make_db()
+        db.update("set", "a", 1)
+        db.checkpoint()
+        db.update("set", "b", 2)  # tickets stay monotonic across the rebind
+        fs.crash()
+        db2 = make_db()
+        assert db2.enquire(lambda root: dict(root)) == {"a": 1, "b": 2}
+
+
+class TestConcurrentBatching:
+    def test_concurrent_updates_share_fsyncs(self, fs, make_db):
+        nthreads = 8
+        db = make_db(
+            commit_policy=CommitPolicy(max_batch=nthreads, max_hold_seconds=0.5),
+        )
+        start = threading.Barrier(nthreads)
+        errors: list[BaseException] = []
+
+        def worker(i: int) -> None:
+            try:
+                start.wait(timeout=10.0)
+                db.update("set", f"k{i}", i)
+            except BaseException as exc:  # surfaced via the errors list
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        snap = db.stats.snapshot()
+        histogram = snap["commit_batch_histogram"]
+        assert sum(size * count for size, count in histogram.items()) == nthreads
+        assert snap["log_fsyncs"] < nthreads  # at least one shared fsync
+        assert snap["max_commit_batch"] >= 2
+        assert snap["commit_wait_seconds"] >= 0.0
+        # Durable on return held for every member of every batch.
+        fs.crash()
+        db2 = make_db()
+        recovered = db2.enquire(lambda root: dict(root))
+        assert recovered == {f"k{i}": i for i in range(nthreads)}
+
+
+class TestGroupCommitDaemon:
+    def test_daemon_flushes_relaxed_backlog(self, fs, make_db):
+        db = make_db(durability="relaxed")
+        with GroupCommitDaemon(db, flush_interval=0.005) as daemon:
+            db.update("set", "k", 1)
+            deadline = time.monotonic() + 5.0
+            while db.pending_commits() and time.monotonic() < deadline:
+                time.sleep(0.005)
+        assert daemon.last_error is None
+        assert daemon.flushes >= 1
+        assert db.pending_commits() == 0
+        fs.crash()
+        db2 = make_db()
+        assert db2.enquire(lambda root: root["k"]) == 1
+
+    def test_daemon_idles_on_strict_database(self, fs, db):
+        with GroupCommitDaemon(db, flush_interval=0.005) as daemon:
+            db.update("set", "k", 1)
+        assert daemon.last_error is None
+        assert db.pending_commits() == 0

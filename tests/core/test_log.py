@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.log import LogScan, LogWriter, encode_entry
 from repro.sim import SimClock
-from repro.storage import SimFS, SimulatedCrash
+from repro.storage import HardError, SimFS, SimulatedCrash
 
 
 @pytest.fixture
@@ -207,6 +207,95 @@ class TestDamage:
         entries, outcome = scan_all(fs, "log", ignore_damaged=True)
         assert [e.payload for e in entries] == [b"one", b"three"]
         assert not outcome.truncated
+        # The resync skips count: one damaged region, however many page
+        # hops it took to cross entry 2's three pages.
+        assert outcome.damaged_skipped == 1
+
+    def test_bad_magic_region_counted_when_ignoring(self, fs):
+        """Garbage between entries is skipped *and counted* in ignore mode."""
+        writer = LogWriter(fs, "log")
+        writer.append(b"one")
+        fs.append("log", b"\x77" * 20)  # garbage, not a torn page
+        resumed = LogWriter(fs, "log", start_seq=2)
+        resumed.append(b"two")
+        entries, outcome = scan_all(fs, "log", ignore_damaged=True)
+        assert [e.payload for e in entries] == [b"one", b"two"]
+        assert outcome.damaged_skipped == 1
+        assert outcome.damage is None
+
+    def test_separate_damaged_regions_counted_separately(self, fs):
+        """A good entry closes a damaged region; later damage counts anew."""
+        writer = LogWriter(fs, "log")
+        for payload in (b"a", b"b", b"c", b"d", b"e"):
+            writer.append(payload)  # one page each
+        fs.crash()
+        fs.corrupt("log", 512)  # entry b's header page
+        fs.corrupt("log", 512 * 3)  # entry d's header page
+        entries, outcome = scan_all(fs, "log", ignore_damaged=True)
+        assert [e.payload for e in entries] == [b"a", b"c", b"e"]
+        assert outcome.damaged_skipped == 2
+        assert outcome.damage is None
+
+
+class _PartialAppendFS:
+    """Delegates to an inner FS; one append can fail after a partial write."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.fail_next_after: int | None = None
+
+    def append(self, name, data):
+        if self.fail_next_after is not None:
+            partial, self.fail_next_after = data[: self.fail_next_after], None
+            self._inner.append(name, partial)
+            raise HardError("append failed midway")
+        return self._inner.append(name, data)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestAppendFaultTolerance:
+    """Writer bookkeeping must track the file even when appends fail."""
+
+    def test_bookkeeping_survives_fsync_crash(self, fs):
+        """An fsync that raises after the append must not desync offsets.
+
+        Regression: the writer used to advance ``offset``/``next_seq``
+        only after the fsync, so a failed commit left them stale and the
+        next append reframed a duplicate sequence number with the wrong
+        padding.
+        """
+        writer = LogWriter(fs, "log")
+        writer.append(b"one")
+        injector = fs.injector
+        injector.crash_at_event = injector.events_seen + 1
+        with pytest.raises(SimulatedCrash):
+            writer.append(b"two")  # append lands, the commit fsync crashes
+        injector.disarm()
+        writer.append(b"three")
+        assert writer.offset == fs.size("log")
+        entries, outcome = scan_all(fs, "log")
+        assert [e.seq for e in entries] == [1, 2, 3]
+        assert [e.payload for e in entries] == [b"one", b"two", b"three"]
+        assert outcome.damage is None
+
+    def test_partial_append_resyncs_offset(self, fs):
+        """A mid-append failure realigns the offset to the file's true end,
+        so later entries pad correctly and recovery sees one damaged
+        region."""
+        broken = _PartialAppendFS(fs)
+        writer = LogWriter(broken, "log")
+        writer.append(b"one")
+        broken.fail_next_after = 5
+        with pytest.raises(HardError):
+            writer.append(b"never-committed")
+        assert writer.offset == fs.size("log")
+        writer.append(b"three")
+        entries, outcome = scan_all(fs, "log", ignore_damaged=True)
+        assert [e.payload for e in entries] == [b"one", b"three"]
+        assert outcome.damaged_skipped == 1
+        assert outcome.damage is None
 
     def test_bad_magic_stops_scan(self, fs):
         writer = LogWriter(fs, "log")
