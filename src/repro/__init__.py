@@ -55,10 +55,22 @@ from repro.nameserver import (
     RemoteNameServer,
     Replica,
     ReplicaGroup,
+    ResilientReplicaGroup,
     restore_replica,
 )
 from repro.pickles import TypeRegistry, pickle_read, pickle_write, pickleable
-from repro.rpc import Interface, LoopbackTransport, RpcServer, TcpServerThread, TcpTransport, connect
+from repro.rpc import (
+    CallMaybeExecuted,
+    FaultyTransport,
+    Interface,
+    LoopbackTransport,
+    NetworkFaultInjector,
+    RetryPolicy,
+    RpcServer,
+    TcpServerThread,
+    TcpTransport,
+    connect,
+)
 from repro.sim import MICROVAX_II, SimClock, WallClock
 from repro.storage import LocalFS, SimFS
 
@@ -66,11 +78,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnyOf",
+    "CallMaybeExecuted",
     "CheckpointPolicy",
     "CommitPolicy",
     "Database",
     "DatabaseError",
     "EveryNUpdates",
+    "FaultyTransport",
     "GroupCommitDaemon",
     "Interface",
     "LocalFS",
@@ -82,6 +96,7 @@ __all__ = [
     "NameExists",
     "NameNotFound",
     "NameServer",
+    "NetworkFaultInjector",
     "Never",
     "OperationRegistry",
     "Periodic",
@@ -90,6 +105,8 @@ __all__ = [
     "RemoteNameServer",
     "Replica",
     "ReplicaGroup",
+    "ResilientReplicaGroup",
+    "RetryPolicy",
     "RpcServer",
     "SUELock",
     "SimClock",

@@ -26,9 +26,14 @@ from repro.nameserver.operations import (
     updates_since,
 )
 from repro.nameserver.replication import (
+    AllPeersUnavailable,
+    CircuitBreaker,
     PeerUnavailable,
+    ReadResult,
     Replica,
     ReplicaGroup,
+    ResilientReplicaGroup,
+    SyncReport,
     restore_replica,
 )
 from repro.nameserver.server import (
@@ -49,7 +54,9 @@ from repro.nameserver.tree import (
 )
 
 __all__ = [
+    "AllPeersUnavailable",
     "BadPath",
+    "CircuitBreaker",
     "Leaf",
     "MANAGEMENT_INTERFACE",
     "ManagementService",
@@ -61,9 +68,12 @@ __all__ = [
     "NameServerError",
     "Node",
     "PeerUnavailable",
+    "ReadResult",
     "RemoteManagement",
     "RemoteNameServer",
     "Replica",
+    "ResilientReplicaGroup",
+    "SyncReport",
     "glob_entries",
     "parse_pattern",
     "ReplicaGroup",

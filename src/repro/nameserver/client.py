@@ -15,10 +15,15 @@ from repro.rpc import RpcClient, Transport
 
 
 class RemoteNameServer:
-    """A typed facade over the generated name server stubs."""
+    """A typed facade over the generated name server stubs.
 
-    def __init__(self, transport: Transport) -> None:
-        self._client = RpcClient(NAMESERVER_INTERFACE, transport)
+    Keyword options (``retry``, ``clock``, ``client_id``, ``rng``) pass
+    through to :class:`~repro.rpc.client.RpcClient`, so a remote name
+    server gets retransmission with at-most-once semantics by default.
+    """
+
+    def __init__(self, transport: Transport, **client_options: object) -> None:
+        self._client = RpcClient(NAMESERVER_INTERFACE, transport, **client_options)
         self._proxy = self._client.proxy()
 
     # -- enquiries -----------------------------------------------------------
@@ -79,6 +84,11 @@ class RemoteNameServer:
     @property
     def calls_made(self) -> int:
         return self._client.calls_made
+
+    @property
+    def stats(self):
+        """The underlying :class:`~repro.rpc.retry.RpcClientStats`."""
+        return self._client.stats
 
     def close(self) -> None:
         self._client.close()

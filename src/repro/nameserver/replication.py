@@ -27,12 +27,20 @@ TCP deployments.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.nameserver.server import NameServer
+from repro.rpc.errors import CallMaybeExecuted, TransportError
+from repro.sim.clock import Clock, WallClock
 from repro.storage.interface import FileSystem
 
 
 class PeerUnavailable(Exception):
     """The peer could not be reached for propagation or sync."""
+
+
+class AllPeersUnavailable(PeerUnavailable):
+    """Every replica in the group is down or circuit-broken."""
 
 
 class Replica(NameServer):
@@ -169,3 +177,326 @@ class ReplicaGroup:
 
 def _entries(server: NameServer):
     return server.read_subtree(())
+
+
+# -- graceful degradation -----------------------------------------------------
+
+#: Exceptions that mean "the peer, or the path to it, failed" — everything
+#: else (NameNotFound, NameExists…) is an application answer and proves the
+#: peer healthy.  OSError covers raw socket/file failures from local peers.
+COMMUNICATION_ERRORS = (PeerUnavailable, TransportError, OSError)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """A per-peer circuit breaker: closed → open → half-open → closed.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allow` refuses traffic (no timeouts wasted on a dead
+    peer) until ``reset_timeout_seconds`` have passed on the injected
+    clock, after which exactly one probe call is allowed (half-open).
+    The probe's outcome either closes the circuit or re-opens it for
+    another full timeout.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        failure_threshold: int = 3,
+        reset_timeout_seconds: float = 30.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold counts from 1")
+        if reset_timeout_seconds < 0:
+            raise ValueError("reset timeout cannot be negative")
+        self.clock = clock if clock is not None else WallClock()
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_seconds = reset_timeout_seconds
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.times_opened = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """Whether a call to this peer should be attempted now."""
+        if self.state == OPEN:
+            if (
+                self.clock.now() - self._opened_at
+                >= self.reset_timeout_seconds
+            ):
+                self.state = HALF_OPEN  # one probe may pass
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state != OPEN:
+                self.times_opened += 1
+            self.state = OPEN
+            self._opened_at = self.clock.now()
+
+
+@dataclass
+class ReadResult:
+    """A read served by a possibly-degraded replica group.
+
+    ``degraded`` is True when the preferred (first listed) replica did not
+    serve the read; ``lag`` then reports how many updates the serving
+    replica is known to be missing relative to the freshest version
+    vector the group has seen (0 = fully caught up as far as anyone
+    knows, ``None`` = staleness could not be assessed).
+    """
+
+    value: object
+    served_by: str
+    degraded: bool = False
+    lag: int | None = 0
+    peers_tried: int = 1
+
+
+@dataclass
+class SyncReport:
+    """Outcome of one degraded-tolerant anti-entropy round."""
+
+    records_moved: int = 0
+    peers_synced: int = 0
+    peers_skipped: list[str] = field(default_factory=list)
+    peers_failed: list[str] = field(default_factory=list)
+
+
+class ResilientReplicaGroup:
+    """Drives a replica set that keeps answering while peers fail.
+
+    Where :class:`ReplicaGroup` assumes every replica is reachable (its
+    sync raises :class:`PeerUnavailable` on first failure), this wrapper
+    assumes failure is normal: each peer sits behind a
+    :class:`CircuitBreaker`, reads fail over to live peers with explicit
+    staleness reporting (:class:`ReadResult`), updates fail over to the
+    first live peer, and anti-entropy skips broken peers instead of
+    aborting the round.  Peers may be local :class:`Replica` objects,
+    :class:`~repro.nameserver.client.RemoteNameServer` proxies, or any
+    mix — all that is required is the replication hook surface.
+    """
+
+    def __init__(
+        self,
+        peers: list[object],
+        peer_ids: list[str] | None = None,
+        clock: Clock | None = None,
+        failure_threshold: int = 3,
+        reset_timeout_seconds: float = 30.0,
+        track_staleness: bool = True,
+    ) -> None:
+        if not peers:
+            raise ValueError("a replica group needs at least one peer")
+        #: when False, reads skip the extra ``summary()`` round trip and
+        #: report ``lag=None`` (cheaper, but staleness is unassessed)
+        self.track_staleness = track_staleness
+        self.peers = list(peers)
+        if peer_ids is None:
+            peer_ids = [
+                str(getattr(peer, "replica_id", f"peer{i}"))
+                for i, peer in enumerate(self.peers)
+            ]
+        if len(peer_ids) != len(self.peers):
+            raise ValueError("one peer_id per peer")
+        self.peer_ids = list(peer_ids)
+        self.clock = clock if clock is not None else WallClock()
+        self.breakers = {
+            peer_id: CircuitBreaker(
+                self.clock, failure_threshold, reset_timeout_seconds
+            )
+            for peer_id in self.peer_ids
+        }
+        self.last_errors: dict[str, str | None] = {
+            peer_id: None for peer_id in self.peer_ids
+        }
+        #: freshest version vector observed from any peer (origin → seq)
+        self.best_vector: dict[str, int] = {}
+        self.failovers = 0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _available(self) -> list[tuple[int, str, object]]:
+        return [
+            (index, peer_id, peer)
+            for index, (peer_id, peer) in enumerate(
+                zip(self.peer_ids, self.peers)
+            )
+            if self.breakers[peer_id].allow()
+        ]
+
+    def _success(self, peer_id: str) -> None:
+        self.breakers[peer_id].record_success()
+        self.last_errors[peer_id] = None
+
+    def _failure(self, peer_id: str, exc: Exception) -> None:
+        self.breakers[peer_id].record_failure()
+        self.last_errors[peer_id] = repr(exc)
+
+    def _note_vector(self, vector: dict[str, int]) -> None:
+        for origin, seq in vector.items():
+            if seq > self.best_vector.get(origin, -1):
+                self.best_vector[origin] = seq
+
+    def _lag_of(self, vector: dict[str, int]) -> int:
+        return sum(
+            best - vector.get(origin, 0)
+            for origin, best in self.best_vector.items()
+            if best > vector.get(origin, 0)
+        )
+
+    # -- degraded reads -------------------------------------------------------
+
+    def read(self, method: str, *args: object) -> ReadResult:
+        """Serve one enquiry from the first live peer, reporting staleness.
+
+        Application-level errors (``NameNotFound``…) propagate untouched:
+        they are answers, not failures.  Communication failures rotate to
+        the next peer — including :class:`CallMaybeExecuted`, which is
+        harmless for an enquiry (re-asking elsewhere has no side effect,
+        unlike :meth:`update`) — and only when every peer is broken does
+        :class:`AllPeersUnavailable` surface.
+        """
+        candidates = self._available()
+        tried = 0
+        for index, peer_id, peer in candidates:
+            tried += 1
+            try:
+                value = getattr(peer, method)(*args)
+                vector = dict(peer.summary()) if self.track_staleness else None
+            except (CallMaybeExecuted, *COMMUNICATION_ERRORS) as exc:
+                self._failure(peer_id, exc)
+                continue
+            self._success(peer_id)
+            lag = None
+            if vector is not None:
+                self._note_vector(vector)
+                lag = self._lag_of(vector)
+            degraded = index != 0
+            if degraded:
+                self.failovers += 1
+            return ReadResult(
+                value=value,
+                served_by=peer_id,
+                degraded=degraded,
+                lag=lag,
+                peers_tried=tried,
+            )
+        raise AllPeersUnavailable(
+            f"no replica answered {method!r}: "
+            f"{len(candidates)} tried, "
+            f"{len(self.peers) - len(candidates)} circuit-broken"
+        )
+
+    def lookup(self, path) -> ReadResult:
+        return self.read("lookup", path)
+
+    def exists(self, path) -> ReadResult:
+        return self.read("exists", path)
+
+    def list_dir(self, path=()) -> ReadResult:
+        return self.read("list_dir", path)
+
+    def count(self) -> ReadResult:
+        return self.read("count")
+
+    # -- updates with failover ------------------------------------------------
+
+    def update(self, method: str, *args: object) -> str:
+        """Apply one update at the first live peer; returns its peer id.
+
+        A :class:`~repro.rpc.errors.CallMaybeExecuted` from a remote peer
+        is *not* grounds for failover — blindly reissuing elsewhere could
+        apply the update twice under two origins — so it propagates to the
+        caller, who can retry through the same client safely.
+        """
+        candidates = self._available()
+        for index, peer_id, peer in candidates:
+            try:
+                getattr(peer, method)(*args)
+            except COMMUNICATION_ERRORS as exc:
+                # CallMaybeExecuted is RpcError, not TransportError, so it
+                # is never swallowed here.
+                self._failure(peer_id, exc)
+                continue
+            self._success(peer_id)
+            if index != 0:
+                self.failovers += 1
+            return peer_id
+        raise AllPeersUnavailable(
+            f"no replica accepted {method!r}: "
+            f"{len(candidates)} tried, "
+            f"{len(self.peers) - len(candidates)} circuit-broken"
+        )
+
+    def bind(self, path, value, exclusive: bool = False) -> str:
+        return self.update("bind", path, value, exclusive)
+
+    def unbind(self, path) -> str:
+        return self.update("unbind", path)
+
+    # -- degraded anti-entropy ------------------------------------------------
+
+    def sync_round(self) -> SyncReport:
+        """One gossip ring pass that tolerates broken peers.
+
+        Each live peer pulls from its nearest live ring successor; broken
+        peers are reported in the result instead of aborting the round
+        (contrast :meth:`ReplicaGroup.anti_entropy_round`).
+        """
+        report = SyncReport()
+        live = self._available()
+        broken = set(self.peer_ids) - {peer_id for _, peer_id, _ in live}
+        report.peers_skipped = sorted(broken)
+        if len(live) < 2:
+            return report
+        for position, (_, peer_id, peer) in enumerate(live):
+            _, source_id, source = live[(position + 1) % len(live)]
+            try:
+                records = source.updates_since(peer.summary())
+                moved = peer.apply_remote(records) if records else 0
+                self._note_vector(dict(peer.summary()))
+            except (CallMaybeExecuted, *COMMUNICATION_ERRORS) as exc:
+                # An ambiguous apply_remote is tolerable here: remote
+                # apply is idempotent (version-vector filtered), so the
+                # next round converges regardless.
+                # Attribute the failure to whichever side broke; opening
+                # both is safe (each will be re-probed) but imprecise.
+                self._failure(peer_id, exc)
+                self._failure(source_id, exc)
+                report.peers_failed.append(peer_id)
+                continue
+            self._success(peer_id)
+            self._success(source_id)
+            report.peers_synced += 1
+            report.records_moved += moved
+        return report
+
+    # -- observability --------------------------------------------------------
+
+    def status(self) -> dict[str, dict[str, object]]:
+        """Per-peer circuit state and last error, for operators."""
+        return {
+            peer_id: {
+                "state": self.breakers[peer_id].state,
+                "consecutive_failures": self.breakers[
+                    peer_id
+                ].consecutive_failures,
+                "times_opened": self.breakers[peer_id].times_opened,
+                "last_error": self.last_errors[peer_id],
+            }
+            for peer_id in self.peer_ids
+        }

@@ -7,6 +7,16 @@ statically typed values.  This package reproduces that: declare an
 :class:`Interface`, export an implementation through :class:`RpcServer`,
 and :func:`connect` hands back a generated proxy.
 
+The paper further leans on RPC *semantics* — the call either executes or
+raises — which this package provides over a faulty network: clients
+number their calls and retransmit with jittered backoff
+(:class:`~repro.rpc.retry.RetryPolicy`), the server answers recognised
+duplicates from a per-client :class:`~repro.rpc.server.ReplyCache`
+instead of re-executing (at-most-once), and the one irreducible
+ambiguity is surfaced honestly as :class:`CallMaybeExecuted`.  The
+:mod:`~repro.rpc.faults` module makes every network failure mode
+deterministically reachable for the sweep in :mod:`repro.sim.netsweep`.
+
 >>> from repro.rpc import Interface, Int, RpcServer, LoopbackTransport, connect
 >>> calc = Interface("Calculator")
 >>> _ = calc.method("add", params=[("a", Int), ("b", Int)], returns=Int)
@@ -23,14 +33,24 @@ and :func:`connect` hands back a generated proxy.
 from repro.rpc.client import Proxy, RpcClient, connect
 from repro.rpc.errors import (
     BadRequest,
+    CallMaybeExecuted,
+    DeadlineExpired,
     MarshalError,
     RemoteError,
     RpcError,
+    StaleCall,
+    TransportClosed,
     TransportError,
     UnknownInterface,
     UnknownMethod,
 )
-from repro.rpc.interface import Interface, MethodSpec
+from repro.rpc.faults import (
+    FaultyTransport,
+    NetworkFault,
+    NetworkFaultInjector,
+    NullNetworkInjector,
+)
+from repro.rpc.interface import CallHeader, Interface, MethodSpec
 from repro.rpc.marshal import (
     Bool,
     Bytes,
@@ -46,7 +66,8 @@ from repro.rpc.marshal import (
     TypeExpr,
     Void,
 )
-from repro.rpc.server import RpcServer
+from repro.rpc.retry import NO_RETRY, RetryPolicy, RpcClientStats
+from repro.rpc.server import ReplyCache, RpcServer
 from repro.rpc.transport import (
     LAN_1987,
     LoopbackTransport,
@@ -61,7 +82,11 @@ __all__ = [
     "BadRequest",
     "Bool",
     "Bytes",
+    "CallHeader",
+    "CallMaybeExecuted",
+    "DeadlineExpired",
     "DictOf",
+    "FaultyTransport",
     "Float",
     "Int",
     "Interface",
@@ -70,20 +95,29 @@ __all__ = [
     "LoopbackTransport",
     "MarshalError",
     "MethodSpec",
+    "NO_RETRY",
     "NULL_NETWORK",
+    "NetworkFault",
+    "NetworkFaultInjector",
     "NetworkModel",
+    "NullNetworkInjector",
     "OptionalOf",
     "Pickled",
     "Proxy",
     "RecordOf",
     "RemoteError",
+    "ReplyCache",
+    "RetryPolicy",
     "RpcClient",
+    "RpcClientStats",
     "RpcError",
     "RpcServer",
+    "StaleCall",
     "Str",
     "TcpServerThread",
     "TcpTransport",
     "Transport",
+    "TransportClosed",
     "TransportError",
     "TupleOf",
     "TypeExpr",

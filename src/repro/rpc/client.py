@@ -1,9 +1,30 @@
-"""The RPC client: generated proxies over a transport."""
+"""The RPC client: generated proxies over a transport, with retries.
+
+A client owns a ``client_id`` and numbers its calls; every retransmission
+of a call reuses the same sequence number, so the server's reply cache
+(:class:`repro.rpc.server.ReplyCache`) recognises duplicates and answers
+them without re-executing.  Together with bounded, jittered retries and a
+per-call deadline this gives the paper's RPC contract — the call either
+executes (at most once) or raises — with one honest exception: when the
+deadline expires and the request may have been delivered, the client
+raises :class:`~repro.rpc.errors.CallMaybeExecuted` instead of guessing.
+"""
 
 from __future__ import annotations
 
+import random
+import threading
+import uuid
+
 from repro.pickles.wire import WireReader
-from repro.rpc.errors import BadRequest, RemoteError
+from repro.rpc.errors import (
+    BadRequest,
+    CallMaybeExecuted,
+    DeadlineExpired,
+    RemoteError,
+    TransportClosed,
+    TransportError,
+)
 from repro.rpc.interface import (
     STATUS_APP_ERROR,
     STATUS_OK,
@@ -12,23 +33,104 @@ from repro.rpc.interface import (
     MethodSpec,
     encode_request,
 )
+from repro.rpc.retry import RetryPolicy, RpcClientStats
 from repro.rpc.transport import Transport
+from repro.sim.clock import Clock, WallClock
 
 
 class RpcClient:
-    """Binds an interface to a transport and generates a proxy."""
+    """Binds an interface to a transport and generates a proxy.
 
-    def __init__(self, interface: Interface, transport: Transport) -> None:
+    ``retry`` selects the retransmission policy (default: 4 attempts,
+    exponential backoff with full jitter, 30 s deadline; pass
+    :data:`~repro.rpc.retry.NO_RETRY` for the seed's single-send
+    behaviour).  ``clock`` and ``rng`` are injectable so retry schedules
+    are testable deterministically and without real sleeps.
+    """
+
+    def __init__(
+        self,
+        interface: Interface,
+        transport: Transport,
+        *,
+        client_id: str | None = None,
+        retry: RetryPolicy | None = None,
+        clock: Clock | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
         self.interface = interface
         self.transport = transport
-        self.calls_made = 0
+        self.client_id = uuid.uuid4().hex if client_id is None else client_id
+        self.retry = RetryPolicy() if retry is None else retry
+        self.clock = WallClock() if clock is None else clock
+        self.rng = random.Random() if rng is None else rng
+        self.stats = RpcClientStats()
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+
+    @property
+    def calls_made(self) -> int:
+        """Transport attempts, *including* failed ones (see ``stats``)."""
+        return self.stats.attempts
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
 
     def call(self, method: str, *args: object) -> object:
         """Invoke one remote method (the proxy's methods route here)."""
-        request = encode_request(self.interface, method, args)
-        response = self.transport.call(request)
-        self.calls_made += 1
-        return self._decode_response(self.interface.spec(method), response)
+        spec = self.interface.spec(method)
+        seq = self._next_seq()
+        request = encode_request(
+            self.interface, method, args, client_id=self.client_id, seq=seq
+        )
+        self.stats.record_call()
+        response = self._send_with_retries(method, seq, request)
+        return self._decode_response(spec, response)
+
+    def _send_with_retries(self, method: str, seq: int, request: bytes) -> bytes:
+        policy = self.retry
+        deadline = (
+            None
+            if policy.deadline_seconds is None
+            else self.clock.now() + policy.deadline_seconds
+        )
+        maybe_delivered = False
+        attempts = 0
+        while True:
+            attempts += 1
+            self.stats.record_attempt()
+            try:
+                return self.transport.call(request)
+            except TransportClosed:
+                # A deliberate local close, not a network fault: no retry,
+                # and the request never left, so plain propagation is right.
+                self.stats.record_failure()
+                raise
+            except TransportError as exc:
+                maybe_delivered = maybe_delivered or exc.maybe_delivered
+                self.stats.record_transport_failure()
+                expired = deadline is not None and self.clock.now() >= deadline
+                if attempts >= policy.max_attempts or expired:
+                    self.stats.record_failure(
+                        maybe_executed=maybe_delivered, deadline=expired
+                    )
+                    if maybe_delivered:
+                        raise CallMaybeExecuted(method, seq, attempts) from exc
+                    if expired:
+                        raise DeadlineExpired(
+                            f"call {method!r} (seq {seq}) missed its deadline "
+                            f"after {attempts} attempt(s); never delivered"
+                        ) from exc
+                    raise
+                delay = policy.backoff_delay(attempts, self.rng)
+                if deadline is not None:
+                    # Never sleep past the deadline just to fail later.
+                    delay = min(delay, max(0.0, deadline - self.clock.now()))
+                self.stats.record_backoff(delay)
+                if delay > 0:
+                    self.clock.sleep(delay)
 
     def proxy(self) -> "Proxy":
         """Generate the client stub: one bound method per declaration.
@@ -92,6 +194,8 @@ def _read_str(reader: WireReader) -> str:
     return reader.read_bytes(length).decode("utf-8")
 
 
-def connect(interface: Interface, transport: Transport) -> Proxy:
+def connect(
+    interface: Interface, transport: Transport, **client_options: object
+) -> Proxy:
     """One-call convenience: a proxy for ``interface`` over ``transport``."""
-    return RpcClient(interface, transport).proxy()
+    return RpcClient(interface, transport, **client_options).proxy()

@@ -44,4 +44,67 @@ class RemoteError(RpcError):
 
 
 class TransportError(RpcError):
-    """The request could not be carried (connection refused, closed, …)."""
+    """The request could not be carried (connection refused, closed, …).
+
+    ``maybe_delivered`` records what the transport knows about the fate of
+    the request bytes: ``False`` means the request certainly never reached
+    the server (connection refused, failure before any byte was sent), so
+    the call definitely did not execute; ``True`` (the conservative
+    default) means the transport cannot rule out delivery — the call may
+    have executed even though no reply arrived.  The retry layer uses this
+    to decide between re-raising a plain transport failure and raising
+    :class:`CallMaybeExecuted`.
+    """
+
+    def __init__(self, message: str, *, maybe_delivered: bool = True) -> None:
+        super().__init__(message)
+        self.maybe_delivered = maybe_delivered
+
+
+class TransportClosed(TransportError):
+    """The transport was explicitly closed; calls on it are a client bug.
+
+    Never retried: closing is a deliberate local action, not a network
+    fault.
+    """
+
+    def __init__(self, message: str = "transport is closed") -> None:
+        super().__init__(message, maybe_delivered=False)
+
+
+class DeadlineExpired(RpcError):
+    """The call's deadline passed before any request was delivered.
+
+    The call certainly did not execute (contrast
+    :class:`CallMaybeExecuted`); the caller may safely reissue it.
+    """
+
+
+class CallMaybeExecuted(RpcError):
+    """Retries/deadline exhausted with the update possibly applied.
+
+    This is the one outcome the paper's RPC semantics ("the call either
+    executes or raises") cannot hide from the client: the request may have
+    reached the server and executed, but every reply was lost.  The caller
+    must either reissue the call through the *same* client (the server's
+    reply cache will answer the duplicate without re-executing) or treat
+    the update as in doubt.
+    """
+
+    def __init__(self, method: str, seq: int, attempts: int) -> None:
+        super().__init__(
+            f"call {method!r} (seq {seq}) may have executed: no reply "
+            f"after {attempts} attempt(s); retry with the same client to "
+            f"resolve via the server reply cache"
+        )
+        self.method = method
+        self.seq = seq
+        self.attempts = attempts
+
+
+class StaleCall(RpcError):
+    """The server saw a sequence number older than one already answered.
+
+    Arises only from duplicated/delayed packets of a superseded call; the
+    original call's outcome stands.
+    """

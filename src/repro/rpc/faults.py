@@ -1,0 +1,165 @@
+"""Failure injection for the RPC transport layer.
+
+The network analogue of :mod:`repro.storage.failures`: where the storage
+injector counts durable disk events and crashes at the Nth, the
+:class:`NetworkFaultInjector` counts *network events* — each request
+leaving the client and each reply arriving back — and injects a fault at
+the Nth one.  Wrapping any :class:`~repro.rpc.transport.Transport` in a
+:class:`FaultyTransport` then makes every client-visible network failure
+mode reachable deterministically:
+
+* **drop** — the message at the scheduled event is lost: a request that
+  never reaches the server, or a reply that never returns even though the
+  call executed.  Both surface as
+  :class:`~repro.rpc.errors.TransportError`; by design the client cannot
+  tell them apart, which is precisely the ambiguity the at-most-once
+  machinery (reply cache + sequence numbers) exists to resolve.
+
+* **sever** — the connection dies at the scheduled event: the message is
+  lost *and* the next call pays a modelled reconnect delay, matching a
+  :class:`~repro.rpc.transport.TcpTransport` whose socket died and lazily
+  reconnects.
+
+* **delay** — the message is late by ``delay_seconds``: no error, but a
+  deadline-driven client may give up anyway.
+
+The network-fault sweep (:mod:`repro.sim.netsweep`) runs a workload once
+to count events, then re-runs it with a fault scheduled at every event
+1..N, model-checking that no acknowledged update is lost and none
+executes twice.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.rpc.errors import TransportError
+from repro.rpc.transport import Transport
+from repro.sim.clock import Clock
+
+#: The three injectable fault kinds.
+FAULT_KINDS = ("drop", "sever", "delay")
+
+#: Which side of the round trip an event sits on.
+REQUEST = "request"
+REPLY = "reply"
+
+
+class NetworkFault(TransportError):
+    """A deterministic, injected network failure (simulation only)."""
+
+    def __init__(self, event: int, kind: str, point: str) -> None:
+        super().__init__(
+            f"injected network fault: {kind} at event {event} ({point})",
+            # The client must not be able to distinguish a lost request
+            # from a lost reply; both are "no answer arrived".
+            maybe_delivered=True,
+        )
+        self.event = event
+        self.kind = kind
+        self.point = point
+
+
+class NetworkFaultInjector:
+    """Schedules one network fault at the Nth network event.
+
+    ``fault_at_event`` counts from 1; ``None`` disables injection.  The
+    event counter keeps running after the fault fires, so a harness can
+    dry-run a workload, read :attr:`events_seen`, then sweep 1..N —
+    exactly the protocol of the storage layer's ``FailureInjector``.
+    """
+
+    def __init__(
+        self, fault_at_event: int | None = None, kind: str = "drop"
+    ) -> None:
+        if fault_at_event is not None and fault_at_event < 1:
+            raise ValueError("fault_at_event counts from 1")
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; one of {FAULT_KINDS}")
+        self.fault_at_event = fault_at_event
+        self.kind = kind
+        self.events_seen = 0
+        #: (event number, kind, point) for every fault injected
+        self.injected: list[tuple[int, str, str]] = []
+        self._lock = threading.Lock()
+
+    def on_event(self, point: str) -> bool:
+        """Count one network event; True when the fault fires here."""
+        with self._lock:
+            self.events_seen += 1
+            due = (
+                self.fault_at_event is not None
+                and self.events_seen == self.fault_at_event
+            )
+            if due:
+                self.injected.append((self.events_seen, self.kind, point))
+            return due
+
+    def disarm(self) -> None:
+        with self._lock:
+            self.fault_at_event = None
+
+
+class NullNetworkInjector(NetworkFaultInjector):
+    """An injector that never faults (pure event counting)."""
+
+    def __init__(self) -> None:
+        super().__init__(fault_at_event=None)
+
+
+class FaultyTransport(Transport):
+    """Wraps a transport, injecting the scheduled fault of an injector.
+
+    Counts two events per call — the request leaving and the reply
+    returning — and consults the injector at each.  Works over any inner
+    transport; with a :class:`~repro.rpc.transport.LoopbackTransport` on
+    a ``SimClock`` the whole client/server/fault system is deterministic
+    and instant.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        injector: NetworkFaultInjector,
+        clock: Clock | None = None,
+        delay_seconds: float = 0.050,
+        reconnect_seconds: float = 0.010,
+    ) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.clock = clock
+        #: extra latency charged by a "delay" fault
+        self.delay_seconds = delay_seconds
+        #: modelled reconnect cost after a "sever" fault
+        self.reconnect_seconds = reconnect_seconds
+        self._severed = False
+
+    def _charge(self, seconds: float) -> None:
+        if self.clock is not None and seconds > 0:
+            self.clock.advance(seconds)
+
+    def _fault(self, point: str) -> None:
+        """Consult the injector at one event; raise if the message is lost."""
+        if not self.injector.on_event(point):
+            return
+        kind = self.injector.kind
+        if kind == "delay":
+            self._charge(self.delay_seconds)
+            return
+        if kind == "sever":
+            self._severed = True
+        raise NetworkFault(self.injector.events_seen, kind, point)
+
+    def call(self, request: bytes) -> bytes:
+        if self._severed:
+            # The previous fault killed the connection; model the lazy
+            # reconnect the real TCP transport performs.
+            self._charge(self.reconnect_seconds)
+            self._severed = False
+        self._fault(REQUEST)
+        response = self.inner.call(request)
+        self._fault(REPLY)
+        return response
+
+    def close(self) -> None:
+        self.inner.close()

@@ -109,22 +109,60 @@ STATUS_APP_ERROR = 1
 STATUS_RPC_ERROR = 2
 
 
-def encode_request(interface: Interface, method: str, args: tuple) -> bytes:
-    """Marshal one call: wire name, method name, then the arguments."""
+class CallHeader:
+    """The routing and at-most-once identity of one request.
+
+    ``client_id`` + ``seq`` make retransmissions of a call recognisable:
+    a client assigns each logical call a fresh sequence number and reuses
+    it verbatim on every retry, so the server's reply cache can answer a
+    duplicate without re-executing (the Birrell–Nelson at-most-once
+    design the paper's RPC package relies on).  An empty ``client_id``
+    opts out: the server executes unconditionally.
+    """
+
+    __slots__ = ("wire_name", "method", "client_id", "seq")
+
+    def __init__(self, wire_name: str, method: str, client_id: str, seq: int):
+        self.wire_name = wire_name
+        self.method = method
+        self.client_id = client_id
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CallHeader({self.wire_name}.{self.method}, "
+            f"client={self.client_id!r}, seq={self.seq})"
+        )
+
+
+def encode_request(
+    interface: Interface,
+    method: str,
+    args: tuple,
+    client_id: str = "",
+    seq: int = 0,
+) -> bytes:
+    """Marshal one call: wire name, method, call identity, arguments."""
     spec = interface.spec(method)
     out = bytearray()
     _encode_str(interface.wire_name, out)
     _encode_str(method, out)
+    _encode_str(client_id, out)
+    from repro.pickles.wire import encode_varint
+
+    encode_varint(seq, out)
     out.extend(spec.encode_args(args))
     return bytes(out)
 
 
-def decode_request_header(data: bytes) -> tuple[str, str, WireReader]:
-    """Read the wire name and method; the reader stays at the arguments."""
+def decode_request_header(data: bytes) -> tuple[CallHeader, WireReader]:
+    """Read the call header; the reader stays at the arguments."""
     reader = WireReader(data)
     wire_name = _decode_str(reader)
     method = _decode_str(reader)
-    return wire_name, method, reader
+    client_id = _decode_str(reader)
+    seq = reader.read_varint()
+    return CallHeader(wire_name, method, client_id, seq), reader
 
 
 def _encode_str(value: str, out: bytearray) -> None:

@@ -1,0 +1,122 @@
+"""Retry policy and client-side instrumentation for the RPC client.
+
+The paper's RPC semantics — "the call either executes or raises" — are
+only achievable over a faulty network with retransmission, and
+retransmission is only *safe* with the server-side reply cache
+(:class:`repro.rpc.server.ReplyCache`).  This module holds the client
+half of that bargain: how many times to resend, how long to wait between
+attempts (exponential backoff with full jitter, so a burst of clients
+recovering from the same fault does not stampede), and an overall
+deadline after which the client stops and reports what it knows.
+
+All timing flows through an injected :class:`~repro.sim.clock.Clock` and
+an injected random source, so tests sweep retry schedules in zero real
+time and fully deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how the client retransmits a call.
+
+    ``max_attempts`` counts the first send: 1 means never retry.
+    Backoff before attempt *n* (n ≥ 2) is drawn uniformly from
+    ``[0, min(max_delay, base_delay · 2^(n-2))]`` — "full jitter".
+    ``deadline_seconds`` bounds the whole call including backoff sleeps;
+    ``None`` means attempts alone bound it.
+    """
+
+    max_attempts: int = 4
+    base_delay_seconds: float = 0.01
+    max_delay_seconds: float = 1.0
+    deadline_seconds: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts counts the first send; minimum 1")
+        if self.base_delay_seconds < 0 or self.max_delay_seconds < 0:
+            raise ValueError("backoff delays cannot be negative")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline must be positive (or None)")
+
+    def backoff_delay(self, prior_attempts: int, rng: random.Random) -> float:
+        """Jittered delay before the next attempt given attempts so far."""
+        ceiling = min(
+            self.max_delay_seconds,
+            self.base_delay_seconds * (2 ** max(0, prior_attempts - 1)),
+        )
+        return rng.uniform(0.0, ceiling)
+
+
+#: Retransmission disabled: the seed behaviour, one send per call.
+NO_RETRY = RetryPolicy(max_attempts=1, deadline_seconds=None)
+
+
+@dataclass
+class RpcClientStats:
+    """Counters for one client, surfaced like ``DatabaseStats``.
+
+    ``attempts`` counts every transport send including retransmissions, so
+    failed sends are visible (the seed's ``calls_made`` counted only
+    successes).  ``backoff_seconds`` is total time spent sleeping between
+    attempts, on whatever clock the client runs.
+    """
+
+    calls: int = 0
+    attempts: int = 0
+    retries: int = 0
+    transport_failures: int = 0
+    failures: int = 0
+    maybe_executed: int = 0
+    deadline_expirations: int = 0
+    backoff_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record_call(self) -> None:
+        with self._lock:
+            self.calls += 1
+
+    def record_attempt(self) -> None:
+        with self._lock:
+            self.attempts += 1
+
+    def record_transport_failure(self) -> None:
+        with self._lock:
+            self.transport_failures += 1
+
+    def record_backoff(self, seconds: float) -> None:
+        with self._lock:
+            self.retries += 1
+            self.backoff_seconds += seconds
+
+    def record_failure(
+        self, *, maybe_executed: bool = False, deadline: bool = False
+    ) -> None:
+        """The call as a whole failed (all attempts exhausted)."""
+        with self._lock:
+            self.failures += 1
+            if maybe_executed:
+                self.maybe_executed += 1
+            if deadline:
+                self.deadline_expirations += 1
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "calls": self.calls,
+                "attempts": self.attempts,
+                "retries": self.retries,
+                "transport_failures": self.transport_failures,
+                "failures": self.failures,
+                "maybe_executed": self.maybe_executed,
+                "deadline_expirations": self.deadline_expirations,
+                "backoff_seconds": self.backoff_seconds,
+            }

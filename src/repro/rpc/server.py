@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 
 from repro.rpc.errors import BadRequest, UnknownInterface, UnknownMethod
 from repro.rpc.interface import (
@@ -14,6 +15,87 @@ from repro.rpc.interface import (
     _encode_str,
 )
 
+#: Default bound on distinct clients the reply cache remembers.
+DEFAULT_MAX_CLIENTS = 1024
+
+
+class ReplyCache:
+    """Per-client last-reply cache: the server half of at-most-once.
+
+    A client serialises its own calls and reuses one sequence number for
+    every retransmission of a call, so remembering only the *latest*
+    ``(seq, reply)`` per client is sufficient: a duplicate of the current
+    call is answered from the cache without re-executing, and anything
+    older is a superseded call whose reply can no longer matter.
+
+    Clients are evicted least-recently-used beyond ``max_clients``; an
+    evicted client that retries an old call will re-execute it, so size
+    the cache above the number of concurrently active clients (see
+    docs/OPERATIONS.md, "RPC resilience").
+    """
+
+    CACHED = "cached"
+    STALE = "stale"
+    NEW = "new"
+
+    def __init__(self, max_clients: int = DEFAULT_MAX_CLIENTS) -> None:
+        if max_clients < 1:
+            raise ValueError("reply cache needs room for at least one client")
+        self.max_clients = max_clients
+        self._entries: OrderedDict[str, tuple[int, bytes]] = OrderedDict()
+        self._client_locks: dict[str, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.stale_rejections = 0
+        self.evictions = 0
+
+    def client_lock(self, client_id: str) -> threading.Lock:
+        """The per-client mutex serialising execution and cache updates.
+
+        Holding it while executing means a duplicate that arrives during
+        the original's execution *waits* and then hits the cache, instead
+        of racing into a second execution.
+        """
+        with self._lock:
+            lock = self._client_locks.get(client_id)
+            if lock is None:
+                lock = self._client_locks[client_id] = threading.Lock()
+            return lock
+
+    def probe(self, client_id: str, seq: int) -> tuple[str, bytes | None]:
+        """Classify ``seq`` against the cache: (verdict, cached reply)."""
+        with self._lock:
+            entry = self._entries.get(client_id)
+            if entry is None:
+                return self.NEW, None
+            cached_seq, reply = entry
+            if seq == cached_seq:
+                self.hits += 1
+                self._entries.move_to_end(client_id)
+                return self.CACHED, reply
+            if seq < cached_seq:
+                self.stale_rejections += 1
+                return self.STALE, None
+            return self.NEW, None
+
+    def store(self, client_id: str, seq: int, reply: bytes) -> None:
+        with self._lock:
+            self._entries[client_id] = (seq, reply)
+            self._entries.move_to_end(client_id)
+            while len(self._entries) > self.max_clients:
+                evicted, _ = self._entries.popitem(last=False)
+                self._client_locks.pop(evicted, None)
+                self.evictions += 1
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "clients": len(self._entries),
+                "hits": self.hits,
+                "stale_rejections": self.stale_rejections,
+                "evictions": self.evictions,
+            }
+
 
 class RpcServer:
     """Maps exported interfaces to implementation objects.
@@ -23,12 +105,18 @@ class RpcServer:
     and marshals the result — there is no hand-written byte handling in
     application code, which is the paper's point about implementing the
     name server "entirely in a strongly typed language".
+
+    Requests that carry a client identity (see
+    :class:`repro.rpc.interface.CallHeader`) get **at-most-once**
+    execution through the :class:`ReplyCache`: a retransmitted call is
+    answered with the original reply instead of running again.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_cached_clients: int = DEFAULT_MAX_CLIENTS) -> None:
         self._exports: dict[str, tuple[Interface, object]] = {}
         self._lock = threading.Lock()
         self.calls_served = 0
+        self.reply_cache = ReplyCache(max_cached_clients)
 
     def export(self, interface: Interface, implementation: object) -> None:
         """Expose ``implementation`` under ``interface``.
@@ -57,21 +145,44 @@ class RpcServer:
         with self._lock:
             return sorted(self._exports)
 
+    @property
+    def reply_cache_hits(self) -> int:
+        return self.reply_cache.hits
+
     # -- dispatch -------------------------------------------------------------
 
     def dispatch(self, request: bytes) -> bytes:
-        """Decode, call, encode.  Always returns response bytes."""
+        """Decode, deduplicate, call, encode.  Always returns response bytes."""
         try:
-            wire_name, method, reader = decode_request_header(request)
+            header, reader = decode_request_header(request)
         except Exception as exc:
             return _rpc_error(f"malformed request: {exc!r}")
+        if not header.client_id:
+            return self._execute(header, reader)
+        # At-most-once path: serialise per client so a duplicate arriving
+        # while the original executes waits, then hits the cache.
+        with self.reply_cache.client_lock(header.client_id):
+            verdict, cached = self.reply_cache.probe(header.client_id, header.seq)
+            if verdict == ReplyCache.CACHED:
+                return cached  # type: ignore[return-value]
+            if verdict == ReplyCache.STALE:
+                return _rpc_error(
+                    f"stale call: seq {header.seq} for client "
+                    f"{header.client_id!r} was superseded"
+                )
+            response = self._execute(header, reader)
+            self.reply_cache.store(header.client_id, header.seq, response)
+            return response
+
+    def _execute(self, header, reader) -> bytes:
+        """One actual execution: unmarshal, call, marshal."""
         with self._lock:
-            export = self._exports.get(wire_name)
+            export = self._exports.get(header.wire_name)
         if export is None:
-            return _rpc_error(str(UnknownInterface(wire_name)))
+            return _rpc_error(str(UnknownInterface(header.wire_name)))
         interface, implementation = export
         try:
-            spec = interface.spec(method)
+            spec = interface.spec(header.method)
         except UnknownMethod as exc:
             return _rpc_error(str(exc))
         try:
@@ -82,7 +193,7 @@ class RpcServer:
             return _rpc_error(f"{reader.remaining()} trailing request bytes")
 
         try:
-            result = getattr(implementation, method)(*args)
+            result = getattr(implementation, header.method)(*args)
         except Exception as exc:
             return _app_error(interface, exc)
 
@@ -91,7 +202,8 @@ class RpcServer:
             spec.encode_result(result, out)
         except Exception as exc:
             return _rpc_error(
-                f"result of {wire_name}.{method} failed to marshal: {exc!r}"
+                f"result of {header.wire_name}.{header.method} failed to "
+                f"marshal: {exc!r}"
             )
         with self._lock:
             self.calls_served += 1

@@ -11,18 +11,29 @@ Two implementations behind one tiny interface:
 * :class:`TcpTransport` / :class:`TcpServerThread` — real sockets with
   length-prefixed frames and a thread-per-connection server, showing the
   same stubs carry a real network.
+
+Failure semantics are part of the interface: a failed call leaves a
+:class:`TcpTransport` *disconnected but usable* — the next call
+reconnects lazily — and every :class:`~repro.rpc.errors.TransportError`
+carries ``maybe_delivered`` so the retry layer knows whether the request
+could have reached the server.  Only an explicit :meth:`Transport.close`
+is terminal (subsequent calls raise
+:class:`~repro.rpc.errors.TransportClosed`).
 """
 
 from __future__ import annotations
 
+import logging
 import socket
 import struct
 import threading
 from dataclasses import dataclass
 
-from repro.rpc.errors import TransportError
+from repro.rpc.errors import TransportClosed, TransportError
 from repro.rpc.server import RpcServer
 from repro.sim.clock import Clock
+
+logger = logging.getLogger("repro.rpc")
 
 
 class Transport:
@@ -72,7 +83,7 @@ class LoopbackTransport(Transport):
 
     def call(self, request: bytes) -> bytes:
         if self._closed:
-            raise TransportError("transport is closed")
+            raise TransportClosed()
         if self.clock is not None:
             self.clock.advance(self.network.one_way(len(request)))
         response = self.server.dispatch(request)
@@ -116,6 +127,12 @@ def _recv_frame(sock: socket.socket) -> bytes:
 class TcpServerThread:
     """A threaded TCP front end for an :class:`RpcServer`.
 
+    A malformed frame (garbage length prefix, truncated payload) or any
+    per-connection failure closes *that* connection with a logged error;
+    the accept loop and other connections are unaffected.  ``stop()``
+    closes the listener and every open connection and joins all threads,
+    so a stopped server leaks nothing.
+
     >>> server_thread = TcpServerThread(rpc_server, port=0)
     >>> server_thread.start()
     >>> transport = TcpTransport("127.0.0.1", server_thread.port)
@@ -127,6 +144,10 @@ class TcpServerThread:
         self.host, self.port = self._listener.getsockname()[:2]
         self._accept_thread: threading.Thread | None = None
         self._stopping = threading.Event()
+        self._state_lock = threading.Lock()
+        self._workers: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self.connection_errors = 0
 
     def start(self) -> "TcpServerThread":
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
@@ -139,32 +160,77 @@ class TcpServerThread:
                 conn, _ = self._listener.accept()
             except OSError:
                 return  # listener closed
-            worker = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
-            )
+            with self._state_lock:
+                if self._stopping.is_set():
+                    conn.close()
+                    return
+                self._connections.add(conn)
+                self._workers = [w for w in self._workers if w.is_alive()]
+                worker = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                self._workers.append(worker)
             worker.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        with conn:
-            while not self._stopping.is_set():
-                try:
-                    request = _recv_frame(conn)
-                except TransportError:
-                    return  # client went away
-                except OSError:
-                    return
-                response = self.server.dispatch(request)
-                try:
-                    _send_frame(conn, response)
-                except OSError:
-                    return
+        try:
+            with conn:
+                while not self._stopping.is_set():
+                    try:
+                        request = _recv_frame(conn)
+                    except TransportError as exc:
+                        # Garbage length prefix / truncated frame / clean
+                        # disconnect: drop this connection only.
+                        if "closed mid-frame" not in str(exc):
+                            self.connection_errors += 1
+                            logger.warning("dropping connection: %s", exc)
+                        return
+                    except OSError:
+                        return
+                    try:
+                        response = self.server.dispatch(request)
+                        _send_frame(conn, response)
+                    except OSError:
+                        return
+                    except Exception:
+                        # dispatch() returns error frames for bad input, so
+                        # reaching here is a server bug — log it loudly but
+                        # keep the process (and the accept loop) alive.
+                        self.connection_errors += 1
+                        logger.exception("internal error serving connection")
+                        return
+        finally:
+            with self._state_lock:
+                self._connections.discard(conn)
 
-    def stop(self) -> None:
+    def stop(self, join_timeout: float = 5.0) -> None:
         self._stopping.set()
+        # A blocked accept() is not reliably woken by closing the listener
+        # from another thread; poke it with a throwaway connection first.
+        try:
+            socket.create_connection((self.host, self.port), timeout=1).close()
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        with self._state_lock:
+            connections = list(self._connections)
+            workers = list(self._workers)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(join_timeout)
+        for worker in workers:
+            worker.join(join_timeout)
 
     def __enter__(self) -> "TcpServerThread":
         return self.start()
@@ -174,25 +240,72 @@ class TcpServerThread:
 
 
 class TcpTransport(Transport):
-    """A persistent client connection to a :class:`TcpServerThread`."""
+    """A client connection to a :class:`TcpServerThread`, self-healing.
+
+    The connection is established eagerly (so misconfiguration fails
+    fast) but is *not* load-bearing: a failed call tears the socket down
+    and the next call reconnects, instead of one ``OSError`` bricking
+    the transport forever.  Only :meth:`close` is final.
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._closed = False
         self._lock = threading.Lock()
+        with self._lock:
+            self._connect()
+
+    @property
+    def connected(self) -> bool:
+        with self._lock:
+            return self._sock is not None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to {self.host}:{self.port}: {exc}",
+                maybe_delivered=False,
+            ) from exc
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def call(self, request: bytes) -> bytes:
         with self._lock:  # one outstanding call per connection
+            if self._closed:
+                raise TransportClosed(
+                    f"transport to {self.host}:{self.port} is closed"
+                )
+            if self._sock is None:
+                self._connect()  # lazy reconnect after an earlier failure
+            sent = False
             try:
                 _send_frame(self._sock, request)
+                sent = True
                 return _recv_frame(self._sock)
-            except OSError as exc:
-                raise TransportError(f"transport failed: {exc}") from exc
+            except (OSError, TransportError) as exc:
+                self._teardown()
+                raise TransportError(
+                    f"transport failed: {exc}", maybe_delivered=sent
+                ) from exc
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        with self._lock:
+            self._closed = True
+            self._teardown()

@@ -20,6 +20,9 @@ _LAZY = {
     "CrashOutcome": "repro.sim.crashtest",
     "CrashPointSweep": "repro.sim.crashtest",
     "CrashSweepResult": "repro.sim.crashtest",
+    "NetFaultOutcome": "repro.sim.netsweep",
+    "NetSweepResult": "repro.sim.netsweep",
+    "NetworkFaultSweep": "repro.sim.netsweep",
     "NameWorkload": "repro.sim.workload",
     "OperationMix": "repro.sim.workload",
     "READ_MOSTLY": "repro.sim.workload",

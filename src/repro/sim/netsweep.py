@@ -1,0 +1,368 @@
+"""The network-fault sweep: at-most-once RPC checked at every fault point.
+
+The storage analogue (:mod:`repro.sim.crashtest`) establishes a
+universally quantified claim about disk states; this harness establishes
+the matching claim about *network* states: whichever single network event
+fails — any request lost, any reply lost, the connection severed at any
+point — the RPC stack's retries plus the server's reply cache deliver the
+paper's call semantics: every acknowledged update is applied, no update
+is applied twice, and the client's view of results equals the model's.
+
+The protocol mirrors the crash sweep exactly:
+
+1. run a scripted client workload once with no fault scheduled and count
+   the network events it generates (N = one per request + one per reply);
+2. for every event k in 1..N and every fault kind (message dropped /
+   connection severed), run the workload from scratch with the fault
+   scheduled at event k, through a retrying
+   :class:`~repro.rpc.client.RpcClient` on a :class:`SimClock` (so the
+   backoff sleeps are instant and deterministic);
+3. model-check the outcome: the server's state must equal the model's,
+   each update must have *executed* exactly once (a retransmission after
+   a lost reply must be answered by the reply cache, visible as a cache
+   hit), and every value the client observed must match the model.
+
+The workload deliberately includes ``incr`` — a non-idempotent update —
+so a double execution cannot hide: re-running it changes the result.
+
+Run standalone (the CI job does)::
+
+    PYTHONPATH=src python -m repro.sim.netsweep
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.rpc import (
+    FaultyTransport,
+    Int,
+    Interface,
+    LAN_1987,
+    LoopbackTransport,
+    NetworkFaultInjector,
+    OptionalOf,
+    RetryPolicy,
+    RpcClient,
+    RpcServer,
+    Str,
+    Void,
+)
+from repro.sim.clock import SimClock
+
+#: A scripted step: ("put", key, value) | ("incr", key, by) | ("get", key)
+Step = tuple
+
+#: Default workload: reads and writes interleaved, with non-idempotent
+#: increments positioned so every network event touches something whose
+#: duplication or loss would be visible in the final state.
+DEFAULT_STEPS: list[Step] = [
+    ("put", "alpha", 1),
+    ("incr", "alpha", 2),
+    ("get", "alpha"),
+    ("put", "beta", 10),
+    ("incr", "beta", 5),
+    ("incr", "alpha", 4),
+    ("get", "beta"),
+    ("put", "alpha", 100),
+    ("get", "alpha"),
+]
+
+UPDATE_OPS = ("put", "incr")
+
+
+def sweep_interface() -> Interface:
+    """The tiny key-value interface the sweep drives."""
+    iface = Interface("NetSweepKV")
+    iface.method(
+        "put", params=[("key", Str), ("value", Int)], returns=Void
+    )
+    iface.method("incr", params=[("key", Str), ("by", Int)], returns=Int)
+    iface.method("get", params=[("key", Str)], returns=OptionalOf(Int))
+    return iface
+
+
+class SweepService:
+    """The server implementation, logging every *execution*.
+
+    The execution log is the ground truth the model check needs: a
+    retransmitted call answered from the reply cache leaves no trace
+    here, while a wrongly re-executed one appears twice.
+    """
+
+    def __init__(self) -> None:
+        self.state: dict[str, int] = {}
+        self.executions: list[Step] = []
+
+    def put(self, key: str, value: int) -> None:
+        self.executions.append(("put", key, value))
+        self.state[key] = value
+
+    def incr(self, key: str, by: int) -> int:
+        self.executions.append(("incr", key, by))
+        self.state[key] = self.state.get(key, 0) + by
+        return self.state[key]
+
+    def get(self, key: str):
+        self.executions.append(("get", key))
+        return self.state.get(key)
+
+
+def run_model(steps: list[Step]) -> tuple[dict[str, int], list[object]]:
+    """Expected final state and per-step return values."""
+    state: dict[str, int] = {}
+    returns: list[object] = []
+    for step in steps:
+        op = step[0]
+        if op == "put":
+            state[step[1]] = step[2]
+            returns.append(None)
+        elif op == "incr":
+            state[step[1]] = state.get(step[1], 0) + step[2]
+            returns.append(state[step[1]])
+        elif op == "get":
+            returns.append(state.get(step[1]))
+        else:
+            raise ValueError(f"unknown step kind {op!r}")
+    return state, returns
+
+
+@dataclass
+class NetFaultOutcome:
+    """What one faulted run looked like against the model."""
+
+    fault_at_event: int
+    kind: str
+    #: where the fault landed ("request"/"reply"), from the injector
+    point: str | None
+    acked_calls: int
+    retries: int
+    reply_cache_hits: int
+    update_executions: int
+    failure: str | None = None
+
+
+@dataclass
+class NetSweepResult:
+    total_events: int
+    outcomes: list[NetFaultOutcome] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> list[NetFaultOutcome]:
+        return [o for o in self.outcomes if o.failure is not None]
+
+    @property
+    def total_retries(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(o.reply_cache_hits for o in self.outcomes)
+
+    def assert_clean(self) -> None:
+        if self.failures:
+            first = self.failures[0]
+            raise AssertionError(
+                f"{len(self.failures)} of {self.runs} network-fault states "
+                f"violated at-most-once; first: event {first.fault_at_event} "
+                f"kind={first.kind}: {first.failure}"
+            )
+
+    def summary(self) -> str:
+        return (
+            f"{self.runs} runs over {self.total_events} network events: "
+            f"{len(self.failures)} failures, {self.total_retries} retries, "
+            f"{self.total_cache_hits} reply-cache hits"
+        )
+
+
+class NetworkFaultSweep:
+    """Sweeps a scripted RPC workload over every network fault point."""
+
+    def __init__(
+        self,
+        steps: list[Step] | None = None,
+        kinds: tuple[str, ...] = ("drop", "sever"),
+        retry: RetryPolicy | None = None,
+        client_id: str = "netsweep",
+    ) -> None:
+        self.steps = list(DEFAULT_STEPS if steps is None else steps)
+        self.kinds = kinds
+        #: "" opts out of at-most-once — used by tests to prove the sweep
+        #: catches the double executions that then occur
+        self.client_id = client_id
+        self.retry = retry or RetryPolicy(
+            max_attempts=5,
+            base_delay_seconds=0.005,
+            max_delay_seconds=0.1,
+            deadline_seconds=60.0,
+        )
+        self.interface = sweep_interface()
+        self._model_state, self._model_returns = run_model(self.steps)
+
+    # -- execution ------------------------------------------------------------
+
+    def _build(self, injector: NetworkFaultInjector, seed: int):
+        clock = SimClock()
+        service = SweepService()
+        server = RpcServer()
+        server.export(self.interface, service)
+        transport = FaultyTransport(
+            LoopbackTransport(server, clock=clock, network=LAN_1987),
+            injector,
+            clock=clock,
+        )
+        client = RpcClient(
+            self.interface,
+            transport,
+            client_id=self.client_id,
+            retry=self.retry,
+            clock=clock,
+            rng=random.Random(seed),
+        )
+        return service, server, client
+
+    def _drive(self, client: RpcClient) -> list[object]:
+        proxy = client.proxy()
+        returns: list[object] = []
+        for step in self.steps:
+            op = step[0]
+            returns.append(getattr(proxy, op)(*step[1:]))
+        return returns
+
+    def count_events(self) -> int:
+        """Dry run: total network events the script generates."""
+        injector = NetworkFaultInjector()
+        _, _, client = self._build(injector, seed=0)
+        self._drive(client)
+        return injector.events_seen
+
+    def run(self, max_events: int | None = None) -> NetSweepResult:
+        """The full sweep; returns per-fault-state outcomes."""
+        total = self.count_events()
+        swept = total if max_events is None else min(total, max_events)
+        result = NetSweepResult(total_events=total)
+        for fault_at in range(1, swept + 1):
+            for kind in self.kinds:
+                result.outcomes.append(self._run_one(fault_at, kind))
+        return result
+
+    def _run_one(self, fault_at: int, kind: str) -> NetFaultOutcome:
+        injector = NetworkFaultInjector(fault_at_event=fault_at, kind=kind)
+        seed = fault_at * 8 + len(kind)  # deterministic, distinct per run
+        service, server, client = self._build(injector, seed)
+        acked = 0
+        returns: list[object] = []
+        try:
+            returns = self._drive(client)
+            acked = len(returns)
+        except Exception as exc:
+            point = injector.injected[0][2] if injector.injected else None
+            return NetFaultOutcome(
+                fault_at, kind, point, acked,
+                client.stats.retries, server.reply_cache.hits,
+                self._update_executions(service),
+                failure=f"workload did not complete: {exc!r}",
+            )
+        return self._judge(fault_at, kind, injector, service, server, client,
+                           returns)
+
+    def _update_executions(self, service: SweepService) -> int:
+        return sum(1 for e in service.executions if e[0] in UPDATE_OPS)
+
+    def _judge(
+        self,
+        fault_at: int,
+        kind: str,
+        injector: NetworkFaultInjector,
+        service: SweepService,
+        server: RpcServer,
+        client: RpcClient,
+        returns: list[object],
+    ) -> NetFaultOutcome:
+        point = injector.injected[0][2] if injector.injected else None
+        expected_updates = sum(
+            1 for step in self.steps if step[0] in UPDATE_OPS
+        )
+        outcome = NetFaultOutcome(
+            fault_at, kind, point, len(returns),
+            client.stats.retries, server.reply_cache.hits,
+            self._update_executions(service),
+        )
+        failures: list[str] = []
+        if service.state != self._model_state:
+            failures.append(
+                f"server state {service.state!r} != model "
+                f"{self._model_state!r} (acknowledged update lost or "
+                f"phantom applied)"
+            )
+        if outcome.update_executions != expected_updates:
+            failures.append(
+                f"{outcome.update_executions} update executions for "
+                f"{expected_updates} update calls (duplicate or lost "
+                f"execution)"
+            )
+        if returns != self._model_returns:
+            failures.append(
+                f"client observed {returns!r}, model says "
+                f"{self._model_returns!r}"
+            )
+        if injector.injected and kind in ("drop", "sever"):
+            if outcome.retries < 1:
+                failures.append(
+                    "fault was injected but the client never retried"
+                )
+            if point == "reply" and outcome.reply_cache_hits < 1:
+                failures.append(
+                    "reply was dropped after execution but the retry was "
+                    "not answered from the reply cache"
+                )
+        if failures:
+            outcome.failure = "; ".join(failures)
+        return outcome
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the sweep, print the summary, exit 0/1."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="network-fault sweep for at-most-once RPC semantics"
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=None,
+        help="sweep only fault points 1..N (default: all)",
+    )
+    parser.add_argument(
+        "--kinds", nargs="+", default=["drop", "sever"],
+        choices=["drop", "sever", "delay"],
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    sweep = NetworkFaultSweep(kinds=tuple(args.kinds))
+    result = sweep.run(max_events=args.max_events)
+    print(result.summary())
+    if args.verbose:
+        for outcome in result.outcomes:
+            status = "FAIL" if outcome.failure else "ok"
+            print(
+                f"  event {outcome.fault_at_event:3d} {outcome.kind:6s} "
+                f"({outcome.point or '-':7s}) retries={outcome.retries} "
+                f"cache_hits={outcome.reply_cache_hits} {status}"
+            )
+    for outcome in result.failures:
+        print(
+            f"FAIL event {outcome.fault_at_event} kind={outcome.kind}: "
+            f"{outcome.failure}"
+        )
+    return 1 if result.failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,358 @@
+"""Degraded-mode replication: circuit breakers, read failover with
+staleness reporting, update failover, fault-tolerant anti-entropy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nameserver import (
+    NAMESERVER_INTERFACE,
+    AllPeersUnavailable,
+    CircuitBreaker,
+    NameNotFound,
+    PeerUnavailable,
+    RemoteNameServer,
+    Replica,
+    ResilientReplicaGroup,
+)
+from repro.nameserver.replication import CLOSED, HALF_OPEN, OPEN
+from repro.rpc import CallMaybeExecuted, LoopbackTransport, RpcServer
+from repro.sim import SimClock
+from repro.storage import SimFS
+
+
+def make_replicas(n):
+    return [
+        Replica(SimFS(clock=SimClock()), chr(ord("a") + i)) for i in range(n)
+    ]
+
+
+class FlakyPeer:
+    """Wraps a replica; raises PeerUnavailable while ``down`` is set."""
+
+    def __init__(self, inner, replica_id):
+        self.inner = inner
+        self.replica_id = replica_id
+        self.down = False
+
+    def __getattr__(self, name):
+        if self.down:
+            raise PeerUnavailable(f"{self.replica_id} is down")
+        return getattr(self.inner, name)
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout_seconds=-1)
+
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(SimClock(), failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(SimClock(), failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # streak broken, never opened
+
+    def test_half_open_probe_after_timeout(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            clock, failure_threshold=1, reset_timeout_seconds=30.0
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(29.0)
+        assert not breaker.allow()  # still cooling off
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            clock, failure_threshold=1, reset_timeout_seconds=1.0
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_full_timeout(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            clock, failure_threshold=3, reset_timeout_seconds=10.0
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # half-open probe
+        breaker.record_failure()  # one failure re-opens — no threshold wait
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 2
+        assert not breaker.allow()
+        clock.advance(9.9)
+        assert not breaker.allow()
+
+
+class TestDegradedReads:
+    def test_healthy_read_is_not_degraded(self):
+        a, b = make_replicas(2)
+        group = ResilientReplicaGroup([a, b], clock=SimClock())
+        a.bind("k", 1)
+        result = group.lookup("k")
+        assert result.value == 1
+        assert result.served_by == "a"
+        assert not result.degraded
+        assert result.lag == 0
+        assert result.peers_tried == 1
+
+    def test_read_fails_over_and_reports_staleness(self):
+        a, b = make_replicas(2)
+        flaky = FlakyPeer(a, "a")
+        group = ResilientReplicaGroup([flaky, b], clock=SimClock())
+        a.bind("k", 1)
+        a.sync_with(b)
+        a.bind("fresh", 2)  # never reaches b
+        group.lookup("k")  # healthy read records a's (freshest) vector
+        flaky.down = True
+        result = group.lookup("k")
+        assert result.value == 1
+        assert result.served_by == "b"
+        assert result.degraded
+        assert result.lag == 1  # b is known to be missing "fresh"
+        assert result.peers_tried == 2
+        assert group.failovers == 1
+
+    def test_app_errors_are_answers_not_failures(self):
+        a, b = make_replicas(2)
+        group = ResilientReplicaGroup([a, b], clock=SimClock())
+        with pytest.raises(NameNotFound):
+            group.lookup("missing")
+        assert group.status()["a"]["state"] == CLOSED
+
+    def test_breaker_skips_dead_peer_without_retrying_it(self):
+        a, b = make_replicas(2)
+        flaky = FlakyPeer(a, "a")
+        group = ResilientReplicaGroup(
+            [flaky, b], clock=SimClock(), failure_threshold=2
+        )
+        b.bind("k", 9)
+        flaky.down = True
+        for _ in range(2):
+            group.lookup("k")
+        assert group.status()["a"]["state"] == OPEN
+        result = group.lookup("k")
+        assert result.peers_tried == 1  # a was not even attempted
+        assert result.served_by == "b"
+
+    def test_recovered_peer_is_probed_and_restored(self):
+        clock = SimClock()
+        a, b = make_replicas(2)
+        flaky = FlakyPeer(a, "a")
+        group = ResilientReplicaGroup(
+            [flaky, b],
+            clock=clock,
+            failure_threshold=1,
+            reset_timeout_seconds=5.0,
+        )
+        a.bind("k", 1)
+        a.sync_with(b)
+        flaky.down = True
+        group.lookup("k")
+        assert group.status()["a"]["state"] == OPEN
+        flaky.down = False
+        clock.advance(5.0)
+        result = group.lookup("k")  # half-open probe succeeds
+        assert result.served_by == "a"
+        assert not result.degraded
+        assert group.status()["a"]["state"] == CLOSED
+        assert group.status()["a"]["last_error"] is None
+
+    def test_all_peers_down(self):
+        a, b = make_replicas(2)
+        fa, fb = FlakyPeer(a, "a"), FlakyPeer(b, "b")
+        group = ResilientReplicaGroup([fa, fb], clock=SimClock())
+        fa.down = fb.down = True
+        with pytest.raises(AllPeersUnavailable):
+            group.lookup("k")
+
+    def test_ambiguous_read_fails_over(self):
+        """CallMaybeExecuted on an enquiry is safe to retry elsewhere —
+        enquiries have no side effects (contrast updates, below)."""
+
+        class Ambiguous:
+            replica_id = "amb"
+
+            def lookup(self, path):
+                raise CallMaybeExecuted("lookup", seq=3, attempts=4)
+
+        (a,) = make_replicas(1)
+        a.bind("k", 5)
+        group = ResilientReplicaGroup([Ambiguous(), a], clock=SimClock())
+        result = group.lookup("k")
+        assert result.value == 5
+        assert result.served_by == "a"
+        assert result.degraded
+
+    def test_staleness_tracking_can_be_disabled(self):
+        (a,) = make_replicas(1)
+        group = ResilientReplicaGroup(
+            [a], clock=SimClock(), track_staleness=False
+        )
+        a.bind("k", 1)
+        assert group.lookup("k").lag is None
+
+
+class TestUpdateFailover:
+    def test_update_lands_on_first_live_peer(self):
+        a, b = make_replicas(2)
+        flaky = FlakyPeer(a, "a")
+        group = ResilientReplicaGroup([flaky, b], clock=SimClock())
+        flaky.down = True
+        assert group.bind("k", 7) == "b"
+        assert b.lookup("k") == 7
+        assert not a.exists("k")
+        assert group.failovers == 1
+
+    def test_unbind_fails_over_too(self):
+        a, b = make_replicas(2)
+        flaky = FlakyPeer(a, "a")
+        group = ResilientReplicaGroup([flaky, b], clock=SimClock())
+        b.bind("k", 1)
+        flaky.down = True
+        assert group.unbind("k") == "b"
+        assert not b.exists("k")
+
+    def test_call_maybe_executed_propagates(self):
+        """Ambiguous outcomes must NOT silently retry on another peer."""
+
+        class Ambiguous:
+            replica_id = "amb"
+
+            def bind(self, *args):
+                raise CallMaybeExecuted("bind", seq=1, attempts=4)
+
+        a, = make_replicas(1)
+        group = ResilientReplicaGroup([Ambiguous(), a], clock=SimClock())
+        with pytest.raises(CallMaybeExecuted):
+            group.bind("k", 1)
+        assert not a.exists("k")  # no blind failover double-apply
+
+    def test_update_all_down(self):
+        (a,) = make_replicas(1)
+        flaky = FlakyPeer(a, "a")
+        group = ResilientReplicaGroup([flaky], clock=SimClock())
+        flaky.down = True
+        with pytest.raises(AllPeersUnavailable):
+            group.bind("k", 1)
+
+
+class TestDegradedSync:
+    def test_live_peers_converge_while_one_is_down(self):
+        a, b, c = make_replicas(3)
+        flaky_b = FlakyPeer(b, "b")
+        group = ResilientReplicaGroup(
+            [a, flaky_b, c], clock=SimClock(), failure_threshold=1
+        )
+        a.bind("from/a", 1)
+        c.bind("from/c", 2)
+        flaky_b.down = True
+        # trip b's breaker so sync_round skips it rather than failing in-round
+        group.breakers["b"].record_failure()
+        report = group.sync_round()
+        assert report.peers_skipped == ["b"]
+        assert report.peers_synced == 2
+        assert report.records_moved >= 2
+        assert a.lookup("from/c") == 2
+        assert c.lookup("from/a") == 1
+
+    def test_sync_failure_mid_round_is_contained(self):
+        a, b, c = make_replicas(3)
+        flaky_b = FlakyPeer(b, "b")
+        group = ResilientReplicaGroup([a, flaky_b, c], clock=SimClock())
+        a.bind("k", 1)
+        flaky_b.down = True  # breaker still closed: failure happens in-round
+        report = group.sync_round()
+        assert "b" in report.peers_failed
+        assert report.peers_synced >= 1  # the a↔c pair still moved data
+
+    def test_sync_with_fewer_than_two_live_peers_is_a_noop(self):
+        a, b = make_replicas(2)
+        flaky_b = FlakyPeer(b, "b")
+        group = ResilientReplicaGroup(
+            [a, flaky_b], clock=SimClock(), failure_threshold=1
+        )
+        group.breakers["b"].record_failure()
+        report = group.sync_round()
+        assert report.peers_synced == 0
+        assert report.records_moved == 0
+        assert report.peers_skipped == ["b"]
+
+    def test_returning_peer_catches_up(self):
+        clock = SimClock()
+        a, b = make_replicas(2)
+        flaky_b = FlakyPeer(b, "b")
+        group = ResilientReplicaGroup(
+            [a, flaky_b],
+            clock=clock,
+            failure_threshold=1,
+            reset_timeout_seconds=1.0,
+        )
+        group.breakers["b"].record_failure()
+        a.bind("while/you/were/out", 1)
+        flaky_b.down = False
+        clock.advance(1.0)  # breaker half-opens; sync may probe b
+        report = group.sync_round()
+        assert report.peers_synced == 2
+        assert b.lookup("while/you/were/out") == 1
+        assert group.status()["b"]["state"] == CLOSED
+
+
+class TestMixedPeers:
+    def test_rpc_backed_peer_participates(self):
+        """A RemoteNameServer proxy is a first-class group member."""
+        a, b = make_replicas(2)
+        rpc = RpcServer()
+        rpc.export(NAMESERVER_INTERFACE, b)
+        remote_b = RemoteNameServer(LoopbackTransport(rpc), clock=SimClock())
+        group = ResilientReplicaGroup(
+            [a, remote_b], peer_ids=["a", "b"], clock=SimClock()
+        )
+        group.bind("via/group", 42)
+        group.sync_round()
+        assert b.lookup("via/group") == 42
+        result = group.lookup("via/group")
+        assert result.value == 42
+
+    def test_status_shape(self):
+        a, b = make_replicas(2)
+        group = ResilientReplicaGroup([a, b], clock=SimClock())
+        status = group.status()
+        assert set(status) == {"a", "b"}
+        for entry in status.values():
+            assert set(entry) == {
+                "state",
+                "consecutive_failures",
+                "times_opened",
+                "last_error",
+            }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilientReplicaGroup([])
+        a, b = make_replicas(2)
+        with pytest.raises(ValueError):
+            ResilientReplicaGroup([a, b], peer_ids=["only-one"])

@@ -1,0 +1,94 @@
+"""Response-decoding edge cases: damaged or hostile reply bytes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rpc import (
+    BadRequest,
+    Int,
+    Interface,
+    NO_RETRY,
+    RemoteError,
+    RpcClient,
+    Transport,
+)
+from repro.rpc.interface import STATUS_APP_ERROR, STATUS_OK, _encode_str
+from repro.sim import SimClock
+
+
+class CannedTransport(Transport):
+    """Returns pre-scripted response bytes regardless of the request."""
+
+    def __init__(self, response: bytes):
+        self.response = response
+
+    def call(self, request: bytes) -> bytes:
+        return self.response
+
+
+class RegisteredFault(Exception):
+    pass
+
+
+@pytest.fixture
+def iface() -> Interface:
+    iface = Interface("Svc")
+    iface.method("ping", returns=Int)
+    iface.error(RegisteredFault)
+    return iface
+
+
+def client_for(iface, response: bytes) -> RpcClient:
+    return RpcClient(
+        iface, CannedTransport(response), retry=NO_RETRY, clock=SimClock()
+    )
+
+
+def app_error(name: str, message: str) -> bytes:
+    out = bytearray([STATUS_APP_ERROR])
+    _encode_str(name, out)
+    _encode_str(message, out)
+    return bytes(out)
+
+
+class TestDecodeResponse:
+    def test_empty_response(self, iface):
+        with pytest.raises(BadRequest, match="empty response"):
+            client_for(iface, b"").call("ping")
+
+    def test_unknown_status_byte(self, iface):
+        with pytest.raises(BadRequest, match="unknown response status 0x7f"):
+            client_for(iface, b"\x7f").call("ping")
+
+    def test_trailing_bytes_after_result(self, iface):
+        good = bytearray([STATUS_OK])
+        from repro.pickles.wire import encode_varint
+
+        encode_varint(42, good)  # Int result
+        with pytest.raises(BadRequest, match="trailing response bytes"):
+            client_for(iface, bytes(good) + b"xx").call("ping")
+
+    def test_registered_error_rehydrates(self, iface):
+        response = app_error("RegisteredFault", "known")
+        with pytest.raises(RegisteredFault, match="known"):
+            client_for(iface, response).call("ping")
+
+    def test_unregistered_error_becomes_remote_error(self, iface):
+        response = app_error("NoSuchErrorType", "mystery failure")
+        with pytest.raises(RemoteError) as info:
+            client_for(iface, response).call("ping")
+        assert info.value.error_name == "NoSuchErrorType"
+        assert info.value.message == "mystery failure"
+
+    def test_truncated_app_error_payload(self, iface):
+        truncated = app_error("RegisteredFault", "known")[:-3]
+        with pytest.raises(Exception):
+            client_for(iface, truncated).call("ping")
+
+    def test_bad_response_never_retried(self, iface):
+        """Decode failures are answers, not faults: exactly one attempt."""
+        client = client_for(iface, b"")
+        with pytest.raises(BadRequest):
+            client.call("ping")
+        assert client.stats.attempts == 1

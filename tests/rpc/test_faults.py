@@ -1,0 +1,144 @@
+"""Network fault injection: the injector, the faulty transport wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rpc import (
+    CallMaybeExecuted,
+    FaultyTransport,
+    Int,
+    Interface,
+    LoopbackTransport,
+    NetworkFault,
+    NetworkFaultInjector,
+    NullNetworkInjector,
+    NO_RETRY,
+    RpcClient,
+    RpcServer,
+    connect,
+)
+from repro.sim import SimClock
+
+
+@pytest.fixture
+def counter_interface() -> Interface:
+    iface = Interface("Counter")
+    iface.method("incr", params=[("by", Int)], returns=Int)
+    return iface
+
+
+class CounterImpl:
+    def __init__(self):
+        self.value = 0
+        self.executions = 0
+
+    def incr(self, by):
+        self.executions += 1
+        self.value += by
+        return self.value
+
+
+def make_stack(counter_interface, injector, clock=None):
+    impl = CounterImpl()
+    server = RpcServer()
+    server.export(counter_interface, impl)
+    transport = FaultyTransport(
+        LoopbackTransport(server), injector, clock=clock
+    )
+    return impl, server, transport
+
+
+class TestInjector:
+    def test_counts_from_one(self):
+        with pytest.raises(ValueError):
+            NetworkFaultInjector(fault_at_event=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            NetworkFaultInjector(fault_at_event=1, kind="gremlin")
+
+    def test_counts_two_events_per_call(self, counter_interface):
+        injector = NullNetworkInjector()
+        _, _, transport = make_stack(counter_interface, injector)
+        proxy = connect(counter_interface, transport, retry=NO_RETRY)
+        proxy.incr(1)
+        proxy.incr(1)
+        assert injector.events_seen == 4
+
+    def test_counter_keeps_running_after_fault(self, counter_interface):
+        injector = NetworkFaultInjector(fault_at_event=1, kind="drop")
+        _, _, transport = make_stack(counter_interface, injector)
+        client = RpcClient(counter_interface, transport, retry=NO_RETRY)
+        with pytest.raises(CallMaybeExecuted):
+            client.call("incr", 1)
+        client.call("incr", 1)  # retried manually; events keep counting
+        assert injector.events_seen == 3
+        assert injector.injected == [(1, "drop", "request")]
+
+    def test_disarm(self, counter_interface):
+        injector = NetworkFaultInjector(fault_at_event=1, kind="drop")
+        injector.disarm()
+        _, _, transport = make_stack(counter_interface, injector)
+        proxy = connect(counter_interface, transport, retry=NO_RETRY)
+        assert proxy.incr(5) == 5
+
+
+class TestFaultKinds:
+    def test_dropped_request_never_executes(self, counter_interface):
+        injector = NetworkFaultInjector(fault_at_event=1, kind="drop")
+        impl, _, transport = make_stack(counter_interface, injector)
+        client = RpcClient(counter_interface, transport, retry=NO_RETRY)
+        with pytest.raises(CallMaybeExecuted) as info:
+            client.call("incr", 1)
+        assert isinstance(info.value.__cause__, NetworkFault)
+        assert impl.executions == 0
+
+    def test_dropped_reply_executes_but_raises(self, counter_interface):
+        injector = NetworkFaultInjector(fault_at_event=2, kind="drop")
+        impl, _, transport = make_stack(counter_interface, injector)
+        client = RpcClient(counter_interface, transport, retry=NO_RETRY)
+        with pytest.raises(CallMaybeExecuted) as info:
+            client.call("incr", 1)
+        assert impl.executions == 1  # the ambiguity retries must resolve
+        assert info.value.__cause__.maybe_delivered
+
+    def test_sever_charges_reconnect_on_next_call(self, counter_interface):
+        clock = SimClock()
+        injector = NetworkFaultInjector(fault_at_event=1, kind="sever")
+        _, _, transport = make_stack(counter_interface, injector, clock=clock)
+        client = RpcClient(
+            counter_interface, transport, retry=NO_RETRY, clock=clock
+        )
+        with pytest.raises(CallMaybeExecuted):
+            client.call("incr", 1)
+        before = clock.now()
+        assert client.call("incr", 2) == 2
+        assert clock.now() - before == pytest.approx(
+            transport.reconnect_seconds
+        )
+
+    def test_delay_is_not_an_error(self, counter_interface):
+        clock = SimClock()
+        injector = NetworkFaultInjector(fault_at_event=1, kind="delay")
+        impl, _, transport = make_stack(counter_interface, injector, clock=clock)
+        client = RpcClient(
+            counter_interface, transport, retry=NO_RETRY, clock=clock
+        )
+        assert client.call("incr", 3) == 3
+        assert impl.executions == 1
+        assert clock.now() == pytest.approx(transport.delay_seconds)
+
+    def test_retrying_client_recovers_transparently(self, counter_interface):
+        """The whole point: one fault, the caller never notices."""
+        for event in (1, 2):
+            injector = NetworkFaultInjector(fault_at_event=event, kind="drop")
+            impl, server, transport = make_stack(counter_interface, injector)
+            clock = SimClock()
+            proxy = connect(
+                counter_interface, transport, clock=clock, client_id="c1"
+            )
+            assert proxy.incr(10) == 10
+            assert impl.executions == 1  # never twice
+            if event == 2:  # reply was lost after execution
+                assert server.reply_cache.hits == 1

@@ -1,0 +1,276 @@
+"""At-most-once execution: the server reply cache and call headers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.rpc import (
+    BadRequest,
+    CallHeader,
+    Int,
+    Interface,
+    LoopbackTransport,
+    ReplyCache,
+    RpcClient,
+    RpcServer,
+)
+from repro.rpc.interface import decode_request_header, encode_request
+from repro.sim import SimClock
+
+
+@pytest.fixture
+def counter_interface() -> Interface:
+    iface = Interface("Counter")
+    iface.method("incr", params=[("by", Int)], returns=Int)
+    return iface
+
+
+class CounterImpl:
+    def __init__(self):
+        self.value = 0
+        self.executions = 0
+
+    def incr(self, by):
+        self.executions += 1
+        self.value += by
+        return self.value
+
+
+def make_server(counter_interface, **kw):
+    impl = CounterImpl()
+    server = RpcServer(**kw)
+    server.export(counter_interface, impl)
+    return impl, server
+
+
+class TestCallHeader:
+    def test_roundtrip(self, counter_interface):
+        request = encode_request(
+            counter_interface, "incr", (3,), client_id="abc", seq=17
+        )
+        header, reader = decode_request_header(request)
+        assert isinstance(header, CallHeader)
+        assert header.wire_name == "Counter/1"
+        assert header.method == "incr"
+        assert header.client_id == "abc"
+        assert header.seq == 17
+
+    def test_default_header_opts_out(self, counter_interface):
+        request = encode_request(counter_interface, "incr", (3,))
+        header, _ = decode_request_header(request)
+        assert header.client_id == ""
+        assert header.seq == 0
+
+
+class TestDuplicateSuppression:
+    def test_duplicate_request_answered_from_cache(self, counter_interface):
+        impl, server = make_server(counter_interface)
+        request = encode_request(
+            counter_interface, "incr", (5,), client_id="c1", seq=1
+        )
+        first = server.dispatch(request)
+        second = server.dispatch(request)  # byte-identical retransmission
+        assert first == second
+        assert impl.executions == 1
+        assert impl.value == 5
+        assert server.reply_cache.hits == 1
+
+    def test_new_seq_executes(self, counter_interface):
+        impl, server = make_server(counter_interface)
+        for seq in (1, 2, 3):
+            server.dispatch(
+                encode_request(
+                    counter_interface, "incr", (1,), client_id="c1", seq=seq
+                )
+            )
+        assert impl.executions == 3
+        assert server.reply_cache.hits == 0
+
+    def test_stale_seq_rejected_without_executing(self, counter_interface):
+        impl, server = make_server(counter_interface)
+        for seq in (1, 2):
+            server.dispatch(
+                encode_request(
+                    counter_interface, "incr", (1,), client_id="c1", seq=seq
+                )
+            )
+        stale = server.dispatch(
+            encode_request(
+                counter_interface, "incr", (1,), client_id="c1", seq=1
+            )
+        )
+        assert stale[0] == 2  # STATUS_RPC_ERROR
+        assert b"stale" in stale
+        assert impl.executions == 2
+        assert server.reply_cache.stale_rejections == 1
+
+    def test_empty_client_id_bypasses_cache(self, counter_interface):
+        impl, server = make_server(counter_interface)
+        request = encode_request(counter_interface, "incr", (1,))
+        server.dispatch(request)
+        server.dispatch(request)
+        assert impl.executions == 2  # no dedup without an identity
+        assert server.reply_cache.hits == 0
+
+    def test_distinct_clients_do_not_collide(self, counter_interface):
+        impl, server = make_server(counter_interface)
+        for client_id in ("c1", "c2"):
+            server.dispatch(
+                encode_request(
+                    counter_interface, "incr", (1,), client_id=client_id, seq=1
+                )
+            )
+        assert impl.executions == 2
+
+    def test_app_errors_are_cached_too(self, counter_interface):
+        """A retried call that raised re-raises without re-executing."""
+
+        class Exploding:
+            def __init__(self):
+                self.executions = 0
+
+            def incr(self, by):
+                self.executions += 1
+                raise RuntimeError("boom")
+
+        impl = Exploding()
+        server = RpcServer()
+        server.export(counter_interface, impl)
+        request = encode_request(
+            counter_interface, "incr", (1,), client_id="c1", seq=1
+        )
+        first = server.dispatch(request)
+        second = server.dispatch(request)
+        assert first == second
+        assert first[0] == 1  # STATUS_APP_ERROR
+        assert impl.executions == 1
+
+    def test_eviction_bounds_memory(self, counter_interface):
+        impl, server = make_server(counter_interface, max_cached_clients=2)
+        for n in range(4):
+            server.dispatch(
+                encode_request(
+                    counter_interface, "incr", (1,), client_id=f"c{n}", seq=1
+                )
+            )
+        snap = server.reply_cache.snapshot()
+        assert snap["clients"] == 2
+        assert snap["evictions"] == 2
+        # an evicted client's retransmission re-executes (documented risk)
+        server.dispatch(
+            encode_request(
+                counter_interface, "incr", (1,), client_id="c0", seq=1
+            )
+        )
+        assert impl.executions == 5
+
+    def test_duplicate_during_execution_waits_for_original(
+        self, counter_interface
+    ):
+        """A duplicate racing the original execution must not re-execute."""
+        release = threading.Event()
+        started = threading.Event()
+
+        class Slow:
+            def __init__(self):
+                self.executions = 0
+
+            def incr(self, by):
+                self.executions += 1
+                started.set()
+                release.wait(5)
+                return by
+
+        impl = Slow()
+        server = RpcServer()
+        server.export(counter_interface, impl)
+        request = encode_request(
+            counter_interface, "incr", (9,), client_id="c1", seq=1
+        )
+        responses = []
+
+        def call():
+            responses.append(server.dispatch(request))
+
+        first = threading.Thread(target=call)
+        first.start()
+        assert started.wait(5)
+        second = threading.Thread(target=call)
+        second.start()
+        release.set()
+        first.join(5)
+        second.join(5)
+        assert len(responses) == 2
+        assert responses[0] == responses[1]
+        assert impl.executions == 1
+
+
+class TestReplyCacheUnit:
+    def test_probe_verdicts(self):
+        cache = ReplyCache()
+        assert cache.probe("c", 1) == (ReplyCache.NEW, None)
+        cache.store("c", 1, b"reply")
+        assert cache.probe("c", 1) == (ReplyCache.CACHED, b"reply")
+        assert cache.probe("c", 0) == (ReplyCache.STALE, None)
+        assert cache.probe("c", 2) == (ReplyCache.NEW, None)
+
+    def test_needs_room_for_one(self):
+        with pytest.raises(ValueError):
+            ReplyCache(max_clients=0)
+
+    def test_lru_eviction_order(self):
+        cache = ReplyCache(max_clients=2)
+        cache.store("a", 1, b"ra")
+        cache.store("b", 1, b"rb")
+        cache.probe("a", 1)  # touch a so b is the LRU
+        cache.store("c", 1, b"rc")
+        assert cache.probe("b", 1) == (ReplyCache.NEW, None)  # evicted
+        assert cache.probe("a", 1) == (ReplyCache.CACHED, b"ra")
+
+
+class TestEndToEnd:
+    def test_proxy_calls_carry_identity(self, counter_interface):
+        impl, server = make_server(counter_interface)
+        client = RpcClient(
+            counter_interface, LoopbackTransport(server), clock=SimClock()
+        )
+        proxy = client.proxy()
+        assert proxy.incr(2) == 2
+        assert proxy.incr(3) == 5
+        assert impl.executions == 2
+        assert server.reply_cache.snapshot()["clients"] == 1
+
+    def test_decode_error_not_cach_poisoned(self, counter_interface):
+        """A malformed request with an identity caches its error reply."""
+        impl, server = make_server(counter_interface)
+        request = encode_request(
+            counter_interface, "incr", (1,), client_id="c1", seq=1
+        ) + b"trailing"
+        first = server.dispatch(request)
+        assert first[0] == 2  # STATUS_RPC_ERROR
+        # retransmission of the same damage gets the same (cached) answer
+        assert server.dispatch(request) == first
+        assert impl.executions == 0
+
+    def test_malformed_header_is_clean_error(self, counter_interface):
+        _, server = make_server(counter_interface)
+        response = server.dispatch(b"\xff\xfe garbage")
+        assert response[0] == 2
+
+    def test_client_raises_on_stale_error(self, counter_interface):
+        _, server = make_server(counter_interface)
+        transport = LoopbackTransport(server)
+        stale = encode_request(
+            counter_interface, "incr", (1,), client_id="c1", seq=2
+        )
+        server.dispatch(stale)
+        old = encode_request(
+            counter_interface, "incr", (1,), client_id="c1", seq=1
+        )
+        client = RpcClient(counter_interface, transport, clock=SimClock())
+        with pytest.raises(BadRequest, match="stale"):
+            client._decode_response(
+                counter_interface.spec("incr"), server.dispatch(old)
+            )

@@ -1,0 +1,236 @@
+"""Client retries: backoff, deadlines, CallMaybeExecuted, stats.
+
+Every test runs on a SimClock and a seeded RNG — no real sleeps anywhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.rpc import (
+    CallMaybeExecuted,
+    DeadlineExpired,
+    Int,
+    Interface,
+    LoopbackTransport,
+    NO_RETRY,
+    RetryPolicy,
+    RpcClient,
+    RpcServer,
+    Transport,
+    TransportClosed,
+    TransportError,
+)
+from repro.rpc.interface import decode_request_header
+from repro.sim import SimClock
+
+
+@pytest.fixture
+def ping_interface() -> Interface:
+    iface = Interface("Ping")
+    iface.method("ping", params=[("n", Int)], returns=Int)
+    return iface
+
+
+class ScriptedTransport(Transport):
+    """Fails according to a script, then succeeds via a real server."""
+
+    def __init__(self, server, script):
+        self.inner = LoopbackTransport(server)
+        #: each entry: an exception to raise, or None to pass through
+        self.script = list(script)
+        self.requests: list[bytes] = []
+
+    def call(self, request: bytes) -> bytes:
+        self.requests.append(request)
+        if self.script:
+            planned = self.script.pop(0)
+            if planned is not None:
+                raise planned
+        return self.inner.call(request)
+
+
+def make_server(ping_interface) -> RpcServer:
+    class Impl:
+        def ping(self, n):
+            return n * 2
+
+    server = RpcServer()
+    server.export(ping_interface, Impl())
+    return server
+
+
+def make_client(ping_interface, transport, **options):
+    options.setdefault("clock", SimClock())
+    options.setdefault("rng", random.Random(7))
+    return RpcClient(ping_interface, transport, **options)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_seconds=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_seconds=0)
+
+    def test_full_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_seconds=0.1, max_delay_seconds=0.5)
+        rng = random.Random(42)
+        for prior in range(1, 10):
+            ceiling = min(0.5, 0.1 * (2 ** (prior - 1)))
+            for _ in range(50):
+                delay = policy.backoff_delay(prior, rng)
+                assert 0.0 <= delay <= ceiling
+
+    def test_deterministic_with_seeded_rng(self):
+        policy = RetryPolicy()
+        a = [policy.backoff_delay(n, random.Random(1)) for n in range(1, 5)]
+        b = [policy.backoff_delay(n, random.Random(1)) for n in range(1, 5)]
+        assert a == b
+
+
+class TestClientRetries:
+    def test_success_after_transient_failures(self, ping_interface):
+        server = make_server(ping_interface)
+        transport = ScriptedTransport(
+            server, [TransportError("blip"), TransportError("blip"), None]
+        )
+        client = make_client(ping_interface, transport)
+        assert client.call("ping", 21) == 42
+        assert client.stats.attempts == 3
+        assert client.stats.retries == 2
+        assert client.stats.transport_failures == 2
+        assert client.stats.failures == 0
+
+    def test_retries_reuse_the_same_sequence_number(self, ping_interface):
+        server = make_server(ping_interface)
+        transport = ScriptedTransport(server, [TransportError("blip"), None])
+        client = make_client(ping_interface, transport)
+        client.call("ping", 1)
+        headers = [decode_request_header(r)[0] for r in transport.requests]
+        assert len(headers) == 2
+        assert headers[0].seq == headers[1].seq
+        assert headers[0].client_id == headers[1].client_id
+        # the transport saw byte-identical retransmissions
+        assert transport.requests[0] == transport.requests[1]
+
+    def test_exhaustion_with_possible_delivery(self, ping_interface):
+        server = make_server(ping_interface)
+        transport = ScriptedTransport(
+            server, [TransportError("lost") for _ in range(10)]
+        )
+        client = make_client(
+            ping_interface, transport, retry=RetryPolicy(max_attempts=3)
+        )
+        with pytest.raises(CallMaybeExecuted) as info:
+            client.call("ping", 1)
+        assert info.value.attempts == 3
+        assert client.stats.maybe_executed == 1
+        assert client.stats.failures == 1
+
+    def test_exhaustion_never_delivered_is_plain_error(self, ping_interface):
+        server = make_server(ping_interface)
+        refused = [
+            TransportError("refused", maybe_delivered=False)
+            for _ in range(10)
+        ]
+        transport = ScriptedTransport(server, refused)
+        client = make_client(
+            ping_interface, transport, retry=RetryPolicy(max_attempts=3)
+        )
+        with pytest.raises(TransportError) as info:
+            client.call("ping", 1)
+        assert not isinstance(info.value, CallMaybeExecuted)
+        assert client.stats.maybe_executed == 0
+
+    def test_one_ambiguous_failure_taints_the_call(self, ping_interface):
+        """maybe_delivered is sticky across attempts."""
+        server = make_server(ping_interface)
+        script = [
+            TransportError("lost", maybe_delivered=True),
+            TransportError("refused", maybe_delivered=False),
+        ]
+        transport = ScriptedTransport(server, script)
+        client = make_client(
+            ping_interface, transport, retry=RetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(CallMaybeExecuted):
+            client.call("ping", 1)
+
+    def test_deadline_expires_before_attempts(self, ping_interface):
+        clock = SimClock()
+        server = make_server(ping_interface)
+        refused = [
+            TransportError("refused", maybe_delivered=False)
+            for _ in range(100)
+        ]
+        transport = ScriptedTransport(server, refused)
+        client = make_client(
+            ping_interface,
+            transport,
+            clock=clock,
+            retry=RetryPolicy(
+                max_attempts=100,
+                base_delay_seconds=1.0,
+                max_delay_seconds=1.0,
+                deadline_seconds=3.0,
+            ),
+        )
+        with pytest.raises(DeadlineExpired):
+            client.call("ping", 1)
+        assert client.stats.attempts < 100
+        assert clock.now() <= 3.0 + 1e-9  # never slept past the deadline
+        assert client.stats.deadline_expirations == 1
+
+    def test_no_retry_policy_is_single_shot(self, ping_interface):
+        server = make_server(ping_interface)
+        transport = ScriptedTransport(server, [TransportError("blip"), None])
+        client = make_client(ping_interface, transport, retry=NO_RETRY)
+        with pytest.raises(CallMaybeExecuted):
+            client.call("ping", 1)
+        assert client.stats.attempts == 1
+
+    def test_explicit_close_is_never_retried(self, ping_interface):
+        server = make_server(ping_interface)
+        transport = LoopbackTransport(server)
+        transport.close()
+        client = make_client(ping_interface, transport)
+        with pytest.raises(TransportClosed):
+            client.call("ping", 1)
+        assert client.stats.attempts == 1
+
+    def test_backoff_time_spent_on_injected_clock(self, ping_interface):
+        clock = SimClock()
+        server = make_server(ping_interface)
+        transport = ScriptedTransport(
+            server, [TransportError("blip"), TransportError("blip"), None]
+        )
+        client = make_client(ping_interface, transport, clock=clock)
+        client.call("ping", 1)
+        assert clock.now() == pytest.approx(client.stats.backoff_seconds)
+        assert client.stats.backoff_seconds > 0
+
+    def test_calls_made_counts_failed_attempts(self, ping_interface):
+        """The seed bug: failed calls vanished from the counter."""
+        server = make_server(ping_interface)
+        transport = ScriptedTransport(server, [TransportError("blip"), None])
+        client = make_client(ping_interface, transport)
+        client.call("ping", 1)
+        assert client.calls_made == 2  # both attempts visible
+
+    def test_stats_snapshot_shape(self, ping_interface):
+        server = make_server(ping_interface)
+        transport = ScriptedTransport(server, [TransportError("blip"), None])
+        client = make_client(ping_interface, transport)
+        client.call("ping", 1)
+        snap = client.stats.snapshot()
+        assert snap["calls"] == 1
+        assert snap["attempts"] == 2
+        assert snap["retries"] == 1
+        assert snap["transport_failures"] == 1
+        assert snap["failures"] == 0
+        assert snap["backoff_seconds"] > 0

@@ -1,0 +1,165 @@
+"""TCP transport and server robustness: reconnects, malformed frames,
+clean shutdown without thread leaks."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro.rpc import (
+    CallMaybeExecuted,
+    Int,
+    Interface,
+    NO_RETRY,
+    RpcClient,
+    RpcServer,
+    TcpServerThread,
+    TcpTransport,
+    TransportClosed,
+    TransportError,
+)
+from repro.sim import SimClock
+
+
+@pytest.fixture
+def echo_interface() -> Interface:
+    iface = Interface("Echo")
+    iface.method("double", params=[("n", Int)], returns=Int)
+    return iface
+
+
+@pytest.fixture
+def server(echo_interface) -> RpcServer:
+    class Impl:
+        def double(self, n):
+            return n * 2
+
+    server = RpcServer()
+    server.export(echo_interface, Impl())
+    return server
+
+
+def make_client(echo_interface, transport):
+    return RpcClient(
+        echo_interface, transport, retry=NO_RETRY, clock=SimClock()
+    )
+
+
+class TestLazyReconnect:
+    def test_failed_call_marks_dead_then_reconnects(
+        self, echo_interface, server
+    ):
+        srv = TcpServerThread(server).start()
+        port = srv.port
+        transport = TcpTransport(srv.host, port)
+        client = make_client(echo_interface, transport)
+        try:
+            assert client.call("double", 21) == 42
+            srv.stop()  # kills the established connection
+            with pytest.raises((TransportError, CallMaybeExecuted)):
+                client.call("double", 1)
+            assert not transport.connected  # dead, not bricked
+            # a new server appears on the same port; the transport heals
+            srv2 = TcpServerThread(server, port=port).start()
+            try:
+                assert client.call("double", 2) == 4
+                assert transport.connected
+            finally:
+                srv2.stop()
+        finally:
+            transport.close()
+
+    def test_repeated_failures_keep_raising_cleanly(
+        self, echo_interface, server
+    ):
+        """The seed bug: one OSError bricked the transport forever."""
+        srv = TcpServerThread(server).start()
+        transport = TcpTransport(srv.host, srv.port)
+        client = make_client(echo_interface, transport)
+        srv.stop()
+        try:
+            for _ in range(3):
+                with pytest.raises((TransportError, CallMaybeExecuted)) as info:
+                    client.call("double", 1)
+                assert not isinstance(info.value, TransportClosed)
+        finally:
+            transport.close()
+
+    def test_use_after_close_is_a_distinct_error(self, echo_interface, server):
+        with TcpServerThread(server) as srv:
+            transport = TcpTransport(srv.host, srv.port)
+            transport.close()
+            assert transport.closed
+            client = make_client(echo_interface, transport)
+            with pytest.raises(TransportClosed):
+                client.call("double", 1)
+
+    def test_connect_failure_is_definitely_not_delivered(self):
+        with pytest.raises(TransportError) as info:
+            TcpTransport("127.0.0.1", 1)  # nothing listens on port 1
+        assert info.value.maybe_delivered is False
+
+
+class TestMalformedFrames:
+    def _raw_connection(self, srv) -> socket.socket:
+        return socket.create_connection((srv.host, srv.port), timeout=5)
+
+    def test_garbage_length_prefix_drops_only_that_connection(
+        self, echo_interface, server
+    ):
+        with TcpServerThread(server) as srv:
+            evil = self._raw_connection(srv)
+            evil.sendall(struct.pack(">I", 2**31 - 1) + b"junk")
+            try:
+                assert evil.recv(1) == b""  # server closed the connection
+            except ConnectionResetError:
+                pass  # equally a close, just with unread bytes pending
+            evil.close()
+            assert srv.connection_errors >= 1
+            # the accept loop survived: a well-behaved client still works
+            transport = TcpTransport(srv.host, srv.port)
+            try:
+                client = make_client(echo_interface, transport)
+                assert client.call("double", 5) == 10
+            finally:
+                transport.close()
+
+    def test_truncated_frame_is_quiet_disconnect(self, echo_interface, server):
+        with TcpServerThread(server) as srv:
+            half = self._raw_connection(srv)
+            half.sendall(struct.pack(">I", 100) + b"only ten b")
+            half.close()  # mid-frame
+            transport = TcpTransport(srv.host, srv.port)
+            try:
+                client = make_client(echo_interface, transport)
+                assert client.call("double", 7) == 14
+            finally:
+                transport.close()
+
+
+class TestCleanStop:
+    def test_stop_joins_every_thread(self, echo_interface, server):
+        srv = TcpServerThread(server).start()
+        transports = [TcpTransport(srv.host, srv.port) for _ in range(3)]
+        try:
+            for n, transport in enumerate(transports):
+                client = make_client(echo_interface, transport)
+                assert client.call("double", n) == 2 * n
+            workers = list(srv._workers)
+            accept_thread = srv._accept_thread
+            assert accept_thread.is_alive()
+            srv.stop()
+            assert not accept_thread.is_alive()
+            for worker in workers:
+                assert not worker.is_alive()
+            assert not srv._connections
+        finally:
+            for transport in transports:
+                transport.close()
+
+    def test_stop_is_idempotent(self, server):
+        srv = TcpServerThread(server).start()
+        srv.stop()
+        srv.stop()
