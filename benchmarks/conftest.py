@@ -7,11 +7,18 @@ are printed in the terminal summary — outside pytest's output capture —
 so ``pytest benchmarks/ --benchmark-only`` shows them alongside the
 pytest-benchmark wall-time table, and they are also written to
 ``benchmarks/results/experiments.txt``.
+
+Benchmarks may additionally pass ``data=`` — a JSON-able dict of the
+measured quantities behind the table.  Those are consolidated per
+experiment into ``benchmarks/results/BENCH_E<n>.json`` (keyed by table
+title), which CI uploads as the run's machine-readable artifact.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
 
 import pytest
 
@@ -20,16 +27,27 @@ from repro.sim import MICROVAX_II, NameWorkload, SimClock
 from repro.storage import SimFS
 
 _REPORTS: list[str] = []
-_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "experiments.txt")
+_DATA: dict[str, dict[str, object]] = {}  # experiment id -> title -> data
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_RESULTS_PATH = os.path.join(_RESULTS_DIR, "experiments.txt")
+_EXPERIMENT_RE = re.compile(r"^(E\d+)")
 
 
 @pytest.fixture
 def report():
-    """Register a paper-vs-measured table for the terminal summary."""
+    """Register a paper-vs-measured table for the terminal summary.
 
-    def add(title: str, lines: list[str]) -> None:
+    ``data`` (optional) is the table's machine-readable form; it lands in
+    the experiment's consolidated ``BENCH_E<n>.json``.
+    """
+
+    def add(title: str, lines: list[str], data: dict | None = None) -> None:
         block = "\n".join([f"── {title} " + "─" * max(0, 68 - len(title)), *lines, ""])
         _REPORTS.append(block)
+        if data is not None:
+            match = _EXPERIMENT_RE.match(title)
+            experiment = match.group(1) if match else "MISC"
+            _DATA.setdefault(experiment, {})[title] = data
 
     return add
 
@@ -40,10 +58,24 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     terminalreporter.section("paper-vs-measured (simulated 1987 substrate)")
     for block in _REPORTS:
         terminalreporter.write_line(block)
-    os.makedirs(os.path.dirname(_RESULTS_PATH), exist_ok=True)
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
     with open(_RESULTS_PATH, "w", encoding="utf-8") as f:
         f.write("\n".join(_REPORTS))
-    terminalreporter.write_line(f"(tables also written to {_RESULTS_PATH})")
+    written = [os.path.basename(_RESULTS_PATH)]
+    for experiment, tables in sorted(_DATA.items()):
+        path = os.path.join(_RESULTS_DIR, f"BENCH_{experiment}.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(
+                {"experiment": experiment, "tables": tables},
+                f,
+                indent=2,
+                sort_keys=True,
+            )
+            f.write("\n")
+        written.append(os.path.basename(path))
+    terminalreporter.write_line(
+        f"(results also written to {_RESULTS_DIR}: {', '.join(written)})"
+    )
 
 
 # -- shared builders ------------------------------------------------------------

@@ -111,7 +111,27 @@ def test_e16_group_commit_throughput(benchmark, report):
         f"(speedup {e2e_immediate / e2e_grouped:4.1f}x, Amdahl-capped; "
         f"fsyncs {e2e_snap['log_fsyncs']}/400)"
     )
-    report("E16 automatic group commit (concurrent updaters)", lines)
+    report(
+        "E16 automatic group commit (concurrent updaters)",
+        lines,
+        data={
+            "commit_bound": {
+                nthreads: {
+                    "per_update_seconds": per_update,
+                    "group_seconds": grouped,
+                    "speedup": per_update / grouped,
+                    "log_fsyncs": snap["log_fsyncs"],
+                    "mean_commit_batch": snap["mean_commit_batch"],
+                }
+                for nthreads, (per_update, grouped, snap) in commit_bound.items()
+            },
+            "end_to_end_16_threads": {
+                "immediate_seconds": e2e_immediate,
+                "group_seconds": e2e_grouped,
+                "log_fsyncs": e2e_snap["log_fsyncs"],
+            },
+        },
+    )
 
     # Single-threaded there is nothing to batch: modes must roughly tie.
     solo_per_update, solo_grouped, solo_snap = commit_bound[1]

@@ -63,7 +63,15 @@ def test_e2_update_breakdown(benchmark, report):
         f"PickleWrite fraction of update: paper ~40 %, "
         f"measured {100 * pickle_fraction:.0f} %"
     )
-    report("E2 update latency breakdown", rows)
+    report(
+        "E2 update latency breakdown",
+        rows,
+        data={
+            "paper_seconds": PAPER,
+            "measured_seconds": measured,
+            "pickle_fraction": pickle_fraction,
+        },
+    )
 
 
 def test_e2_update_is_enquiry_plus_one_disk_write(benchmark, report):

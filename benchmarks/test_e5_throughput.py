@@ -37,6 +37,10 @@ def test_e5_sustained_update_rate(benchmark, report):
             f"paper:    > {PAPER_MIN_RATE:.0f} updates/second",
             f"measured: {rate:.1f} updates/second",
         ],
+        data={
+            "paper_min_updates_per_second": PAPER_MIN_RATE,
+            "measured_updates_per_second": rate,
+        },
     )
 
 
@@ -91,4 +95,9 @@ def test_e5_group_commit_raises_throughput(benchmark, report):
             f"100 grouped commits:    {grouped:6.2f} s "
             f"({100 / grouped:.1f}/s)",
         ],
+        data={
+            "individual_commit_seconds": singly,
+            "grouped_commit_seconds": grouped,
+            "speedup": singly / grouped,
+        },
     )

@@ -58,6 +58,7 @@ from repro.nameserver import (
     ResilientReplicaGroup,
     restore_replica,
 )
+from repro.obs import MetricsExporter, MetricsRegistry, SlowOpLog, Tracer
 from repro.pickles import TypeRegistry, pickle_read, pickle_write, pickleable
 from repro.rpc import (
     CallMaybeExecuted,
@@ -92,6 +93,8 @@ __all__ = [
     "LogSizeThreshold",
     "LoopbackTransport",
     "MICROVAX_II",
+    "MetricsExporter",
+    "MetricsRegistry",
     "NAMESERVER_INTERFACE",
     "NameExists",
     "NameNotFound",
@@ -111,8 +114,10 @@ __all__ = [
     "SUELock",
     "SimClock",
     "SimFS",
+    "SlowOpLog",
     "TcpServerThread",
     "TcpTransport",
+    "Tracer",
     "TypeRegistry",
     "WallClock",
     "__version__",

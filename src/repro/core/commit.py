@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING
 
 from repro.concurrency.locks import CommitBarrier
 from repro.core.errors import DatabaseError
+from repro.obs.tracing import child_span
 from repro.sim.clock import Clock, Stopwatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -150,7 +151,8 @@ class CommitCoordinator:
                     self.policy.max_batch, self.policy.max_hold_seconds
                 )
             batch = claim - self.barrier.completed()
-            self.writer.sync()
+            with child_span("commit.fsync", batch=batch):
+                self.writer.sync()
         except BaseException as exc:
             # Nobody can prove the staged tail durable any more; poison
             # the barrier so waiters unwind instead of hanging.

@@ -52,6 +52,8 @@ from repro.core.policy import CheckpointPolicy, Never
 from repro.core.recovery import recover
 from repro.core.stats import DatabaseStats
 from repro.core.transactions import DEFAULT_OPERATIONS, OperationRegistry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, child_span, maybe_span
 from repro.core.version import (
     VERSION_FILE,
     checkpoint_name,
@@ -84,6 +86,8 @@ class Database:
         durability: str = "group",
         commit_policy: CommitPolicy | None = None,
         auto_open: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         """Create (and by default open) a database over ``fs``.
 
@@ -105,6 +109,13 @@ class Database:
         protocol; ``"relaxed"`` returns before the fsync and relies on a
         later flush.  ``commit_policy`` tunes the group-commit batch size
         and hold time.
+
+        ``registry`` is the metrics registry that every number this
+        database records flows into (``stats`` is a view over it); one on
+        the database's clock is created when not supplied.  ``tracer``
+        enables root spans for updates/checkpoints; even without one,
+        updates executed under a traced RPC dispatch contribute child
+        spans to the caller's trace.
         """
         self.fs = fs
         self.initial = initial
@@ -134,7 +145,11 @@ class Database:
         )
 
         self.lock = SUELock()
-        self.stats = DatabaseStats()
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(clock=self.clock)
+        )
+        self.tracer = tracer
+        self.stats = DatabaseStats(self.registry)
         self.last_checkpoint_time = self.clock.now()
         self.entries_since_checkpoint = 0
 
@@ -167,6 +182,7 @@ class Database:
             self.cost_model,
             keep_versions=self.keep_versions,
             ignore_damaged_log=self.ignore_damaged_log,
+            metrics=self.registry,
         )
         if state is None:
             self._bootstrap()
@@ -184,6 +200,8 @@ class Database:
             page_size=self.page_size,
             pad_to_page=self.pad_log_to_page,
             start_seq=state.next_seq,
+            clock=self.clock,
+            sync_observer=self._note_fsync,
         )
         self._commit = CommitCoordinator(
             self._log, self.clock, self.commit_policy, self.stats
@@ -213,6 +231,8 @@ class Database:
             logfile_name(1),
             page_size=self.page_size,
             pad_to_page=self.pad_log_to_page,
+            clock=self.clock,
+            sync_observer=self._note_fsync,
         )
         self._commit = CommitCoordinator(
             self._log, self.clock, self.commit_policy, self.stats
@@ -280,42 +300,55 @@ class Database:
         call returns after staging, before any fsync.
         """
         self._check_usable()
+        with maybe_span(self.tracer, "db.update", op=op_name) as span:
+            return self._update_traced(span, op_name, args, kwargs)
+
+    def _update_traced(
+        self, span, op_name: str, args: tuple, kwargs: dict
+    ) -> object:
         op = self.operations.get(op_name)
         assert self._log is not None
         with self.lock.update():
+            span.event("update_lock_acquired")
             watch = Stopwatch(self.clock)
-            try:
-                op.check(self._root, *args, **kwargs)
-            except PreconditionFailed:
-                self.stats.record_rejected_update()
-                raise
-            self.cost_model.charge_explore(self.clock)
+            with child_span("db.explore"):
+                try:
+                    op.check(self._root, *args, **kwargs)
+                except PreconditionFailed:
+                    self.stats.record_rejected_update()
+                    raise
+                self.cost_model.charge_explore(self.clock)
             explore_s = watch.restart()
 
-            payload = pickle_write((op_name, args, kwargs), self.pickle_registry)
-            self.cost_model.charge_pickle(self.clock, len(payload))
+            with child_span("db.pickle"):
+                payload = pickle_write(
+                    (op_name, args, kwargs), self.pickle_registry
+                )
+                self.cost_model.charge_pickle(self.clock, len(payload))
             pickle_s = watch.restart()
 
-            if self.durability == "immediate":
-                entry = self._log.append(payload)  # the commit point
-                ticket = None
-            else:
-                entry = self._log.append_unsynced(payload)
-                assert self._commit is not None
-                ticket = self._commit.note_append()
+            with child_span("db.log_append", bytes=len(payload)):
+                if self.durability == "immediate":
+                    entry = self._log.append(payload)  # the commit point
+                    ticket = None
+                else:
+                    entry = self._log.append_unsynced(payload)
+                    assert self._commit is not None
+                    ticket = self._commit.note_append()
             log_write_s = watch.restart()
 
-            self.lock.upgrade()
-            try:
+            with child_span("db.apply"):
+                self.lock.upgrade()
                 try:
-                    result = op.apply(self._root, *args, **kwargs)
-                except Exception as exc:
-                    # The log says this update happened; memory disagrees.
-                    self._poisoned = exc
-                    raise DatabasePoisoned(exc) from exc
-                self.cost_model.charge_modify(self.clock)
-            finally:
-                self.lock.downgrade()
+                    try:
+                        result = op.apply(self._root, *args, **kwargs)
+                    except Exception as exc:
+                        # The log says this update happened; memory disagrees.
+                        self._poisoned = exc
+                        raise DatabasePoisoned(exc) from exc
+                    self.cost_model.charge_modify(self.clock)
+                finally:
+                    self.lock.downgrade()
             apply_s = watch.restart()
             # Counted under the update lock: a concurrent checkpoint's
             # reset must order strictly before or after this update.
@@ -328,8 +361,10 @@ class Database:
             self.stats.record_relaxed_updates(1)
         else:
             # The commit point (group mode): one leader fsyncs for the
-            # whole batch before any member's update() returns.
-            commit_wait_s = self._commit.wait_durable(ticket)
+            # whole batch before any member's update() returns.  The
+            # leader's fsync appears as a commit.fsync child span here.
+            with child_span("db.commit_barrier"):
+                commit_wait_s = self._commit.wait_durable(ticket)
 
         self.stats.record_update(
             explore_s,
@@ -444,7 +479,7 @@ class Database:
         availability cost, measured in E8/E10), enquiries proceed.
         """
         self._check_usable()
-        with self.lock.update():
+        with maybe_span(self.tracer, "db.checkpoint"), self.lock.update():
             watch = Stopwatch(self.clock)
             if self._commit is not None:
                 # Retire any unsynced tail (relaxed-mode backlog) before
@@ -465,6 +500,8 @@ class Database:
                 logfile_name(new_version),
                 page_size=self.page_size,
                 pad_to_page=self.pad_log_to_page,
+                clock=self.clock,
+                sync_observer=self._note_fsync,
             )
             if self._commit is not None:
                 self._commit.rebind(self._log)
@@ -513,6 +550,11 @@ class Database:
     def pending_commits(self) -> int:
         """Updates staged in the log but not yet covered by an fsync."""
         return self._commit.pending() if self._commit is not None else 0
+
+    def _note_fsync(self, seconds: float, nbytes: int) -> None:
+        """LogWriter sync observer: fsync latency flows to the registry
+        (counts come from the commit path, which knows batch sizes)."""
+        self.stats.record_fsync(seconds)
 
     def _before_log_reset(self, old_version: int) -> None:
         """Hook: runs under the update lock just before a checkpoint

@@ -101,6 +101,8 @@ class LogWriter:
         pad_to_page: bool = True,
         start_seq: int = 1,
         start_offset: int | None = None,
+        clock=None,
+        sync_observer=None,
     ) -> None:
         self.fs = fs
         self.name = name
@@ -111,6 +113,13 @@ class LogWriter:
             fs.create(name)
         self.offset = fs.size(name) if start_offset is None else start_offset
         self.entries_written = 0
+        #: When both are set, ``sync()`` is timed on ``clock`` and
+        #: ``sync_observer(seconds, bytes_since_last_sync)`` is invoked —
+        #: how fsync count/latency reach the metrics registry without the
+        #: writer knowing about metrics.
+        self.clock = clock
+        self.sync_observer = sync_observer
+        self._unsynced_bytes = 0
 
     def append(self, payload: bytes) -> LogEntry:
         """Durably append one entry; returns after the commit fsync.
@@ -151,7 +160,15 @@ class LogWriter:
         return entries
 
     def sync(self) -> None:
+        if self.clock is None or self.sync_observer is None:
+            self.fs.fsync(self.name)
+            self._unsynced_bytes = 0
+            return
+        synced = self._unsynced_bytes
+        started = self.clock.now()
         self.fs.fsync(self.name)
+        self._unsynced_bytes = 0
+        self.sync_observer(self.clock.now() - started, synced)
 
     def _resync_offset_from_file(self) -> None:
         """Re-learn the true end of file after a failed append."""
@@ -198,6 +215,7 @@ class LogWriter:
         self.next_seq += 1
         self.offset += len(framed)
         self.entries_written += 1
+        self._unsynced_bytes += len(framed)
         return record
 
 

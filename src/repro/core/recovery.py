@@ -36,6 +36,7 @@ from repro.core.version import (
     logfile_name,
     read_current_version,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.pickles import TypeRegistry, pickle_read
 from repro.sim.clock import Clock
 from repro.sim.costmodel import CostModel
@@ -66,17 +67,23 @@ def recover(
     cost_model: CostModel,
     keep_versions: int = 1,
     ignore_damaged_log: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> RecoveredState | None:
     """Run the restart sequence; ``None`` means no committed state exists.
 
     Raises :class:`RecoveryError` when a state exists but cannot be
     reconstructed locally (the paper's answer at that point is "restore
     from a replica" — see :mod:`repro.nameserver.replication`).
+
+    ``metrics`` is an observability registry (distinct from ``registry``,
+    the *pickle* type registry): when given, recovery publishes its
+    replay rate and bytes scanned there.
     """
     current = read_current_version(fs)
     if current is None:
         return None
     cleanup_after_restart(fs, current, keep_versions)
+    watch_start = clock.now()
 
     used_previous = False
     try:
@@ -108,6 +115,10 @@ def recover(
         # appending cleanly after it.
         fs.truncate(logfile_name(current.number), outcome.good_length)
 
+    if metrics is not None:
+        _publish_metrics(
+            metrics, clock.now() - watch_start, replayed, outcome.good_length
+        )
     return RecoveredState(
         root=root,
         version=current.number,
@@ -119,6 +130,22 @@ def recover(
         entries_skipped=skipped,
         used_previous_checkpoint=used_previous,
     )
+
+
+def _publish_metrics(
+    metrics, elapsed_seconds: float, replayed: int, log_bytes: int
+) -> None:
+    """Record one recovery's replay rate and scan volume in the registry."""
+    metrics.counter(
+        "db_recovery_log_bytes_total", "Committed log bytes scanned by recovery."
+    ).inc(log_bytes)
+    metrics.gauge(
+        "db_recovery_replay_entries_per_second",
+        "Replay rate of the most recent recovery (0 when instantaneous).",
+    ).set(replayed / elapsed_seconds if elapsed_seconds > 0 else 0.0)
+    metrics.histogram(
+        "db_recovery_seconds", "Durations of full restart sequences."
+    ).observe(elapsed_seconds)
 
 
 def _load_checkpoint(

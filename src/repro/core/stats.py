@@ -6,12 +6,24 @@ update (explore, pickle, log write, modify) that reproduces the paper's
 "54 msecs = 6 + 22 + 20 + 6" decomposition.  Timings are taken on whatever
 clock the database runs on, so under a :class:`~repro.sim.clock.SimClock`
 they are modelled 1987 times and under a wall clock they are real times.
+
+Since the observability subsystem (:mod:`repro.obs`) landed, the numbers
+live in a :class:`~repro.obs.metrics.MetricsRegistry` and this class is a
+*view*: the ``record_*`` methods write registry metrics and the familiar
+attributes (``stats.updates``, ``stats.log_bytes_written``…) read them
+back, so each quantity has exactly one source of truth and shows up in
+the Prometheus/JSON exports for free.  The historical API — every field,
+method, and ``snapshot()`` key — is preserved.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry, SIZE_BUCKETS
+
+_PHASES = ("explore", "pickle", "log_write", "apply")
 
 
 @dataclass
@@ -41,44 +53,205 @@ class PhaseBreakdown:
         }
 
 
-@dataclass
 class DatabaseStats:
-    """Counters and timing accumulators for one database instance."""
+    """Counters and timing accumulators for one database instance.
 
-    enquiries: int = 0
-    updates: int = 0
-    updates_rejected: int = 0
-    checkpoints: int = 0
-    restarts: int = 0
-    entries_replayed: int = 0
-    log_entries_written: int = 0
-    log_bytes_written: int = 0
-    pickle_bytes_written: int = 0
-    checkpoint_bytes_written: int = 0
-    last_checkpoint_seconds: float = 0.0
-    last_restart_seconds: float = 0.0
-    #: commit-point fsyncs on the log (one per immediate-mode update, one
-    #: per coordinator batch); checkpoint-file fsyncs are not included
-    log_fsyncs: int = 0
-    #: how many entries each commit fsync covered: {batch size: count}
-    commit_batch_histogram: dict[int, int] = field(default_factory=dict)
-    max_commit_batch: int = 0
-    #: seconds updates spent blocked on the commit barrier (cumulative)
-    commit_wait_seconds: float = 0.0
-    last_commit_wait_seconds: float = 0.0
-    #: updates that returned before their fsync (durability="relaxed")
-    relaxed_updates: int = 0
-    cumulative: PhaseBreakdown = field(default_factory=PhaseBreakdown)
-    last_update: PhaseBreakdown = field(default_factory=PhaseBreakdown)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    A thin view over ``registry`` (one is created if not supplied, so
+    standalone construction keeps working).  ``_lock`` serialises the
+    multi-metric record methods against ``snapshot()`` so a snapshot
+    never shows an update half-recorded.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        r = self.registry
+        self._enquiries = r.counter(
+            "db_enquiries_total", "Read-only enquiries served."
+        )
+        self._updates = r.counter(
+            "db_updates_total", "Updates applied (and logged)."
+        )
+        self._updates_rejected = r.counter(
+            "db_updates_rejected_total", "Updates rejected before logging."
+        )
+        self._checkpoints = r.counter(
+            "db_checkpoints_total", "Checkpoints written."
+        )
+        self._restarts = r.counter(
+            "db_restarts_total", "Recoveries (database opens with replay)."
+        )
+        self._entries_replayed = r.counter(
+            "db_entries_replayed_total", "Log entries replayed during recovery."
+        )
+        self._log_entries_written = r.counter(
+            "db_log_entries_written_total", "Log entries appended."
+        )
+        self._log_bytes_written = r.counter(
+            "db_log_bytes_written_total", "Bytes appended to the log."
+        )
+        self._pickle_bytes_written = r.counter(
+            "db_pickle_bytes_written_total", "Pickled payload bytes logged."
+        )
+        self._checkpoint_bytes_written = r.counter(
+            "db_checkpoint_bytes_written_total", "Bytes written by checkpoints."
+        )
+        self._last_checkpoint_seconds = r.gauge(
+            "db_last_checkpoint_seconds", "Duration of the last checkpoint."
+        )
+        self._last_restart_seconds = r.gauge(
+            "db_last_restart_seconds", "Duration of the last recovery."
+        )
+        self._checkpoint_seconds = r.histogram(
+            "db_checkpoint_seconds", "Checkpoint durations."
+        )
+        self._restart_seconds = r.histogram(
+            "db_restart_seconds", "Recovery durations."
+        )
+        self._log_fsyncs = r.counter(
+            "db_log_fsyncs_total",
+            "Commit-point fsyncs on the log (one per immediate-mode update, "
+            "one per coordinator batch); checkpoint-file fsyncs not included.",
+        )
+        self._fsync_seconds = r.histogram(
+            "db_fsync_seconds", "Log fsync durations at commit points."
+        )
+        self._commit_batches = r.counter(
+            "db_commit_batch_total",
+            "Commit fsyncs by how many log entries each covered.",
+            labelnames=("size",),
+        )
+        self._commit_batch_size = r.histogram(
+            "db_commit_batch_size",
+            "Distribution of entries per commit fsync.",
+            buckets=SIZE_BUCKETS,
+        )
+        self._max_commit_batch = r.gauge(
+            "db_max_commit_batch", "Largest commit batch seen."
+        )
+        self._commit_wait_seconds = r.counter(
+            "db_commit_wait_seconds_total",
+            "Seconds updates spent blocked on the commit barrier.",
+        )
+        self._last_commit_wait_seconds = r.gauge(
+            "db_last_commit_wait_seconds", "Commit wait of the last update."
+        )
+        self._relaxed_updates = r.counter(
+            "db_relaxed_updates_total",
+            "Updates that returned before their fsync (durability=relaxed).",
+        )
+        self._update_seconds = r.histogram(
+            "db_update_seconds", "End-to-end update durations (sum of phases)."
+        )
+        self._phase_seconds = r.counter(
+            "db_update_phase_seconds_total",
+            "Cumulative update time by phase (explore/pickle/log_write/apply).",
+            labelnames=("phase",),
+        )
+        self._last_phase_seconds = r.gauge(
+            "db_update_phase_seconds_last",
+            "Phase times of the last update.",
+            labelnames=("phase",),
+        )
+        # Materialise the per-phase series now so exports show them at zero.
+        self._phase_totals = {p: self._phase_seconds.labels(p) for p in _PHASES}
+        self._phase_lasts = {p: self._last_phase_seconds.labels(p) for p in _PHASES}
+
+    # -- recorded quantities, read back from the registry --------------------
+
+    @property
+    def enquiries(self) -> int:
+        return int(self._enquiries.value)
+
+    @property
+    def updates(self) -> int:
+        return int(self._updates.value)
+
+    @property
+    def updates_rejected(self) -> int:
+        return int(self._updates_rejected.value)
+
+    @property
+    def checkpoints(self) -> int:
+        return int(self._checkpoints.value)
+
+    @property
+    def restarts(self) -> int:
+        return int(self._restarts.value)
+
+    @property
+    def entries_replayed(self) -> int:
+        return int(self._entries_replayed.value)
+
+    @property
+    def log_entries_written(self) -> int:
+        return int(self._log_entries_written.value)
+
+    @property
+    def log_bytes_written(self) -> int:
+        return int(self._log_bytes_written.value)
+
+    @property
+    def pickle_bytes_written(self) -> int:
+        return int(self._pickle_bytes_written.value)
+
+    @property
+    def checkpoint_bytes_written(self) -> int:
+        return int(self._checkpoint_bytes_written.value)
+
+    @property
+    def last_checkpoint_seconds(self) -> float:
+        return self._last_checkpoint_seconds.value
+
+    @property
+    def last_restart_seconds(self) -> float:
+        return self._last_restart_seconds.value
+
+    @property
+    def log_fsyncs(self) -> int:
+        return int(self._log_fsyncs.value)
+
+    @property
+    def commit_batch_histogram(self) -> dict[int, int]:
+        """How many entries each commit fsync covered: {batch size: count}."""
+        return {
+            int(series.labels[0]): int(series.value)
+            for series in sorted(
+                self._commit_batches.series(), key=lambda s: int(s.labels[0])
+            )
+        }
+
+    @property
+    def max_commit_batch(self) -> int:
+        return int(self._max_commit_batch.value)
+
+    @property
+    def commit_wait_seconds(self) -> float:
+        return self._commit_wait_seconds.value
+
+    @property
+    def last_commit_wait_seconds(self) -> float:
+        return self._last_commit_wait_seconds.value
+
+    @property
+    def relaxed_updates(self) -> int:
+        return int(self._relaxed_updates.value)
+
+    @property
+    def cumulative(self) -> PhaseBreakdown:
+        return PhaseBreakdown(*(self._phase_totals[p].value for p in _PHASES))
+
+    @property
+    def last_update(self) -> PhaseBreakdown:
+        return PhaseBreakdown(*(self._phase_lasts[p].value for p in _PHASES))
+
+    # -- recording ------------------------------------------------------------
 
     def record_enquiry(self) -> None:
-        with self._lock:
-            self.enquiries += 1
+        self._enquiries.inc()
 
     def record_rejected_update(self) -> None:
-        with self._lock:
-            self.updates_rejected += 1
+        self._updates_rejected.inc()
 
     def record_update(
         self,
@@ -90,34 +263,35 @@ class DatabaseStats:
         payload_bytes: int,
         commit_wait_seconds: float = 0.0,
     ) -> None:
+        phases = (explore_seconds, pickle_seconds, log_write_seconds, apply_seconds)
         with self._lock:
-            self.updates += 1
-            self.log_entries_written += 1
-            self.log_bytes_written += entry_bytes
-            self.pickle_bytes_written += payload_bytes
-            self.commit_wait_seconds += commit_wait_seconds
-            self.last_commit_wait_seconds = commit_wait_seconds
-            self.last_update = PhaseBreakdown(
-                explore_seconds, pickle_seconds, log_write_seconds, apply_seconds
-            )
-            self.cumulative.explore_seconds += explore_seconds
-            self.cumulative.pickle_seconds += pickle_seconds
-            self.cumulative.log_write_seconds += log_write_seconds
-            self.cumulative.apply_seconds += apply_seconds
+            self._updates.inc()
+            self._log_entries_written.inc()
+            self._log_bytes_written.inc(entry_bytes)
+            self._pickle_bytes_written.inc(payload_bytes)
+            self._commit_wait_seconds.inc(commit_wait_seconds)
+            self._last_commit_wait_seconds.set(commit_wait_seconds)
+            self._update_seconds.observe(sum(phases))
+            for phase, seconds in zip(_PHASES, phases):
+                self._phase_totals[phase].inc(seconds)
+                self._phase_lasts[phase].set(seconds)
 
     def record_commit_batch(self, size: int) -> None:
         """One commit fsync just covered ``size`` log entries."""
         with self._lock:
-            self.log_fsyncs += 1
-            self.commit_batch_histogram[size] = (
-                self.commit_batch_histogram.get(size, 0) + 1
-            )
-            if size > self.max_commit_batch:
-                self.max_commit_batch = size
+            self._log_fsyncs.inc()
+            self._commit_batches.labels(size).inc()
+            self._commit_batch_size.observe(size)
+            if size > self._max_commit_batch.value:
+                self._max_commit_batch.set(size)
+
+    def record_fsync(self, seconds: float) -> None:
+        """One log fsync took ``seconds`` (latency only; counts come from
+        :meth:`record_commit_batch`, the commit-point source of truth)."""
+        self._fsync_seconds.observe(seconds)
 
     def record_relaxed_updates(self, count: int = 1) -> None:
-        with self._lock:
-            self.relaxed_updates += count
+        self._relaxed_updates.inc(count)
 
     def mean_commit_batch(self) -> float:
         """Average entries per commit fsync (0.0 before any fsync)."""
@@ -126,27 +300,28 @@ class DatabaseStats:
 
     def record_checkpoint(self, seconds: float, nbytes: int) -> None:
         with self._lock:
-            self.checkpoints += 1
-            self.last_checkpoint_seconds = seconds
-            self.checkpoint_bytes_written += nbytes
+            self._checkpoints.inc()
+            self._last_checkpoint_seconds.set(seconds)
+            self._checkpoint_seconds.observe(seconds)
+            self._checkpoint_bytes_written.inc(nbytes)
 
     def record_restart(self, seconds: float, entries_replayed: int) -> None:
         with self._lock:
-            self.restarts += 1
-            self.last_restart_seconds = seconds
-            self.entries_replayed += entries_replayed
+            self._restarts.inc()
+            self._last_restart_seconds.set(seconds)
+            self._restart_seconds.observe(seconds)
+            self._entries_replayed.inc(entries_replayed)
+
+    # -- derived views ---------------------------------------------------------
 
     def mean_update_breakdown(self) -> PhaseBreakdown:
         """Average per-update phase times over the life of the instance."""
         with self._lock:
-            if not self.updates:
-                return PhaseBreakdown()
             n = self.updates
+            if not n:
+                return PhaseBreakdown()
             return PhaseBreakdown(
-                self.cumulative.explore_seconds / n,
-                self.cumulative.pickle_seconds / n,
-                self.cumulative.log_write_seconds / n,
-                self.cumulative.apply_seconds / n,
+                *(self._phase_totals[p].value / n for p in _PHASES)
             )
 
     def snapshot(self) -> dict[str, object]:
@@ -165,7 +340,7 @@ class DatabaseStats:
                 "last_checkpoint_seconds": self.last_checkpoint_seconds,
                 "last_restart_seconds": self.last_restart_seconds,
                 "log_fsyncs": self.log_fsyncs,
-                "commit_batch_histogram": dict(self.commit_batch_histogram),
+                "commit_batch_histogram": self.commit_batch_histogram,
                 "max_commit_batch": self.max_commit_batch,
                 "mean_commit_batch": self._mean_commit_batch_locked(),
                 "commit_wait_seconds": self.commit_wait_seconds,
@@ -175,6 +350,7 @@ class DatabaseStats:
             }
 
     def _mean_commit_batch_locked(self) -> float:
-        total = sum(s * n for s, n in self.commit_batch_histogram.items())
-        fsyncs = sum(self.commit_batch_histogram.values())
+        histogram = self.commit_batch_histogram
+        total = sum(s * n for s, n in histogram.items())
+        fsyncs = sum(histogram.values())
         return total / fsyncs if fsyncs else 0.0

@@ -15,6 +15,7 @@ Client side, :class:`RemoteManagement` wraps the generated proxy.
 from __future__ import annotations
 
 from repro.nameserver.server import NameServer
+from repro.obs.export import to_prometheus
 from repro.rpc import (
     Bool,
     DictOf,
@@ -31,8 +32,9 @@ from repro.rpc import (
 class ManagementService:
     """The server-side implementation, wrapping a NameServer/Replica."""
 
-    def __init__(self, server: NameServer) -> None:
+    def __init__(self, server: NameServer, slow_log=None) -> None:
         self.server = server
+        self.slow_log = slow_log
 
     # -- status -----------------------------------------------------------------
 
@@ -85,6 +87,41 @@ class ManagementService:
     def is_replica(self) -> bool:
         return hasattr(self.server, "sync_from")
 
+    # -- observability ----------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The node's full metrics registry in Prometheus text format."""
+        return to_prometheus(self.server.db.registry)
+
+    def metrics(self) -> dict:
+        """The registry snapshot as a structure (counters, histograms…)."""
+        return self.server.db.registry.snapshot()
+
+    def last_trace_id(self) -> str:
+        """Newest trace id in the server tracer's ring ("" when none)."""
+        tracer = self.server.db.tracer
+        if tracer is None:
+            return ""
+        return tracer.last_trace_id() or ""
+
+    def trace_spans(self, trace_id: str) -> list:
+        """Finished span dicts of one trace, for cross-process assembly.
+
+        The caller merges these with its own client-side spans (they
+        share the propagated trace id) via
+        :func:`repro.obs.export.merge_trees`.
+        """
+        tracer = self.server.db.tracer
+        if tracer is None:
+            return []
+        return [span.to_dict() for span in tracer.finished_spans(trace_id)]
+
+    def slow_ops(self) -> list:
+        """The retained over-threshold spans, oldest first."""
+        if self.slow_log is None:
+            return []
+        return self.slow_log.entries()
+
 
 MANAGEMENT_INTERFACE = Interface("Management", version=1)
 MANAGEMENT_INTERFACE.method("status", returns=Pickled())
@@ -101,6 +138,13 @@ MANAGEMENT_INTERFACE.method("force_checkpoint", returns=Int)
 MANAGEMENT_INTERFACE.method("replication_vector", returns=DictOf(Str, Int))
 MANAGEMENT_INTERFACE.method("propagate", returns=Int)
 MANAGEMENT_INTERFACE.method("is_replica", returns=Bool)
+MANAGEMENT_INTERFACE.method("metrics_text", returns=Str)
+MANAGEMENT_INTERFACE.method("metrics", returns=Pickled())
+MANAGEMENT_INTERFACE.method("last_trace_id", returns=Str)
+MANAGEMENT_INTERFACE.method(
+    "trace_spans", params=[("trace_id", Str)], returns=Pickled()
+)
+MANAGEMENT_INTERFACE.method("slow_ops", returns=Pickled())
 
 
 class RemoteManagement:
@@ -120,6 +164,11 @@ class RemoteManagement:
         self.replication_vector = proxy.replication_vector
         self.propagate = proxy.propagate
         self.is_replica = proxy.is_replica
+        self.metrics_text = proxy.metrics_text
+        self.metrics = proxy.metrics
+        self.last_trace_id = proxy.last_trace_id
+        self.trace_spans = proxy.trace_spans
+        self.slow_ops = proxy.slow_ops
 
     def close(self) -> None:
         self._client.close()

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.nameserver.server import NameServer
+from repro.obs.metrics import MetricsRegistry
 from repro.rpc.errors import CallMaybeExecuted, TransportError
 from repro.sim.clock import Clock, WallClock
 from repro.storage.interface import FileSystem
@@ -54,7 +55,25 @@ class Replica(NameServer):
     ) -> None:
         super().__init__(fs, replica_id=replica_id, **db_options)
         self.peers: list[object] = []
-        self.propagation_failures = 0
+        # Registered eagerly on the database's registry so a node's
+        # Prometheus export shows the replication layer from the start.
+        registry = self.db.registry
+        self._propagation_failures = registry.counter(
+            "replication_propagation_failures_total",
+            "Peers that could not be reached during eager propagation.",
+        )
+        self._records_propagated = registry.counter(
+            "replication_records_propagated_total",
+            "History records delivered to peers by eager propagation.",
+        )
+        self._records_pulled = registry.counter(
+            "replication_records_pulled_total",
+            "History records pulled from peers by anti-entropy.",
+        )
+
+    @property
+    def propagation_failures(self) -> int:
+        return int(self._propagation_failures.value)
 
     def add_peer(self, peer: object) -> None:
         """Register a peer (NameServer, Replica or RemoteNameServer)."""
@@ -76,8 +95,9 @@ class Replica(NameServer):
                 if missing:
                     peer.apply_remote(missing)
                     delivered += len(missing)
+                    self._records_propagated.inc(len(missing))
             except Exception:
-                self.propagation_failures += 1
+                self._propagation_failures.inc()
         return delivered
 
     # -- anti-entropy -------------------------------------------------------------
@@ -90,7 +110,9 @@ class Replica(NameServer):
             raise PeerUnavailable(f"sync failed: {exc!r}") from exc
         if not missing:
             return 0
-        return self.apply_remote(missing)
+        applied = self.apply_remote(missing)
+        self._records_pulled.inc(applied)
+        return applied
 
     def sync_with(self, peer: object) -> tuple[int, int]:
         """Bidirectional reconciliation; returns (pulled, pushed)."""
@@ -298,6 +320,7 @@ class ResilientReplicaGroup:
         failure_threshold: int = 3,
         reset_timeout_seconds: float = 30.0,
         track_staleness: bool = True,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if not peers:
             raise ValueError("a replica group needs at least one peer")
@@ -325,7 +348,40 @@ class ResilientReplicaGroup:
         }
         #: freshest version vector observed from any peer (origin → seq)
         self.best_vector: dict[str, int] = {}
-        self.failovers = 0
+        self.registry = registry if registry is not None else MetricsRegistry(
+            clock=self.clock
+        )
+        self._failovers = self.registry.counter(
+            "replication_failovers_total",
+            "Reads or updates served by a non-preferred replica.",
+        )
+        self._breaker_state = self.registry.gauge(
+            "replication_breaker_state",
+            "Per-peer circuit state: 0 closed, 1 half-open, 2 open.",
+            labelnames=("peer",),
+        )
+        self._breaker_opens = self.registry.counter(
+            "replication_breaker_opens_total",
+            "Circuit-breaker open transitions per peer.",
+            labelnames=("peer",),
+        )
+        self._staleness_lag = self.registry.gauge(
+            "replication_staleness_lag",
+            "Updates the serving replica is known to be missing.",
+            labelnames=("peer",),
+        )
+        self._breaker_state_series = {
+            peer_id: self._breaker_state.labels(peer_id)
+            for peer_id in self.peer_ids
+        }
+        self._breaker_open_counts = {
+            peer_id: self._breaker_opens.labels(peer_id)
+            for peer_id in self.peer_ids
+        }
+
+    @property
+    def failovers(self) -> int:
+        return int(self._failovers.value)
 
     # -- plumbing -------------------------------------------------------------
 
@@ -335,16 +391,36 @@ class ResilientReplicaGroup:
             for index, (peer_id, peer) in enumerate(
                 zip(self.peer_ids, self.peers)
             )
-            if self.breakers[peer_id].allow()
+            if self._allow(peer_id)
         ]
+
+    _STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+    def _allow(self, peer_id: str) -> bool:
+        allowed = self.breakers[peer_id].allow()
+        self._note_breaker(peer_id)  # allow() may flip open → half-open
+        return allowed
+
+    def _note_breaker(self, peer_id: str) -> None:
+        self._breaker_state_series[peer_id].set(
+            self._STATE_CODES[self.breakers[peer_id].state]
+        )
 
     def _success(self, peer_id: str) -> None:
         self.breakers[peer_id].record_success()
         self.last_errors[peer_id] = None
+        self._note_breaker(peer_id)
 
     def _failure(self, peer_id: str, exc: Exception) -> None:
-        self.breakers[peer_id].record_failure()
+        breaker = self.breakers[peer_id]
+        opened_before = breaker.times_opened
+        breaker.record_failure()
+        if breaker.times_opened > opened_before:
+            self._breaker_open_counts[peer_id].inc(
+                breaker.times_opened - opened_before
+            )
         self.last_errors[peer_id] = repr(exc)
+        self._note_breaker(peer_id)
 
     def _note_vector(self, vector: dict[str, int]) -> None:
         for origin, seq in vector.items():
@@ -385,9 +461,10 @@ class ResilientReplicaGroup:
             if vector is not None:
                 self._note_vector(vector)
                 lag = self._lag_of(vector)
+                self._staleness_lag.labels(peer_id).set(lag)
             degraded = index != 0
             if degraded:
-                self.failovers += 1
+                self._failovers.inc()
             return ReadResult(
                 value=value,
                 served_by=peer_id,
@@ -434,7 +511,7 @@ class ResilientReplicaGroup:
                 continue
             self._success(peer_id)
             if index != 0:
-                self.failovers += 1
+                self._failovers.inc()
             return peer_id
         raise AllPeersUnavailable(
             f"no replica accepted {method!r}: "

@@ -25,6 +25,7 @@ from repro.nameserver.client import RemoteNameServer
 from repro.nameserver.management import MANAGEMENT_INTERFACE, ManagementService
 from repro.nameserver.replication import Replica
 from repro.nameserver.server import NAMESERVER_INTERFACE
+from repro.obs import MetricsExporter, MetricsRegistry, SlowOpLog, Tracer
 from repro.rpc import RpcServer, TcpServerThread, TcpTransport
 from repro.storage.localfs import LocalFS
 
@@ -41,6 +42,10 @@ class NodeOptions:
     sync_interval: float = 30.0
     checkpoint_updates: int | None = None
     checkpoint_log_bytes: int | None = None
+    #: bind an HTTP /metrics endpoint here (None disables; 0 = any port)
+    metrics_port: int | None = None
+    #: spans at least this long land in the slow-op log
+    slow_op_threshold: float = 0.1
 
 
 class Node:
@@ -48,16 +53,39 @@ class Node:
 
     def __init__(self, options: NodeOptions) -> None:
         self.options = options
-        self.replica = Replica(LocalFS(options.directory), options.replica_id)
+        # One registry and tracer span the whole node: storage, database,
+        # replication and RPC all record into the same export.
+        self.registry = MetricsRegistry()
+        self.slow_log = SlowOpLog(threshold_seconds=options.slow_op_threshold)
+        self.tracer = Tracer(slow_log=self.slow_log)
+        self.replica = Replica(
+            LocalFS(options.directory, registry=self.registry),
+            options.replica_id,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
         self._peer_transports: list[TcpTransport] = []
         self._connect_peers()
 
-        self.rpc = RpcServer()
+        self.rpc = RpcServer(registry=self.registry, tracer=self.tracer)
         self.rpc.export(NAMESERVER_INTERFACE, self.replica)
-        self.rpc.export(MANAGEMENT_INTERFACE, ManagementService(self.replica))
+        self.rpc.export(
+            MANAGEMENT_INTERFACE,
+            ManagementService(self.replica, slow_log=self.slow_log),
+        )
         self.listener = TcpServerThread(
             self.rpc, host=options.host, port=options.port
         ).start()
+
+        self.metrics_exporter: MetricsExporter | None = None
+        if options.metrics_port is not None:
+            self.metrics_exporter = MetricsExporter(
+                self.registry,
+                tracer=self.tracer,
+                slow_log=self.slow_log,
+                host=options.host,
+                port=options.metrics_port,
+            ).start()
 
         self._stop = threading.Event()
         self._sync_thread: threading.Thread | None = None
@@ -124,6 +152,8 @@ class Node:
 
     def shutdown(self) -> None:
         self._stop.set()
+        if self.metrics_exporter is not None:
+            self.metrics_exporter.stop()
         if self.checkpoint_daemon is not None:
             self.checkpoint_daemon.stop()
         if self._sync_thread is not None:
@@ -178,6 +208,14 @@ def main(argv: list[str] | None = None) -> int:
         "--checkpoint-log-bytes", type=int, default=None,
         help="checkpoint when the log exceeds this many bytes",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve Prometheus /metrics on this port (0 = any free port)",
+    )
+    parser.add_argument(
+        "--slow-op-threshold", type=float, default=0.1,
+        help="spans at least this many seconds land in the slow-op log",
+    )
     args = parser.parse_args(argv)
 
     node = build_node(
@@ -190,11 +228,16 @@ def main(argv: list[str] | None = None) -> int:
             sync_interval=args.sync_interval,
             checkpoint_updates=args.checkpoint_updates,
             checkpoint_log_bytes=args.checkpoint_log_bytes,
+            metrics_port=args.metrics_port,
+            slow_op_threshold=args.slow_op_threshold,
         )
     )
+    extra = ""
+    if node.metrics_exporter is not None:
+        extra = f", metrics on :{node.metrics_exporter.port}"
     print(
         f"name server {args.replica_id!r} on {node.listener.host}:{node.port}, "
-        f"{node.replica.count()} names recovered",
+        f"{node.replica.count()} names recovered{extra}",
         flush=True,
     )
     try:

@@ -1,0 +1,60 @@
+"""Unified observability: metrics registry, cross-RPC tracing, exporters.
+
+See :mod:`repro.obs.metrics`, :mod:`repro.obs.tracing`, and
+:mod:`repro.obs.export` for the three pillars; ``docs/OPERATIONS.md``
+has the operator-facing metric catalogue and trace-header format.
+"""
+
+from repro.obs.export import (
+    MetricsExporter,
+    SlowOpLog,
+    merge_trees,
+    to_json,
+    to_prometheus,
+    trace_payload,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    SIZE_BUCKETS,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    Tracer,
+    build_tree,
+    child_span,
+    current_span,
+    extract,
+    format_tree,
+    maybe_span,
+    span_names,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "SIZE_BUCKETS",
+    "MetricError",
+    "MetricFamily",
+    "MetricsExporter",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SlowOpLog",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "build_tree",
+    "child_span",
+    "current_span",
+    "extract",
+    "format_tree",
+    "maybe_span",
+    "merge_trees",
+    "span_names",
+    "to_json",
+    "to_prometheus",
+    "trace_payload",
+]

@@ -1,0 +1,248 @@
+"""Exporters: Prometheus text, JSON snapshots, the slow-op log, and HTTP.
+
+Everything here reads the registry/tracer and formats; nothing mutates.
+The HTTP server is stdlib-only (``http.server``) so a node can expose
+``/metrics`` without any new dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer, build_tree, format_tree
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labelnames, labelvalues, extra=()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(str(value))}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Histograms expose the standard cumulative ``_bucket{le=...}`` series
+    plus ``_sum`` and ``_count``; the terminal bucket is ``le="+Inf"``.
+    """
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for series in family.series():
+            if family.kind == "histogram":
+                for bound, count in series.bucket_counts():
+                    labels = _format_labels(
+                        family.labelnames,
+                        series.labels,
+                        extra=(("le", _format_value(bound)),),
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {count}")
+                labels = _format_labels(family.labelnames, series.labels)
+                lines.append(f"{family.name}_sum{labels} {_format_value(series.sum)}")
+                lines.append(f"{family.name}_count{labels} {series.count}")
+            else:
+                labels = _format_labels(family.labelnames, series.labels)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(series.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = None) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+class SlowOpLog:
+    """A bounded ring of the slowest-recent spans: ops over ``threshold``.
+
+    Tracers ``offer()`` every finished span; only those at least
+    ``threshold_seconds`` long are kept.  ``entries()`` returns the
+    retained spans newest-last as plain dicts, ready for JSON or the
+    shell's ``slowops`` command.
+    """
+
+    def __init__(self, threshold_seconds: float = 0.1, capacity: int = 256) -> None:
+        if threshold_seconds < 0:
+            raise ValueError("slow-op threshold must be >= 0")
+        if capacity < 1:
+            raise ValueError("slow-op capacity counts from 1")
+        self.threshold_seconds = threshold_seconds
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.offered = 0
+        self.retained = 0
+
+    def offer(self, span: Span) -> bool:
+        duration = span.duration()
+        with self._lock:
+            self.offered += 1
+            if duration < self.threshold_seconds:
+                return False
+            self.retained += 1
+            self._entries.append(span.to_dict())
+            return True
+
+    def entries(self) -> list[dict]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def format(self, limit: int = 20) -> str:
+        entries = self.entries()[-limit:]
+        if not entries:
+            return (
+                f"(no operations over {self.threshold_seconds * 1000:.0f} ms; "
+                f"{self.offered} observed)"
+            )
+        lines = [f"{'duration':>12}  {'span':<32} attrs"]
+        for entry in reversed(entries):  # slowest-recent first
+            attrs = entry.get("attrs") or {}
+            extra = " ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
+            lines.append(
+                f"{entry['duration'] * 1000:10.3f}ms  {entry['name']:<32} {extra}"
+            )
+        return "\n".join(lines)
+
+
+def trace_payload(tracer: Tracer, trace_id: str | None = None) -> list[dict]:
+    """Span dicts for one trace (or the latest), for management export."""
+    if trace_id is None:
+        trace_id = tracer.last_trace_id()
+    if trace_id is None:
+        return []
+    return [span.to_dict() for span in tracer.finished_spans(trace_id)]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        exporter: MetricsExporter = self.server.exporter  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = to_prometheus(exporter.registry).encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            body = to_json(exporter.registry, indent=2).encode()
+            content_type = "application/json"
+        elif path == "/trace.json" and exporter.tracer is not None:
+            body = json.dumps(trace_payload(exporter.tracer)).encode()
+            content_type = "application/json"
+        elif path == "/trace" and exporter.tracer is not None:
+            trace_id = exporter.tracer.last_trace_id()
+            tree = exporter.tracer.tree(trace_id) if trace_id else None
+            body = (format_tree(tree) + "\n").encode()
+            content_type = "text/plain; charset=utf-8"
+        elif path == "/slowops.json" and exporter.slow_log is not None:
+            body = json.dumps(exporter.slow_log.entries()).encode()
+            content_type = "application/json"
+        else:
+            self.send_error(404, "unknown path")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        pass  # keep scrapes out of stderr
+
+
+class MetricsExporter:
+    """A background HTTP endpoint serving the registry and tracer.
+
+    Routes: ``/metrics`` (Prometheus text), ``/metrics.json``,
+    ``/trace`` (latest trace rendered), ``/trace.json`` (span dicts),
+    ``/slowops.json``.  Binds ``host:port`` (port 0 picks a free port —
+    read it back from :attr:`port`).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tracer: Tracer | None = None,
+        slow_log: SlowOpLog | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self.slow_log = slow_log
+        self._server = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._server.daemon_threads = True
+        self._server.exporter = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> "MetricsExporter":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="obs-metrics-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def merge_trees(*span_dict_lists) -> dict | None:
+    """Merge span dicts from several processes into one trace tree.
+
+    The smoke test's workhorse: client-side spans plus the server's
+    management-exported spans share the propagated trace id, so their
+    union builds the full client → fsync tree.
+    """
+    merged: list[dict] = []
+    seen: set[str] = set()
+    for spans in span_dict_lists:
+        for span in spans:
+            if span["span_id"] in seen:
+                continue
+            seen.add(span["span_id"])
+            merged.append(span)
+    return build_tree(merged)

@@ -1,0 +1,398 @@
+"""Cross-RPC tracing: spans, causality, and wire-context propagation.
+
+A :class:`Span` is one timed operation; a :class:`Tracer` collects
+finished spans in a bounded ring.  Spans form trees through parent ids,
+and the tree crosses process boundaries by serialising a
+:class:`SpanContext` into the RPC call header (see
+:func:`repro.rpc.interface.encode_request`), so one name server update
+traces as::
+
+    rpc.client.bind
+      rpc.server.bind
+        db.update
+          db.explore
+          db.pickle
+          db.log_append
+          db.apply
+          db.commit_barrier
+            commit.fsync
+
+The active span is tracked per thread; instrumentation deep in the stack
+attaches children with :func:`child_span` without any plumbing — when no
+span is active (tracing off, or an untraced caller) it returns a shared
+no-op span whose cost is one thread-local read, which is how the
+database keeps its instrumentation overhead within the ≤5 % budget.
+
+All timing runs on the tracer's injectable clock: under a
+:class:`~repro.sim.clock.SimClock` span durations are the modelled 1987
+times, matching every other measurement in the package.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from collections import deque
+
+from repro.sim.clock import Clock, WallClock
+
+_active = threading.local()
+_span_counter = itertools.count(1)
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+class SpanContext:
+    """The portable identity of a span: enough to parent a remote child."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_header(self) -> str:
+        """Serialise for the RPC call header (``traceid-spanid``)."""
+        return f"{self.trace_id}-{self.span_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext({self.trace_id}, {self.span_id})"
+
+
+def extract(header: str) -> SpanContext | None:
+    """Parse a call-header trace context; None for absent or malformed."""
+    if not header:
+        return None
+    trace_id, sep, span_id = header.partition("-")
+    if not sep or not trace_id or not span_id:
+        return None
+    return SpanContext(trace_id, span_id)
+
+
+class Span:
+    """One timed operation, linked to its parent by ids."""
+
+    __slots__ = (
+        "tracer", "name", "trace_id", "span_id", "parent_id",
+        "start", "end_time", "attrs", "events", "error",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        attrs: dict[str, object] | None = None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.start = tracer.clock.now()
+        self.end_time: float | None = None
+        self.attrs: dict[str, object] = dict(attrs) if attrs else {}
+        self.events: list[tuple[float, str, dict[str, object]]] = []
+        self.error: str | None = None
+
+    # -- structure -----------------------------------------------------------
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def child(self, name: str, **attrs: object) -> "Span":
+        return self.tracer.start_span(name, parent=self, attrs=attrs)
+
+    # -- annotation ----------------------------------------------------------
+
+    def set(self, key: str, value: object) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def event(self, name: str, **attrs: object) -> None:
+        self.events.append((self.tracer.clock.now(), name, attrs))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def duration(self) -> float:
+        end = self.end_time if self.end_time is not None else self.tracer.clock.now()
+        return end - self.start
+
+    @property
+    def ended(self) -> bool:
+        return self.end_time is not None
+
+    def end(self) -> None:
+        if self.end_time is not None:
+            return
+        self.end_time = self.tracer.clock.now()
+        self.tracer._record(self)
+
+    def __enter__(self) -> "Span":
+        _push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if exc is not None and self.error is None:
+            self.error = repr(exc)
+        _pop(self)
+        self.end()
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end_time,
+            "duration": self.duration(),
+            "attrs": dict(self.attrs),
+            "events": [
+                {"time": t, "name": n, "attrs": dict(a)}
+                for t, n, a in self.events
+            ],
+            "error": self.error,
+        }
+
+
+class _NullSpan:
+    """The shared do-nothing span used when tracing is inactive."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    def duration(self) -> float:
+        return 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans and keeps the most recent finished ones.
+
+    ``capacity`` bounds memory: the ring keeps the newest finished spans.
+    ``slow_log``, when given, receives every finished span (it applies
+    its own threshold — see :class:`repro.obs.export.SlowOpLog`).
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        capacity: int = 4096,
+        slow_log: object | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity counts from 1")
+        self.clock = clock if clock is not None else WallClock()
+        self.slow_log = slow_log
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.spans_started = 0
+        self.spans_dropped = 0
+
+    # -- creation ------------------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        parent: "Span | SpanContext | None" = None,
+        attrs: dict[str, object] | None = None,
+    ) -> Span:
+        if parent is None:
+            trace_id, parent_id = _new_id(), None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        with self._lock:
+            self.spans_started += 1
+        return Span(self, name, trace_id, parent_id, attrs)
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """A span parented on the thread's active span (or a new root).
+
+        Use as a context manager: entering makes it the active span.
+        """
+        return self.start_span(name, parent=current_span(), attrs=attrs)
+
+    # -- collection ----------------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._finished) == self._finished.maxlen:
+                self.spans_dropped += 1
+            self._finished.append(span)
+        if self.slow_log is not None:
+            self.slow_log.offer(span)
+
+    def finished_spans(self, trace_id: str | None = None) -> list[Span]:
+        with self._lock:
+            spans = list(self._finished)
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        return spans
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids present in the ring, oldest first."""
+        seen: dict[str, None] = {}
+        for span in self.finished_spans():
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def last_trace_id(self) -> str | None:
+        ids = self.trace_ids()
+        return ids[-1] if ids else None
+
+    def tree(self, trace_id: str) -> dict[str, object] | None:
+        """The span tree of one trace (see :func:`build_tree`)."""
+        return build_tree(s.to_dict() for s in self.finished_spans(trace_id))
+
+
+def build_tree(span_dicts) -> dict[str, object] | None:
+    """Assemble span dicts (one trace's worth) into a nested tree.
+
+    Accepts dicts from any mix of tracers — this is how a client-side
+    tracer's spans and a server's management-exported spans combine into
+    the single cross-process tree the trace header promises.  Orphans
+    (spans whose parent is missing from the set) attach to the root.
+    Returns ``None`` when no spans are given.
+    """
+    spans = [dict(s) for s in span_dicts]
+    if not spans:
+        return None
+    spans.sort(key=lambda s: (s["start"], s["span_id"]))
+    by_id = {}
+    for span in spans:
+        span["children"] = []
+        by_id[span["span_id"]] = span
+    roots = []
+    for span in spans:
+        parent = by_id.get(span["parent_id"]) if span["parent_id"] else None
+        if parent is None:
+            roots.append(span)
+        else:
+            parent["children"].append(span)
+    if len(roots) == 1:
+        return roots[0]
+    # Multiple roots (e.g. a lost parent): synthesise one holding node.
+    return {
+        "name": "<trace>",
+        "trace_id": spans[0]["trace_id"],
+        "span_id": "",
+        "parent_id": None,
+        "start": roots[0]["start"],
+        "end": None,
+        "duration": 0.0,
+        "attrs": {},
+        "events": [],
+        "error": None,
+        "children": roots,
+    }
+
+
+def span_names(tree: dict[str, object] | None) -> list[str]:
+    """Flatten a tree into depth-first span names (test/assertion helper)."""
+    if tree is None:
+        return []
+    names = [tree["name"]]
+    for child in tree["children"]:
+        names.extend(span_names(child))
+    return names
+
+
+def format_tree(tree: dict[str, object] | None, unit: str = "ms") -> str:
+    """Render a span tree for terminals (the shell's ``trace`` command)."""
+    if tree is None:
+        return "(no trace)"
+    scale = 1000.0 if unit == "ms" else 1.0
+    lines: list[str] = []
+
+    def walk(node: dict[str, object], depth: int) -> None:
+        attrs = node.get("attrs") or {}
+        extra = "".join(f" {k}={v!r}" for k, v in sorted(attrs.items()))
+        error = f"  ERROR {node['error']}" if node.get("error") else ""
+        lines.append(
+            f"{'  ' * depth}{node['name']:<32} "
+            f"{node['duration'] * scale:10.3f} {unit}{extra}{error}"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    walk(tree, 0)
+    return "\n".join(lines)
+
+
+# -- thread-local active span ---------------------------------------------------
+
+
+def _stack() -> list[Span]:
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = _active.stack = []
+    return stack
+
+
+def _push(span: Span) -> None:
+    _stack().append(span)
+
+
+def _pop(span: Span) -> None:
+    stack = _stack()
+    if stack and stack[-1] is span:
+        stack.pop()
+    elif span in stack:  # unbalanced exit; recover rather than corrupt
+        stack.remove(span)
+
+
+def current_span() -> Span | None:
+    """The thread's innermost active span, or None."""
+    stack = getattr(_active, "stack", None)
+    return stack[-1] if stack else None
+
+
+def child_span(name: str, **attrs: object):
+    """A child of the active span, or the no-op span when none is active.
+
+    The zero-config hook for deep layers: returned spans are context
+    managers either way, so instrumentation reads as ``with
+    child_span("db.log_append") as span: ...`` and costs almost nothing
+    when tracing is off.
+    """
+    parent = current_span()
+    if parent is None:
+        return NULL_SPAN
+    return parent.tracer.start_span(name, parent=parent, attrs=attrs)
+
+
+def maybe_span(tracer: Tracer | None, name: str, **attrs: object):
+    """A span under the active span, else a root on ``tracer``, else no-op.
+
+    The entry-point hook: layers that can *start* traces (the database,
+    the RPC client and server) call this so a traced caller gets a child
+    span, an explicitly configured tracer gets a root span, and an
+    uninstrumented deployment gets the no-op.
+    """
+    parent = current_span()
+    if parent is not None:
+        return parent.tracer.start_span(name, parent=parent, attrs=attrs)
+    if tracer is not None:
+        return tracer.start_span(name, parent=None, attrs=attrs)
+    return NULL_SPAN

@@ -33,6 +33,8 @@ from repro.rpc.interface import (
     MethodSpec,
     encode_request,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer, child_span, maybe_span
 from repro.rpc.retry import RetryPolicy, RpcClientStats
 from repro.rpc.transport import Transport
 from repro.sim.clock import Clock, WallClock
@@ -57,6 +59,8 @@ class RpcClient:
         retry: RetryPolicy | None = None,
         clock: Clock | None = None,
         rng: random.Random | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.interface = interface
         self.transport = transport
@@ -64,7 +68,16 @@ class RpcClient:
         self.retry = RetryPolicy() if retry is None else retry
         self.clock = WallClock() if clock is None else clock
         self.rng = random.Random() if rng is None else rng
-        self.stats = RpcClientStats()
+        if registry is None:
+            registry = MetricsRegistry(clock=self.clock)
+        self.registry = registry
+        self.tracer = tracer
+        self.stats = RpcClientStats(registry)
+        self._method_seconds = registry.histogram(
+            "rpc_client_method_seconds",
+            "Per-method client-side call latency (including retries).",
+            labelnames=("method",),
+        )
         self._seq = 0
         self._seq_lock = threading.Lock()
 
@@ -82,12 +95,22 @@ class RpcClient:
         """Invoke one remote method (the proxy's methods route here)."""
         spec = self.interface.spec(method)
         seq = self._next_seq()
-        request = encode_request(
-            self.interface, method, args, client_id=self.client_id, seq=seq
-        )
-        self.stats.record_call()
-        response = self._send_with_retries(method, seq, request)
-        return self._decode_response(spec, response)
+        with maybe_span(self.tracer, f"rpc.client.{method}", seq=seq) as span:
+            trace = ""
+            if span is not NULL_SPAN:
+                trace = span.context().to_header()
+            request = encode_request(
+                self.interface,
+                method,
+                args,
+                client_id=self.client_id,
+                seq=seq,
+                trace=trace,
+            )
+            self.stats.record_call()
+            with self._method_seconds.labels(method).time():
+                response = self._send_with_retries(method, seq, request)
+            return self._decode_response(spec, response)
 
     def _send_with_retries(self, method: str, seq: int, request: bytes) -> bytes:
         policy = self.retry
@@ -102,7 +125,8 @@ class RpcClient:
             attempts += 1
             self.stats.record_attempt()
             try:
-                return self.transport.call(request)
+                with child_span("rpc.transport", attempt=attempts):
+                    return self.transport.call(request)
             except TransportClosed:
                 # A deliberate local close, not a network fault: no retry,
                 # and the request never left, so plain propagation is right.

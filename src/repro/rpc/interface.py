@@ -118,15 +118,27 @@ class CallHeader:
     duplicate without re-executing (the Birrell–Nelson at-most-once
     design the paper's RPC package relies on).  An empty ``client_id``
     opts out: the server executes unconditionally.
+
+    ``trace`` carries the caller's trace context (``traceid-spanid``, see
+    :mod:`repro.obs.tracing`) so the server's spans join the client's
+    trace tree; empty means the call is untraced.
     """
 
-    __slots__ = ("wire_name", "method", "client_id", "seq")
+    __slots__ = ("wire_name", "method", "client_id", "seq", "trace")
 
-    def __init__(self, wire_name: str, method: str, client_id: str, seq: int):
+    def __init__(
+        self,
+        wire_name: str,
+        method: str,
+        client_id: str,
+        seq: int,
+        trace: str = "",
+    ):
         self.wire_name = wire_name
         self.method = method
         self.client_id = client_id
         self.seq = seq
+        self.trace = trace
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -141,6 +153,7 @@ def encode_request(
     args: tuple,
     client_id: str = "",
     seq: int = 0,
+    trace: str = "",
 ) -> bytes:
     """Marshal one call: wire name, method, call identity, arguments."""
     spec = interface.spec(method)
@@ -151,6 +164,7 @@ def encode_request(
     from repro.pickles.wire import encode_varint
 
     encode_varint(seq, out)
+    _encode_str(trace, out)
     out.extend(spec.encode_args(args))
     return bytes(out)
 
@@ -162,7 +176,8 @@ def decode_request_header(data: bytes) -> tuple[CallHeader, WireReader]:
     method = _decode_str(reader)
     client_id = _decode_str(reader)
     seq = reader.read_varint()
-    return CallHeader(wire_name, method, client_id, seq), reader
+    trace = _decode_str(reader)
+    return CallHeader(wire_name, method, client_id, seq, trace), reader
 
 
 def _encode_str(value: str, out: bytearray) -> None:

@@ -20,6 +20,8 @@ import random
 import threading
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -58,7 +60,6 @@ class RetryPolicy:
 NO_RETRY = RetryPolicy(max_attempts=1, deadline_seconds=None)
 
 
-@dataclass
 class RpcClientStats:
     """Counters for one client, surfaced like ``DatabaseStats``.
 
@@ -66,47 +67,103 @@ class RpcClientStats:
     failed sends are visible (the seed's ``calls_made`` counted only
     successes).  ``backoff_seconds`` is total time spent sleeping between
     attempts, on whatever clock the client runs.
+
+    Like ``DatabaseStats``, this is a view over a
+    :class:`~repro.obs.metrics.MetricsRegistry` (one is created when not
+    supplied): the attributes read the registry series that the
+    Prometheus/JSON exporters publish, so nothing is counted twice.
     """
 
-    calls: int = 0
-    attempts: int = 0
-    retries: int = 0
-    transport_failures: int = 0
-    failures: int = 0
-    maybe_executed: int = 0
-    deadline_expirations: int = 0
-    backoff_seconds: float = 0.0
-
-    def __post_init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
+        r = self.registry
+        self._calls = r.counter(
+            "rpc_client_calls_total", "RPC calls issued (unique seq numbers)."
+        )
+        self._attempts = r.counter(
+            "rpc_client_attempts_total",
+            "Transport sends, including retransmissions.",
+        )
+        self._retries = r.counter(
+            "rpc_client_retries_total", "Retransmissions after a failed attempt."
+        )
+        self._transport_failures = r.counter(
+            "rpc_client_transport_failures_total",
+            "Individual attempts that died in the transport.",
+        )
+        self._failures = r.counter(
+            "rpc_client_failures_total", "Calls that failed after all attempts."
+        )
+        self._maybe_executed = r.counter(
+            "rpc_client_maybe_executed_total",
+            "Failed calls whose execution state is unknown.",
+        )
+        self._deadline_expirations = r.counter(
+            "rpc_client_deadline_expirations_total",
+            "Calls abandoned at the retry deadline.",
+        )
+        self._backoff_seconds = r.counter(
+            "rpc_client_backoff_seconds_total",
+            "Total time spent sleeping between attempts.",
+        )
+
+    @property
+    def calls(self) -> int:
+        return int(self._calls.value)
+
+    @property
+    def attempts(self) -> int:
+        return int(self._attempts.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def transport_failures(self) -> int:
+        return int(self._transport_failures.value)
+
+    @property
+    def failures(self) -> int:
+        return int(self._failures.value)
+
+    @property
+    def maybe_executed(self) -> int:
+        return int(self._maybe_executed.value)
+
+    @property
+    def deadline_expirations(self) -> int:
+        return int(self._deadline_expirations.value)
+
+    @property
+    def backoff_seconds(self) -> float:
+        return self._backoff_seconds.value
 
     def record_call(self) -> None:
-        with self._lock:
-            self.calls += 1
+        self._calls.inc()
 
     def record_attempt(self) -> None:
-        with self._lock:
-            self.attempts += 1
+        self._attempts.inc()
 
     def record_transport_failure(self) -> None:
-        with self._lock:
-            self.transport_failures += 1
+        self._transport_failures.inc()
 
     def record_backoff(self, seconds: float) -> None:
         with self._lock:
-            self.retries += 1
-            self.backoff_seconds += seconds
+            self._retries.inc()
+            self._backoff_seconds.inc(seconds)
 
     def record_failure(
         self, *, maybe_executed: bool = False, deadline: bool = False
     ) -> None:
         """The call as a whole failed (all attempts exhausted)."""
         with self._lock:
-            self.failures += 1
+            self._failures.inc()
             if maybe_executed:
-                self.maybe_executed += 1
+                self._maybe_executed.inc()
             if deadline:
-                self.deadline_expirations += 1
+                self._deadline_expirations.inc()
 
     def snapshot(self) -> dict[str, object]:
         with self._lock:

@@ -5,6 +5,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, Tracer, extract
 from repro.rpc.errors import BadRequest, UnknownInterface, UnknownMethod
 from repro.rpc.interface import (
     STATUS_APP_ERROR,
@@ -38,16 +40,55 @@ class ReplyCache:
     STALE = "stale"
     NEW = "new"
 
-    def __init__(self, max_clients: int = DEFAULT_MAX_CLIENTS) -> None:
+    def __init__(
+        self,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if max_clients < 1:
             raise ValueError("reply cache needs room for at least one client")
         self.max_clients = max_clients
         self._entries: OrderedDict[str, tuple[int, bytes]] = OrderedDict()
         self._client_locks: dict[str, threading.Lock] = {}
         self._lock = threading.Lock()
-        self.hits = 0
-        self.stale_rejections = 0
-        self.evictions = 0
+        # Tallies live in the metrics registry — the single source of
+        # truth — and the historical attributes read them back.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter(
+            "rpc_reply_cache_hits_total",
+            "Duplicate calls answered from the reply cache.",
+        )
+        self._misses = self.registry.counter(
+            "rpc_reply_cache_misses_total",
+            "Identified calls that required a fresh execution.",
+        )
+        self._stale_rejections = self.registry.counter(
+            "rpc_reply_cache_stale_rejections_total",
+            "Calls rejected as older than the cached sequence number.",
+        )
+        self._evictions = self.registry.counter(
+            "rpc_reply_cache_evictions_total",
+            "Clients evicted least-recently-used from the reply cache.",
+        )
+        self._clients = self.registry.gauge(
+            "rpc_reply_cache_clients", "Distinct clients currently cached."
+        )
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def stale_rejections(self) -> int:
+        return int(self._stale_rejections.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
 
     def client_lock(self, client_id: str) -> threading.Lock:
         """The per-client mutex serialising execution and cache updates.
@@ -67,15 +108,17 @@ class ReplyCache:
         with self._lock:
             entry = self._entries.get(client_id)
             if entry is None:
+                self._misses.inc()
                 return self.NEW, None
             cached_seq, reply = entry
             if seq == cached_seq:
-                self.hits += 1
+                self._hits.inc()
                 self._entries.move_to_end(client_id)
                 return self.CACHED, reply
             if seq < cached_seq:
-                self.stale_rejections += 1
+                self._stale_rejections.inc()
                 return self.STALE, None
+            self._misses.inc()
             return self.NEW, None
 
     def store(self, client_id: str, seq: int, reply: bytes) -> None:
@@ -85,7 +128,8 @@ class ReplyCache:
             while len(self._entries) > self.max_clients:
                 evicted, _ = self._entries.popitem(last=False)
                 self._client_locks.pop(evicted, None)
-                self.evictions += 1
+                self._evictions.inc()
+            self._clients.set(len(self._entries))
 
     def snapshot(self) -> dict[str, int]:
         with self._lock:
@@ -112,11 +156,29 @@ class RpcServer:
     answered with the original reply instead of running again.
     """
 
-    def __init__(self, max_cached_clients: int = DEFAULT_MAX_CLIENTS) -> None:
+    def __init__(
+        self,
+        max_cached_clients: int = DEFAULT_MAX_CLIENTS,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._exports: dict[str, tuple[Interface, object]] = {}
         self._lock = threading.Lock()
-        self.calls_served = 0
-        self.reply_cache = ReplyCache(max_cached_clients)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._calls_served = self.registry.counter(
+            "rpc_server_calls_total", "Calls executed (not answered from cache)."
+        )
+        self._method_seconds = self.registry.histogram(
+            "rpc_server_method_seconds",
+            "Per-method server-side dispatch latency.",
+            labelnames=("method",),
+        )
+        self.reply_cache = ReplyCache(max_cached_clients, registry=self.registry)
+
+    @property
+    def calls_served(self) -> int:
+        return int(self._calls_served.value)
 
     def export(self, interface: Interface, implementation: object) -> None:
         """Expose ``implementation`` under ``interface``.
@@ -157,12 +219,28 @@ class RpcServer:
             header, reader = decode_request_header(request)
         except Exception as exc:
             return _rpc_error(f"malformed request: {exc!r}")
+        # Join the caller's trace (the header carries its span context);
+        # entering the span makes it the parent of everything the
+        # implementation records — lock waits, log appends, fsyncs.
+        span = NULL_SPAN
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                f"rpc.server.{header.method}",
+                parent=extract(header.trace),
+                attrs={"interface": header.wire_name},
+            )
+        with span, self._method_seconds.labels(header.method).time():
+            return self._dispatch_deduplicated(header, reader, span)
+
+    def _dispatch_deduplicated(self, header, reader, span) -> bytes:
         if not header.client_id:
             return self._execute(header, reader)
         # At-most-once path: serialise per client so a duplicate arriving
         # while the original executes waits, then hits the cache.
         with self.reply_cache.client_lock(header.client_id):
             verdict, cached = self.reply_cache.probe(header.client_id, header.seq)
+            if verdict != ReplyCache.NEW:
+                span.set("reply_cache", verdict)
             if verdict == ReplyCache.CACHED:
                 return cached  # type: ignore[return-value]
             if verdict == ReplyCache.STALE:
@@ -205,8 +283,7 @@ class RpcServer:
                 f"result of {header.wire_name}.{header.method} failed to "
                 f"marshal: {exc!r}"
             )
-        with self._lock:
-            self.calls_served += 1
+        self._calls_served.inc()
         return bytes(out)
 
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class DiskModel:
@@ -95,3 +97,47 @@ MODERN_SSD = DiskModel(
 
 #: A free disk for logic-only tests.
 NULL_DISK_MODEL = DiskModel(page_size=512)
+
+
+class IoMeter:
+    """Routes storage-layer I/O volume and latency into a metrics registry.
+
+    File system implementations that sit on real devices (``LocalFS``)
+    attach one of these so the bytes they move and the fsyncs they issue
+    appear in the unified export next to the core and RPC metrics.  All
+    series share the ``storage_`` prefix.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._read_bytes = registry.counter(
+            "storage_read_bytes_total", "Bytes read from storage."
+        )
+        self._written_bytes = registry.counter(
+            "storage_write_bytes_total", "Bytes written to storage."
+        )
+        self._read_calls = registry.counter(
+            "storage_read_calls_total", "Storage read calls."
+        )
+        self._write_calls = registry.counter(
+            "storage_write_calls_total", "Storage write/append calls."
+        )
+        self._fsyncs = registry.counter(
+            "storage_fsyncs_total", "fsync calls issued to storage."
+        )
+        self._fsync_seconds = registry.histogram(
+            "storage_fsync_seconds", "Latency of storage fsync calls."
+        )
+
+    def note_read(self, nbytes: int) -> None:
+        self._read_calls.inc()
+        self._read_bytes.inc(nbytes)
+
+    def note_write(self, nbytes: int) -> None:
+        self._write_calls.inc()
+        self._written_bytes.inc(nbytes)
+
+    def time_fsync(self):
+        """Context manager: counts the fsync and observes its latency."""
+        self._fsyncs.inc()
+        return self._fsync_seconds.time()

@@ -21,15 +21,22 @@ from repro.storage.errors import (
     StorageError,
 )
 from repro.storage.interface import FileSystem
+from repro.storage.latency import IoMeter
 
 
 class LocalFS(FileSystem):
-    """Flat-directory file system over a real OS directory."""
+    """Flat-directory file system over a real OS directory.
 
-    def __init__(self, directory: str) -> None:
+    Pass a :class:`~repro.obs.metrics.MetricsRegistry` as ``registry`` to
+    meter the real I/O this file system performs (``storage_*`` series:
+    bytes moved, call counts, fsync latency).
+    """
+
+    def __init__(self, directory: str, registry=None) -> None:
         self.directory = os.path.abspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self._lock = threading.RLock()
+        self._meter = IoMeter(registry) if registry is not None else None
 
     def _path(self, name: str) -> str:
         if not name or "/" in name or "\x00" in name or name in (".", ".."):
@@ -84,9 +91,12 @@ class LocalFS(FileSystem):
     def read(self, name: str) -> bytes:
         try:
             with open(self._path(name), "rb") as f:
-                return f.read()
+                data = f.read()
         except FileNotFoundError:
             raise FileNotFound(name) from None
+        if self._meter is not None:
+            self._meter.note_read(len(data))
+        return data
 
     def read_range(self, name: str, offset: int, length: int) -> bytes:
         if offset < 0 or length < 0:
@@ -94,17 +104,24 @@ class LocalFS(FileSystem):
         try:
             with open(self._path(name), "rb") as f:
                 f.seek(offset)
-                return f.read(length)
+                data = f.read(length)
         except FileNotFoundError:
             raise FileNotFound(name) from None
+        if self._meter is not None:
+            self._meter.note_read(len(data))
+        return data
 
     def write(self, name: str, data: bytes) -> None:
         with open(self._path(name), "wb") as f:
             f.write(data)
+        if self._meter is not None:
+            self._meter.note_write(len(data))
 
     def append(self, name: str, data: bytes) -> None:
         with open(self._path(name), "ab") as f:
             f.write(data)
+        if self._meter is not None:
+            self._meter.note_write(len(data))
 
     def write_at(self, name: str, offset: int, data: bytes) -> None:
         if offset < 0:
@@ -143,6 +160,13 @@ class LocalFS(FileSystem):
             fd = os.open(path, os.O_RDONLY)
         except FileNotFoundError:
             raise FileNotFound(name) from None
+        if self._meter is not None:
+            with self._meter.time_fsync():
+                self._fsync_fd(fd)
+        else:
+            self._fsync_fd(fd)
+
+    def _fsync_fd(self, fd: int) -> None:
         try:
             os.fsync(fd)
         finally:

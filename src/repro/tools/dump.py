@@ -22,10 +22,12 @@ from repro.core.version import (
     numbered_files,
     read_current_version,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.pickles import PickleError, pickle_read
 from repro.storage.errors import StorageError
 from repro.storage.interface import FileSystem
 from repro.storage.localfs import LocalFS
+from repro.tools.meter import scan_summary, timed_pass
 
 
 def _describe_payload(payload: bytes) -> str:
@@ -119,7 +121,16 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
         help="log entries to show per file (default 20)",
     )
     options = parser.parse_args(argv)
-    dump_directory(LocalFS(options.directory), out=out, limit=options.limit)
+    # Meter the dump's reads and runtime through a registry; the trailing
+    # summary is read back out of it rather than counted by hand.
+    registry = MetricsRegistry()
+    with timed_pass(registry, "dump"):
+        dump_directory(
+            LocalFS(options.directory, registry=registry),
+            out=out,
+            limit=options.limit,
+        )
+    out.write(scan_summary(registry, "dump") + "\n")
     return 0
 
 

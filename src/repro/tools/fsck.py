@@ -36,10 +36,12 @@ from repro.core.version import (
     numbered_files,
     read_current_version,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.pickles import PickleReader, UnknownRecordClass
 from repro.storage.errors import HardError
 from repro.storage.interface import FileSystem
 from repro.storage.localfs import LocalFS
+from repro.tools.meter import scan_summary, timed_pass
 
 _KNOWN = re.compile(
     r"^(checkpoint\d+|logfile\d+|archive\d+|version|newversion)$"
@@ -204,8 +206,14 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
     )
     parser.add_argument("directory", help="the database directory")
     options = parser.parse_args(argv)
-    report = fsck_directory(LocalFS(options.directory))
+    # The scan's own I/O and runtime go through a metrics registry (the
+    # LocalFS meter counts the bytes actually read), so the summary line
+    # is the same accounting a server would export.
+    registry = MetricsRegistry()
+    with timed_pass(registry, "fsck"):
+        report = fsck_directory(LocalFS(options.directory, registry=registry))
     report.write(out)
+    out.write(scan_summary(registry, "fsck") + "\n")
     return report.exit_status()
 
 

@@ -1,0 +1,39 @@
+"""Scan metering shared by the offline tools (fsck and dump).
+
+Both tools read every byte of a database directory.  Instead of bespoke
+byte/time accounting, they route the work through the same
+:class:`~repro.obs.metrics.MetricsRegistry` the server exports: a
+metered :class:`~repro.storage.localfs.LocalFS` records the actual I/O
+performed (the ``storage_read_*`` series) and a ``tool_runtime_seconds``
+histogram times the pass, so the closing summary line is derived
+entirely from the registry.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def timed_pass(registry: MetricsRegistry, tool: str):
+    """Context manager timing one tool pass into the registry."""
+    runtime = registry.histogram(
+        "tool_runtime_seconds",
+        "Wall time of one offline tool pass.",
+        labelnames=("tool",),
+    )
+    return runtime.labels(tool).time()
+
+
+def scan_summary(registry: MetricsRegistry, tool: str) -> str:
+    """One line of scan totals, read back out of the registry."""
+    def _value(name: str) -> float:
+        family = registry.get(name)
+        return family.value if family is not None else 0.0
+
+    runtime = registry.get("tool_runtime_seconds")
+    elapsed = runtime.labels(tool).sum if runtime is not None else 0.0
+    return (
+        f"scanned {int(_value('storage_read_bytes_total'))} bytes "
+        f"in {int(_value('storage_read_calls_total'))} reads, "
+        f"{elapsed:.3f}s elapsed"
+    )

@@ -19,6 +19,9 @@ Commands::
     find <pattern>       glob enumeration (*, **)
     count                live name count
     checkpoint           force a checkpoint (local only)
+    metrics              the unified metrics registry (Prometheus text)
+    trace [id]           render one trace tree (default: newest)
+    slowops              operations retained by the slow-op log
     help / quit
 
 The shell is deliberately dumb about values: scripting belongs in Python
@@ -38,6 +41,8 @@ from repro.nameserver import (
     NameServerError,
     RemoteNameServer,
 )
+from repro.nameserver.management import ManagementService
+from repro.obs import build_tree, format_tree
 from repro.storage.localfs import LocalFS
 
 
@@ -52,9 +57,10 @@ def parse_value(text: str) -> object:
 class Shell:
     """One shell session bound to a server-like object."""
 
-    def __init__(self, server, out: TextIO = sys.stdout) -> None:
+    def __init__(self, server, out: TextIO = sys.stdout, management=None) -> None:
         self.server = server
         self.out = out
+        self.management = management
         self.running = True
 
     def execute(self, line: str) -> None:
@@ -90,7 +96,8 @@ class Shell:
         self._print(
             "commands: ls [path] | tree [path] | get <path> | "
             "set <path> <value> | rm <path> | rmtree <path> | "
-            "find <pattern> | count | checkpoint | quit"
+            "find <pattern> | count | checkpoint | metrics | "
+            "trace [id] | slowops | quit"
         )
 
     def do_ls(self, args: list[str]) -> None:
@@ -144,6 +151,43 @@ class Shell:
             return
         self._print(f"checkpointed as version {checkpoint()}")
 
+    def do_metrics(self, args: list[str]) -> None:
+        if self.management is None:
+            self._print("metrics are not available over this connection")
+            return
+        self._print(self.management.metrics_text().rstrip("\n"))
+
+    def do_trace(self, args: list[str]) -> None:
+        if self.management is None:
+            self._print("traces are not available over this connection")
+            return
+        trace_id = args[0] if args else self.management.last_trace_id()
+        if not trace_id:
+            self._print("no traces recorded yet")
+            return
+        spans = self.management.trace_spans(trace_id)
+        if not spans:
+            self._print(f"no spans recorded for trace {trace_id!r}")
+            return
+        self._print(f"trace {trace_id}:")
+        self._print(format_tree(build_tree(spans)).rstrip("\n"))
+
+    def do_slowops(self, args: list[str]) -> None:
+        if self.management is None:
+            self._print("slow-op log is not available over this connection")
+            return
+        entries = self.management.slow_ops()
+        if not entries:
+            self._print("(no slow operations retained)")
+            return
+        for entry in reversed(entries):  # slowest-recent first
+            attrs = entry.get("attrs") or {}
+            extra = " ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
+            self._print(
+                f"{entry['duration'] * 1000:10.3f}ms  "
+                f"{entry['name']:<32} {extra}".rstrip()
+            )
+
     def do_quit(self, args: list[str]) -> None:
         self.running = False
 
@@ -171,14 +215,18 @@ def main(argv: list[str] | None = None, stdin: TextIO = sys.stdin,
         parser.error("give either a directory or --connect host:port")
 
     if options.connect:
+        from repro.nameserver.management import RemoteManagement
         from repro.rpc import TcpTransport
 
         host, _, port = options.connect.rpartition(":")
-        server = RemoteNameServer(TcpTransport(host, int(port)))
+        transport = TcpTransport(host, int(port))
+        server = RemoteNameServer(transport)
+        management = RemoteManagement(transport)
     else:
         server = NameServer(LocalFS(options.directory))
+        management = ManagementService(server)
 
-    shell = Shell(server, out=out)
+    shell = Shell(server, out=out, management=management)
     shell.repl(stdin)
     return 0
 

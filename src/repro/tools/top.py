@@ -1,0 +1,174 @@
+"""``top`` for a name server: a refreshing view of its live metrics.
+
+Polls a remote server's management interface and renders the unified
+metrics registry as an operator console — counters with per-second
+rates computed from successive snapshots, gauges, and histogram
+latency summaries:
+
+    python -m repro.tools.top --connect host:9999
+    python -m repro.tools.top --connect host:9999 --interval 5 --iterations 3
+
+With a terminal on stdout the screen is redrawn in place; when piped,
+each refresh is a separate block (so ``--iterations 1`` is a one-shot
+snapshot suitable for scripts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import TextIO
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _series_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+def _flatten(snapshot: dict) -> dict[str, dict]:
+    """``{series key: {kind, value or histogram fields}}`` for one snapshot."""
+    flat: dict[str, dict] = {}
+    for name, family in snapshot.items():
+        for series in family["series"]:
+            entry = dict(series)
+            entry["kind"] = family["kind"]
+            flat[_series_key(name, series["labels"])] = entry
+    return flat
+
+
+def _ms(seconds: object) -> str:
+    if seconds is None:
+        return "-"
+    return f"{float(seconds) * 1000:.2f}ms"
+
+
+def render(
+    status: dict,
+    snapshot: dict,
+    previous: dict | None = None,
+    interval: float = 1.0,
+) -> str:
+    """One screenful of operator console from a status + metrics snapshot."""
+    flat = _flatten(snapshot)
+    before = _flatten(previous) if previous else {}
+    lines = [
+        f"name server {status.get('replica_id', '?')!r}"
+        f"  version {status.get('version', '?')}"
+        f"  names {status.get('names', '?')}"
+        f"  log {status.get('log_bytes', '?')} B"
+        f"  clock {float(status.get('clock', 0.0)):.1f}s",
+        "",
+    ]
+
+    counters = [(k, e) for k, e in sorted(flat.items()) if e["kind"] == "counter"]
+    if counters:
+        lines.append(f"{'COUNTER':<52} {'total':>14} {'per-sec':>10}")
+        for key, entry in counters:
+            value = entry["value"]
+            rate = ""
+            prior = before.get(key)
+            if prior is not None and interval > 0:
+                rate = f"{(value - prior['value']) / interval:10.1f}"
+            total = f"{value:.0f}" if float(value).is_integer() else f"{value:.3f}"
+            lines.append(f"{key:<52} {total:>14} {rate:>10}")
+        lines.append("")
+
+    gauges = [(k, e) for k, e in sorted(flat.items()) if e["kind"] == "gauge"]
+    if gauges:
+        lines.append(f"{'GAUGE':<52} {'value':>14}")
+        for key, entry in gauges:
+            lines.append(f"{key:<52} {entry['value']:>14g}")
+        lines.append("")
+
+    histograms = [
+        (k, e) for k, e in sorted(flat.items()) if e["kind"] == "histogram"
+    ]
+    if histograms:
+        lines.append(
+            f"{'HISTOGRAM':<44} {'count':>8} {'mean':>10} {'p50':>10} {'p99':>10}"
+        )
+        for key, entry in histograms:
+            lines.append(
+                f"{key:<44} {entry['count']:>8} {_ms(entry['mean']):>10} "
+                f"{_ms(entry['p50']):>10} {_ms(entry['p99']):>10}"
+            )
+        lines.append("")
+
+    return "\n".join(lines)
+
+
+def run(
+    management,
+    out: TextIO,
+    interval: float = 2.0,
+    iterations: int = 0,
+    clear_screen: bool = False,
+    sleep=time.sleep,
+) -> int:
+    """The refresh loop, separated from transport setup for testing.
+
+    ``iterations`` of 0 means run until interrupted; the first frame is
+    drawn immediately and has no rate column (no prior sample yet).
+    """
+    previous: dict | None = None
+    drawn = 0
+    while True:
+        status = management.status()
+        snapshot = management.metrics()
+        frame = render(status, snapshot, previous, interval)
+        if clear_screen:
+            out.write(_CLEAR)
+        out.write(frame + "\n")
+        out.flush()
+        previous = snapshot
+        drawn += 1
+        if iterations and drawn >= iterations:
+            return 0
+        sleep(interval)
+
+
+def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.top",
+        description="Live metrics console for a running name server.",
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the server's data/management TCP endpoint",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after this many frames (default: run until interrupted)",
+    )
+    options = parser.parse_args(argv)
+
+    from repro.nameserver.management import RemoteManagement
+    from repro.rpc import TcpTransport
+
+    host, _, port = options.connect.rpartition(":")
+    management = RemoteManagement(TcpTransport(host, int(port)))
+    try:
+        return run(
+            management,
+            out,
+            interval=options.interval,
+            iterations=options.iterations,
+            clear_screen=out.isatty(),
+        )
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        management.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -81,3 +81,66 @@ class TestDatabaseStats:
         for thread in threads:
             thread.join(10)
         assert stats.enquiries == 4000
+
+
+class TestRegistryView:
+    """DatabaseStats is a view over a MetricsRegistry, not its own store."""
+
+    def test_counters_live_in_the_shared_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = DatabaseStats(registry)
+        stats.record_update(0.1, 0.2, 0.3, 0.4, entry_bytes=512, payload_bytes=100)
+        assert registry.get("db_updates_total").value == 1
+        assert registry.get("db_log_bytes_written_total").value == 512
+        # And the registry is the single source: two views agree.
+        other_view = DatabaseStats(registry)
+        assert other_view.updates == 1
+
+    def test_phase_totals_appear_as_labelled_series(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = DatabaseStats(registry)
+        stats.record_update(0.1, 0.2, 0.3, 0.4, entry_bytes=1, payload_bytes=1)
+        family = registry.get("db_update_phase_seconds_total")
+        assert family.labels("pickle").value == pytest.approx(0.2)
+        assert stats.cumulative.pickle_seconds == pytest.approx(0.2)
+
+    def test_commit_batch_histogram_reconstruction(self):
+        stats = DatabaseStats()
+        for size in (1, 1, 4, 16):
+            stats.record_commit_batch(size)
+        assert stats.commit_batch_histogram == {1: 2, 4: 1, 16: 1}
+        assert stats.max_commit_batch == 16
+        assert stats.log_fsyncs == 4
+
+    def test_concurrent_update_recorders_are_exact(self):
+        import threading
+
+        stats = DatabaseStats()
+        per_thread, nthreads = 500, 8
+
+        def hammer():
+            for _ in range(per_thread):
+                stats.record_update(
+                    0.001, 0.002, 0.003, 0.004, entry_bytes=64, payload_bytes=32
+                )
+                stats.record_commit_batch(2)
+
+        threads = [threading.Thread(target=hammer) for _ in range(nthreads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        total = per_thread * nthreads
+        assert stats.updates == total
+        assert stats.log_bytes_written == 64 * total
+        assert stats.pickle_bytes_written == 32 * total
+        assert stats.log_fsyncs == total
+        assert stats.commit_batch_histogram == {2: total}
+        assert stats.cumulative.pickle_seconds == pytest.approx(0.002 * total)
+        snapshot = stats.snapshot()
+        assert snapshot["updates"] == total
+        assert snapshot["mean_commit_batch"] == pytest.approx(2.0)

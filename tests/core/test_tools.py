@@ -72,6 +72,7 @@ class TestDump:
         status = dump_main([directory], out=out)
         assert status == 0
         assert "current version: 1" in out.getvalue()
+        assert "scanned " in out.getvalue().splitlines()[-1]
 
 
 class TestFsck:
@@ -153,6 +154,18 @@ class TestFsck:
         status = fsck_main([directory], out=out)
         assert status == 0
         assert "verdict: clean" in out.getvalue()
+
+    def test_fsck_main_reports_scan_totals_from_registry(self, tmp_path, kv_ops):
+        directory = str(tmp_path / "db")
+        db = Database(LocalFS(directory), initial=dict, operations=kv_ops)
+        db.update("set", "x", 1)
+        out = io.StringIO()
+        fsck_main([directory], out=out)
+        summary = out.getvalue().splitlines()[-1]
+        assert summary.startswith("scanned ")
+        # The byte count comes from the metered LocalFS, so it is real.
+        scanned = int(summary.split()[1])
+        assert scanned > 0
 
     def test_report_write_format(self, populated):
         populated.write("junk", b"")

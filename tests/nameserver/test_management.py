@@ -161,3 +161,108 @@ class TestShell:
         assert parse_value("42") == 42
         assert parse_value("[1, 'a']") == [1, "a"]
         assert parse_value("plain words") == "plain words"
+
+
+class TestObservabilityManagement:
+    """The metrics/trace/slow-op surface of the management interface."""
+
+    @pytest.fixture
+    def traced(self, fs):
+        from repro.obs import MetricsRegistry, SlowOpLog, Tracer
+
+        registry = MetricsRegistry()
+        slow_log = SlowOpLog(threshold_seconds=0.0)
+        tracer = Tracer(slow_log=slow_log)
+        server = NameServer(fs, registry=registry, tracer=tracer)
+        server.bind("a/x", 1)
+        rpc = RpcServer(registry=registry, tracer=tracer)
+        rpc.export(NAMESERVER_INTERFACE, server)
+        rpc.export(
+            MANAGEMENT_INTERFACE, ManagementService(server, slow_log=slow_log)
+        )
+        manager = RemoteManagement(LoopbackTransport(rpc))
+        return server, rpc, manager
+
+    def test_metrics_text_is_prometheus(self, traced):
+        _server, _rpc, manager = traced
+        text = manager.metrics_text()
+        assert "# TYPE db_updates_total counter" in text
+        assert "db_updates_total 1" in text
+
+    def test_metrics_snapshot_structure(self, traced):
+        _server, _rpc, manager = traced
+        snapshot = manager.metrics()
+        assert snapshot["db_updates_total"]["series"][0]["value"] == 1.0
+
+    def test_trace_spans_cover_the_update_path(self, traced):
+        from repro.obs import build_tree, span_names
+        from repro.rpc import connect
+
+        server, rpc, manager = traced
+        client = connect(NAMESERVER_INTERFACE, LoopbackTransport(rpc))
+        client.bind(["a", "z"], 9, False)
+        trace_id = manager.last_trace_id()
+        assert trace_id
+        names = span_names(build_tree(manager.trace_spans(trace_id)))
+        assert names[0] == "rpc.server.bind"
+        assert "db.update" in names
+        assert "db.log_append" in names
+        assert "db.commit_barrier" in names
+
+    def test_slow_ops_over_rpc(self, traced):
+        _server, _rpc, manager = traced
+        entries = manager.slow_ops()  # threshold 0: everything retained
+        assert entries and all("duration" in e for e in entries)
+
+    def test_untraced_server_degrades_gracefully(self, manager):
+        assert manager.last_trace_id() == ""
+        assert manager.trace_spans("anything") == []
+        assert manager.slow_ops() == []
+
+
+class TestShellObservability:
+    def run(self, ns, script: str, management=None) -> str:
+        out = io.StringIO()
+        shell = Shell(ns, out=out, management=management)
+        shell.repl(io.StringIO(script))
+        return out.getvalue()
+
+    def test_metrics_command(self, ns):
+        output = self.run(ns, "metrics\n", management=ManagementService(ns))
+        assert "# TYPE db_updates_total counter" in output
+
+    def test_trace_command_without_traces(self, ns):
+        output = self.run(ns, "trace\n", management=ManagementService(ns))
+        assert "no traces recorded yet" in output
+
+    def test_trace_command_renders_tree(self, fs):
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer = Tracer()
+        server = NameServer(fs, registry=MetricsRegistry(), tracer=tracer)
+        with tracer.span("op.outer"):
+            server.bind("k", 1)
+        output = self.run(
+            server, "trace\n", management=ManagementService(server)
+        )
+        assert "op.outer" in output
+        assert "db.update" in output
+
+    def test_slowops_command(self, fs):
+        from repro.obs import MetricsRegistry, SlowOpLog, Tracer
+
+        slow_log = SlowOpLog(threshold_seconds=0.0)
+        tracer = Tracer(slow_log=slow_log)
+        server = NameServer(fs, registry=MetricsRegistry(), tracer=tracer)
+        with tracer.span("slow.op"):
+            pass
+        output = self.run(
+            server,
+            "slowops\n",
+            management=ManagementService(server, slow_log=slow_log),
+        )
+        assert "slow.op" in output
+
+    def test_commands_degrade_without_management(self, ns):
+        output = self.run(ns, "metrics\ntrace\nslowops\n")
+        assert output.count("not available") == 3

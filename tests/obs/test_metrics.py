@@ -1,0 +1,247 @@
+"""The metrics registry: kinds, labels, buckets, quantiles, concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+from repro.sim.clock import SimClock
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("requests_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("requests_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_labelled_series_are_independent(self):
+        family = MetricsRegistry().counter("calls_total", labelnames=("method",))
+        family.labels("bind").inc(3)
+        family.labels("lookup").inc()
+        assert family.labels("bind").value == 3.0
+        assert family.labels("lookup").value == 1.0
+        assert family.labels(method="bind") is family.labels("bind")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.value == 7.0
+
+    def test_can_go_negative(self):
+        gauge = MetricsRegistry().gauge("delta")
+        gauge.dec(2.5)
+        assert gauge.value == -2.5
+
+
+class TestHistogramBuckets:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus convention: le is an inclusive upper bound.
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        buckets = dict(histogram.labels().bucket_counts())
+        assert buckets[1.0] == 1
+        assert buckets[2.0] == 1  # cumulative
+
+    def test_overflow_goes_to_inf(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0,))
+        histogram.observe(99.0)
+        buckets = histogram.labels().bucket_counts()
+        assert buckets[-1] == (float("inf"), 1)
+        assert buckets[0] == (1.0, 0)
+
+    def test_cumulative_counts_end_at_total(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.labels().bucket_counts()[-1] == (float("inf"), 4)
+
+    def test_sum_count_mean(self):
+        histogram = MetricsRegistry().histogram("h", buckets=SIZE_BUCKETS)
+        histogram.observe(2)
+        histogram.observe(4)
+        series = histogram.labels()
+        assert series.count == 2
+        assert series.sum == 6.0
+        assert series.mean() == 3.0
+
+    def test_duplicate_bucket_bounds_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0))
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_reports_zero(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.labels().quantile(0.5) == 0.0
+
+    def test_out_of_range_rejected(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(MetricError):
+            histogram.labels().quantile(1.5)
+
+    def test_single_observation_bounded_by_bucket_and_max(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.3)
+        series = histogram.labels()
+        # Estimates stay inside [bucket lower bound, observed max].
+        assert 1.0 <= series.quantile(0.01) <= 1.3
+        assert series.quantile(1.0) == pytest.approx(1.3)
+
+    def test_estimates_bounded_by_observed_extremes(self):
+        histogram = MetricsRegistry().histogram("h", buckets=DEFAULT_BUCKETS)
+        for value in (0.002, 0.003, 0.004, 0.020):
+            histogram.observe(value)
+        series = histogram.labels()
+        assert 0.002 <= series.quantile(0.5) <= 0.020
+        assert series.quantile(1.0) == pytest.approx(0.020)
+
+    def test_interpolates_within_a_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(10.0,))
+        for value in (0.0, 2.0, 4.0, 6.0, 8.0):
+            histogram.observe(value)
+        # All five land in the first bucket [0, 10]; the median estimate
+        # must interpolate strictly inside the observed range.
+        median = histogram.labels().quantile(0.5)
+        assert 0.0 < median < 8.0
+
+    def test_quantiles_monotone_in_q(self):
+        histogram = MetricsRegistry().histogram("h", buckets=DEFAULT_BUCKETS)
+        for i in range(100):
+            histogram.observe(0.0001 * (i + 1))
+        series = histogram.labels()
+        values = [series.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert values == sorted(values)
+
+
+class TestTiming:
+    def test_timer_observes_clock_elapsed(self):
+        clock = SimClock()
+        histogram = MetricsRegistry(clock=clock).histogram("h")
+        with histogram.time():
+            clock.advance(0.25)
+        series = histogram.labels()
+        assert series.count == 1
+        assert series.sum == pytest.approx(0.25)
+
+
+class TestRegistry:
+    def test_redeclaration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help")
+        second = registry.counter("x_total", "help")
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(MetricError):
+            registry.gauge("x_total")
+
+    def test_labelname_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("x_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("2bad")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", labelnames=("bad-label",))
+
+    def test_labelled_family_rejects_bare_use(self):
+        family = MetricsRegistry().counter("x_total", labelnames=("a",))
+        with pytest.raises(MetricError):
+            family.inc()
+
+    def test_label_arity_enforced(self):
+        family = MetricsRegistry().counter("x_total", labelnames=("a", "b"))
+        with pytest.raises(MetricError):
+            family.labels("only-one")
+        with pytest.raises(MetricError):
+            family.labels(a="x")  # missing b
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "the counter").inc(2)
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"]["kind"] == "counter"
+        assert snapshot["c_total"]["series"][0]["value"] == 2.0
+        entry = snapshot["h_seconds"]["series"][0]
+        assert entry["count"] == 1
+        assert entry["sum"] == 0.5
+        assert entry["buckets"][-1][0] == float("inf")
+
+
+class TestConcurrency:
+    def test_concurrent_counter_increments_are_exact(self):
+        counter = MetricsRegistry().counter("hits_total")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(2500)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert counter.value == 8 * 2500
+
+    def test_concurrent_histogram_observers_are_exact(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(0.5, 1.5, 2.5))
+        def hammer():
+            for i in range(1500):
+                histogram.observe(i % 3)  # 0, 1, 2 round-robin
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        series = histogram.labels()
+        assert series.count == 6 * 1500
+        assert series.sum == 6 * (0 + 1 + 2) * 500
+        cumulative = dict(series.bucket_counts())
+        assert cumulative[0.5] == 6 * 500
+        assert cumulative[1.5] == 6 * 1000
+        assert cumulative[2.5] == 6 * 1500
+
+    def test_concurrent_series_creation_single_instance(self):
+        family = MetricsRegistry().counter("x_total", labelnames=("k",))
+        barrier = threading.Barrier(8)
+        def create(results, index):
+            barrier.wait(timeout=10)
+            results[index] = family.labels("shared")
+        results: dict[int, object] = {}
+        threads = [
+            threading.Thread(target=create, args=(results, i)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert len(set(map(id, results.values()))) == 1

@@ -1,0 +1,221 @@
+"""Tracing: span trees, context propagation, the thread-local stack."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_SPAN,
+    SpanContext,
+    Tracer,
+    build_tree,
+    child_span,
+    current_span,
+    extract,
+    format_tree,
+    maybe_span,
+    span_names,
+)
+from repro.sim.clock import SimClock
+
+
+class TestSpanBasics:
+    def test_durations_run_on_the_tracer_clock(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start_span("op")
+        clock.advance(0.5)
+        span.end()
+        assert span.duration() == pytest.approx(0.5)
+
+    def test_end_is_idempotent(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start_span("op")
+        span.end()
+        first_end = span.end_time
+        clock.advance(1.0)
+        span.end()
+        assert span.end_time == first_end
+        assert len(tracer.finished_spans()) == 1
+
+    def test_children_share_the_trace(self):
+        tracer = Tracer(clock=SimClock())
+        parent = tracer.start_span("parent")
+        child = parent.child("child", detail=1)
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+        assert child.attrs == {"detail": 1}
+
+    def test_events_and_attrs_in_dict(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.start_span("op").set("k", "v")
+        clock.advance(0.1)
+        span.event("milestone", n=3)
+        span.end()
+        d = span.to_dict()
+        assert d["attrs"] == {"k": "v"}
+        assert d["events"] == [
+            {"time": pytest.approx(0.1), "name": "milestone", "attrs": {"n": 3}}
+        ]
+
+    def test_exception_recorded_as_error(self):
+        tracer = Tracer(clock=SimClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("op"):
+                raise RuntimeError("boom")
+        (finished,) = tracer.finished_spans()
+        assert "boom" in finished.error
+
+
+class TestContextPropagation:
+    def test_header_round_trip(self):
+        context = SpanContext("aaaa", "bbbb")
+        parsed = extract(context.to_header())
+        assert (parsed.trace_id, parsed.span_id) == ("aaaa", "bbbb")
+
+    @pytest.mark.parametrize("header", ["", "nodash", "-x", "x-", None])
+    def test_malformed_headers_are_none(self, header):
+        assert extract(header or "") is None
+
+    def test_remote_parenting_through_a_context(self):
+        client = Tracer(clock=SimClock())
+        server = Tracer(clock=SimClock())
+        with client.span("rpc.client.bind") as client_side:
+            header = client_side.context().to_header()
+        server_side = server.start_span("rpc.server.bind", parent=extract(header))
+        server_side.end()
+        assert server_side.trace_id == client_side.trace_id
+        assert server_side.parent_id == client_side.span_id
+
+
+class TestActiveSpanStack:
+    def test_entering_makes_a_span_current(self):
+        tracer = Tracer(clock=SimClock())
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+                assert inner.parent_id == outer.span_id
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_child_span_without_active_is_null(self):
+        assert child_span("anything") is NULL_SPAN
+
+    def test_child_span_attaches_to_active(self):
+        tracer = Tracer(clock=SimClock())
+        with tracer.span("outer") as outer:
+            with child_span("deep", layer="core") as deep:
+                assert deep.parent_id == outer.span_id
+                assert deep.attrs == {"layer": "core"}
+
+    def test_maybe_span_prefers_active_over_tracer(self):
+        tracer = Tracer(clock=SimClock())
+        other = Tracer(clock=SimClock())
+        with tracer.span("outer") as outer:
+            with maybe_span(other, "inner") as inner:
+                assert inner.trace_id == outer.trace_id
+
+    def test_maybe_span_roots_on_tracer_when_idle(self):
+        tracer = Tracer(clock=SimClock())
+        with maybe_span(tracer, "root") as span:
+            assert span is not NULL_SPAN
+            assert span.parent_id is None
+
+    def test_maybe_span_null_when_no_tracer_no_active(self):
+        assert maybe_span(None, "x") is NULL_SPAN
+
+    def test_stacks_are_per_thread(self):
+        tracer = Tracer(clock=SimClock())
+        seen: list[object] = []
+        with tracer.span("main-thread"):
+            thread = threading.Thread(target=lambda: seen.append(current_span()))
+            thread.start()
+            thread.join(10)
+        assert seen == [None]
+
+
+class TestRing:
+    def test_capacity_drops_oldest(self):
+        tracer = Tracer(clock=SimClock(), capacity=2)
+        for name in ("a", "b", "c"):
+            tracer.start_span(name).end()
+        assert [s.name for s in tracer.finished_spans()] == ["b", "c"]
+        assert tracer.spans_started == 3
+        assert tracer.spans_dropped == 1
+
+    def test_trace_ids_oldest_first_and_last(self):
+        tracer = Tracer(clock=SimClock())
+        first = tracer.start_span("one")
+        first.end()
+        second = tracer.start_span("two")
+        second.end()
+        assert tracer.trace_ids() == [first.trace_id, second.trace_id]
+        assert tracer.last_trace_id() == second.trace_id
+
+    def test_empty_tracer_has_no_last_trace(self):
+        assert Tracer(clock=SimClock()).last_trace_id() is None
+
+
+class TestTreeAssembly:
+    def _spans(self, tracer, clock):
+        with tracer.span("root"):
+            clock.advance(0.01)  # distinct starts keep sibling order stable
+            with child_span("left"):
+                clock.advance(0.01)
+            clock.advance(0.01)
+            with child_span("right"):
+                clock.advance(0.01)
+
+    def test_tree_depth_first_names(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        self._spans(tracer, clock)
+        tree = tracer.tree(tracer.last_trace_id())
+        assert span_names(tree) == ["root", "left", "right"]
+
+    def test_orphans_grow_a_synthetic_root(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        a = tracer.start_span("a")
+        a.end()
+        clock.advance(0.1)  # distinct starts make the sibling order stable
+        b = tracer.start_span("b")
+        b.end()
+        tree = build_tree([a.to_dict(), b.to_dict()])
+        assert tree["name"] == "<trace>"
+        assert span_names(tree) == ["<trace>", "a", "b"]
+
+    def test_build_tree_empty_is_none(self):
+        assert build_tree([]) is None
+        assert format_tree(None) == "(no trace)"
+
+    def test_format_tree_indents_children(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        self._spans(tracer, clock)
+        text = format_tree(tracer.tree(tracer.last_trace_id()))
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  left")
+        assert lines[2].startswith("  right")
+
+
+class TestSlowLogHook:
+    def test_tracer_offers_finished_spans(self):
+        class Collector:
+            def __init__(self):
+                self.spans = []
+
+            def offer(self, span):
+                self.spans.append(span)
+
+        collector = Collector()
+        tracer = Tracer(clock=SimClock(), slow_log=collector)
+        tracer.start_span("op").end()
+        assert [s.name for s in collector.spans] == ["op"]
