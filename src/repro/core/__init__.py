@@ -12,14 +12,27 @@ from repro.core.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
-from repro.core.backup import backup_database, verify_backup
+from repro.core.backup import (
+    backup_database,
+    emergency_snapshot,
+    read_manifest,
+    verify_backup,
+)
 from repro.core.commit import DURABILITY_MODES, CommitCoordinator, CommitPolicy
 from repro.core.daemon import CheckpointDaemon, GroupCommitDaemon
 from repro.core.database import Database
+from repro.core.health import (
+    DEGRADED_READ_ONLY,
+    FAILED,
+    HEALTHY,
+    HealthMonitor,
+)
 from repro.core.mirror import MirroringDatabase, restore_from_mirror
 from repro.core.sharding import ShardedDatabase, default_hash
 from repro.core.errors import (
+    CheckpointFailed,
     DatabaseClosed,
+    DatabaseDegraded,
     DatabaseError,
     DatabasePoisoned,
     LogDamaged,
@@ -65,16 +78,23 @@ __all__ = [
     "AuditRecord",
     "CheckpointDaemon",
     "CheckpointDamaged",
+    "CheckpointFailed",
     "CommitCoordinator",
     "CommitPolicy",
+    "DEGRADED_READ_ONLY",
     "DURABILITY_MODES",
+    "FAILED",
     "GroupCommitDaemon",
+    "HEALTHY",
+    "HealthMonitor",
     "MirroringDatabase",
     "ShardedDatabase",
     "restore_from_mirror",
     "archive_name",
     "archived_epochs",
     "backup_database",
+    "emergency_snapshot",
+    "read_manifest",
     "verify_backup",
     "default_hash",
     "CheckpointPolicy",
@@ -82,6 +102,7 @@ __all__ = [
     "DEFAULT_OPERATIONS",
     "Database",
     "DatabaseClosed",
+    "DatabaseDegraded",
     "DatabaseError",
     "DatabasePoisoned",
     "DatabaseStats",

@@ -18,7 +18,15 @@ files plus an append-only log:
 
 ``backup_database`` is the one-shot operator verb;
 :func:`verify_backup` runs the same validation fsck applies, against the
-backup copy.
+backup copy.  A ``manifest`` file written alongside the copy records what
+the log looked like at copy time, so verification also catches a backup
+whose log was *truncated after copying* — a clean-framing scan alone
+cannot distinguish that from a legitimately shorter log.
+
+:func:`emergency_snapshot` is the degraded-mode sibling: when the primary
+device starts refusing writes, the database preserves its in-memory state
+to a spare directory using the same three-file layout, so the state
+survives a subsequent process death even though the primary log is sealed.
 """
 
 from __future__ import annotations
@@ -33,6 +41,40 @@ from repro.core.version import (
 )
 from repro.storage.interface import FileSystem
 
+#: backup metadata: what the copied log looked like at copy time
+MANIFEST_FILE = "manifest"
+
+
+def _write_manifest(
+    target: FileSystem, version: int, log_bytes: int, entries: int, last_seq: int
+) -> int:
+    text = (
+        f"version {version}\n"
+        f"log_bytes {log_bytes}\n"
+        f"log_entries {entries}\n"
+        f"last_seq {last_seq}\n"
+    )
+    target.write(MANIFEST_FILE, text.encode("ascii"))
+    target.fsync(MANIFEST_FILE)
+    return len(text)
+
+
+def read_manifest(target: FileSystem) -> dict[str, int] | None:
+    """Parse a backup manifest; ``None`` when absent or unparseable.
+
+    Unparseable is treated like absent (the manifest is corroborating
+    evidence, not the backup itself); verification then falls back to
+    framing checks alone, as for pre-manifest backups.
+    """
+    if not target.exists(MANIFEST_FILE):
+        return None
+    try:
+        text = target.read(MANIFEST_FILE).decode("ascii")
+        fields = dict(line.split(" ", 1) for line in text.splitlines() if line)
+        return {key: int(value) for key, value in fields.items()}
+    except Exception:
+        return None
+
 
 def backup_database(db: Database, target: FileSystem) -> dict[str, int]:
     """Copy the live database's current consistent state to ``target``.
@@ -40,6 +82,8 @@ def backup_database(db: Database, target: FileSystem) -> dict[str, int]:
     Returns ``{file name: bytes copied}``.  The target directory is
     cleared first — a backup directory holds one backup.
     """
+    from repro.core.log import LogScan
+
     with db.lock.update():
         version = db.version
         names = [checkpoint_name(version), logfile_name(version)]
@@ -51,6 +95,17 @@ def backup_database(db: Database, target: FileSystem) -> dict[str, int]:
             target.write(name, payload)
             target.fsync(name)
             copied[name] = len(payload)
+        # The manifest scans the *copy* (the source may keep moving once
+        # the lock drops) and goes in before the marker.
+        scan = LogScan(target, logfile_name(version))
+        entries = sum(1 for _ in scan)
+        copied[MANIFEST_FILE] = _write_manifest(
+            target,
+            version,
+            target.size(logfile_name(version)),
+            entries,
+            scan.outcome.last_seq,
+        )
         # The marker goes last: a half-finished backup has no version
         # file and is recognisably incomplete.
         target.write(VERSION_FILE, str(version).encode("ascii"))
@@ -63,7 +118,9 @@ def backup_database(db: Database, target: FileSystem) -> dict[str, int]:
 def verify_backup(target: FileSystem) -> int:
     """Validate a backup directory; returns the number of log entries.
 
-    Raises :class:`RecoveryError` if the backup is unusable.
+    Raises :class:`RecoveryError` if the backup is unusable — including a
+    log that was shortened after the copy was taken, which the manifest
+    (when present) detects even though the remaining frames are valid.
     """
     from repro.core.checkpoint import read_checkpoint
     from repro.core.log import LogScan
@@ -76,4 +133,41 @@ def verify_backup(target: FileSystem) -> int:
     entries = sum(1 for _ in scan)
     if scan.outcome.damage is not None:
         raise RecoveryError(f"backup log damaged: {scan.outcome.damage}")
+    manifest = read_manifest(target)
+    if manifest is not None:
+        found = {
+            "version": current.number,
+            "log_bytes": target.size(logfile_name(current.number)),
+            "log_entries": entries,
+            "last_seq": scan.outcome.last_seq,
+        }
+        for key, expected in manifest.items():
+            if key in found and found[key] != expected:
+                raise RecoveryError(
+                    f"backup does not match its manifest: {key} is "
+                    f"{found[key]}, manifest says {expected} (the backup "
+                    f"was modified after it was taken)"
+                )
     return entries
+
+
+def emergency_snapshot(target: FileSystem, payload: bytes, version: int) -> None:
+    """Write a degraded-mode checkpoint of in-memory state to a spare.
+
+    The spare directory ends up a complete, recoverable database at
+    ``version`` with an empty log — exactly what :func:`~repro.core.\
+recovery.recover` expects — holding the pickled root ``payload``.  The
+    target is cleared first: the spare holds the latest emergency state,
+    nothing else.
+    """
+    from repro.core.checkpoint import write_checkpoint
+
+    for name in list(target.list_names()):
+        target.delete(name)
+    write_checkpoint(target, checkpoint_name(version), payload)
+    target.create(logfile_name(version))
+    target.fsync(logfile_name(version))
+    target.write(VERSION_FILE, str(version).encode("ascii"))
+    target.fsync(VERSION_FILE)
+    target.fsync_dir()
+

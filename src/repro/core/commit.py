@@ -57,6 +57,7 @@ from repro.concurrency.locks import CommitBarrier
 from repro.core.errors import DatabaseError
 from repro.obs.tracing import child_span
 from repro.sim.clock import Clock, Stopwatch
+from repro.storage.errors import MediaError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.log import LogWriter
@@ -110,11 +111,20 @@ class CommitCoordinator:
         clock: Clock,
         policy: CommitPolicy | None = None,
         stats: "DatabaseStats | None" = None,
+        sync_retries: int = 0,
+        fault_observer=None,
     ) -> None:
         self.writer = writer
         self.clock = clock
         self.policy = policy if policy is not None else CommitPolicy()
         self.stats = stats
+        #: extra attempts a leader makes when the shared fsync reports a
+        #: media fault, before poisoning the barrier.  A transient device
+        #: hiccup then costs a retry, not a sealed log.
+        self.sync_retries = sync_retries
+        #: called as ``fault_observer(op, exc)`` for each media fault the
+        #: leader sees (how faults reach the health metrics).
+        self.fault_observer = fault_observer
         self.barrier = CommitBarrier()
 
     # -- staging and waiting ---------------------------------------------------
@@ -152,7 +162,7 @@ class CommitCoordinator:
                 )
             batch = claim - self.barrier.completed()
             with child_span("commit.fsync", batch=batch):
-                self.writer.sync()
+                self._sync_with_retry()
         except BaseException as exc:
             # Nobody can prove the staged tail durable any more; poison
             # the barrier so waiters unwind instead of hanging.
@@ -161,6 +171,19 @@ class CommitCoordinator:
         self.barrier.finish(claim)
         if self.stats is not None:
             self.stats.record_commit_batch(batch)
+
+    def _sync_with_retry(self) -> None:
+        attempts = 0
+        while True:
+            try:
+                self.writer.sync()
+                return
+            except MediaError as exc:
+                if self.fault_observer is not None:
+                    self.fault_observer("fsync", exc)
+                if attempts >= self.sync_retries:
+                    raise
+                attempts += 1
 
     # -- maintenance -----------------------------------------------------------
 

@@ -42,12 +42,15 @@ from repro.concurrency.locks import SUELock
 from repro.core.checkpoint import write_checkpoint
 from repro.core.commit import DURABILITY_MODES, CommitCoordinator, CommitPolicy
 from repro.core.errors import (
+    CheckpointFailed,
     DatabaseClosed,
+    DatabaseDegraded,
     DatabaseError,
     DatabasePoisoned,
     PreconditionFailed,
 )
-from repro.core.log import LogWriter
+from repro.core.health import HealthMonitor
+from repro.core.log import LogEntry, LogWriter
 from repro.core.policy import CheckpointPolicy, Never
 from repro.core.recovery import recover
 from repro.core.stats import DatabaseStats
@@ -55,6 +58,7 @@ from repro.core.transactions import DEFAULT_OPERATIONS, OperationRegistry
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer, child_span, maybe_span
 from repro.core.version import (
+    NEWVERSION_FILE,
     VERSION_FILE,
     checkpoint_name,
     commit_new_version,
@@ -64,6 +68,7 @@ from repro.core.version import (
 from repro.pickles import DEFAULT_REGISTRY, TypeRegistry, pickle_write
 from repro.sim.clock import Clock, Stopwatch, WallClock
 from repro.sim.costmodel import NULL_COST_MODEL, CostModel
+from repro.storage.errors import MediaError, StorageError
 from repro.storage.interface import FileSystem
 
 
@@ -88,6 +93,8 @@ class Database:
         auto_open: bool = True,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        spare_fs: FileSystem | None = None,
+        fault_retries: int = 2,
     ) -> None:
         """Create (and by default open) a database over ``fs``.
 
@@ -116,6 +123,13 @@ class Database:
         enables root spans for updates/checkpoints; even without one,
         updates executed under a traced RPC dispatch contribute child
         spans to the caller's trace.
+
+        ``spare_fs`` is an optional spare directory (on a *different*
+        device) that receives an emergency checkpoint of the in-memory
+        state when a persistent media fault degrades the database to
+        read-only; ``fault_retries`` bounds how many extra attempts a
+        faulted log append or fsync gets before degrading (a transient
+        device hiccup then costs a retry, not the server).
         """
         self.fs = fs
         self.initial = initial
@@ -144,12 +158,23 @@ class Database:
             commit_policy if commit_policy is not None else CommitPolicy()
         )
 
+        if fault_retries < 0:
+            raise ValueError("fault_retries cannot be negative")
+        self.spare_fs = spare_fs
+        self.fault_retries = fault_retries
+
         self.lock = SUELock()
         self.registry = (
             registry if registry is not None else MetricsRegistry(clock=self.clock)
         )
         self.tracer = tracer
         self.stats = DatabaseStats(self.registry)
+        self.health_monitor = HealthMonitor(self.registry)
+        self._checkpoint_failures = self.registry.counter(
+            "db_checkpoint_failures_total",
+            "checkpoint attempts aborted cleanly before their commit point",
+        )
+        self._checkpoint_retry_pending = False
         self.last_checkpoint_time = self.clock.now()
         self.entries_since_checkpoint = 0
 
@@ -203,9 +228,7 @@ class Database:
             clock=self.clock,
             sync_observer=self._note_fsync,
         )
-        self._commit = CommitCoordinator(
-            self._log, self.clock, self.commit_policy, self.stats
-        )
+        self._commit = self._make_coordinator(self._log)
         self.entries_since_checkpoint = state.entries_replayed
         self.stats.record_restart(watch.elapsed(), state.entries_replayed)
         self.last_recovery = state
@@ -213,7 +236,11 @@ class Database:
         if state.entries_skipped or state.used_previous_checkpoint:
             # Damaged files served this recovery; retire them immediately
             # by checkpointing the recovered state to a fresh version.
-            self.checkpoint()
+            try:
+                self.checkpoint()
+            except CheckpointFailed:
+                # The retry is scheduled; the recovered state still serves.
+                pass
 
     def _bootstrap(self) -> None:
         """First ever start: write version 1 from the initial root."""
@@ -234,10 +261,18 @@ class Database:
             clock=self.clock,
             sync_observer=self._note_fsync,
         )
-        self._commit = CommitCoordinator(
-            self._log, self.clock, self.commit_policy, self.stats
-        )
+        self._commit = self._make_coordinator(self._log)
         self.last_recovery = None
+
+    def _make_coordinator(self, writer: LogWriter) -> CommitCoordinator:
+        return CommitCoordinator(
+            writer,
+            self.clock,
+            self.commit_policy,
+            self.stats,
+            sync_retries=self.fault_retries,
+            fault_observer=self.health_monitor.note_fault,
+        )
 
     def close(self) -> None:
         """Shut down cleanly.
@@ -247,7 +282,14 @@ class Database:
         returned.
         """
         if self._open and self._commit is not None and self._commit.pending():
-            self._commit.flush()
+            try:
+                self._commit.flush()
+            except MediaError as exc:
+                self._open = False
+                self._degrade_now("fsync", exc, holding_update_lock=False)
+                raise DatabaseDegraded(
+                    f"close could not flush staged commits: {exc}"
+                ) from exc
         self._open = False
 
     def __enter__(self) -> "Database":
@@ -299,7 +341,7 @@ class Database:
         disk write — still durable on return; in ``"relaxed"`` mode the
         call returns after staging, before any fsync.
         """
-        self._check_usable()
+        self._check_writable()
         with maybe_span(self.tracer, "db.update", op=op_name) as span:
             return self._update_traced(span, op_name, args, kwargs)
 
@@ -310,6 +352,9 @@ class Database:
         assert self._log is not None
         with self.lock.update():
             span.event("update_lock_acquired")
+            # Re-checked under the lock: another updater may have hit a
+            # persistent fault and sealed the log while we queued.
+            self._check_writable()
             watch = Stopwatch(self.clock)
             with child_span("db.explore"):
                 try:
@@ -329,10 +374,11 @@ class Database:
 
             with child_span("db.log_append", bytes=len(payload)):
                 if self.durability == "immediate":
-                    entry = self._log.append(payload)  # the commit point
+                    entry = self._append_entry(payload)
+                    self._sync_log()  # the commit point
                     ticket = None
                 else:
-                    entry = self._log.append_unsynced(payload)
+                    entry = self._append_entry(payload)
                     assert self._commit is not None
                     ticket = self._commit.note_append()
             log_write_s = watch.restart()
@@ -364,7 +410,7 @@ class Database:
             # whole batch before any member's update() returns.  The
             # leader's fsync appears as a commit.fsync child span here.
             with child_span("db.commit_barrier"):
-                commit_wait_s = self._commit.wait_durable(ticket)
+                commit_wait_s = self._wait_durable(ticket)
 
         self.stats.record_update(
             explore_s,
@@ -396,7 +442,7 @@ class Database:
           applications all happen under one exclusive section after the
           commit.
         """
-        self._check_usable()
+        self._check_writable()
         if not batch:
             return []
         plan = []
@@ -409,6 +455,7 @@ class Database:
             plan.append((self.operations.get(op_name), op_name, tuple(args), kwargs))
         assert self._log is not None
         with self.lock.update():
+            self._check_writable()
             watch = Stopwatch(self.clock)
             for op, _name, args, kwargs in plan:
                 try:
@@ -427,13 +474,14 @@ class Database:
             pickle_s = watch.restart() / len(plan)
 
             if self.durability == "immediate":
-                entries = self._log.append_many(payloads)  # one commit fsync
+                entries = [self._append_entry(p) for p in payloads]
+                self._sync_log()  # one commit fsync
                 ticket = None
             else:
                 # Stage every entry and wait once on the commit barrier;
                 # the shared fsync may also absorb concurrent updaters.
                 assert self._commit is not None
-                entries = [self._log.append_unsynced(p) for p in payloads]
+                entries = [self._append_entry(p) for p in payloads]
                 ticket = 0
                 for _ in entries:
                     ticket = self._commit.note_append()
@@ -460,7 +508,7 @@ class Database:
         elif self.durability == "relaxed":
             self.stats.record_relaxed_updates(len(plan))
         else:
-            commit_wait_s = self._commit.wait_durable(ticket)  # one commit fsync
+            commit_wait_s = self._wait_durable(ticket)  # one commit fsync
         per_entry_wait = commit_wait_s / len(plan)
 
         for entry, payload in zip(entries, payloads):
@@ -477,24 +525,54 @@ class Database:
 
         Runs under the update lock: concurrent updates wait (the paper's
         availability cost, measured in E8/E10), enquiries proceed.
+
+        A storage fault before the commit point aborts the switch
+        *cleanly*: the partial new version is removed, the old version
+        stays current (no update is lost — the log keeps growing), a
+        retry is scheduled for the next policy trigger, and
+        :class:`CheckpointFailed` is raised.  A fault after the commit
+        point is tolerated: the switch is durable via ``newversion`` and
+        a restart completes the tidy-up.
         """
-        self._check_usable()
+        self._check_writable()
         with maybe_span(self.tracer, "db.checkpoint"), self.lock.update():
             watch = Stopwatch(self.clock)
             if self._commit is not None:
                 # Retire any unsynced tail (relaxed-mode backlog) before
                 # this log file is superseded: holding the update lock
                 # guarantees nothing new can be staged meanwhile.
-                self._commit.flush()
+                try:
+                    self._commit.flush()
+                except MediaError as exc:
+                    self._degrade_now("fsync", exc, holding_update_lock=True)
+                    raise DatabaseDegraded(
+                        f"checkpoint could not flush staged commits: {exc}"
+                    ) from exc
             self._before_log_reset(self._version)
             new_version = self._version + 1
             payload = pickle_write(self._root, self.pickle_registry)
             self.cost_model.charge_pickle(self.clock, len(payload))
-            write_checkpoint(self.fs, checkpoint_name(new_version), payload)
-            self.fs.create(logfile_name(new_version))
-            self.fs.fsync(logfile_name(new_version))
-            commit_new_version(self.fs, new_version)  # the commit point
-            finalize_switch(self.fs, new_version, self.keep_versions)
+            try:
+                write_checkpoint(self.fs, checkpoint_name(new_version), payload)
+                self.fs.create(logfile_name(new_version))
+                self.fs.fsync(logfile_name(new_version))
+                commit_new_version(self.fs, new_version)  # the commit point
+            except StorageError as exc:
+                self._abort_checkpoint(new_version)
+                self._checkpoint_retry_pending = True
+                self._checkpoint_failures.inc()
+                self.health_monitor.note_fault("checkpoint", exc)
+                raise CheckpointFailed(
+                    f"checkpoint to version {new_version} aborted before "
+                    f"its commit point; version {self._version} remains "
+                    f"current ({exc})"
+                ) from exc
+            try:
+                finalize_switch(self.fs, new_version, self.keep_versions)
+            except StorageError as exc:
+                # Past the commit point: newversion durably names the new
+                # version, so a restart finishes the tidy-up.
+                self.health_monitor.note_fault("finalize_switch", exc)
             self._log = LogWriter(
                 self.fs,
                 logfile_name(new_version),
@@ -507,11 +585,34 @@ class Database:
                 self._commit.rebind(self._log)
             self._version = new_version
             self.entries_since_checkpoint = 0
+            self._checkpoint_retry_pending = False
             self.last_checkpoint_time = self.clock.now()
             elapsed = watch.elapsed()
         self.stats.record_checkpoint(elapsed, len(payload))
         self.policy.note_checkpoint(self)
         return new_version
+
+    def _abort_checkpoint(self, new_version: int) -> None:
+        """Best-effort removal of a failed switch's partial files.
+
+        The old version remains committed whatever happens here; anything
+        this cannot delete (the device may still be refusing writes) is a
+        "partial newer version" that restart cleanup and ``fsck --repair``
+        both remove.
+        """
+        for name in (
+            NEWVERSION_FILE,
+            checkpoint_name(new_version),
+            logfile_name(new_version),
+        ):
+            try:
+                self.fs.delete_if_exists(name)
+            except StorageError:
+                pass
+        try:
+            self.fs.fsync_dir()
+        except StorageError:
+            pass
 
     def maybe_checkpoint(self, policy: CheckpointPolicy | None = None) -> bool:
         """Atomically check-and-claim the checkpoint-policy trigger.
@@ -523,14 +624,24 @@ class Database:
         all trigger for the same threshold crossing and stack redundant
         checkpoints back to back.  Returns True when this caller ran the
         checkpoint.
+
+        A checkpoint aborted earlier by a storage fault stays *pending*:
+        it is retried at the next trigger evaluation even if the policy
+        itself would not fire, until one attempt succeeds.  While the
+        database is not HEALTHY no checkpoint is attempted at all.
         """
+        if not self.health_monitor.healthy:
+            return False
         chosen = policy if policy is not None else self.policy
         with self._trigger_lock:
-            if self._trigger_claimed or not chosen.should_checkpoint(self):
+            due = self._checkpoint_retry_pending or chosen.should_checkpoint(self)
+            if self._trigger_claimed or not due:
                 return False
             self._trigger_claimed = True
         try:
             self.checkpoint()
+        except CheckpointFailed:
+            return False  # still pending; the next trigger retries
         finally:
             with self._trigger_lock:
                 self._trigger_claimed = False
@@ -545,7 +656,13 @@ class Database:
         """
         self._check_usable()
         if self._commit is not None:
-            self._commit.flush()
+            try:
+                self._commit.flush()
+            except MediaError as exc:
+                self._degrade_now("fsync", exc, holding_update_lock=False)
+                raise DatabaseDegraded(
+                    f"flush could not commit the staged tail: {exc}"
+                ) from exc
 
     def pending_commits(self) -> int:
         """Updates staged in the log but not yet covered by an fsync."""
@@ -555,6 +672,103 @@ class Database:
         """LogWriter sync observer: fsync latency flows to the registry
         (counts come from the commit path, which knows batch sizes)."""
         self.stats.record_fsync(seconds)
+
+    # -- storage-fault handling ------------------------------------------------
+
+    def _append_entry(self, payload: bytes) -> LogEntry:
+        """Append one unsynced entry, riding out transient media faults.
+
+        Each faulted attempt is retried only while the writer's tail is
+        clean — :class:`~repro.core.log.LogWriter` cuts a short write back
+        off the file on failure; if even that failed, appending again
+        would put a committed entry beyond damage that strict recovery
+        truncates away, so the database degrades instead.
+        """
+        assert self._log is not None
+        attempts = 0
+        while True:
+            try:
+                return self._log.append_unsynced(payload)
+            except MediaError as exc:
+                self.health_monitor.note_fault("append", exc)
+                if self._log.tail_damaged or attempts >= self.fault_retries:
+                    self._degrade_now("append", exc, holding_update_lock=True)
+                    raise DatabaseDegraded(
+                        f"updates refused: log append failed ({exc})"
+                    ) from exc
+                attempts += 1
+
+    def _sync_log(self) -> None:
+        """The immediate-mode commit fsync, with bounded retries."""
+        assert self._log is not None
+        attempts = 0
+        while True:
+            try:
+                self._log.sync()
+                return
+            except MediaError as exc:
+                self.health_monitor.note_fault("fsync", exc)
+                if attempts >= self.fault_retries:
+                    self._degrade_now("fsync", exc, holding_update_lock=True)
+                    raise DatabaseDegraded(
+                        f"updates refused: commit fsync failed ({exc})"
+                    ) from exc
+                attempts += 1
+
+    def _wait_durable(self, ticket: int) -> float:
+        """Group-mode barrier wait; a leader's media failure degrades us.
+
+        The coordinator already retried the shared fsync
+        ``fault_retries`` times (reporting each fault to the health
+        monitor) before poisoning the barrier, so a ``MediaError`` here
+        means the fault persisted.
+        """
+        assert self._commit is not None
+        try:
+            return self._commit.wait_durable(ticket)
+        except MediaError as exc:
+            self._degrade_now("fsync", exc, holding_update_lock=False)
+            raise DatabaseDegraded(
+                f"updates refused: commit fsync failed ({exc})"
+            ) from exc
+
+    def _degrade_now(
+        self, op: str, exc: BaseException, holding_update_lock: bool
+    ) -> None:
+        """Seal the log and enter DEGRADED_READ_ONLY (first caller only).
+
+        The log writer is abandoned where it stands, an emergency
+        checkpoint of the in-memory state is attempted to the spare
+        directory, and from here on updates are refused while enquiries
+        keep being served from virtual memory.
+        """
+        if not self.health_monitor.degrade(f"{op}: {exc}"):
+            return
+        self._emergency_preserve(holding_update_lock)
+
+    def _emergency_preserve(self, holding_update_lock: bool) -> None:
+        if self.spare_fs is None:
+            self.health_monitor.note_emergency("no_spare")
+            return
+        try:
+            if holding_update_lock:
+                self._write_emergency_snapshot()
+            else:
+                # The SUE lock is not reentrant; callers tell us whether
+                # they already hold the update side.
+                with self.lock.update():
+                    self._write_emergency_snapshot()
+        except Exception as exc:
+            self.health_monitor.note_emergency("failed")
+            self.health_monitor.fail(f"emergency checkpoint failed: {exc}")
+        else:
+            self.health_monitor.note_emergency("written")
+
+    def _write_emergency_snapshot(self) -> None:
+        from repro.core.backup import emergency_snapshot
+
+        payload = pickle_write(self._root, self.pickle_registry)
+        emergency_snapshot(self.spare_fs, payload, self._version)
 
     def _before_log_reset(self, old_version: int) -> None:
         """Hook: runs under the update lock just before a checkpoint
@@ -572,6 +786,17 @@ class Database:
         """The current checkpoint version number."""
         return self._version
 
+    @property
+    def health(self) -> str:
+        """``"healthy"``, ``"degraded_read_only"`` or ``"failed"``."""
+        return self.health_monitor.state
+
+    def health_detail(self) -> dict[str, object]:
+        """The health state plus the cause of any degradation."""
+        detail = self.health_monitor.snapshot()
+        detail["checkpoint_retry_pending"] = self._checkpoint_retry_pending
+        return detail
+
     def log_size(self) -> int:
         """Bytes currently in the log file."""
         return self._log.size() if self._log is not None else 0
@@ -584,3 +809,13 @@ class Database:
             raise DatabaseClosed("database is not open")
         if self._poisoned is not None:
             raise DatabasePoisoned(self._poisoned)
+
+    def _check_writable(self) -> None:
+        """Refuse updates (not enquiries) once the database has degraded."""
+        self._check_usable()
+        if not self.health_monitor.healthy:
+            raise DatabaseDegraded(
+                f"database is {self.health_monitor.state} "
+                f"({self.health_monitor.cause}); updates are refused, "
+                f"enquiries still served"
+            )

@@ -28,6 +28,24 @@ class DatabasePoisoned(DatabaseError):
         self.cause = cause
 
 
+class DatabaseDegraded(DatabaseError):
+    """The database is running read-only because its disk is failing.
+
+    A persistent media fault on the log write path seals the log: updates
+    are refused with this error, while enquiries keep being served from
+    virtual memory (the paper's core property).  Carries a single message
+    string so the RPC layer can reconstruct it client-side.
+    """
+
+
+class CheckpointFailed(DatabaseError):
+    """A checkpoint attempt aborted cleanly before its commit point.
+
+    The previous version remains current, no partial version is committed,
+    and a retry is scheduled; the log keeps growing in the meantime.
+    """
+
+
 class PreconditionFailed(DatabaseError):
     """An update's precondition rejected it; nothing was logged or applied.
 

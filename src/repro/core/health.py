@@ -1,0 +1,130 @@
+"""The database health state machine for runtime storage faults.
+
+The paper's availability story treats media failure as something recovery
+handles *offline*; a live server needs a policy too.  The policy here is a
+one-way state machine:
+
+``HEALTHY``
+    Normal operation.  Media faults on the log path are retried a bounded
+    number of times (a transient fault costs a retry, nothing else).
+
+``DEGRADED_READ_ONLY``
+    A fault persisted: the log is sealed, an emergency checkpoint of the
+    in-memory state was attempted to a configured spare directory, and
+    updates are refused with :class:`~repro.core.errors.DatabaseDegraded`.
+    Enquiries keep being served from virtual memory — the paper's core
+    property that reads never need the disk.
+
+``FAILED``
+    Degradation itself failed (the emergency checkpoint could not be
+    written, so the spare holds nothing trustworthy).  Enquiries are still
+    served; everything else is refused.
+
+Transitions are one-way (an operator replaces the disk and restarts; the
+process never un-degrades itself) and idempotent under concurrency: only
+the first caller performs the degrade work.
+
+Metrics (in the database's registry):
+
+* ``db_health_state`` — gauge: 0 healthy, 1 degraded read-only, 2 failed;
+* ``storage_faults_total{op}`` — every media fault seen, including retried
+  ones;
+* ``db_degradations_total{reason}`` — transitions out of HEALTHY;
+* ``db_emergency_checkpoints_total{outcome}`` — spare-directory snapshot
+  attempts ("written" / "failed" / "no_spare").
+
+Faulted operations are also annotated on the active trace span (a
+``storage_fault`` event), so a trace of a degraded update shows exactly
+which disk operation failed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import current_span
+
+HEALTHY = "healthy"
+DEGRADED_READ_ONLY = "degraded_read_only"
+FAILED = "failed"
+
+#: numeric encoding used by the ``db_health_state`` gauge
+HEALTH_CODES = {HEALTHY: 0, DEGRADED_READ_ONLY: 1, FAILED: 2}
+
+
+class HealthMonitor:
+    """Tracks one database's health state and publishes it as metrics."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._lock = threading.Lock()
+        self.state = HEALTHY
+        self.cause: str | None = None
+        self._gauge = registry.gauge(
+            "db_health_state",
+            "database health: 0 healthy, 1 degraded read-only, 2 failed",
+        )
+        self._faults = registry.counter(
+            "storage_faults_total",
+            "runtime media faults seen on the storage path",
+            labelnames=("op",),
+        )
+        self._degradations = registry.counter(
+            "db_degradations_total",
+            "transitions out of the HEALTHY state",
+            labelnames=("reason",),
+        )
+        self._emergency = registry.counter(
+            "db_emergency_checkpoints_total",
+            "emergency checkpoint attempts to the spare directory",
+            labelnames=("outcome",),
+        )
+        self._gauge.set(HEALTH_CODES[HEALTHY])
+
+    # -- observations ----------------------------------------------------------
+
+    def note_fault(self, op: str, exc: BaseException) -> None:
+        """Record one media fault (retried or fatal) on operation ``op``."""
+        self._faults.labels(op=op).inc()
+        span = current_span()
+        if span is not None:
+            span.event("storage_fault", op=op, error=type(exc).__name__)
+
+    def note_emergency(self, outcome: str) -> None:
+        self._emergency.labels(outcome=outcome).inc()
+
+    # -- transitions -----------------------------------------------------------
+
+    def degrade(self, cause: str, reason: str = "media_fault") -> bool:
+        """HEALTHY → DEGRADED_READ_ONLY; returns whether *this* call won.
+
+        Only the winner performs the degrade work (sealing the log,
+        emergency checkpoint); losers observe the state and refuse.
+        """
+        with self._lock:
+            if self.state != HEALTHY:
+                return False
+            self.state = DEGRADED_READ_ONLY
+            self.cause = cause
+        self._gauge.set(HEALTH_CODES[DEGRADED_READ_ONLY])
+        self._degradations.labels(reason=reason).inc()
+        return True
+
+    def fail(self, cause: str) -> None:
+        """Any state → FAILED (degradation itself went wrong)."""
+        with self._lock:
+            if self.state == FAILED:
+                return
+            self.state = FAILED
+            self.cause = cause
+        self._gauge.set(HEALTH_CODES[FAILED])
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        return self.state == HEALTHY
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {"state": self.state, "cause": self.cause}

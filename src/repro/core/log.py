@@ -35,7 +35,7 @@ import zlib
 from dataclasses import dataclass
 
 from repro.pickles.wire import WireReader, encode_varint
-from repro.storage.errors import HardError
+from repro.storage.errors import HardError, StorageError
 from repro.storage.interface import FileSystem
 
 MAGIC = 0xA5
@@ -120,6 +120,11 @@ class LogWriter:
         self.clock = clock
         self.sync_observer = sync_observer
         self._unsynced_bytes = 0
+        #: True when a failed append left bytes we could not cut back off
+        #: the file.  Appending after damage is unsafe: strict recovery
+        #: truncates at the damage, which would silently drop any entry
+        #: committed beyond it — callers must stop using this writer.
+        self.tail_damaged = False
 
     def append(self, payload: bytes) -> LogEntry:
         """Durably append one entry; returns after the commit fsync.
@@ -137,12 +142,19 @@ class LogWriter:
     def append_unsynced(self, payload: bytes) -> LogEntry:
         """Append without forcing; pair with :meth:`sync` (group commit)."""
         framed, prefix_len = self._build(payload)
+        before = self.offset
         try:
             self.fs.append(self.name, framed)
+        except StorageError:
+            # A runtime media fault: the process keeps running, so try to
+            # cut the short write back off the file — then a retried
+            # append starts from a clean tail.
+            self._discard_partial_append(before)
+            raise
         except BaseException:
-            # The file may hold any prefix of ``framed``; realign the
-            # tracked offset with reality so later appends pad from the
-            # true end and recovery sees at worst one damaged region.
+            # A simulated crash (or interrupt): nothing may run now except
+            # the harness.  Just realign the tracked offset with reality so
+            # recovery sees at worst one damaged region.
             self._resync_offset_from_file()
             raise
         return self._note_written(payload, framed, prefix_len)
@@ -169,6 +181,22 @@ class LogWriter:
         self.fs.fsync(self.name)
         self._unsynced_bytes = 0
         self.sync_observer(self.clock.now() - started, synced)
+
+    def _discard_partial_append(self, before: int) -> None:
+        """Cut whatever a failed append left back off the file.
+
+        On success the file ends exactly where it did before the append,
+        so the log stays clean and a retry is safe.  If even the truncate
+        fails the tail is marked damaged: appending past it would put a
+        committed entry beyond bytes strict recovery truncates away.
+        """
+        try:
+            if self.fs.size(self.name) > before:
+                self.fs.truncate(self.name, before)
+            self.offset = before
+        except StorageError:
+            self._resync_offset_from_file()
+            self.tail_damaged = True
 
     def _resync_offset_from_file(self) -> None:
         """Re-learn the true end of file after a failed append."""

@@ -48,7 +48,17 @@ class ManagementService:
             "log_bytes": db.log_size(),
             "entries_since_checkpoint": db.entries_since_checkpoint,
             "clock": db.clock.now(),
+            "health": db.health,
         }
+
+    def health(self) -> dict:
+        """The storage health state machine: state, cause, pending retry.
+
+        ``state`` is ``"healthy"``, ``"degraded_read_only"`` (updates
+        refused, enquiries still served; see the OPERATIONS runbook) or
+        ``"failed"``.
+        """
+        return self.server.db.health_detail()
 
     def statistics(self) -> dict:
         """The full counter snapshot (enquiries, updates, timings…)."""
@@ -125,6 +135,7 @@ class ManagementService:
 
 MANAGEMENT_INTERFACE = Interface("Management", version=1)
 MANAGEMENT_INTERFACE.method("status", returns=Pickled())
+MANAGEMENT_INTERFACE.method("health", returns=Pickled())
 MANAGEMENT_INTERFACE.method("statistics", returns=Pickled())
 MANAGEMENT_INTERFACE.method("lock_statistics", returns=Pickled())
 MANAGEMENT_INTERFACE.method("version", returns=Int)
@@ -155,6 +166,7 @@ class RemoteManagement:
         proxy = self._client.proxy()
         # The facade is one-to-one; bind the stubs directly.
         self.status = proxy.status
+        self.health = proxy.health
         self.statistics = proxy.statistics
         self.lock_statistics = proxy.lock_statistics
         self.version = proxy.version

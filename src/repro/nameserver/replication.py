@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.errors import DatabaseDegraded
 from repro.nameserver.server import NameServer
 from repro.obs.metrics import MetricsRegistry
 from repro.rpc.errors import CallMaybeExecuted, TransportError
@@ -370,6 +371,12 @@ class ResilientReplicaGroup:
             "Updates the serving replica is known to be missing.",
             labelnames=("peer",),
         )
+        self._degraded_rejections = self.registry.counter(
+            "replication_degraded_writes_total",
+            "Updates refused by a degraded read-only replica and failed "
+            "over to a peer.",
+            labelnames=("peer",),
+        )
         self._breaker_state_series = {
             peer_id: self._breaker_state.labels(peer_id)
             for peer_id in self.peer_ids
@@ -499,11 +506,26 @@ class ResilientReplicaGroup:
         is *not* grounds for failover — blindly reissuing elsewhere could
         apply the update twice under two origins — so it propagates to the
         caller, who can retry through the same client safely.
+
+        A :class:`~repro.core.errors.DatabaseDegraded` answer means the
+        peer is alive but its storage refuses writes (degraded
+        read-only): the update fails over to the next peer *without*
+        opening the circuit breaker, so reads keep flowing to the
+        degraded replica while writes route around it.
         """
         candidates = self._available()
+        degraded: list[str] = []
         for index, peer_id, peer in candidates:
             try:
                 getattr(peer, method)(*args)
+            except DatabaseDegraded as exc:
+                # Write-unavailable, not dead: the update never executed
+                # (it was refused up front), so reissuing elsewhere is
+                # safe, and the breaker stays closed for enquiries.
+                self.last_errors[peer_id] = repr(exc)
+                self._degraded_rejections.labels(peer_id).inc()
+                degraded.append(peer_id)
+                continue
             except COMMUNICATION_ERRORS as exc:
                 # CallMaybeExecuted is RpcError, not TransportError, so it
                 # is never swallowed here.
@@ -515,8 +537,9 @@ class ResilientReplicaGroup:
             return peer_id
         raise AllPeersUnavailable(
             f"no replica accepted {method!r}: "
-            f"{len(candidates)} tried, "
-            f"{len(self.peers) - len(candidates)} circuit-broken"
+            f"{len(candidates)} tried ({len(degraded)} degraded "
+            f"read-only), {len(self.peers) - len(candidates)} "
+            f"circuit-broken"
         )
 
     def bind(self, path, value, exclusive: bool = False) -> str:

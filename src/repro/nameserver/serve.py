@@ -46,6 +46,11 @@ class NodeOptions:
     metrics_port: int | None = None
     #: spans at least this long land in the slow-op log
     slow_op_threshold: float = 0.1
+    #: spare directory (ideally on a different device) that receives an
+    #: emergency checkpoint if the primary device degrades to read-only
+    spare_directory: str | None = None
+    #: extra attempts a faulted log append/fsync gets before degrading
+    fault_retries: int = 2
 
 
 class Node:
@@ -58,11 +63,18 @@ class Node:
         self.registry = MetricsRegistry()
         self.slow_log = SlowOpLog(threshold_seconds=options.slow_op_threshold)
         self.tracer = Tracer(slow_log=self.slow_log)
+        spare_fs = (
+            LocalFS(options.spare_directory)
+            if options.spare_directory is not None
+            else None
+        )
         self.replica = Replica(
             LocalFS(options.directory, registry=self.registry),
             options.replica_id,
             registry=self.registry,
             tracer=self.tracer,
+            spare_fs=spare_fs,
+            fault_retries=options.fault_retries,
         )
         self._peer_transports: list[TcpTransport] = []
         self._connect_peers()
@@ -216,6 +228,16 @@ def main(argv: list[str] | None = None) -> int:
         "--slow-op-threshold", type=float, default=0.1,
         help="spans at least this many seconds land in the slow-op log",
     )
+    parser.add_argument(
+        "--spare-dir", default=None, metavar="DIRECTORY",
+        help="spare directory (on a different device) for an emergency "
+        "checkpoint if the primary device degrades to read-only",
+    )
+    parser.add_argument(
+        "--fault-retries", type=int, default=2,
+        help="extra attempts a faulted log append/fsync gets before the "
+        "database degrades",
+    )
     args = parser.parse_args(argv)
 
     node = build_node(
@@ -230,6 +252,8 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_log_bytes=args.checkpoint_log_bytes,
             metrics_port=args.metrics_port,
             slow_op_threshold=args.slow_op_threshold,
+            spare_directory=args.spare_dir,
+            fault_retries=args.fault_retries,
         )
     )
     extra = ""

@@ -19,6 +19,7 @@ exportable through :class:`repro.rpc.RpcServer`.
 from __future__ import annotations
 
 from repro.core.database import Database
+from repro.core.errors import DatabaseDegraded
 from repro.nameserver.errors import BadPath, NameExists, NameNotFound
 from repro.nameserver.operations import (
     NAMESERVER_OPS,
@@ -204,6 +205,10 @@ def nameserver_interface(name: str = "NameServer") -> Interface:
     iface.error(NameNotFound)
     iface.error(NameExists)
     iface.error(BadPath)
+    # A degraded replica refuses updates with a *typed* error, so remote
+    # callers (and the replica group's failover) see the condition rather
+    # than a generic server fault.
+    iface.error(DatabaseDegraded)
     return iface
 
 

@@ -20,6 +20,9 @@ _LAZY = {
     "CrashOutcome": "repro.sim.crashtest",
     "CrashPointSweep": "repro.sim.crashtest",
     "CrashSweepResult": "repro.sim.crashtest",
+    "IoFaultOutcome": "repro.sim.iosweep",
+    "IoFaultSweep": "repro.sim.iosweep",
+    "IoSweepResult": "repro.sim.iosweep",
     "NetFaultOutcome": "repro.sim.netsweep",
     "NetSweepResult": "repro.sim.netsweep",
     "NetworkFaultSweep": "repro.sim.netsweep",

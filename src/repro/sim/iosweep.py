@@ -1,0 +1,553 @@
+"""The io-fault sweep: runtime media faults checked at every disk event.
+
+The crash sweep (:mod:`repro.sim.crashtest`) quantifies over machine
+halts; the network sweep (:mod:`repro.sim.netsweep`) over lost messages.
+This harness closes the triangle: it quantifies over *runtime media
+faults* — the disk starts refusing operations while the server keeps
+running — and model-checks the database's health state machine:
+
+1. run a scripted workload (updates interleaved with a checkpoint) once
+   with no fault scheduled and count the file-system data operations it
+   performs (N);
+2. for every event k in 1..N and every fault kind, run the workload from
+   scratch over a :class:`~repro.storage.failures.FaultyFS` with the
+   fault scheduled at event k, on a fresh
+   :class:`~repro.storage.simfs.SimFS` with a spare directory attached;
+3. model-check the outcome:
+
+   * **transient** faults (the device errors once, then recovers) must
+     be absorbed: every update acked, the database still HEALTHY, the
+     final state equal to the model's;
+   * **persistent** faults (hard error or disk-full from event k
+     onwards) must degrade the database to DEGRADED_READ_ONLY: further
+     updates are refused with ``DatabaseDegraded``, enquiries are still
+     served from virtual memory, the in-memory state matches the model
+     for the acked prefix, and the emergency snapshot on the spare
+     recovers to exactly that state;
+   * in *every* run the machine is then halted, the primary directory is
+     checked with fsck — repaired with
+     :func:`~repro.tools.fsck.repair_directory` if not clean — and
+     restarted: the recovered state must contain every acknowledged
+     update (no acked update is ever lost).
+
+A capacity-budget scenario (:func:`run_capacity`) covers the organic
+disk-full path as well: a :class:`SimFS` with a finite page budget fills
+up mid-workload, and the same invariants must hold.
+
+Run standalone (the CI job does)::
+
+    PYTHONPATH=src python -m repro.sim.iosweep
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.core import (
+    CheckpointFailed,
+    Database,
+    DatabaseDegraded,
+    DEGRADED_READ_ONLY,
+    HEALTHY,
+    OperationRegistry,
+)
+from repro.sim.clock import SimClock
+from repro.storage import FaultyFS, MediaFaultInjector, SimFS
+from repro.tools.fsck import fsck_directory, repair_directory
+
+#: A scripted step: ("put", key, value) | ("incr", key, by) | ("checkpoint",)
+Step = tuple
+
+#: Default workload: updates on both sides of a checkpoint, with
+#: non-idempotent increments so a lost or doubled replay cannot hide.
+DEFAULT_STEPS: list[Step] = [
+    ("put", "alpha", 1),
+    ("incr", "alpha", 2),
+    ("put", "beta", 10),
+    ("checkpoint",),
+    ("incr", "beta", 5),
+    ("put", "alpha", 100),
+    ("incr", "alpha", 7),
+]
+
+#: fault kind → (persistent, injector error string)
+KINDS = {
+    "transient": (False, "hard"),
+    "persistent": (True, "hard"),
+    "disk_full": (True, "disk_full"),
+}
+
+SWEEP_DURABILITIES = ("group", "immediate")
+
+
+def sweep_operations() -> OperationRegistry:
+    """The tiny key-value schema the sweep drives."""
+    ops = OperationRegistry()
+
+    @ops.operation("put")
+    def op_put(root, key, value):
+        root[key] = value
+
+    @ops.operation("incr")
+    def op_incr(root, key, by):
+        root[key] = root.get(key, 0) + by
+        return root[key]
+
+    return ops
+
+
+def model_states(steps: list[Step]) -> list[dict]:
+    """State after each acked-update prefix (checkpoints change nothing)."""
+    states: list[dict] = [{}]
+    for step in steps:
+        op = step[0]
+        if op == "checkpoint":
+            continue
+        state = dict(states[-1])
+        if op == "put":
+            state[step[1]] = step[2]
+        elif op == "incr":
+            state[step[1]] = state.get(step[1], 0) + step[2]
+        else:
+            raise ValueError(f"unknown step kind {op!r}")
+        states.append(state)
+    return states
+
+
+@dataclass
+class IoFaultOutcome:
+    """What one faulted run looked like against the model."""
+
+    fault_at_event: int
+    kind: str
+    durability: str
+    acked: int
+    degraded: bool
+    health: str
+    faults_injected: int
+    repaired: bool = False
+    failure: str | None = None
+
+
+@dataclass
+class IoSweepResult:
+    total_events: int
+    outcomes: list[IoFaultOutcome] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> list[IoFaultOutcome]:
+        return [o for o in self.outcomes if o.failure is not None]
+
+    @property
+    def degraded_runs(self) -> int:
+        return sum(1 for o in self.outcomes if o.degraded)
+
+    @property
+    def repaired_runs(self) -> int:
+        return sum(1 for o in self.outcomes if o.repaired)
+
+    def assert_clean(self) -> None:
+        if self.failures:
+            first = self.failures[0]
+            raise AssertionError(
+                f"{len(self.failures)} of {self.runs} io-fault states "
+                f"violated the health invariants; first: event "
+                f"{first.fault_at_event} kind={first.kind} "
+                f"durability={first.durability}: {first.failure}"
+            )
+
+    def summary(self) -> str:
+        return (
+            f"{self.runs} runs over {self.total_events} disk events: "
+            f"{len(self.failures)} failures, {self.degraded_runs} degraded "
+            f"read-only, {self.repaired_runs} repaired before restart"
+        )
+
+    def report(self) -> dict:
+        """JSON-serialisable report (the CI job uploads this artifact)."""
+        return {
+            "total_events": self.total_events,
+            "runs": self.runs,
+            "failures": len(self.failures),
+            "degraded_runs": self.degraded_runs,
+            "repaired_runs": self.repaired_runs,
+            "outcomes": [asdict(o) for o in self.outcomes],
+        }
+
+
+class IoFaultSweep:
+    """Sweeps a scripted workload over every runtime disk-fault point."""
+
+    def __init__(
+        self,
+        steps: list[Step] | None = None,
+        kinds: tuple[str, ...] = ("transient", "persistent", "disk_full"),
+        durabilities: tuple[str, ...] = SWEEP_DURABILITIES,
+        fault_retries: int = 2,
+    ) -> None:
+        unknown = set(kinds) - set(KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        self.steps = list(DEFAULT_STEPS if steps is None else steps)
+        self.kinds = kinds
+        self.durabilities = durabilities
+        self.fault_retries = fault_retries
+        self._models = model_states(self.steps)
+        self._updates = len(self._models) - 1
+
+    # -- execution ------------------------------------------------------------
+
+    def _build(self, injector: MediaFaultInjector, durability: str):
+        clock = SimClock()
+        prime = SimFS(clock=clock)
+        spare = SimFS(clock=clock)
+        db = Database(
+            FaultyFS(prime, injector),
+            initial=dict,
+            operations=sweep_operations(),
+            clock=clock,
+            durability=durability,
+            spare_fs=spare,
+            fault_retries=self.fault_retries,
+        )
+        # The database opened cleanly; only *runtime* faults from here on.
+        injector.arm()
+        return prime, spare, db
+
+    def _drive(self, db: Database) -> tuple[int, bool]:
+        """Run the script; returns (updates acked, hit DatabaseDegraded)."""
+        acked = 0
+        for step in self.steps:
+            if step[0] == "checkpoint":
+                try:
+                    db.checkpoint()
+                except CheckpointFailed:
+                    # Clean abort: the old version stays current and the
+                    # retry is scheduled.  Not a degradation.
+                    continue
+                except DatabaseDegraded:
+                    return acked, True
+            else:
+                try:
+                    db.update(step[0], *step[1:])
+                except DatabaseDegraded:
+                    return acked, True
+                acked += 1
+        return acked, False
+
+    def count_events(self) -> int:
+        """Dry run: total counted disk operations the script generates."""
+        injector = MediaFaultInjector()
+        _prime, _spare, db = self._build(injector, self.durabilities[0])
+        self._drive(db)
+        db.close()
+        return injector.events_seen
+
+    def run(self, max_events: int | None = None) -> IoSweepResult:
+        """The full sweep; returns per-fault-state outcomes."""
+        total = self.count_events()
+        swept = total if max_events is None else min(total, max_events)
+        result = IoSweepResult(total_events=total)
+        for fault_at in range(1, swept + 1):
+            for kind in self.kinds:
+                for durability in self.durabilities:
+                    result.outcomes.append(
+                        self._run_one(fault_at, kind, durability)
+                    )
+        return result
+
+    def _run_one(
+        self, fault_at: int, kind: str, durability: str
+    ) -> IoFaultOutcome:
+        persistent, error = KINDS[kind]
+        injector = MediaFaultInjector(
+            fault_at_event=fault_at, persistent=persistent, error=error
+        )
+        prime, spare, db = self._build(injector, durability)
+        failures: list[str] = []
+        try:
+            acked, degraded = self._drive(db)
+        except Exception as exc:  # noqa: BLE001 - any escape is a finding
+            return IoFaultOutcome(
+                fault_at, kind, durability, 0, False, db.health,
+                len(injector.injected),
+                failure=f"workload raised outside the typed surface: {exc!r}",
+            )
+        outcome = IoFaultOutcome(
+            fault_at, kind, durability, acked, degraded, db.health,
+            len(injector.injected),
+        )
+        allowed = self._allowed_states(acked)
+        self._judge_live(db, spare, kind, degraded, allowed, failures)
+        self._judge_restart(prime, injector, kind, acked, allowed,
+                            outcome, failures)
+        if failures:
+            outcome.failure = "; ".join(failures)
+        outcome.health = db.health
+        return outcome
+
+    def _allowed_states(self, acked: int) -> list[dict]:
+        """The in-memory states consistent with ``acked`` acknowledgements.
+
+        Group mode applies an update to virtual memory *before* its
+        commit barrier, so at most one applied-but-unacked update may be
+        visible when the commit fsync degrades the database.
+        """
+        allowed = [self._models[acked]]
+        if acked + 1 < len(self._models):
+            allowed.append(self._models[acked + 1])
+        return allowed
+
+    def _judge_live(
+        self,
+        db: Database,
+        spare: SimFS,
+        kind: str,
+        degraded: bool,
+        allowed: list[dict],
+        failures: list[str],
+    ) -> None:
+        try:
+            memory = db.enquire(lambda root: dict(root))
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"enquiry refused after fault: {exc!r}")
+            return
+        if memory not in allowed:
+            failures.append(
+                f"in-memory state {memory!r} matches no acked prefix "
+                f"(allowed: {allowed!r})"
+            )
+        if kind == "transient":
+            if degraded or db.health != HEALTHY:
+                failures.append(
+                    f"a single transient fault left health={db.health!r} "
+                    f"instead of riding it out with a retry"
+                )
+            if memory != self._models[-1]:
+                failures.append(
+                    f"transient run finished with {memory!r}, model says "
+                    f"{self._models[-1]!r}"
+                )
+            return
+        # Persistent kinds (hard error / disk full) must degrade.
+        if not degraded:
+            failures.append(
+                "persistent fault was injected but the workload completed "
+                "without degrading"
+            )
+            return
+        if db.health != DEGRADED_READ_ONLY:
+            failures.append(
+                f"degraded run reports health={db.health!r}, expected "
+                f"{DEGRADED_READ_ONLY!r}"
+            )
+        try:
+            db.update("put", "probe", -1)
+            failures.append("degraded database accepted an update")
+        except DatabaseDegraded:
+            pass
+        # The emergency snapshot on the spare must be durable and must
+        # recover to exactly the in-memory state at degrade time.
+        spare.crash()
+        try:
+            restored = Database(
+                spare, initial=dict, operations=sweep_operations()
+            )
+            recovered = restored.enquire(lambda root: dict(root))
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"emergency snapshot unrecoverable: {exc!r}")
+            return
+        if recovered != memory:
+            failures.append(
+                f"emergency snapshot recovered {recovered!r}, in-memory "
+                f"state was {memory!r}"
+            )
+
+    def _judge_restart(
+        self,
+        prime: SimFS,
+        injector: MediaFaultInjector,
+        kind: str,
+        acked: int,
+        allowed: list[dict],
+        outcome: IoFaultOutcome,
+        failures: list[str],
+    ) -> None:
+        """Halt, fsck (repairing if needed), restart: no acked update lost."""
+        injector.disarm()  # the device is replaced before the restart
+        prime.crash()
+        report = fsck_directory(prime)
+        if report.exit_status() != 0:
+            repair_directory(prime)
+            outcome.repaired = True
+            report = fsck_directory(prime)
+            if report.exit_status() != 0:
+                failures.append(
+                    f"directory not clean after fsck repair: "
+                    f"{report.errors + report.warnings}"
+                )
+        try:
+            restarted = Database(
+                prime, initial=dict, operations=sweep_operations()
+            )
+            recovered = restarted.enquire(lambda root: dict(root))
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"restart after repair failed: {exc!r}")
+            return
+        if kind == "transient":
+            if recovered != self._models[-1]:
+                failures.append(
+                    f"transient run recovered {recovered!r}, model says "
+                    f"{self._models[-1]!r}"
+                )
+        elif recovered not in allowed:
+            failures.append(
+                f"restart recovered {recovered!r}, which loses or invents "
+                f"an acked update (acked={acked}, allowed: {allowed!r})"
+            )
+
+
+def run_capacity(
+    durability: str = "group",
+    capacity_pages: int = 40,
+    value_bytes: int = 1500,
+) -> list[str]:
+    """The organic disk-full scenario: a finite page budget fills up.
+
+    Drives puts into a :class:`SimFS` with ``capacity_pages`` until the
+    allocator refuses, then checks the same invariants as the sweep:
+    degraded read-only, enquiries served, no acked update lost, spare
+    snapshot recoverable, repaired directory restarts clean.  Returns a
+    list of invariant violations (empty = clean).
+    """
+    failures: list[str] = []
+    clock = SimClock()
+    prime = SimFS(clock=clock, capacity_pages=capacity_pages)
+    spare = SimFS(clock=clock)
+    db = Database(
+        prime,
+        initial=dict,
+        operations=sweep_operations(),
+        clock=clock,
+        durability=durability,
+        spare_fs=spare,
+        fault_retries=1,
+    )
+    acked: dict = {}
+    degraded = False
+    for i in range(200):
+        key, value = f"k{i}", "x" * value_bytes
+        try:
+            db.update("put", key, value)
+        except DatabaseDegraded:
+            degraded = True
+            break
+        acked[key] = value
+    if not degraded:
+        return [
+            f"{capacity_pages}-page budget never filled after 200 updates"
+        ]
+    if db.health != DEGRADED_READ_ONLY:
+        failures.append(f"health={db.health!r} after disk full")
+    memory = db.enquire(lambda root: dict(root))
+    extra = set(memory) - set(acked)
+    if not all(memory.get(k) == v for k, v in acked.items()) or len(extra) > 1:
+        failures.append("in-memory state does not match the acked prefix")
+    try:
+        db.update("put", "probe", -1)
+        failures.append("degraded database accepted an update")
+    except DatabaseDegraded:
+        pass
+    spare.crash()
+    try:
+        restored = Database(spare, initial=dict, operations=sweep_operations())
+        if restored.enquire(lambda root: dict(root)) != memory:
+            failures.append("emergency snapshot does not match memory")
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"emergency snapshot unrecoverable: {exc!r}")
+    prime.crash()
+    report = fsck_directory(prime)
+    if report.exit_status() != 0:
+        repair_directory(prime)
+        report = fsck_directory(prime)
+        if report.exit_status() != 0:
+            failures.append("directory not clean after fsck repair")
+    try:
+        restarted = Database(prime, initial=dict, operations=sweep_operations())
+        recovered = restarted.enquire(lambda root: dict(root))
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"restart after disk full failed: {exc!r}")
+        return failures
+    missing = [k for k, v in acked.items() if recovered.get(k) != v]
+    if missing:
+        failures.append(f"acked updates lost across restart: {missing}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the sweep, print the summary, exit 0/1."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="io-fault sweep for the storage health state machine"
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=None,
+        help="sweep only fault points 1..N (default: all)",
+    )
+    parser.add_argument(
+        "--kinds", nargs="+", default=list(KINDS),
+        choices=list(KINDS),
+    )
+    parser.add_argument(
+        "--durability", nargs="+", default=list(SWEEP_DURABILITIES),
+        choices=list(SWEEP_DURABILITIES),
+    )
+    parser.add_argument(
+        "--report", default=None,
+        help="write a JSON report of every outcome to this path",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    sweep = IoFaultSweep(
+        kinds=tuple(args.kinds), durabilities=tuple(args.durability)
+    )
+    result = sweep.run(max_events=args.max_events)
+    print(result.summary())
+    if args.verbose:
+        for outcome in result.outcomes:
+            status = "FAIL" if outcome.failure else "ok"
+            print(
+                f"  event {outcome.fault_at_event:3d} {outcome.kind:10s} "
+                f"{outcome.durability:9s} acked={outcome.acked} "
+                f"health={outcome.health} {status}"
+            )
+    for outcome in result.failures:
+        print(
+            f"FAIL event {outcome.fault_at_event} kind={outcome.kind} "
+            f"durability={outcome.durability}: {outcome.failure}"
+        )
+    capacity_failures: list[str] = []
+    for durability in args.durability:
+        for failure in run_capacity(durability):
+            capacity_failures.append(f"capacity[{durability}]: {failure}")
+            print(f"FAIL {capacity_failures[-1]}")
+    if not capacity_failures:
+        print("capacity-budget disk-full scenario: clean")
+    if args.report is not None:
+        report = result.report()
+        report["capacity_failures"] = capacity_failures
+        with open(args.report, "w", encoding="ascii") as f:
+            json.dump(report, f, indent=2)
+        print(f"report written to {args.report}")
+    return 1 if (result.failures or capacity_failures) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

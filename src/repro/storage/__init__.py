@@ -11,15 +11,22 @@ The database core (:mod:`repro.core`) is written against the
 
 from repro.storage.disk import DiskStats, SimulatedDisk
 from repro.storage.errors import (
+    DiskFull,
     FileExists,
     FileNotFound,
     HandleClosed,
     HardError,
     InvalidFileName,
+    MediaError,
     SimulatedCrash,
     StorageError,
 )
-from repro.storage.failures import FailureInjector, NullInjector
+from repro.storage.failures import (
+    FailureInjector,
+    FaultyFS,
+    MediaFaultInjector,
+    NullInjector,
+)
 from repro.storage.interface import AppendHandle, FileSystem, ReadHandle
 from repro.storage.latency import MODERN_SSD, NULL_DISK_MODEL, RA81_1987, DiskModel
 from repro.storage.localfs import LocalFS
@@ -28,9 +35,11 @@ from repro.storage.simfs import SimFS
 
 __all__ = [
     "AppendHandle",
+    "DiskFull",
     "DiskModel",
     "DiskStats",
     "FailureInjector",
+    "FaultyFS",
     "FileExists",
     "FileNotFound",
     "FileSystem",
@@ -38,6 +47,8 @@ __all__ = [
     "HardError",
     "InvalidFileName",
     "LocalFS",
+    "MediaError",
+    "MediaFaultInjector",
     "MODERN_SSD",
     "NULL_DISK_MODEL",
     "NullInjector",

@@ -23,7 +23,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.sim.clock import Clock, SimClock
-from repro.storage.errors import HardError, StorageError
+from repro.storage.errors import DiskFull, HardError, StorageError
 from repro.storage.failures import FailureInjector, NullInjector
 from repro.storage.latency import DiskModel, RA81_1987
 
@@ -77,10 +77,13 @@ class SimulatedDisk:
         model: DiskModel = RA81_1987,
         clock: Clock | None = None,
         injector: FailureInjector | None = None,
+        capacity_pages: int | None = None,
     ) -> None:
         self.model = model
         self.clock = clock if clock is not None else SimClock()
         self.injector = injector if injector is not None else NullInjector()
+        #: total pages the device can hold; ``None`` means unbounded.
+        self.capacity_pages = capacity_pages
         self.stats = DiskStats()
         self._pages: dict[int, bytes] = {}
         self._bad: set[int] = set()
@@ -95,10 +98,22 @@ class SimulatedDisk:
     # -- allocation --------------------------------------------------------
 
     def allocate(self) -> int:
-        """Reserve a fresh page id (contents undefined until written)."""
+        """Reserve a fresh page id (contents undefined until written).
+
+        Raises :class:`DiskFull` when a capacity budget is configured and
+        exhausted; freed pages are always reusable.
+        """
         with self._lock:
             if self._free:
                 return self._free.pop()
+            if (
+                self.capacity_pages is not None
+                and self._next_page >= self.capacity_pages
+            ):
+                raise DiskFull(
+                    f"all {self.capacity_pages} pages of the simulated disk "
+                    f"are in use"
+                )
             page_id = self._next_page
             self._next_page += 1
             return page_id

@@ -49,7 +49,19 @@ class HandleClosed(StorageError):
     """An operation was attempted on a closed file handle."""
 
 
-class HardError(StorageError):
+class MediaError(StorageError):
+    """Base class for *runtime media failures*: the device misbehaved.
+
+    This is the retry-and-degrade class: the database core treats any
+    ``MediaError`` on its log or checkpoint path as potentially transient
+    (bounded retries) and, when it persists, seals the log and degrades to
+    read-only service instead of crashing.  Protocol errors
+    (:class:`FileNotFound`, :class:`InvalidFileName`, …) deliberately sit
+    outside this class — retrying those would mask bugs.
+    """
+
+
+class HardError(MediaError):
     """A hard (media) failure: the addressed data is unreadable.
 
     The paper assumes disks report an error rather than returning corrupt
@@ -60,6 +72,20 @@ class HardError(StorageError):
 
     def __init__(self, detail: str) -> None:
         super().__init__(f"hard disk error: {detail}")
+        self.detail = detail
+
+
+class DiskFull(MediaError):
+    """The device has no space left (the ``ENOSPC`` class of failures).
+
+    Raised by :class:`~repro.storage.simfs.SimFS` when its capacity budget
+    is exhausted, by :class:`~repro.storage.failures.FaultyFS` when a
+    disk-full fault is injected, and by :class:`~repro.storage.localfs.\
+LocalFS` when the real OS reports ``ENOSPC``/``EDQUOT``.
+    """
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(f"disk full: {detail}")
         self.detail = detail
 
 

@@ -1,6 +1,7 @@
-"""Failure injection for the simulated storage substrate.
+"""Failure injection for the storage substrate.
 
-Two failure classes from the paper's section 4 are injectable:
+Three failure classes from the paper's section 4 (and its modern
+extension) are injectable:
 
 * **Transient failures** ("the system just stops"): the injector counts
   every durable disk event — each page write during an fsync and each
@@ -16,16 +17,28 @@ Two failure classes from the paper's section 4 are injectable:
   :meth:`~repro.storage.simfs.SimFS.corrupt`; subsequent reads raise
   :class:`~repro.storage.errors.HardError`.
 
+* **Runtime media faults** (this file's :class:`MediaFaultInjector` +
+  :class:`FaultyFS`): an *operation* fails while the server is live — an
+  ``EIO``-style :class:`~repro.storage.errors.HardError` on
+  append/fsync/read/write, or :class:`~repro.storage.errors.DiskFull` on
+  the write path.  Unlike a crash, the process keeps running and must cope:
+  retry, or seal the log and degrade to read-only.  Faults can be
+  *transient* (fail once, then the device recovers) or *persistent* (fail
+  from the scheduled event onwards).
+
 The crash-point sweep (:mod:`repro.sim.crashtest`) runs a workload with the
 crash scheduled at event 1, 2, 3, … until the workload completes without
-crashing, verifying recovery from *every* intermediate disk state.
+crashing, verifying recovery from *every* intermediate disk state; the
+io-fault sweep (:mod:`repro.sim.iosweep`) does the same over runtime media
+faults.
 """
 
 from __future__ import annotations
 
 import threading
 
-from repro.storage.errors import SimulatedCrash
+from repro.storage.errors import DiskFull, HardError, SimulatedCrash
+from repro.storage.interface import FileSystem
 
 
 class FailureInjector:
@@ -84,3 +97,204 @@ class NullInjector(FailureInjector):
 
     def __init__(self) -> None:
         super().__init__(crash_at_event=None)
+
+
+#: The file-system operations :class:`FaultyFS` counts as fault events.
+#: ``exists``/``size``/``list_names`` are deliberately excluded: they are
+#: pure metadata peeks, and the log writer's offset-resync path relies on
+#: ``size`` still answering while the device is refusing writes.
+READ_OPS = frozenset({"read", "read_range"})
+WRITE_OPS = frozenset(
+    {
+        "create",
+        "delete",
+        "rename",
+        "fsync_dir",
+        "write",
+        "write_at",
+        "append",
+        "truncate",
+        "fsync",
+    }
+)
+DATA_OPS = READ_OPS | WRITE_OPS
+
+
+class MediaFaultInjector:
+    """Schedules a runtime media fault at the Nth counted file-system call.
+
+    ``fault_at_event`` counts from 1 over the operations in ``ops`` (every
+    :data:`DATA_OPS` call is *counted* while armed so event numbering is
+    stable across fault kinds; only calls whose op is in ``ops`` are
+    *eligible* to fault).  The fault fires at the first eligible call at or
+    after the scheduled event, so a schedule can never silently miss.
+
+    * ``persistent=False`` (transient): the fault fires exactly once — the
+      device then "recovers" and later calls succeed.
+    * ``persistent=True``: the fault fires at every eligible call from the
+      first firing onwards, modelling a dead region or a full disk that
+      nobody is emptying.
+
+    ``error`` selects the exception: ``"hard"`` →
+    :class:`~repro.storage.errors.HardError`, ``"disk_full"`` →
+    :class:`~repro.storage.errors.DiskFull` (which defaults ``ops`` to the
+    write path — a full disk still reads fine).
+
+    The injector starts disarmed so a harness can build and open a database
+    cleanly, then :meth:`arm` it to expose only *runtime* faults.
+    """
+
+    def __init__(
+        self,
+        fault_at_event: int | None = None,
+        persistent: bool = False,
+        error: str = "hard",
+        ops: frozenset[str] | None = None,
+    ) -> None:
+        if fault_at_event is not None and fault_at_event < 1:
+            raise ValueError("fault_at_event counts from 1")
+        if error not in ("hard", "disk_full"):
+            raise ValueError(f"unknown fault error kind {error!r}")
+        if ops is None:
+            ops = WRITE_OPS if error == "disk_full" else DATA_OPS
+        unknown = ops - DATA_OPS
+        if unknown:
+            raise ValueError(f"unknown ops: {sorted(unknown)}")
+        self.fault_at_event = fault_at_event
+        self.persistent = persistent
+        self.error = error
+        self.ops = ops
+        self.armed = False
+        self.events_seen = 0
+        #: ``(event_number, op, name)`` for every fault actually raised.
+        self.injected: list[tuple[int, str, str]] = []
+        self._tripped = False
+        self._lock = threading.Lock()
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Stop counting and faulting (the device is 'replaced')."""
+        with self._lock:
+            self.armed = False
+
+    def check(self, op: str, name: str) -> None:
+        """Count one operation; raise the scheduled fault if it is due."""
+        with self._lock:
+            if not self.armed:
+                return
+            self.events_seen += 1
+            event = self.events_seen
+            if self.fault_at_event is None or op not in self.ops:
+                return
+            if self._tripped:
+                due = self.persistent
+            else:
+                due = event >= self.fault_at_event
+            if not due:
+                return
+            self._tripped = True
+            self.injected.append((event, op, name))
+        raise self.make_error(op, name, event)
+
+    def make_error(self, op: str, name: str, event: int) -> Exception:
+        detail = f"injected fault at event #{event}: {op} {name!r}"
+        if self.error == "disk_full":
+            return DiskFull(detail)
+        return HardError(detail)
+
+
+class FaultyFS(FileSystem):
+    """Inject runtime media faults over any :class:`FileSystem`.
+
+    Wraps ``inner`` (a :class:`~repro.storage.simfs.SimFS`, a
+    :class:`~repro.storage.localfs.LocalFS`, …) and consults a
+    :class:`MediaFaultInjector` before every data-plane operation.  An
+    injected hard fault on :meth:`append` first appends a *partial prefix*
+    of the data to the underlying file system — a short write — so the
+    failure leaves exactly the torn-tail state the log's cleanup and
+    recovery paths must cope with.  An injected :class:`DiskFull` appends
+    nothing (the device refused up front).
+    """
+
+    def __init__(self, inner: FileSystem, injector: MediaFaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+
+    @property
+    def page_size(self) -> int:
+        return getattr(self.inner, "page_size", 512)
+
+    @property
+    def clock(self):
+        return getattr(self.inner, "clock", None)
+
+    # -- namespace ---------------------------------------------------------
+
+    def create(self, name: str, exclusive: bool = False) -> None:
+        self.injector.check("create", name)
+        self.inner.create(name, exclusive=exclusive)
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def delete(self, name: str) -> None:
+        self.injector.check("delete", name)
+        self.inner.delete(name)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.injector.check("rename", src)
+        self.inner.rename(src, dst)
+
+    def list_names(self) -> list[str]:
+        return self.inner.list_names()
+
+    def fsync_dir(self) -> None:
+        self.injector.check("fsync_dir", "")
+        self.inner.fsync_dir()
+
+    # -- data --------------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        self.injector.check("read", name)
+        return self.inner.read(name)
+
+    def read_range(self, name: str, offset: int, length: int) -> bytes:
+        self.injector.check("read_range", name)
+        return self.inner.read_range(name, offset, length)
+
+    def write(self, name: str, data: bytes) -> None:
+        self.injector.check("write", name)
+        self.inner.write(name, data)
+
+    def append(self, name: str, data: bytes) -> None:
+        try:
+            self.injector.check("append", name)
+        except HardError:
+            # A short write: part of the data lands before the device
+            # errors out.  DiskFull takes the other branch — nothing lands.
+            prefix = data[: len(data) // 2]
+            if prefix:
+                self.inner.append(name, prefix)
+            raise
+        self.inner.append(name, data)
+
+    def write_at(self, name: str, offset: int, data: bytes) -> None:
+        self.injector.check("write_at", name)
+        self.inner.write_at(name, offset, data)
+
+    def size(self, name: str) -> int:
+        return self.inner.size(name)
+
+    def truncate(self, name: str, new_size: int) -> None:
+        self.injector.check("truncate", name)
+        self.inner.truncate(name, new_size)
+
+    def fsync(self, name: str) -> None:
+        self.injector.check("fsync", name)
+        self.inner.fsync(name)
+
+    def __getattr__(self, attr: str):
+        # Simulation extras (crash, corrupt, durable_names, …) pass through.
+        return getattr(self.inner, attr)

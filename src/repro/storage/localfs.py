@@ -6,22 +6,55 @@ are real appends, ``fsync`` is :func:`os.fsync`, and rename atomicity is
 the host file system's.  It implements exactly the same interface as
 :class:`~repro.storage.simfs.SimFS`, so the database core cannot tell the
 difference; what it cannot do is simulate crashes or inject media errors —
-those experiments require ``SimFS``.
+those experiments require ``SimFS`` (or :class:`~repro.storage.failures.\
+FaultyFS` layered over this class).
+
+OS-level failures never escape as raw :class:`OSError`: every data
+operation maps them onto the documented typed surface — ``ENOSPC``/
+``EDQUOT`` become :class:`~repro.storage.errors.DiskFull`, ``EIO`` becomes
+:class:`~repro.storage.errors.HardError`, anything else becomes
+:class:`~repro.storage.errors.MediaError` — so the database core's
+retry-and-degrade machinery works identically over real disks.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import threading
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.storage.errors import (
+    DiskFull,
     FileExists,
     FileNotFound,
+    HardError,
     InvalidFileName,
+    MediaError,
     StorageError,
 )
 from repro.storage.interface import FileSystem
 from repro.storage.latency import IoMeter
+
+_FULL_ERRNOS = frozenset(
+    code
+    for code in (
+        getattr(errno, "ENOSPC", None),
+        getattr(errno, "EDQUOT", None),
+    )
+    if code is not None
+)
+
+
+def _classify_os_error(exc: OSError, op: str, name: str) -> StorageError:
+    """Map one raw ``OSError`` onto the typed storage-error surface."""
+    detail = f"{op} {name!r}: {exc.strerror or exc}"
+    if exc.errno in _FULL_ERRNOS:
+        return DiskFull(detail)
+    if exc.errno == errno.EIO:
+        return HardError(detail)
+    return MediaError(f"{detail} (errno {exc.errno})")
 
 
 class LocalFS(FileSystem):
@@ -43,15 +76,35 @@ class LocalFS(FileSystem):
             raise InvalidFileName(name)
         return os.path.join(self.directory, name)
 
+    @contextmanager
+    def _mapped(self, op: str, name: str) -> Iterator[None]:
+        """Translate OS errors; ``FileNotFoundError`` keeps its own type."""
+        try:
+            yield
+        except FileNotFoundError:
+            raise FileNotFound(name) from None
+        except OSError as exc:
+            raise _classify_os_error(exc, op, name) from exc
+
     # -- namespace -----------------------------------------------------------
 
     def create(self, name: str, exclusive: bool = False) -> None:
         path = self._path(name)
         with self._lock:
-            if exclusive and os.path.exists(path):
-                raise FileExists(name)
-            with open(path, "wb"):
-                pass
+            if exclusive:
+                # O_EXCL at the OS level: atomic against other processes,
+                # unlike an exists() check followed by open().
+                try:
+                    with open(path, "xb"):
+                        pass
+                except FileExistsError:
+                    raise FileExists(name) from None
+                except OSError as exc:
+                    raise _classify_os_error(exc, "create", name) from exc
+                return
+            with self._mapped("create", name):
+                with open(path, "wb"):
+                    pass
 
     def exists(self, name: str) -> bool:
         return os.path.isfile(self._path(name))
@@ -59,17 +112,13 @@ class LocalFS(FileSystem):
     def delete(self, name: str) -> None:
         path = self._path(name)
         with self._lock:
-            try:
+            with self._mapped("delete", name):
                 os.unlink(path)
-            except FileNotFoundError:
-                raise FileNotFound(name) from None
 
     def rename(self, src: str, dst: str) -> None:
         with self._lock:
-            try:
+            with self._mapped("rename", src):
                 os.replace(self._path(src), self._path(dst))
-            except FileNotFoundError:
-                raise FileNotFound(src) from None
 
     def list_names(self) -> list[str]:
         with self._lock:
@@ -80,20 +129,19 @@ class LocalFS(FileSystem):
             )
 
     def fsync_dir(self) -> None:
-        fd = os.open(self.directory, os.O_RDONLY)
-        try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        with self._mapped("fsync_dir", self.directory):
+            fd = os.open(self.directory, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
 
     # -- data ------------------------------------------------------------------
 
     def read(self, name: str) -> bytes:
-        try:
+        with self._mapped("read", name):
             with open(self._path(name), "rb") as f:
                 data = f.read()
-        except FileNotFoundError:
-            raise FileNotFound(name) from None
         if self._meter is not None:
             self._meter.note_read(len(data))
         return data
@@ -101,25 +149,25 @@ class LocalFS(FileSystem):
     def read_range(self, name: str, offset: int, length: int) -> bytes:
         if offset < 0 or length < 0:
             raise ValueError("negative offset or length")
-        try:
+        with self._mapped("read", name):
             with open(self._path(name), "rb") as f:
                 f.seek(offset)
                 data = f.read(length)
-        except FileNotFoundError:
-            raise FileNotFound(name) from None
         if self._meter is not None:
             self._meter.note_read(len(data))
         return data
 
     def write(self, name: str, data: bytes) -> None:
-        with open(self._path(name), "wb") as f:
-            f.write(data)
+        with self._mapped("write", name):
+            with open(self._path(name), "wb") as f:
+                f.write(data)
         if self._meter is not None:
             self._meter.note_write(len(data))
 
     def append(self, name: str, data: bytes) -> None:
-        with open(self._path(name), "ab") as f:
-            f.write(data)
+        with self._mapped("append", name):
+            with open(self._path(name), "ab") as f:
+                f.write(data)
         if self._meter is not None:
             self._meter.note_write(len(data))
 
@@ -127,14 +175,18 @@ class LocalFS(FileSystem):
         if offset < 0:
             raise ValueError("negative offset")
         path = self._path(name)
-        mode = "r+b" if os.path.exists(path) else "w+b"
-        with open(path, mode) as f:
-            f.seek(0, os.SEEK_END)
-            size = f.tell()
-            if size < offset:
-                f.write(bytes(offset - size))
-            f.seek(offset)
-            f.write(data)
+        with self._lock:
+            with self._mapped("write_at", name):
+                mode = "r+b" if os.path.exists(path) else "w+b"
+                with open(path, mode) as f:
+                    f.seek(0, os.SEEK_END)
+                    size = f.tell()
+                    if size < offset:
+                        f.write(bytes(offset - size))
+                    f.seek(offset)
+                    f.write(data)
+        if self._meter is not None:
+            self._meter.note_write(len(data))
 
     def size(self, name: str) -> int:
         try:
@@ -152,25 +204,25 @@ class LocalFS(FileSystem):
             raise StorageError(
                 f"cannot truncate {name!r} to {new_size}: larger than file"
             )
-        os.truncate(path, new_size)
+        with self._mapped("truncate", name):
+            os.truncate(path, new_size)
 
     def fsync(self, name: str) -> None:
         path = self._path(name)
-        try:
+        with self._mapped("fsync", name):
             fd = os.open(path, os.O_RDONLY)
-        except FileNotFoundError:
-            raise FileNotFound(name) from None
         if self._meter is not None:
             with self._meter.time_fsync():
-                self._fsync_fd(fd)
+                self._fsync_fd(fd, name)
         else:
-            self._fsync_fd(fd)
+            self._fsync_fd(fd, name)
 
-    def _fsync_fd(self, fd: int) -> None:
-        try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+    def _fsync_fd(self, fd: int, name: str) -> None:
+        with self._mapped("fsync", name):
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
         # Make the directory entry durable too, as the paper's
         # "appropriate number of fsync calls" requires.
         self.fsync_dir()

@@ -106,10 +106,16 @@ class SimFS(FileSystem):
         model: DiskModel = RA81_1987,
         clock: Clock | None = None,
         injector: FailureInjector | None = None,
+        capacity_pages: int | None = None,
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.injector = injector if injector is not None else NullInjector()
-        self.disk = SimulatedDisk(model=model, clock=self.clock, injector=self.injector)
+        self.disk = SimulatedDisk(
+            model=model,
+            clock=self.clock,
+            injector=self.injector,
+            capacity_pages=capacity_pages,
+        )
         self._files: dict[str, _File] = {}
         self._durable: dict[str, _Inode] = {}
         self._lock = threading.RLock()

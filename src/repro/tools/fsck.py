@@ -16,6 +16,16 @@ Checks, in order:
 
 Errors mean recovery may fail or lose data; warnings mean recovery will
 cope.  Exit status: 0 clean, 1 warnings only, 2 errors.
+
+With ``--repair`` the tool also *salvages*: it completes or aborts an
+interrupted version switch, restores a missing version file when a
+complete version exists to name, truncates a damaged log tail to its
+last good entry, falls back to a retained older version when the current
+checkpoint is unreadable, and quarantines (renames, never deletes)
+damaged redundant files.  Repair is conservative by construction — the
+only data it discards is a torn log tail that strict recovery would
+discard anyway — and idempotent: repairing a repaired directory is a
+no-op.  After repairing it re-validates and exits with the fresh status.
 """
 
 from __future__ import annotations
@@ -31,21 +41,27 @@ from repro.core.checkpoint import CheckpointDamaged, read_checkpoint
 from repro.core.log import LogScan
 from repro.core.version import (
     NEWVERSION_FILE,
+    VERSION_FILE,
     checkpoint_name,
+    complete_versions,
     logfile_name,
     numbered_files,
     read_current_version,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.pickles import PickleReader, UnknownRecordClass
-from repro.storage.errors import HardError
+from repro.storage.errors import HardError, StorageError
 from repro.storage.interface import FileSystem
 from repro.storage.localfs import LocalFS
 from repro.tools.meter import scan_summary, timed_pass
 
 _KNOWN = re.compile(
-    r"^(checkpoint\d+|logfile\d+|archive\d+|version|newversion)$"
+    r"^(checkpoint\d+|logfile\d+|archive\d+|version|newversion"
+    r"|manifest|quarantine\..+)$"
 )
+
+#: prefix given to damaged files set aside (never deleted) by ``--repair``
+QUARANTINE_PREFIX = "quarantine."
 
 
 @dataclass
@@ -198,6 +214,152 @@ def _check_log(
         report.error(message)
 
 
+def repair_directory(fs: FileSystem) -> list[str]:
+    """Salvage a damaged database directory; returns the actions taken.
+
+    Conservative by construction: nothing that could hold committed data
+    is deleted — damaged files are *quarantined* (renamed to
+    ``quarantine.<name>``), and the only bytes discarded outright are a
+    torn log tail that strict recovery would truncate anyway, plus
+    partial files of a checkpoint that never reached its commit point.
+    Idempotent: a second pass over a repaired directory does nothing.
+    """
+    actions: list[str] = []
+    current = read_current_version(fs)
+
+    if current is None:
+        # No usable version file.  If a complete, readable version exists
+        # on disk, restore the marker naming the newest one; otherwise
+        # there is nothing to salvage (a restart bootstraps fresh).
+        usable = [v for v in complete_versions(fs) if _checkpoint_readable(fs, v)]
+        if not usable:
+            return actions
+        chosen = usable[-1]
+        fs.delete_if_exists(NEWVERSION_FILE)
+        fs.write(VERSION_FILE, str(chosen).encode("ascii"))
+        fs.fsync(VERSION_FILE)
+        fs.fsync_dir()
+        actions.append(f"restored missing version file naming version {chosen}")
+        current = read_current_version(fs)
+        if current is None:  # pragma: no cover - the write just succeeded
+            return actions
+
+    if not _checkpoint_readable(fs, current.number):
+        # The committed checkpoint is unreadable: fall back to a retained
+        # older complete version (the paper's hard-error redundancy),
+        # quarantining the damaged pair.  Without a fallback the damage
+        # is unrepairable and is left for fsck to report.
+        fallback = [
+            v
+            for v in complete_versions(fs)
+            if v < current.number and _checkpoint_readable(fs, v)
+        ]
+        if fallback:
+            chosen = fallback[-1]
+            fs.delete_if_exists(NEWVERSION_FILE)
+            fs.write(VERSION_FILE, str(chosen).encode("ascii"))
+            fs.fsync(VERSION_FILE)
+            _quarantine(fs, checkpoint_name(current.number), actions)
+            _quarantine(fs, logfile_name(current.number), actions)
+            fs.fsync_dir()
+            actions.append(
+                f"checkpoint{current.number} unreadable: fell back to "
+                f"retained complete version {chosen}"
+            )
+            current = read_current_version(fs)
+            if current is None:  # pragma: no cover - fallback was verified
+                return actions
+
+    if current.source == NEWVERSION_FILE:
+        # Interrupted after the commit point: finish the rename, exactly
+        # as a restart would, but leave retained older versions alone.
+        fs.delete_if_exists(VERSION_FILE)
+        fs.rename(NEWVERSION_FILE, VERSION_FILE)
+        fs.fsync_dir()
+        actions.append(
+            f"completed the interrupted switch to version {current.number}"
+        )
+    elif fs.exists(NEWVERSION_FILE):
+        fs.delete(NEWVERSION_FILE)
+        fs.fsync_dir()
+        actions.append("removed stale newversion")
+
+    # Partial newer versions: a checkpoint that never reached its commit
+    # point; its files hold no committed data.
+    for version, kinds in sorted(numbered_files(fs).items()):
+        if version <= current.number:
+            continue
+        for kind in sorted(kinds):
+            name = f"{kind}{version}"
+            fs.delete_if_exists(name)
+            actions.append(f"removed partial newer-version file {name}")
+        fs.fsync_dir()
+
+    # The current log: truncate a damaged tail to the last good entry —
+    # the same bytes strict recovery would refuse to replay.
+    log_name = logfile_name(current.number)
+    outcome = _scan_outcome(fs, log_name)
+    if outcome.damage is not None:
+        dropped = fs.size(log_name) - outcome.good_length
+        fs.truncate(log_name, outcome.good_length)
+        fs.fsync(log_name)
+        fs.fsync_dir()
+        actions.append(
+            f"truncated {log_name} to its last good entry "
+            f"({dropped} damaged bytes discarded)"
+        )
+
+    # Retained older versions are redundancy; a damaged or incomplete
+    # pair is worse than none (fsck keeps flagging it), so quarantine the
+    # whole pair when either half is unreadable or missing.
+    for version in sorted(numbered_files(fs)):
+        if version >= current.number:
+            continue
+        ckpt, log = checkpoint_name(version), logfile_name(version)
+        broken = (
+            not fs.exists(ckpt)
+            or not fs.exists(log)
+            or not _checkpoint_readable(fs, version)
+            or _scan_outcome(fs, log).damage is not None
+        )
+        if broken:
+            for name in (ckpt, log):
+                if fs.exists(name):
+                    _quarantine(fs, name, actions)
+            fs.fsync_dir()
+
+    # Damaged audit archives: quarantine (they are history, not state).
+    for epoch in archived_epochs(fs):
+        name = f"archive{epoch}"
+        if _scan_outcome(fs, name).damage is not None:
+            _quarantine(fs, name, actions)
+            fs.fsync_dir()
+
+    return actions
+
+
+def _checkpoint_readable(fs: FileSystem, version: int) -> bool:
+    try:
+        read_checkpoint(fs, checkpoint_name(version))
+    except (CheckpointDamaged, StorageError):
+        return False
+    return True
+
+
+def _scan_outcome(fs: FileSystem, name: str):
+    scan = LogScan(fs, name)
+    for _entry in scan:
+        pass
+    return scan.outcome
+
+
+def _quarantine(fs: FileSystem, name: str, actions: list[str]) -> None:
+    target = QUARANTINE_PREFIX + name
+    fs.delete_if_exists(target)
+    fs.rename(name, target)
+    actions.append(f"quarantined {name} as {target}")
+
+
 def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.fsck",
@@ -205,13 +367,24 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
         "directory.",
     )
     parser.add_argument("directory", help="the database directory")
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="salvage what validation flags (quarantines, never deletes, "
+        "damaged data), then re-validate",
+    )
     options = parser.parse_args(argv)
     # The scan's own I/O and runtime go through a metrics registry (the
     # LocalFS meter counts the bytes actually read), so the summary line
     # is the same accounting a server would export.
     registry = MetricsRegistry()
+    fs = LocalFS(options.directory, registry=registry)
     with timed_pass(registry, "fsck"):
-        report = fsck_directory(LocalFS(options.directory, registry=registry))
+        report = fsck_directory(fs)
+        if options.repair and not report.clean:
+            for action in repair_directory(fs):
+                out.write(f"repair:  {action}\n")
+            report = fsck_directory(fs)
     report.write(out)
     out.write(scan_summary(registry, "fsck") + "\n")
     return report.exit_status()

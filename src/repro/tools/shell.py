@@ -18,6 +18,7 @@ Commands::
     rmtree <path>        unbind a subtree
     find <pattern>       glob enumeration (*, **)
     count                live name count
+    health               storage health state (degraded read-only?)
     checkpoint           force a checkpoint (local only)
     metrics              the unified metrics registry (Prometheus text)
     trace [id]           render one trace tree (default: newest)
@@ -36,6 +37,7 @@ import shlex
 import sys
 from typing import TextIO
 
+from repro.core.errors import DatabaseDegraded
 from repro.nameserver import (
     NameServer,
     NameServerError,
@@ -79,7 +81,7 @@ class Shell:
             return
         try:
             handler(args)
-        except NameServerError as exc:
+        except (NameServerError, DatabaseDegraded) as exc:
             self._print(str(exc))
         except TypeError:
             self._print(f"usage error; try 'help'")
@@ -96,7 +98,7 @@ class Shell:
         self._print(
             "commands: ls [path] | tree [path] | get <path> | "
             "set <path> <value> | rm <path> | rmtree <path> | "
-            "find <pattern> | count | checkpoint | metrics | "
+            "find <pattern> | count | health | checkpoint | metrics | "
             "trace [id] | slowops | quit"
         )
 
@@ -143,6 +145,18 @@ class Shell:
 
     def do_count(self, args: list[str]) -> None:
         self._print(str(self.server.count()))
+
+    def do_health(self, args: list[str]) -> None:
+        if self.management is None:
+            self._print("health is not available over this connection")
+            return
+        detail = self.management.health()
+        line = f"state: {detail.get('state', '?')}"
+        if detail.get("cause"):
+            line += f" (cause: {detail['cause']})"
+        if detail.get("checkpoint_retry_pending"):
+            line += " [checkpoint retry pending]"
+        self._print(line)
 
     def do_checkpoint(self, args: list[str]) -> None:
         checkpoint = getattr(self.server, "checkpoint", None)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import Database, RecoveryError
-from repro.core.backup import backup_database, verify_backup
+from repro.core.backup import backup_database, read_manifest, verify_backup
 from repro.sim import SimClock
 from repro.storage import SimFS
 
@@ -20,7 +20,7 @@ class TestBackup:
         db.update("set", "a", 1)
         db.update("set", "b", 2)
         copied = backup_database(db, target)
-        assert set(copied) == {"checkpoint1", "logfile1", "version"}
+        assert set(copied) == {"checkpoint1", "logfile1", "manifest", "version"}
         restored = Database(target, initial=dict, operations=kv_ops)
         assert restored.enquire(lambda root: dict(root)) == {"a": 1, "b": 2}
 
@@ -39,7 +39,7 @@ class TestBackup:
         db.checkpoint()
         backup_database(db, target)
         names = set(target.list_names())
-        assert names == {"checkpoint2", "logfile2", "version"}
+        assert names == {"checkpoint2", "logfile2", "manifest", "version"}
         restored = Database(target, initial=dict, operations=kv_ops)
         assert restored.enquire(lambda root: root["v"]) == 2
 
@@ -66,6 +66,31 @@ class TestBackup:
         target.corrupt("logfile1", 0)
         with pytest.raises(RecoveryError):
             verify_backup(target)
+
+    def test_manifest_records_the_copy(self, target, db):
+        db.update("set", "a", 1)
+        backup_database(db, target)
+        manifest = read_manifest(target)
+        assert manifest["version"] == 1
+        assert manifest["log_entries"] == 1
+        assert manifest["log_bytes"] == target.size("logfile1")
+
+    def test_verify_detects_post_copy_truncation(self, target, db):
+        """A log shortened *after* the copy leaves only valid frames
+        behind — framing checks pass; the manifest catches it."""
+        db.update("set", "a", 1)
+        db.update("set", "b", 2)
+        backup_database(db, target)
+        # Cut the last page-aligned entry cleanly off the copied log.
+        target.truncate("logfile1", target.size("logfile1") - target.page_size)
+        with pytest.raises(RecoveryError, match="manifest"):
+            verify_backup(target)
+
+    def test_unparseable_manifest_falls_back_to_framing(self, target, db):
+        db.update("set", "a", 1)
+        backup_database(db, target)
+        target.write("manifest", b"\xffgarbled\xff")
+        assert verify_backup(target) == 1
 
     def test_enquiries_admitted_during_backup(self, db, target):
         """The backup holds only the update lock."""

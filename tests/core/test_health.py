@@ -1,0 +1,248 @@
+"""The runtime health state machine: retry, degrade, preserve, refuse.
+
+A live server hit by a media fault must not crash and must not lie: a
+transient fault costs a retry, a persistent one seals the log, snapshots
+the in-memory state to the spare directory and degrades to read-only —
+still answering enquiries from virtual memory, refusing updates with a
+typed error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Database
+from repro.core.errors import CheckpointFailed, DatabaseDegraded
+from repro.core.health import DEGRADED_READ_ONLY, FAILED, HEALTHY
+from repro.storage import FaultyFS, MediaFaultInjector, SimFS
+from repro.storage.failures import WRITE_OPS
+
+FSYNC_ONLY = frozenset({"fsync"})
+
+
+@pytest.fixture
+def harness(clock, kv_ops):
+    """Build a database over a fault-injecting file system.
+
+    The injector starts armed but with no fault scheduled; tests schedule
+    one by assigning ``injector.fault_at_event`` (etc.) mid-run, exactly
+    like a device going bad under a live server.
+    """
+
+    def build(spare=True, durability="immediate", fault_retries=1):
+        injector = MediaFaultInjector()
+        prime = SimFS(clock=clock)
+        spare_fs = SimFS(clock=clock) if spare else None
+        db = Database(
+            FaultyFS(prime, injector),
+            operations=kv_ops,
+            durability=durability,
+            spare_fs=spare_fs,
+            fault_retries=fault_retries,
+        )
+        injector.arm()
+        return db, injector, prime, spare_fs
+
+    return build
+
+
+def _schedule(injector, *, persistent, ops=FSYNC_ONLY):
+    """Fault the next eligible operation from here on(ce)."""
+    injector.fault_at_event = injector.events_seen + 1
+    injector.persistent = persistent
+    injector.ops = ops
+
+
+class TestTransientFaults:
+    def test_transient_fault_costs_a_retry_not_the_server(self, harness):
+        db, injector, _, _ = harness()
+        _schedule(injector, persistent=False)
+        assert db.update("set", "a", 1) is None
+        assert db.health == HEALTHY
+        assert len(injector.injected) == 1
+        db.update("incr", "a")
+        assert db.enquire(lambda root: root["a"]) == 2
+
+    def test_faults_are_counted_even_when_retried(self, harness):
+        db, injector, _, _ = harness()
+        _schedule(injector, persistent=False)
+        db.update("set", "a", 1)
+        faults = db.registry.get("storage_faults_total")
+        assert faults.labels("fsync").value == 1.0
+
+    def test_retries_are_bounded(self, harness):
+        """With zero retries even a transient fault degrades."""
+        db, injector, _, _ = harness(fault_retries=0)
+        _schedule(injector, persistent=False)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "a", 1)
+        assert db.health == DEGRADED_READ_ONLY
+
+
+class TestDegradedReadOnly:
+    def test_persistent_fault_degrades(self, harness):
+        db, injector, _, _ = harness()
+        db.update("set", "a", 1)
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "b", 2)
+        assert db.health == DEGRADED_READ_ONLY
+        detail = db.health_detail()
+        assert detail["state"] == DEGRADED_READ_ONLY
+        assert "fsync" in detail["cause"]
+
+    def test_degraded_serves_enquiries_refuses_updates(self, harness):
+        db, injector, _, _ = harness()
+        db.update("set", "a", 1)
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "b", 2)
+        # The paper's core property survives: reads come from memory.
+        assert db.enquire(lambda root: root["a"]) == 1
+        with pytest.raises(DatabaseDegraded):
+            db.update("incr", "a")
+        with pytest.raises(DatabaseDegraded):
+            db.update_many([("incr", ("a",), {})])
+        with pytest.raises(DatabaseDegraded):
+            db.checkpoint()
+
+    def test_degrade_happens_once(self, harness):
+        db, injector, _, _ = harness()
+        _schedule(injector, persistent=True)
+        for _ in range(3):
+            with pytest.raises(DatabaseDegraded):
+                db.update("set", "a", 1)
+        degradations = db.registry.get("db_degradations_total")
+        assert degradations.labels("media_fault").value == 1.0
+
+    def test_health_gauge_tracks_the_state(self, harness):
+        db, injector, _, _ = harness()
+        assert db.registry.get("db_health_state").value == 0.0
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "a", 1)
+        assert db.registry.get("db_health_state").value == 1.0
+
+    def test_group_mode_degrades_too(self, harness):
+        db, injector, _, _ = harness(durability="group")
+        db.update("set", "a", 1)
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "b", 2)
+        assert db.health == DEGRADED_READ_ONLY
+        assert db.enquire(lambda root: root["a"]) == 1
+
+    def test_degraded_database_still_closes(self, harness):
+        db, injector, _, _ = harness()
+        db.update("set", "a", 1)
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "b", 2)
+        db.close()
+
+
+class TestEmergencySnapshot:
+    def test_snapshot_lands_durably_on_the_spare(self, harness, kv_ops):
+        db, injector, _, spare = harness()
+        db.update("set", "a", 1)
+        db.update("incr", "a", 41)
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "b", 2)
+        outcomes = db.registry.get("db_emergency_checkpoints_total")
+        assert outcomes.labels("written").value == 1.0
+        # Durable: survives a crash of the spare device, and recovers to
+        # exactly the state the degraded server is still serving.
+        spare.crash()
+        rescued = Database(spare, operations=kv_ops)
+        assert rescued.enquire(dict) == db.enquire(dict) == {"a": 42}
+
+    def test_no_spare_still_degrades_cleanly(self, harness):
+        db, injector, _, _ = harness(spare=False)
+        db.update("set", "a", 1)
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "b", 2)
+        assert db.health == DEGRADED_READ_ONLY
+        outcomes = db.registry.get("db_emergency_checkpoints_total")
+        assert outcomes.labels("no_spare").value == 1.0
+
+    def test_broken_spare_means_failed(self, clock, kv_ops):
+        injector = MediaFaultInjector()
+        spare_injector = MediaFaultInjector(
+            fault_at_event=1, persistent=True, ops=WRITE_OPS
+        )
+        spare_injector.arm()
+        spare = FaultyFS(SimFS(clock=clock), spare_injector)
+        db = Database(
+            FaultyFS(SimFS(clock=clock), injector),
+            operations=kv_ops,
+            durability="immediate",
+            spare_fs=spare,
+            fault_retries=0,
+        )
+        injector.arm()
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "a", 1)
+        assert db.health == FAILED
+        outcomes = db.registry.get("db_emergency_checkpoints_total")
+        assert outcomes.labels("failed").value == 1.0
+        # Even FAILED keeps serving enquiries.
+        assert db.enquire(dict) == {}
+
+
+class TestCheckpointFaults:
+    def test_fault_before_commit_point_aborts_cleanly(self, harness):
+        db, injector, prime, _ = harness()
+        db.update("set", "a", 1)
+        version_before = db.version
+        _schedule(injector, persistent=False, ops=WRITE_OPS)
+        with pytest.raises(CheckpointFailed):
+            db.checkpoint()
+        # The old version is still current, nothing was lost, the server
+        # is still healthy and writable.
+        assert db.version == version_before
+        assert db.health == HEALTHY
+        assert db.health_detail()["checkpoint_retry_pending"] is True
+        assert "newversion" not in prime.list_names()
+        db.update("set", "b", 2)
+
+    def test_aborted_checkpoint_retries_and_succeeds(self, harness):
+        db, injector, _, _ = harness()
+        db.update("set", "a", 1)
+        version_before = db.version
+        _schedule(injector, persistent=False, ops=WRITE_OPS)
+        with pytest.raises(CheckpointFailed):
+            db.checkpoint()
+        # The transient fault has passed; the retry lands.
+        assert db.checkpoint() == version_before + 1
+        assert db.health_detail()["checkpoint_retry_pending"] is False
+
+    def test_maybe_checkpoint_retries_pending_even_if_policy_is_quiet(
+        self, harness
+    ):
+        db, injector, _, _ = harness()
+        db.update("set", "a", 1)
+        _schedule(injector, persistent=False, ops=WRITE_OPS)
+        with pytest.raises(CheckpointFailed):
+            db.checkpoint()
+        # The default policy is Never, yet the pending retry fires.
+        assert db.maybe_checkpoint() is True
+        assert db.health_detail()["checkpoint_retry_pending"] is False
+
+    def test_maybe_checkpoint_noop_once_degraded(self, harness):
+        db, injector, _, _ = harness()
+        db.update("set", "a", 1)
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "b", 2)
+        assert db.maybe_checkpoint() is False
+
+    def test_checkpoint_failures_are_counted(self, harness):
+        db, injector, _, _ = harness()
+        db.update("set", "a", 1)
+        _schedule(injector, persistent=False, ops=WRITE_OPS)
+        with pytest.raises(CheckpointFailed):
+            db.checkpoint()
+        assert db.registry.get("db_checkpoint_failures_total").value == 1.0

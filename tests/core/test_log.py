@@ -280,10 +280,9 @@ class TestAppendFaultTolerance:
         assert [e.payload for e in entries] == [b"one", b"two", b"three"]
         assert outcome.damage is None
 
-    def test_partial_append_resyncs_offset(self, fs):
-        """A mid-append failure realigns the offset to the file's true end,
-        so later entries pad correctly and recovery sees one damaged
-        region."""
+    def test_partial_append_truncates_torn_tail(self, fs):
+        """A mid-append failure truncates the torn bytes away, so the log
+        stays clean and later entries resume the sequence."""
         broken = _PartialAppendFS(fs)
         writer = LogWriter(broken, "log")
         writer.append(b"one")
@@ -291,11 +290,32 @@ class TestAppendFaultTolerance:
         with pytest.raises(HardError):
             writer.append(b"never-committed")
         assert writer.offset == fs.size("log")
+        assert not writer.tail_damaged
         writer.append(b"three")
-        entries, outcome = scan_all(fs, "log", ignore_damaged=True)
+        entries, outcome = scan_all(fs, "log")
+        assert [e.seq for e in entries] == [1, 2]
         assert [e.payload for e in entries] == [b"one", b"three"]
-        assert outcome.damaged_skipped == 1
+        assert outcome.damaged_skipped == 0
         assert outcome.damage is None
+
+    def test_untruncatable_torn_tail_marks_damage(self, fs):
+        """When even the cleanup truncate fails, the writer resyncs past
+        the torn bytes and flags the tail as damaged so the database can
+        refuse further appends (an acked entry beyond the damage would be
+        lost by strict-scan truncation at recovery)."""
+        broken = _PartialAppendFS(fs)
+
+        def refuse_truncate(name, length):
+            raise HardError("truncate refused")
+
+        broken.truncate = refuse_truncate
+        writer = LogWriter(broken, "log")
+        writer.append(b"one")
+        broken.fail_next_after = 5
+        with pytest.raises(HardError):
+            writer.append(b"never-committed")
+        assert writer.offset == fs.size("log")
+        assert writer.tail_damaged
 
     def test_bad_magic_stops_scan(self, fs):
         writer = LogWriter(fs, "log")

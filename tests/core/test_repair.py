@@ -1,0 +1,188 @@
+"""fsck --repair: salvage a damaged directory back to a clean state.
+
+Every scenario here follows the operator's loop: fsck flags damage,
+``repair_directory`` salvages, a re-run of fsck comes back clean, and a
+restart recovers without losing an acked update.  Repair is conservative
+(damaged redundancy is quarantined, never deleted) and idempotent.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core import Database
+from repro.storage import LocalFS, SimFS
+from repro.tools import fsck_directory
+from repro.tools.fsck import QUARANTINE_PREFIX, repair_directory
+from repro.tools.fsck import main as fsck_main
+
+
+@pytest.fixture
+def populated(fs, kv_ops) -> SimFS:
+    db = Database(fs, operations=kv_ops)
+    db.update("set", "alice", 1)
+    db.update("set", "bob", 2)
+    db.checkpoint()
+    db.update("incr", "alice", 41)
+    return fs
+
+
+def reopen(fs, kv_ops) -> dict:
+    return Database(fs, operations=kv_ops).enquire(dict)
+
+
+FINAL = {"alice": 42, "bob": 2}
+
+
+class TestRepair:
+    def test_clean_directory_is_untouched(self, populated):
+        assert repair_directory(populated) == []
+
+    def test_repair_is_idempotent(self, populated):
+        populated.write("checkpoint9", b"partial")
+        first = repair_directory(populated)
+        assert first
+        assert repair_directory(populated) == []
+
+    def test_stale_newversion_removed(self, populated, kv_ops):
+        populated.write("newversion", b"not-a-number")
+        actions = repair_directory(populated)
+        assert any("newversion" in a for a in actions)
+        assert not populated.exists("newversion")
+        assert fsck_directory(populated).clean
+        assert reopen(populated, kv_ops) == FINAL
+
+    def test_interrupted_switch_completed(self, populated, kv_ops):
+        # Fabricate the post-commit-point, pre-rename state.
+        populated.write("checkpoint3", populated.read("checkpoint2"))
+        populated.fsync("checkpoint3")
+        populated.create("logfile3")
+        populated.fsync("logfile3")
+        populated.write("newversion", b"3")
+        populated.fsync("newversion")
+        actions = repair_directory(populated)
+        assert any("completed the interrupted switch" in a for a in actions)
+        assert populated.read("version") == b"3"
+        assert not populated.exists("newversion")
+        assert fsck_directory(populated).clean
+        # The fabricated checkpoint3 copies checkpoint2's state; the log
+        # tail past the switch is gone by construction here.
+        assert reopen(populated, kv_ops) == {"alice": 1, "bob": 2}
+
+    def test_partial_newer_version_removed(self, populated, kv_ops):
+        populated.write("checkpoint3", b"partial")
+        populated.write("logfile3", b"")
+        actions = repair_directory(populated)
+        assert any("checkpoint3" in a for a in actions)
+        assert any("logfile3" in a for a in actions)
+        assert not populated.exists("checkpoint3")
+        assert fsck_directory(populated).clean
+        assert reopen(populated, kv_ops) == FINAL
+
+    def test_torn_log_tail_truncated(self, populated, kv_ops):
+        populated.append("logfile2", b"torn-partial-append")
+        report = fsck_directory(populated)
+        assert not report.clean
+        actions = repair_directory(populated)
+        assert any("truncated logfile2" in a for a in actions)
+        assert fsck_directory(populated).clean
+        # Only the torn (uncommitted) bytes were discarded.
+        assert reopen(populated, kv_ops) == FINAL
+
+    def test_missing_version_file_restored(self, populated, kv_ops):
+        populated.delete("version")
+        actions = repair_directory(populated)
+        assert any("restored missing version file" in a for a in actions)
+        assert populated.read("version") == b"2"
+        assert fsck_directory(populated).clean
+        assert reopen(populated, kv_ops) == FINAL
+
+    def test_nothing_to_salvage_in_an_empty_directory(self, fs):
+        assert repair_directory(fs) == []
+
+    def test_unreadable_current_checkpoint_falls_back(self, fs, kv_ops):
+        db = Database(fs, operations=kv_ops, keep_versions=2)
+        db.update("set", "alice", 1)
+        db.checkpoint()  # version 2 (1 is retained)
+        db.update("set", "bob", 2)
+        db.close()
+        fs.crash()  # drop caches so the corruption below is visible
+        fs.corrupt("checkpoint2", 0)
+        actions = repair_directory(fs)
+        assert any("fell back" in a for a in actions)
+        assert fs.read("version") == b"1"
+        assert fs.exists(QUARANTINE_PREFIX + "checkpoint2")
+        assert fsck_directory(fs).exit_status() in (0, 1)
+        # Updates after the retained version's log are lost — that is the
+        # paper's hard-error redundancy trade-off — but version 1's acked
+        # state recovers intact.
+        assert reopen(fs, kv_ops) == {"alice": 1}
+
+    def test_damaged_retained_pair_quarantined(self, fs, kv_ops):
+        db = Database(fs, operations=kv_ops, keep_versions=2)
+        db.update("set", "alice", 1)
+        db.checkpoint()
+        db.update("set", "bob", 2)
+        db.close()
+        fs.crash()
+        fs.corrupt("checkpoint1", 0)
+        report = fsck_directory(fs)
+        assert not report.clean
+        actions = repair_directory(fs)
+        assert any("quarantined checkpoint1" in a for a in actions)
+        assert fs.exists(QUARANTINE_PREFIX + "checkpoint1")
+        assert not fs.exists("checkpoint1")
+        assert fsck_directory(fs).clean
+        assert reopen(fs, kv_ops) == FINAL_KEEP2
+
+    def test_double_recovery_is_a_no_op(self, populated, kv_ops):
+        """Recovering an already-recovered directory changes nothing."""
+        populated.append("logfile2", b"torn")
+        repair_directory(populated)
+        assert reopen(populated, kv_ops) == FINAL
+        before = {name: populated.read(name) for name in populated.list_names()}
+        assert reopen(populated, kv_ops) == FINAL
+        after = {name: populated.read(name) for name in populated.list_names()}
+        assert before == after
+
+
+FINAL_KEEP2 = {"alice": 1, "bob": 2}
+
+
+class TestRepairCli:
+    def _damaged_local_db(self, tmp_path, kv_ops) -> str:
+        directory = str(tmp_path / "db")
+        fs = LocalFS(directory)
+        db = Database(fs, operations=kv_ops)
+        db.update("set", "a", 1)
+        db.update("set", "b", 2)
+        db.close()
+        fs.append("logfile1", b"torn-tail")
+        fs.write("newversion", b"junk")
+        return directory
+
+    def test_repair_flag_fixes_and_reports(self, tmp_path, kv_ops):
+        directory = self._damaged_local_db(tmp_path, kv_ops)
+        out = io.StringIO()
+        assert fsck_main([directory], out=out) != 0
+        out = io.StringIO()
+        status = fsck_main([directory, "--repair"], out=out)
+        text = out.getvalue()
+        assert status == 0
+        assert "repair:" in text
+        assert "verdict: clean" in text
+        # And the repaired directory still holds every acked update.
+        restored = Database(LocalFS(directory), operations=kv_ops)
+        assert restored.enquire(dict) == {"a": 1, "b": 2}
+
+    def test_repair_flag_noop_on_clean_directory(self, tmp_path, kv_ops):
+        directory = str(tmp_path / "db")
+        db = Database(LocalFS(directory), operations=kv_ops)
+        db.update("set", "a", 1)
+        db.close()
+        out = io.StringIO()
+        status = fsck_main([directory, "--repair"], out=out)
+        assert status == 0
+        assert "repair:" not in out.getvalue()

@@ -60,6 +60,15 @@ class TestManagement:
         estimate = manager.estimated_restart_seconds(0.02)
         assert estimate == pytest.approx(20.0 + 3 * 0.02)
 
+    def test_health_over_rpc(self, manager):
+        detail = manager.health()
+        assert detail["state"] == "healthy"
+        assert detail["cause"] is None
+        assert detail["checkpoint_retry_pending"] is False
+
+    def test_status_includes_health(self, manager):
+        assert manager.status()["health"] == "healthy"
+
     def test_plain_server_is_not_replica(self, manager):
         assert manager.is_replica() is False
         assert manager.propagate() == 0
@@ -142,6 +151,29 @@ class TestShell:
 
     def test_help(self, ns):
         assert "commands:" in self.run(ns, "help\n")
+
+    def test_health_command(self, ns):
+        out = io.StringIO()
+        shell = Shell(ns, out=out, management=ManagementService(ns))
+        shell.repl(io.StringIO("health\n"))
+        assert "state: healthy" in out.getvalue()
+
+    def test_degraded_update_does_not_kill_shell(self, ns):
+        """An operator typing 'set' at a degraded server gets the typed
+        message and keeps their session."""
+        ns.db.health_monitor.degrade("fsync: injected")
+        output = self.run(ns, "set a/z 9\ncount\n")
+        assert "degraded_read_only" in output
+        assert output.strip().endswith("3")
+
+    def test_health_command_shows_degradation_cause(self, ns):
+        ns.db.health_monitor.degrade("fsync: injected")
+        out = io.StringIO()
+        shell = Shell(ns, out=out, management=ManagementService(ns))
+        shell.repl(io.StringIO("health\n"))
+        text = out.getvalue()
+        assert "state: degraded_read_only" in text
+        assert "fsync: injected" in text
 
     def test_main_on_local_directory(self, tmp_path):
         directory = str(tmp_path / "names")

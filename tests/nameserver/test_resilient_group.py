@@ -259,6 +259,31 @@ class TestUpdateFailover:
         with pytest.raises(AllPeersUnavailable):
             group.bind("k", 1)
 
+    def test_degraded_peer_fails_over_without_opening_breaker(self):
+        """A degraded read-only replica refuses the write but is not
+        dead: the update routes to the next peer while the breaker stays
+        closed, so enquiries keep flowing to the degraded replica."""
+        a, b = make_replicas(2)
+        a.bind("old", 1)
+        a.db.health_monitor.degrade("fsync: injected")
+        group = ResilientReplicaGroup([a, b], clock=SimClock())
+        assert group.bind("k", 7) == "b"
+        assert b.lookup("k") == 7
+        assert group.breakers["a"].state == CLOSED
+        # Reads still land on the degraded peer first.
+        assert group.lookup("old").value == 1
+        assert group.lookup("old").served_by == "a"
+        rejections = group.registry.get("replication_degraded_writes_total")
+        assert rejections.labels("a").value == 1.0
+
+    def test_all_peers_degraded_reports_it(self):
+        a, b = make_replicas(2)
+        for replica in (a, b):
+            replica.db.health_monitor.degrade("fsync: injected")
+        group = ResilientReplicaGroup([a, b], clock=SimClock())
+        with pytest.raises(AllPeersUnavailable, match="2 degraded read-only"):
+            group.bind("k", 1)
+
 
 class TestDegradedSync:
     def test_live_peers_converge_while_one_is_down(self):

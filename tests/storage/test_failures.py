@@ -1,0 +1,193 @@
+"""Runtime media-fault injection: MediaFaultInjector and FaultyFS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimClock
+from repro.storage import (
+    DiskFull,
+    FaultyFS,
+    HardError,
+    LocalFS,
+    MediaError,
+    MediaFaultInjector,
+    SimFS,
+    StorageError,
+)
+from repro.storage.failures import DATA_OPS, WRITE_OPS
+
+
+@pytest.fixture
+def fs():
+    injector = MediaFaultInjector()
+    return FaultyFS(SimFS(clock=SimClock()), injector), injector
+
+
+class TestErrorHierarchy:
+    def test_media_errors_are_storage_errors(self):
+        assert issubclass(MediaError, StorageError)
+        assert issubclass(HardError, MediaError)
+        assert issubclass(DiskFull, MediaError)
+
+
+class TestInjectorScheduling:
+    def test_disarmed_injector_neither_counts_nor_faults(self, fs):
+        faulty, injector = fs
+        faulty.write("f", b"data")
+        faulty.fsync("f")
+        assert injector.events_seen == 0
+        assert injector.injected == []
+
+    def test_transient_fault_fires_exactly_once(self, fs):
+        faulty, injector = fs
+        injector.fault_at_event = 2
+        injector.arm()
+        faulty.write("f", b"data")  # event 1
+        with pytest.raises(HardError):
+            faulty.fsync("f")  # event 2: the scheduled fault
+        faulty.fsync("f")  # the device has recovered
+        assert len(injector.injected) == 1
+
+    def test_persistent_fault_fires_from_first_firing_onwards(self, fs):
+        faulty, injector = fs
+        injector.fault_at_event = 2
+        injector.persistent = True
+        injector.arm()
+        faulty.write("f", b"data")
+        for _ in range(3):
+            with pytest.raises(HardError):
+                faulty.fsync("f")
+        assert len(injector.injected) == 3
+
+    def test_fault_cannot_be_silently_missed(self, fs):
+        """A schedule landing on an ineligible op fires at the next
+        eligible one instead of never firing."""
+        faulty, injector = fs
+        injector.fault_at_event = 1
+        injector.ops = frozenset({"fsync"})
+        injector.arm()
+        faulty.write("f", b"data")  # event 1: eligible ops don't include it
+        with pytest.raises(HardError):
+            faulty.fsync("f")  # event 2 >= 1 and eligible: fires here
+
+    def test_metadata_peeks_are_not_counted(self, fs):
+        faulty, injector = fs
+        injector.arm()
+        faulty.write("f", b"data")
+        events = injector.events_seen
+        faulty.exists("f")
+        faulty.size("f")
+        faulty.list_names()
+        assert injector.events_seen == events
+
+    def test_disk_full_defaults_to_the_write_path(self):
+        injector = MediaFaultInjector(fault_at_event=1, error="disk_full")
+        assert injector.ops == WRITE_OPS
+        hard = MediaFaultInjector(fault_at_event=1)
+        assert hard.ops == DATA_OPS
+
+    def test_disk_full_raises_disk_full(self, fs):
+        faulty, injector = fs
+        injector.fault_at_event = 1
+        injector.error = "disk_full"
+        injector.ops = WRITE_OPS
+        injector.arm()
+        with pytest.raises(DiskFull):
+            faulty.write("f", b"data")
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            MediaFaultInjector(ops=frozenset({"exists"}))
+
+
+class TestFaultyFS:
+    def test_hard_fault_on_append_is_a_short_write(self, fs):
+        """An injected append failure leaves a half-written prefix behind
+        — the torn-tail state cleanup and recovery must cope with."""
+        faulty, injector = fs
+        faulty.create("log")
+        injector.fault_at_event = 1
+        injector.ops = frozenset({"append"})
+        injector.arm()
+        with pytest.raises(HardError):
+            faulty.append("log", b"0123456789")
+        assert faulty.inner.read("log") == b"01234"
+
+    def test_disk_full_append_writes_nothing(self, fs):
+        faulty, injector = fs
+        faulty.create("log")
+        injector.fault_at_event = 1
+        injector.error = "disk_full"
+        injector.ops = frozenset({"append"})
+        injector.arm()
+        with pytest.raises(DiskFull):
+            faulty.append("log", b"0123456789")
+        assert faulty.inner.read("log") == b""
+
+    def test_clean_operations_delegate(self, fs):
+        faulty, _ = fs
+        faulty.write("f", b"data")
+        faulty.append("f", b"+more")
+        assert faulty.read("f") == b"data+more"
+        assert faulty.read_range("f", 4, 5) == b"+more"
+        faulty.rename("f", "g")
+        assert faulty.list_names() == ["g"]
+        faulty.truncate("g", 4)
+        assert faulty.size("g") == 4
+        faulty.delete("g")
+        assert not faulty.exists("g")
+
+    def test_simulation_extras_pass_through(self, fs):
+        faulty, _ = fs
+        faulty.write("f", b"data")
+        faulty.fsync("f")
+        faulty.fsync_dir()
+        faulty.crash()  # SimFS extra, reached via __getattr__
+        assert faulty.read("f") == b"data"
+        assert faulty.page_size == faulty.inner.page_size
+
+    def test_wraps_local_fs_too(self, tmp_path):
+        injector = MediaFaultInjector(
+            fault_at_event=2, persistent=True, ops=WRITE_OPS
+        )
+        faulty = FaultyFS(LocalFS(str(tmp_path / "db")), injector)
+        faulty.write("f", b"data")  # not yet armed; this is clean
+        injector.arm()
+        faulty.fsync("f")  # event 1
+        with pytest.raises(HardError):
+            faulty.fsync("f")  # event 2
+        with pytest.raises(HardError):
+            faulty.write("f", b"more")  # persistent: still failing
+        assert faulty.read("f") == b"data"  # the read path is untouched
+
+
+class TestCapacityBudget:
+    def test_simfs_page_budget_raises_disk_full(self):
+        fs = SimFS(clock=SimClock(), capacity_pages=2)
+        fs.write("f", b"x" * (fs.page_size * 2))
+        fs.fsync("f")  # exactly fills the budget
+        fs.append("f", b"overflow")
+        with pytest.raises(DiskFull):
+            fs.fsync("f")
+
+    def test_durable_state_survives_disk_full(self):
+        fs = SimFS(clock=SimClock(), capacity_pages=2)
+        payload = b"x" * (fs.page_size * 2)
+        fs.write("f", payload)
+        fs.fsync("f")
+        fs.append("f", b"overflow")
+        with pytest.raises(DiskFull):
+            fs.fsync("f")
+        fs.crash()
+        assert fs.read("f") == payload
+
+    def test_freed_pages_are_reusable(self):
+        fs = SimFS(clock=SimClock(), capacity_pages=2)
+        fs.write("f", b"x" * (fs.page_size * 2))
+        fs.fsync("f")
+        fs.delete("f")
+        fs.fsync_dir()  # makes the delete durable; pages reclaimed
+        fs.write("g", b"y" * (fs.page_size * 2))
+        fs.fsync("g")
+        assert fs.read("g") == b"y" * (fs.page_size * 2)

@@ -4,13 +4,19 @@ from __future__ import annotations
 
 import pytest
 
+import errno
+
 from repro.storage import (
+    DiskFull,
     FileExists,
     FileNotFound,
+    HardError,
     InvalidFileName,
     LocalFS,
+    MediaError,
     StorageError,
 )
+from repro.storage.localfs import _classify_os_error
 
 
 @pytest.fixture
@@ -64,6 +70,41 @@ class TestLocalFS:
         with pytest.raises(FileExists):
             fs.create("f", exclusive=True)
 
+    def test_create_exclusive_does_not_truncate_loser(self, fs):
+        """The losing creator must not clobber the winner's file — the
+        version-switch protocol relies on O_EXCL semantics, not a racy
+        exists() check."""
+        fs.write("f", b"winner")
+        with pytest.raises(FileExists):
+            fs.create("f", exclusive=True)
+        assert fs.read("f") == b"winner"
+
+    def test_write_at(self, fs):
+        fs.write("f", b"0123456789")
+        fs.write_at("f", 3, b"XY")
+        assert fs.read("f") == b"012XY56789"
+
+    def test_write_at_zero_fills_gap(self, fs):
+        fs.write("f", b"ab")
+        fs.write_at("f", 5, b"Z")
+        assert fs.read("f") == b"ab\x00\x00\x00Z"
+
+    def test_write_at_creates_missing_file(self, fs):
+        fs.write_at("f", 0, b"data")
+        assert fs.read("f") == b"data"
+
+    def test_write_at_is_metered(self, fs):
+        """write_at must feed the same I/O meter as write/append."""
+        recorded = []
+
+        class _Meter:
+            def note_write(self, nbytes):
+                recorded.append(nbytes)
+
+        fs._meter = _Meter()
+        fs.write_at("f", 0, b"12345")
+        assert recorded == [5]
+
     def test_rename_atomic_replace(self, fs):
         fs.write("a", b"new")
         fs.write("b", b"old")
@@ -97,6 +138,55 @@ class TestLocalFS:
         with pytest.raises(InvalidFileName):
             fs.write(bad, b"x")
 
+class TestTypedOsErrors:
+    """Raw OSError never escapes: everything maps to the typed surface."""
+
+    def test_enospc_maps_to_disk_full(self):
+        exc = _classify_os_error(OSError(errno.ENOSPC, "No space left"), "write", "f")
+        assert type(exc) is DiskFull
+
+    def test_edquot_maps_to_disk_full(self):
+        if not hasattr(errno, "EDQUOT"):
+            pytest.skip("platform has no EDQUOT")
+        exc = _classify_os_error(OSError(errno.EDQUOT, "Quota exceeded"), "append", "f")
+        assert type(exc) is DiskFull
+
+    def test_eio_maps_to_hard_error(self):
+        exc = _classify_os_error(OSError(errno.EIO, "I/O error"), "fsync", "f")
+        assert type(exc) is HardError
+
+    def test_other_errnos_map_to_media_error(self):
+        exc = _classify_os_error(OSError(errno.EACCES, "Permission denied"), "read", "f")
+        assert type(exc) is MediaError
+        assert "errno" in str(exc)
+
+    def test_write_failure_surfaces_typed(self, fs, monkeypatch):
+        def full(path, size):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        fs.write("f", b"seed")
+        monkeypatch.setattr("os.truncate", full)
+        with pytest.raises(DiskFull):
+            fs.truncate("f", 2)
+
+    def test_fsync_failure_surfaces_typed(self, fs, monkeypatch):
+        fs.write("f", b"seed")
+
+        def broken(fd):
+            raise OSError(errno.EIO, "I/O error")
+
+        monkeypatch.setattr("os.fsync", broken)
+        with pytest.raises(HardError):
+            fs.fsync("f")
+
+    def test_missing_file_keeps_its_own_type(self, fs):
+        """FileNotFoundError is an OSError but must not be reclassified —
+        recovery code branches on FileNotFound specifically."""
+        with pytest.raises(FileNotFound):
+            fs.read("nope")
+
+
+class TestInterfaceParity:
     def test_interface_parity_with_simfs(self, fs):
         """The core only uses interface methods; both FSes must agree."""
         from repro.sim import SimClock
