@@ -9,9 +9,13 @@ pytest-benchmark wall-time table, and they are also written to
 ``benchmarks/results/experiments.txt``.
 
 Benchmarks may additionally pass ``data=`` — a JSON-able dict of the
-measured quantities behind the table.  Those are consolidated per
-experiment into ``benchmarks/results/BENCH_E<n>.json`` (keyed by table
-title), which CI uploads as the run's machine-readable artifact.
+measured quantities behind the table — and ``metrics=`` — *normalized*
+metrics built with :func:`repro.obs.regress.metric` (name → value, unit,
+direction).  Both are consolidated per experiment into
+``benchmarks/results/BENCH_E<n>.json`` (tables keyed by title, metrics
+merged flat), which CI uploads as the run's machine-readable artifact.
+The normalized metrics are what ``python -m repro.obs.regress`` compares
+against the committed ``benchmarks/results/trajectory.jsonl`` baseline.
 """
 
 from __future__ import annotations
@@ -23,11 +27,13 @@ import re
 import pytest
 
 from repro.nameserver import NameServer
+from repro.obs.regress import DIRECTIONS
 from repro.sim import MICROVAX_II, NameWorkload, SimClock
 from repro.storage import SimFS
 
 _REPORTS: list[str] = []
 _DATA: dict[str, dict[str, object]] = {}  # experiment id -> title -> data
+_METRICS: dict[str, dict[str, dict]] = {}  # experiment id -> name -> metric
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _RESULTS_PATH = os.path.join(_RESULTS_DIR, "experiments.txt")
 _EXPERIMENT_RE = re.compile(r"^(E\d+)")
@@ -38,16 +44,36 @@ def report():
     """Register a paper-vs-measured table for the terminal summary.
 
     ``data`` (optional) is the table's machine-readable form; it lands in
-    the experiment's consolidated ``BENCH_E<n>.json``.
+    the experiment's consolidated ``BENCH_E<n>.json``.  ``metrics``
+    (optional) are normalized regression-sentry metrics — build each
+    entry with :func:`repro.obs.regress.metric` so value, unit and
+    direction are well-formed.
     """
 
-    def add(title: str, lines: list[str], data: dict | None = None) -> None:
+    def add(
+        title: str,
+        lines: list[str],
+        data: dict | None = None,
+        metrics: dict[str, dict] | None = None,
+    ) -> None:
         block = "\n".join([f"── {title} " + "─" * max(0, 68 - len(title)), *lines, ""])
         _REPORTS.append(block)
+        match = _EXPERIMENT_RE.match(title)
+        experiment = match.group(1) if match else "MISC"
         if data is not None:
-            match = _EXPERIMENT_RE.match(title)
-            experiment = match.group(1) if match else "MISC"
             _DATA.setdefault(experiment, {})[title] = data
+        if metrics:
+            for name, entry in metrics.items():
+                if (
+                    not isinstance(entry, dict)
+                    or "value" not in entry
+                    or entry.get("direction") not in DIRECTIONS
+                ):
+                    raise ValueError(
+                        f"metric {name!r} must be built with "
+                        f"repro.obs.regress.metric()"
+                    )
+                _METRICS.setdefault(experiment, {})[name] = dict(entry)
 
     return add
 
@@ -62,15 +88,16 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     with open(_RESULTS_PATH, "w", encoding="utf-8") as f:
         f.write("\n".join(_REPORTS))
     written = [os.path.basename(_RESULTS_PATH)]
-    for experiment, tables in sorted(_DATA.items()):
+    for experiment in sorted(set(_DATA) | set(_METRICS)):
         path = os.path.join(_RESULTS_DIR, f"BENCH_{experiment}.json")
+        payload: dict[str, object] = {
+            "experiment": experiment,
+            "tables": _DATA.get(experiment, {}),
+        }
+        if experiment in _METRICS:
+            payload["metrics"] = dict(sorted(_METRICS[experiment].items()))
         with open(path, "w", encoding="utf-8") as f:
-            json.dump(
-                {"experiment": experiment, "tables": tables},
-                f,
-                indent=2,
-                sort_keys=True,
-            )
+            json.dump(payload, f, indent=2, sort_keys=True)
             f.write("\n")
         written.append(os.path.basename(path))
     terminalreporter.write_line(

@@ -15,6 +15,7 @@ import time
 
 from conftest import once
 from repro.core import Database, OperationRegistry
+from repro.obs.regress import metric
 from repro.sim import SimClock
 from repro.storage import SimFS
 
@@ -86,6 +87,11 @@ def test_e10_enquiries_proceed_during_log_write(benchmark, report):
             f"enquiries completed inside the window: {completed} "
             "(paper: enquiries are never excluded during disk transfers)",
         ],
+        metrics={
+            "e10_enquiries_during_commit": metric(
+                completed, "enquiries", direction="higher"
+            ),
+        },
     )
 
 
@@ -124,6 +130,9 @@ def test_e10_enquiries_wait_only_for_vm_mutation(benchmark, report):
             f"update disk window {_DISK_WRITE_SECONDS * 1000:.0f} ms; "
             f"worst concurrent enquiry {worst * 1000:.1f} ms"
         ],
+        metrics={
+            "e10_worst_concurrent_enquiry_ms": metric(worst * 1000, "ms"),
+        },
     )
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from conftest import once
 from repro.core import OperationRegistry
+from repro.obs.regress import metric
 from repro.sim import CrashPointSweep, SimClock
 from repro.storage import SimFS
 
@@ -63,6 +64,12 @@ def test_e11_crash_sweep_padded(benchmark, report):
             "every state recovered to exactly the committed prefix "
             "(± the in-flight update at its commit point)",
         ],
+        metrics={
+            "e11_crash_states_tested": metric(
+                result.runs, "states", direction="higher"
+            ),
+            "e11_recovery_failures": metric(len(result.failures), "failures"),
+        },
     )
 
 
@@ -84,6 +91,11 @@ def test_e11_crash_sweep_unpadded_paper_layout(benchmark, report):
             "(recovery is still consistent — an exact earlier prefix — "
             "but durability is violated; padding closes the hole: D2)",
         ],
+        metrics={
+            "e11_torn_commit_losses": metric(
+                result.torn_commit_losses, "states", direction="none"
+            ),
+        },
     )
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from conftest import fmt_s, once
 from repro.core import OperationRegistry, ShardedDatabase
+from repro.obs.regress import metric
 from repro.sim import MICROVAX_II, SimClock
 from repro.storage import SimFS
 
@@ -78,6 +79,12 @@ def test_e12_blocking_window_shrinks_with_shards(benchmark, report):
             f"total checkpoint time {fmt_s(total)}"
             for n, window, total in rows
         ],
+        metrics={
+            "e12_worst_window_8_shards_s": metric(worst_windows[8], "s"),
+            "e12_window_shrink_8x": metric(
+                worst_windows[1] / worst_windows[8], "x", direction="higher"
+            ),
+        },
     )
 
 

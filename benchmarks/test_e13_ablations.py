@@ -21,6 +21,7 @@ import struct
 from conftest import once
 from repro.core import OperationRegistry
 from repro.core.log import LogWriter
+from repro.obs.regress import metric
 from repro.pickles import pickle_write
 from repro.sim import CrashPointSweep, SimClock
 from repro.storage import SimFS
@@ -81,6 +82,10 @@ def test_e13_padding_ablation(benchmark, report):
             f"{unpadded['losses']} committed losses / {unpadded['states']} crash states",
             f"space overhead of safety: {overhead:.2f}x at ~paper-sized entries",
         ],
+        metrics={
+            "e13_padding_space_overhead": metric(overhead, "x"),
+            "e13_padded_commit_losses": metric(padded["losses"], "states"),
+        },
     )
 
 
@@ -173,4 +178,7 @@ def test_e13_pickles_vs_handrolled_format(benchmark, report):
             f"generality premium: {size_ratio:.2f}x — the paper judged it "
             "worth the simplicity, and so do we",
         ],
+        metrics={
+            "e13_pickle_generality_premium": metric(size_ratio, "x"),
+        },
     )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from conftest import once
 from repro.core import Database, OperationRegistry
+from repro.obs.regress import metric
 from repro.sim import NULL_COST_MODEL, SimClock
 from repro.storage import MODERN_SSD, RA81_1987, SimFS
 
@@ -61,6 +62,12 @@ def test_e14_update_latency_then_and_now(benchmark, report):
             f"modern CPU + NVMe:       {results['2020s'] * 1e6:8.2f} µs/update",
             f"speedup: {speedup:,.0f}x — same structure, one durable write",
         ],
+        metrics={
+            "e14_modern_update_us": metric(results["2020s"] * 1e6, "us"),
+            "e14_hardware_speedup": metric(
+                speedup, "x", direction="higher"
+            ),
+        },
     )
 
 
@@ -128,4 +135,9 @@ def test_e14_checkpoint_agonising_disappears(benchmark, report):
             f"1987:  {results['1987']:8.2f} s  (the paper's availability worry)",
             f"2020s: {results['2020s'] * 1000:8.2f} ms (checkpoint whenever you like)",
         ],
+        metrics={
+            "e14_modern_checkpoint_ms": metric(
+                results["2020s"] * 1000, "ms"
+            ),
+        },
     )

@@ -12,6 +12,7 @@ at their paper values while doing so.
 from __future__ import annotations
 
 from conftest import build_sim_nameserver, fmt_ms, once
+from repro.obs.regress import metric
 from repro.sim import READ_MOSTLY, UPDATE_HEAVY
 
 
@@ -46,6 +47,12 @@ def test_e15_read_mostly_mix(benchmark, report):
             f"mean update cost during the mix: {fmt_ms(mean.total())} "
             f"(paper: ~54 ms)",
         ],
+        metrics={
+            "e15_mix_ops_per_s": metric(
+                throughput, "1/s", direction="higher"
+            ),
+            "e15_mix_update_ms": metric(mean.total() * 1000, "ms"),
+        },
     )
 
 
@@ -69,6 +76,9 @@ def test_e15_update_burst(benchmark, report):
         "E15b update-heavy burst",
         [f"sustained {rate:5.1f} ops/s through a 90 %-update burst "
          f"(envelope: 10/s)"],
+        metrics={
+            "e15_burst_ops_per_s": metric(rate, "1/s", direction="higher"),
+        },
     )
 
 

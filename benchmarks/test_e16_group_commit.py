@@ -22,6 +22,7 @@ import threading
 
 from conftest import once
 from repro.core import CommitPolicy, Database, OperationRegistry
+from repro.obs.regress import metric
 from repro.sim import MICROVAX_II, SimClock
 from repro.storage import SimFS
 
@@ -130,6 +131,19 @@ def test_e16_group_commit_throughput(benchmark, report):
                 "group_seconds": e2e_grouped,
                 "log_fsyncs": e2e_snap["log_fsyncs"],
             },
+        },
+        metrics={
+            "e16_speedup_16_threads": metric(
+                commit_bound[16][0] / commit_bound[16][1],
+                "x",
+                direction="higher",
+            ),
+            "e16_fsyncs_16_threads": metric(
+                commit_bound[16][2]["log_fsyncs"], "fsyncs"
+            ),
+            "e16_e2e_speedup_16_threads": metric(
+                e2e_immediate / e2e_grouped, "x", direction="higher"
+            ),
         },
     )
 

@@ -16,6 +16,8 @@ import random
 
 from conftest import build_sim_nameserver, fmt_ms, once
 
+from repro.obs.regress import metric
+
 PAPER_ENQUIRY_SECONDS = 0.005
 
 
@@ -49,6 +51,10 @@ def test_e1_enquiry_latency(benchmark, report):
             f"paper:    {fmt_ms(PAPER_ENQUIRY_SECONDS)} per enquiry (pure VM cost)",
             f"measured: {fmt_ms(per_enquiry)} per enquiry, {disk_reads} disk reads",
         ],
+        metrics={
+            "e1_enquiry_ms": metric(per_enquiry * 1000, "ms"),
+            "e1_enquiry_disk_reads": metric(disk_reads, "reads"),
+        },
     )
 
 
@@ -71,4 +77,9 @@ def test_e1_enquiry_flat_in_database_size(benchmark, report):
     report(
         "E1b enquiry latency vs database size (must be flat)",
         [f"{size // 1000:5d} KB database: {fmt_ms(latency)}" for size, latency in rows],
+        metrics={
+            "e1_enquiry_size_spread_ms": metric(
+                (max(latencies) - min(latencies)) * 1000, "ms"
+            ),
+        },
     )

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from conftest import build_sim_nameserver, fmt_ms, once
 
+from repro.obs.regress import metric
+
 PAPER = {
     "explore": 0.006,
     "pickle": 0.022,
@@ -71,6 +73,16 @@ def test_e2_update_breakdown(benchmark, report):
             "measured_seconds": measured,
             "pickle_fraction": pickle_fraction,
         },
+        metrics={
+            "e2_update_total_ms": metric(measured["total"] * 1000, "ms"),
+            "e2_update_pickle_ms": metric(measured["pickle"] * 1000, "ms"),
+            "e2_update_logwrite_ms": metric(
+                measured["log write"] * 1000, "ms"
+            ),
+            "e2_pickle_fraction": metric(
+                pickle_fraction, "ratio", direction="none"
+            ),
+        },
     )
 
 
@@ -92,4 +104,7 @@ def test_e2_update_is_enquiry_plus_one_disk_write(benchmark, report):
     report(
         "E2b disk writes per update",
         [f"paper: 1 disk write   measured: {write_calls} write ({pages} page)"],
+        metrics={
+            "e2_disk_writes_per_update": metric(write_calls, "writes"),
+        },
     )

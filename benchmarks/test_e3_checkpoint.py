@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from conftest import build_sim_nameserver, fmt_s, once
 
+from repro.obs.regress import metric
+
 PAPER_TOTAL_SECONDS = 60.0
 PAPER_PICKLE_SECONDS = 55.0
 PAPER_DISK_SECONDS = 5.0
@@ -44,6 +46,10 @@ def test_e3_checkpoint_one_megabyte(benchmark, report):
             f"(pickle {fmt_s(pickle_seconds)}, disk {fmt_s(disk_seconds)}) "
             f"for {payload_bytes} pickled bytes",
         ],
+        metrics={
+            "e3_checkpoint_total_s": metric(total, "s"),
+            "e3_checkpoint_bytes": metric(payload_bytes, "bytes"),
+        },
     )
 
 
@@ -68,6 +74,12 @@ def test_e3_checkpoint_scales_linearly(benchmark, report):
     report(
         "E3b checkpoint time vs database size (linear)",
         [f"{size // 1000:5d} KB: {fmt_s(seconds)}" for size, seconds in rows],
+        metrics={
+            "e3_checkpoint_250k_s": metric(t1, "s"),
+            "e3_checkpoint_scaling_4x": metric(
+                t4 / t1, "ratio", direction="none"
+            ),
+        },
     )
 
 

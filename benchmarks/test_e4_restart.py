@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from conftest import build_sim_nameserver, fmt_s, once
 from repro.nameserver import NameServer
+from repro.obs.regress import metric
 from repro.sim import MICROVAX_II
 
 PAPER_CHECKPOINT_READ_SECONDS = 20.0
@@ -70,7 +71,15 @@ def test_e4_restart_series(benchmark, report):
     lines.append(
         f"projected 10,000-entry restart: paper ~300 s, measured {fmt_s(projected_10k)}"
     )
-    report("E4 restart time vs log length (1 MB checkpoint)", lines)
+    report(
+        "E4 restart time vs log length (1 MB checkpoint)",
+        lines,
+        metrics={
+            "e4_restart_intercept_s": metric(base, "s"),
+            "e4_restart_per_entry_ms": metric(slope * 1000, "ms"),
+            "e4_restart_projected_10k_s": metric(projected_10k, "s"),
+        },
+    )
     assert 150 < projected_10k < 600  # "about 5 minutes"
 
 
@@ -89,4 +98,5 @@ def test_e4_restart_after_checkpoint_is_fast(benchmark, report):
     report(
         "E4b restart immediately after a checkpoint (empty log)",
         [f"measured {fmt_s(seconds)} — checkpoint read only, no replay"],
+        metrics={"e4_restart_empty_log_s": metric(seconds, "s")},
     )

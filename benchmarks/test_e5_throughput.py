@@ -12,6 +12,7 @@ commit records in a single log entry").
 from __future__ import annotations
 
 from conftest import build_sim_nameserver, once
+from repro.obs.regress import metric
 from repro.pickles import pickle_write
 
 PAPER_MIN_RATE = 15.0
@@ -41,6 +42,9 @@ def test_e5_sustained_update_rate(benchmark, report):
             "paper_min_updates_per_second": PAPER_MIN_RATE,
             "measured_updates_per_second": rate,
         },
+        metrics={
+            "e5_update_rate_per_s": metric(rate, "1/s", direction="higher"),
+        },
     )
 
 
@@ -61,6 +65,9 @@ def test_e5_burst_envelope(benchmark, report):
     report(
         "E5b burst envelope",
         [f"10 updates/second required, {rate:.1f} achieved"],
+        metrics={
+            "e5_burst_rate_per_s": metric(rate, "1/s", direction="higher"),
+        },
     )
 
 
@@ -99,5 +106,10 @@ def test_e5_group_commit_raises_throughput(benchmark, report):
             "individual_commit_seconds": singly,
             "grouped_commit_seconds": grouped,
             "speedup": singly / grouped,
+        },
+        metrics={
+            "e5_group_commit_speedup": metric(
+                singly / grouped, "x", direction="higher"
+            ),
         },
     )

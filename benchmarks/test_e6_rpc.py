@@ -11,6 +11,7 @@ import random
 
 from conftest import build_sim_nameserver, fmt_ms, once
 from repro.nameserver import NAMESERVER_INTERFACE, RemoteNameServer
+from repro.obs.regress import metric
 from repro.rpc import LAN_1987, LoopbackTransport, RpcServer
 
 PAPER_RTT = 0.008
@@ -56,6 +57,10 @@ def test_e6_remote_enquiry_and_update(benchmark, report):
             f"remote update:  paper {fmt_ms(PAPER_REMOTE_UPDATE)}  "
             f"measured {fmt_ms(update)}",
         ],
+        metrics={
+            "e6_remote_enquiry_ms": metric(enquiry * 1000, "ms"),
+            "e6_remote_update_ms": metric(update * 1000, "ms"),
+        },
     )
 
 
@@ -81,4 +86,7 @@ def test_e6_network_overhead_is_additive(benchmark, report):
     report(
         "E6b network overhead (remote - local)",
         [f"paper {fmt_ms(PAPER_RTT)} round trip, measured {fmt_ms(overhead)}"],
+        metrics={
+            "e6_network_overhead_ms": metric(overhead * 1000, "ms"),
+        },
     )

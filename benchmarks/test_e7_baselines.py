@@ -20,6 +20,7 @@ from repro.baselines import (
     CheckpointLogDB,
     TextFileDB,
 )
+from repro.obs.regress import metric
 from repro.sim import SimClock
 from repro.storage import SimFS
 
@@ -76,7 +77,17 @@ def test_e7_disk_writes_and_latency(benchmark, report):
         f"atomic-commit / ours latency ratio: "
         f"{atomic['latency'] / ours['latency']:.2f} (paper: ~2)"
     )
-    report("E7 update cost by technique (100-record database)", rows)
+    report(
+        "E7 update cost by technique (100-record database)",
+        rows,
+        metrics={
+            "e7_ours_update_ms": metric(ours["latency"] * 1000, "ms"),
+            "e7_ours_pages_per_update": metric(ours["pages"], "pages"),
+            "e7_atomic_vs_ours_ratio": metric(
+                atomic["latency"] / ours["latency"], "ratio", direction="none"
+            ),
+        },
+    )
 
 
 def test_e7_textfile_cost_grows_with_database(benchmark, report):

@@ -15,6 +15,7 @@ paper's acceptability criteria.
 from __future__ import annotations
 
 from conftest import build_sim_nameserver, fmt_s, once
+from repro.obs.regress import metric
 
 #: the paper's long-term envelope
 UPDATES_PER_DAY = 10_000
@@ -84,7 +85,16 @@ def test_e8_tradeoff_curve(benchmark, report):
         f"nightly checkpoint verdict: restart {fmt_s(nightly_restart)} "
         f"(paper: ~5 min), availability {100 * nightly_availability:.3f} %"
     )
-    report("E8 checkpoint-frequency trade-off (10,000 updates/day)", rows)
+    report(
+        "E8 checkpoint-frequency trade-off (10,000 updates/day)",
+        rows,
+        metrics={
+            "e8_nightly_worst_restart_s": metric(nightly_restart, "s"),
+            "e8_nightly_availability": metric(
+                nightly_availability, "fraction", direction="higher"
+            ),
+        },
+    )
 
 
 def test_e8_policies_fire_as_configured(benchmark, report):
@@ -116,4 +126,9 @@ def test_e8_policies_fire_as_configured(benchmark, report):
     report(
         "E8b automatic checkpoint policies",
         [f"{label}: {count} checkpoints" for label, count in results.items()],
+        metrics={
+            "e8_every_n_checkpoints": metric(
+                results["EveryNUpdates(50)"], "checkpoints", direction="none"
+            ),
+        },
     )

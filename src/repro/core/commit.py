@@ -113,6 +113,7 @@ class CommitCoordinator:
         stats: "DatabaseStats | None" = None,
         sync_retries: int = 0,
         fault_observer=None,
+        flight=None,
     ) -> None:
         self.writer = writer
         self.clock = clock
@@ -125,6 +126,10 @@ class CommitCoordinator:
         #: called as ``fault_observer(op, exc)`` for each media fault the
         #: leader sees (how faults reach the health metrics).
         self.fault_observer = fault_observer
+        #: optional :class:`~repro.obs.flight.FlightRecorder`: every
+        #: shared fsync (and every poisoned barrier) becomes a black-box
+        #: event, so a postmortem shows the commit pipeline's last acts.
+        self.flight = flight
         self.barrier = CommitBarrier()
 
     # -- staging and waiting ---------------------------------------------------
@@ -166,9 +171,15 @@ class CommitCoordinator:
         except BaseException as exc:
             # Nobody can prove the staged tail durable any more; poison
             # the barrier so waiters unwind instead of hanging.
+            if self.flight is not None:
+                self.flight.record(
+                    "commit_barrier_poisoned", error=type(exc).__name__
+                )
             self.barrier.fail(exc)
             raise
         self.barrier.finish(claim)
+        if self.flight is not None:
+            self.flight.record("commit_fsync", batch=batch, ticket=claim)
         if self.stats is not None:
             self.stats.record_commit_batch(batch)
 

@@ -55,6 +55,7 @@ from repro.core.policy import CheckpointPolicy, Never
 from repro.core.recovery import recover
 from repro.core.stats import DatabaseStats
 from repro.core.transactions import DEFAULT_OPERATIONS, OperationRegistry
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer, child_span, maybe_span
 from repro.core.version import (
@@ -95,6 +96,7 @@ class Database:
         tracer: Tracer | None = None,
         spare_fs: FileSystem | None = None,
         fault_retries: int = 2,
+        flight: FlightRecorder | None = None,
     ) -> None:
         """Create (and by default open) a database over ``fs``.
 
@@ -130,6 +132,13 @@ class Database:
         read-only; ``fault_retries`` bounds how many extra attempts a
         faulted log append or fsync gets before degrading (a transient
         device hiccup then costs a retry, not the server).
+
+        ``flight`` is the always-on :class:`~repro.obs.flight.\
+FlightRecorder` black box; one on the database's clock is created when
+        not supplied.  Commit fsyncs, storage faults, health transitions
+        and checkpoint switches all become ring events, and on
+        degradation the ring is dumped next to the emergency snapshot so
+        a postmortem can reconstruct the final moments.
         """
         self.fs = fs
         self.initial = initial
@@ -169,7 +178,10 @@ class Database:
         )
         self.tracer = tracer
         self.stats = DatabaseStats(self.registry)
-        self.health_monitor = HealthMonitor(self.registry)
+        self.flight = (
+            flight if flight is not None else FlightRecorder(clock=self.clock)
+        )
+        self.health_monitor = HealthMonitor(self.registry, flight=self.flight)
         self._checkpoint_failures = self.registry.counter(
             "db_checkpoint_failures_total",
             "checkpoint attempts aborted cleanly before their commit point",
@@ -227,6 +239,7 @@ class Database:
             start_seq=state.next_seq,
             clock=self.clock,
             sync_observer=self._note_fsync,
+            flight=self.flight,
         )
         self._commit = self._make_coordinator(self._log)
         self.entries_since_checkpoint = state.entries_replayed
@@ -260,6 +273,7 @@ class Database:
             pad_to_page=self.pad_log_to_page,
             clock=self.clock,
             sync_observer=self._note_fsync,
+            flight=self.flight,
         )
         self._commit = self._make_coordinator(self._log)
         self.last_recovery = None
@@ -272,6 +286,7 @@ class Database:
             self.stats,
             sync_retries=self.fault_retries,
             fault_observer=self.health_monitor.note_fault,
+            flight=self.flight,
         )
 
     def close(self) -> None:
@@ -562,6 +577,11 @@ class Database:
                 self._checkpoint_retry_pending = True
                 self._checkpoint_failures.inc()
                 self.health_monitor.note_fault("checkpoint", exc)
+                self.flight.record(
+                    "checkpoint_aborted",
+                    version=new_version,
+                    error=type(exc).__name__,
+                )
                 raise CheckpointFailed(
                     f"checkpoint to version {new_version} aborted before "
                     f"its commit point; version {self._version} remains "
@@ -580,6 +600,7 @@ class Database:
                 pad_to_page=self.pad_log_to_page,
                 clock=self.clock,
                 sync_observer=self._note_fsync,
+                flight=self.flight,
             )
             if self._commit is not None:
                 self._commit.rebind(self._log)
@@ -588,6 +609,7 @@ class Database:
             self._checkpoint_retry_pending = False
             self.last_checkpoint_time = self.clock.now()
             elapsed = watch.elapsed()
+            self.flight.record("checkpoint_switch", version=new_version)
         self.stats.record_checkpoint(elapsed, len(payload))
         self.policy.note_checkpoint(self)
         return new_version
@@ -740,11 +762,28 @@ class Database:
         The log writer is abandoned where it stands, an emergency
         checkpoint of the in-memory state is attempted to the spare
         directory, and from here on updates are refused while enquiries
-        keep being served from virtual memory.
+        keep being served from virtual memory.  The flight ring is
+        dumped as a black box *after* the snapshot — the snapshot clears
+        the spare first — so the spare holds both the preserved state
+        and the story of how we got here.
         """
         if not self.health_monitor.degrade(f"{op}: {exc}"):
             return
         self._emergency_preserve(holding_update_lock)
+        self._dump_blackbox()
+
+    def _dump_blackbox(self) -> None:
+        """Best effort: persist the flight ring next to the snapshot.
+
+        The spare may itself be absent or failing — a dump failure must
+        never mask the degradation that triggered it.
+        """
+        if self.spare_fs is None:
+            return
+        try:
+            self.flight.dump_to(self.spare_fs)
+        except Exception:
+            pass
 
     def _emergency_preserve(self, holding_update_lock: bool) -> None:
         if self.spare_fs is None:

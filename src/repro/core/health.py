@@ -36,12 +36,19 @@ Metrics (in the database's registry):
 Faulted operations are also annotated on the active trace span (a
 ``storage_fault`` event), so a trace of a degraded update shows exactly
 which disk operation failed.
+
+Every observation and transition is additionally recorded as a
+first-class event on the database's :class:`~repro.obs.flight.\
+FlightRecorder` (``storage_fault``, ``health_transition``,
+``emergency_checkpoint``), so the black box dumped on degradation
+contains the full causal story, not just aggregated counters.
 """
 
 from __future__ import annotations
 
 import threading
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import current_span
 
@@ -56,10 +63,13 @@ HEALTH_CODES = {HEALTHY: 0, DEGRADED_READ_ONLY: 1, FAILED: 2}
 class HealthMonitor:
     """Tracks one database's health state and publishes it as metrics."""
 
-    def __init__(self, registry: MetricsRegistry) -> None:
+    def __init__(
+        self, registry: MetricsRegistry, flight: FlightRecorder | None = None
+    ) -> None:
         self._lock = threading.Lock()
         self.state = HEALTHY
         self.cause: str | None = None
+        self.flight = flight
         self._gauge = registry.gauge(
             "db_health_state",
             "database health: 0 healthy, 1 degraded read-only, 2 failed",
@@ -86,12 +96,21 @@ class HealthMonitor:
     def note_fault(self, op: str, exc: BaseException) -> None:
         """Record one media fault (retried or fatal) on operation ``op``."""
         self._faults.labels(op=op).inc()
+        if self.flight is not None:
+            self.flight.record(
+                "storage_fault",
+                op=op,
+                error=type(exc).__name__,
+                detail=str(exc),
+            )
         span = current_span()
         if span is not None:
             span.event("storage_fault", op=op, error=type(exc).__name__)
 
     def note_emergency(self, outcome: str) -> None:
         self._emergency.labels(outcome=outcome).inc()
+        if self.flight is not None:
+            self.flight.record("emergency_checkpoint", outcome=outcome)
 
     # -- transitions -----------------------------------------------------------
 
@@ -108,6 +127,14 @@ class HealthMonitor:
             self.cause = cause
         self._gauge.set(HEALTH_CODES[DEGRADED_READ_ONLY])
         self._degradations.labels(reason=reason).inc()
+        if self.flight is not None:
+            self.flight.record(
+                "health_transition",
+                from_state=HEALTHY,
+                to_state=DEGRADED_READ_ONLY,
+                cause=cause,
+                reason=reason,
+            )
         return True
 
     def fail(self, cause: str) -> None:
@@ -115,9 +142,17 @@ class HealthMonitor:
         with self._lock:
             if self.state == FAILED:
                 return
+            previous = self.state
             self.state = FAILED
             self.cause = cause
         self._gauge.set(HEALTH_CODES[FAILED])
+        if self.flight is not None:
+            self.flight.record(
+                "health_transition",
+                from_state=previous,
+                to_state=FAILED,
+                cause=cause,
+            )
 
     # -- views -----------------------------------------------------------------
 

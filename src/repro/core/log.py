@@ -103,6 +103,7 @@ class LogWriter:
         start_offset: int | None = None,
         clock=None,
         sync_observer=None,
+        flight=None,
     ) -> None:
         self.fs = fs
         self.name = name
@@ -119,6 +120,11 @@ class LogWriter:
         #: writer knowing about metrics.
         self.clock = clock
         self.sync_observer = sync_observer
+        #: optional :class:`~repro.obs.flight.FlightRecorder`: tail
+        #: repairs after a failed append are worth remembering — the
+        #: black box then shows whether the log was cut back cleanly or
+        #: left damaged before a degradation.
+        self.flight = flight
         self._unsynced_bytes = 0
         #: True when a failed append left bytes we could not cut back off
         #: the file.  Appending after damage is unsafe: strict recovery
@@ -197,6 +203,15 @@ class LogWriter:
         except StorageError:
             self._resync_offset_from_file()
             self.tail_damaged = True
+            if self.flight is not None:
+                self.flight.record(
+                    "log_tail_damaged", file=self.name, offset=before
+                )
+        else:
+            if self.flight is not None:
+                self.flight.record(
+                    "log_tail_repaired", file=self.name, offset=before
+                )
 
     def _resync_offset_from_file(self) -> None:
         """Re-learn the true end of file after a failed append."""

@@ -32,9 +32,12 @@ from repro.rpc import (
 class ManagementService:
     """The server-side implementation, wrapping a NameServer/Replica."""
 
-    def __init__(self, server: NameServer, slow_log=None) -> None:
+    def __init__(self, server: NameServer, slow_log=None, profiler=None) -> None:
         self.server = server
         self.slow_log = slow_log
+        #: optional :class:`~repro.obs.profiler.SamplingProfiler`: when
+        #: attached, :meth:`profile` serves on-demand flame stacks.
+        self.profiler = profiler
 
     # -- status -----------------------------------------------------------------
 
@@ -132,6 +135,27 @@ class ManagementService:
             return []
         return self.slow_log.entries()
 
+    def profile(self, seconds: float) -> str:
+        """Collapsed flame stacks for operators (``""`` = no profiler).
+
+        With a continuously-running profiler attached, ``seconds <= 0``
+        returns what it has accumulated so far; a positive ``seconds``
+        takes a fresh inline burst of samples before answering (also the
+        only mode that works when the profiler thread is not running).
+        """
+        if self.profiler is None:
+            return ""
+        if seconds > 0:
+            self.profiler.sample_for(seconds)
+        return self.profiler.collapsed()
+
+    def flight_events(self) -> list:
+        """The node's retained flight-recorder events, oldest first."""
+        flight = getattr(self.server.db, "flight", None)
+        if flight is None:
+            return []
+        return flight.snapshot()
+
 
 MANAGEMENT_INTERFACE = Interface("Management", version=1)
 MANAGEMENT_INTERFACE.method("status", returns=Pickled())
@@ -156,6 +180,10 @@ MANAGEMENT_INTERFACE.method(
     "trace_spans", params=[("trace_id", Str)], returns=Pickled()
 )
 MANAGEMENT_INTERFACE.method("slow_ops", returns=Pickled())
+MANAGEMENT_INTERFACE.method(
+    "profile", params=[("seconds", Float)], returns=Str
+)
+MANAGEMENT_INTERFACE.method("flight_events", returns=Pickled())
 
 
 class RemoteManagement:
@@ -181,6 +209,8 @@ class RemoteManagement:
         self.last_trace_id = proxy.last_trace_id
         self.trace_spans = proxy.trace_spans
         self.slow_ops = proxy.slow_ops
+        self.profile = proxy.profile
+        self.flight_events = proxy.flight_events
 
     def close(self) -> None:
         self._client.close()

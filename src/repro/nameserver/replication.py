@@ -322,6 +322,7 @@ class ResilientReplicaGroup:
         reset_timeout_seconds: float = 30.0,
         track_staleness: bool = True,
         registry: MetricsRegistry | None = None,
+        flight=None,
     ) -> None:
         if not peers:
             raise ValueError("a replica group needs at least one peer")
@@ -352,6 +353,9 @@ class ResilientReplicaGroup:
         self.registry = registry if registry is not None else MetricsRegistry(
             clock=self.clock
         )
+        #: optional :class:`~repro.obs.flight.FlightRecorder`: breaker
+        #: flips and failovers join the shared black-box timeline.
+        self.flight = flight
         self._failovers = self.registry.counter(
             "replication_failovers_total",
             "Reads or updates served by a non-preferred replica.",
@@ -385,6 +389,10 @@ class ResilientReplicaGroup:
             peer_id: self._breaker_opens.labels(peer_id)
             for peer_id in self.peer_ids
         }
+        self._breaker_last_state = {
+            peer_id: self.breakers[peer_id].state
+            for peer_id in self.peer_ids
+        }
 
     @property
     def failovers(self) -> int:
@@ -409,9 +417,18 @@ class ResilientReplicaGroup:
         return allowed
 
     def _note_breaker(self, peer_id: str) -> None:
-        self._breaker_state_series[peer_id].set(
-            self._STATE_CODES[self.breakers[peer_id].state]
-        )
+        state = self.breakers[peer_id].state
+        self._breaker_state_series[peer_id].set(self._STATE_CODES[state])
+        previous = self._breaker_last_state[peer_id]
+        if state != previous:
+            self._breaker_last_state[peer_id] = state
+            if self.flight is not None:
+                self.flight.record(
+                    "breaker_transition",
+                    peer=peer_id,
+                    from_state=previous,
+                    to_state=state,
+                )
 
     def _success(self, peer_id: str) -> None:
         self.breakers[peer_id].record_success()
@@ -472,6 +489,13 @@ class ResilientReplicaGroup:
             degraded = index != 0
             if degraded:
                 self._failovers.inc()
+                if self.flight is not None:
+                    self.flight.record(
+                        "replica_failover",
+                        kind="read",
+                        method=method,
+                        served_by=peer_id,
+                    )
             return ReadResult(
                 value=value,
                 served_by=peer_id,
@@ -534,6 +558,13 @@ class ResilientReplicaGroup:
             self._success(peer_id)
             if index != 0:
                 self._failovers.inc()
+                if self.flight is not None:
+                    self.flight.record(
+                        "replica_failover",
+                        kind="update",
+                        method=method,
+                        served_by=peer_id,
+                    )
             return peer_id
         raise AllPeersUnavailable(
             f"no replica accepted {method!r}: "

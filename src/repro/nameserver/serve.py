@@ -15,6 +15,7 @@ blocks until interrupted.
 from __future__ import annotations
 
 import argparse
+import signal
 import threading
 import sys
 from dataclasses import dataclass, field
@@ -25,7 +26,14 @@ from repro.nameserver.client import RemoteNameServer
 from repro.nameserver.management import MANAGEMENT_INTERFACE, ManagementService
 from repro.nameserver.replication import Replica
 from repro.nameserver.server import NAMESERVER_INTERFACE
-from repro.obs import MetricsExporter, MetricsRegistry, SlowOpLog, Tracer
+from repro.obs import (
+    FlightRecorder,
+    MetricsExporter,
+    MetricsRegistry,
+    SamplingProfiler,
+    SlowOpLog,
+    Tracer,
+)
 from repro.rpc import RpcServer, TcpServerThread, TcpTransport
 from repro.storage.localfs import LocalFS
 
@@ -51,6 +59,10 @@ class NodeOptions:
     spare_directory: str | None = None
     #: extra attempts a faulted log append/fsync gets before degrading
     fault_retries: int = 2
+    #: opt-in continuous profiling: sampling period in seconds for the
+    #: background stack sampler (None disables; flame stacks then serve
+    #: at ``/profile`` and through the ``profile`` management RPC)
+    profile_interval: float | None = None
 
 
 class Node:
@@ -63,6 +75,12 @@ class Node:
         self.registry = MetricsRegistry()
         self.slow_log = SlowOpLog(threshold_seconds=options.slow_op_threshold)
         self.tracer = Tracer(slow_log=self.slow_log)
+        self.flight = FlightRecorder()
+        self.profiler: SamplingProfiler | None = None
+        if options.profile_interval is not None:
+            self.profiler = SamplingProfiler(
+                interval_seconds=options.profile_interval
+            ).start()
         spare_fs = (
             LocalFS(options.spare_directory)
             if options.spare_directory is not None
@@ -75,6 +93,7 @@ class Node:
             tracer=self.tracer,
             spare_fs=spare_fs,
             fault_retries=options.fault_retries,
+            flight=self.flight,
         )
         self._peer_transports: list[TcpTransport] = []
         self._connect_peers()
@@ -83,7 +102,9 @@ class Node:
         self.rpc.export(NAMESERVER_INTERFACE, self.replica)
         self.rpc.export(
             MANAGEMENT_INTERFACE,
-            ManagementService(self.replica, slow_log=self.slow_log),
+            ManagementService(
+                self.replica, slow_log=self.slow_log, profiler=self.profiler
+            ),
         )
         self.listener = TcpServerThread(
             self.rpc, host=options.host, port=options.port
@@ -97,6 +118,7 @@ class Node:
                 slow_log=self.slow_log,
                 host=options.host,
                 port=options.metrics_port,
+                profiler=self.profiler,
             ).start()
 
         self._stop = threading.Event()
@@ -162,10 +184,28 @@ class Node:
                 continue
         return moved
 
+    def dump_blackbox(self) -> str:
+        """Write the flight ring as a black box; returns its location.
+
+        Preferred target is the spare directory (next to any emergency
+        snapshot); without one the data directory itself receives the
+        dump.  Called on SIGTERM so an externally-killed node still
+        leaves its final moments behind for ``tools/postmortem.py``.
+        """
+        target = (
+            self.options.spare_directory
+            if self.options.spare_directory is not None
+            else self.options.directory
+        )
+        name = self.flight.dump_to(LocalFS(target))
+        return f"{target}/{name}"
+
     def shutdown(self) -> None:
         self._stop.set()
         if self.metrics_exporter is not None:
             self.metrics_exporter.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
         if self.checkpoint_daemon is not None:
             self.checkpoint_daemon.stop()
         if self._sync_thread is not None:
@@ -238,6 +278,11 @@ def main(argv: list[str] | None = None) -> int:
         help="extra attempts a faulted log append/fsync gets before the "
         "database degrades",
     )
+    parser.add_argument(
+        "--profile-interval", type=float, default=None, metavar="SECONDS",
+        help="enable continuous profiling with this sampling period "
+        "(flame stacks at /profile and via the profile management RPC)",
+    )
     args = parser.parse_args(argv)
 
     node = build_node(
@@ -254,6 +299,7 @@ def main(argv: list[str] | None = None) -> int:
             slow_op_threshold=args.slow_op_threshold,
             spare_directory=args.spare_dir,
             fault_retries=args.fault_retries,
+            profile_interval=args.profile_interval,
         )
     )
     extra = ""
@@ -264,11 +310,20 @@ def main(argv: list[str] | None = None) -> int:
         f"{node.replica.count()} names recovered{extra}",
         flush=True,
     )
+    # SIGTERM (the orchestrator's kill) unblocks the wait below so the
+    # node can dump its black box and shut down cleanly, same as Ctrl-C.
+    terminated = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: terminated.set())
     try:
-        threading.Event().wait()  # serve until interrupted
+        terminated.wait()  # serve until interrupted
     except KeyboardInterrupt:
         pass
     finally:
+        try:
+            where = node.dump_blackbox()
+            print(f"flight recorder dumped to {where}", flush=True)
+        except Exception:
+            pass  # dumping must never block shutdown
         node.shutdown()
     return 0
 

@@ -1,10 +1,23 @@
-"""Unified observability: metrics registry, cross-RPC tracing, exporters.
+"""Unified observability: metrics, tracing, exporters, and memory.
 
 See :mod:`repro.obs.metrics`, :mod:`repro.obs.tracing`, and
-:mod:`repro.obs.export` for the three pillars; ``docs/OPERATIONS.md``
-has the operator-facing metric catalogue and trace-header format.
+:mod:`repro.obs.export` for the three original pillars;
+:mod:`repro.obs.flight` (the always-on flight recorder / black box),
+:mod:`repro.obs.profiler` (continuous stack sampling) and
+:mod:`repro.obs.regress` (the benchmark-regression sentry) extend them
+with memory of what happened and how fast it used to be.
+``docs/OPERATIONS.md`` has the operator-facing metric catalogue,
+trace-header format and the postmortem runbook.
 """
 
+from repro.obs.flight import (
+    BLACKBOX_FILE,
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    load_blackbox,
+)
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.regress import metric
 from repro.obs.export import (
     MetricsExporter,
     SlowOpLog,
@@ -35,13 +48,17 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "BLACKBOX_FILE",
     "DEFAULT_BUCKETS",
+    "FLIGHT_FORMAT",
+    "FlightRecorder",
     "SIZE_BUCKETS",
     "MetricError",
     "MetricFamily",
     "MetricsExporter",
     "MetricsRegistry",
     "NULL_SPAN",
+    "SamplingProfiler",
     "SlowOpLog",
     "Span",
     "SpanContext",
@@ -51,8 +68,10 @@ __all__ = [
     "current_span",
     "extract",
     "format_tree",
+    "load_blackbox",
     "maybe_span",
     "merge_trees",
+    "metric",
     "span_names",
     "to_json",
     "to_prometheus",

@@ -160,6 +160,12 @@ class _MetricsHandler(BaseHTTPRequestHandler):
         elif path == "/slowops.json" and exporter.slow_log is not None:
             body = json.dumps(exporter.slow_log.entries()).encode()
             content_type = "application/json"
+        elif path == "/profile" and exporter.profiler is not None:
+            body = (exporter.profiler.collapsed() + "\n").encode()
+            content_type = "text/plain; charset=utf-8"
+        elif path == "/profile.json" and exporter.profiler is not None:
+            body = json.dumps(exporter.profiler.snapshot()).encode()
+            content_type = "application/json"
         else:
             self.send_error(404, "unknown path")
             return
@@ -178,8 +184,15 @@ class MetricsExporter:
 
     Routes: ``/metrics`` (Prometheus text), ``/metrics.json``,
     ``/trace`` (latest trace rendered), ``/trace.json`` (span dicts),
-    ``/slowops.json``.  Binds ``host:port`` (port 0 picks a free port —
-    read it back from :attr:`port`).
+    ``/slowops.json``, ``/profile`` (collapsed flame stacks, when a
+    profiler is attached) and ``/profile.json``.  Binds ``host:port``
+    (port 0 picks a free port — read it back from :attr:`port`).
+
+    The lifecycle is deterministic and reusable: the socket is bound at
+    construction (so the port is known before :meth:`start`),
+    :meth:`stop` joins the server thread and closes the socket — leaking
+    neither — and a stopped exporter can :meth:`start` again, rebinding
+    the *same* port it served before.
     """
 
     def __init__(
@@ -189,39 +202,60 @@ class MetricsExporter:
         slow_log: SlowOpLog | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        profiler=None,
     ) -> None:
         self.registry = registry
         self.tracer = tracer
         self.slow_log = slow_log
-        self._server = ThreadingHTTPServer((host, port), _MetricsHandler)
-        self._server.daemon_threads = True
-        self._server.exporter = self  # type: ignore[attr-defined]
+        self.profiler = profiler
+        self._requested = (host, port)
+        self._server: ThreadingHTTPServer | None = self._bind((host, port))
+        self._bound = self._server.server_address[:2]
         self._thread: threading.Thread | None = None
+
+    def _bind(self, address: tuple[str, int]) -> ThreadingHTTPServer:
+        server = ThreadingHTTPServer(address, _MetricsHandler)
+        server.daemon_threads = True
+        server.exporter = self  # type: ignore[attr-defined]
+        return server
 
     @property
     def host(self) -> str:
-        return self._server.server_address[0]
+        return self._bound[0]
 
     @property
     def port(self) -> int:
-        return self._server.server_address[1]
+        return self._bound[1]
 
     def start(self) -> "MetricsExporter":
-        if self._thread is None:
-            self._thread = threading.Thread(
-                target=self._server.serve_forever,
-                name="obs-metrics-http",
-                daemon=True,
-            )
-            self._thread.start()
+        if self._thread is not None:
+            return self
+        if self._server is None:
+            # Restart after stop(): rebind the port we served before, so
+            # scrape configs pointing at this exporter stay valid.
+            self._server = self._bind(self._bound)
+            self._bound = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="obs-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
         return self
 
     def stop(self) -> None:
-        self._server.shutdown()
+        """Stop serving: join the thread, close the socket (idempotent).
+
+        Safe whether or not :meth:`start` ever ran; after it returns no
+        exporter thread is alive and the port is released.
+        """
         if self._thread is not None:
+            self._server.shutdown()
             self._thread.join(timeout=5.0)
             self._thread = None
-        self._server.server_close()
+        if self._server is not None:
+            self._server.server_close()
+            self._server = None
 
     def __enter__(self) -> "MetricsExporter":
         return self.start()

@@ -61,6 +61,7 @@ class RpcClient:
         rng: random.Random | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        flight=None,
     ) -> None:
         self.interface = interface
         self.transport = transport
@@ -72,6 +73,11 @@ class RpcClient:
             registry = MetricsRegistry(clock=self.clock)
         self.registry = registry
         self.tracer = tracer
+        #: optional :class:`~repro.obs.flight.FlightRecorder`: every
+        #: retransmission and terminal call failure becomes a black-box
+        #: event, so a postmortem shows the network's misbehaviour in
+        #: the same timeline as the server's.
+        self.flight = flight
         self.stats = RpcClientStats(registry)
         self._method_seconds = registry.histogram(
             "rpc_client_method_seconds",
@@ -140,6 +146,15 @@ class RpcClient:
                     self.stats.record_failure(
                         maybe_executed=maybe_delivered, deadline=expired
                     )
+                    if self.flight is not None:
+                        self.flight.record(
+                            "rpc_call_failed",
+                            method=method,
+                            seq=seq,
+                            attempts=attempts,
+                            maybe_executed=maybe_delivered,
+                            deadline_expired=expired,
+                        )
                     if maybe_delivered:
                         raise CallMaybeExecuted(method, seq, attempts) from exc
                     if expired:
@@ -153,6 +168,15 @@ class RpcClient:
                     # Never sleep past the deadline just to fail later.
                     delay = min(delay, max(0.0, deadline - self.clock.now()))
                 self.stats.record_backoff(delay)
+                if self.flight is not None:
+                    self.flight.record(
+                        "rpc_retry",
+                        method=method,
+                        seq=seq,
+                        attempt=attempts,
+                        delay=delay,
+                        error=type(exc).__name__,
+                    )
                 if delay > 0:
                     self.clock.sleep(delay)
 

@@ -28,7 +28,14 @@ running — and model-checks the database's health state machine:
      checked with fsck — repaired with
      :func:`~repro.tools.fsck.repair_directory` if not clean — and
      restarted: the recovered state must contain every acknowledged
-     update (no acked update is ever lost).
+     update (no acked update is ever lost);
+   * every degraded run must also leave a *black box*: the shared
+     flight recorder (fed by the injector, the health monitor and the
+     commit pipeline) is dumped to the spare next to the emergency
+     snapshot, must survive the spare's crash, must contain the
+     injected fault, the degradation transition and the emergency-
+     checkpoint event, and must render through
+     :mod:`repro.tools.postmortem` without error.
 
 A capacity-budget scenario (:func:`run_capacity`) covers the organic
 disk-full path as well: a :class:`SimFS` with a finite page budget fills
@@ -51,9 +58,11 @@ from repro.core import (
     HEALTHY,
     OperationRegistry,
 )
+from repro.obs.flight import BLACKBOX_FILE, FlightRecorder, load_blackbox
 from repro.sim.clock import SimClock
 from repro.storage import FaultyFS, MediaFaultInjector, SimFS
 from repro.tools.fsck import fsck_directory, repair_directory
+from repro.tools.postmortem import build_timeline, render_timeline, summarize
 
 #: A scripted step: ("put", key, value) | ("incr", key, by) | ("checkpoint",)
 Step = tuple
@@ -205,6 +214,10 @@ class IoFaultSweep:
         clock = SimClock()
         prime = SimFS(clock=clock)
         spare = SimFS(clock=clock)
+        # One recorder shared by the injector and the database: the
+        # injected fault and its consequences land in one timeline.
+        flight = FlightRecorder(clock=clock)
+        injector.flight = flight
         db = Database(
             FaultyFS(prime, injector),
             initial=dict,
@@ -213,6 +226,7 @@ class IoFaultSweep:
             durability=durability,
             spare_fs=spare,
             fault_retries=self.fault_retries,
+            flight=flight,
         )
         # The database opened cleanly; only *runtime* faults from here on.
         injector.arm()
@@ -351,8 +365,10 @@ class IoFaultSweep:
         except DatabaseDegraded:
             pass
         # The emergency snapshot on the spare must be durable and must
-        # recover to exactly the in-memory state at degrade time.
+        # recover to exactly the in-memory state at degrade time.  The
+        # black box dumped next to it must survive the crash too.
         spare.crash()
+        self._judge_blackbox(db, spare, failures)
         try:
             restored = Database(
                 spare, initial=dict, operations=sweep_operations()
@@ -366,6 +382,58 @@ class IoFaultSweep:
                 f"emergency snapshot recovered {recovered!r}, in-memory "
                 f"state was {memory!r}"
             )
+
+    #: flight-event kinds every degraded run's black box must contain
+    REQUIRED_BLACKBOX_KINDS = (
+        "fault_injected",
+        "storage_fault",
+        "health_transition",
+        "emergency_checkpoint",
+    )
+
+    def _judge_blackbox(
+        self, db: Database, spare: SimFS, failures: list[str]
+    ) -> None:
+        """A degraded run must leave a renderable, causal black box."""
+        live_kinds = set(db.flight.kinds())
+        for kind in self.REQUIRED_BLACKBOX_KINDS:
+            if kind not in live_kinds:
+                failures.append(
+                    f"flight recorder has no {kind!r} event after a "
+                    f"persistent fault (kinds: {sorted(live_kinds)})"
+                )
+        try:
+            dump = load_blackbox(spare.read(BLACKBOX_FILE))
+        except Exception as exc:  # noqa: BLE001
+            failures.append(
+                f"black box missing or invalid on the crashed spare: "
+                f"{exc!r}"
+            )
+            return
+        kinds = {event.get("kind") for event in dump["events"]}
+        for kind in self.REQUIRED_BLACKBOX_KINDS:
+            if kind not in kinds:
+                failures.append(
+                    f"dumped black box lacks the {kind!r} event "
+                    f"(kinds: {sorted(kinds)})"
+                )
+        transitions = [
+            e for e in dump["events"]
+            if e.get("kind") == "health_transition"
+            and (e.get("fields") or {}).get("to_state") == DEGRADED_READ_ONLY
+        ]
+        if not transitions:
+            failures.append(
+                "dumped black box has no transition into "
+                "degraded_read_only"
+            )
+        try:
+            rendered = render_timeline(build_timeline(dump))
+            summary = summarize(dump)
+            if not rendered or not summary:
+                failures.append("postmortem rendered an empty timeline")
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"postmortem failed to render the dump: {exc!r}")
 
     def _judge_restart(
         self,

@@ -150,6 +150,7 @@ class MediaFaultInjector:
         persistent: bool = False,
         error: str = "hard",
         ops: frozenset[str] | None = None,
+        flight=None,
     ) -> None:
         if fault_at_event is not None and fault_at_event < 1:
             raise ValueError("fault_at_event counts from 1")
@@ -166,6 +167,10 @@ class MediaFaultInjector:
         self.ops = ops
         self.armed = False
         self.events_seen = 0
+        #: optional :class:`~repro.obs.flight.FlightRecorder`: sharing
+        #: the database's recorder puts each injection into the same
+        #: black-box timeline as the degradation it provokes.
+        self.flight = flight
         #: ``(event_number, op, name)`` for every fault actually raised.
         self.injected: list[tuple[int, str, str]] = []
         self._tripped = False
@@ -196,6 +201,15 @@ class MediaFaultInjector:
                 return
             self._tripped = True
             self.injected.append((event, op, name))
+        if self.flight is not None:
+            self.flight.record(
+                "fault_injected",
+                event=event,
+                op=op,
+                file=name,
+                error=self.error,
+                persistent=self.persistent,
+            )
         raise self.make_error(op, name, event)
 
     def make_error(self, op: str, name: str, event: int) -> Exception:

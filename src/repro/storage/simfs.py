@@ -307,9 +307,18 @@ class SimFS(FileSystem):
         """
         with self._lock:
             self.crashes += 1
-            self._files = {
-                name: _File(inode, None) for name, inode in self._durable.items()
-            }
+            # One volatile view per inode: after a rename made durable by
+            # fsync(new-name) but not fsync_dir, the old directory entry
+            # may survive too, and both names must then alias the same
+            # file — a write through one is visible through the other.
+            views: dict[int, _File] = {}
+            self._files = {}
+            for name, inode in self._durable.items():
+                f = views.get(id(inode))
+                if f is None:
+                    f = _File(inode, None)
+                    views[id(inode)] = f
+                self._files[name] = f
             self._collect_unreferenced()
 
     def corrupt(self, name: str, offset: int) -> None:

@@ -1,0 +1,197 @@
+"""Postmortem: reconstruct a merged timeline from a black-box dump.
+
+When a node degrades (or is SIGTERMed) it leaves a flight-recorder dump
+— ``blackbox.json`` next to the spare-dir emergency snapshot, or in the
+data directory (see :mod:`repro.nameserver.serve`).  This tool renders
+that dump as a human-readable timeline, and can *merge* it with the two
+other memories a node exports: trace spans (``/trace.json`` or the
+``trace_spans`` management RPC, saved to a file) and the slow-op log
+(``/slowops.json``).  All three carry times from the same node clock,
+so sorting their entries together reconstructs the causal story::
+
+    python -m repro.tools.postmortem /spare/blackbox.json \
+        --trace trace.json --slowops slowops.json
+
+Exit status: 0 on a rendered timeline, 2 on an unreadable or invalid
+dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.flight import load_blackbox
+
+#: kinds whose appearance usually *explains* the dump; highlighted first
+#: in the summary so an operator reads the punchline before the log.
+NOTEWORTHY_KINDS = (
+    "fault_injected",
+    "storage_fault",
+    "health_transition",
+    "emergency_checkpoint",
+    "checkpoint_aborted",
+    "log_tail_damaged",
+    "commit_barrier_poisoned",
+    "rpc_call_failed",
+)
+
+
+def build_timeline(
+    dump: dict,
+    spans: list[dict] | None = None,
+    slow_ops: list[dict] | None = None,
+) -> list[dict]:
+    """Merge flight events, trace spans and slow ops into one timeline.
+
+    Every item becomes ``{"time", "source", "what", "detail"}``; the
+    list is sorted by time (stable, so equal-time flight events keep
+    their ring order).  Spans and slow ops contribute their *start*
+    time, with the duration in the detail.
+    """
+    items: list[dict] = []
+    for event in dump.get("events", []):
+        fields = event.get("fields") or {}
+        detail = " ".join(
+            f"{key}={value!r}" for key, value in sorted(fields.items())
+        )
+        items.append(
+            {
+                "time": float(event.get("time", 0.0)),
+                "source": "flight",
+                "what": str(event.get("kind", "?")),
+                "detail": detail,
+            }
+        )
+    for span in spans or []:
+        attrs = span.get("attrs") or {}
+        extra = " ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
+        duration = span.get("duration")
+        if duration is not None:
+            extra = f"{duration * 1000:.3f}ms {extra}".rstrip()
+        items.append(
+            {
+                "time": float(span.get("start", 0.0)),
+                "source": "trace",
+                "what": str(span.get("name", "?")),
+                "detail": extra,
+            }
+        )
+    for entry in slow_ops or []:
+        attrs = entry.get("attrs") or {}
+        extra = " ".join(f"{k}={v!r}" for k, v in sorted(attrs.items()))
+        duration = entry.get("duration")
+        if duration is not None:
+            extra = f"{duration * 1000:.3f}ms {extra}".rstrip()
+        items.append(
+            {
+                "time": float(entry.get("start", 0.0)),
+                "source": "slowop",
+                "what": str(entry.get("name", "?")),
+                "detail": extra,
+            }
+        )
+    items.sort(key=lambda item: item["time"])
+    return items
+
+
+def summarize(dump: dict) -> list[str]:
+    """The dump's headline: counts per kind, noteworthy kinds first."""
+    counts: dict[str, int] = {}
+    for event in dump.get("events", []):
+        kind = str(event.get("kind", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    lines = [
+        f"format {dump.get('format')}, "
+        f"{len(dump.get('events', []))} events retained "
+        f"({dump.get('recorded', '?')} recorded, "
+        f"{dump.get('dropped', 0)} dropped), "
+        f"dumped at t={dump.get('dumped_at', '?')}"
+    ]
+    noteworthy = [k for k in NOTEWORTHY_KINDS if k in counts]
+    if noteworthy:
+        lines.append(
+            "noteworthy: "
+            + ", ".join(f"{kind}×{counts[kind]}" for kind in noteworthy)
+        )
+    routine = sorted(set(counts) - set(noteworthy))
+    if routine:
+        lines.append(
+            "routine:    "
+            + ", ".join(f"{kind}×{counts[kind]}" for kind in routine)
+        )
+    return lines
+
+
+def render_timeline(items: list[dict]) -> str:
+    """One line per item: time, source, what, detail."""
+    if not items:
+        return "(empty timeline)"
+    lines = []
+    for item in items:
+        lines.append(
+            f"t={item['time']:<14g} {item['source']:<7} "
+            f"{item['what']:<26} {item['detail']}".rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _load_json_file(path: str) -> object:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.postmortem",
+        description="Render a flight-recorder black box (optionally "
+        "merged with trace spans and the slow-op log) as a timeline.",
+    )
+    parser.add_argument("blackbox", help="path to blackbox.json")
+    parser.add_argument(
+        "--trace", default=None, metavar="SPANS_JSON",
+        help="span dicts saved from /trace.json or the trace_spans RPC",
+    )
+    parser.add_argument(
+        "--slowops", default=None, metavar="SLOWOPS_JSON",
+        help="entries saved from /slowops.json or the slow_ops RPC",
+    )
+    parser.add_argument(
+        "--kind", default=None,
+        help="show only flight events of this kind",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.blackbox, "rb") as f:
+            dump = load_blackbox(f.read())
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"postmortem: cannot read black box: {exc}", file=sys.stderr)
+        return 2
+
+    spans = slow_ops = None
+    try:
+        if args.trace is not None:
+            spans = _load_json_file(args.trace)
+        if args.slowops is not None:
+            slow_ops = _load_json_file(args.slowops)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"postmortem: cannot read sidecar: {exc}", file=sys.stderr)
+        return 2
+
+    if args.kind is not None:
+        dump = dict(dump)
+        dump["events"] = [
+            e for e in dump.get("events", []) if e.get("kind") == args.kind
+        ]
+
+    for line in summarize(dump):
+        print(line)
+    print()
+    print(render_timeline(build_timeline(dump, spans, slow_ops)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

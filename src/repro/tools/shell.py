@@ -99,7 +99,8 @@ class Shell:
             "commands: ls [path] | tree [path] | get <path> | "
             "set <path> <value> | rm <path> | rmtree <path> | "
             "find <pattern> | count | health | checkpoint | metrics | "
-            "trace [id] | slowops | quit"
+            "trace [id] | slowops | profile [seconds] | flight [kind] | "
+            "quit"
         )
 
     def do_ls(self, args: list[str]) -> None:
@@ -200,6 +201,50 @@ class Shell:
             self._print(
                 f"{entry['duration'] * 1000:10.3f}ms  "
                 f"{entry['name']:<32} {extra}".rstrip()
+            )
+
+    def do_profile(self, args: list[str]) -> None:
+        """``profile [seconds]``: flame stacks from the node's profiler.
+
+        Without an argument, shows whatever the continuous sampler has
+        accumulated; ``profile 0.5`` takes a fresh half-second burst.
+        """
+        if self.management is None:
+            self._print("profiling is not available over this connection")
+            return
+        try:
+            seconds = float(args[0]) if args else 0.0
+        except ValueError:
+            self._print("usage: profile [seconds]")
+            return
+        stacks = self.management.profile(seconds)
+        if not stacks:
+            self._print(
+                "no profiler attached (start the node with "
+                "--profile-interval)"
+            )
+            return
+        self._print(stacks.rstrip("\n"))
+
+    def do_flight(self, args: list[str]) -> None:
+        """``flight [kind]``: the node's flight-recorder events."""
+        if self.management is None:
+            self._print(
+                "the flight recorder is not available over this connection"
+            )
+            return
+        events = self.management.flight_events()
+        if args:
+            events = [e for e in events if e.get("kind") == args[0]]
+        if not events:
+            self._print("(no flight events recorded)")
+            return
+        for event in events:
+            fields = event.get("fields") or {}
+            extra = " ".join(f"{k}={v!r}" for k, v in sorted(fields.items()))
+            self._print(
+                f"#{event['seq']:<5} t={event['time']:<12g} "
+                f"{event['kind']:<24} {extra}".rstrip()
             )
 
     def do_quit(self, args: list[str]) -> None:

@@ -1,0 +1,76 @@
+"""Exporter lifecycle: repeated start/stop cycles leak nothing."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+from repro.obs.export import MetricsExporter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SamplingProfiler
+
+
+def _scrape(exporter: MetricsExporter, path: str) -> bytes:
+    url = f"http://{exporter.host}:{exporter.port}{path}"
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read()
+
+
+class TestLifecycle:
+    def test_repeated_cycles_keep_port_and_leak_no_threads(self):
+        registry = MetricsRegistry()
+        registry.counter("ticks_total").inc()
+        exporter = MetricsExporter(registry)
+        port = exporter.port
+        baseline_threads = threading.active_count()
+
+        for _ in range(5):
+            exporter.start()
+            assert exporter.port == port
+            assert b"ticks_total" in _scrape(exporter, "/metrics")
+            exporter.stop()
+            # The serving thread is joined, not abandoned.
+            assert not any(
+                t.name == "obs-metrics-http" for t in threading.enumerate()
+            )
+            # The port is actually released: we can bind it ourselves.
+            probe = socket.socket()
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                probe.bind((exporter.host, port))
+            finally:
+                probe.close()
+
+        assert threading.active_count() <= baseline_threads + 1
+
+    def test_stop_without_start_is_safe_and_releases_the_socket(self):
+        exporter = MetricsExporter(MetricsRegistry())
+        exporter.stop()
+        exporter.stop()  # idempotent
+        probe = socket.socket()
+        try:
+            probe.bind((exporter.host, exporter.port))
+        finally:
+            probe.close()
+
+    def test_profile_routes_served_when_profiler_attached(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        exporter = MetricsExporter(MetricsRegistry(), profiler=profiler)
+        with exporter:
+            text = _scrape(exporter, "/profile").decode()
+            assert text.strip()  # collapsed flame stacks
+            snap = json.loads(_scrape(exporter, "/profile.json"))
+            assert snap["samples"] == 1
+        # Without a profiler the routes 404 rather than crash the server.
+        bare = MetricsExporter(MetricsRegistry())
+        with bare:
+            try:
+                _scrape(bare, "/profile")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+            else:  # pragma: no cover - the request must not succeed
+                raise AssertionError("expected 404 without a profiler")

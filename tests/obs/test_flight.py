@@ -1,0 +1,164 @@
+"""The flight recorder: ring semantics, dumps, and thread safety."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.flight import (
+    BLACKBOX_FILE,
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    load_blackbox,
+)
+from repro.sim.clock import SimClock
+from repro.storage import SimFS
+
+
+class TestRing:
+    def test_records_stamped_events_in_order(self):
+        clock = SimClock()
+        flight = FlightRecorder(clock=clock)
+        flight.record("a", x=1)
+        clock.advance(2.5)
+        flight.record("b", y="two")
+        events = flight.snapshot()
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert [e["seq"] for e in events] == [1, 2]
+        assert events[0]["time"] == 0.0
+        assert events[1]["time"] == 2.5
+        assert events[1]["fields"] == {"y": "two"}
+        assert events[0]["thread"] == threading.current_thread().name
+
+    def test_capacity_bounds_the_ring_and_counts_drops(self):
+        flight = FlightRecorder(clock=SimClock(), capacity=3)
+        for i in range(10):
+            flight.record("tick", i=i)
+        events = flight.snapshot()
+        assert len(events) == 3
+        assert [e["fields"]["i"] for e in events] == [7, 8, 9]
+        assert flight.dropped == 7
+        assert flight.recorded == 10
+        # Sequence numbers are never reused across drops.
+        assert [e["seq"] for e in events] == [8, 9, 10]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_non_scalar_fields_coerced_to_repr(self):
+        flight = FlightRecorder(clock=SimClock())
+        flight.record("odd", err=ValueError("boom"), ok=1, none=None)
+        fields = flight.snapshot()[0]["fields"]
+        assert fields["err"] == repr(ValueError("boom"))
+        assert fields["ok"] == 1
+        assert fields["none"] is None
+
+    def test_events_filter_and_kind_counts(self):
+        flight = FlightRecorder(clock=SimClock())
+        flight.record("a")
+        flight.record("b")
+        flight.record("a")
+        assert len(flight.events("a")) == 2
+        assert len(flight.events()) == 3
+        assert flight.kinds() == {"a": 2, "b": 1}
+        flight.clear()
+        assert flight.snapshot() == []
+        assert flight.recorded == 3  # the counter survives a clear
+
+
+class TestConcurrency:
+    def test_hammer_many_writers_with_concurrent_readers(self):
+        """N threads record while others snapshot/dump: no lost updates,
+        no torn events, the ring stays bounded."""
+        flight = FlightRecorder(clock=SimClock(), capacity=256)
+        writers, per_writer = 8, 500
+        start = threading.Barrier(writers + 2)
+        stop_reading = threading.Event()
+        reader_errors: list[BaseException] = []
+
+        def writer(t: int) -> None:
+            start.wait(timeout=10)
+            for i in range(per_writer):
+                flight.record("w", t=t, i=i)
+
+        def reader() -> None:
+            start.wait(timeout=10)
+            try:
+                while not stop_reading.is_set():
+                    for event in flight.snapshot():
+                        assert set(event) == {
+                            "seq", "time", "kind", "thread", "fields"
+                        }
+                    dump = flight.dump()
+                    assert dump["recorded"] >= len(dump["events"])
+            except BaseException as exc:  # surfaced below
+                reader_errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(writers)
+        ] + [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads[:writers]:
+            thread.join(timeout=30)
+        stop_reading.set()
+        for thread in threads[writers:]:
+            thread.join(timeout=30)
+
+        assert not reader_errors, reader_errors[0]
+        total = writers * per_writer
+        assert flight.recorded == total
+        events = flight.snapshot()
+        assert len(events) == 256
+        assert flight.dropped == total - 256
+        # Seqs are unique and strictly increasing in ring order.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+
+class TestDump:
+    def test_dump_envelope_and_json_round_trip(self):
+        clock = SimClock()
+        flight = FlightRecorder(clock=clock, capacity=2)
+        for i in range(3):
+            flight.record("tick", i=i)
+        clock.advance(9.0)
+        dump = json.loads(flight.dump_json())
+        assert dump["format"] == FLIGHT_FORMAT
+        assert dump["dumped_at"] == 9.0
+        assert dump["recorded"] == 3
+        assert dump["dropped"] == 1
+        assert [e["fields"]["i"] for e in dump["events"]] == [1, 2]
+
+    def test_dump_to_fs_is_durable(self):
+        fs = SimFS(clock=SimClock())
+        flight = FlightRecorder(clock=fs.clock)
+        flight.record("the_event", detail="kept")
+        name = flight.dump_to(fs)
+        assert name == BLACKBOX_FILE
+        fs.crash()  # volatile state discarded: the dump must be fsynced
+        dump = load_blackbox(fs.read(BLACKBOX_FILE))
+        assert dump["events"][0]["kind"] == "the_event"
+
+    def test_load_blackbox_accepts_bytes_str_and_dict(self):
+        flight = FlightRecorder(clock=SimClock())
+        flight.record("x")
+        raw = flight.dump_json()
+        for form in (raw, raw.encode("utf-8"), json.loads(raw)):
+            assert load_blackbox(form)["events"][0]["kind"] == "x"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "[]",
+            '{"format": "other-v1", "events": []}',
+            '{"format": "repro-flight-v1"}',
+            '{"events": []}',
+        ],
+    )
+    def test_load_blackbox_rejects_non_dumps(self, bad):
+        with pytest.raises(ValueError):
+            load_blackbox(bad)

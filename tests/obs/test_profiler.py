@@ -1,0 +1,172 @@
+"""The sampling profiler: aggregation, bounds, lifecycle, output."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import SamplingProfiler
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval_seconds": 0},
+            {"interval_seconds": -1},
+            {"max_depth": 0},
+            {"max_stacks": 0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SamplingProfiler(**kwargs)
+
+
+class TestSampling:
+    def test_sample_once_records_this_thread(self):
+        profiler = SamplingProfiler()
+        assert profiler.sample_once() >= 1
+        assert profiler.samples == 1
+        mine = [
+            stack
+            for stack in profiler.stack_counts()
+            if "test_profiler.py:test_sample_once_records_this_thread" in stack
+        ]
+        assert mine
+        # Root-first ordering: the caller (this test) appears before the
+        # callee (sample_once itself, the leaf).
+        stack = mine[0]
+        test_at = stack.index(
+            "test_profiler.py:test_sample_once_records_this_thread"
+        )
+        leaf_at = max(
+            i for i, frame in enumerate(stack) if "sample_once" in frame
+        )
+        assert test_at < leaf_at
+
+    def test_exclude_ident_skips_the_sampler_thread(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once(exclude_ident=threading.get_ident())
+        for stack in profiler.stack_counts():
+            assert not any("test_profiler.py" in frame for frame in stack)
+
+    def test_identical_stacks_aggregate(self):
+        profiler = SamplingProfiler()
+
+        def hold(event, release):
+            event.set()
+            release.wait(timeout=10)
+
+        ready, release = threading.Event(), threading.Event()
+        thread = threading.Thread(target=hold, args=(ready, release))
+        thread.start()
+        try:
+            ready.wait(timeout=10)
+            me = threading.get_ident()
+            for _ in range(5):
+                profiler.sample_once(exclude_ident=me)
+        finally:
+            release.set()
+            thread.join(timeout=10)
+        held = [
+            count
+            for stack, count in profiler.stack_counts().items()
+            if any(":hold" in frame for frame in stack)
+        ]
+        assert held and held[0] == 5
+
+    def test_max_depth_truncates(self):
+        profiler = SamplingProfiler(max_depth=2)
+
+        def deep(n):
+            if n:
+                return deep(n - 1)
+            return profiler.sample_once()
+
+        deep(20)
+        assert all(len(stack) <= 2 for stack in profiler.stack_counts())
+
+    def test_max_stacks_folds_overflow(self):
+        profiler = SamplingProfiler(max_stacks=1)
+
+        def a():
+            profiler.sample_once()
+
+        def b():
+            profiler.sample_once()
+
+        a()
+        b()
+        stacks = profiler.stack_counts()
+        assert ("<overflow>",) in stacks
+        assert len(stacks) <= 2  # the one real stack plus the bucket
+
+    def test_sample_for_requires_positive_burst(self):
+        profiler = SamplingProfiler()
+        with pytest.raises(ValueError):
+            profiler.sample_for(0)
+
+    def test_sample_for_takes_at_least_one_sample(self):
+        profiler = SamplingProfiler(interval_seconds=0.001)
+        taken = profiler.sample_for(0.01)
+        assert taken >= 1
+        assert profiler.samples == taken
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent_and_no_thread_leak(self):
+        profiler = SamplingProfiler(interval_seconds=0.001)
+        before = threading.active_count()
+        profiler.start()
+        profiler.start()  # idempotent
+        assert profiler.running
+        deadline = time.monotonic() + 5
+        while profiler.samples == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert profiler.samples > 0
+        profiler.stop()
+        profiler.stop()  # idempotent
+        assert not profiler.running
+        assert threading.active_count() == before
+        assert not any(
+            t.name == "obs-profiler" for t in threading.enumerate()
+        )
+
+    def test_context_manager(self):
+        with SamplingProfiler(interval_seconds=0.001) as profiler:
+            assert profiler.running
+        assert not profiler.running
+
+
+class TestOutput:
+    def test_collapsed_format_hottest_first(self):
+        profiler = SamplingProfiler()
+        with profiler._lock:
+            profiler._counts[("root", "warm")] = 2
+            profiler._counts[("root", "hot")] = 9
+            profiler.samples = 11
+        lines = profiler.collapsed().splitlines()
+        assert lines[0] == "root;hot 9"
+        assert lines[1] == "root;warm 2"
+
+    def test_snapshot_is_json_able(self):
+        import json
+
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        snap = json.loads(json.dumps(profiler.snapshot()))
+        assert snap["samples"] == 1
+        assert snap["running"] is False
+        assert snap["distinct_stacks"] == len(snap["stacks"])
+        assert all(isinstance(v, int) for v in snap["stacks"].values())
+
+    def test_clear_resets(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        profiler.clear()
+        assert profiler.samples == 0
+        assert profiler.stack_counts() == {}
+        assert profiler.collapsed() == ""
