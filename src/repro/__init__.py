@@ -62,6 +62,7 @@ from repro.obs import MetricsExporter, MetricsRegistry, SlowOpLog, Tracer
 from repro.pickles import TypeRegistry, pickle_read, pickle_write, pickleable
 from repro.rpc import (
     CallMaybeExecuted,
+    EventLoopServer,
     FaultyTransport,
     Interface,
     LoopbackTransport,
@@ -85,6 +86,7 @@ __all__ = [
     "Database",
     "DatabaseError",
     "EveryNUpdates",
+    "EventLoopServer",
     "FaultyTransport",
     "GroupCommitDaemon",
     "Interface",

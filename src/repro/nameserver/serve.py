@@ -34,7 +34,10 @@ from repro.obs import (
     SlowOpLog,
     Tracer,
 )
-from repro.rpc import RpcServer, TcpServerThread, TcpTransport
+from repro.rpc import EventLoopServer, RpcServer, TcpServerThread, TcpTransport
+
+#: the two TCP front ends a node can serve through
+SERVER_MODELS = ("eventloop", "threaded")
 from repro.storage.localfs import LocalFS
 
 
@@ -63,6 +66,9 @@ class NodeOptions:
     #: background stack sampler (None disables; flame stacks then serve
     #: at ``/profile`` and through the ``profile`` management RPC)
     profile_interval: float | None = None
+    #: TCP front end: "eventloop" (selector loop + dispatch pool, the
+    #: default) or "threaded" (one thread per connection)
+    server_model: str = "eventloop"
 
 
 class Node:
@@ -106,9 +112,21 @@ class Node:
                 self.replica, slow_log=self.slow_log, profiler=self.profiler
             ),
         )
-        self.listener = TcpServerThread(
-            self.rpc, host=options.host, port=options.port
-        ).start()
+        if options.server_model not in SERVER_MODELS:
+            raise ValueError(
+                f"unknown server model {options.server_model!r}; "
+                f"one of {SERVER_MODELS}"
+            )
+        if options.server_model == "threaded":
+            self.listener = TcpServerThread(
+                self.rpc, host=options.host, port=options.port,
+                flight=self.flight,
+            ).start()
+        else:
+            self.listener = EventLoopServer(
+                self.rpc, host=options.host, port=options.port,
+                flight=self.flight,
+            ).start()
 
         self.metrics_exporter: MetricsExporter | None = None
         if options.metrics_port is not None:
@@ -283,6 +301,11 @@ def main(argv: list[str] | None = None) -> int:
         help="enable continuous profiling with this sampling period "
         "(flame stacks at /profile and via the profile management RPC)",
     )
+    parser.add_argument(
+        "--server-model", choices=SERVER_MODELS, default="eventloop",
+        help="TCP front end: the event-driven selector loop (default) or "
+        "the legacy thread-per-connection server",
+    )
     args = parser.parse_args(argv)
 
     node = build_node(
@@ -300,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
             spare_directory=args.spare_dir,
             fault_retries=args.fault_retries,
             profile_interval=args.profile_interval,
+            server_model=args.server_model,
         )
     )
     extra = ""

@@ -31,6 +31,7 @@ deterministically reachable for the sweep in :mod:`repro.sim.netsweep`.
 """
 
 from repro.rpc.client import Proxy, RpcClient, connect
+from repro.rpc.eventloop import EventLoopServer
 from repro.rpc.errors import (
     BadRequest,
     CallMaybeExecuted,
@@ -86,6 +87,7 @@ __all__ = [
     "CallMaybeExecuted",
     "DeadlineExpired",
     "DictOf",
+    "EventLoopServer",
     "FaultyTransport",
     "Float",
     "Int",

@@ -31,7 +31,7 @@ from repro.rpc.interface import (
     STATUS_RPC_ERROR,
     Interface,
     MethodSpec,
-    encode_request,
+    encode_request_into,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_SPAN, Tracer, child_span, maybe_span
@@ -86,6 +86,9 @@ class RpcClient:
         )
         self._seq = 0
         self._seq_lock = threading.Lock()
+        # Reusable per-thread encode buffer (profile-guided: one growable
+        # bytearray per thread instead of fresh intermediates per call).
+        self._encode_buffers = threading.local()
 
     @property
     def calls_made(self) -> int:
@@ -105,7 +108,13 @@ class RpcClient:
             trace = ""
             if span is not NULL_SPAN:
                 trace = span.context().to_header()
-            request = encode_request(
+            buffer = getattr(self._encode_buffers, "buf", None)
+            if buffer is None:
+                buffer = self._encode_buffers.buf = bytearray()
+            else:
+                buffer.clear()
+            encode_request_into(
+                buffer,
                 self.interface,
                 method,
                 args,
@@ -113,6 +122,7 @@ class RpcClient:
                 seq=seq,
                 trace=trace,
             )
+            request = bytes(buffer)
             self.stats.record_call()
             with self._method_seconds.labels(method).time():
                 response = self._send_with_retries(method, seq, request)

@@ -19,7 +19,7 @@ Exception types can be registered on the interface so a server-side
 
 from __future__ import annotations
 
-from repro.pickles.wire import WireReader
+from repro.pickles.wire import WireReader, encode_varint
 from repro.rpc.errors import UnknownMethod
 from repro.rpc.marshal import TypeExpr, Void, compile_params
 
@@ -38,9 +38,18 @@ class MethodSpec:
         self.name = name
         self.params = list(params)
         self.returns = returns
-        self.encode_args, self.decode_args = compile_params(self.params)
+        (
+            self.encode_args,
+            self.decode_args,
+            self.encode_args_into,
+        ) = compile_params(self.params)
         self.encode_result = returns.encoder()
         self.decode_result = returns.decoder()
+        #: precomputed ``wire_name + method`` header bytes (profile-guided:
+        #: both are constant per spec, so the hot path appends one blob
+        #: instead of re-encoding two strings per call); filled in by
+        #: :meth:`Interface.method`.
+        self.request_prefix: bytes | None = None
 
     def signature(self) -> str:
         inner = ", ".join(f"{n}: {t.describe()}" for n, t in self.params)
@@ -72,6 +81,10 @@ class Interface:
         if name in self.methods:
             raise ValueError(f"method {name!r} already declared")
         spec = MethodSpec(self.name, name, params or [], returns)
+        prefix = bytearray()
+        _encode_str(self.wire_name, prefix)
+        _encode_str(name, prefix)
+        spec.request_prefix = bytes(prefix)
         self.methods[name] = spec
         return spec
 
@@ -156,17 +169,33 @@ def encode_request(
     trace: str = "",
 ) -> bytes:
     """Marshal one call: wire name, method, call identity, arguments."""
-    spec = interface.spec(method)
     out = bytearray()
-    _encode_str(interface.wire_name, out)
-    _encode_str(method, out)
-    _encode_str(client_id, out)
-    from repro.pickles.wire import encode_varint
+    encode_request_into(
+        out, interface, method, args, client_id=client_id, seq=seq, trace=trace
+    )
+    return bytes(out)
 
+
+def encode_request_into(
+    out: bytearray,
+    interface: Interface,
+    method: str,
+    args: tuple,
+    client_id: str = "",
+    seq: int = 0,
+    trace: str = "",
+) -> None:
+    """Marshal one call into a caller-owned (reusable) buffer."""
+    spec = interface.spec(method)
+    if spec.request_prefix is not None:
+        out += spec.request_prefix
+    else:
+        _encode_str(interface.wire_name, out)
+        _encode_str(method, out)
+    _encode_str(client_id, out)
     encode_varint(seq, out)
     _encode_str(trace, out)
-    out.extend(spec.encode_args(args))
-    return bytes(out)
+    spec.encode_args_into(args, out)
 
 
 def decode_request_header(data: bytes) -> tuple[CallHeader, WireReader]:
@@ -182,8 +211,6 @@ def decode_request_header(data: bytes) -> tuple[CallHeader, WireReader]:
 
 def _encode_str(value: str, out: bytearray) -> None:
     raw = value.encode("utf-8")
-    from repro.pickles.wire import encode_varint
-
     encode_varint(len(raw), out)
     out.extend(raw)
 

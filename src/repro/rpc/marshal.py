@@ -344,25 +344,37 @@ class Pickled(TypeExpr):
 
 def compile_params(
     params: list[tuple[str, TypeExpr]],
-) -> tuple[Callable[[tuple], bytes], Callable[[WireReader], tuple]]:
-    """Compile a parameter list into (encode_args, decode_args)."""
+) -> tuple[
+    Callable[[tuple], bytes],
+    Callable[[WireReader], tuple],
+    Callable[[tuple, bytearray], None],
+]:
+    """Compile a parameter list into (encode_args, decode_args, encode_args_into).
+
+    ``encode_args_into`` is the allocation-free variant the RPC hot path
+    uses: it appends to a caller-owned (reusable) buffer instead of
+    materialising an intermediate ``bytes`` per call.
+    """
     encoders = [(name, expr.encoder()) for name, expr in params]
     decoders = [expr.decoder() for _, expr in params]
 
-    def encode_args(args: tuple) -> bytes:
+    def encode_args_into(args: tuple, out: bytearray) -> None:
         if len(args) != len(encoders):
             raise MarshalError(
                 f"expected {len(encoders)} arguments, got {len(args)}"
             )
-        out = bytearray()
         for (name, encode), value in zip(encoders, args):
             try:
                 encode(value, out)
             except MarshalError as exc:
                 raise MarshalError(f"argument {name!r}: {exc}") from None
+
+    def encode_args(args: tuple) -> bytes:
+        out = bytearray()
+        encode_args_into(args, out)
         return bytes(out)
 
     def decode_args(reader: WireReader) -> tuple:
         return tuple(decode(reader) for decode in decoders)
 
-    return encode_args, decode_args
+    return encode_args, decode_args, encode_args_into

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_SPAN, Tracer, extract
@@ -19,6 +20,22 @@ from repro.rpc.interface import (
 
 #: Default bound on distinct clients the reply cache remembers.
 DEFAULT_MAX_CLIENTS = 1024
+
+
+class _ClientLock:
+    """A per-client mutex plus the number of threads currently using it.
+
+    The refcount is what makes LRU eviction safe: a lock may only leave
+    the cache's lock table once no dispatcher holds (or is queued on) it,
+    otherwise a duplicate call arriving after eviction would get a fresh
+    lock and race the still-running original into a second execution.
+    """
+
+    __slots__ = ("lock", "refs")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.refs = 0
 
 
 class ReplyCache:
@@ -49,7 +66,7 @@ class ReplyCache:
             raise ValueError("reply cache needs room for at least one client")
         self.max_clients = max_clients
         self._entries: OrderedDict[str, tuple[int, bytes]] = OrderedDict()
-        self._client_locks: dict[str, threading.Lock] = {}
+        self._client_locks: dict[str, _ClientLock] = {}
         self._lock = threading.Lock()
         # Tallies live in the metrics registry — the single source of
         # truth — and the historical attributes read them back.
@@ -90,18 +107,35 @@ class ReplyCache:
     def evictions(self) -> int:
         return int(self._evictions.value)
 
-    def client_lock(self, client_id: str) -> threading.Lock:
-        """The per-client mutex serialising execution and cache updates.
+    @contextmanager
+    def client_lock(self, client_id: str):
+        """Hold the per-client mutex serialising execution and cache updates.
 
         Holding it while executing means a duplicate that arrives during
         the original's execution *waits* and then hits the cache, instead
         of racing into a second execution.
+
+        The entry is refcounted for the duration of the ``with`` block, so
+        an LRU eviction of this client (see :meth:`store`) can never
+        discard a lock that a dispatcher still holds or is queued on; the
+        last releaser retires the lock instead.
         """
         with self._lock:
-            lock = self._client_locks.get(client_id)
-            if lock is None:
-                lock = self._client_locks[client_id] = threading.Lock()
-            return lock
+            entry = self._client_locks.get(client_id)
+            if entry is None:
+                entry = self._client_locks[client_id] = _ClientLock()
+            entry.refs += 1
+        try:
+            with entry.lock:
+                yield
+        finally:
+            with self._lock:
+                entry.refs -= 1
+                if entry.refs == 0 and client_id not in self._entries:
+                    # The client was evicted (or never cached) while the
+                    # lock was busy; retire it now that it is idle.
+                    if self._client_locks.get(client_id) is entry:
+                        del self._client_locks[client_id]
 
     def probe(self, client_id: str, seq: int) -> tuple[str, bytes | None]:
         """Classify ``seq`` against the cache: (verdict, cached reply)."""
@@ -127,7 +161,13 @@ class ReplyCache:
             self._entries.move_to_end(client_id)
             while len(self._entries) > self.max_clients:
                 evicted, _ = self._entries.popitem(last=False)
-                self._client_locks.pop(evicted, None)
+                # Only an *idle* lock may be discarded with its entry; a
+                # busy one is left behind for its last holder to retire
+                # (client_lock), preserving at-most-once for in-flight
+                # duplicates of the evicted client.
+                lock_entry = self._client_locks.get(evicted)
+                if lock_entry is not None and lock_entry.refs == 0:
+                    del self._client_locks[evicted]
                 self._evictions.inc()
             self._clients.set(len(self._entries))
 
@@ -163,6 +203,12 @@ class RpcServer:
         tracer: Tracer | None = None,
     ) -> None:
         self._exports: dict[str, tuple[Interface, object]] = {}
+        # Profile-guided fast path: the sampling profiler showed dispatch
+        # spending its time in export lock + spec lookup + getattr, so
+        # exports are preresolved into one immutable table mapping
+        # (wire_name, method) -> (spec, bound method, interface).  The
+        # table is replaced wholesale under the lock and read without it.
+        self._table: dict[tuple[str, str], tuple] = {}
         self._lock = threading.Lock()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
@@ -174,6 +220,9 @@ class RpcServer:
             "Per-method server-side dispatch latency.",
             labelnames=("method",),
         )
+        # labels() resolves through the registry lock; the set of method
+        # names is tiny and stable, so cache the resolved series.
+        self._method_series: dict[str, object] = {}
         self.reply_cache = ReplyCache(max_cached_clients, registry=self.registry)
 
     @property
@@ -198,10 +247,24 @@ class RpcServer:
             )
         with self._lock:
             self._exports[interface.wire_name] = (interface, implementation)
+            self._rebuild_table()
 
     def unexport(self, interface: Interface) -> None:
         with self._lock:
             self._exports.pop(interface.wire_name, None)
+            self._rebuild_table()
+
+    def _rebuild_table(self) -> None:
+        """Recompute the preresolved dispatch table (caller holds _lock)."""
+        table: dict[tuple[str, str], tuple] = {}
+        for wire_name, (interface, implementation) in self._exports.items():
+            for method_name, spec in interface.methods.items():
+                table[(wire_name, method_name)] = (
+                    spec,
+                    getattr(implementation, method_name),
+                    interface,
+                )
+        self._table = table
 
     def exported_interfaces(self) -> list[str]:
         with self._lock:
@@ -229,7 +292,12 @@ class RpcServer:
                 parent=extract(header.trace),
                 attrs={"interface": header.wire_name},
             )
-        with span, self._method_seconds.labels(header.method).time():
+        series = self._method_series.get(header.method)
+        if series is None:
+            series = self._method_series[header.method] = (
+                self._method_seconds.labels(header.method)
+            )
+        with span, series.time():
             return self._dispatch_deduplicated(header, reader, span)
 
     def _dispatch_deduplicated(self, header, reader, span) -> bytes:
@@ -254,15 +322,26 @@ class RpcServer:
 
     def _execute(self, header, reader) -> bytes:
         """One actual execution: unmarshal, call, marshal."""
-        with self._lock:
-            export = self._exports.get(header.wire_name)
-        if export is None:
-            return _rpc_error(str(UnknownInterface(header.wire_name)))
-        interface, implementation = export
-        try:
-            spec = interface.spec(header.method)
-        except UnknownMethod as exc:
-            return _rpc_error(str(exc))
+        resolved = self._table.get((header.wire_name, header.method))
+        if resolved is None:
+            # Slow path: unknown interface/method, or a method declared
+            # after export; produce the precise error (or late-resolve).
+            with self._lock:
+                export = self._exports.get(header.wire_name)
+            if export is None:
+                return _rpc_error(str(UnknownInterface(header.wire_name)))
+            interface, implementation = export
+            try:
+                spec = interface.spec(header.method)
+            except UnknownMethod as exc:
+                return _rpc_error(str(exc))
+            call = getattr(implementation, header.method, None)
+            if call is None:
+                return _rpc_error(
+                    f"implementation lacks method {header.method!r}"
+                )
+        else:
+            spec, call, interface = resolved
         try:
             args = spec.decode_args(reader)
         except Exception as exc:
@@ -271,7 +350,7 @@ class RpcServer:
             return _rpc_error(f"{reader.remaining()} trailing request bytes")
 
         try:
-            result = getattr(implementation, header.method)(*args)
+            result = call(*args)
         except Exception as exc:
             return _app_error(interface, exc)
 

@@ -138,7 +138,13 @@ class TcpServerThread:
     >>> transport = TcpTransport("127.0.0.1", server_thread.port)
     """
 
-    def __init__(self, server: RpcServer, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        server: RpcServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        flight=None,
+    ):
         self.server = server
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
@@ -147,18 +153,62 @@ class TcpServerThread:
         self._state_lock = threading.Lock()
         self._workers: list[threading.Thread] = []
         self._connections: set[socket.socket] = set()
-        self.connection_errors = 0
+        #: optional :class:`~repro.obs.flight.FlightRecorder` receiving a
+        #: black-box event if the listener dies outside of ``stop()``
+        self.flight = flight
+        # Tallies live in the server's metrics registry so concurrent
+        # worker threads increment atomically (the registry takes a lock
+        # per inc) instead of racing a bare ``+= 1``.
+        self._connection_errors = server.registry.counter(
+            "rpc_server_connection_errors_total",
+            "Connections dropped for malformed frames or dispatch bugs.",
+        )
+        self._listener_failures = server.registry.counter(
+            "rpc_server_listener_failures_total",
+            "Unexpected listener/accept-loop deaths (not clean stops).",
+        )
+        #: set when the accept loop died without stop() being called —
+        #: the server looks alive but can accept nothing
+        self.listener_failed = False
+
+    @property
+    def connection_errors(self) -> int:
+        return int(self._connection_errors.value)
 
     def start(self) -> "TcpServerThread":
+        if self._accept_thread is not None:  # idempotent
+            return self
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
         self._accept_thread.start()
         return self
+
+    def _note_listener_failure(self, exc: OSError) -> None:
+        """The loud-death contract: an accept loop must never die quietly."""
+        self.listener_failed = True
+        self._listener_failures.inc()
+        logger.error(
+            "listener on %s:%s died unexpectedly (%s): the server will "
+            "accept no further connections",
+            self.host,
+            self.port,
+            exc,
+        )
+        if self.flight is not None:
+            self.flight.record(
+                "rpc_listener_failed",
+                host=self.host,
+                port=self.port,
+                error=repr(exc),
+                server_model="threaded",
+            )
 
     def _accept_loop(self) -> None:
         while not self._stopping.is_set():
             try:
                 conn, _ = self._listener.accept()
-            except OSError:
+            except OSError as exc:
+                if not self._stopping.is_set():
+                    self._note_listener_failure(exc)
                 return  # listener closed
             with self._state_lock:
                 if self._stopping.is_set():
@@ -182,7 +232,7 @@ class TcpServerThread:
                         # Garbage length prefix / truncated frame / clean
                         # disconnect: drop this connection only.
                         if "closed mid-frame" not in str(exc):
-                            self.connection_errors += 1
+                            self._connection_errors.inc()
                             logger.warning("dropping connection: %s", exc)
                         return
                     except OSError:
@@ -196,7 +246,7 @@ class TcpServerThread:
                         # dispatch() returns error frames for bad input, so
                         # reaching here is a server bug — log it loudly but
                         # keep the process (and the accept loop) alive.
-                        self.connection_errors += 1
+                        self._connection_errors.inc()
                         logger.exception("internal error serving connection")
                         return
         finally:

@@ -36,6 +36,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.rpc import (
+    EventLoopServer,
     FaultyTransport,
     Int,
     Interface,
@@ -47,9 +48,17 @@ from repro.rpc import (
     RpcClient,
     RpcServer,
     Str,
+    TcpServerThread,
+    TcpTransport,
     Void,
 )
 from repro.sim.clock import SimClock
+
+#: What carries the calls: "loopback" (in-process, fully simulated — the
+#: default and the fastest) or a real TCP front end ("threaded" /
+#: "eventloop"), so the sweep's at-most-once claim covers the actual
+#: servers a node deploys, not just the simulated transport.
+SWEEP_SERVER_MODELS = ("loopback", "threaded", "eventloop")
 
 #: A scripted step: ("put", key, value) | ("incr", key, by) | ("get", key)
 Step = tuple
@@ -190,9 +199,16 @@ class NetworkFaultSweep:
         kinds: tuple[str, ...] = ("drop", "sever"),
         retry: RetryPolicy | None = None,
         client_id: str = "netsweep",
+        server_model: str = "loopback",
     ) -> None:
+        if server_model not in SWEEP_SERVER_MODELS:
+            raise ValueError(
+                f"unknown server model {server_model!r}; "
+                f"one of {SWEEP_SERVER_MODELS}"
+            )
         self.steps = list(DEFAULT_STEPS if steps is None else steps)
         self.kinds = kinds
+        self.server_model = server_model
         #: "" opts out of at-most-once — used by tests to prove the sweep
         #: catches the double executions that then occur
         self.client_id = client_id
@@ -208,15 +224,29 @@ class NetworkFaultSweep:
     # -- execution ------------------------------------------------------------
 
     def _build(self, injector: NetworkFaultInjector, seed: int):
+        """One fresh client/server pair; returns a closer that tears it
+        all down (for the TCP models: stops the listener and its
+        threads, so a full sweep never accumulates servers)."""
         clock = SimClock()
         service = SweepService()
         server = RpcServer()
         server.export(self.interface, service)
-        transport = FaultyTransport(
-            LoopbackTransport(server, clock=clock, network=LAN_1987),
-            injector,
-            clock=clock,
-        )
+        front = None
+        if self.server_model == "loopback":
+            inner = LoopbackTransport(server, clock=clock, network=LAN_1987)
+        else:
+            # A real TCP server: faults still inject deterministically
+            # because FaultyTransport sits above the socket — a dropped
+            # request never reaches it, a dropped reply is discarded
+            # after the call genuinely executed over the wire.
+            front_type = (
+                TcpServerThread
+                if self.server_model == "threaded"
+                else EventLoopServer
+            )
+            front = front_type(server).start()
+            inner = TcpTransport(front.host, front.port)
+        transport = FaultyTransport(inner, injector, clock=clock)
         client = RpcClient(
             self.interface,
             transport,
@@ -225,7 +255,13 @@ class NetworkFaultSweep:
             clock=clock,
             rng=random.Random(seed),
         )
-        return service, server, client
+
+        def closer() -> None:
+            client.close()
+            if front is not None:
+                front.stop()
+
+        return service, server, client, closer
 
     def _drive(self, client: RpcClient) -> list[object]:
         proxy = client.proxy()
@@ -238,8 +274,11 @@ class NetworkFaultSweep:
     def count_events(self) -> int:
         """Dry run: total network events the script generates."""
         injector = NetworkFaultInjector()
-        _, _, client = self._build(injector, seed=0)
-        self._drive(client)
+        _, _, client, closer = self._build(injector, seed=0)
+        try:
+            self._drive(client)
+        finally:
+            closer()
         return injector.events_seen
 
     def run(self, max_events: int | None = None) -> NetSweepResult:
@@ -255,22 +294,25 @@ class NetworkFaultSweep:
     def _run_one(self, fault_at: int, kind: str) -> NetFaultOutcome:
         injector = NetworkFaultInjector(fault_at_event=fault_at, kind=kind)
         seed = fault_at * 8 + len(kind)  # deterministic, distinct per run
-        service, server, client = self._build(injector, seed)
+        service, server, client, closer = self._build(injector, seed)
         acked = 0
         returns: list[object] = []
         try:
-            returns = self._drive(client)
-            acked = len(returns)
-        except Exception as exc:
-            point = injector.injected[0][2] if injector.injected else None
-            return NetFaultOutcome(
-                fault_at, kind, point, acked,
-                client.stats.retries, server.reply_cache.hits,
-                self._update_executions(service),
-                failure=f"workload did not complete: {exc!r}",
-            )
-        return self._judge(fault_at, kind, injector, service, server, client,
-                           returns)
+            try:
+                returns = self._drive(client)
+                acked = len(returns)
+            except Exception as exc:
+                point = injector.injected[0][2] if injector.injected else None
+                return NetFaultOutcome(
+                    fault_at, kind, point, acked,
+                    client.stats.retries, server.reply_cache.hits,
+                    self._update_executions(service),
+                    failure=f"workload did not complete: {exc!r}",
+                )
+            return self._judge(fault_at, kind, injector, service, server,
+                               client, returns)
+        finally:
+            closer()
 
     def _update_executions(self, service: SweepService) -> int:
         return sum(1 for e in service.executions if e[0] in UPDATE_OPS)
@@ -342,10 +384,17 @@ def main(argv: list[str] | None = None) -> int:
         "--kinds", nargs="+", default=["drop", "sever"],
         choices=["drop", "sever", "delay"],
     )
+    parser.add_argument(
+        "--server-model", choices=SWEEP_SERVER_MODELS, default="loopback",
+        help="carry calls in-process (loopback, default) or through a "
+        "real TCP front end (threaded / eventloop)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
-    sweep = NetworkFaultSweep(kinds=tuple(args.kinds))
+    sweep = NetworkFaultSweep(
+        kinds=tuple(args.kinds), server_model=args.server_model
+    )
     result = sweep.run(max_events=args.max_events)
     print(result.summary())
     if args.verbose:

@@ -1,0 +1,256 @@
+"""The event-driven TCP front end: pipelining, fairness, backpressure.
+
+The shared transport contract (reconnects, malformed frames, clean stop,
+listener death) is covered by the parametrized suite in
+``test_tcp_robustness.py``; this file tests what only the event loop
+promises — multiple in-flight frames per connection answered in request
+order, slow calls not starving other connections, and bounded buffering
+under flood.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.pickles.wire import WireReader
+from repro.rpc import (
+    EventLoopServer,
+    Int,
+    Interface,
+    NO_RETRY,
+    RpcClient,
+    RpcServer,
+    TcpTransport,
+    Void,
+)
+from repro.rpc.interface import STATUS_OK, encode_request
+from repro.sim import SimClock
+
+
+@pytest.fixture
+def echo_interface() -> Interface:
+    iface = Interface("Echo")
+    iface.method("double", params=[("n", Int)], returns=Int)
+    return iface
+
+
+def frame(payload: bytes) -> bytes:
+    return struct.pack(">I", len(payload)) + payload
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    data = b""
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        assert chunk, "peer closed mid-frame"
+        data += chunk
+    return data
+
+
+def recv_reply(sock: socket.socket) -> bytes:
+    (length,) = struct.unpack(">I", recv_exact(sock, 4))
+    return recv_exact(sock, length)
+
+
+def decode_int_result(spec, reply: bytes) -> int:
+    assert reply[0] == STATUS_OK, reply
+    return spec.decode_result(WireReader(reply, 1))
+
+
+class TestPipelining:
+    def test_many_inflight_frames_answered_in_request_order(
+        self, echo_interface
+    ):
+        class Impl:
+            def double(self, n):
+                return n * 2
+
+        rpc = RpcServer()
+        rpc.export(echo_interface, Impl())
+        spec = echo_interface.spec("double")
+        count = 50
+        with EventLoopServer(rpc) as srv:
+            sock = socket.create_connection((srv.host, srv.port), timeout=5)
+            try:
+                # All 50 requests leave before any reply is read: the
+                # server must hold them in flight and answer in order.
+                blob = b"".join(
+                    frame(encode_request(echo_interface, "double", (n,)))
+                    for n in range(count)
+                )
+                sock.sendall(blob)
+                results = [
+                    decode_int_result(spec, recv_reply(sock))
+                    for _ in range(count)
+                ]
+            finally:
+                sock.close()
+        assert results == [2 * n for n in range(count)]
+        depth = rpc.registry.get("rpc_server_pipeline_depth")
+        assert depth.labels().count > 0  # the depth histogram saw the burst
+
+    def test_out_of_order_completion_still_writes_in_order(
+        self, echo_interface
+    ):
+        """The first request stalls in its worker while later ones finish;
+        replies must still come back in request order."""
+        release = threading.Event()
+        first_started = threading.Event()
+
+        class Stall:
+            def double(self, n):
+                if n == 0:
+                    first_started.set()
+                    assert release.wait(5)
+                return n * 2
+
+        rpc = RpcServer()
+        rpc.export(echo_interface, Stall())
+        spec = echo_interface.spec("double")
+        with EventLoopServer(rpc) as srv:
+            sock = socket.create_connection((srv.host, srv.port), timeout=5)
+            try:
+                for n in range(4):
+                    sock.sendall(
+                        frame(encode_request(echo_interface, "double", (n,)))
+                    )
+                assert first_started.wait(5)
+                # requests 1..3 complete while 0 is stalled; nothing may
+                # be written until 0 finishes
+                sock.settimeout(0.3)
+                with pytest.raises(TimeoutError):
+                    sock.recv(1)
+                release.set()
+                sock.settimeout(5)
+                results = [
+                    decode_int_result(spec, recv_reply(sock)) for _ in range(4)
+                ]
+            finally:
+                sock.close()
+        assert results == [0, 2, 4, 6]
+
+
+class TestFairness:
+    def test_slow_call_does_not_block_other_connections(self):
+        iface = Interface("Mixed")
+        iface.method("block", params=[], returns=Void)
+        iface.method("fast", params=[("n", Int)], returns=Int)
+        release = threading.Event()
+        blocked = threading.Event()
+
+        class Impl:
+            def block(self):
+                blocked.set()
+                assert release.wait(5)
+
+            def fast(self, n):
+                return n + 1
+
+        rpc = RpcServer()
+        rpc.export(iface, Impl())
+        with EventLoopServer(rpc) as srv:
+            slow_sock = socket.create_connection(
+                (srv.host, srv.port), timeout=5
+            )
+            transport = TcpTransport(srv.host, srv.port)
+            try:
+                slow_sock.sendall(frame(encode_request(iface, "block", ())))
+                assert blocked.wait(5)
+                # The loop is free: a second connection gets served while
+                # the first occupies a dispatch worker.
+                client = RpcClient(
+                    iface, transport, retry=NO_RETRY, clock=SimClock()
+                )
+                assert client.call("fast", 41) == 42
+                release.set()
+                assert recv_reply(slow_sock)[0] == STATUS_OK
+            finally:
+                release.set()
+                transport.close()
+                slow_sock.close()
+
+
+class TestBackpressure:
+    def test_flood_beyond_pipeline_cap_still_all_answered(
+        self, echo_interface
+    ):
+        class Impl:
+            def double(self, n):
+                return n * 2
+
+        rpc = RpcServer()
+        rpc.export(echo_interface, Impl())
+        spec = echo_interface.spec("double")
+        count = 100
+        with EventLoopServer(rpc, max_pipeline=4) as srv:
+            sock = socket.create_connection((srv.host, srv.port), timeout=5)
+            try:
+                sender_error = []
+
+                def send_all():
+                    try:
+                        for n in range(count):
+                            sock.sendall(
+                                frame(
+                                    encode_request(
+                                        echo_interface, "double", (n,)
+                                    )
+                                )
+                            )
+                    except OSError as exc:  # pragma: no cover - diagnostics
+                        sender_error.append(exc)
+
+                sender = threading.Thread(target=send_all)
+                sender.start()
+                results = [
+                    decode_int_result(spec, recv_reply(sock))
+                    for _ in range(count)
+                ]
+                sender.join(5)
+            finally:
+                sock.close()
+        assert not sender_error
+        assert results == [2 * n for n in range(count)]
+        # the cap actually engaged: reads were paused at least once
+        overloads = rpc.registry.get("rpc_server_overload_pauses_total")
+        assert int(overloads.value) >= 1
+
+    def test_connection_gauge_tracks_opens_and_closes(self, echo_interface):
+        class Impl:
+            def double(self, n):
+                return n * 2
+
+        rpc = RpcServer()
+        rpc.export(echo_interface, Impl())
+        with EventLoopServer(rpc) as srv:
+            gauge = rpc.registry.get("rpc_server_connections")
+            assert gauge.value == 0
+            transports = [
+                TcpTransport(srv.host, srv.port) for _ in range(3)
+            ]
+            clients = [
+                RpcClient(
+                    echo_interface, t, retry=NO_RETRY, clock=SimClock()
+                )
+                for t in transports
+            ]
+            for n, client in enumerate(clients):
+                assert client.call("double", n) == 2 * n
+            assert gauge.value == 3
+            for transport in transports:
+                transport.close()
+            _wait_until(lambda: gauge.value == 0)
+            assert gauge.value == 0
+        assert gauge.value == 0
+
+
+def _wait_until(predicate, timeout: float = 5.0) -> None:
+    import time
+
+    deadline = time.monotonic() + timeout
+    while not predicate() and time.monotonic() < deadline:
+        time.sleep(0.01)

@@ -132,17 +132,17 @@ class TestCompound:
 
 class TestSignatures:
     def test_compile_params_roundtrip(self):
-        encode, decode = compile_params([("name", Str), ("count", Int)])
+        encode, decode, _ = compile_params([("name", Str), ("count", Int)])
         blob = encode(("widget", 7))
         assert decode(WireReader(blob)) == ("widget", 7)
 
     def test_wrong_arity(self):
-        encode, _ = compile_params([("a", Int)])
+        encode, _, _ = compile_params([("a", Int)])
         with pytest.raises(MarshalError):
             encode((1, 2))
 
     def test_error_names_offending_argument(self):
-        encode, _ = compile_params([("good", Int), ("bad", Str)])
+        encode, _, _ = compile_params([("good", Int), ("bad", Str)])
         with pytest.raises(MarshalError, match="'bad'"):
             encode((1, 2))
 
@@ -150,7 +150,7 @@ class TestSignatures:
         """Static marshalling is leaner than pickling the same value."""
         from repro.pickles import pickle_write
 
-        encode, _ = compile_params([("values", ListOf(Int))])
+        encode, _, _ = compile_params([("values", ListOf(Int))])
         static = encode(([1, 2, 3, 4, 5],))
         dynamic = pickle_write([1, 2, 3, 4, 5])
         assert len(static) < len(dynamic)

@@ -89,7 +89,7 @@ def test_schema_conforming_roundtrip(data, schema):
 @settings(max_examples=100, deadline=None)
 def test_signature_roundtrip(data, param_schemas):
     params = [(f"arg{i}", schema) for i, schema in enumerate(param_schemas)]
-    encode, decode = compile_params(params)
+    encode, decode, _ = compile_params(params)
     args = tuple(data.draw(value_for(schema)) for schema in param_schemas)
     blob = encode(args)
     reader = WireReader(blob)

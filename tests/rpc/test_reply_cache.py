@@ -207,6 +207,101 @@ class TestDuplicateSuppression:
         assert impl.executions == 1
 
 
+    def test_duplicate_after_eviction_does_not_reexecute(
+        self, counter_interface
+    ):
+        """LRU eviction must not discard a per-client lock that is in use.
+
+        Regression test: ``store`` used to drop the evicted client's lock
+        unconditionally, so a duplicate arriving *after* the eviction got
+        a fresh lock and raced the still-running original into a second
+        execution — an at-most-once violation.  The sequence below makes
+        that race deterministic:
+
+        1. client ``c1`` executes seq 1 (cached, cache full at 1 client);
+        2. thread A starts ``c1`` seq 2 and blocks inside the
+           implementation, holding ``c1``'s client lock;
+        3. client ``c2`` executes, evicting ``c1``'s cache entry while
+           A still holds the lock;
+        4. thread B sends a duplicate of ``c1`` seq 2.
+
+        Post-fix, B queues on A's (refcounted) lock and is answered from
+        the cache when A finishes: exactly 2 executions.  Pre-fix, B ran
+        the call a second time (3 executions, diverging responses).
+        """
+        release = threading.Event()
+        seq2_started = threading.Event()
+
+        class BlockFirstSeq2:
+            def __init__(self):
+                self.executions = 0
+
+            def incr(self, by):
+                self.executions += 1
+                if by == 2 and not seq2_started.is_set():
+                    seq2_started.set()
+                    release.wait(5)
+                return self.executions
+
+        impl = BlockFirstSeq2()
+        server = RpcServer(max_cached_clients=1)
+        server.export(counter_interface, impl)
+
+        # 1. c1/seq1 completes normally: c1 is the (only) cached client.
+        server.dispatch(
+            encode_request(counter_interface, "incr", (1,), client_id="c1", seq=1)
+        )
+
+        # 2. c1/seq2 starts and parks inside the implementation.
+        seq2_request = encode_request(
+            counter_interface, "incr", (2,), client_id="c1", seq=2
+        )
+        responses: dict[str, bytes] = {}
+
+        def original():
+            responses["a"] = server.dispatch(seq2_request)
+
+        thread_a = threading.Thread(target=original)
+        thread_a.start()
+        assert seq2_started.wait(5)
+
+        # 3. c2 executes and evicts c1 while c1's lock is held by A.
+        server.dispatch(
+            encode_request(counter_interface, "incr", (7,), client_id="c2", seq=1)
+        )
+        assert server.reply_cache.evictions == 1
+
+        # 4. a duplicate retransmission of c1/seq2 arrives post-eviction.
+        def duplicate():
+            responses["b"] = server.dispatch(seq2_request)
+
+        thread_b = threading.Thread(target=duplicate)
+        thread_b.start()
+        # Give B time to reach the lock: it must *wait*, not execute.
+        thread_b.join(0.3)
+        assert "b" not in responses or impl.executions == 2
+
+        release.set()
+        thread_a.join(5)
+        thread_b.join(5)
+        assert not thread_a.is_alive() and not thread_b.is_alive()
+        # c1/seq1, c1/seq2 and c2/seq1 ran once each; the duplicate did
+        # not add a fourth execution.
+        assert impl.executions == 3
+        assert responses["a"] == responses["b"]
+        # The gauge tracks the entry table exactly, including through the
+        # deferred lock retirement.
+        snap = server.reply_cache.snapshot()
+        assert snap["clients"] == len(server.reply_cache._entries)
+        # No idle lock may outlive its cache entry (leak check).
+        busy_leftovers = [
+            cid
+            for cid, entry in server.reply_cache._client_locks.items()
+            if cid not in server.reply_cache._entries and entry.refs == 0
+        ]
+        assert busy_leftovers == []
+
+
 class TestReplyCacheUnit:
     def test_probe_verdicts(self):
         cache = ReplyCache()
