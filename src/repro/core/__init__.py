@@ -25,6 +25,7 @@ from repro.core.health import (
     DEGRADED_READ_ONLY,
     FAILED,
     HEALTHY,
+    RECOVERING,
     HealthMonitor,
 )
 from repro.core.mirror import MirroringDatabase, restore_from_mirror
@@ -86,6 +87,7 @@ __all__ = [
     "FAILED",
     "GroupCommitDaemon",
     "HEALTHY",
+    "RECOVERING",
     "HealthMonitor",
     "MirroringDatabase",
     "ShardedDatabase",

@@ -20,9 +20,18 @@ one-way state machine:
     written, so the spare holds nothing trustworthy).  Enquiries are still
     served; everything else is refused.
 
-Transitions are one-way (an operator replaces the disk and restarts; the
-process never un-degrades itself) and idempotent under concurrency: only
-the first caller performs the degrade work.
+``RECOVERING``
+    The paper's way back: "restore the database from another replica".
+    A degraded (or failed) node under a
+    :class:`~repro.nameserver.recover.ReplicaRecoverer` enters this state
+    while a peer's checkpoint and log tail stream in; the single forward
+    edge out of it is :meth:`recovered` (→ ``HEALTHY``), and a recovery
+    that itself faults falls back via :meth:`recovery_failed`.
+
+The fault transitions are one-way (the process never un-degrades itself)
+and idempotent under concurrency: only the first caller performs the
+degrade work.  The only path back to ``HEALTHY`` is an explicit replica
+recovery — never a spontaneous retry.
 
 Metrics (in the database's registry):
 
@@ -55,9 +64,10 @@ from repro.obs.tracing import current_span
 HEALTHY = "healthy"
 DEGRADED_READ_ONLY = "degraded_read_only"
 FAILED = "failed"
+RECOVERING = "recovering"
 
 #: numeric encoding used by the ``db_health_state`` gauge
-HEALTH_CODES = {HEALTHY: 0, DEGRADED_READ_ONLY: 1, FAILED: 2}
+HEALTH_CODES = {HEALTHY: 0, DEGRADED_READ_ONLY: 1, FAILED: 2, RECOVERING: 3}
 
 
 class HealthMonitor:
@@ -72,7 +82,8 @@ class HealthMonitor:
         self.flight = flight
         self._gauge = registry.gauge(
             "db_health_state",
-            "database health: 0 healthy, 1 degraded read-only, 2 failed",
+            "database health: 0 healthy, 1 degraded read-only, 2 failed, "
+            "3 recovering",
         )
         self._faults = registry.counter(
             "storage_faults_total",
@@ -153,6 +164,71 @@ class HealthMonitor:
                 to_state=FAILED,
                 cause=cause,
             )
+
+    # -- recovery --------------------------------------------------------------
+
+    def begin_recovery(self, source: str) -> bool:
+        """DEGRADED_READ_ONLY | FAILED → RECOVERING; False if not eligible.
+
+        ``source`` names the peer (or mechanism) performing the repair;
+        it lands in the flight record so the black box shows who healed
+        us.  A HEALTHY monitor refuses — recovery of a healthy node would
+        silently discard its unpropagated local updates.
+        """
+        with self._lock:
+            if self.state not in (DEGRADED_READ_ONLY, FAILED):
+                return False
+            previous = self.state
+            self.state = RECOVERING
+            self.cause = f"recovering from {source}"
+        self._gauge.set(HEALTH_CODES[RECOVERING])
+        if self.flight is not None:
+            self.flight.record(
+                "health_transition",
+                from_state=previous,
+                to_state=RECOVERING,
+                cause=self.cause,
+            )
+        return True
+
+    def recovered(self) -> bool:
+        """RECOVERING → HEALTHY: the replica repair completed and cut over."""
+        with self._lock:
+            if self.state != RECOVERING:
+                return False
+            self.state = HEALTHY
+            self.cause = None
+        self._gauge.set(HEALTH_CODES[HEALTHY])
+        if self.flight is not None:
+            self.flight.record(
+                "health_transition",
+                from_state=RECOVERING,
+                to_state=HEALTHY,
+                cause="replica_recovery",
+            )
+        return True
+
+    def recovery_failed(self, cause: str) -> bool:
+        """RECOVERING → DEGRADED_READ_ONLY: the repair itself faulted.
+
+        The node is no worse off than before the attempt — the staged
+        files are invisible to restarts — so it returns to degraded
+        read-only rather than FAILED, and a later attempt may succeed.
+        """
+        with self._lock:
+            if self.state != RECOVERING:
+                return False
+            self.state = DEGRADED_READ_ONLY
+            self.cause = cause
+        self._gauge.set(HEALTH_CODES[DEGRADED_READ_ONLY])
+        if self.flight is not None:
+            self.flight.record(
+                "health_transition",
+                from_state=RECOVERING,
+                to_state=DEGRADED_READ_ONLY,
+                cause=cause,
+            )
+        return True
 
     # -- views -----------------------------------------------------------------
 

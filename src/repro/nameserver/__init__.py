@@ -18,7 +18,15 @@ from repro.nameserver.errors import (
     NameExists,
     NameNotFound,
     NameServerError,
+    SnapshotGone,
     format_path,
+)
+from repro.nameserver.recover import (
+    RecoveryFailed,
+    RecoveryPlan,
+    RecoveryReport,
+    ReplicaRecoverer,
+    abandon_recovery,
 )
 from repro.nameserver.operations import (
     NAMESERVER_OPS,
@@ -34,6 +42,8 @@ from repro.nameserver.replication import (
     ReplicaGroup,
     ResilientReplicaGroup,
     SyncReport,
+    diverged_leaf_paths,
+    repair_divergence,
     restore_replica,
 )
 from repro.nameserver.server import (
@@ -69,11 +79,19 @@ __all__ = [
     "Node",
     "PeerUnavailable",
     "ReadResult",
+    "RecoveryFailed",
+    "RecoveryPlan",
+    "RecoveryReport",
     "RemoteManagement",
     "RemoteNameServer",
     "Replica",
+    "ReplicaRecoverer",
     "ResilientReplicaGroup",
+    "SnapshotGone",
     "SyncReport",
+    "abandon_recovery",
+    "diverged_leaf_paths",
+    "repair_divergence",
     "glob_entries",
     "parse_pattern",
     "ReplicaGroup",

@@ -79,6 +79,32 @@ class RemoteNameServer:
     def export_state(self) -> list:
         return self._proxy.export_state()
 
+    # -- replica repair hooks ----------------------------------------------------
+
+    def snapshot_manifest(self) -> dict:
+        return self._proxy.snapshot_manifest()
+
+    def snapshot_chunk(self, version: int, offset: int, length: int) -> dict:
+        return self._proxy.snapshot_chunk(
+            int(version), int(offset), int(length)
+        )
+
+    def tree_digest(self, path=()) -> dict:
+        parsed = list(parse_path(path)) if path else []
+        return self._proxy.tree_digest(parsed)
+
+    def read_leaves(self, path=()) -> list:
+        parsed = list(parse_path(path)) if path else []
+        return self._proxy.read_leaves(parsed)
+
+    def repair_leaves(self, leaves: list) -> int:
+        canonical = [
+            (list(parse_path(path)), value, int(lamport), str(origin),
+             bool(deleted))
+            for path, value, lamport, origin, deleted in leaves
+        ]
+        return self._proxy.repair_leaves(canonical)
+
     # -- lifecycle ----------------------------------------------------------------
 
     @property

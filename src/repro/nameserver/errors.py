@@ -36,6 +36,25 @@ class BadPath(NameServerError, PreconditionFailed):
         super().__init__(_message("bad path", path))
 
 
+class SnapshotGone(NameServerError):
+    """The checkpoint version a recoverer is streaming no longer exists.
+
+    Raised by ``snapshot_chunk`` when the serving peer checkpointed (and
+    finalized) mid-download, deleting the superseded file.  The recoverer
+    reacts by renegotiating the plan against the peer's *new* checkpoint
+    — the stage machine restarts from PLANNING, not from a broken file.
+    """
+
+    def __init__(self, version) -> None:
+        if isinstance(version, str) and version.startswith("snapshot version"):
+            super().__init__(version)  # reconstructed from a remote message
+        else:
+            super().__init__(
+                f"snapshot version {version} is no longer on disk "
+                f"(the peer checkpointed past it)"
+            )
+
+
 def format_path(path) -> str:
     if isinstance(path, str):
         return path

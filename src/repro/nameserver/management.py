@@ -32,12 +32,23 @@ from repro.rpc import (
 class ManagementService:
     """The server-side implementation, wrapping a NameServer/Replica."""
 
-    def __init__(self, server: NameServer, slow_log=None, profiler=None) -> None:
+    def __init__(
+        self,
+        server: NameServer,
+        slow_log=None,
+        profiler=None,
+        recover_hook=None,
+    ) -> None:
         self.server = server
         self.slow_log = slow_log
         #: optional :class:`~repro.obs.profiler.SamplingProfiler`: when
         #: attached, :meth:`profile` serves on-demand flame stacks.
         self.profiler = profiler
+        #: optional zero-argument callable that rebuilds this node's
+        #: replica from its peers and returns a report dict; wired by the
+        #: serving :class:`~repro.nameserver.serve.Node` so operators can
+        #: trigger staged replica recovery over RPC.
+        self.recover_hook = recover_hook
 
     # -- status -----------------------------------------------------------------
 
@@ -99,6 +110,54 @@ class ManagementService:
 
     def is_replica(self) -> bool:
         return hasattr(self.server, "sync_from")
+
+    def recover(self) -> dict:
+        """Rebuild this node's replica from its peers; returns a report.
+
+        Runs the staged :class:`~repro.nameserver.recover.ReplicaRecoverer`
+        via the hook the serving node wired in: snapshot shipping, log-tail
+        catch-up, atomic cutover.  ``{"ok": False, "error": ...}`` when no
+        hook is attached (an embedded server without peers) or recovery
+        failed; on success the recovery report's fields are inlined.
+        """
+        if self.recover_hook is None:
+            return {
+                "ok": False,
+                "error": "recovery is not wired on this server "
+                "(no peers, or not running under serve.Node)",
+            }
+        try:
+            report = self.recover_hook()
+        except Exception as exc:  # noqa: BLE001 - answer, don't kill the RPC
+            return {"ok": False, "error": repr(exc)}
+        return {"ok": True, **dict(report)}
+
+    def recovery_status(self) -> dict:
+        """Where replica recovery stands: stage, health, resumable state."""
+        from repro.nameserver.recover import (
+            RECOVERY_STAGES,
+            RECOVERY_STATE_FILE,
+            STAGE_CODES,
+        )
+
+        db = self.server.db
+        stage = "idle"
+        family = db.registry.get("recovery_stage")
+        if family is not None:
+            code = int(family.value)
+            names = {v: k for k, v in STAGE_CODES.items()}
+            stage = names.get(code, "idle")
+        resumable = False
+        try:
+            resumable = db.fs.exists(RECOVERY_STATE_FILE)
+        except Exception:  # noqa: BLE001 - a faulted fs answers "unknown"
+            pass
+        return {
+            "health": db.health,
+            "stage": stage,
+            "stages": list(RECOVERY_STAGES),
+            "resumable": resumable,
+        }
 
     # -- observability ----------------------------------------------------------
 
@@ -173,6 +232,8 @@ MANAGEMENT_INTERFACE.method("force_checkpoint", returns=Int)
 MANAGEMENT_INTERFACE.method("replication_vector", returns=DictOf(Str, Int))
 MANAGEMENT_INTERFACE.method("propagate", returns=Int)
 MANAGEMENT_INTERFACE.method("is_replica", returns=Bool)
+MANAGEMENT_INTERFACE.method("recover", returns=Pickled())
+MANAGEMENT_INTERFACE.method("recovery_status", returns=Pickled())
 MANAGEMENT_INTERFACE.method("metrics_text", returns=Str)
 MANAGEMENT_INTERFACE.method("metrics", returns=Pickled())
 MANAGEMENT_INTERFACE.method("last_trace_id", returns=Str)
@@ -204,6 +265,8 @@ class RemoteManagement:
         self.replication_vector = proxy.replication_vector
         self.propagate = proxy.propagate
         self.is_replica = proxy.is_replica
+        self.recover = proxy.recover
+        self.recovery_status = proxy.recovery_status
         self.metrics_text = proxy.metrics_text
         self.metrics = proxy.metrics
         self.last_trace_id = proxy.last_trace_id

@@ -13,6 +13,22 @@ All updates flow through exactly two registered operations:
   (last-writer-wins by ``(lamport, origin)``), which is what lets the
   anti-entropy protocol run in any order and still converge.
 
+Two further operations serve replica repair (they do not originate new
+history records):
+
+* ``ns_identity`` — administrative: reclaim this node's own replica id
+  after a snapshot import.  A shipped checkpoint carries the *peer's*
+  ``replica`` field; the recoverer logs this as the first entry of the
+  staged log so the cut-over replica originates updates under its own id
+  with a ``next_seq`` past anything the group has seen from it.
+
+* ``ns_repair`` — anti-entropy convergence for *silent* divergence: a
+  batch of authoritative leaves (tombstones included) force-written with
+  a deterministic tiebreak.  Plain last-writer-wins cannot resolve two
+  leaves carrying the *same* stamp but different values (exactly what
+  silent corruption produces), so equal stamps fall back to comparing
+  value digests — both sides converge to the same winner.
+
 The database root is a dictionary::
 
     {
@@ -48,6 +64,7 @@ from repro.nameserver.tree import (
     ensure_node,
     find_node,
     iter_leaves,
+    leaf_digest,
     live_leaf,
     parse_path,
 )
@@ -133,6 +150,73 @@ def ns_remote(root: dict, records: list[Record]) -> int:
         _record(root, update_id, lamport, action, params)
         fresh += 1
     return fresh
+
+
+@NAMESERVER_OPS.operation("ns_identity")
+def ns_identity(root: dict, replica_id: str) -> None:
+    """Reclaim ``replica_id`` as this root's own identity after a restore.
+
+    Deterministic in root + args (the replay contract): the new
+    ``next_seq`` continues from whatever the imported state has already
+    seen from this origin, so re-learned own updates are never reissued
+    under a reused id.
+    """
+    if not replica_id:
+        raise ValueError("replica_id must be non-empty")
+    root["replica"] = replica_id
+    root["next_seq"] = max(
+        root["next_seq"], root["vector"].get(replica_id, 0) + 1
+    )
+
+
+#: A repair leaf: (path, value, lamport, origin, deleted)
+RepairLeaf = tuple[tuple, object, int, str, bool]
+
+
+@NAMESERVER_OPS.operation("ns_repair")
+def ns_repair(root: dict, leaves: list[RepairLeaf]) -> int:
+    """Force-converge a batch of leaves; returns how many changed.
+
+    Unlike ``ns_remote`` this ships *state*, not history: the winning
+    leaf is written even when the local stamp ties it, using the digest
+    tiebreak below.  History, ``applied`` and the version vector are
+    untouched — repair fixes silent divergence without inventing update
+    records.
+    """
+    changed = 0
+    tree = root["tree"]
+    for path, value, lamport, origin, deleted in leaves:
+        incoming = Leaf(value, int(lamport), origin, bool(deleted))
+        node = ensure_node(tree, tuple(path))
+        if _repair_wins(incoming, node.leaf):
+            node.leaf = incoming
+            changed += 1
+    return changed
+
+
+@ns_repair.precondition
+def _ns_repair_pre(root: dict, leaves: list[RepairLeaf]) -> None:
+    for path, _value, _lamport, origin, _deleted in leaves:
+        _validate(tuple(path))
+        if not origin:
+            raise BadPath(f"repair leaf at {path!r} has an empty origin")
+
+
+def _repair_wins(incoming: Leaf, existing: Leaf | None) -> bool:
+    """Whether an incoming repair leaf replaces the local one.
+
+    Higher ``(lamport, origin)`` stamp wins as usual; *equal* stamps with
+    differing content fall back to comparing full leaf digests, so two
+    silently diverged replicas running repair against each other settle
+    on one value instead of each keeping its own.
+    """
+    if existing is None:
+        return True
+    if incoming.stamp() != existing.stamp():
+        return incoming.stamp() > existing.stamp()
+    theirs = leaf_digest(incoming)
+    ours = leaf_digest(existing)
+    return theirs > ours
 
 
 def _record(

@@ -27,6 +27,7 @@ TCP deployments.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.errors import DatabaseDegraded
@@ -134,22 +135,42 @@ def restore_replica(
 ) -> Replica:
     """Rebuild a replica from a peer after an unrecoverable hard error.
 
-    The damaged on-disk state is discarded entirely (every file deleted),
-    a fresh database is bootstrapped, and the source's complete update
-    history is replayed through the ordinary idempotent remote-apply
-    path — which also rebuilds the version vector, so future anti-entropy
-    picks up exactly where the restored data ends.  "This causes us to
-    lose only those updates that had been applied to the damaged replica
-    but not propagated to any other replica."
+    .. deprecated::
+        This whole-state path (wipe everything, replay the peer's entire
+        history through ``apply_remote``) is superseded by the staged,
+        resumable :class:`~repro.nameserver.recover.ReplicaRecoverer`,
+        which ships the peer's *checkpoint* plus only the log tail, and
+        survives crashes mid-restore.  This wrapper now routes through
+        the recoverer; call it directly for peer selection, resumability
+        and observability.
+
+    The damaged on-disk state is discarded entirely (every file deleted)
+    and the node is rebuilt from ``source``'s checkpoint and log tail.
+    "This causes us to lose only those updates that had been applied to
+    the damaged replica but not propagated to any other replica."
     """
+    warnings.warn(
+        "restore_replica is deprecated: use "
+        "repro.nameserver.recover.ReplicaRecoverer, which resumes after "
+        "crashes and ships a checkpoint instead of replaying all history",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.nameserver.recover import ReplicaRecoverer
+
     for name in list(fs.list_names()):
         fs.delete(name)
     fs.fsync_dir()
-    replica = Replica(fs, replica_id, **db_options)
-    history = source.export_state()
-    if history:
-        replica.apply_remote(history)
-    return replica
+    recoverer = ReplicaRecoverer(
+        fs,
+        replica_id,
+        [source],
+        clock=db_options.get("clock"),
+        registry=db_options.get("registry"),
+        flight=db_options.get("flight"),
+        db_options=db_options,
+    )
+    return recoverer.run()
 
 
 class ReplicaGroup:
@@ -212,6 +233,7 @@ COMMUNICATION_ERRORS = (PeerUnavailable, TransportError, OSError)
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
+RECOVERING = "recovering"
 
 
 class CircuitBreaker:
@@ -220,9 +242,18 @@ class CircuitBreaker:
     ``failure_threshold`` consecutive failures open the circuit; while
     open, :meth:`allow` refuses traffic (no timeouts wasted on a dead
     peer) until ``reset_timeout_seconds`` have passed on the injected
-    clock, after which exactly one probe call is allowed (half-open).
-    The probe's outcome either closes the circuit or re-opens it for
+    clock, after which probe calls are allowed (half-open).  The circuit
+    closes only after ``success_threshold`` *consecutive* probe
+    successes — a single lucky probe against a flapping peer must not
+    re-admit full traffic — and any probe failure re-opens it for
     another full timeout.
+
+    A fourth state, ``RECOVERING``, is entered explicitly via
+    :meth:`mark_recovering` when the peer is being rebuilt by the
+    replica recoverer: no traffic (not even probes) flows until
+    :meth:`mark_recovered` — recovery completion, not elapsed time, is
+    the only way out, mirroring the health state machine's rule that
+    nothing self-promotes back to healthy.
     """
 
     def __init__(
@@ -230,37 +261,56 @@ class CircuitBreaker:
         clock: Clock | None = None,
         failure_threshold: int = 3,
         reset_timeout_seconds: float = 30.0,
+        success_threshold: int = 2,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold counts from 1")
+        if success_threshold < 1:
+            raise ValueError("success_threshold counts from 1")
         if reset_timeout_seconds < 0:
             raise ValueError("reset timeout cannot be negative")
         self.clock = clock if clock is not None else WallClock()
         self.failure_threshold = failure_threshold
+        self.success_threshold = success_threshold
         self.reset_timeout_seconds = reset_timeout_seconds
         self.state = CLOSED
         self.consecutive_failures = 0
+        self.consecutive_successes = 0
         self.times_opened = 0
         self._opened_at = 0.0
 
     def allow(self) -> bool:
         """Whether a call to this peer should be attempted now."""
+        if self.state == RECOVERING:
+            return False  # only mark_recovered() re-admits traffic
         if self.state == OPEN:
             if (
                 self.clock.now() - self._opened_at
                 >= self.reset_timeout_seconds
             ):
-                self.state = HALF_OPEN  # one probe may pass
+                self.state = HALF_OPEN  # probes may pass
+                self.consecutive_successes = 0
                 return True
             return False
         return True
 
     def record_success(self) -> None:
-        self.state = CLOSED
+        if self.state == RECOVERING:
+            return
         self.consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self.consecutive_successes += 1
+            if self.consecutive_successes >= self.success_threshold:
+                self.state = CLOSED
+                self.consecutive_successes = 0
+        else:
+            self.state = CLOSED
 
     def record_failure(self) -> None:
+        if self.state == RECOVERING:
+            return
         self.consecutive_failures += 1
+        self.consecutive_successes = 0
         if (
             self.state == HALF_OPEN
             or self.consecutive_failures >= self.failure_threshold
@@ -269,6 +319,103 @@ class CircuitBreaker:
                 self.times_opened += 1
             self.state = OPEN
             self._opened_at = self.clock.now()
+
+    def mark_recovering(self) -> None:
+        """The peer is being rebuilt; quarantine it from all traffic."""
+        self.state = RECOVERING
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+
+    def mark_recovered(self) -> None:
+        """Recovery finished; the peer rejoins with a clean slate."""
+        if self.state == RECOVERING:
+            self.state = CLOSED
+            self.consecutive_failures = 0
+            self.consecutive_successes = 0
+
+
+# -- anti-entropy tree comparison ---------------------------------------------
+#
+# Version vectors catch *missing updates*; they cannot catch silent
+# divergence — two replicas whose vectors agree but whose trees differ
+# (bit rot below the checksums, a buggy replay, operator surgery).  The
+# Merkle digests exposed by ``tree_digest`` localise such a difference in
+# O(depth) pairwise calls, and ``repair_leaves`` force-converges exactly
+# the diverged bindings — no full snapshot transfer.
+
+
+def diverged_leaf_paths(
+    left: object, right: object, path: tuple = ()
+) -> tuple[list[tuple[str, tuple]], int]:
+    """Walk two peers' Merkle digests; localise every divergence.
+
+    Returns ``(items, comparisons)`` where each item is ``("leaf", path)``
+    — the single binding at ``path`` differs — or ``("subtree", path)``
+    — the subtree exists on only one side and must be shipped whole.
+    ``comparisons`` counts the ``tree_digest`` exchanges made (two per
+    level on the diverged spine, so O(depth) per differing binding).
+    """
+    items: list[tuple[str, tuple]] = []
+    comparisons = _diff_digests(left, right, path, items)
+    return items, comparisons
+
+
+def _diff_digests(
+    left: object, right: object, path: tuple, items: list
+) -> int:
+    lrep = left.tree_digest(path)
+    rrep = right.tree_digest(path)
+    comparisons = 2
+    if lrep["digest"] == rrep["digest"]:
+        return comparisons
+    if lrep["leaf"] != rrep["leaf"]:
+        items.append(("leaf", path))
+    lchildren = lrep["children"]
+    rchildren = rrep["children"]
+    for name in sorted(set(lchildren) | set(rchildren)):
+        child = path + (name,)
+        if name not in lchildren or name not in rchildren:
+            items.append(("subtree", child))
+        elif lchildren[name] != rchildren[name]:
+            comparisons += _diff_digests(left, right, child, items)
+    return comparisons
+
+
+def repair_divergence(
+    left: object, right: object, items: list[tuple[str, tuple]]
+) -> int:
+    """Cross-apply the diverged leaves both ways; returns leaves shipped.
+
+    Both sides run the same deterministic ``ns_repair`` merge (stamp
+    order, digest tiebreak on equal stamps), so after one exchange the
+    pair agrees on every shipped binding regardless of which side's
+    value wins.
+    """
+    shipped = 0
+    for kind, path in items:
+        left_leaves = left.read_leaves(path)
+        right_leaves = right.read_leaves(path)
+        if kind == "leaf":
+            # Only the binding at the path itself; its children digests
+            # matched, so shipping the subtree would be waste.
+            left_leaves = [x for x in left_leaves if not list(x[0])]
+            right_leaves = [x for x in right_leaves if not list(x[0])]
+        to_left = _absolute(path, right_leaves)
+        to_right = _absolute(path, left_leaves)
+        if to_left:
+            left.repair_leaves(to_left)
+            shipped += len(to_left)
+        if to_right:
+            right.repair_leaves(to_right)
+            shipped += len(to_right)
+    return shipped
+
+
+def _absolute(path: tuple, leaves: list) -> list:
+    return [
+        (tuple(path) + tuple(relative), value, lamport, origin, deleted)
+        for relative, value, lamport, origin, deleted in leaves
+    ]
 
 
 @dataclass
@@ -297,6 +444,10 @@ class SyncReport:
     peers_synced: int = 0
     peers_skipped: list[str] = field(default_factory=list)
     peers_failed: list[str] = field(default_factory=list)
+    #: pairs whose version vectors agreed but whose tree digests did not
+    tree_mismatches: int = 0
+    #: bindings force-converged by the Merkle repair walk this round
+    leaves_repaired: int = 0
 
 
 class ResilientReplicaGroup:
@@ -320,7 +471,9 @@ class ResilientReplicaGroup:
         clock: Clock | None = None,
         failure_threshold: int = 3,
         reset_timeout_seconds: float = 30.0,
+        success_threshold: int = 2,
         track_staleness: bool = True,
+        anti_entropy_repair: bool = True,
         registry: MetricsRegistry | None = None,
         flight=None,
     ) -> None:
@@ -339,9 +492,15 @@ class ResilientReplicaGroup:
             raise ValueError("one peer_id per peer")
         self.peer_ids = list(peer_ids)
         self.clock = clock if clock is not None else WallClock()
+        #: when False, sync rounds skip the Merkle digest comparison (the
+        #: version-vector gossip still runs)
+        self.anti_entropy_repair = anti_entropy_repair
         self.breakers = {
             peer_id: CircuitBreaker(
-                self.clock, failure_threshold, reset_timeout_seconds
+                self.clock,
+                failure_threshold,
+                reset_timeout_seconds,
+                success_threshold,
             )
             for peer_id in self.peer_ids
         }
@@ -362,7 +521,8 @@ class ResilientReplicaGroup:
         )
         self._breaker_state = self.registry.gauge(
             "replication_breaker_state",
-            "Per-peer circuit state: 0 closed, 1 half-open, 2 open.",
+            "Per-peer circuit state: 0 closed, 1 half-open, 2 open, "
+            "3 recovering.",
             labelnames=("peer",),
         )
         self._breaker_opens = self.registry.counter(
@@ -380,6 +540,20 @@ class ResilientReplicaGroup:
             "Updates refused by a degraded read-only replica and failed "
             "over to a peer.",
             labelnames=("peer",),
+        )
+        self._tree_mismatches = self.registry.counter(
+            "replication_tree_mismatches_total",
+            "Sync pairs whose version vectors agreed but whose Merkle "
+            "tree digests did not (silent divergence detected).",
+        )
+        self._tree_repairs = self.registry.counter(
+            "replication_tree_repairs_total",
+            "Merkle repair walks that force-converged a diverged pair.",
+        )
+        self._repair_leaves_shipped = self.registry.counter(
+            "replication_repair_leaves_shipped_total",
+            "Bindings shipped by anti-entropy tree repair (not whole "
+            "snapshots).",
         )
         self._breaker_state_series = {
             peer_id: self._breaker_state.labels(peer_id)
@@ -409,7 +583,7 @@ class ResilientReplicaGroup:
             if self._allow(peer_id)
         ]
 
-    _STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+    _STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2, RECOVERING: 3}
 
     def _allow(self, peer_id: str) -> bool:
         allowed = self.breakers[peer_id].allow()
@@ -599,7 +773,11 @@ class ResilientReplicaGroup:
             try:
                 records = source.updates_since(peer.summary())
                 moved = peer.apply_remote(records) if records else 0
-                self._note_vector(dict(peer.summary()))
+                peer_vector = dict(peer.summary())
+                self._note_vector(peer_vector)
+                self._tree_repair_pass(
+                    peer_id, peer, source_id, source, peer_vector, report
+                )
             except (CallMaybeExecuted, *COMMUNICATION_ERRORS) as exc:
                 # An ambiguous apply_remote is tolerable here: remote
                 # apply is idempotent (version-vector filtered), so the
@@ -615,6 +793,78 @@ class ResilientReplicaGroup:
             report.peers_synced += 1
             report.records_moved += moved
         return report
+
+    def _tree_repair_pass(
+        self,
+        peer_id: str,
+        peer: object,
+        source_id: str,
+        source: object,
+        peer_vector: dict[str, int],
+        report: SyncReport,
+    ) -> None:
+        """Merkle-compare a synced pair; force-converge silent divergence.
+
+        Only meaningful once the pair's version vectors agree — while
+        records are still flowing, differing trees are expected, and the
+        next round compares again.  Peers predating the repair surface
+        (no ``tree_digest``) are skipped silently: the interface extends
+        wire-compatibly.
+        """
+        if not self.anti_entropy_repair:
+            return
+        if not hasattr(peer, "tree_digest") or not hasattr(
+            source, "tree_digest"
+        ):
+            return
+        if peer_vector != dict(source.summary()):
+            return
+        if peer.tree_digest()["digest"] == source.tree_digest()["digest"]:
+            return
+        report.tree_mismatches += 1
+        self._tree_mismatches.inc()
+        if self.flight is not None:
+            self.flight.record(
+                "tree_divergence", peer=peer_id, source=source_id
+            )
+        items, comparisons = diverged_leaf_paths(peer, source)
+        shipped = repair_divergence(peer, source, items)
+        report.leaves_repaired += shipped
+        self._tree_repairs.inc()
+        self._repair_leaves_shipped.inc(shipped)
+        if self.flight is not None:
+            self.flight.record(
+                "tree_repair",
+                peer=peer_id,
+                source=source_id,
+                leaves_shipped=shipped,
+                comparisons=comparisons,
+            )
+
+    # -- replica recovery -----------------------------------------------------
+
+    def mark_recovering(self, peer_id: str) -> None:
+        """Quarantine ``peer_id`` while the recoverer rebuilds it.
+
+        Reads, updates and sync rounds all skip a RECOVERING peer; unlike
+        OPEN there is no timed re-probe — only :meth:`mark_recovered`
+        (recovery completion) re-admits traffic.
+        """
+        self.breakers[peer_id].mark_recovering()
+        self._note_breaker(peer_id)
+
+    def mark_recovered(self, peer_id: str, peer: object = None) -> None:
+        """Re-admit a rebuilt peer, optionally swapping in its new handle.
+
+        Cutover produces a *new* replica object (the old one was closed
+        with its damaged database); pass it as ``peer`` so subsequent
+        reads and syncs reach the rebuilt instance.
+        """
+        if peer is not None:
+            self.peers[self.peer_ids.index(peer_id)] = peer
+        self.breakers[peer_id].mark_recovered()
+        self.last_errors[peer_id] = None
+        self._note_breaker(peer_id)
 
     # -- observability --------------------------------------------------------
 

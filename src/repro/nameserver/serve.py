@@ -21,6 +21,7 @@ import sys
 from dataclasses import dataclass, field
 
 from repro.core.daemon import CheckpointDaemon
+from repro.core.version import read_current_version
 from repro.core.policy import AnyOf, CheckpointPolicy, EveryNUpdates, LogSizeThreshold
 from repro.nameserver.client import RemoteNameServer
 from repro.nameserver.management import MANAGEMENT_INTERFACE, ManagementService
@@ -69,6 +70,10 @@ class NodeOptions:
     #: TCP front end: "eventloop" (selector loop + dispatch pool, the
     #: default) or "threaded" (one thread per connection)
     server_model: str = "eventloop"
+    #: when True, a node that is (or becomes) degraded automatically runs
+    #: staged replica recovery against its peers: snapshot shipping,
+    #: log-tail catch-up, atomic cutover (see repro.nameserver.recover)
+    auto_recover: bool = False
 
 
 class Node:
@@ -92,26 +97,37 @@ class Node:
             if options.spare_directory is not None
             else None
         )
-        self.replica = Replica(
-            LocalFS(options.directory, registry=self.registry),
-            options.replica_id,
+        # Kept for recovery: the recoverer rebuilds the replica on the
+        # same filesystem with the same database options after cutover.
+        self._fs = LocalFS(options.directory, registry=self.registry)
+        self._db_options = dict(
             registry=self.registry,
             tracer=self.tracer,
             spare_fs=spare_fs,
             fault_retries=options.fault_retries,
             flight=self.flight,
         )
+        self._recover_lock = threading.Lock()
+        # A directory with no committed version is a replacement device
+        # (or an interrupted recovery's staged files): gossip alone can
+        # never rebuild it once peers have checkpointed past their
+        # history, so it is a recovery trigger alongside bad health.
+        was_blank = read_current_version(self._fs) is None
+        self.replica = Replica(
+            self._fs, options.replica_id, **self._db_options
+        )
         self._peer_transports: list[TcpTransport] = []
         self._connect_peers()
 
         self.rpc = RpcServer(registry=self.registry, tracer=self.tracer)
         self.rpc.export(NAMESERVER_INTERFACE, self.replica)
-        self.rpc.export(
-            MANAGEMENT_INTERFACE,
-            ManagementService(
-                self.replica, slow_log=self.slow_log, profiler=self.profiler
-            ),
+        self.management = ManagementService(
+            self.replica,
+            slow_log=self.slow_log,
+            profiler=self.profiler,
+            recover_hook=self.recover,
         )
+        self.rpc.export(MANAGEMENT_INTERFACE, self.management)
         if options.server_model not in SERVER_MODELS:
             raise ValueError(
                 f"unknown server model {options.server_model!r}; "
@@ -154,6 +170,21 @@ class Node:
                 self.replica.db, policy, poll_interval=0.25
             ).start()
 
+        if (
+            options.auto_recover
+            and (self.replica.db.health != "healthy" or was_blank)
+            and self.replica.peers
+        ):
+            # The node came up degraded — or fresh on an empty directory —
+            # with peers reachable: repair now rather than serving stale
+            # (or no) data until an operator notices.  Failure is
+            # survivable — the node keeps serving and the sync loop
+            # retries.
+            try:
+                self.recover()
+            except Exception:
+                pass  # recorded by the recoverer's flight events/metrics
+
     @property
     def port(self) -> int:
         return self.listener.port
@@ -185,12 +216,91 @@ class Node:
             for address in list(self.unreachable_peers):
                 if self._try_connect(address):
                     self.unreachable_peers.remove(address)
+            if (
+                self.options.auto_recover
+                and self.replica.db.health != "healthy"
+                and self.replica.peers
+            ):
+                try:
+                    self.recover()
+                except Exception:
+                    pass  # degraded but alive; retried next round
+                continue
             self.replica.propagate()
             for peer in list(self.replica.peers):
                 try:
                     self.replica.sync_from(peer)
                 except Exception:
                     continue  # peer down; next round will retry
+
+    def recover(self) -> dict:
+        """Rebuild this node's replica from its peers; returns the report.
+
+        The staged recoverer (snapshot shipping → log-tail catch-up →
+        atomic cutover) runs against the already-connected peer proxies.
+        The old database is closed first — cutover produces a *new*
+        replica on the same directory — and the node's RPC exports and
+        checkpoint daemon are re-wired to the rebuilt instance, so
+        clients never see a different address, only a brief refusal
+        window while stages run.  If recovery fails the original
+        (degraded) database is reopened and keeps serving enquiries.
+        """
+        from dataclasses import asdict
+
+        from repro.nameserver.recover import ReplicaRecoverer
+
+        with self._recover_lock:
+            if not self.replica.peers:
+                raise RuntimeError(
+                    "replica recovery needs at least one connected peer"
+                )
+            peers = list(self.replica.peers)
+            monitor = self.replica.db.health_monitor
+            try:
+                self.replica.close()
+            except Exception:
+                pass  # a faulted device may refuse even the close
+            if self.checkpoint_daemon is not None:
+                self.checkpoint_daemon.stop()
+                self.checkpoint_daemon = None
+            recoverer = ReplicaRecoverer(
+                self._fs,
+                self.options.replica_id,
+                peers,
+                registry=self.registry,
+                flight=self.flight,
+                health_monitor=monitor,
+                db_options=self._db_options,
+            )
+            try:
+                replica = recoverer.run()
+            except Exception:
+                # The staged files are invisible to restarts; reopen the
+                # old committed state so enquiries keep flowing.
+                self._rewire(
+                    Replica(
+                        self._fs,
+                        self.options.replica_id,
+                        **self._db_options,
+                    ),
+                    peers,
+                )
+                raise
+            self._rewire(replica, peers)
+            return asdict(recoverer.report)
+
+    def _rewire(self, replica: Replica, peers: list[object]) -> None:
+        """Point the node's moving parts at a freshly opened replica."""
+        for peer in peers:
+            replica.add_peer(peer)
+        self.replica = replica
+        self.rpc.export(NAMESERVER_INTERFACE, replica)
+        self.management.server = replica
+        policy = _build_policy(self.options)
+        if policy is not None:
+            self.checkpoint_daemon = CheckpointDaemon(
+                replica.db, policy, poll_interval=0.25
+            ).start()
 
     def sync_now(self) -> int:
         """One synchronous gossip round (used by tests and operators)."""
@@ -306,6 +416,12 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP front end: the event-driven selector loop (default) or "
         "the legacy thread-per-connection server",
     )
+    parser.add_argument(
+        "--auto-recover", action="store_true",
+        help="when degraded or booting on an empty directory, "
+        "automatically rebuild this replica from a peer (snapshot "
+        "shipping + log-tail catch-up + atomic cutover)",
+    )
     args = parser.parse_args(argv)
 
     node = build_node(
@@ -324,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
             fault_retries=args.fault_retries,
             profile_interval=args.profile_interval,
             server_model=args.server_model,
+            auto_recover=args.auto_recover,
         )
     )
     extra = ""

@@ -18,9 +18,17 @@ exportable through :class:`repro.rpc.RpcServer`.
 
 from __future__ import annotations
 
+import zlib
+
 from repro.core.database import Database
 from repro.core.errors import DatabaseDegraded
-from repro.nameserver.errors import BadPath, NameExists, NameNotFound
+from repro.core.version import checkpoint_name
+from repro.nameserver.errors import (
+    BadPath,
+    NameExists,
+    NameNotFound,
+    SnapshotGone,
+)
 from repro.nameserver.operations import (
     NAMESERVER_OPS,
     new_root,
@@ -28,11 +36,15 @@ from repro.nameserver.operations import (
 )
 from repro.nameserver.tree import (
     count_live,
+    digest_report,
+    find_node,
+    iter_leaves,
     list_directory,
     live_leaf,
     parse_path,
     subtree_entries,
 )
+from repro.storage.errors import StorageError
 from repro.rpc import (
     Bool,
     DictOf,
@@ -161,6 +173,98 @@ class NameServer:
         """Complete history for replica restoration after a hard error."""
         return self.db.enquire(lambda root: list(root["history"]))
 
+    # -- replica repair hooks --------------------------------------------------
+
+    def snapshot_manifest(self) -> dict:
+        """What a recovering peer needs to plan against this replica.
+
+        The checkpoint named here is write-once: its size is stable for
+        as long as the file exists, and a later checkpoint switch makes
+        ``snapshot_chunk`` raise :class:`SnapshotGone` rather than serve
+        a different file under the same version number.
+        """
+        db = self.db
+        version = db.version
+        try:
+            nbytes = db.fs.size(checkpoint_name(version))
+        except StorageError as exc:
+            raise SnapshotGone(version) from exc
+        return {
+            "replica_id": self.replica_id,
+            "version": version,
+            "checkpoint_bytes": nbytes,
+            "vector": self.summary(),
+            "health": db.health,
+        }
+
+    def snapshot_chunk(self, version: int, offset: int, length: int) -> dict:
+        """One checksummed page of checkpoint ``version``.
+
+        Returns ``{"data": bytes, "crc": int}``; short (or empty) data at
+        the end of the file is the caller's end-of-snapshot signal.  The
+        per-chunk CRC guards the *transfer*; the whole downloaded file is
+        additionally validated against the checkpoint format's own
+        checksum before cutover.
+        """
+        if offset < 0 or length <= 0:
+            raise ValueError("offset must be >= 0 and length > 0")
+        try:
+            data = self.db.fs.read_range(checkpoint_name(version), offset, length)
+        except StorageError as exc:
+            raise SnapshotGone(version) from exc
+        return {"data": data, "crc": zlib.crc32(data) & 0xFFFFFFFF}
+
+    def tree_digest(self, path=()) -> dict:
+        """The Merkle digest report of the subtree at ``path``.
+
+        One level deep — the node's own digest, its leaf digest and each
+        child's digest — so a diverged pair of replicas can walk toward
+        the difference in O(depth) calls (see ``digest_report``).
+        """
+        parsed = parse_path(path) if path else ()
+        return self.db.enquire(
+            lambda root: digest_report(find_node(root["tree"], parsed))
+        )
+
+    def read_leaves(self, path=()) -> list:
+        """Every leaf at/below ``path`` — tombstones included — with stamps.
+
+        The repair wire format: ``(relative path, value, lamport, origin,
+        deleted)`` tuples, consumed by :meth:`repair_leaves` on the
+        diverged side.
+        """
+        parsed = parse_path(path) if path else ()
+
+        def read(root):
+            node = find_node(root["tree"], parsed)
+            if node is None:
+                return []
+            return [
+                (list(relative), leaf.value, leaf.lamport, leaf.origin,
+                 leaf.deleted)
+                for relative, leaf in iter_leaves(
+                    node, include_tombstones=True
+                )
+            ]
+
+        return self.db.enquire(read)
+
+    def repair_leaves(self, leaves: list) -> int:
+        """Apply authoritative repair leaves; returns how many changed.
+
+        Absolute paths here (the caller resolves the diverged subtree's
+        prefix); one logged ``ns_repair`` transaction, so the fix is as
+        durable as any update.
+        """
+        if not leaves:
+            return 0
+        canonical = [
+            (tuple(parse_path(path)), value, int(lamport), str(origin),
+             bool(deleted))
+            for path, value, lamport, origin, deleted in leaves
+        ]
+        return self.db.update("ns_repair", canonical)
+
     # -- administration ------------------------------------------------------------
 
     def checkpoint(self) -> int:
@@ -202,6 +306,18 @@ def nameserver_interface(name: str = "NameServer") -> Interface:
     )
     iface.method("apply_remote", params=[("records", Pickled())], returns=Int)
     iface.method("export_state", returns=Pickled())
+    # Replica repair: snapshot shipping + anti-entropy tree comparison.
+    # Dispatch is by method name, so extending the interface stays wire-
+    # compatible with peers that predate it (they answer UnknownMethod).
+    iface.method("snapshot_manifest", returns=Pickled())
+    iface.method(
+        "snapshot_chunk",
+        params=[("version", Int), ("offset", Int), ("length", Int)],
+        returns=Pickled(),
+    )
+    iface.method("tree_digest", params=[("path", path)], returns=Pickled())
+    iface.method("read_leaves", params=[("path", path)], returns=Pickled())
+    iface.method("repair_leaves", params=[("leaves", Pickled())], returns=Int)
     iface.error(NameNotFound)
     iface.error(NameExists)
     iface.error(BadPath)
@@ -209,6 +325,9 @@ def nameserver_interface(name: str = "NameServer") -> Interface:
     # callers (and the replica group's failover) see the condition rather
     # than a generic server fault.
     iface.error(DatabaseDegraded)
+    # A checkpoint switch mid-download invalidates the streamed version;
+    # the recoverer renegotiates its plan on this typed signal.
+    iface.error(SnapshotGone)
     return iface
 
 

@@ -19,10 +19,11 @@ Paths are tuples of non-empty strings; the convenience parser accepts
 
 from __future__ import annotations
 
-from typing import Iterator
+import hashlib
+from typing import Callable, Iterator
 
 from repro.nameserver.errors import BadPath
-from repro.pickles import DEFAULT_REGISTRY
+from repro.pickles import DEFAULT_REGISTRY, pickle_write
 
 Path = tuple[str, ...]
 Stamp = tuple[int, str]  # (lamport counter, origin replica id)
@@ -156,6 +157,77 @@ def subtree_entries(root: Node, path: Path) -> list[tuple[Path, object]]:
 
 def count_live(root: Node) -> int:
     return sum(1 for _ in iter_leaves(root))
+
+
+# -- Merkle digests (anti-entropy) --------------------------------------------
+#
+# A node's digest commits to its own leaf (value bytes + stamp + deleted
+# flag, tombstones included — a diverged *deletion* must be detectable)
+# and to every child's digest keyed by name.  Two replicas whose root
+# digests match therefore hold byte-identical trees; when they differ,
+# comparing child digests pairwise localises the divergence in O(depth)
+# exchanges without shipping any values.
+
+#: encodes a leaf value to canonical bytes for hashing
+Encoder = Callable[[object], bytes]
+
+
+def default_encoder(value: object) -> bytes:
+    """Canonical value bytes via the default pickle registry.
+
+    PickleWrite is deterministic for a given value (no memo randomness,
+    registry-stable class records), so every replica derives the same
+    digest for the same leaf.
+    """
+    return pickle_write(value, DEFAULT_REGISTRY)
+
+
+def leaf_digest(leaf: Leaf, encode: Encoder = default_encoder) -> bytes:
+    """A digest committing to one leaf's value, stamp and tombstone flag."""
+    h = hashlib.sha256()
+    h.update(b"L")
+    h.update(repr((leaf.lamport, leaf.origin, leaf.deleted)).encode("utf-8"))
+    h.update(encode(leaf.value))
+    return h.digest()
+
+
+def node_digest(node: Node, encode: Encoder = default_encoder) -> bytes:
+    """The Merkle digest of a whole subtree (leaf + named children)."""
+    h = hashlib.sha256()
+    h.update(b"N")
+    if node.leaf is not None:
+        h.update(leaf_digest(node.leaf, encode))
+    for name in sorted(node.children):
+        h.update(name.encode("utf-8"))
+        h.update(node_digest(node.children[name], encode))
+    return h.digest()
+
+
+def digest_report(
+    node: Node | None, encode: Encoder = default_encoder
+) -> dict[str, object]:
+    """One anti-entropy exchange unit: this node's hashes, one level deep.
+
+    ``{"digest": hex, "leaf": hex | None, "children": {name: hex}}`` —
+    enough for the peer to decide whether the divergence is in the leaf
+    here, in a particular child subtree, or in a child that only one side
+    has.  ``None`` (no node at this path) reports the canonical empty
+    digest so both sides can compare uniformly.
+    """
+    if node is None:
+        node = Node()
+    return {
+        "digest": node_digest(node, encode).hex(),
+        "leaf": (
+            leaf_digest(node.leaf, encode).hex()
+            if node.leaf is not None
+            else None
+        ),
+        "children": {
+            name: node_digest(child, encode).hex()
+            for name, child in node.children.items()
+        },
+    }
 
 
 def prune_empty(node: Node) -> None:

@@ -26,6 +26,12 @@ _LAZY = {
     "NetFaultOutcome": "repro.sim.netsweep",
     "NetSweepResult": "repro.sim.netsweep",
     "NetworkFaultSweep": "repro.sim.netsweep",
+    "RecoveryFaultOutcome": "repro.sim.recoversweep",
+    "RecoverySweep": "repro.sim.recoversweep",
+    "RecoverySweepResult": "repro.sim.recoversweep",
+    "RepairOutcome": "repro.sim.iosweep",
+    "RepairSweepResult": "repro.sim.iosweep",
+    "ReplicaRepairSweep": "repro.sim.iosweep",
     "NameWorkload": "repro.sim.workload",
     "OperationMix": "repro.sim.workload",
     "READ_MOSTLY": "repro.sim.workload",
@@ -35,6 +41,7 @@ _LAZY = {
     "account_record": "repro.sim.workload",
     "account_records": "repro.sim.workload",
     "random_names": "repro.sim.workload",
+    "run_divergence": "repro.sim.iosweep",
 }
 
 __all__ = [

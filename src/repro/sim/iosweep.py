@@ -41,6 +41,19 @@ A capacity-budget scenario (:func:`run_capacity`) covers the organic
 disk-full path as well: a :class:`SimFS` with a finite page budget fills
 up mid-workload, and the same invariants must hold.
 
+Two replica-level scenarios extend the claim from "the node survives"
+to "the *replica set* heals the node":
+
+* :class:`ReplicaRepairSweep` re-runs the persistent-fault quantification
+  against a name server replica with a healthy peer, and requires every
+  degraded run to end with the faulted node back in HEALTHY via the
+  staged :class:`~repro.nameserver.recover.ReplicaRecoverer` — peer
+  snapshot shipped, log tail caught up, state equal to the peer's;
+* :func:`run_divergence` seeds a silent same-stamp divergence between
+  two HEALTHY replicas and requires the anti-entropy tree comparison to
+  detect and repair it within two sync rounds, shipping only the
+  diverged leaves rather than a full snapshot.
+
 Run standalone (the CI job does)::
 
     PYTHONPATH=src python -m repro.sim.iosweep
@@ -58,6 +71,9 @@ from repro.core import (
     HEALTHY,
     OperationRegistry,
 )
+from repro.nameserver.recover import RecoveryFailed, ReplicaRecoverer
+from repro.nameserver.replication import Replica, ResilientReplicaGroup
+from repro.nameserver.tree import find_node, parse_path
 from repro.obs.flight import BLACKBOX_FILE, FlightRecorder, load_blackbox
 from repro.sim.clock import SimClock
 from repro.storage import FaultyFS, MediaFaultInjector, SimFS
@@ -556,6 +572,360 @@ def run_capacity(
     return failures
 
 
+# -- replica repair: every persistent fault healed via a peer -------------------
+
+#: The repair workload: binds on both sides of a *peer* checkpoint, so
+#: the shipped snapshot and the log tail past it both carry state, and a
+#: re-bound name makes a doubled or dropped replay visible.
+REPAIR_STEPS: list[Step] = [
+    ("bind", "svc/web/alpha", 1),
+    ("bind", "svc/web/beta", 2),
+    ("peer_checkpoint",),
+    ("bind", "svc/db/gamma", 3),
+    ("bind", "svc/web/alpha", 4),
+]
+
+#: only the kinds that must degrade take the repair path
+REPAIR_KINDS = ("persistent", "disk_full")
+
+
+@dataclass
+class RepairOutcome:
+    """One faulted-then-repaired run against the replica-set model."""
+
+    fault_at_event: int
+    kind: str
+    acked: int
+    degraded: bool
+    recovered: bool = False
+    bytes_shipped: int = 0
+    entries_replayed: int = 0
+    resumed: bool = False
+    failure: str | None = None
+
+
+@dataclass
+class RepairSweepResult:
+    total_events: int
+    outcomes: list[RepairOutcome] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> list[RepairOutcome]:
+        return [o for o in self.outcomes if o.failure is not None]
+
+    @property
+    def recovered_runs(self) -> int:
+        return sum(1 for o in self.outcomes if o.recovered)
+
+    def assert_clean(self) -> None:
+        if self.failures:
+            first = self.failures[0]
+            raise AssertionError(
+                f"{len(self.failures)} of {self.runs} persistent-fault "
+                f"runs did not end HEALTHY via peer repair; first: event "
+                f"{first.fault_at_event} kind={first.kind}: {first.failure}"
+            )
+
+    def summary(self) -> str:
+        return (
+            f"replica repair: {self.runs} runs over {self.total_events} "
+            f"disk events: {len(self.failures)} failures, "
+            f"{self.recovered_runs} healed via peer snapshot + log tail"
+        )
+
+    def report(self) -> dict:
+        return {
+            "total_events": self.total_events,
+            "runs": self.runs,
+            "failures": len(self.failures),
+            "recovered_runs": self.recovered_runs,
+            "outcomes": [asdict(o) for o in self.outcomes],
+        }
+
+
+class ReplicaRepairSweep:
+    """The io-fault sweep lifted to a replica set that heals itself.
+
+    The primary runs over a :class:`FaultyFS`; a healthy peer replica
+    receives every acknowledged update by eager propagation.  For every
+    disk event k and every persistent fault kind, the primary must
+    degrade, and the staged :class:`ReplicaRecoverer` must then take it
+    from DEGRADED_READ_ONLY back to HEALTHY with exactly the peer's
+    state: the peer's checkpoint shipped in chunks, the history records
+    past its version vector caught up as a log tail, the old damaged
+    files gone after cutover.
+    """
+
+    def __init__(
+        self,
+        steps: list[Step] | None = None,
+        kinds: tuple[str, ...] = REPAIR_KINDS,
+        fault_retries: int = 2,
+    ) -> None:
+        unknown = set(kinds) - set(KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        if not all(KINDS[kind][0] for kind in kinds):
+            raise ValueError("the repair sweep only sweeps persistent kinds")
+        self.steps = list(REPAIR_STEPS if steps is None else steps)
+        self.kinds = kinds
+        self.fault_retries = fault_retries
+
+    def _build(self, injector: MediaFaultInjector):
+        clock = SimClock()
+        prime = SimFS(clock=clock)
+        flight = FlightRecorder(clock=clock)
+        injector.flight = flight
+        primary = Replica(
+            FaultyFS(prime, injector),
+            "prime",
+            clock=clock,
+            durability="immediate",
+            fault_retries=self.fault_retries,
+            flight=flight,
+        )
+        peer = Replica(
+            SimFS(clock=clock), "buddy", clock=clock, durability="immediate"
+        )
+        primary.add_peer(peer)
+        # Both databases opened cleanly; only runtime faults from here on,
+        # and only the primary's disk events are counted.
+        injector.arm()
+        return prime, primary, peer, flight, clock
+
+    def _drive(self, primary: Replica, peer: Replica):
+        """Run the script; returns (acked bindings, records, ckpt records,
+        hit DatabaseDegraded).
+
+        Every acknowledged bind is propagated to the peer before the next
+        step, so the peer always holds exactly the acked prefix — the
+        ground truth recovery must reproduce.
+        """
+        acked: dict[str, object] = {}
+        records = 0
+        checkpointed_records: int | None = None
+        for step in self.steps:
+            if step[0] == "peer_checkpoint":
+                peer.checkpoint()
+                checkpointed_records = records
+                continue
+            try:
+                primary.bind(step[1], step[2])
+            except DatabaseDegraded:
+                return acked, records, checkpointed_records, True
+            acked[step[1]] = step[2]
+            records += 1
+            primary.propagate()
+        return acked, records, checkpointed_records, False
+
+    def count_events(self) -> int:
+        """Dry run: counted disk operations on the primary's device."""
+        injector = MediaFaultInjector()
+        _prime, primary, peer, _flight, _clock = self._build(injector)
+        self._drive(primary, peer)
+        primary.db.close()
+        return injector.events_seen
+
+    def run(self, max_events: int | None = None) -> RepairSweepResult:
+        total = self.count_events()
+        swept = total if max_events is None else min(total, max_events)
+        result = RepairSweepResult(total_events=total)
+        for fault_at in range(1, swept + 1):
+            for kind in self.kinds:
+                result.outcomes.append(self._run_one(fault_at, kind))
+        return result
+
+    def _run_one(self, fault_at: int, kind: str) -> RepairOutcome:
+        persistent, error = KINDS[kind]
+        injector = MediaFaultInjector(
+            fault_at_event=fault_at, persistent=persistent, error=error
+        )
+        prime, primary, peer, flight, clock = self._build(injector)
+        try:
+            acked, records, ckpt_records, degraded = self._drive(
+                primary, peer
+            )
+        except Exception as exc:  # noqa: BLE001 - any escape is a finding
+            return RepairOutcome(
+                fault_at, kind, 0, False,
+                failure=f"workload raised outside the typed surface: {exc!r}",
+            )
+        outcome = RepairOutcome(fault_at, kind, len(acked), degraded)
+        if not degraded:
+            outcome.failure = (
+                "persistent fault was injected but the primary completed "
+                "without degrading"
+            )
+            return outcome
+        failures: list[str] = []
+        monitor = primary.db.health_monitor
+        injector.disarm()  # the device is replaced before the repair
+        try:
+            primary.db.close()
+        except Exception:  # noqa: BLE001 - a degraded close may refuse
+            pass
+        prime.crash()
+        recoverer = ReplicaRecoverer(
+            prime,
+            "prime",
+            [peer],
+            clock=clock,
+            flight=flight,
+            health_monitor=monitor,
+        )
+        try:
+            replica = recoverer.run()
+        except RecoveryFailed as exc:
+            outcome.failure = f"peer repair failed: {exc}"
+            return outcome
+        report = recoverer.report
+        outcome.recovered = True
+        outcome.bytes_shipped = report.bytes_shipped
+        outcome.entries_replayed = report.entries_replayed
+        outcome.resumed = report.resumed
+        self._judge(replica, peer, monitor, flight, report, acked, records,
+                    ckpt_records, failures)
+        if failures:
+            outcome.failure = "; ".join(failures)
+        return outcome
+
+    def _judge(
+        self,
+        replica: Replica,
+        peer: Replica,
+        monitor,
+        flight: FlightRecorder,
+        report,
+        acked: dict,
+        records: int,
+        ckpt_records: int | None,
+        failures: list[str],
+    ) -> None:
+        if replica.db.health != HEALTHY:
+            failures.append(
+                f"recovered replica reports health={replica.db.health!r}"
+            )
+        if monitor.state != HEALTHY:
+            failures.append(
+                f"the degraded node's monitor never took the "
+                f"RECOVERING -> HEALTHY edge (state={monitor.state!r})"
+            )
+        recovered = {
+            "/".join(path): value for path, value in replica.read_subtree()
+        }
+        expected = {
+            "/".join(parse_path(path)): value for path, value in acked.items()
+        }
+        if recovered != expected:
+            failures.append(
+                f"recovered state {recovered!r} != acked prefix "
+                f"{expected!r} (an acknowledged update was lost or "
+                f"invented across the repair)"
+            )
+        peer_state = {
+            "/".join(path): value for path, value in peer.read_subtree()
+        }
+        if recovered != peer_state:
+            failures.append(
+                f"recovered state {recovered!r} != peer state "
+                f"{peer_state!r}"
+            )
+        for stage in ("planning", "snapshot", "log_tail", "cutover", "done"):
+            if stage not in report.stages:
+                failures.append(f"recovery skipped the {stage!r} stage")
+        if report.bytes_shipped <= 0:
+            failures.append("no checkpoint bytes were shipped from the peer")
+        expected_tail = records - (ckpt_records or 0)
+        if report.entries_replayed != expected_tail:
+            failures.append(
+                f"{report.entries_replayed} history records caught up, "
+                f"expected {expected_tail} (records past the peer's "
+                f"checkpoint vector)"
+            )
+        if "recovery_complete" not in flight.kinds():
+            failures.append(
+                "the flight recorder never saw recovery_complete"
+            )
+
+
+def run_divergence(max_rounds: int = 2) -> list[str]:
+    """Silent divergence between HEALTHY replicas, healed by anti-entropy.
+
+    Seeds two converged replicas, then corrupts one leaf on one of them
+    *without* touching its replication stamp — the failure mode version
+    vectors cannot see.  The resilient group's per-round Merkle
+    comparison must detect the divergence and repair it within
+    ``max_rounds`` sync rounds, shipping only the diverged leaves (never
+    a full snapshot: the recoverer plays no part here).  Returns a list
+    of invariant violations (empty = clean).
+    """
+    failures: list[str] = []
+    clock = SimClock()
+    left = Replica(SimFS(clock=clock), "left", clock=clock)
+    right = Replica(SimFS(clock=clock), "right", clock=clock)
+    left.add_peer(right)
+    seeds = [
+        ("svc/web/alpha", 1),
+        ("svc/web/beta", 2),
+        ("svc/db/gamma", 3),
+        ("cfg/ttl", 60),
+        ("cfg/quota", 5),
+    ]
+    for path, value in seeds:
+        left.bind(path, value)
+    left.propagate()
+    if left.summary() != right.summary():
+        return ["seeding did not converge the pair"]
+
+    target = parse_path("svc/web/beta")
+
+    def corrupt(root) -> None:
+        # The silent fault: a new value under the *old* stamp, as a
+        # replay bug or memory corruption would leave it.
+        find_node(root["tree"], target).leaf.value = -999
+
+    right.db.enquire(corrupt)
+    if left.tree_digest() == right.tree_digest():
+        return ["the seeded corruption did not change the tree digest"]
+
+    group = ResilientReplicaGroup(
+        [left, right], clock=clock, track_staleness=False
+    )
+    mismatches = 0
+    shipped = 0
+    rounds_used = 0
+    for rounds_used in range(1, max_rounds + 1):
+        report = group.sync_round()
+        mismatches += report.tree_mismatches
+        shipped += report.leaves_repaired
+        if left.tree_digest() == right.tree_digest():
+            break
+    if mismatches < 1:
+        failures.append("the divergence was never detected")
+    if left.tree_digest() != right.tree_digest():
+        failures.append(
+            f"replicas still diverged after {rounds_used} sync rounds"
+        )
+    if sorted(left.read_subtree()) != sorted(right.read_subtree()):
+        failures.append("tree digests agree but the entries differ")
+    if shipped == 0:
+        failures.append("convergence happened without shipping any repair")
+    elif shipped >= len(seeds):
+        failures.append(
+            f"repair shipped {shipped} leaves for 1 diverged binding "
+            f"of {len(seeds)} — that is a full transfer, not a targeted "
+            f"repair"
+        )
+    follow_up = group.sync_round()
+    if follow_up.tree_mismatches != 0:
+        failures.append("a repaired pair still reports tree mismatches")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: run the sweep, print the summary, exit 0/1."""
     import argparse
@@ -608,13 +978,32 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL {capacity_failures[-1]}")
     if not capacity_failures:
         print("capacity-budget disk-full scenario: clean")
+    repair_result = ReplicaRepairSweep().run(max_events=args.max_events)
+    print(repair_result.summary())
+    for outcome in repair_result.failures:
+        print(
+            f"FAIL repair event {outcome.fault_at_event} "
+            f"kind={outcome.kind}: {outcome.failure}"
+        )
+    divergence_failures = run_divergence()
+    for failure in divergence_failures:
+        print(f"FAIL divergence: {failure}")
+    if not divergence_failures:
+        print("anti-entropy divergence scenario: clean")
     if args.report is not None:
         report = result.report()
         report["capacity_failures"] = capacity_failures
+        report["repair"] = repair_result.report()
+        report["divergence_failures"] = divergence_failures
         with open(args.report, "w", encoding="ascii") as f:
             json.dump(report, f, indent=2)
         print(f"report written to {args.report}")
-    return 1 if (result.failures or capacity_failures) else 0
+    return 1 if (
+        result.failures
+        or capacity_failures
+        or repair_result.failures
+        or divergence_failures
+    ) else 0
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ no-op.  After repairing it re-validates and exits with the fresh status.
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from dataclasses import dataclass, field
@@ -57,8 +58,11 @@ from repro.tools.meter import scan_summary, timed_pass
 
 _KNOWN = re.compile(
     r"^(checkpoint\d+|logfile\d+|archive\d+|version|newversion"
-    r"|manifest|quarantine\..+)$"
+    r"|manifest|recovery\.json|quarantine\..+)$"
 )
+
+#: the replica recoverer's fsynced resume point (see nameserver.recover)
+RECOVERY_STATE_FILE = "recovery.json"
 
 #: prefix given to damaged files set aside (never deleted) by ``--repair``
 QUARANTINE_PREFIX = "quarantine."
@@ -107,12 +111,35 @@ def fsck_directory(fs: FileSystem) -> FsckReport:
     """Validate a database directory; read-only."""
     report = FsckReport()
     current = read_current_version(fs)
+    recovery = _recovery_state(fs)
+    recovery_target = (
+        recovery.get("target_version") if recovery is not None else None
+    )
+    if recovery is not None:
+        if recovery_target is None:
+            report.warn(
+                f"{RECOVERY_STATE_FILE} is unreadable: a resuming "
+                f"recoverer will discard it and replan"
+            )
+        else:
+            report.note(
+                f"replica recovery in progress (stage "
+                f"{recovery.get('stage', '?')!r}, staging version "
+                f"{recovery_target}); resumable"
+            )
 
     if current is None:
-        if numbered_files(fs):
+        if any(
+            version != recovery_target for version in numbered_files(fs)
+        ):
             report.error(
                 "checkpoint/log files exist but no valid version file names "
                 "them; recovery would bootstrap a fresh database"
+            )
+        elif recovery_target is not None:
+            report.note(
+                "no committed version yet: directory holds only the "
+                "in-progress recovery's staged files"
             )
         else:
             report.note("empty directory: a fresh database would bootstrap here")
@@ -141,6 +168,11 @@ def fsck_directory(fs: FileSystem) -> FsckReport:
             _check_checkpoint(fs, version, report, fatal=False)
             if fs.exists(logfile_name(version)):
                 _check_log(fs, logfile_name(version), report, tail_is_warning=False)
+        elif version == recovery_target:
+            report.note(
+                f"version {version} is staged by the in-progress replica "
+                f"recovery (invisible to restarts until its cutover)"
+            )
         else:
             report.warn(
                 f"partial newer version {version}: a checkpoint was "
@@ -226,6 +258,20 @@ def repair_directory(fs: FileSystem) -> list[str]:
     """
     actions: list[str] = []
     current = read_current_version(fs)
+
+    # An in-progress replica recovery is aborted cleanly first: its staged
+    # checkpoint may be complete-but-uncommitted, and the missing-version
+    # salvage below must never promote a file that was half of an aborted
+    # network transfer to "the committed state".  Aborting loses nothing
+    # committed (staged files are invisible to restarts by definition) and
+    # the recoverer simply replans on its next run.
+    from repro.nameserver.recover import abandon_recovery
+
+    if abandon_recovery(fs):
+        actions.append(
+            "aborted the in-progress replica recovery (staged files "
+            "discarded; the recoverer replans from scratch)"
+        )
 
     if current is None:
         # No usable version file.  If a complete, readable version exists
@@ -338,6 +384,21 @@ def repair_directory(fs: FileSystem) -> list[str]:
     return actions
 
 
+def _recovery_state(fs: FileSystem) -> dict | None:
+    """The recoverer's resume state: None if absent, {} if unreadable."""
+    if not fs.exists(RECOVERY_STATE_FILE):
+        return None
+    try:
+        state = json.loads(fs.read(RECOVERY_STATE_FILE))
+    except Exception:  # noqa: BLE001 - any damage means "unreadable"
+        return {}
+    if not isinstance(state, dict) or not isinstance(
+        state.get("target_version"), int
+    ):
+        return {}
+    return state
+
+
 def _checkpoint_readable(fs: FileSystem, version: int) -> bool:
     try:
         read_checkpoint(fs, checkpoint_name(version))
@@ -381,7 +442,11 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
     fs = LocalFS(options.directory, registry=registry)
     with timed_pass(registry, "fsck"):
         report = fsck_directory(fs)
-        if options.repair and not report.clean:
+        # A resumable recovery is only a note (a restart resumes it), but
+        # --repair states the operator wants the directory settled now, so
+        # it counts as repairable: the staged files are abandoned.
+        abandonable = fs.exists(RECOVERY_STATE_FILE)
+        if options.repair and (not report.clean or abandonable):
             for action in repair_directory(fs):
                 out.write(f"repair:  {action}\n")
             report = fsck_directory(fs)

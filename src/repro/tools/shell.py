@@ -19,6 +19,7 @@ Commands::
     find <pattern>       glob enumeration (*, **)
     count                live name count
     health               storage health state (degraded read-only?)
+    recover              rebuild this replica from a peer (staged recovery)
     checkpoint           force a checkpoint (local only)
     metrics              the unified metrics registry (Prometheus text)
     trace [id]           render one trace tree (default: newest)
@@ -98,9 +99,9 @@ class Shell:
         self._print(
             "commands: ls [path] | tree [path] | get <path> | "
             "set <path> <value> | rm <path> | rmtree <path> | "
-            "find <pattern> | count | health | checkpoint | metrics | "
-            "trace [id] | slowops | profile [seconds] | flight [kind] | "
-            "quit"
+            "find <pattern> | count | health | recover | checkpoint | "
+            "metrics | trace [id] | slowops | profile [seconds] | "
+            "flight [kind] | quit"
         )
 
     def do_ls(self, args: list[str]) -> None:
@@ -158,6 +159,33 @@ class Shell:
         if detail.get("checkpoint_retry_pending"):
             line += " [checkpoint retry pending]"
         self._print(line)
+
+    def do_recover(self, args: list[str]) -> None:
+        """``recover``: staged replica repair from a peer, via management.
+
+        Shows where recovery stands first (stage, resumable state), then
+        triggers the rebuild and reports what was shipped.
+        """
+        if self.management is None:
+            self._print("recovery is not available over this connection")
+            return
+        status = self.management.recovery_status()
+        self._print(
+            f"health: {status.get('health', '?')}, "
+            f"stage: {status.get('stage', '?')}"
+            + (" [resumable state on disk]" if status.get("resumable") else "")
+        )
+        answer = self.management.recover()
+        if not answer.get("ok"):
+            self._print(f"recovery failed: {answer.get('error', 'unknown')}")
+            return
+        self._print(
+            f"recovered from peer {answer.get('peer_id', '?')!r} as "
+            f"version {answer.get('target_version', '?')}: "
+            f"{answer.get('bytes_shipped', 0)} checkpoint bytes shipped, "
+            f"{answer.get('entries_replayed', 0)} log records caught up"
+            + (" (resumed)" if answer.get("resumed") else "")
+        )
 
     def do_checkpoint(self, args: list[str]) -> None:
         checkpoint = getattr(self.server, "checkpoint", None)

@@ -13,7 +13,7 @@ import pytest
 
 from repro.core import Database
 from repro.core.errors import CheckpointFailed, DatabaseDegraded
-from repro.core.health import DEGRADED_READ_ONLY, FAILED, HEALTHY
+from repro.core.health import DEGRADED_READ_ONLY, FAILED, HEALTHY, RECOVERING
 from repro.storage import FaultyFS, MediaFaultInjector, SimFS
 from repro.storage.failures import WRITE_OPS
 
@@ -246,3 +246,63 @@ class TestCheckpointFaults:
         with pytest.raises(CheckpointFailed):
             db.checkpoint()
         assert db.registry.get("db_checkpoint_failures_total").value == 1.0
+
+
+class TestRecoveringEdges:
+    """The replica-repair edges: DEGRADED|FAILED -> RECOVERING -> HEALTHY."""
+
+    def test_degraded_node_can_begin_recovery(self, harness):
+        db, injector, _, _ = harness()
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "a", 1)
+        monitor = db.health_monitor
+        assert monitor.begin_recovery(source="peer-b") is True
+        assert monitor.state == RECOVERING
+        assert "peer-b" in monitor.cause
+
+    def test_healthy_node_refuses_recovery(self, harness):
+        db, _, _, _ = harness()
+        assert db.health_monitor.begin_recovery(source="peer-b") is False
+        assert db.health_monitor.state == HEALTHY
+
+    def test_recovered_returns_to_healthy(self, harness):
+        db, injector, _, _ = harness()
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "a", 1)
+        monitor = db.health_monitor
+        monitor.begin_recovery(source="peer-b")
+        assert monitor.recovered() is True
+        assert monitor.state == HEALTHY
+        assert monitor.cause is None
+
+    def test_recovered_is_only_valid_from_recovering(self, harness):
+        db, _, _, _ = harness()
+        assert db.health_monitor.recovered() is False
+        assert db.health_monitor.state == HEALTHY
+
+    def test_failed_repair_falls_back_to_degraded(self, harness):
+        db, injector, _, _ = harness()
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "a", 1)
+        monitor = db.health_monitor
+        monitor.begin_recovery(source="peer-b")
+        assert monitor.recovery_failed("peer went away") is True
+        assert monitor.state == DEGRADED_READ_ONLY
+        assert monitor.cause == "peer went away"
+        # The node is no worse off: a later attempt is still eligible.
+        assert monitor.begin_recovery(source="peer-c") is True
+
+    def test_gauge_tracks_the_recovery_round_trip(self, harness):
+        db, injector, _, _ = harness()
+        gauge = db.registry.get("db_health_state")
+        _schedule(injector, persistent=True)
+        with pytest.raises(DatabaseDegraded):
+            db.update("set", "a", 1)
+        assert gauge.value == 1.0
+        db.health_monitor.begin_recovery(source="peer-b")
+        assert gauge.value == 3.0
+        db.health_monitor.recovered()
+        assert gauge.value == 0.0

@@ -186,3 +186,34 @@ class TestRepairCli:
         status = fsck_main([directory, "--repair"], out=out)
         assert status == 0
         assert "repair:" not in out.getvalue()
+
+    def test_repair_flag_abandons_a_resumable_recovery(self, tmp_path, clock):
+        # An interrupted replica recovery is only a *note* (a restart
+        # resumes it), but --repair states the operator wants the
+        # directory settled now, so it must abandon the staged files.
+        from repro.nameserver import Replica, ReplicaRecoverer
+
+        source = Replica(SimFS(clock=clock), "source", clock=clock)
+        source.bind("svc/web", 1)
+        directory = str(tmp_path / "reborn")
+
+        class Stop(Exception):
+            pass
+
+        def crash_at_log_tail(point):
+            if point == "log_tail":
+                raise Stop
+
+        with pytest.raises(Stop):
+            ReplicaRecoverer(
+                LocalFS(directory), "reborn", [source], clock=clock,
+                stage_observer=crash_at_log_tail,
+            ).run()
+        out = io.StringIO()
+        assert fsck_main([directory], out=out) == 0
+        assert "recovery in progress" in out.getvalue()
+        out = io.StringIO()
+        status = fsck_main([directory, "--repair"], out=out)
+        assert status == 0
+        assert "aborted the in-progress replica recovery" in out.getvalue()
+        assert not LocalFS(directory).exists("recovery.json")

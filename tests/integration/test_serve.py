@@ -155,3 +155,48 @@ class TestParanoidEnquiries:
 
         with pytest.raises(DatabaseError, match="mutated"):
             db.enquire(sneaky)
+
+
+class TestAutoRecover:
+    def _seed_and_checkpoint(self, node: Node, count: int = 8) -> None:
+        client = data_client(node)
+        for i in range(count):
+            client.bind(f"svc/app/node{i:02d}", i)
+        # Checkpoint past the history: gossip alone can no longer
+        # rebuild a blank peer; only snapshot shipping can.
+        node.replica.checkpoint()
+
+    def test_blank_node_rebuilds_itself_at_boot(self, tmp_path):
+        with build_node(
+            NodeOptions(str(tmp_path / "west"), replica_id="west",
+                        sync_interval=600.0)
+        ) as west:
+            self._seed_and_checkpoint(west)
+            options = NodeOptions(
+                str(tmp_path / "east"),
+                replica_id="east",
+                peers=[f"{west.listener.host}:{west.port}"],
+                sync_interval=600.0,  # boot-time recovery, not the loop
+                auto_recover=True,
+            )
+            with build_node(options) as east:
+                client = data_client(east)
+                assert client.count() == 8
+                assert client.lookup("svc/app/node03") == 3
+                assert client.summary() == data_client(west).summary()
+                assert east.replica.db.health == "healthy"
+
+    def test_blank_node_without_the_flag_stays_empty(self, tmp_path):
+        with build_node(
+            NodeOptions(str(tmp_path / "west"), replica_id="west",
+                        sync_interval=600.0)
+        ) as west:
+            self._seed_and_checkpoint(west)
+            options = NodeOptions(
+                str(tmp_path / "east"),
+                replica_id="east",
+                peers=[f"{west.listener.host}:{west.port}"],
+                sync_interval=600.0,
+            )
+            with build_node(options) as east:
+                assert data_client(east).count() == 0

@@ -78,17 +78,44 @@ class TestCircuitBreaker:
         assert breaker.allow()
         assert breaker.state == HALF_OPEN
 
-    def test_probe_success_closes(self):
+    def test_probe_successes_close(self):
         clock = SimClock()
         breaker = CircuitBreaker(
-            clock, failure_threshold=1, reset_timeout_seconds=1.0
+            clock, failure_threshold=1, reset_timeout_seconds=1.0,
+            success_threshold=2,
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        # One lucky probe against a flapping peer must not re-admit full
+        # traffic: the circuit stays half-open until success_threshold
+        # consecutive probes succeed.
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_resets_success_streak(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            clock, failure_threshold=1, reset_timeout_seconds=1.0,
+            success_threshold=2,
         )
         breaker.record_failure()
         clock.advance(1.0)
         assert breaker.allow()
         breaker.record_success()
-        assert breaker.state == CLOSED
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # the streak must restart from zero
+        assert breaker.state == OPEN
+        clock.advance(1.0)
         assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CLOSED
 
     def test_probe_failure_reopens_for_full_timeout(self):
         clock = SimClock()
@@ -175,9 +202,14 @@ class TestDegradedReads:
         assert group.status()["a"]["state"] == OPEN
         flaky.down = False
         clock.advance(5.0)
-        result = group.lookup("k")  # half-open probe succeeds
+        result = group.lookup("k")  # first half-open probe succeeds
         assert result.served_by == "a"
         assert not result.degraded
+        # still half-open: the default success_threshold of 2 demands a
+        # second consecutive probe success before closing
+        assert group.status()["a"]["state"] == HALF_OPEN
+        result = group.lookup("k")
+        assert result.served_by == "a"
         assert group.status()["a"]["state"] == CLOSED
         assert group.status()["a"]["last_error"] is None
 

@@ -10,9 +10,11 @@ import pytest
 from repro.sim import IoFaultSweep
 from repro.sim.iosweep import (
     DEFAULT_STEPS,
+    ReplicaRepairSweep,
     main,
     model_states,
     run_capacity,
+    run_divergence,
 )
 
 
@@ -134,3 +136,40 @@ class TestCli:
         ) == 0
         out = capsys.readouterr().out
         assert "event   1" in out and "event   2" in out
+
+
+class TestReplicaRepairSweep:
+    def test_repair_event_count_is_deterministic(self):
+        sweep = ReplicaRepairSweep()
+        events = sweep.count_events()
+        assert events > 0
+        assert sweep.count_events() == events
+
+    def test_every_persistent_fault_ends_healthy_via_the_peer(self):
+        result = ReplicaRepairSweep().run(max_events=4)
+        result.assert_clean()
+        assert result.runs == 4 * 2  # events x (persistent, disk_full)
+        assert result.recovered_runs == result.runs
+        for outcome in result.outcomes:
+            assert outcome.degraded
+            assert outcome.recovered
+            assert outcome.bytes_shipped > 0
+
+    def test_transient_kinds_are_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicaRepairSweep(kinds=("transient",))
+
+    def test_full_sweep_is_clean(self):
+        result = ReplicaRepairSweep(kinds=("persistent",)).run()
+        result.assert_clean()
+        assert result.runs == result.total_events
+
+
+class TestDivergence:
+    def test_seeded_divergence_heals_within_two_rounds(self):
+        assert run_divergence(max_rounds=2) == []
+
+    def test_even_one_round_converges_this_pair(self):
+        # The ring pairs the two replicas on the first pass, so a single
+        # round already detects and repairs the seeded corruption.
+        assert run_divergence(max_rounds=1) == []

@@ -1,0 +1,69 @@
+"""The recovery sweep: staged replica repair under scheduled faults."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.recoversweep import (
+    RecoverySweep,
+    SWEEP_KINDS,
+    main,
+)
+
+
+class TestEventCounting:
+    def test_event_counts_are_deterministic(self):
+        sweep = RecoverySweep()
+        events = sweep.count_events()
+        assert events > 0
+        assert sweep.count_events() == events
+
+    def test_clean_recovery_has_multiple_crash_points(self):
+        # planning, snapshot, >=1 chunk, log_tail, cutover, done
+        assert RecoverySweep().count_crash_points() >= 6
+
+
+class TestBoundedSweep:
+    def test_bounded_sweep_is_clean(self):
+        result = RecoverySweep().run(max_events=4)
+        result.assert_clean()
+        # 4 network events x 3 kinds + 4 crash points
+        assert result.runs == 4 * len(SWEEP_KINDS) + 4
+        assert result.network_events > 4
+
+    def test_every_faulted_recovery_converges(self):
+        result = RecoverySweep(kinds=("drop",)).run(max_events=3)
+        result.assert_clean()
+        for outcome in result.outcomes:
+            assert outcome.completed
+            assert outcome.bytes_shipped > 0
+
+    def test_crash_runs_resume_from_durable_boundaries(self):
+        result = RecoverySweep(kinds=()).run(max_events=None)
+        result.assert_clean()
+        crashes = [o for o in result.outcomes if o.mode == "crash"]
+        assert len(crashes) == result.crash_points
+        # Crashes after the first durable save must resume, not restart.
+        assert any(o.resumed for o in crashes)
+
+    def test_delay_faults_never_break_recovery(self):
+        result = RecoverySweep(kinds=("delay",)).run(max_events=4)
+        result.assert_clean()
+
+
+class TestCli:
+    def test_cli_exit_zero_on_clean_sweep(self, capsys):
+        assert main(["--max-events", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failures" in out
+
+    def test_cli_report_artifact(self, tmp_path, capsys):
+        path = str(tmp_path / "recoversweep.json")
+        assert main(
+            ["--max-events", "1", "--kinds", "drop", "--report", path]
+        ) == 0
+        with open(path, encoding="ascii") as f:
+            report = json.load(f)
+        assert report["failures"] == 0
+        assert report["runs"] == 2  # 1 network event x drop + 1 crash point
+        assert len(report["outcomes"]) == 2
