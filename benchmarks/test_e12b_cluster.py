@@ -1,0 +1,124 @@
+"""E12b — cluster scale-out of the sharded name service (wall clock).
+
+E12 measures the paper's §7 sharding suggestion inside one process;
+this extension measures the promoted form: N real shard *processes*
+(each an ordinary ``repro.nameserver.serve`` with its own log and
+checkpoint files) behind the shard router, over real TCP.
+
+Every shard runs ``--durability immediate`` with a modelled 15 ms
+device commit latency (``ThrottledFS``), so each update pays a real
+wall-clock fsync inside its shard's event loop.  That makes the commit
+path the bottleneck the way the paper's hardware made it one: a single
+shard serializes its updates at ~1/15ms regardless of client
+concurrency, and the only way to go faster is more shards — which is
+precisely the claim E12b locks in (update throughput scaling ≥ 3x from
+1 to 4 shards).  Enquiries never touch the disk and measure routing
+overhead; ``scatter`` is the cross-shard ``count()`` fan-out, whose
+latency tracks the *slowest* shard and so stays roughly flat while
+update throughput scales.
+
+These are wall-clock numbers with all shard processes and the client
+fleet sharing one machine, so absolute rates understate a real
+deployment; the regression sentry locks in the *scaling ratio* and
+guards the rates with wide tolerances (see ``results/regress.json``).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+from repro.cluster.loadgen import run_load
+from repro.cluster.serve import ClusterSupervisor
+from repro.obs.regress import metric
+
+SHARD_COUNTS = (1, 2, 4, 8)
+COMMIT_LATENCY_S = 0.015  # modelled device fsync cost per update
+WORKERS = 16  # closed-loop client threads
+UPDATE_SECONDS = 2.0
+READ_SECONDS = 1.0
+KEYSPACE = 256  # distinct first components, spread by hash
+REQUIRED_SCALING_1_TO_4 = 3.0
+
+SHARD_ARGS = [
+    "--durability", "immediate",
+    "--commit-latency", str(COMMIT_LATENCY_S),
+]
+
+
+def _measure_cell(base_dir: str, num_shards: int) -> dict:
+    with ClusterSupervisor(
+        base_dir, num_shards=num_shards, shard_args=SHARD_ARGS
+    ) as supervisor:
+        shard_map = supervisor.coordinator.current_map()
+        update = run_load(
+            shard_map, mode="update", workers=WORKERS,
+            duration=UPDATE_SECONDS, keyspace=KEYSPACE,
+        )
+        enquire = run_load(
+            shard_map, mode="enquire", workers=WORKERS,
+            duration=READ_SECONDS, keyspace=KEYSPACE,
+        )
+        scatter = run_load(
+            shard_map, mode="scatter", workers=2, duration=READ_SECONDS
+        )
+    return {"update": update, "enquire": enquire, "scatter": scatter}
+
+
+def test_e12b_update_throughput_scales_with_shards(
+    benchmark, report, tmp_path
+):
+    cells: dict[int, dict] = {}
+
+    def run():
+        cells.clear()
+        for num_shards in SHARD_COUNTS:
+            cells[num_shards] = _measure_cell(
+                str(tmp_path / f"cluster{num_shards}"), num_shards
+            )
+        return cells
+
+    once(benchmark, run)
+
+    for num_shards, cell in cells.items():
+        for mode, stats in cell.items():
+            assert stats["errors"] == 0, (num_shards, mode, stats)
+            assert stats["ops"] > 0, (num_shards, mode, stats)
+
+    update_rate = {n: cells[n]["update"]["rate"] for n in SHARD_COUNTS}
+    scaling_4 = update_rate[4] / update_rate[1]
+    assert scaling_4 >= REQUIRED_SCALING_1_TO_4, update_rate
+
+    report(
+        "E12b cluster scale-out (real TCP, N shard processes)",
+        [
+            f"{n:2d} shard(s): "
+            f"update {cells[n]['update']['rate']:7.1f}/s "
+            f"(p99 {cells[n]['update']['p99_ms']:6.1f} ms), "
+            f"enquire {cells[n]['enquire']['rate']:7.1f}/s, "
+            f"scatter count p99 {cells[n]['scatter']['p99_ms']:6.1f} ms"
+            for n in SHARD_COUNTS
+        ]
+        + [
+            f"update scaling 1 → 4 shards: {scaling_4:.2f}x "
+            f"(required ≥ {REQUIRED_SCALING_1_TO_4}x)"
+        ],
+        data={
+            str(n): cells[n] for n in SHARD_COUNTS
+        },
+        metrics={
+            "e12b_update_scaling_1_to_4": metric(
+                scaling_4, "x", direction="higher"
+            ),
+            "e12b_update_rate_1_shard_per_s": metric(
+                update_rate[1], "1/s", direction="higher"
+            ),
+            "e12b_update_rate_4_shards_per_s": metric(
+                update_rate[4], "1/s", direction="higher"
+            ),
+            "e12b_enquire_rate_4_shards_per_s": metric(
+                cells[4]["enquire"]["rate"], "1/s", direction="higher"
+            ),
+            "e12b_scatter_p99_ms_8_shards": metric(
+                cells[8]["scatter"]["p99_ms"], "ms", direction="lower"
+            ),
+        },
+    )

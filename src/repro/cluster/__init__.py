@@ -1,0 +1,65 @@
+"""Sharded scale-out: many name servers behind one routed namespace.
+
+The paper's §7 suggestion — treat a large database "as multiple separate
+databases" — promoted to a deployment:
+
+* :mod:`repro.cluster.shardmap` — the epoch-numbered range → shard
+  assignment (hash of the first path component);
+* :mod:`repro.cluster.shard` — the server-side wrapper enforcing
+  ownership (typed ``WrongShard`` redirects) and dual-write mirroring;
+* :mod:`repro.cluster.router` — the client: keyed routing, redirect
+  following, scatter-gather with partial-failure reporting;
+* :mod:`repro.cluster.migrate` — online split/migration, staged and
+  resumable, cut over through the version-switch idiom;
+* :mod:`repro.cluster.coordinator` — the shard map's durable owner,
+  health checks, aggregated metrics;
+* :mod:`repro.cluster.serve` — the multi-process launcher
+  (``python -m repro.cluster.serve``).
+"""
+
+from repro.cluster.coordinator import (
+    COORDINATOR_INTERFACE,
+    SHARDMAP_FILE,
+    Coordinator,
+    RemoteCoordinator,
+)
+from repro.cluster.errors import (
+    ClusterError,
+    ClusterPartialFailure,
+    MigrationFailed,
+    ShardMapError,
+    ShardUnavailable,
+    WrongShard,
+)
+from repro.cluster.migrate import (
+    MIGRATION_STAGES,
+    MigrationReport,
+    ShardMigration,
+    pending_migration,
+)
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import SHARD_INTERFACE, RemoteShard, ShardService
+from repro.cluster.shardmap import ShardInfo, ShardMap
+
+__all__ = [
+    "COORDINATOR_INTERFACE",
+    "ClusterError",
+    "ClusterPartialFailure",
+    "Coordinator",
+    "MIGRATION_STAGES",
+    "MigrationFailed",
+    "MigrationReport",
+    "RemoteCoordinator",
+    "RemoteShard",
+    "SHARDMAP_FILE",
+    "SHARD_INTERFACE",
+    "ShardInfo",
+    "ShardMap",
+    "ShardMapError",
+    "ShardMigration",
+    "ShardRouter",
+    "ShardService",
+    "ShardUnavailable",
+    "WrongShard",
+    "pending_migration",
+]

@@ -1,0 +1,332 @@
+"""The coordinator: owner of the shard map, health checker, split driver.
+
+Deliberately lightweight — the coordinator holds **no data**.  Its one
+durable possession is the shard map, persisted with the same
+stage-then-atomically-switch idiom the database uses for versions: the
+new map is written to ``shardmap.new``, fsynced, renamed over
+``shardmap.json`` and the directory fsynced, so a crash leaves either the
+old complete map or the new complete map, never a torn one.  Everything
+else it does — health-checking shards over the management RPC,
+aggregating their metrics, driving a split migration — is reconstructible
+from that file plus the shards themselves.
+
+A coordinator that crashes mid-migration resumes on restart
+(:meth:`Coordinator.resume_migration`): the migration's own state file
+lives in the same directory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable
+
+from repro.cluster.errors import ClusterError
+from repro.cluster.migrate import (
+    MIGRATION_STATE_FILE,
+    ShardMigration,
+    pending_migration,
+)
+from repro.cluster.shard import RemoteShard
+from repro.cluster.shardmap import ShardMap
+from repro.rpc import DictOf, Int, Interface, Pickled, Str
+from repro.storage.interface import FileSystem
+
+#: the committed map and its staging file (version-switch idiom)
+SHARDMAP_FILE = "shardmap.json"
+SHARDMAP_STAGING_FILE = "shardmap.new"
+
+
+def _tcp_shard_client(shard_info) -> RemoteShard:
+    from repro.rpc import TcpTransport
+
+    host, _, port = shard_info.address.rpartition(":")
+    return RemoteShard(TcpTransport(host, int(port)))
+
+
+def _tcp_management(address: str):
+    from repro.nameserver.management import RemoteManagement
+    from repro.rpc import TcpTransport
+
+    host, _, port = address.rpartition(":")
+    return RemoteManagement(TcpTransport(host, int(port)))
+
+
+class Coordinator:
+    """Owns the persisted shard map and drives cluster maintenance.
+
+    ``shard_client_factory(shard_info)`` and
+    ``management_factory(address)`` are injectable for the simulation
+    sweeps; production defaults dial TCP.
+    """
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        *,
+        shard_client_factory: Callable[[object], object] | None = None,
+        management_factory: Callable[[str], object] | None = None,
+        flight=None,
+        stage_retries: int = 2,
+    ) -> None:
+        self.fs = fs
+        self.shard_client_factory = shard_client_factory or _tcp_shard_client
+        self.management_factory = management_factory or _tcp_management
+        self.flight = flight
+        self.stage_retries = stage_retries
+        self._lock = threading.Lock()
+        self.map: ShardMap | None = self._load_map()
+
+    # -- the persisted map ----------------------------------------------------
+
+    def _load_map(self) -> ShardMap | None:
+        # An interrupted publish leaves a staging file; the committed map
+        # is whatever the *rename* last made visible.
+        self.fs.delete_if_exists(SHARDMAP_STAGING_FILE)
+        if not self.fs.exists(SHARDMAP_FILE):
+            return None
+        return ShardMap.from_wire(json.loads(self.fs.read(SHARDMAP_FILE)))
+
+    def bootstrap(self, addresses: dict[str, str]) -> ShardMap:
+        """First boot: persist epoch 1 over ``{shard_id: address}``."""
+        with self._lock:
+            if self.map is not None:
+                raise ClusterError(
+                    f"already bootstrapped at epoch {self.map.epoch}"
+                )
+            shard_map = ShardMap.initial(addresses)
+            self._publish_locked(shard_map)
+            return shard_map
+
+    def publish(self, shard_map: ShardMap) -> None:
+        """Durably commit a newer map (idempotent for <= current epoch)."""
+        with self._lock:
+            if self.map is not None and shard_map.epoch <= self.map.epoch:
+                return
+            self._publish_locked(shard_map)
+
+    def _publish_locked(self, shard_map: ShardMap) -> None:
+        payload = json.dumps(shard_map.to_wire(), sort_keys=True)
+        self.fs.write(SHARDMAP_STAGING_FILE, payload.encode("ascii"))
+        self.fs.fsync(SHARDMAP_STAGING_FILE)
+        self.fs.rename(SHARDMAP_STAGING_FILE, SHARDMAP_FILE)
+        self.fs.fsync_dir()
+        self.map = shard_map
+        if self.flight is not None:
+            self.flight.record("shardmap_published", epoch=shard_map.epoch)
+
+    def current_map(self) -> ShardMap:
+        if self.map is None:
+            raise ClusterError("no shard map: cluster not bootstrapped")
+        return self.map
+
+    # -- RPC surface (exported under COORDINATOR_INTERFACE) --------------------
+
+    def get_map(self) -> dict:
+        return self.current_map().to_wire()
+
+    def epoch(self) -> int:
+        return self.current_map().epoch
+
+    def shards(self) -> dict[str, str]:
+        return {
+            shard.shard_id: shard.address
+            for shard in self.current_map().shards
+        }
+
+    def push_map(self) -> dict[str, int]:
+        """Push the current map to every shard; {shard_id: its epoch}.
+
+        Convergence insurance: redirects heal clients lazily, this heals
+        shards eagerly (e.g. after a shard restarted with a stale map
+        file).  Unreachable shards report epoch 0 and are retried by the
+        next push.
+        """
+        shard_map = self.current_map()
+        payload = shard_map.to_wire()
+        answer: dict[str, int] = {}
+        for shard in shard_map.shards:
+            try:
+                client = self.shard_client_factory(shard)
+                try:
+                    answer[shard.shard_id] = client.install_shard_map(payload)
+                finally:
+                    _close_quietly(client)
+            except Exception:
+                answer[shard.shard_id] = 0
+        return answer
+
+    def health(self) -> dict:
+        """Per-shard management status plus the map epoch."""
+        shard_map = self.current_map()
+        report: dict[str, object] = {
+            "epoch": shard_map.epoch,
+            "shards": {},
+        }
+        for shard in shard_map.shards:
+            try:
+                mgmt = self.management_factory(shard.address)
+                try:
+                    status = mgmt.status()
+                finally:
+                    _close_quietly(mgmt)
+                status["reachable"] = True
+            except Exception as exc:
+                status = {"reachable": False, "error": f"{exc}"}
+            status["address"] = shard.address
+            status["ranges"] = [list(r) for r in shard.ranges]
+            report["shards"][shard.shard_id] = status
+        return report
+
+    def cluster_metrics(self) -> dict:
+        """Aggregated totals across reachable shards."""
+        health = self.health()
+        totals = {
+            "epoch": health["epoch"],
+            "shards": len(health["shards"]),
+            "reachable": 0,
+            "names": 0,
+            "log_bytes": 0,
+            "entries_since_checkpoint": 0,
+        }
+        for status in health["shards"].values():
+            if not status.get("reachable"):
+                continue
+            totals["reachable"] += 1
+            totals["names"] += int(status.get("names", 0))
+            totals["log_bytes"] += int(status.get("log_bytes", 0))
+            totals["entries_since_checkpoint"] += int(
+                status.get("entries_since_checkpoint", 0)
+            )
+        return totals
+
+    def migration_status(self) -> dict:
+        """The persisted state of an in-flight migration (or idle)."""
+        state = pending_migration(self.fs)
+        if state is None:
+            return {"active": False}
+        return {
+            "active": True,
+            "stage": state["stage"],
+            "donor": state["donor"],
+            "target": state["target"],
+            "range": [state["lo"], state["hi"]],
+        }
+
+    # -- splits -----------------------------------------------------------------
+
+    def add_shard(self, shard_id: str, address: str) -> ShardMap:
+        """Admit a new (empty) shard; epoch+1, no data moves yet."""
+        with self._lock:
+            shard_map = self.current_map().with_shard(shard_id, address)
+            self._publish_locked(shard_map)
+        self.push_map()
+        return shard_map
+
+    def split(
+        self,
+        donor_id: str,
+        target_id: str,
+        *,
+        moved: tuple[int, int] | None = None,
+        stage_observer=None,
+    ):
+        """Run an online split migration donor → target; returns report.
+
+        The target must already be in the map (see :meth:`add_shard`).
+        Raises :class:`~repro.cluster.errors.MigrationFailed` on a stuck
+        stage; re-calling resumes from the persisted state.
+        """
+        if pending_migration(self.fs) is not None:
+            return self.resume_migration(stage_observer=stage_observer)
+        migration = ShardMigration(
+            self.fs,
+            self.current_map(),
+            donor_id,
+            target_id,
+            publish=self.publish,
+            client_factory=self.shard_client_factory,
+            moved=moved,
+            stage_retries=self.stage_retries,
+            stage_observer=stage_observer,
+            flight=self.flight,
+        )
+        report = migration.run()
+        self.push_map()
+        return report
+
+    def resume_migration(self, *, stage_observer=None):
+        """Continue an interrupted migration; None when none is pending."""
+        state = pending_migration(self.fs)
+        if state is None:
+            return None
+        migration = ShardMigration(
+            self.fs,
+            self.current_map(),
+            state["donor"],
+            state["target"],
+            publish=self.publish,
+            client_factory=self.shard_client_factory,
+            stage_retries=self.stage_retries,
+            stage_observer=stage_observer,
+            flight=self.flight,
+        )
+        report = migration.run()
+        self.push_map()
+        return report
+
+    def abandon_migration(self) -> bool:
+        """Drop a pending migration's state file (operator escape hatch).
+
+        Safe at any stage before CUTOVER published; after publish the map
+        is already switched and *resuming* is the right call — this is
+        why the runbook says check ``migration_status`` first.
+        """
+        if not self.fs.exists(MIGRATION_STATE_FILE):
+            return False
+        self.fs.delete_if_exists(MIGRATION_STATE_FILE)
+        self.fs.fsync_dir()
+        return True
+
+
+def _close_quietly(client) -> None:
+    close = getattr(client, "close", None)
+    if close is not None:
+        try:
+            close()
+        except Exception:
+            pass
+
+
+#: the coordinator's own RPC surface (exported by the cluster supervisor)
+COORDINATOR_INTERFACE = Interface("Coordinator", version=1)
+COORDINATOR_INTERFACE.method("get_map", returns=Pickled())
+COORDINATOR_INTERFACE.method("epoch", returns=Int)
+COORDINATOR_INTERFACE.method("shards", returns=DictOf(Str, Str))
+COORDINATOR_INTERFACE.method("push_map", returns=DictOf(Str, Int))
+COORDINATOR_INTERFACE.method("health", returns=Pickled())
+COORDINATOR_INTERFACE.method("cluster_metrics", returns=Pickled())
+COORDINATOR_INTERFACE.method("migration_status", returns=Pickled())
+
+
+class RemoteCoordinator:
+    """Typed client facade over the generated coordinator stubs."""
+
+    def __init__(self, transport) -> None:
+        from repro.rpc import RpcClient
+
+        self._client = RpcClient(COORDINATOR_INTERFACE, transport)
+        proxy = self._client.proxy()
+        self.get_map = proxy.get_map
+        self.epoch = proxy.epoch
+        self.shards = proxy.shards
+        self.push_map = proxy.push_map
+        self.health = proxy.health
+        self.cluster_metrics = proxy.cluster_metrics
+        self.migration_status = proxy.migration_status
+
+    def shard_map(self) -> ShardMap:
+        return ShardMap.from_wire(self.get_map())
+
+    def close(self) -> None:
+        self._client.close()

@@ -1,0 +1,113 @@
+"""Errors raised by the cluster subsystem.
+
+``WrongShard`` is the interesting one: it crosses the RPC boundary.  The
+wire protocol reconstructs typed application errors as
+``exc_type(message)`` — a single string — so the redirect payload (the
+new shard map and its epoch) is carried as JSON *inside* the message and
+re-parsed by ``__init__``.  ``str(exc)`` therefore round-trips the full
+redirect through any number of hops, the same trick the name server's
+errors use for their prefixes.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class ClusterError(Exception):
+    """Base class for cluster subsystem errors."""
+
+
+class ShardMapError(ClusterError):
+    """A shard map failed validation (gaps, overlaps, duplicate ids)."""
+
+
+class ShardUnavailable(ClusterError):
+    """A shard endpoint could not be reached (after client retries)."""
+
+    def __init__(self, shard_id: str, detail: str = "") -> None:
+        self.shard_id = shard_id
+        message = shard_id
+        if isinstance(shard_id, str) and shard_id.startswith("shard "):
+            # reconstructed from a remote message; keep it verbatim
+            super().__init__(shard_id)
+            return
+        if detail:
+            message = f"shard {shard_id} unavailable: {detail}"
+        else:
+            message = f"shard {shard_id} unavailable"
+        super().__init__(message)
+
+
+class ClusterPartialFailure(ClusterError):
+    """A scatter-gather call succeeded on some shards and failed on others.
+
+    ``results`` maps shard id → partial result for the shards that
+    answered; ``failures`` maps shard id → error text for those that did
+    not.  Callers that can tolerate partial answers catch this and use
+    ``results``; the router only raises it when asked for a complete
+    answer.
+    """
+
+    def __init__(self, results: dict, failures: dict) -> None:
+        self.results = dict(results)
+        self.failures = dict(failures)
+        summary = ", ".join(
+            f"{shard}: {text}" for shard, text in sorted(self.failures.items())
+        )
+        super().__init__(
+            f"{len(self.failures)} of "
+            f"{len(self.results) + len(self.failures)} shards failed "
+            f"({summary})"
+        )
+
+
+class MigrationFailed(ClusterError):
+    """A shard migration stopped before completing; resumable.
+
+    ``stage`` names the migration stage that failed, mirroring
+    ``RecoveryFailed`` from replica repair: the persisted state survives,
+    and a re-run (or ``Coordinator.resume_migration``) continues from the
+    recorded stage.
+    """
+
+    def __init__(self, stage: str, detail: str) -> None:
+        self.stage = stage
+        super().__init__(f"migration failed during {stage}: {detail}")
+
+
+class WrongShard(ClusterError):
+    """This shard does not own the addressed key — retry via ``shard_map``.
+
+    Raised by a shard that receives a keyed request outside its owned
+    ranges (a stale client, or a client racing a migration cutover).  The
+    exception carries the shard's current map so the client can install
+    it and re-route in one round trip instead of polling the coordinator.
+    """
+
+    def __init__(self, message: str = "", *, epoch: int | None = None,
+                 shard_map: dict | None = None, component: str = "") -> None:
+        if epoch is None and message:
+            payload = json.loads(message[message.index("{"):])
+            epoch = int(payload["epoch"])
+            shard_map = payload["map"]
+            component = payload.get("component", "")
+        self.epoch = int(epoch or 0)
+        self.map = shard_map
+        self.component = component
+        super().__init__(
+            "wrong shard: " + json.dumps(
+                {"epoch": self.epoch, "map": self.map,
+                 "component": self.component},
+                sort_keys=True,
+            )
+        )
+
+    @classmethod
+    def redirect(cls, shard_map, component: str) -> "WrongShard":
+        """Build a redirect carrying ``shard_map`` (a ShardMap) verbatim."""
+        return cls(
+            epoch=shard_map.epoch,
+            shard_map=shard_map.to_wire(),
+            component=component,
+        )

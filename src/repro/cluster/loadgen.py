@@ -1,0 +1,200 @@
+"""Closed-loop load generator for a sharded cluster.
+
+    python -m repro.cluster.loadgen --coordinator 127.0.0.1:9800 \\
+        --mode update --workers 8 --duration 5
+
+Each worker thread owns its own :class:`~repro.cluster.router.ShardRouter`
+(transports are not thread-safe) and issues back-to-back operations until
+the duration or operation budget runs out.  Modes:
+
+* ``update`` — bind ``lg/<worker>/<n>`` round-robin across a keyspace,
+  so updates spread over every shard;
+* ``enquire`` — lookups of previously bound names (binds a small
+  working set first if the namespace is empty);
+* ``scatter`` — cluster-wide ``count()``, the cross-shard fan-out path.
+
+Prints one JSON object on stdout: ``{"ops": N, "seconds": S, "rate": R,
+"errors": E, "p50_ms": …, "p99_ms": …}`` — consumed by benchmark E12b.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+from repro.cluster.coordinator import RemoteCoordinator
+from repro.cluster.router import ShardRouter
+
+
+def _dial_coordinator(address: str) -> RemoteCoordinator:
+    from repro.rpc import TcpTransport
+
+    host, _, port = address.rpartition(":")
+    return RemoteCoordinator(TcpTransport(host, int(port)))
+
+
+class _Worker(threading.Thread):
+    """One closed loop: its own router, its own op counter and latencies."""
+
+    def __init__(
+        self,
+        index: int,
+        shard_map,
+        mode: str,
+        keyspace: int,
+        deadline: float,
+        budget: int | None,
+        offset: int,
+    ) -> None:
+        super().__init__(name=f"loadgen-{index}", daemon=True)
+        self.index = index
+        self.router = ShardRouter(shard_map)
+        self.mode = mode
+        self.keyspace = keyspace
+        self.deadline = deadline
+        self.budget = budget
+        self.offset = offset
+        self.ops = 0
+        self.errors = 0
+        self.latencies: list[float] = []
+
+    def run(self) -> None:
+        try:
+            counter = 0
+            while time.monotonic() < self.deadline:
+                if self.budget is not None and self.ops >= self.budget:
+                    break
+                sequence = self.offset + counter
+                counter += 1
+                component = f"k{sequence % self.keyspace:05d}"
+                started = time.perf_counter()
+                try:
+                    if self.mode == "update":
+                        self.router.bind(
+                            f"{component}/w{self.index}", sequence
+                        )
+                    elif self.mode == "enquire":
+                        self.router.exists(f"{component}/w{self.index}")
+                    else:  # scatter
+                        self.router.count()
+                except Exception:
+                    self.errors += 1
+                else:
+                    self.ops += 1
+                    self.latencies.append(time.perf_counter() - started)
+        finally:
+            self.router.close()
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    position = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[position]
+
+
+def run_load(
+    shard_map,
+    *,
+    mode: str = "update",
+    workers: int = 4,
+    duration: float = 5.0,
+    ops: int | None = None,
+    keyspace: int = 1024,
+    offset: int = 0,
+    prefill: bool = False,
+) -> dict:
+    """Drive the cluster and return the stats dict (embeddable form)."""
+    if prefill:
+        # enquire/scatter need something to read: bind the working set
+        # through one router so lookups hit live names.
+        router = ShardRouter(shard_map)
+        try:
+            for sequence in range(keyspace):
+                for index in range(workers):
+                    router.bind(f"k{sequence:05d}/w{index}", sequence)
+        finally:
+            router.close()
+
+    deadline = time.monotonic() + duration
+    budget = None if ops is None else max(1, ops // workers)
+    fleet = [
+        _Worker(
+            index, shard_map, mode, keyspace, deadline, budget,
+            offset + index * 1_000_000,
+        )
+        for index in range(workers)
+    ]
+    started = time.perf_counter()
+    for worker in fleet:
+        worker.start()
+    for worker in fleet:
+        worker.join()
+    elapsed = time.perf_counter() - started
+
+    total_ops = sum(w.ops for w in fleet)
+    latencies = [sample for w in fleet for sample in w.latencies]
+    return {
+        "mode": mode,
+        "workers": workers,
+        "ops": total_ops,
+        "errors": sum(w.errors for w in fleet),
+        "seconds": round(elapsed, 4),
+        "rate": round(total_ops / elapsed, 2) if elapsed > 0 else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.loadgen",
+        description="Closed-loop load generator for a sharded cluster.",
+    )
+    parser.add_argument("--coordinator", required=True, metavar="HOST:PORT")
+    parser.add_argument(
+        "--mode", choices=("update", "enquire", "scatter"), default="update"
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument(
+        "--ops", type=int, default=None,
+        help="stop after ~this many operations (split across workers)",
+    )
+    parser.add_argument("--keyspace", type=int, default=1024)
+    parser.add_argument(
+        "--offset", type=int, default=0,
+        help="sequence offset, to avoid overwriting a previous run's names",
+    )
+    parser.add_argument(
+        "--prefill", action="store_true",
+        help="bind the working set first (for enquire/scatter modes)",
+    )
+    args = parser.parse_args(argv)
+
+    coordinator = _dial_coordinator(args.coordinator)
+    try:
+        shard_map = coordinator.shard_map()
+    finally:
+        coordinator.close()
+    stats = run_load(
+        shard_map,
+        mode=args.mode,
+        workers=args.workers,
+        duration=args.duration,
+        ops=args.ops,
+        keyspace=args.keyspace,
+        offset=args.offset,
+        prefill=args.prefill,
+    )
+    json.dump(stats, sys.stdout)
+    print(flush=True)
+    return 1 if stats["ops"] == 0 else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by benchmark E12b
+    sys.exit(main())

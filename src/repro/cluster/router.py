@@ -1,0 +1,218 @@
+"""The shard router: one name-server API over many shards.
+
+``ShardRouter`` presents the exact :class:`RemoteNameServer` surface —
+callers cannot tell one shard from sixteen — and routes each call:
+
+* **keyed** operations go to the shard owning the first path component's
+  hash under the router's cached map;
+* a :class:`~repro.cluster.errors.WrongShard` reply means the cache is
+  stale: the router installs the (strictly newer) map carried by the
+  redirect and retries, so convergence takes one extra round trip and
+  the retry loop cannot live-lock on an equal epoch;
+* **scatter** operations (``list_dir(())``, ``read_subtree(())``,
+  ``count``, wildcard ``glob``) fan out to every shard and merge; a
+  failed shard yields a :class:`ClusterPartialFailure` carrying the
+  partial answer unless the caller opted into ``partial=True``.
+
+The router is a client-side object: it holds one cached RPC client per
+shard address and no server state.  Many routers (one per application
+process) can coexist; the coordinator's published map is the single
+source of truth they all converge toward.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from repro.cluster.errors import (
+    ClusterPartialFailure,
+    ShardUnavailable,
+    WrongShard,
+)
+from repro.cluster.shard import RemoteShard
+from repro.cluster.shardmap import ShardInfo, ShardMap
+from repro.nameserver.tree import parse_path
+
+#: upper bound on WrongShard-driven retries of one call (each retry
+#: installs a strictly newer epoch, so this bounds map churn tolerated
+#: during a single call, not steady-state behaviour)
+MAX_REDIRECTS = 4
+
+
+def _tcp_transport(address: str):
+    from repro.rpc import TcpTransport
+
+    host, _, port = address.rpartition(":")
+    return TcpTransport(host, int(port))
+
+
+class ShardRouter:
+    """Route name-server calls across the shards of one cluster."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        transport_factory: Callable[[str], object] | None = None,
+        max_fanout: int = 8,
+        **client_options: object,
+    ) -> None:
+        self.map = shard_map
+        self._transport_factory = transport_factory or _tcp_transport
+        self._client_options = dict(client_options)
+        self._clients: dict[str, RemoteShard] = {}
+        self._lock = threading.Lock()
+        self._max_fanout = max_fanout
+        self.redirects_followed = 0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _client(self, shard: ShardInfo) -> RemoteShard:
+        with self._lock:
+            client = self._clients.get(shard.address)
+            if client is None:
+                client = RemoteShard(
+                    self._transport_factory(shard.address),
+                    **self._client_options,
+                )
+                self._clients[shard.address] = client
+            return client
+
+    def install_map(self, shard_map: ShardMap) -> bool:
+        """Adopt a newer map; returns whether it replaced the cache."""
+        with self._lock:
+            if shard_map.epoch <= self.map.epoch:
+                return False
+            self.map = shard_map
+            return True
+
+    def _keyed(self, path, call: Callable) -> object:
+        """Run ``call(client)`` against the owner, following redirects."""
+        parsed = parse_path(path)
+        component = parsed[0]
+        for _attempt in range(MAX_REDIRECTS + 1):
+            shard = self.map.owner_of(component)
+            try:
+                return call(self._client(shard), parsed)
+            except WrongShard as redirect:
+                newer = ShardMap.from_wire(redirect.map)
+                if not self.install_map(newer):
+                    # Equal/older epoch: the shard is as confused as we
+                    # are; surface it rather than spinning.
+                    raise
+                self.redirects_followed += 1
+        raise ShardUnavailable(
+            shard.shard_id, f"still redirecting after {MAX_REDIRECTS} retries"
+        )
+
+    def _scatter(self, call: Callable, partial: bool = False) -> dict:
+        """Run ``call(client)`` on every shard; returns {shard_id: result}."""
+        shards = list(self.map.shards)
+        results: dict[str, object] = {}
+        failures: dict[str, str] = {}
+
+        def one(shard: ShardInfo):
+            return call(self._client(shard))
+
+        if len(shards) == 1:
+            outcomes = [_outcome(one, shards[0])]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(len(shards), self._max_fanout)
+            ) as pool:
+                outcomes = list(
+                    pool.map(lambda s: _outcome(one, s), shards)
+                )
+        for shard, ok, value in outcomes:
+            if ok:
+                results[shard.shard_id] = value
+            else:
+                failures[shard.shard_id] = value
+        if failures and not partial:
+            raise ClusterPartialFailure(results, failures)
+        return results
+
+    # -- keyed enquiries ------------------------------------------------------
+
+    def lookup(self, path):
+        return self._keyed(path, lambda c, p: c.lookup(p))
+
+    def exists(self, path) -> bool:
+        return self._keyed(path, lambda c, p: c.exists(p))
+
+    # -- keyed updates --------------------------------------------------------
+
+    def bind(self, path, value, exclusive: bool = False) -> None:
+        self._keyed(path, lambda c, p: c.bind(p, value, exclusive))
+
+    def unbind(self, path) -> None:
+        self._keyed(path, lambda c, p: c.unbind(p))
+
+    def unbind_subtree(self, path) -> None:
+        self._keyed(path, lambda c, p: c.unbind_subtree(p))
+
+    def write_subtree(self, path, entries) -> None:
+        self._keyed(path, lambda c, p: c.write_subtree(p, entries))
+
+    # -- scatter-gather -------------------------------------------------------
+
+    def list_dir(self, path=(), partial: bool = False) -> list[str]:
+        if path:
+            return self._keyed(path, lambda c, p: c.list_dir(p))
+        per_shard = self._scatter(lambda c: c.list_dir(()), partial)
+        merged: set[str] = set()
+        for names in per_shard.values():
+            merged.update(names)
+        return sorted(merged)
+
+    def read_subtree(self, path=(), partial: bool = False) -> list:
+        if path:
+            return self._keyed(path, lambda c, p: c.read_subtree(p))
+        entries: list = []
+        for result in self._scatter(
+            lambda c: c.read_subtree(()), partial
+        ).values():
+            entries.extend(result)
+        entries.sort(key=lambda pair: pair[0])
+        return entries
+
+    def count(self, partial: bool = False) -> int:
+        return sum(self._scatter(lambda c: c.count(), partial).values())
+
+    def glob(self, pattern, partial: bool = False) -> list:
+        from repro.nameserver.browse import parse_pattern
+
+        parsed = parse_pattern(pattern)
+        head = parsed[0]
+        if not any(mark in head for mark in "*?[") and head != "**":
+            return self._keyed((head,), lambda c, p: c.glob(parsed))
+        unique: dict[tuple, object] = {}
+        for result in self._scatter(
+            lambda c: c.glob(parsed), partial
+        ).values():
+            for path, value in result:
+                unique.setdefault(tuple(path), value)
+        return [(list(path), value) for path, value in sorted(unique.items())]
+
+    def census(self) -> dict[str, int]:
+        """Per-shard live-name counts (observability; partial-tolerant)."""
+        return self._scatter(lambda c: c.count(), partial=True)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._clients = dict(self._clients), {}
+        for client in clients.values():
+            try:
+                client.close()
+            except Exception:
+                pass
+
+
+def _outcome(fn: Callable, shard: ShardInfo) -> tuple[ShardInfo, bool, object]:
+    try:
+        return shard, True, fn(shard)
+    except Exception as exc:
+        return shard, False, f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,292 @@
+"""The cluster as a deployable unit: N shard processes + a coordinator.
+
+    python -m repro.cluster.serve /var/lib/cluster --shards 4 --port 9800
+
+Each shard is an ordinary ``repro.nameserver.serve`` process — its own
+directory, log, checkpoint and version files, its own event-loop TCP
+front end — started with ``--shard-id``/``--shard-map`` so it enforces
+range ownership.  The coordinator runs *in this process*: it owns the
+persisted shard map (``coordinator/shardmap.json``), serves the
+``Coordinator`` RPC interface, health-checks the shards, and drives
+online splits.  ``ClusterSupervisor`` is the embeddable form the tests
+and benchmarks use; ``main`` adds argument parsing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+from repro.cluster.coordinator import (
+    COORDINATOR_INTERFACE,
+    SHARDMAP_FILE,
+    Coordinator,
+)
+from repro.cluster.router import ShardRouter
+from repro.rpc import EventLoopServer, RpcServer
+from repro.storage.localfs import LocalFS
+
+#: how long one shard process may take to print its ready line
+BOOT_TIMEOUT = 30.0
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Ask the OS for a currently free TCP port (bind 0, close).
+
+    Racy in principle; in practice the window between close and the
+    shard's own bind is milliseconds, and a clash fails the boot loudly.
+    """
+    with socket.socket() as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+class ShardProcess:
+    """One spawned shard: its process, endpoint and log file."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        directory: str,
+        logfile: str,
+        host: str,
+        port: int,
+        map_path: str,
+        extra_args: list[str],
+    ) -> None:
+        self.shard_id = shard_id
+        self.directory = directory
+        self.logfile = logfile
+        self.host = host
+        self.port = port
+        os.makedirs(directory, exist_ok=True)
+        command = [
+            sys.executable, "-m", "repro.nameserver.serve", directory,
+            "--host", host, "--port", str(port),
+            "--replica-id", shard_id,
+            "--shard-id", shard_id, "--shard-map", map_path,
+            *extra_args,
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _src_root() + os.pathsep + env.get("PYTHONPATH", "")
+        # A restart appends to the previous run's log: only bytes written
+        # after this point count as *this* process's ready line.
+        self._log_offset = (
+            os.path.getsize(logfile) if os.path.exists(logfile) else 0
+        )
+        self._log_handle = open(logfile, "ab")
+        self.process = subprocess.Popen(
+            command,
+            stdout=self._log_handle,
+            stderr=subprocess.STDOUT,
+            env=env,
+        )
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def wait_ready(self, timeout: float = BOOT_TIMEOUT) -> None:
+        """Block until the serve process prints its ready line."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"shard {self.shard_id} exited with "
+                    f"{self.process.returncode} during boot:\n{self.tail()}"
+                )
+            try:
+                with open(self.logfile, "rb") as handle:
+                    handle.seek(self._log_offset)
+                    if b"name server" in handle.read():
+                        return
+            except OSError:
+                pass
+            time.sleep(0.02)
+        raise TimeoutError(
+            f"shard {self.shard_id} not ready after {timeout}s:\n{self.tail()}"
+        )
+
+    def tail(self, nbytes: int = 2000) -> str:
+        try:
+            with open(self.logfile, "rb") as handle:
+                data = handle.read()
+            return data[-nbytes:].decode("utf-8", "replace")
+        except OSError:
+            return "<no log>"
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.process.poll() is None:
+            self.process.terminate()  # SIGTERM: dumps the black box
+            try:
+                self.process.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(5)
+        self._log_handle.close()
+
+
+class ClusterSupervisor:
+    """Boot and own a multi-process shard cluster plus its coordinator."""
+
+    def __init__(
+        self,
+        base_dir: str,
+        num_shards: int = 4,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_args: list[str] | None = None,
+    ) -> None:
+        self.base_dir = base_dir
+        self.host = host
+        self.shard_args = list(shard_args or [])
+        os.makedirs(os.path.join(base_dir, "logs"), exist_ok=True)
+        coordinator_dir = os.path.join(base_dir, "coordinator")
+        os.makedirs(coordinator_dir, exist_ok=True)
+        self.coordinator = Coordinator(LocalFS(coordinator_dir))
+        self.map_path = os.path.join(coordinator_dir, SHARDMAP_FILE)
+        self.processes: dict[str, ShardProcess] = {}
+
+        if self.coordinator.map is None:
+            addresses = {
+                f"s{i}": f"{host}:{free_port(host)}"
+                for i in range(num_shards)
+            }
+            self.coordinator.bootstrap(addresses)
+        # (Re)spawn one process per mapped shard, at its mapped address.
+        for shard in self.coordinator.current_map().shards:
+            self._spawn(shard.shard_id, shard.address)
+        for proc in self.processes.values():
+            proc.wait_ready()
+        # An interrupted split resumes before the cluster opens for
+        # business — the map must not stay half-moved.
+        self.coordinator.resume_migration()
+
+        self.rpc = RpcServer()
+        self.rpc.export(COORDINATOR_INTERFACE, self.coordinator)
+        self.listener = EventLoopServer(self.rpc, host=host, port=port).start()
+
+    # -- assembly ----------------------------------------------------------------
+
+    def _spawn(self, shard_id: str, address: str) -> ShardProcess:
+        host, _, port = address.rpartition(":")
+        proc = ShardProcess(
+            shard_id,
+            os.path.join(self.base_dir, "data", shard_id),
+            os.path.join(self.base_dir, "logs", f"{shard_id}.log"),
+            host,
+            int(port),
+            self.map_path,
+            self.shard_args,
+        )
+        self.processes[shard_id] = proc
+        return proc
+
+    @property
+    def port(self) -> int:
+        return self.listener.port
+
+    @property
+    def address(self) -> str:
+        return f"{self.listener.host}:{self.listener.port}"
+
+    def router(self, **options) -> ShardRouter:
+        return ShardRouter(self.coordinator.current_map(), **options)
+
+    # -- operations --------------------------------------------------------------
+
+    def add_shard(self, shard_id: str | None = None) -> str:
+        """Spawn an empty shard process and admit it to the map."""
+        if shard_id is None:
+            index = len(self.coordinator.current_map().shards)
+            while f"s{index}" in self.processes:
+                index += 1
+            shard_id = f"s{index}"
+        address = f"{self.host}:{free_port(self.host)}"
+        self.coordinator.add_shard(shard_id, address)
+        self._spawn(shard_id, address).wait_ready()
+        self.coordinator.push_map()
+        return shard_id
+
+    def split(self, donor_id: str, target_id: str | None = None, **kwargs):
+        """Online split: admit a target if needed, migrate half the range."""
+        if target_id is None:
+            target_id = self.add_shard()
+        return self.coordinator.split(donor_id, target_id, **kwargs), target_id
+
+    def shutdown(self) -> None:
+        self.listener.stop()
+        for proc in self.processes.values():
+            proc.stop()
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def _src_root() -> str:
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.serve",
+        description="Run a sharded name service cluster (N shard "
+        "processes + an in-process coordinator).",
+    )
+    parser.add_argument("directory", help="cluster base directory")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="coordinator RPC port (0 = any free port)",
+    )
+    parser.add_argument(
+        "--shard-arg", action="append", default=[], metavar="ARG",
+        help="extra argument passed to every shard's serve process "
+        "(repeatable, e.g. --shard-arg=--durability=immediate)",
+    )
+    args = parser.parse_args(argv)
+
+    # Registered before boot so a prompt SIGTERM still shuts down cleanly.
+    terminated = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: terminated.set())
+    supervisor = ClusterSupervisor(
+        args.directory,
+        num_shards=args.shards,
+        host=args.host,
+        port=args.port,
+        shard_args=args.shard_arg,
+    )
+    shard_map = supervisor.coordinator.current_map()
+    print(
+        f"cluster of {len(shard_map.shards)} shards at epoch "
+        f"{shard_map.epoch}, coordinator on {supervisor.address}",
+        flush=True,
+    )
+    for shard in shard_map.shards:
+        print(f"  {shard.shard_id} on {shard.address}", flush=True)
+    try:
+        terminated.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.shutdown()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the supervisor
+    sys.exit(main())

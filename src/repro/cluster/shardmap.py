@@ -1,0 +1,236 @@
+"""The shard map: an epoch-numbered assignment of hash ranges to shards.
+
+A name's placement is decided by its **first path component** — the
+paper's trees make the top-level entry (a volume, a service, a tenant)
+the natural unit of locality, and it keeps every subtree operation
+single-shard.  The component hashes through
+:func:`repro.core.sharding.default_hash` into a 32-bit space that the map
+tiles with half-open ranges ``[lo, hi)``, consistent-hashing style: a
+split carves one range in two and moves one piece, leaving every other
+key's placement untouched.
+
+Maps are immutable values ordered by ``epoch``.  The coordinator owns
+the authoritative copy (persisted through the version-switch idiom);
+shards and clients hold cached copies and converge by comparing epochs —
+a ``WrongShard`` redirect carries the newer map, so staleness heals on
+first contact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.errors import ShardMapError
+from repro.core.sharding import HASH_SPACE, default_hash
+
+#: wire/disk format tag for serialized maps
+SHARDMAP_FORMAT = "repro-shardmap-v1"
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard: its id, RPC endpoint, and the ranges it owns.
+
+    ``ranges`` is a tuple of half-open ``(lo, hi)`` pairs; a shard with
+    no ranges is legal — a freshly added node owns nothing until a split
+    migrates a range onto it.
+    """
+
+    shard_id: str
+    address: str  # "host:port"
+    ranges: tuple[tuple[int, int], ...] = ()
+
+    def owns(self, hash_value: int) -> bool:
+        return any(lo <= hash_value < hi for lo, hi in self.ranges)
+
+    def span(self) -> int:
+        return sum(hi - lo for lo, hi in self.ranges)
+
+
+class ShardMap:
+    """An immutable epoch-numbered placement of the hash space."""
+
+    def __init__(self, epoch: int, shards: list[ShardInfo]) -> None:
+        self.epoch = int(epoch)
+        self.shards = tuple(shards)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.epoch < 1:
+            raise ShardMapError(f"epoch must be >= 1, not {self.epoch}")
+        ids = [shard.shard_id for shard in self.shards]
+        if len(set(ids)) != len(ids):
+            raise ShardMapError(f"duplicate shard ids in {ids}")
+        if not self.shards:
+            raise ShardMapError("a shard map needs at least one shard")
+        spans = []
+        for shard in self.shards:
+            for lo, hi in shard.ranges:
+                if not (0 <= lo < hi <= HASH_SPACE):
+                    raise ShardMapError(
+                        f"bad range [{lo}, {hi}) on {shard.shard_id}"
+                    )
+                spans.append((lo, hi, shard.shard_id))
+        spans.sort()
+        cursor = 0
+        for lo, hi, shard_id in spans:
+            if lo > cursor:
+                raise ShardMapError(
+                    f"gap [{cursor}, {lo}) — no shard owns these keys"
+                )
+            if lo < cursor:
+                raise ShardMapError(
+                    f"overlap at {lo} ({shard_id} and a lower range)"
+                )
+            cursor = hi
+        if cursor != HASH_SPACE:
+            raise ShardMapError(
+                f"gap [{cursor}, {HASH_SPACE}) at the top of the hash space"
+            )
+
+    # -- lookups ------------------------------------------------------------
+
+    def shard_for_hash(self, hash_value: int) -> ShardInfo:
+        for shard in self.shards:
+            if shard.owns(hash_value):
+                return shard
+        raise ShardMapError(f"no shard owns hash {hash_value}")  # unreachable
+
+    def owner_of(self, component: str) -> ShardInfo:
+        """The shard owning a name whose first path component is given."""
+        return self.shard_for_hash(default_hash(component))
+
+    def shard(self, shard_id: str) -> ShardInfo:
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise ShardMapError(f"no shard {shard_id!r} in epoch {self.epoch}")
+
+    def ids(self) -> list[str]:
+        return [shard.shard_id for shard in self.shards]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShardMap)
+            and self.epoch == other.epoch
+            and self.shards == other.shards
+        )
+
+    def __repr__(self) -> str:
+        owners = ", ".join(
+            f"{s.shard_id}@{s.address}x{len(s.ranges)}" for s in self.shards
+        )
+        return f"ShardMap(epoch={self.epoch}, [{owners}])"
+
+    # -- evolution ----------------------------------------------------------
+
+    @classmethod
+    def initial(cls, addresses: dict[str, str]) -> "ShardMap":
+        """Epoch 1: equal ranges over ``{shard_id: address}`` (sorted ids)."""
+        from repro.core.sharding import shard_ranges
+
+        ids = sorted(addresses)
+        ranges = shard_ranges(len(ids))
+        return cls(1, [
+            ShardInfo(shard_id, addresses[shard_id], (ranges[i],))
+            for i, shard_id in enumerate(ids)
+        ])
+
+    def with_shard(self, shard_id: str, address: str) -> "ShardMap":
+        """Epoch+1 with a new, empty shard added (a split target)."""
+        return ShardMap(
+            self.epoch + 1,
+            list(self.shards) + [ShardInfo(shard_id, address, ())],
+        )
+
+    def split(self, donor_id: str, target_id: str) -> "ShardMap":
+        """Epoch+1 moving the upper half of the donor's widest range.
+
+        Returns the new map plus nothing else — the *data* move is the
+        migration machinery's job; this is only the placement arithmetic.
+        """
+        moved = self.split_range(donor_id)
+        return self.with_range_moved(donor_id, target_id, moved)
+
+    def split_range(self, donor_id: str) -> tuple[int, int]:
+        """The half-range a split of ``donor_id`` would move."""
+        donor = self.shard(donor_id)
+        if not donor.ranges:
+            raise ShardMapError(f"shard {donor_id!r} owns nothing to split")
+        lo, hi = max(donor.ranges, key=lambda r: r[1] - r[0])
+        mid = (lo + hi) // 2
+        if mid == lo:
+            raise ShardMapError(f"range [{lo}, {hi}) is too narrow to split")
+        return (mid, hi)
+
+    def with_range_moved(
+        self, donor_id: str, target_id: str, moved: tuple[int, int]
+    ) -> "ShardMap":
+        """Epoch+1 with ``moved`` transferred from donor to target."""
+        mlo, mhi = moved
+        donor = self.shard(donor_id)
+        self.shard(target_id)  # must exist
+        if (mlo, mhi) not in [tuple(r) for r in donor.ranges]:
+            # The moved range must be an exact piece of one donor range.
+            for lo, hi in donor.ranges:
+                if lo <= mlo < mhi <= hi:
+                    break
+            else:
+                raise ShardMapError(
+                    f"{donor_id!r} does not own [{mlo}, {mhi})"
+                )
+        shards = []
+        for shard in self.shards:
+            if shard.shard_id == donor_id:
+                kept: list[tuple[int, int]] = []
+                for lo, hi in shard.ranges:
+                    if lo <= mlo < mhi <= hi:
+                        if lo < mlo:
+                            kept.append((lo, mlo))
+                        if mhi < hi:
+                            kept.append((mhi, hi))
+                    else:
+                        kept.append((lo, hi))
+                shards.append(
+                    ShardInfo(shard.shard_id, shard.address, tuple(kept))
+                )
+            elif shard.shard_id == target_id:
+                merged = sorted(shard.ranges + ((mlo, mhi),))
+                shards.append(
+                    ShardInfo(shard.shard_id, shard.address, tuple(merged))
+                )
+            else:
+                shards.append(shard)
+        return ShardMap(self.epoch + 1, shards)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """A JSON-safe dict (also the on-disk schema, see FORMATS.md)."""
+        return {
+            "format": SHARDMAP_FORMAT,
+            "epoch": self.epoch,
+            "shards": [
+                {
+                    "id": shard.shard_id,
+                    "address": shard.address,
+                    "ranges": [[lo, hi] for lo, hi in shard.ranges],
+                }
+                for shard in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "ShardMap":
+        if payload.get("format") != SHARDMAP_FORMAT:
+            raise ShardMapError(
+                f"unknown shard map format {payload.get('format')!r}"
+            )
+        return cls(payload["epoch"], [
+            ShardInfo(
+                entry["id"],
+                entry["address"],
+                tuple((int(lo), int(hi)) for lo, hi in entry["ranges"]),
+            )
+            for entry in payload["shards"]
+        ])

@@ -29,7 +29,14 @@ from repro.core.health import (
     HealthMonitor,
 )
 from repro.core.mirror import MirroringDatabase, restore_from_mirror
-from repro.core.sharding import ShardedDatabase, default_hash
+from repro.core.sharding import (
+    HASH_SPACE,
+    ShardedDatabase,
+    default_hash,
+    encode_shard_key,
+    shard_index,
+    shard_ranges,
+)
 from repro.core.errors import (
     CheckpointFailed,
     DatabaseClosed,
@@ -99,6 +106,10 @@ __all__ = [
     "read_manifest",
     "verify_backup",
     "default_hash",
+    "encode_shard_key",
+    "shard_index",
+    "shard_ranges",
+    "HASH_SPACE",
     "CheckpointPolicy",
     "CurrentVersion",
     "DEFAULT_OPERATIONS",

@@ -19,6 +19,13 @@ worst-case update-blocking *window* shrinks by N while total checkpoint
 work stays the same.  Restart parallelism would shrink restart time the
 same way; here shards restart sequentially but each replays only its own
 log.
+
+Placement is **range based**, not modulo: the 32-bit hash space is cut
+into contiguous half-open ranges ``[lo, hi)`` and a key lands on the
+shard whose range covers its hash.  For N equal shards this gives the
+same balance as ``hash % N`` — but ranges can also be split and moved
+one at a time, which is what the cluster subsystem
+(:mod:`repro.cluster`) builds on for online shard migration.
 """
 
 from __future__ import annotations
@@ -30,10 +37,94 @@ from repro.core.database import Database
 from repro.storage.interface import FileSystem
 from repro.storage.prefix import PrefixedFS
 
+#: the shard hash space: [0, HASH_SPACE) — 32-bit CRC values
+HASH_BITS = 32
+HASH_SPACE = 1 << HASH_BITS
+
+
+def encode_shard_key(key: object) -> bytes:
+    """Canonical bytes for a shard key — the *stability contract*.
+
+    The shard hash is part of the schema: it must produce the same value
+    for the same key in every process, on every Python version, across
+    restarts — otherwise data written by one process is unfindable by the
+    next.  ``repr()`` offers no such guarantee (it is documented as
+    implementation-defined output for debugging), so keys are encoded
+    explicitly with a one-byte type tag:
+
+    ========  =========================================================
+    ``s:``    str, UTF-8 encoded
+    ``b:``    bytes, as-is
+    ``B:``    bool (tagged before int: ``True`` must not collide with 1)
+    ``i:``    int, decimal ASCII
+    ``f:``    float, ``repr`` (shortest round-trip form, stable per IEEE)
+    ``n:``    None
+    ``t:``    tuple/list, length-prefixed concatenation of encoded items
+    ========  =========================================================
+
+    Any other type raises ``TypeError`` — an unhashable-by-contract key
+    must fail loudly rather than hash differently across processes.
+    """
+    if isinstance(key, str):
+        return b"s:" + key.encode("utf-8")
+    if isinstance(key, bytes):
+        return b"b:" + key
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return b"B:1" if key else b"B:0"
+    if isinstance(key, int):
+        return b"i:%d" % key
+    if isinstance(key, float):
+        return b"f:" + repr(key).encode("ascii")
+    if key is None:
+        return b"n:"
+    if isinstance(key, (tuple, list)):
+        parts = [encode_shard_key(item) for item in key]
+        return b"t:" + b"".join(
+            len(part).to_bytes(4, "big") + part for part in parts
+        )
+    raise TypeError(
+        f"shard keys must be str, bytes, int, float, bool, None or a "
+        f"tuple/list of those, not {type(key).__name__}"
+    )
+
 
 def default_hash(key: object) -> int:
-    """A deterministic, process-independent shard hash."""
-    return zlib.crc32(repr(key).encode("utf-8"))
+    """A deterministic, process-independent shard hash in [0, 2**32).
+
+    CRC-32 over :func:`encode_shard_key` — both sides are pinned by
+    standards (IEEE CRC-32, UTF-8), so the value is reproducible across
+    processes, platforms and Python versions.
+    """
+    return zlib.crc32(encode_shard_key(key)) & 0xFFFFFFFF
+
+
+def shard_ranges(num_shards: int) -> list[tuple[int, int]]:
+    """Cut the hash space into ``num_shards`` contiguous half-open ranges.
+
+    Boundaries are ``ceil(i * HASH_SPACE / num_shards)``, so the ranges
+    are within one unit of equal width, tile [0, HASH_SPACE) exactly, and
+    agree with the closed-form :func:`shard_index` (with floor boundaries
+    the two would disagree *at* a boundary whenever the division is
+    inexact).
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    bounds = [
+        (i * HASH_SPACE + num_shards - 1) // num_shards
+        for i in range(num_shards + 1)
+    ]
+    return [(bounds[i], bounds[i + 1]) for i in range(num_shards)]
+
+
+def shard_index(hash_value: int, num_shards: int) -> int:
+    """The index of the equal-width range covering ``hash_value``.
+
+    The closed form of a range lookup over :func:`shard_ranges` — used on
+    the hot routing path where a scan would be wasteful.
+    """
+    if not 0 <= hash_value < HASH_SPACE:
+        raise ValueError(f"hash {hash_value!r} outside [0, 2**{HASH_BITS})")
+    return hash_value * num_shards // HASH_SPACE
 
 
 class ShardedDatabase:
@@ -56,6 +147,7 @@ class ShardedDatabase:
             raise ValueError("need at least one shard")
         self.fs = fs
         self.num_shards = num_shards
+        self.ranges = shard_ranges(num_shards)
         self._shard_key = shard_key if shard_key is not None else _first_argument
         self.shards = [
             Database(PrefixedFS(fs, f"shard{index}"), **db_options)
@@ -66,7 +158,7 @@ class ShardedDatabase:
 
     def shard_of(self, *args: object, **kwargs: object) -> int:
         key = self._shard_key(*args, **kwargs)
-        return default_hash(key) % self.num_shards
+        return shard_index(default_hash(key), self.num_shards)
 
     def shard(self, index: int) -> Database:
         return self.shards[index]

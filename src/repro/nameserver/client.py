@@ -22,8 +22,19 @@ class RemoteNameServer:
     server gets retransmission with at-most-once semantics by default.
     """
 
-    def __init__(self, transport: Transport, **client_options: object) -> None:
-        self._client = RpcClient(NAMESERVER_INTERFACE, transport, **client_options)
+    def __init__(
+        self,
+        transport: Transport,
+        interface=None,
+        **client_options: object,
+    ) -> None:
+        # ``interface`` lets wire-compatible extensions (the cluster's
+        # shard interface) reuse this facade with extra methods/errors.
+        self._client = RpcClient(
+            interface if interface is not None else NAMESERVER_INTERFACE,
+            transport,
+            **client_options,
+        )
         self._proxy = self._client.proxy()
 
     # -- enquiries -----------------------------------------------------------
@@ -104,6 +115,14 @@ class RemoteNameServer:
             for path, value, lamport, origin, deleted in leaves
         ]
         return self._proxy.repair_leaves(canonical)
+
+    # -- sharding hooks ----------------------------------------------------------
+
+    def components(self) -> list[str]:
+        return self._proxy.components()
+
+    def purge_components(self, components: list[str]) -> int:
+        return self._proxy.purge_components([str(c) for c in components])
 
     # -- lifecycle ----------------------------------------------------------------
 

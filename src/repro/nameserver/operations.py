@@ -182,11 +182,20 @@ def ns_repair(root: dict, leaves: list[RepairLeaf]) -> int:
     tiebreak below.  History, ``applied`` and the version vector are
     untouched — repair fixes silent divergence without inventing update
     records.
+
+    The local Lamport clock *is* advanced past every incoming stamp
+    (the standard receive rule, same as ``ns_remote``).  Without it a
+    fresh replica bulk-loaded by repair — a shard-migration target, say
+    — would issue its own subsequent updates with *lower* stamps than
+    the imported state, and last-writer-wins would silently discard
+    those acked writes.
     """
     changed = 0
     tree = root["tree"]
     for path, value, lamport, origin, deleted in leaves:
         incoming = Leaf(value, int(lamport), origin, bool(deleted))
+        if incoming.lamport > root["lamport"]:
+            root["lamport"] = incoming.lamport
         node = ensure_node(tree, tuple(path))
         if _repair_wins(incoming, node.leaf):
             node.leaf = incoming
@@ -200,6 +209,36 @@ def _ns_repair_pre(root: dict, leaves: list[RepairLeaf]) -> None:
         _validate(tuple(path))
         if not origin:
             raise BadPath(f"repair leaf at {path!r} has an empty origin")
+
+
+@NAMESERVER_OPS.operation("ns_purge")
+def ns_purge(root: dict, components: list[str]) -> int:
+    """Drop whole top-level subtrees structurally; returns leaves removed.
+
+    The donor side of a shard migration: after cutover the donor no
+    longer owns these components, and keeping the data (even as
+    tombstones) would double-count scatter enquiries and leak memory.
+    Like ``ns_repair`` this ships *state*, not history — no tombstones
+    are written and no update records are invented, because ownership of
+    the keys has moved to another shard entirely; replicas of the donor
+    converge by applying the same purge.
+    """
+    removed = 0
+    tree = root["tree"]
+    for component in components:
+        node = tree.children.pop(str(component), None)
+        if node is not None:
+            removed += sum(
+                1 for _ in iter_leaves(node, include_tombstones=True)
+            )
+    return removed
+
+
+@ns_purge.precondition
+def _ns_purge_pre(root: dict, components: list[str]) -> None:
+    for component in components:
+        if not isinstance(component, str) or not component or "/" in component:
+            raise BadPath(component)
 
 
 def _repair_wins(incoming: Leaf, existing: Leaf | None) -> bool:

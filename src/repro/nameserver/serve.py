@@ -74,6 +74,21 @@ class NodeOptions:
     #: staged replica recovery against its peers: snapshot shipping,
     #: log-tail catch-up, atomic cutover (see repro.nameserver.recover)
     auto_recover: bool = False
+    #: run as one shard of a cluster: enforce range ownership, answer
+    #: WrongShard redirects, accept shard-map pushes and mirror commands
+    #: (see repro.cluster).  The id must appear in the shard map.
+    shard_id: str | None = None
+    #: OS path (not a name inside the data directory) of the cluster's
+    #: persisted shard map, read once at boot; later epochs arrive as
+    #: install_shard_map pushes from the coordinator
+    shard_map_file: str | None = None
+    #: commit protocol for the database: "group" (default), "immediate"
+    #: or "relaxed" (see repro.core.commit)
+    durability: str = "group"
+    #: model this many seconds of device commit latency on every fsync
+    #: (wall-clock; see repro.storage.latency.ThrottledFS) — benchmark
+    #: fidelity for commit-bound scaling runs, None disables
+    commit_latency: float | None = None
 
 
 class Node:
@@ -100,12 +115,19 @@ class Node:
         # Kept for recovery: the recoverer rebuilds the replica on the
         # same filesystem with the same database options after cutover.
         self._fs = LocalFS(options.directory, registry=self.registry)
+        if options.commit_latency is not None:
+            from repro.storage.latency import ThrottledFS
+
+            self._fs = ThrottledFS(
+                self._fs, fsync_seconds=options.commit_latency
+            )
         self._db_options = dict(
             registry=self.registry,
             tracer=self.tracer,
             spare_fs=spare_fs,
             fault_retries=options.fault_retries,
             flight=self.flight,
+            durability=options.durability,
         )
         self._recover_lock = threading.Lock()
         # A directory with no committed version is a replacement device
@@ -120,7 +142,11 @@ class Node:
         self._connect_peers()
 
         self.rpc = RpcServer(registry=self.registry, tracer=self.tracer)
-        self.rpc.export(NAMESERVER_INTERFACE, self.replica)
+        self.shard = None
+        if options.shard_id is not None:
+            self._export_data_plane(self.replica)
+        else:
+            self.rpc.export(NAMESERVER_INTERFACE, self.replica)
         self.management = ManagementService(
             self.replica,
             slow_log=self.slow_log,
@@ -289,12 +315,34 @@ class Node:
             self._rewire(replica, peers)
             return asdict(recoverer.report)
 
+    def _export_data_plane(self, replica: Replica) -> None:
+        """Export the replica as a cluster shard (ownership-enforcing)."""
+        from repro.cluster.shard import SHARD_INTERFACE, ShardService
+        from repro.cluster.shardmap import ShardMap
+
+        shard_map = _read_shard_map_file(self.options.shard_map_file)
+        if shard_map is None:
+            raise ValueError(
+                f"shard {self.options.shard_id!r} needs --shard-map "
+                f"pointing at the coordinator's published map"
+            )
+        assert isinstance(shard_map, ShardMap)
+        self.shard = ShardService(
+            replica, self.options.shard_id, shard_map
+        )
+        self.rpc.export(SHARD_INTERFACE, self.shard)
+
     def _rewire(self, replica: Replica, peers: list[object]) -> None:
         """Point the node's moving parts at a freshly opened replica."""
         for peer in peers:
             replica.add_peer(peer)
         self.replica = replica
-        self.rpc.export(NAMESERVER_INTERFACE, replica)
+        if self.shard is not None:
+            # Keep the shard's live map (it may be epochs past the boot
+            # file); only the wrapped server changes.
+            self.shard.server = replica
+        else:
+            self.rpc.export(NAMESERVER_INTERFACE, replica)
         self.management.server = replica
         policy = _build_policy(self.options)
         if policy is not None:
@@ -348,6 +396,18 @@ class Node:
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
+
+
+def _read_shard_map_file(path: str | None):
+    """Load a published shard map from an ordinary OS path (or None)."""
+    if path is None:
+        return None
+    import json
+
+    from repro.cluster.shardmap import ShardMap
+
+    with open(path, "r", encoding="ascii") as handle:
+        return ShardMap.from_wire(json.load(handle))
 
 
 def _build_policy(options: NodeOptions) -> CheckpointPolicy | None:
@@ -417,6 +477,25 @@ def main(argv: list[str] | None = None) -> int:
         "the legacy thread-per-connection server",
     )
     parser.add_argument(
+        "--shard-id", default=None,
+        help="serve as this shard of a cluster (requires --shard-map); "
+        "keyed requests outside the owned ranges answer WrongShard",
+    )
+    parser.add_argument(
+        "--shard-map", default=None, metavar="PATH",
+        help="path to the coordinator's published shard map (read at "
+        "boot; later epochs arrive over RPC)",
+    )
+    parser.add_argument(
+        "--durability", choices=["group", "immediate", "relaxed"],
+        default="group", help="commit protocol (see repro.core.commit)",
+    )
+    parser.add_argument(
+        "--commit-latency", type=float, default=None, metavar="SECONDS",
+        help="model this much device commit latency on every fsync "
+        "(wall-clock sleep; benchmark fidelity for commit-bound runs)",
+    )
+    parser.add_argument(
         "--auto-recover", action="store_true",
         help="when degraded or booting on an empty directory, "
         "automatically rebuild this replica from a peer (snapshot "
@@ -441,6 +520,10 @@ def main(argv: list[str] | None = None) -> int:
             profile_interval=args.profile_interval,
             server_model=args.server_model,
             auto_recover=args.auto_recover,
+            shard_id=args.shard_id,
+            shard_map_file=args.shard_map,
+            durability=args.durability,
+            commit_latency=args.commit_latency,
         )
     )
     extra = ""

@@ -265,6 +265,31 @@ class NameServer:
         ]
         return self.db.update("ns_repair", canonical)
 
+    # -- sharding hooks ----------------------------------------------------------
+
+    def components(self) -> list[str]:
+        """Sorted top-level components, tombstoned subtrees included.
+
+        The unit of shard placement (the first path component) and
+        therefore the unit of migration: a donor enumerates these,
+        filters by the moving hash range, and streams each one with
+        ``read_leaves``/``repair_leaves``.  Tombstones are included
+        because deletions must migrate too.
+        """
+        return self.db.enquire(
+            lambda root: sorted(root["tree"].children.keys())
+        )
+
+    def purge_components(self, components: list[str]) -> int:
+        """Structurally drop top-level subtrees after their range moved.
+
+        One logged ``ns_purge`` transaction (state, not history — see the
+        operation's docstring); returns how many leaves were removed.
+        """
+        if not components:
+            return 0
+        return self.db.update("ns_purge", [str(c) for c in components])
+
     # -- administration ------------------------------------------------------------
 
     def checkpoint(self) -> int:
@@ -318,6 +343,12 @@ def nameserver_interface(name: str = "NameServer") -> Interface:
     iface.method("tree_digest", params=[("path", path)], returns=Pickled())
     iface.method("read_leaves", params=[("path", path)], returns=Pickled())
     iface.method("repair_leaves", params=[("leaves", Pickled())], returns=Int)
+    # Sharding: migration donors enumerate and (after cutover) drop the
+    # top-level components whose hash range moved to another shard.
+    iface.method("components", returns=ListOf(Str))
+    iface.method(
+        "purge_components", params=[("components", ListOf(Str))], returns=Int
+    )
     iface.error(NameNotFound)
     iface.error(NameExists)
     iface.error(BadPath)

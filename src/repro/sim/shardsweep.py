@@ -1,0 +1,540 @@
+"""The shard sweep: online migration checked at every fault point.
+
+The recovery sweep proves a *replica* can be rebuilt through faults;
+this harness proves the cluster's online shard split — the staged
+:class:`~repro.cluster.migrate.ShardMigration` — keeps its promises
+while the network fails and the coordinator crashes, **with client
+traffic still flowing**.  The world is fully simulated: a donor shard
+owning the whole hash space, an empty target shard, a coordinator on its
+own :class:`~repro.storage.simfs.SimFS`, and a stream of client updates
+injected at every observable point of the migration.  Two
+quantifications:
+
+1. **Network faults.**  The migration is a multi-RPC conversation
+   (coordinator → donor/target) plus the donor's mirror forwards.  All
+   of those transports share one
+   :class:`~repro.rpc.faults.NetworkFaultInjector`.  A dry run counts
+   the events; the sweep then re-runs the whole migration with a
+   ``drop`` / ``sever`` / ``delay`` scheduled at each event 1..N.  The
+   client retries plus the migration's stage retries must absorb the
+   fault — and if a run does give up with
+   :class:`~repro.cluster.errors.MigrationFailed`, the persisted state
+   must let a second run (the operator retry) finish the job.
+
+2. **Coordinator crashes.**  The migration calls its ``stage_observer``
+   at every stage entry, after every durable save and per-component
+   copy.  The sweep crashes there (raises out of the observer, drops
+   the coordinator's unsynced file state), builds a *fresh* coordinator
+   over the surviving directory, and resumes.
+
+After every faulted run the same invariants are judged:
+
+* every update acked to a client is readable through a fresh router and
+  carries its **latest** acked value — nothing lost, nothing doubled;
+* every component has **exactly one owner**: the owning shard answers,
+  every other shard raises a typed ``WrongShard``;
+* a scatter ``count()`` equals the number of distinct live names — no
+  double-counting from a half-purged donor;
+* the published map's epoch advanced past the pre-split epoch.
+
+Run standalone (the CI job does)::
+
+    PYTHONPATH=src python -m repro.sim.shardsweep
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.errors import MigrationFailed, WrongShard
+from repro.cluster.router import ShardRouter
+from repro.cluster.shard import SHARD_INTERFACE, RemoteShard, ShardService
+from repro.core.sharding import HASH_SPACE, default_hash
+from repro.nameserver.server import NameServer
+from repro.rpc import (
+    FaultyTransport,
+    LoopbackTransport,
+    NetworkFaultInjector,
+    NullNetworkInjector,
+    RetryPolicy,
+    RpcServer,
+)
+from repro.sim.clock import SimClock
+from repro.storage import SimFS
+
+#: network fault kinds the sweep schedules (see repro.rpc.faults)
+SWEEP_KINDS = ("drop", "sever", "delay")
+
+#: the half of the hash space a full-space donor gives up in a split
+MOVE_BOUNDARY = HASH_SPACE // 2
+
+
+def _partition_components(prefix: str, wanted: int, moving: bool) -> list[str]:
+    """Deterministic component names hashing into the chosen half."""
+    names: list[str] = []
+    index = 0
+    while len(names) < wanted:
+        candidate = f"{prefix}{index:03d}"
+        in_upper = default_hash(candidate) >= MOVE_BOUNDARY
+        if in_upper == moving:
+            names.append(candidate)
+        index += 1
+    return names
+
+
+#: seeded before the split: four moving components, two staying put
+MOVING_COMPONENTS = _partition_components("svc", 4, moving=True)
+STABLE_COMPONENTS = _partition_components("cfg", 2, moving=False)
+
+
+class SimulatedCrash(Exception):
+    """Raised out of the stage observer to model a coordinator halt."""
+
+
+@dataclass
+class ShardFaultOutcome:
+    """One faulted migration run against the invariants."""
+
+    fault_at: int
+    kind: str
+    #: "network" or "crash"
+    mode: str
+    fired: bool = False
+    completed: bool = False
+    retried_run: bool = False
+    resumed: bool = False
+    acked_updates: int = 0
+    forwarded: int = 0
+    new_epoch: int = 0
+    failure: str | None = None
+
+
+@dataclass
+class ShardSweepResult:
+    network_events: int
+    crash_points: int
+    outcomes: list[ShardFaultOutcome] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> list[ShardFaultOutcome]:
+        return [o for o in self.outcomes if o.failure is not None]
+
+    @property
+    def resumed_runs(self) -> int:
+        return sum(1 for o in self.outcomes if o.resumed)
+
+    def assert_clean(self) -> None:
+        if self.failures:
+            first = self.failures[0]
+            raise AssertionError(
+                f"{len(self.failures)} of {self.runs} faulted migrations "
+                f"violated the cluster invariants; first: {first.mode} "
+                f"fault {first.fault_at} kind={first.kind}: {first.failure}"
+            )
+
+    def summary(self) -> str:
+        return (
+            f"{self.runs} migrations over {self.network_events} network "
+            f"events + {self.crash_points} crash points: "
+            f"{len(self.failures)} failures, {self.resumed_runs} resumed "
+            f"from a persisted stage"
+        )
+
+    def report(self) -> dict:
+        """JSON-serialisable report (the CI job uploads this artifact)."""
+        return {
+            "network_events": self.network_events,
+            "crash_points": self.crash_points,
+            "runs": self.runs,
+            "failures": len(self.failures),
+            "resumed_runs": self.resumed_runs,
+            "outcomes": [asdict(o) for o in self.outcomes],
+        }
+
+
+class _World:
+    """One simulated cluster: donor s0 (owns all), empty target s1."""
+
+    def __init__(self, injector: NetworkFaultInjector, seed: int) -> None:
+        self.injector = injector
+        self.clock = SimClock()
+        self.rng = random.Random(seed)
+        self._client_serial = 0
+        self.rpcs: dict[str, RpcServer] = {}
+        self.services: dict[str, ShardService] = {}
+
+        self.coordinator_fs = SimFS(clock=self.clock)
+        self.coordinator = self._coordinator()
+        shard_map = self.coordinator.bootstrap({"s0": "sim:s0"})
+        for shard_id in ("s0", "s1"):
+            self._build_shard(shard_id, shard_map)
+        self.coordinator.add_shard("s1", "sim:s1")
+
+        self.router = ShardRouter(
+            self.coordinator.current_map(),
+            transport_factory=self._clean_transport,
+        )
+        #: path -> latest value acked to the client
+        self.acked: dict[str, object] = {}
+        self._sequence = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def _coordinator(self) -> Coordinator:
+        return Coordinator(
+            self.coordinator_fs,
+            shard_client_factory=self._faulted_shard_client,
+            stage_retries=2,
+        )
+
+    def _build_shard(self, shard_id: str, shard_map) -> None:
+        server = NameServer(SimFS(clock=self.clock), replica_id=shard_id)
+        service = ShardService(
+            server, shard_id, shard_map,
+            forward_factory=self._faulted_forwarder,
+        )
+        rpc = RpcServer()
+        rpc.export(SHARD_INTERFACE, service)
+        self.services[shard_id] = service
+        self.rpcs[shard_id] = rpc
+
+    def _clean_transport(self, address: str):
+        return LoopbackTransport(self.rpcs[address.split(":")[1]])
+
+    def _faulted_transport(self, address: str):
+        inner = LoopbackTransport(
+            self.rpcs[address.split(":")[1]], clock=self.clock
+        )
+        return FaultyTransport(inner, self.injector, clock=self.clock)
+
+    def _client_options(self) -> dict:
+        self._client_serial += 1
+        return {
+            "client_id": f"shardsweep-{self._client_serial}",
+            "clock": self.clock,
+            "rng": self.rng,
+            "retry": RetryPolicy(
+                max_attempts=4,
+                base_delay_seconds=0.005,
+                max_delay_seconds=0.1,
+                deadline_seconds=60.0,
+            ),
+        }
+
+    def _faulted_shard_client(self, shard_info) -> RemoteShard:
+        return RemoteShard(
+            self._faulted_transport(shard_info.address),
+            **self._client_options(),
+        )
+
+    def _faulted_forwarder(self, address: str) -> RemoteShard:
+        return RemoteShard(
+            self._faulted_transport(address), **self._client_options()
+        )
+
+    # -- the live workload ------------------------------------------------------
+
+    def seed(self) -> None:
+        for component in MOVING_COMPONENTS + STABLE_COMPONENTS:
+            self._bind(component)
+
+    def traffic_observer(self, _point: str) -> None:
+        """One moving-range and one stable update at every observable
+        point of the migration — the sweep's 'live traffic'."""
+        cycle = MOVING_COMPONENTS + STABLE_COMPONENTS
+        self._bind(cycle[self._sequence % len(cycle)])
+        self._bind(MOVING_COMPONENTS[self._sequence % len(MOVING_COMPONENTS)])
+
+    def _bind(self, component: str) -> None:
+        self._sequence += 1
+        path = f"{component}/addr"
+        self.router.bind(path, self._sequence)
+        self.acked[path] = self._sequence
+
+    # -- judgement --------------------------------------------------------------
+
+    def judge(self, outcome: ShardFaultOutcome, initial_epoch: int) -> list[str]:
+        failures: list[str] = []
+        current = self.coordinator.current_map()
+        outcome.new_epoch = current.epoch
+        outcome.acked_updates = self._sequence
+        outcome.forwarded = self.services["s0"].forwarded
+        if current.epoch <= initial_epoch:
+            failures.append(
+                f"epoch never advanced past {initial_epoch} "
+                f"(still {current.epoch})"
+            )
+
+        fresh = ShardRouter(current, transport_factory=self._clean_transport)
+        try:
+            for path, want in self.acked.items():
+                try:
+                    got = fresh.lookup(path)
+                except Exception as exc:  # noqa: BLE001 - any escape is a finding
+                    failures.append(
+                        f"acked update {path!r} unreadable: {exc!r}"
+                    )
+                    continue
+                if got != want:
+                    failures.append(
+                        f"acked update {path!r} reads {got!r}, latest "
+                        f"acked value was {want!r} (lost or doubled)"
+                    )
+            total = fresh.count()
+            if total != len(self.acked):
+                failures.append(
+                    f"scatter count {total} != {len(self.acked)} distinct "
+                    f"live names (double-count or loss across shards)"
+                )
+        finally:
+            fresh.close()
+
+        for component in MOVING_COMPONENTS + STABLE_COMPONENTS:
+            owners = []
+            for shard_id, service in self.services.items():
+                try:
+                    service.exists((component, "addr"))
+                    owners.append(shard_id)
+                except WrongShard:
+                    pass
+            if len(owners) != 1:
+                failures.append(
+                    f"component {component!r} owned by {owners!r}, "
+                    f"expected exactly one shard"
+                )
+        moved_owner = self.coordinator.current_map().owner_of(
+            MOVING_COMPONENTS[0]
+        )
+        if outcome.completed and moved_owner.shard_id != "s1":
+            failures.append(
+                f"moved range still maps to {moved_owner.shard_id!r}"
+            )
+        return failures
+
+    def close(self) -> None:
+        self.router.close()
+
+
+class ShardSweep:
+    """Sweeps one online shard split over every fault point."""
+
+    def __init__(
+        self,
+        kinds: tuple[str, ...] = SWEEP_KINDS,
+        stage_retries: int = 2,
+    ) -> None:
+        unknown = set(kinds) - set(SWEEP_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+        self.kinds = kinds
+        self.stage_retries = stage_retries
+
+    # -- dry runs ---------------------------------------------------------------
+
+    def _clean_run(self, observer=None) -> tuple[_World, object]:
+        world = _World(NullNetworkInjector(), seed=0)
+        world.seed()
+
+        def observe(point: str) -> None:
+            world.traffic_observer(point)
+            if observer is not None:
+                observer(point)
+
+        report = world.coordinator.split("s0", "s1", stage_observer=observe)
+        return world, report
+
+    def count_events(self) -> int:
+        """Dry run: network events one clean migration generates."""
+        world, _report = self._clean_run()
+        try:
+            return world.injector.events_seen
+        finally:
+            world.close()
+
+    def count_crash_points(self) -> int:
+        """Dry run: observer callbacks one clean migration makes."""
+        points = [0]
+        world, _report = self._clean_run(lambda _p: points.__setitem__(
+            0, points[0] + 1
+        ))
+        world.close()
+        return points[0]
+
+    def run(self, max_events: int | None = None) -> ShardSweepResult:
+        """Both quantifications; returns per-fault-state outcomes."""
+        events = self.count_events()
+        crash_points = self.count_crash_points()
+        swept_events = (
+            events if max_events is None else min(events, max_events)
+        )
+        swept_points = (
+            crash_points
+            if max_events is None
+            else min(crash_points, max_events)
+        )
+        result = ShardSweepResult(
+            network_events=events, crash_points=crash_points
+        )
+        for fault_at in range(1, swept_events + 1):
+            for kind in self.kinds:
+                result.outcomes.append(self._run_network(fault_at, kind))
+        for point in range(1, swept_points + 1):
+            result.outcomes.append(self._run_crash(point))
+        return result
+
+    # -- the network-fault quantification ---------------------------------------
+
+    def _run_network(self, fault_at: int, kind: str) -> ShardFaultOutcome:
+        injector = NetworkFaultInjector(fault_at_event=fault_at, kind=kind)
+        world = _World(injector, seed=fault_at * 8 + len(kind))
+        outcome = ShardFaultOutcome(fault_at, kind, mode="network")
+        failures: list[str] = []
+        try:
+            world.seed()
+            initial_epoch = world.coordinator.current_map().epoch
+            try:
+                world.coordinator.split(
+                    "s0", "s1", stage_observer=world.traffic_observer
+                )
+            except MigrationFailed:
+                # The fault exhausted the retries: allowed, but the
+                # operator's next attempt must pick up the persisted
+                # state and finish.
+                outcome.retried_run = True
+                injector.disarm()
+                try:
+                    report = world.coordinator.split(
+                        "s0", "s1", stage_observer=world.traffic_observer
+                    )
+                except MigrationFailed as exc:
+                    outcome.failure = (
+                        f"migration failed even after the fault cleared "
+                        f"(stage {exc.stage}): {exc}"
+                    )
+                    return outcome
+                outcome.resumed = bool(report is None or report.resumed)
+            except Exception as exc:  # noqa: BLE001 - any escape is a finding
+                outcome.failure = (
+                    f"migration raised outside the typed surface: {exc!r}"
+                )
+                return outcome
+            outcome.completed = True
+            outcome.fired = bool(injector.injected)
+            failures.extend(world.judge(outcome, initial_epoch))
+        finally:
+            world.close()
+        if failures:
+            outcome.failure = "; ".join(failures)
+        return outcome
+
+    # -- the coordinator-crash quantification -------------------------------------
+
+    def _run_crash(self, point: int) -> ShardFaultOutcome:
+        world = _World(NullNetworkInjector(), seed=point)
+        outcome = ShardFaultOutcome(point, "crash", mode="crash")
+        failures: list[str] = []
+        seen = [0]
+
+        def crashing_observer(stage_point: str) -> None:
+            world.traffic_observer(stage_point)
+            seen[0] += 1
+            if seen[0] == point:
+                raise SimulatedCrash(stage_point)
+
+        try:
+            world.seed()
+            initial_epoch = world.coordinator.current_map().epoch
+            try:
+                world.coordinator.split(
+                    "s0", "s1", stage_observer=crashing_observer
+                )
+                outcome.failure = (
+                    f"crash point {point} was never reached "
+                    f"({seen[0]} observer calls)"
+                )
+                return outcome
+            except SimulatedCrash:
+                pass
+            outcome.fired = True
+            # The coordinator's machine halts: unsynced state is gone.
+            world.coordinator_fs.crash()
+            world.coordinator = world._coordinator()
+            try:
+                report = world.coordinator.resume_migration(
+                    stage_observer=world.traffic_observer
+                )
+                if report is None:
+                    # Crashed before the first durable save: nothing to
+                    # resume, the operator re-issues the split.
+                    report = world.coordinator.split(
+                        "s0", "s1", stage_observer=world.traffic_observer
+                    )
+                else:
+                    outcome.resumed = True
+            except MigrationFailed as exc:
+                outcome.failure = f"resume after crash failed: {exc}"
+                return outcome
+            outcome.completed = True
+            failures.extend(world.judge(outcome, initial_epoch))
+        finally:
+            world.close()
+        if failures:
+            outcome.failure = "; ".join(failures)
+        return outcome
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the sweep, print the summary, exit 0/1."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="fault sweep for online shard split/migration"
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=None,
+        help="sweep only fault points 1..N per mode (default: all)",
+    )
+    parser.add_argument(
+        "--kinds", nargs="+", default=list(SWEEP_KINDS),
+        choices=list(SWEEP_KINDS),
+    )
+    parser.add_argument(
+        "--report", default=None,
+        help="write a JSON report of every outcome to this path",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    sweep = ShardSweep(kinds=tuple(args.kinds))
+    result = sweep.run(max_events=args.max_events)
+    print(result.summary())
+    if args.verbose:
+        for outcome in result.outcomes:
+            status = "FAIL" if outcome.failure else "ok"
+            print(
+                f"  {outcome.mode:7s} {outcome.fault_at:3d} "
+                f"{outcome.kind:6s} fired={outcome.fired} "
+                f"resumed={outcome.resumed} acked={outcome.acked_updates} "
+                f"{status}"
+            )
+    for outcome in result.failures:
+        print(
+            f"FAIL {outcome.mode} fault {outcome.fault_at} "
+            f"kind={outcome.kind}: {outcome.failure}"
+        )
+    if args.report is not None:
+        with open(args.report, "w", encoding="ascii") as f:
+            json.dump(result.report(), f, indent=2)
+        print(f"report written to {args.report}")
+    return 1 if result.failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,13 @@ from repro.storage.failures import (
     NullInjector,
 )
 from repro.storage.interface import AppendHandle, FileSystem, ReadHandle
-from repro.storage.latency import MODERN_SSD, NULL_DISK_MODEL, RA81_1987, DiskModel
+from repro.storage.latency import (
+    MODERN_SSD,
+    NULL_DISK_MODEL,
+    RA81_1987,
+    DiskModel,
+    ThrottledFS,
+)
 from repro.storage.localfs import LocalFS
 from repro.storage.prefix import PrefixedFS
 from repro.storage.simfs import SimFS
@@ -54,6 +60,7 @@ __all__ = [
     "NullInjector",
     "PrefixedFS",
     "RA81_1987",
+    "ThrottledFS",
     "ReadHandle",
     "SimFS",
     "SimulatedCrash",

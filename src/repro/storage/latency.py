@@ -99,6 +99,54 @@ MODERN_SSD = DiskModel(
 NULL_DISK_MODEL = DiskModel(page_size=512)
 
 
+class ThrottledFS:
+    """Charge a :class:`DiskModel`'s commit cost in *wall-clock* time.
+
+    ``SimulatedDisk`` charges the model against a SimClock; on a real
+    directory with a WallClock those charges vanish, and a container's
+    page cache makes a local fsync so cheap (~0.3 ms) that a "durable
+    commit" benchmark would measure Python overhead instead of the
+    architecture.  This wrapper restores device fidelity the honest way:
+    every ``fsync`` additionally sleeps the model's one-page commit cost,
+    so a commit-bound workload behaves as it would against a disk (or a
+    network-replicated volume) with that latency — and, crucially for the
+    cluster benchmarks, N processes overlap their commit *waits* even on
+    one CPU, exactly as N spindles would.
+
+    Reads and in-memory writes pass through untouched — only the
+    durability point is modelled, matching the paper's accounting where
+    the log force is the dominant update cost.
+    """
+
+    def __init__(self, base, model: DiskModel | None = None,
+                 fsync_seconds: float | None = None) -> None:
+        import time
+
+        self.base = base
+        if fsync_seconds is not None:
+            self._fsync_seconds = float(fsync_seconds)
+        elif model is not None:
+            self._fsync_seconds = model.io_seconds(1, model.page_size)
+        else:
+            self._fsync_seconds = 0.0
+        self._sleep = time.sleep
+        self.clock = getattr(base, "clock", None)
+        self.page_size = getattr(base, "page_size", 512)
+
+    def __getattr__(self, name: str):
+        return getattr(self.base, name)
+
+    def fsync(self, name: str) -> None:
+        self.base.fsync(name)
+        if self._fsync_seconds > 0:
+            self._sleep(self._fsync_seconds)
+
+    def fsync_dir(self) -> None:
+        self.base.fsync_dir()
+        if self._fsync_seconds > 0:
+            self._sleep(self._fsync_seconds)
+
+
 class IoMeter:
     """Routes storage-layer I/O volume and latency into a metrics registry.
 

@@ -7,6 +7,14 @@ directory or a remote server over TCP:
 
     python -m repro.tools.shell /var/lib/names          # local directory
     python -m repro.tools.shell --connect host:9999     # remote server
+    python -m repro.tools.shell --cluster host:9800     # sharded cluster
+
+With ``--cluster`` the shell dials the coordinator, fetches the shard
+map, and serves data commands through a :class:`ShardRouter` — reads
+and writes go to the owning shard, enumeration scatter-gathers.  The
+management commands grow a shard argument: ``health``, ``metrics`` and
+``flight`` route to one named shard or fan out over ``all``, and a
+``shards`` command prints the map.
 
 Commands::
 
@@ -18,7 +26,8 @@ Commands::
     rmtree <path>        unbind a subtree
     find <pattern>       glob enumeration (*, **)
     count                live name count
-    health               storage health state (degraded read-only?)
+    shards               the shard map (cluster mode)
+    health [shard|all]   storage health state (degraded read-only?)
     recover              rebuild this replica from a peer (staged recovery)
     checkpoint           force a checkpoint (local only)
     metrics              the unified metrics registry (Prometheus text)
@@ -58,12 +67,28 @@ def parse_value(text: str) -> object:
 
 
 class Shell:
-    """One shell session bound to a server-like object."""
+    """One shell session bound to a server-like object.
 
-    def __init__(self, server, out: TextIO = sys.stdout, management=None) -> None:
+    In cluster mode ``server`` is a :class:`~repro.cluster.ShardRouter`,
+    ``coordinator`` a :class:`~repro.cluster.RemoteCoordinator`, and
+    ``management_factory(address)`` dials one shard's management
+    interface so ``health``/``metrics``/``flight`` can be routed to a
+    named shard or fanned out over ``all``.
+    """
+
+    def __init__(
+        self,
+        server,
+        out: TextIO = sys.stdout,
+        management=None,
+        coordinator=None,
+        management_factory=None,
+    ) -> None:
         self.server = server
         self.out = out
         self.management = management
+        self.coordinator = coordinator
+        self.management_factory = management_factory
         self.running = True
 
     def execute(self, line: str) -> None:
@@ -99,9 +124,10 @@ class Shell:
         self._print(
             "commands: ls [path] | tree [path] | get <path> | "
             "set <path> <value> | rm <path> | rmtree <path> | "
-            "find <pattern> | count | health | recover | checkpoint | "
-            "metrics | trace [id] | slowops | profile [seconds] | "
-            "flight [kind] | quit"
+            "find <pattern> | count | shards | health [shard|all] | "
+            "recover | checkpoint | metrics [shard|all] | trace [id] | "
+            "slowops | profile [seconds] | flight [shard|all] [kind] | "
+            "quit"
         )
 
     def do_ls(self, args: list[str]) -> None:
@@ -148,7 +174,102 @@ class Shell:
     def do_count(self, args: list[str]) -> None:
         self._print(str(self.server.count()))
 
+    # -- cluster mode --------------------------------------------------------
+
+    def do_shards(self, args: list[str]) -> None:
+        """``shards``: the coordinator's shard map, one line per shard."""
+        if self.coordinator is None:
+            self._print("not connected to a cluster (use --cluster)")
+            return
+        shard_map = self.coordinator.shard_map()
+        self._print(
+            f"epoch {shard_map.epoch}, {len(shard_map.shards)} shards"
+        )
+        for shard in shard_map.shards:
+            ranges = " ".join(
+                f"[{lo:#010x},{hi:#010x})" for lo, hi in shard.ranges
+            )
+            self._print(f"  {shard.shard_id:<8} {shard.address:<22} {ranges}")
+
+    def _each_shard(self, target: str):
+        """Yield ``(shard_id, management)`` for one named shard or all.
+
+        Unknown names and unreachable shards are printed, not raised, so
+        a fan-out keeps going past a dead shard.
+        """
+        if self.management_factory is None:
+            self._print("per-shard management is not available")
+            return
+        shards = self.coordinator.shards()
+        if target != "all" and target not in shards:
+            self._print(f"unknown shard {target!r}; try 'shards'")
+            return
+        selected = sorted(shards) if target == "all" else [target]
+        for shard_id in selected:
+            try:
+                management = self.management_factory(shards[shard_id])
+            except Exception as exc:  # noqa: BLE001 - operator display
+                self._print(f"{shard_id}: unreachable: {exc}")
+                continue
+            try:
+                yield shard_id, management
+            finally:
+                close = getattr(management, "close", None)
+                if close is not None:
+                    try:
+                        close()
+                    except Exception:  # noqa: BLE001
+                        pass
+
+    def _cluster_health(self, args: list[str]) -> None:
+        target = args[0] if args else "all"
+        health = self.coordinator.health()
+        if target != "all" and target not in health["shards"]:
+            self._print(f"unknown shard {target!r}; try 'shards'")
+            return
+        self._print(f"epoch {health['epoch']}")
+        for shard_id, status in sorted(health["shards"].items()):
+            if target != "all" and shard_id != target:
+                continue
+            if status.get("reachable"):
+                self._print(
+                    f"{shard_id}: up  names {status.get('names', '?')}  "
+                    f"log {status.get('log_bytes', '?')} B  "
+                    f"({status['address']})"
+                )
+            else:
+                self._print(
+                    f"{shard_id}: DOWN ({status['address']}): "
+                    f"{status.get('error', '?')}"
+                )
+
+    def _cluster_metrics(self, args: list[str]) -> None:
+        if not args:
+            # No shard named: the coordinator's aggregated totals.
+            totals = self.coordinator.cluster_metrics()
+            for key, value in sorted(totals.items()):
+                self._print(f"{key}: {value}")
+            return
+        for shard_id, management in self._each_shard(args[0]):
+            self._print(f"--- {shard_id} ---")
+            self._print(management.metrics_text().rstrip("\n"))
+
+    def _cluster_flight(self, args: list[str]) -> None:
+        target = args[0] if args else "all"
+        kind = args[1] if len(args) > 1 else None
+        for shard_id, management in self._each_shard(target):
+            events = management.flight_events()
+            if kind:
+                events = [e for e in events if e.get("kind") == kind]
+            self._print(f"--- {shard_id}: {len(events)} events ---")
+            self._print_flight_events(events)
+
+    # -- management ----------------------------------------------------------
+
     def do_health(self, args: list[str]) -> None:
+        if self.coordinator is not None:
+            self._cluster_health(args)
+            return
         if self.management is None:
             self._print("health is not available over this connection")
             return
@@ -195,6 +316,9 @@ class Shell:
         self._print(f"checkpointed as version {checkpoint()}")
 
     def do_metrics(self, args: list[str]) -> None:
+        if self.coordinator is not None:
+            self._cluster_metrics(args)
+            return
         if self.management is None:
             self._print("metrics are not available over this connection")
             return
@@ -255,7 +379,13 @@ class Shell:
         self._print(stacks.rstrip("\n"))
 
     def do_flight(self, args: list[str]) -> None:
-        """``flight [kind]``: the node's flight-recorder events."""
+        """``flight [kind]``: the node's flight-recorder events.
+
+        Cluster mode: ``flight <shard|all> [kind]``.
+        """
+        if self.coordinator is not None:
+            self._cluster_flight(args)
+            return
         if self.management is None:
             self._print(
                 "the flight recorder is not available over this connection"
@@ -264,6 +394,9 @@ class Shell:
         events = self.management.flight_events()
         if args:
             events = [e for e in events if e.get("kind") == args[0]]
+        self._print_flight_events(events)
+
+    def _print_flight_events(self, events: list[dict]) -> None:
         if not events:
             self._print("(no flight events recorded)")
             return
@@ -296,10 +429,43 @@ def main(argv: list[str] | None = None, stdin: TextIO = sys.stdin,
     parser.add_argument(
         "--connect", metavar="HOST:PORT", help="connect to a TCP name server"
     )
+    parser.add_argument(
+        "--cluster", metavar="HOST:PORT",
+        help="connect to a sharded cluster's coordinator",
+    )
     options = parser.parse_args(argv)
 
-    if bool(options.directory) == bool(options.connect):
-        parser.error("give either a directory or --connect host:port")
+    chosen = [
+        source for source in
+        (options.directory, options.connect, options.cluster) if source
+    ]
+    if len(chosen) != 1:
+        parser.error(
+            "give exactly one of a directory, --connect or --cluster"
+        )
+
+    if options.cluster:
+        from repro.cluster import RemoteCoordinator, ShardRouter
+        from repro.nameserver.management import RemoteManagement
+        from repro.rpc import TcpTransport
+
+        host, _, port = options.cluster.rpartition(":")
+        coordinator = RemoteCoordinator(TcpTransport(host, int(port)))
+
+        def management_factory(address: str) -> RemoteManagement:
+            shard_host, _, shard_port = address.rpartition(":")
+            return RemoteManagement(
+                TcpTransport(shard_host, int(shard_port))
+            )
+
+        shell = Shell(
+            ShardRouter(coordinator.shard_map()),
+            out=out,
+            coordinator=coordinator,
+            management_factory=management_factory,
+        )
+        shell.repl(stdin)
+        return 0
 
     if options.connect:
         from repro.nameserver.management import RemoteManagement

@@ -7,10 +7,17 @@ latency summaries:
 
     python -m repro.tools.top --connect host:9999
     python -m repro.tools.top --connect host:9999 --interval 5 --iterations 3
+    python -m repro.tools.top --cluster host:9800
 
 With a terminal on stdout the screen is redrawn in place; when piped,
 each refresh is a separate block (so ``--iterations 1`` is a one-shot
 snapshot suitable for scripts).
+
+``--cluster`` points at a coordinator instead of one server: each frame
+polls the coordinator's aggregated health and renders one *column per
+shard* — state, name count (with a per-second rate from the previous
+frame), log bytes, unchecked-pointed entries, owned ranges — over a
+cluster-totals header line.
 """
 
 from __future__ import annotations
@@ -102,6 +109,106 @@ def render(
     return "\n".join(lines)
 
 
+def _cluster_totals(health: dict) -> dict:
+    """Aggregate one health report (mirrors Coordinator.cluster_metrics,
+    computed locally so each frame costs a single RPC)."""
+    totals = {
+        "epoch": health["epoch"],
+        "shards": len(health["shards"]),
+        "reachable": 0,
+        "names": 0,
+        "log_bytes": 0,
+    }
+    for status in health["shards"].values():
+        if not status.get("reachable"):
+            continue
+        totals["reachable"] += 1
+        totals["names"] += int(status.get("names", 0))
+        totals["log_bytes"] += int(status.get("log_bytes", 0))
+    return totals
+
+
+def render_cluster(
+    health: dict,
+    previous: dict | None = None,
+    interval: float = 1.0,
+) -> str:
+    """One screenful of cluster console: one column per shard."""
+    totals = _cluster_totals(health)
+    shards = sorted(health["shards"].items())
+    width = max(16, *(len(sid) + 2 for sid, _ in shards))
+    lines = [
+        f"cluster epoch {totals['epoch']}"
+        f"  shards {totals['shards']}"
+        f"  reachable {totals['reachable']}"
+        f"  names {totals['names']}"
+        f"  log {totals['log_bytes']} B",
+        "",
+        f"{'':<18}" + "".join(f"{sid:>{width}}" for sid, _ in shards),
+    ]
+
+    def row(label: str, cell) -> str:
+        return f"{label:<18}" + "".join(
+            f"{cell(sid, status):>{width}}" for sid, status in shards
+        )
+
+    lines.append(
+        row("state", lambda s, st: "up" if st.get("reachable") else "DOWN")
+    )
+    lines.append(row("names", lambda s, st: str(st.get("names", "-"))))
+    if previous is not None and interval > 0:
+        before = previous["shards"]
+
+        def names_rate(shard_id: str, status: dict) -> str:
+            prior = before.get(shard_id, {})
+            if not (status.get("reachable") and prior.get("reachable")):
+                return "-"
+            delta = int(status.get("names", 0)) - int(prior.get("names", 0))
+            return f"{delta / interval:.1f}"
+
+        lines.append(row("names/s", names_rate))
+    lines.append(
+        row("log bytes", lambda s, st: str(st.get("log_bytes", "-")))
+    )
+    lines.append(
+        row(
+            "entries unckpt",
+            lambda s, st: str(st.get("entries_since_checkpoint", "-")),
+        )
+    )
+    lines.append(
+        row("ranges", lambda s, st: str(len(st.get("ranges") or [])))
+    )
+    lines.append(row("address", lambda s, st: st.get("address", "-")))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def run_cluster(
+    coordinator,
+    out: TextIO,
+    interval: float = 2.0,
+    iterations: int = 0,
+    clear_screen: bool = False,
+    sleep=time.sleep,
+) -> int:
+    """The cluster refresh loop: one coordinator health poll per frame."""
+    previous: dict | None = None
+    drawn = 0
+    while True:
+        health = coordinator.health()
+        frame = render_cluster(health, previous, interval)
+        if clear_screen:
+            out.write(_CLEAR)
+        out.write(frame + "\n")
+        out.flush()
+        previous = health
+        drawn += 1
+        if iterations and drawn >= iterations:
+            return 0
+        sleep(interval)
+
+
 def run(
     management,
     out: TextIO,
@@ -138,8 +245,12 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
         description="Live metrics console for a running name server.",
     )
     parser.add_argument(
-        "--connect", required=True, metavar="HOST:PORT",
+        "--connect", metavar="HOST:PORT",
         help="the server's data/management TCP endpoint",
+    )
+    parser.add_argument(
+        "--cluster", metavar="HOST:PORT",
+        help="a cluster coordinator endpoint (per-shard columns)",
     )
     parser.add_argument(
         "--interval", type=float, default=2.0,
@@ -151,8 +262,30 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
     )
     options = parser.parse_args(argv)
 
-    from repro.nameserver.management import RemoteManagement
+    if bool(options.connect) == bool(options.cluster):
+        parser.error("give exactly one of --connect or --cluster")
+
     from repro.rpc import TcpTransport
+
+    if options.cluster:
+        from repro.cluster import RemoteCoordinator
+
+        host, _, port = options.cluster.rpartition(":")
+        coordinator = RemoteCoordinator(TcpTransport(host, int(port)))
+        try:
+            return run_cluster(
+                coordinator,
+                out,
+                interval=options.interval,
+                iterations=options.iterations,
+                clear_screen=out.isatty(),
+            )
+        except KeyboardInterrupt:
+            return 0
+        finally:
+            coordinator.close()
+
+    from repro.nameserver.management import RemoteManagement
 
     host, _, port = options.connect.rpartition(":")
     management = RemoteManagement(TcpTransport(host, int(port)))

@@ -1,0 +1,204 @@
+"""Operator tools in cluster mode: the shell and the top console."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cluster import COORDINATOR_INTERFACE, RemoteCoordinator
+from repro.nameserver.management import ManagementService
+from repro.rpc import LoopbackTransport, RpcServer
+from repro.tools.shell import Shell, main as shell_main
+from repro.tools.top import main as top_main, render_cluster, run_cluster
+
+
+def cluster_shell(cluster) -> tuple[Shell, io.StringIO]:
+    """A Shell wired to the loopback cluster the way --cluster wires TCP."""
+    rpc = RpcServer()
+    rpc.export(COORDINATOR_INTERFACE, cluster.coordinator)
+    coordinator = RemoteCoordinator(LoopbackTransport(rpc))
+
+    def management_factory(address: str) -> ManagementService:
+        shard_id = address.split(":")[1]
+        return ManagementService(cluster.services[shard_id].server)
+
+    # The server-side coordinator health-checks shards the same way.
+    cluster.coordinator.management_factory = management_factory
+    out = io.StringIO()
+    shell = Shell(
+        cluster.router(),
+        out=out,
+        coordinator=coordinator,
+        management_factory=management_factory,
+    )
+    return shell, out
+
+
+def run_script(shell: Shell, script: str) -> str:
+    shell.repl(io.StringIO(script))
+    return shell.out.getvalue()
+
+
+class TestClusterShell:
+    def test_data_commands_route_through_the_cluster(self, cluster2):
+        shell, _ = cluster_shell(cluster2)
+        output = run_script(
+            shell,
+            "set alice/home /home/a\nset bob/home /home/b\n"
+            "get alice/home\ncount\nfind */home\n",
+        )
+        assert "/home/a" in output
+        assert "\n2\n" in output  # scatter-gathered count
+        assert "bob/home" in output
+
+    def test_shards_prints_the_map(self, cluster2):
+        shell, _ = cluster_shell(cluster2)
+        output = run_script(shell, "shards\n")
+        assert "epoch 1, 2 shards" in output
+        assert "s0" in output and "s1" in output
+        assert "0x" in output  # hash ranges are shown
+
+    def test_health_fans_out_and_narrows(self, cluster2):
+        shell, _ = cluster_shell(cluster2)
+        output = run_script(shell, "health\n")
+        assert "epoch 1" in output
+        assert "s0: up" in output and "s1: up" in output
+
+        narrowed = io.StringIO()
+        shell.out = narrowed
+        shell.execute("health s1")
+        assert "s1: up" in narrowed.getvalue()
+        assert "s0" not in narrowed.getvalue()
+
+    def test_health_reports_unreachable_shards(self, cluster2):
+        shell, _ = cluster_shell(cluster2)
+
+        def dead_factory(address: str):
+            raise OSError("connection refused")
+
+        cluster2.coordinator.management_factory = dead_factory
+        output = run_script(shell, "health\n")
+        assert "s0: DOWN" in output and "s1: DOWN" in output
+
+    def test_metrics_default_is_cluster_totals(self, cluster2):
+        shell, _ = cluster_shell(cluster2)
+        output = run_script(shell, "set alice/x 1\nmetrics\n")
+        assert "reachable: 2" in output
+        assert "names: 1" in output
+
+    def test_metrics_route_to_one_shard_or_all(self, cluster2):
+        shell, _ = cluster_shell(cluster2)
+        output = run_script(shell, "metrics s0\n")
+        assert "--- s0 ---" in output
+        assert "--- s1 ---" not in output
+
+        shell.out = io.StringIO()
+        shell.execute("metrics all")
+        fanned = shell.out.getvalue()
+        assert "--- s0 ---" in fanned and "--- s1 ---" in fanned
+
+    def test_flight_routes_to_a_named_shard(self, cluster2):
+        shell, _ = cluster_shell(cluster2)
+        output = run_script(shell, "flight s1\n")
+        assert "--- s1:" in output
+        assert "--- s0:" not in output
+
+    def test_unknown_shard_is_reported_not_raised(self, cluster2):
+        shell, _ = cluster_shell(cluster2)
+        output = run_script(shell, "metrics s9\nflight s9\nhealth s9\n")
+        assert output.count("unknown shard 's9'") == 3
+
+    def test_shards_without_cluster_points_at_the_flag(self, cluster2):
+        out = io.StringIO()
+        Shell(cluster2.router(), out=out).execute("shards")
+        assert "--cluster" in out.getvalue()
+
+    def test_main_rejects_ambiguous_sources(self):
+        with pytest.raises(SystemExit):
+            shell_main(["somedir", "--cluster", "h:1"])
+
+
+def loopback_health(cluster) -> dict:
+    def management_factory(address: str) -> ManagementService:
+        shard_id = address.split(":")[1]
+        return ManagementService(cluster.services[shard_id].server)
+
+    cluster.coordinator.management_factory = management_factory
+    return cluster.coordinator.health()
+
+
+class TestClusterTop:
+    def test_render_has_one_column_per_shard(self, cluster2):
+        router = cluster2.router()
+        router.bind("alice/x", 1)
+        router.close()
+        frame = render_cluster(loopback_health(cluster2))
+        lines = frame.splitlines()
+        header = next(line for line in lines if "s0" in line and "s1" in line)
+        assert header.index("s0") < header.index("s1")
+        assert "cluster epoch 1  shards 2  reachable 2" in frame
+        assert any(line.startswith("state") and "up" in line for line in lines)
+        assert any(line.startswith("ranges") for line in lines)
+        assert any(line.startswith("address") for line in lines)
+
+    def test_render_shows_rates_from_the_previous_frame(self, cluster2):
+        before = loopback_health(cluster2)
+        router = cluster2.router()
+        for i in range(8):
+            router.bind(f"svc{i:03d}/x", i)
+        router.close()
+        frame = render_cluster(
+            cluster2.coordinator.health(), before, interval=2.0
+        )
+        rate_line = next(
+            line for line in frame.splitlines() if line.startswith("names/s")
+        )
+        # 8 new names over two shards in 2s: the per-shard rates sum to 4.
+        rates = [float(cell) for cell in rate_line.split()[1:]]
+        assert sum(rates) == pytest.approx(4.0)
+
+    def test_render_marks_unreachable_shards(self):
+        health = {
+            "epoch": 3,
+            "shards": {
+                "s0": {
+                    "reachable": True, "names": 5, "log_bytes": 10,
+                    "entries_since_checkpoint": 1, "address": "h:1",
+                    "ranges": [[0, 7]],
+                },
+                "s1": {
+                    "reachable": False, "error": "refused", "address": "h:2",
+                    "ranges": [[7, 9]],
+                },
+            },
+        }
+        frame = render_cluster(health, previous=health, interval=1.0)
+        state = next(
+            line for line in frame.splitlines() if line.startswith("state")
+        )
+        assert "up" in state and "DOWN" in state
+        assert "reachable 1" in frame
+
+    def test_run_cluster_draws_the_requested_frames(self, cluster2):
+        health = loopback_health(cluster2)
+
+        class FakeCoordinator:
+            def health(self):
+                return health
+
+        out = io.StringIO()
+        naps: list[float] = []
+        status = run_cluster(
+            FakeCoordinator(), out, interval=0.5, iterations=3,
+            sleep=naps.append,
+        )
+        assert status == 0
+        assert out.getvalue().count("cluster epoch") == 3
+        assert naps == [0.5, 0.5]
+
+    def test_main_requires_exactly_one_endpoint(self):
+        with pytest.raises(SystemExit):
+            top_main([])
+        with pytest.raises(SystemExit):
+            top_main(["--connect", "h:1", "--cluster", "h:2"])

@@ -1,0 +1,160 @@
+"""The coordinator: map persistence, health checks, aggregated metrics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    COORDINATOR_INTERFACE,
+    ClusterError,
+    Coordinator,
+    RemoteCoordinator,
+)
+from repro.cluster.coordinator import SHARDMAP_FILE, SHARDMAP_STAGING_FILE
+from repro.rpc import LoopbackTransport, RpcServer
+from repro.sim.clock import SimClock
+from repro.storage import SimFS
+
+
+class TestPersistence:
+    def test_bootstrap_persists_and_reloads(self, cluster2):
+        # A new coordinator over the same directory sees the same map.
+        reborn = Coordinator(cluster2.coordinator_fs)
+        assert reborn.current_map() == cluster2.coordinator.current_map()
+
+    def test_double_bootstrap_is_rejected(self, cluster2):
+        with pytest.raises(ClusterError, match="bootstrapped"):
+            cluster2.coordinator.bootstrap({"x": "sim:x"})
+
+    def test_publish_is_atomic_under_crash(self, cluster2):
+        fs = cluster2.coordinator_fs
+        current = cluster2.coordinator.current_map()
+        # A torn publish: the staging file exists but was never renamed.
+        fs.write(SHARDMAP_STAGING_FILE, b'{"format": "garbage"}')
+        fs.crash()
+        reborn = Coordinator(fs)
+        assert reborn.current_map().epoch == current.epoch
+        assert not fs.exists(SHARDMAP_STAGING_FILE)
+
+    def test_stale_epoch_publish_is_ignored(self, cluster2):
+        current = cluster2.coordinator.current_map()
+        grown = current.with_shard("s9", "sim:s9")
+        cluster2.coordinator.publish(grown)
+        cluster2.coordinator.publish(current)  # stale: no-op
+        assert cluster2.coordinator.current_map().epoch == grown.epoch
+
+    def test_unbootstrapped_coordinator_refuses_queries(self):
+        empty = Coordinator(SimFS(clock=SimClock()))
+        with pytest.raises(ClusterError, match="not bootstrapped"):
+            empty.current_map()
+
+    def test_map_file_is_the_wire_schema(self, cluster2):
+        raw = json.loads(cluster2.coordinator_fs.read(SHARDMAP_FILE))
+        assert raw["format"] == "repro-shardmap-v1"
+        assert {entry["id"] for entry in raw["shards"]} == {"s0", "s1"}
+
+
+class TestMapDistribution:
+    def test_push_map_installs_on_every_shard(self, cluster2):
+        grown = cluster2.coordinator.current_map().with_shard(
+            "s1b", "sim:s1"
+        )
+        cluster2.coordinator.publish(grown)
+        answer = cluster2.coordinator.push_map()
+        assert answer["s0"] == grown.epoch
+        assert cluster2.services["s0"].map.epoch == grown.epoch
+
+    def test_push_map_reports_unreachable_shards_as_zero(self, cluster2):
+        def flaky_factory(shard_info):
+            if shard_info.shard_id == "s1":
+                raise OSError("down")
+            return cluster2.shard_client(shard_info)
+
+        cluster2.coordinator.shard_client_factory = flaky_factory
+        grown = cluster2.coordinator.current_map().with_shard("sX", "sim:s0")
+        cluster2.coordinator.publish(grown)
+        answer = cluster2.coordinator.push_map()
+        assert answer["s1"] == 0
+        assert answer["s0"] == grown.epoch
+
+
+class TestHealthAndMetrics:
+    def test_health_reports_per_shard_status(self, cluster2):
+        def management_factory(address):
+            shard_id = address.split(":")[1]
+            service = cluster2.services[shard_id]
+
+            class Mgmt:
+                def status(self):
+                    return {
+                        "replica_id": shard_id,
+                        "names": service.count(),
+                        "log_bytes": 10,
+                        "entries_since_checkpoint": 2,
+                    }
+
+            return Mgmt()
+
+        cluster2.coordinator.management_factory = management_factory
+        router = cluster2.router()
+        router.bind("alice/x", 1)
+        router.close()
+
+        health = cluster2.coordinator.health()
+        assert set(health["shards"]) == {"s0", "s1"}
+        for status in health["shards"].values():
+            assert status["reachable"]
+            assert "ranges" in status and "address" in status
+
+        totals = cluster2.coordinator.cluster_metrics()
+        assert totals["reachable"] == 2
+        assert totals["names"] == 1
+        assert totals["log_bytes"] == 20
+
+    def test_unreachable_shard_is_reported_not_raised(self, cluster2):
+        def dead_factory(address):
+            raise OSError("connection refused")
+
+        cluster2.coordinator.management_factory = dead_factory
+        health = cluster2.coordinator.health()
+        assert all(
+            not status["reachable"] for status in health["shards"].values()
+        )
+        totals = cluster2.coordinator.cluster_metrics()
+        assert totals["reachable"] == 0
+
+
+class TestRemoteCoordinator:
+    def test_full_rpc_surface_over_loopback(self, cluster2):
+        rpc = RpcServer()
+        rpc.export(COORDINATOR_INTERFACE, cluster2.coordinator)
+        remote = RemoteCoordinator(LoopbackTransport(rpc))
+
+        assert remote.epoch() == cluster2.coordinator.current_map().epoch
+        assert set(remote.shards()) == {"s0", "s1"}
+        assert remote.shard_map() == cluster2.coordinator.current_map()
+        assert remote.migration_status() == {"active": False}
+        remote.close()
+
+    def test_migration_status_reflects_pending_state(self, cluster2):
+        rpc = RpcServer()
+        rpc.export(COORDINATOR_INTERFACE, cluster2.coordinator)
+        remote = RemoteCoordinator(LoopbackTransport(rpc))
+
+        class Stop(Exception):
+            pass
+
+        def stop_at(point):
+            if point == "saved_mirror":
+                raise Stop(point)
+
+        with pytest.raises(Stop):
+            cluster2.coordinator.split("s0", "s1", stage_observer=stop_at)
+        status = remote.migration_status()
+        assert status["active"]
+        assert status["stage"] == "mirror"
+        assert status["donor"] == "s0" and status["target"] == "s1"
+        remote.close()
+        cluster2.coordinator.abandon_migration()

@@ -1,0 +1,136 @@
+"""The shard router: keyed routing, redirects, scatter-gather."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterPartialFailure,
+    RemoteShard,
+    ShardMap,
+    WrongShard,
+)
+from repro.nameserver.errors import NameNotFound
+from repro.rpc import LoopbackTransport
+
+
+class TestKeyedRouting:
+    def test_bind_and_lookup_route_by_first_component(self, cluster2):
+        router = cluster2.router()
+        for i in range(16):
+            router.bind(f"svc{i:02d}/addr", i)
+        for i in range(16):
+            assert router.lookup(f"svc{i:02d}/addr") == i
+        # The data actually spread over both shards.
+        census = router.census()
+        assert set(census) == {"s0", "s1"}
+        assert all(count > 0 for count in census.values())
+        assert sum(census.values()) == 16
+        router.close()
+
+    def test_typed_errors_pass_through_the_router(self, cluster2):
+        router = cluster2.router()
+        with pytest.raises(NameNotFound):
+            router.lookup("nosuch/name")
+        router.close()
+
+    def test_deep_paths_route_on_the_first_component_only(self, cluster2):
+        router = cluster2.router()
+        router.bind("tenant/a/deep/path", "x")
+        router.bind("tenant/b/other/path", "y")
+        assert router.lookup("tenant/a/deep/path") == "x"
+        assert sorted(router.list_dir("tenant")) == ["a", "b"]
+        router.close()
+
+
+class TestRedirects:
+    def test_direct_client_gets_typed_wrong_shard(self, cluster2):
+        router = cluster2.router()
+        for i in range(16):
+            router.bind(f"svc{i:02d}/addr", i)
+        direct = RemoteShard(cluster2.transport("sim:s0"))
+        redirected = 0
+        for i in range(16):
+            try:
+                direct.lookup((f"svc{i:02d}", "addr"))
+            except WrongShard as redirect:
+                redirected += 1
+                assert redirect.epoch == 1
+                newer = ShardMap.from_wire(redirect.map)
+                assert newer.owner_of(f"svc{i:02d}").shard_id == "s1"
+        assert 0 < redirected < 16
+        direct.close()
+        router.close()
+
+    def test_stale_router_heals_through_one_redirect(self, cluster2):
+        stale = cluster2.router()  # snapshots the epoch-1 map
+        stale.bind("alice/box", 1)
+
+        # The cluster splits: half of s0's range moves to s1.
+        report = cluster2.coordinator.split("s0", "s1")
+        assert report.new_epoch == 2
+
+        # The stale router still resolves every name, following the
+        # redirect and installing the newer map as it goes.
+        assert stale.lookup("alice/box") == 1
+        assert stale.map.epoch == 2 or stale.redirects_followed == 0
+        stale.close()
+
+
+class TestScatterGather:
+    def test_list_dir_and_count_merge_across_shards(self, cluster2):
+        router = cluster2.router()
+        names = [f"n{i:02d}" for i in range(24)]
+        for i, name in enumerate(names):
+            router.bind(f"{name}/v", i)
+        assert router.list_dir() == sorted(names)
+        assert router.count() == 24
+        router.close()
+
+    def test_read_subtree_merges_sorted(self, cluster2):
+        router = cluster2.router()
+        router.bind("b/x", 2)
+        router.bind("a/x", 1)
+        router.bind("c/x", 3)
+        entries = router.read_subtree()
+        assert [path for path, _v in entries] == [
+            ["a", "x"], ["b", "x"], ["c", "x"]
+        ]
+        router.close()
+
+    def test_wildcard_glob_fans_out_literal_glob_routes(self, cluster2):
+        router = cluster2.router()
+        for i in range(8):
+            router.bind(f"svc{i}/port", i)
+        matches = router.glob("*/port")
+        assert len(matches) == 8
+        one = router.glob("svc3/port")
+        assert one == [(["svc3", "port"], 3)]
+        router.close()
+
+    def test_partial_failure_reports_per_shard(self, cluster2):
+        router = cluster2.router()
+        router.bind("alice/x", 1)
+        # Break one shard's RPC dispatch underneath the router.
+        from repro.cluster.shard import SHARD_INTERFACE
+
+        cluster2.rpcs["s1"].unexport(SHARD_INTERFACE)
+        with pytest.raises(ClusterPartialFailure) as caught:
+            router.count()
+        assert "s1" in caught.value.failures
+        assert "s0" in caught.value.results or not caught.value.results
+        # partial=True returns what answered instead of raising.
+        census = router.census()
+        assert "s1" not in census
+        router.close()
+
+
+class TestMapInstall:
+    def test_older_map_is_not_installed(self, cluster2):
+        router = cluster2.router()
+        old = router.map
+        grown = old.with_shard("s9", "sim:s9")
+        assert router.install_map(grown)
+        assert not router.install_map(old)
+        assert router.map.epoch == grown.epoch
+        router.close()

@@ -1,0 +1,123 @@
+"""The shard map: epochs, range tiling, splits, wire round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.errors import ShardMapError
+from repro.cluster.shardmap import ShardInfo, ShardMap
+from repro.core.sharding import HASH_SPACE, default_hash, shard_ranges
+
+
+class TestConstruction:
+    def test_initial_map_tiles_the_hash_space(self):
+        shard_map = ShardMap.initial(
+            {"s0": "h:1", "s1": "h:2", "s2": "h:3"}
+        )
+        assert shard_map.epoch == 1
+        assert [s.shard_id for s in shard_map.shards] == ["s0", "s1", "s2"]
+        assert [s.ranges[0] for s in shard_map.shards] == list(
+            shard_ranges(3)
+        )
+
+    def test_every_hash_has_exactly_one_owner(self):
+        shard_map = ShardMap.initial({"s0": "h:1", "s1": "h:2"})
+        for h in (0, 1, HASH_SPACE // 2 - 1, HASH_SPACE // 2, HASH_SPACE - 1):
+            owners = [s for s in shard_map.shards if s.owns(h)]
+            assert len(owners) == 1
+
+    def test_gap_in_ranges_is_rejected(self):
+        with pytest.raises(ShardMapError, match="gap"):
+            ShardMap(
+                1,
+                (
+                    ShardInfo("s0", "h:1", ((0, 10),)),
+                    ShardInfo("s1", "h:2", ((11, HASH_SPACE),)),
+                ),
+            )
+
+    def test_overlap_is_rejected(self):
+        with pytest.raises(ShardMapError, match="overlap"):
+            ShardMap(
+                1,
+                (
+                    ShardInfo("s0", "h:1", ((0, 10),)),
+                    ShardInfo("s1", "h:2", ((9, HASH_SPACE),)),
+                ),
+            )
+
+    def test_duplicate_shard_ids_are_rejected(self):
+        with pytest.raises(ShardMapError):
+            ShardMap(
+                1,
+                (
+                    ShardInfo("s0", "h:1", ((0, HASH_SPACE),)),
+                    ShardInfo("s0", "h:2", ()),
+                ),
+            )
+
+
+class TestRouting:
+    def test_owner_of_matches_hash_ranges(self):
+        shard_map = ShardMap.initial({"s0": "h:1", "s1": "h:2"})
+        for component in ("alice", "bob", "svc", "a/b is not a component"):
+            owner = shard_map.owner_of(component)
+            assert owner.owns(default_hash(component))
+
+    def test_unknown_shard_id_raises(self):
+        shard_map = ShardMap.initial({"s0": "h:1"})
+        with pytest.raises(ShardMapError):
+            shard_map.shard("nope")
+
+
+class TestEvolution:
+    def test_with_shard_admits_an_empty_shard(self):
+        shard_map = ShardMap.initial({"s0": "h:1"})
+        grown = shard_map.with_shard("s1", "h:2")
+        assert grown.epoch == 2
+        assert grown.shard("s1").ranges == ()
+        assert grown.shard("s0").ranges == ((0, HASH_SPACE),)
+
+    def test_split_range_halves_the_widest_range(self):
+        shard_map = ShardMap.initial({"s0": "h:1"})
+        lo, hi = shard_map.split_range("s0")
+        assert (lo, hi) == (HASH_SPACE // 2, HASH_SPACE)
+
+    def test_with_range_moved_preserves_the_tiling(self):
+        shard_map = ShardMap.initial({"s0": "h:1"}).with_shard("s1", "h:2")
+        moved = shard_map.split_range("s0")
+        after = shard_map.with_range_moved("s0", "s1", moved)
+        assert after.epoch == shard_map.epoch + 1
+        assert after.shard("s1").ranges == (moved,)
+        for h in range(0, HASH_SPACE, HASH_SPACE // 64):
+            assert len([s for s in after.shards if s.owns(h)]) == 1
+
+    def test_moving_an_unowned_range_is_rejected(self):
+        shard_map = ShardMap.initial({"s0": "h:1", "s1": "h:2"})
+        with pytest.raises(ShardMapError):
+            shard_map.with_range_moved("s1", "s0", (0, 10))
+
+    def test_moved_subrange_is_carved_exactly(self):
+        shard_map = ShardMap.initial({"s0": "h:1"}).with_shard("s1", "h:2")
+        quarter = (HASH_SPACE // 4, HASH_SPACE // 2)
+        after = shard_map.with_range_moved("s0", "s1", quarter)
+        assert after.shard("s1").ranges == (quarter,)
+        assert after.shard("s0").ranges == (
+            (0, HASH_SPACE // 4),
+            (HASH_SPACE // 2, HASH_SPACE),
+        )
+
+
+class TestWire:
+    def test_round_trip(self):
+        shard_map = ShardMap.initial({"s0": "h:1", "s1": "h:2"})
+        moved = shard_map.split_range("s0")
+        shard_map = shard_map.with_range_moved("s0", "s1", moved)
+        assert ShardMap.from_wire(shard_map.to_wire()) == shard_map
+
+    def test_wire_format_is_tagged(self):
+        payload = ShardMap.initial({"s0": "h:1"}).to_wire()
+        assert payload["format"] == "repro-shardmap-v1"
+        payload["format"] = "something-else"
+        with pytest.raises(ShardMapError):
+            ShardMap.from_wire(payload)

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ShardedDatabase, default_hash
+from repro.core import (
+    HASH_SPACE,
+    ShardedDatabase,
+    default_hash,
+    encode_shard_key,
+    shard_index,
+    shard_ranges,
+)
 from repro.storage import InvalidFileName, PrefixedFS
 
 
@@ -57,6 +64,90 @@ class TestPrefixedFS:
         assert not view.exists("volatile")
 
 
+class TestShardHash:
+    """The stability contract: same key, same hash, in every process."""
+
+    def test_distinct_types_do_not_collide(self):
+        keys = ["1", b"1", 1, 1.0, True, None, ("1",), ""]
+        encodings = [encode_shard_key(k) for k in keys]
+        assert len(set(encodings)) == len(encodings)
+
+    def test_bool_is_not_int(self):
+        assert encode_shard_key(True) != encode_shard_key(1)
+        assert encode_shard_key(False) != encode_shard_key(0)
+
+    def test_tuple_and_list_encode_alike(self):
+        assert encode_shard_key(("a", 1)) == encode_shard_key(["a", 1])
+
+    def test_nested_tuples_do_not_collide_with_flat(self):
+        assert encode_shard_key((("a",), "b")) != encode_shard_key(("a", "b"))
+
+    def test_unencodable_key_is_a_type_error(self):
+        with pytest.raises(TypeError):
+            encode_shard_key({"a": 1})
+        with pytest.raises(TypeError):
+            encode_shard_key(object())
+
+    def test_known_hash_values_are_pinned(self):
+        # Regression pin: changing these silently re-shards existing data.
+        assert default_hash("alice") == 0x04A17A59
+        assert default_hash(("svc", "db")) == 0xA9EFFF31
+
+    def test_cross_process_determinism(self):
+        """A fresh interpreter derives identical hashes (the contract)."""
+        import json
+        import subprocess
+        import sys
+
+        keys = ["alice", b"bytes", 42, -7, 3.5, True, None, ("a", "b", 3)]
+        program = (
+            "import json, sys\n"
+            "from repro.core import default_hash\n"
+            "keys = ['alice', b'bytes', 42, -7, 3.5, True, None,"
+            " ('a', 'b', 3)]\n"
+            "print(json.dumps([default_hash(k) for k in keys]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": _src_path(), "PYTHONHASHSEED": "random"},
+        )
+        assert json.loads(out.stdout) == [default_hash(k) for k in keys]
+
+
+def _src_path() -> str:
+    import os
+
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class TestShardRanges:
+    def test_ranges_tile_the_hash_space(self):
+        for n in (1, 2, 3, 4, 7, 16):
+            ranges = shard_ranges(n)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == HASH_SPACE
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+
+    def test_index_matches_range_scan(self):
+        for n in (1, 2, 3, 5, 8):
+            ranges = shard_ranges(n)
+            for h in (0, 1, HASH_SPACE // 3, HASH_SPACE - 1):
+                scan = next(
+                    i for i, (lo, hi) in enumerate(ranges) if lo <= h < hi
+                )
+                assert shard_index(h, n) == scan
+
+    def test_out_of_space_hash_rejected(self):
+        with pytest.raises(ValueError):
+            shard_index(HASH_SPACE, 4)
+        with pytest.raises(ValueError):
+            shard_index(-1, 4)
+
+
 class TestShardedDatabase:
     @pytest.fixture
     def sharded(self, fs, kv_ops) -> ShardedDatabase:
@@ -66,7 +157,9 @@ class TestShardedDatabase:
 
     def test_routing_is_deterministic(self, sharded):
         assert sharded.shard_of("alice") == sharded.shard_of("alice")
-        assert sharded.shard_of("alice") == default_hash("alice") % 4
+        assert sharded.shard_of("alice") == shard_index(
+            default_hash("alice"), 4
+        )
 
     def test_updates_and_keyed_enquiries(self, sharded):
         for i in range(40):

@@ -1,0 +1,194 @@
+"""PrefixedFS: namespace isolation, edge cases, fault interaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import SimFS
+from repro.storage.errors import FileNotFound, InvalidFileName
+from repro.storage.failures import FaultyFS, MediaFaultInjector
+from repro.storage.prefix import PrefixedFS
+from repro.sim.clock import SimClock
+
+
+def fresh() -> SimFS:
+    return SimFS(clock=SimClock())
+
+
+class TestPrefixValidation:
+    def test_empty_prefix_is_rejected(self):
+        with pytest.raises(InvalidFileName):
+            PrefixedFS(fresh(), "")
+
+    def test_prefix_with_separator_is_rejected(self):
+        with pytest.raises(InvalidFileName):
+            PrefixedFS(fresh(), "a/b")
+
+    def test_prefix_with_dot_is_rejected(self):
+        # "." is the namespace delimiter itself; allowing it would let
+        # prefix "a.b" collide with file "b" under prefix "a".
+        with pytest.raises(InvalidFileName):
+            PrefixedFS(fresh(), "a.b")
+
+    def test_empty_file_name_is_rejected(self):
+        view = PrefixedFS(fresh(), "shard0")
+        with pytest.raises(InvalidFileName):
+            view.write("", b"x")
+
+
+class TestIsolation:
+    def test_same_name_in_two_prefixes_does_not_collide(self):
+        base = fresh()
+        left = PrefixedFS(base, "shard0")
+        right = PrefixedFS(base, "shard1")
+        left.write("log", b"left")
+        right.write("log", b"right")
+        assert left.read("log") == b"left"
+        assert right.read("log") == b"right"
+        assert base.read("shard0.log") == b"left"
+
+    def test_list_names_sees_only_own_slice(self):
+        base = fresh()
+        left = PrefixedFS(base, "shard0")
+        right = PrefixedFS(base, "shard1")
+        left.write("a", b"")
+        left.write("b", b"")
+        right.write("c", b"")
+        base.write("bare", b"")
+        assert left.list_names() == ["a", "b"]
+        assert right.list_names() == ["c"]
+
+    def test_sibling_prefix_is_invisible_even_when_its_name_extends_ours(self):
+        # prefix "shard1" must not leak into prefix "shard". The "."
+        # delimiter guarantees "shard1.x" does not start with "shard.".
+        base = fresh()
+        short = PrefixedFS(base, "shard")
+        long = PrefixedFS(base, "shard1")
+        long.write("x", b"1")
+        assert short.list_names() == []
+        assert not short.exists("x")
+
+    def test_delete_is_scoped(self):
+        base = fresh()
+        left = PrefixedFS(base, "shard0")
+        right = PrefixedFS(base, "shard1")
+        left.write("f", b"l")
+        right.write("f", b"r")
+        left.delete("f")
+        assert not left.exists("f")
+        assert right.read("f") == b"r"
+
+
+class TestNestedPrefixes:
+    def test_nesting_composes_namespaces(self):
+        base = fresh()
+        outer = PrefixedFS(base, "cluster")
+        inner = PrefixedFS(outer, "shard0")
+        inner.write("log", b"data")
+        assert inner.read("log") == b"data"
+        assert base.read("cluster.shard0.log") == b"data"
+        assert outer.list_names() == ["shard0.log"]
+
+    def test_nested_view_passes_clock_and_page_size_through(self):
+        base = fresh()
+        inner = PrefixedFS(PrefixedFS(base, "a"), "b")
+        assert inner.clock is base.clock
+        assert inner.page_size == base.page_size
+
+
+class TestRenameAndFsync:
+    def test_rename_stays_inside_the_prefix(self):
+        # The version-switch idiom (stage, fsync, rename, fsync_dir)
+        # must work per-prefix without touching sibling namespaces.
+        base = fresh()
+        view = PrefixedFS(base, "shard0")
+        sibling = PrefixedFS(base, "shard1")
+        sibling.write("current", b"other")
+        view.write("current.new", b"v2")
+        view.fsync("current.new")
+        view.rename("current.new", "current")
+        view.fsync_dir()
+        assert view.read("current") == b"v2"
+        assert sibling.read("current") == b"other"
+        assert not view.exists("current.new")
+        assert base.read("shard0.current") == b"v2"
+
+    def test_rename_overwrites_like_the_base_fs(self):
+        view = PrefixedFS(fresh(), "s")
+        view.write("current", b"old")
+        view.write("staged", b"new")
+        view.rename("staged", "current")
+        assert view.read("current") == b"new"
+
+    def test_fsync_of_missing_file_propagates_the_base_error(self):
+        view = PrefixedFS(fresh(), "s")
+        with pytest.raises(FileNotFound):
+            view.fsync("nope")
+
+    def test_unsynced_prefixed_writes_are_lost_on_crash(self):
+        base = fresh()
+        view = PrefixedFS(base, "shard0")
+        view.write("durable", b"x")
+        view.fsync("durable")
+        view.fsync_dir()
+        view.write("volatile", b"y")
+        base.crash()
+        assert view.read("durable") == b"x"
+        assert not view.exists("volatile")
+
+
+class TestDataOps:
+    def test_ranged_and_positional_io_round_trip(self):
+        view = PrefixedFS(fresh(), "s")
+        view.write("f", b"0123456789")
+        assert view.read_range("f", 2, 4) == b"2345"
+        view.write_at("f", 0, b"AB")
+        assert view.read("f").startswith(b"AB")
+        view.append("f", b"XY")
+        assert view.size("f") == 12
+        view.truncate("f", 3)
+        assert view.read("f") == b"AB2"
+
+    def test_exclusive_create_collides_within_prefix_only(self):
+        from repro.storage.errors import FileExists
+
+        base = fresh()
+        left = PrefixedFS(base, "shard0")
+        right = PrefixedFS(base, "shard1")
+        left.create("lock", exclusive=True)
+        right.create("lock", exclusive=True)  # different namespace: fine
+        with pytest.raises(FileExists):
+            left.create("lock", exclusive=True)
+
+
+class TestMediaFaults:
+    def test_fault_under_one_prefix_view_fires_normally(self):
+        # A PrefixedFS over a FaultyFS: the injector counts the base
+        # calls, so the prefixed view degrades exactly like the raw fs.
+        from repro.storage.errors import HardError
+
+        injector = MediaFaultInjector(fault_at_event=1)
+        view = PrefixedFS(FaultyFS(fresh(), injector), "shard0")
+        view.write("f", b"ok")
+        injector.arm()
+        with pytest.raises(HardError):
+            view.read("f")
+        # Transient by default: the device recovered.
+        assert view.read("f") == b"ok"
+
+    def test_prefixes_share_the_substrate_fault_budget(self):
+        # Two shard views over one faulty device: the fault scheduled at
+        # event 2 hits whichever view makes the second call — shared
+        # hardware, shared failures, exactly what ShardedDatabase sees.
+        from repro.storage.errors import HardError
+
+        injector = MediaFaultInjector(fault_at_event=2)
+        faulty = FaultyFS(fresh(), injector)
+        left = PrefixedFS(faulty, "shard0")
+        right = PrefixedFS(faulty, "shard1")
+        left.write("f", b"l")
+        right.write("f", b"r")
+        injector.arm()
+        assert left.read("f") == b"l"  # event 1: clean
+        with pytest.raises(HardError):
+            right.read("f")  # event 2: fault
