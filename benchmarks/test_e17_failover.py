@@ -1,0 +1,169 @@
+"""E17 — failover: the write-unavailability window on primary loss.
+
+The paper's availability argument (§4.3) is that replication lets the
+service survive individual server loss.  This experiment measures the
+promoted form of that claim on the replicated cluster: 2 shard groups of
+2 real replica *processes* each over real TCP, a SIGKILL of one shard's
+primary, and the clock on how long writes to that shard stall until the
+supervisor's failover check fences the dead primary behind an
+epoch-bumped map and a follower starts acking.
+
+Three windows matter:
+
+* **reads** never close — the router fails a read over to the surviving
+  follower immediately (measured: the first post-kill read succeeds);
+* **writes** stall for detection + promotion + the router learning the
+  new map (``e17_write_unavailability_ms`` — the headline number);
+* **redundancy** is restored when the dead node is respawned and has
+  caught back up from its peers (``e17_repair_ms``).
+
+Eager propagation puts every acked update on both replicas before the
+ack, so the kill must lose nothing (``e17_acked_updates_lost`` = 0).
+
+Wall-clock numbers on a shared machine: the regression sentry gives
+them wide bands (see ``results/regress.json``); the loss count is
+exact and gets the strict default.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import once
+from repro.cluster.errors import ClusterError
+from repro.cluster.serve import ClusterSupervisor
+from repro.obs.regress import metric
+from repro.rpc import RetryPolicy
+from repro.rpc.errors import CallMaybeExecuted, TransportError
+
+SEEDED = 64  # acked updates on the cluster before the kill
+SUPERVISOR_TICK_S = 0.02  # failover-check cadence during the outage
+OUTAGE_DEADLINE_S = 30.0
+
+#: recoverable during an outage: the typed routing/availability errors
+#: plus the transport's own failures.  Anything else (NameExists, a
+#: protocol error) must fail the benchmark.
+_OUTAGE_ERRORS = (ClusterError, TransportError, CallMaybeExecuted)
+
+
+def _measure(base_dir: str) -> dict:
+    with ClusterSupervisor(
+        base_dir, num_shards=2, replicas=2
+    ) as supervisor:
+        shard_map = supervisor.coordinator.current_map()
+        router = supervisor.router(
+            retry=RetryPolicy(
+                max_attempts=2,
+                base_delay_seconds=0.01,
+                max_delay_seconds=0.05,
+                deadline_seconds=2.0,
+            )
+        )
+        seeded: dict[str, int] = {}
+        for i in range(SEEDED):
+            path = f"svc{i:04d}/addr"
+            router.bind(path, i)
+            seeded[path] = i
+        probe_name = next(
+            f"svc{i:04d}"
+            for i in range(10_000)
+            if shard_map.owner_of(f"svc{i:04d}").shard_id == "s0"
+        )
+        read_path = next(
+            path
+            for path in seeded
+            if shard_map.owner_of(path.split("/")[0]).shard_id == "s0"
+        )
+
+        killed_at = time.perf_counter()
+        supervisor.kill_replica("s0")
+
+        # Reads stay available throughout: the first post-kill read is
+        # served by the surviving follower.
+        assert router.lookup(read_path) == seeded[read_path]
+        read_window_s = time.perf_counter() - killed_at
+        assert router.read_failovers >= 1
+
+        # Writes stall until the failover check promotes s0r1 and the
+        # router learns the promoted map from the survivors.
+        promoted_at = None
+        attempt = 0
+        while True:
+            if time.perf_counter() - killed_at > OUTAGE_DEADLINE_S:
+                raise AssertionError("write outage exceeded the deadline")
+            attempt += 1
+            try:
+                router.bind(f"{probe_name}/probe", attempt)
+                break
+            except _OUTAGE_ERRORS:
+                if supervisor.failover_check() and promoted_at is None:
+                    promoted_at = time.perf_counter()
+                time.sleep(SUPERVISOR_TICK_S)
+        acked_at = time.perf_counter()
+        assert promoted_at is not None
+
+        # Redundancy restored: the dead node respawns on its old
+        # directory and catches up from its peers (auto-recover).
+        repair_started = time.perf_counter()
+        supervisor.repair_replica("s0")
+        repair_s = time.perf_counter() - repair_started
+
+        fresh = supervisor.router()
+        lost = sum(
+            1 for path, value in seeded.items()
+            if fresh.lookup(path) != value
+        )
+        new_map = supervisor.coordinator.current_map()
+        assert new_map.shard("s0").primary.replica_id == "s0r1"
+        fresh.close()
+        router.close()
+        return {
+            "write_window_s": acked_at - killed_at,
+            "promote_s": promoted_at - killed_at,
+            "read_window_s": read_window_s,
+            "repair_s": repair_s,
+            "attempts": attempt,
+            "lost": lost,
+        }
+
+
+def test_e17_failover_write_unavailability(benchmark, report, tmp_path):
+    results: dict = {}
+
+    def run():
+        results.clear()
+        results.update(_measure(str(tmp_path / "cluster")))
+        return results
+
+    once(benchmark, run)
+
+    assert results["lost"] == 0, results
+
+    report(
+        "E17 failover (2x2 replicas, real TCP, primary SIGKILL)",
+        [
+            f"first read after kill     {results['read_window_s'] * 1000:8.1f} ms "
+            f"(follower fail-over; reads never close)",
+            f"promotion published       {results['promote_s'] * 1000:8.1f} ms",
+            f"first acked write         {results['write_window_s'] * 1000:8.1f} ms "
+            f"({results['attempts']} attempts)",
+            f"replica repaired          {results['repair_s'] * 1000:8.1f} ms "
+            f"(respawn + catch-up from peers)",
+            f"acked updates lost        {results['lost']:8d} of {SEEDED}",
+        ],
+        data=results,
+        metrics={
+            "e17_write_unavailability_ms": metric(
+                results["write_window_s"] * 1000, "ms", direction="lower"
+            ),
+            "e17_promote_ms": metric(
+                results["promote_s"] * 1000, "ms", direction="lower"
+            ),
+            "e17_repair_ms": metric(
+                results["repair_s"] * 1000, "ms", direction="lower"
+            ),
+            "e17_acked_updates_lost": metric(
+                results["lost"], "updates", direction="lower"
+            ),
+        },
+    )

@@ -27,6 +27,10 @@ from repro.cluster.errors import (
     ClusterError,
     ClusterPartialFailure,
     MigrationFailed,
+    NotPrimary,
+    PrimaryFailed,
+    QuorumLost,
+    ScatterTimeout,
     ShardMapError,
     ShardUnavailable,
     WrongShard,
@@ -37,9 +41,10 @@ from repro.cluster.migrate import (
     ShardMigration,
     pending_migration,
 )
+from repro.cluster.quorum import MapStore, QuorumMapStore, as_store
 from repro.cluster.router import ShardRouter
 from repro.cluster.shard import SHARD_INTERFACE, RemoteShard, ShardService
-from repro.cluster.shardmap import ShardInfo, ShardMap
+from repro.cluster.shardmap import ReplicaInfo, ShardInfo, ShardMap
 
 __all__ = [
     "COORDINATOR_INTERFACE",
@@ -47,12 +52,19 @@ __all__ = [
     "ClusterPartialFailure",
     "Coordinator",
     "MIGRATION_STAGES",
+    "MapStore",
     "MigrationFailed",
     "MigrationReport",
+    "NotPrimary",
+    "PrimaryFailed",
+    "QuorumLost",
+    "QuorumMapStore",
     "RemoteCoordinator",
     "RemoteShard",
+    "ReplicaInfo",
     "SHARDMAP_FILE",
     "SHARD_INTERFACE",
+    "ScatterTimeout",
     "ShardInfo",
     "ShardMap",
     "ShardMapError",
@@ -61,5 +73,6 @@ __all__ = [
     "ShardService",
     "ShardUnavailable",
     "WrongShard",
+    "as_store",
     "pending_migration",
 ]

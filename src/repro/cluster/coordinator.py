@@ -1,40 +1,54 @@
 """The coordinator: owner of the shard map, health checker, split driver.
 
 Deliberately lightweight — the coordinator holds **no data**.  Its one
-durable possession is the shard map, persisted with the same
+durable possession is the shard map, persisted through a
+:class:`~repro.cluster.quorum.MapStore` with the same
 stage-then-atomically-switch idiom the database uses for versions: the
 new map is written to ``shardmap.new``, fsynced, renamed over
 ``shardmap.json`` and the directory fsynced, so a crash leaves either the
-old complete map or the new complete map, never a torn one.  Everything
-else it does — health-checking shards over the management RPC,
-aggregating their metrics, driving a split migration — is reconstructible
-from that file plus the shards themselves.
+old complete map or the new complete map, never a torn one.  Hand the
+coordinator a :class:`~repro.cluster.quorum.QuorumMapStore` instead and
+that durable possession is majority-replicated: a publish needs a quorum
+ack, and a standby coordinator rebuilding from the surviving stores
+(:meth:`Coordinator.__init__` does a quorum read) always sees the last
+committed epoch and the most advanced migration stage.  Everything else
+it does — health-checking replicas over the management RPC, aggregating
+their metrics, driving a split migration, promoting a follower when a
+primary dies — is reconstructible from that store plus the shards
+themselves.
 
 A coordinator that crashes mid-migration resumes on restart
-(:meth:`Coordinator.resume_migration`): the migration's own state file
-lives in the same directory.
+(:meth:`Coordinator.resume_migration`): the migration's own resume point
+lives on the same store.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 from typing import Callable
 
 from repro.cluster.errors import ClusterError
 from repro.cluster.migrate import (
-    MIGRATION_STATE_FILE,
     ShardMigration,
+    _ReplicaTarget,
     pending_migration,
+)
+from repro.cluster.quorum import (
+    SHARDMAP_FILE,
+    SHARDMAP_STAGING_FILE,
+    as_store,
 )
 from repro.cluster.shard import RemoteShard
 from repro.cluster.shardmap import ShardMap
 from repro.rpc import DictOf, Int, Interface, Pickled, Str
-from repro.storage.interface import FileSystem
 
-#: the committed map and its staging file (version-switch idiom)
-SHARDMAP_FILE = "shardmap.json"
-SHARDMAP_STAGING_FILE = "shardmap.new"
+__all__ = [
+    "COORDINATOR_INTERFACE",
+    "Coordinator",
+    "RemoteCoordinator",
+    "SHARDMAP_FILE",
+    "SHARDMAP_STAGING_FILE",
+]
 
 
 def _tcp_shard_client(shard_info) -> RemoteShard:
@@ -55,37 +69,48 @@ def _tcp_management(address: str):
 class Coordinator:
     """Owns the persisted shard map and drives cluster maintenance.
 
+    ``store`` is a :class:`~repro.cluster.quorum.MapStore`, a
+    :class:`~repro.cluster.quorum.QuorumMapStore` (replicated
+    coordinator state), or — the historical signature — the
+    coordinator's raw :class:`~repro.storage.interface.FileSystem`,
+    wrapped transparently.  A standby coordinator is just a new
+    ``Coordinator`` over the same (quorum) store: the constructor's
+    quorum read recovers the last committed map, and
+    :meth:`resume_migration` continues any in-flight split.
+
     ``shard_client_factory(shard_info)`` and
     ``management_factory(address)`` are injectable for the simulation
-    sweeps; production defaults dial TCP.
+    sweeps; production defaults dial TCP.  Both accept any object with
+    an ``.address`` — a :class:`~repro.cluster.shardmap.ShardInfo` or a
+    single :class:`~repro.cluster.shardmap.ReplicaInfo`.
     """
 
     def __init__(
         self,
-        fs: FileSystem,
+        store,
         *,
         shard_client_factory: Callable[[object], object] | None = None,
         management_factory: Callable[[str], object] | None = None,
         flight=None,
         stage_retries: int = 2,
     ) -> None:
-        self.fs = fs
+        self.store = as_store(store)
+        # Back-compat: single-store callers historically reached the
+        # directory through ``coordinator.fs``.
+        self.fs = getattr(self.store, "fs", None)
         self.shard_client_factory = shard_client_factory or _tcp_shard_client
         self.management_factory = management_factory or _tcp_management
         self.flight = flight
         self.stage_retries = stage_retries
         self._lock = threading.Lock()
-        self.map: ShardMap | None = self._load_map()
+        heal = getattr(self.store, "heal", None)
+        if heal is not None:
+            # Standby takeover over a quorum store: converge lagging
+            # peers to the quorum's truth before acting on it.
+            heal()
+        self.map: ShardMap | None = self.store.load_map()
 
     # -- the persisted map ----------------------------------------------------
-
-    def _load_map(self) -> ShardMap | None:
-        # An interrupted publish leaves a staging file; the committed map
-        # is whatever the *rename* last made visible.
-        self.fs.delete_if_exists(SHARDMAP_STAGING_FILE)
-        if not self.fs.exists(SHARDMAP_FILE):
-            return None
-        return ShardMap.from_wire(json.loads(self.fs.read(SHARDMAP_FILE)))
 
     def bootstrap(self, addresses: dict[str, str]) -> ShardMap:
         """First boot: persist epoch 1 over ``{shard_id: address}``."""
@@ -106,11 +131,9 @@ class Coordinator:
             self._publish_locked(shard_map)
 
     def _publish_locked(self, shard_map: ShardMap) -> None:
-        payload = json.dumps(shard_map.to_wire(), sort_keys=True)
-        self.fs.write(SHARDMAP_STAGING_FILE, payload.encode("ascii"))
-        self.fs.fsync(SHARDMAP_STAGING_FILE)
-        self.fs.rename(SHARDMAP_STAGING_FILE, SHARDMAP_FILE)
-        self.fs.fsync_dir()
+        # Raises QuorumLost (without updating self.map) when a quorum
+        # store cannot reach a majority — the old map keeps serving.
+        self.store.publish_map(shard_map)
         self.map = shard_map
         if self.flight is not None:
             self.flight.record("shardmap_published", epoch=shard_map.epoch)
@@ -135,46 +158,77 @@ class Coordinator:
         }
 
     def push_map(self) -> dict[str, int]:
-        """Push the current map to every shard; {shard_id: its epoch}.
+        """Push the current map to every replica; {shard_id: primary epoch}.
 
         Convergence insurance: redirects heal clients lazily, this heals
         shards eagerly (e.g. after a shard restarted with a stale map
-        file).  Unreachable shards report epoch 0 and are retried by the
-        next push.
+        file).  Every replica of every shard gets the push — followers
+        best-effort — but the answer stays keyed by shard id with the
+        *primary's* acked epoch, preserving the wire shape.  Unreachable
+        primaries report epoch 0 and are retried by the next push.
         """
         shard_map = self.current_map()
         payload = shard_map.to_wire()
         answer: dict[str, int] = {}
         for shard in shard_map.shards:
-            try:
-                client = self.shard_client_factory(shard)
+            for replica in shard.replica_set:
+                target = _ReplicaTarget(
+                    shard.shard_id, replica.replica_id, replica.address
+                )
+                epoch = 0
                 try:
-                    answer[shard.shard_id] = client.install_shard_map(payload)
-                finally:
-                    _close_quietly(client)
-            except Exception:
-                answer[shard.shard_id] = 0
+                    client = self.shard_client_factory(target)
+                    try:
+                        epoch = client.install_shard_map(payload)
+                    finally:
+                        _close_quietly(client)
+                except Exception:
+                    epoch = 0
+                if replica.replica_id == shard.primary.replica_id:
+                    answer[shard.shard_id] = epoch
         return answer
 
+    def _probe(self, address: str) -> dict:
+        try:
+            mgmt = self.management_factory(address)
+            try:
+                status = mgmt.status()
+            finally:
+                _close_quietly(mgmt)
+            status["reachable"] = True
+        except Exception as exc:
+            status = {"reachable": False, "error": f"{exc}"}
+        status["address"] = address
+        return status
+
     def health(self) -> dict:
-        """Per-shard management status plus the map epoch."""
+        """Per-shard management status plus the map epoch.
+
+        Each shard entry is the *primary's* status (preserving the
+        pre-replication shape) plus a ``replicas`` sub-map with every
+        replica's own status and role — what ``top --cluster`` renders.
+        """
         shard_map = self.current_map()
         report: dict[str, object] = {
             "epoch": shard_map.epoch,
             "shards": {},
         }
+        store_status = getattr(self.store, "status", None)
+        if store_status is not None:
+            report["store"] = store_status()
         for shard in shard_map.shards:
-            try:
-                mgmt = self.management_factory(shard.address)
-                try:
-                    status = mgmt.status()
-                finally:
-                    _close_quietly(mgmt)
-                status["reachable"] = True
-            except Exception as exc:
-                status = {"reachable": False, "error": f"{exc}"}
-            status["address"] = shard.address
+            status = self._probe(shard.address)
             status["ranges"] = [list(r) for r in shard.ranges]
+            replicas: dict[str, object] = {}
+            for replica in shard.replica_set:
+                if replica.address == shard.address:
+                    probed = dict(status)
+                    probed.pop("ranges", None)
+                else:
+                    probed = self._probe(replica.address)
+                probed["role"] = shard.role_of(replica.replica_id)
+                replicas[replica.replica_id] = probed
+            status["replicas"] = replicas
             report["shards"][shard.shard_id] = status
         return report
 
@@ -202,7 +256,7 @@ class Coordinator:
 
     def migration_status(self) -> dict:
         """The persisted state of an in-flight migration (or idle)."""
-        state = pending_migration(self.fs)
+        state = pending_migration(self.store)
         if state is None:
             return {"active": False}
         return {
@@ -213,10 +267,75 @@ class Coordinator:
             "range": [state["lo"], state["hi"]],
         }
 
+    # -- failover ---------------------------------------------------------------
+
+    def promote(self, shard_id: str, replica_id: str = "") -> dict:
+        """Promote a follower of ``shard_id`` to primary; returns new map.
+
+        The failover path when a primary dies: pick ``replica_id`` (or,
+        when empty, the first *reachable* follower), publish an epoch+1
+        map with it at the head of the replica set, and push the map so
+        the survivors learn their new roles immediately.  Raises
+        :class:`~repro.cluster.errors.ClusterError` when the shard has
+        no reachable follower — the shard stays down until one returns.
+
+        Returns the published map's wire form (callable over RPC).
+        """
+        with self._lock:
+            shard_map = self.current_map()
+            shard = shard_map.shard(shard_id)
+            if replica_id:
+                candidates = [shard.replica(replica_id)]
+            else:
+                candidates = list(shard.followers)
+            if not candidates:
+                raise ClusterError(
+                    f"shard {shard_id} has no followers to promote"
+                )
+            chosen = None
+            for candidate in candidates:
+                if candidate.replica_id == shard.primary.replica_id:
+                    raise ClusterError(
+                        f"{candidate.replica_id} is already the primary "
+                        f"of {shard_id}"
+                    )
+                target = _ReplicaTarget(
+                    shard_id, candidate.replica_id, candidate.address
+                )
+                try:
+                    client = self.shard_client_factory(target)
+                    try:
+                        client.shard_status()
+                    finally:
+                        _close_quietly(client)
+                except Exception:
+                    continue
+                chosen = candidate
+                break
+            if chosen is None:
+                raise ClusterError(
+                    f"shard {shard_id} has no reachable follower to promote"
+                )
+            new_map = shard_map.with_primary(shard_id, chosen.replica_id)
+            self._publish_locked(new_map)
+            if self.flight is not None:
+                self.flight.record(
+                    "primary_promoted",
+                    shard=shard_id,
+                    replica=chosen.replica_id,
+                    epoch=new_map.epoch,
+                )
+        self.push_map()
+        return new_map.to_wire()
+
     # -- splits -----------------------------------------------------------------
 
-    def add_shard(self, shard_id: str, address: str) -> ShardMap:
-        """Admit a new (empty) shard; epoch+1, no data moves yet."""
+    def add_shard(self, shard_id: str, address) -> ShardMap:
+        """Admit a new (empty) shard; epoch+1, no data moves yet.
+
+        ``address`` is a plain ``host:port`` or a replica-set spec
+        (list of ``(replica_id, address)`` pairs, primary first).
+        """
         with self._lock:
             shard_map = self.current_map().with_shard(shard_id, address)
             self._publish_locked(shard_map)
@@ -237,10 +356,10 @@ class Coordinator:
         Raises :class:`~repro.cluster.errors.MigrationFailed` on a stuck
         stage; re-calling resumes from the persisted state.
         """
-        if pending_migration(self.fs) is not None:
+        if pending_migration(self.store) is not None:
             return self.resume_migration(stage_observer=stage_observer)
         migration = ShardMigration(
-            self.fs,
+            self.store,
             self.current_map(),
             donor_id,
             target_id,
@@ -257,11 +376,11 @@ class Coordinator:
 
     def resume_migration(self, *, stage_observer=None):
         """Continue an interrupted migration; None when none is pending."""
-        state = pending_migration(self.fs)
+        state = pending_migration(self.store)
         if state is None:
             return None
         migration = ShardMigration(
-            self.fs,
+            self.store,
             self.current_map(),
             state["donor"],
             state["target"],
@@ -282,10 +401,9 @@ class Coordinator:
         is already switched and *resuming* is the right call — this is
         why the runbook says check ``migration_status`` first.
         """
-        if not self.fs.exists(MIGRATION_STATE_FILE):
+        if self.store.load_migration() is None:
             return False
-        self.fs.delete_if_exists(MIGRATION_STATE_FILE)
-        self.fs.fsync_dir()
+        self.store.clear_migration()
         return True
 
 
@@ -307,6 +425,12 @@ COORDINATOR_INTERFACE.method("push_map", returns=DictOf(Str, Int))
 COORDINATOR_INTERFACE.method("health", returns=Pickled())
 COORDINATOR_INTERFACE.method("cluster_metrics", returns=Pickled())
 COORDINATOR_INTERFACE.method("migration_status", returns=Pickled())
+COORDINATOR_INTERFACE.method(
+    "promote",
+    params=[("shard_id", Str), ("replica_id", Str)],
+    returns=Pickled(),
+)
+COORDINATOR_INTERFACE.error(ClusterError)
 
 
 class RemoteCoordinator:
@@ -324,6 +448,7 @@ class RemoteCoordinator:
         self.health = proxy.health
         self.cluster_metrics = proxy.cluster_metrics
         self.migration_status = proxy.migration_status
+        self.promote = proxy.promote
 
     def shard_map(self) -> ShardMap:
         return ShardMap.from_wire(self.get_map())

@@ -47,11 +47,25 @@ class ClusterPartialFailure(ClusterError):
     not.  Callers that can tolerate partial answers catch this and use
     ``results``; the router only raises it when asked for a complete
     answer.
+
+    ``timeouts`` lists the shards whose failure was the bounded
+    per-shard scatter deadline (a hung shard, fenced off rather than
+    stalling the whole call); ``degraded`` maps shard id → the follower
+    replica that served it when the primary could not (those shards are
+    in ``results`` — served, but worth an operator's glance).
     """
 
-    def __init__(self, results: dict, failures: dict) -> None:
+    def __init__(
+        self,
+        results: dict,
+        failures: dict,
+        timeouts: list[str] | None = None,
+        degraded: dict[str, str] | None = None,
+    ) -> None:
         self.results = dict(results)
         self.failures = dict(failures)
+        self.timeouts = list(timeouts or [])
+        self.degraded = dict(degraded or {})
         summary = ", ".join(
             f"{shard}: {text}" for shard, text in sorted(self.failures.items())
         )
@@ -74,6 +88,103 @@ class MigrationFailed(ClusterError):
     def __init__(self, stage: str, detail: str) -> None:
         self.stage = stage
         super().__init__(f"migration failed during {stage}: {detail}")
+
+
+class ScatterTimeout(ClusterError):
+    """One shard exceeded the scatter-gather per-shard deadline.
+
+    Raised inside the worker for a shard that did not answer in time;
+    the router folds it into :class:`ClusterPartialFailure` (and its
+    ``timeouts`` list) so one hung shard cannot stall an enumeration
+    indefinitely.
+    """
+
+    def __init__(self, shard_id: str, deadline_seconds: float) -> None:
+        self.shard_id = shard_id
+        self.deadline_seconds = deadline_seconds
+        super().__init__(
+            f"shard {shard_id} exceeded the {deadline_seconds:g}s "
+            f"scatter deadline"
+        )
+
+
+class PrimaryFailed(ClusterError):
+    """A shard's primary is unreachable and no promotion is visible yet.
+
+    Raised by the router when a write cannot reach the primary and no
+    newer map (with a promoted follower) could be learned from the
+    surviving replicas.  Retryable: once the coordinator promotes, the
+    next attempt routes to the new primary.
+    """
+
+    def __init__(self, shard_id: str, detail: str = "") -> None:
+        self.shard_id = shard_id
+        if isinstance(shard_id, str) and shard_id.startswith("primary of "):
+            # reconstructed from a remote message; keep it verbatim
+            super().__init__(shard_id)
+            return
+        message = f"primary of {shard_id} failed"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class QuorumLost(ClusterError):
+    """Fewer than a majority of coordinator stores acknowledged an op.
+
+    The coordinator's durable state (shard map, migration resume point)
+    is replicated across peer stores; publishing requires a majority
+    ack and loading requires a majority read.  Losing quorum means the
+    coordinator must stop changing the map — serving the last committed
+    map read-only is still allowed.
+    """
+
+    def __init__(self, op: str, acked: int, needed: int, total: int) -> None:
+        self.op = op
+        self.acked = acked
+        self.needed = needed
+        self.total = total
+        super().__init__(
+            f"quorum lost on {op}: {acked} of {total} stores answered, "
+            f"{needed} needed"
+        )
+
+
+class NotPrimary(ClusterError):
+    """This replica is a follower — writes go to the shard's primary.
+
+    Raised by a follower that receives an update (a stale client, or a
+    client racing a promotion).  Like :class:`WrongShard` it carries the
+    replica's current map as JSON inside the message, so the redirect
+    survives any number of RPC hops and the client re-routes in one
+    round trip.
+    """
+
+    def __init__(self, message: str = "", *, epoch: int | None = None,
+                 shard_map: dict | None = None, shard_id: str = "") -> None:
+        if epoch is None and message:
+            payload = json.loads(message[message.index("{"):])
+            epoch = int(payload["epoch"])
+            shard_map = payload["map"]
+            shard_id = payload.get("shard", "")
+        self.epoch = int(epoch or 0)
+        self.map = shard_map
+        self.shard_id = shard_id
+        super().__init__(
+            "not primary: " + json.dumps(
+                {"epoch": self.epoch, "map": self.map, "shard": self.shard_id},
+                sort_keys=True,
+            )
+        )
+
+    @classmethod
+    def redirect(cls, shard_map, shard_id: str) -> "NotPrimary":
+        """Build a redirect carrying ``shard_map`` (a ShardMap) verbatim."""
+        return cls(
+            epoch=shard_map.epoch,
+            shard_map=shard_map.to_wire(),
+            shard_id=shard_id,
+        )
 
 
 class WrongShard(ClusterError):

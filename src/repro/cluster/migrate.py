@@ -50,15 +50,14 @@ Duplicated deliveries (mirror + copy + flush overlap) collapse under
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.cluster.errors import MigrationFailed
+from repro.cluster.quorum import MIGRATION_STATE_FILE, as_store
 from repro.cluster.shardmap import ShardMap
 from repro.core.sharding import default_hash
 from repro.rpc.errors import CallMaybeExecuted, TransportError
-from repro.storage.interface import FileSystem
 
 #: the stage machine, in order
 PLAN = "plan"
@@ -70,11 +69,29 @@ PURGE = "purge"
 DONE = "done"
 MIGRATION_STAGES = (PLAN, COPY, MIRROR, CUTOVER, FLUSH, PURGE, DONE)
 
-#: the fsynced resume point on the coordinator's directory
-MIGRATION_STATE_FILE = "migration.json"
+#: the resume point lives on the coordinator's (possibly replicated)
+#: store; MIGRATION_STATE_FILE itself is owned by repro.cluster.quorum
+#: and re-exported here for old importers
 MIGRATION_FORMAT = "repro-migration-v1"
 
 _COMM_ERRORS = (TransportError, CallMaybeExecuted, OSError)
+
+
+class _ReplicaTarget:
+    """What ``client_factory`` receives for one replica of a shard.
+
+    Quacks like both a :class:`~repro.cluster.shardmap.ShardInfo`
+    (``shard_id``, ``address``) and a
+    :class:`~repro.cluster.shardmap.ReplicaInfo` (``replica_id``), so
+    factories written against either keep working.
+    """
+
+    __slots__ = ("shard_id", "replica_id", "address")
+
+    def __init__(self, shard_id: str, replica_id: str, address: str) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.address = address
 
 
 @dataclass
@@ -91,6 +108,10 @@ class MigrationReport:
     leaves_copied: int = 0
     delta_rounds: int = 0
     purged_leaves: int = 0
+    #: copies that could not be delivered to a target *follower* (the
+    #: primary copy is mandatory; followers are best-effort and heal by
+    #: replica repair when they return)
+    follower_copy_misses: int = 0
     stages: list[str] = field(default_factory=list)
 
 
@@ -112,7 +133,7 @@ class ShardMigration:
 
     def __init__(
         self,
-        fs: FileSystem,
+        store,
         shard_map: ShardMap,
         donor_id: str,
         target_id: str,
@@ -124,7 +145,9 @@ class ShardMigration:
         stage_observer: Callable[[str], None] | None = None,
         flight=None,
     ) -> None:
-        self.fs = fs
+        # ``store`` is a MapStore/QuorumMapStore; a raw FileSystem (the
+        # historical signature) is wrapped transparently.
+        self.store = as_store(store)
         self.map = shard_map
         self.donor_id = donor_id
         self.target_id = target_id
@@ -137,6 +160,7 @@ class ShardMigration:
         self.report = MigrationReport(donor_id=donor_id, target_id=target_id)
         self._donor = None
         self._target = None
+        self._target_followers: list | None = None
 
     # -- the public entry point ------------------------------------------------
 
@@ -222,6 +246,25 @@ class ShardMigration:
             self._target = self.client_factory(self.map.shard(self.target_id))
         return self._target
 
+    def target_followers(self) -> list:
+        """Clients for the target's follower replicas (may be empty).
+
+        Bulk-copied leaves ship *state*, not history (``ns_repair``), so
+        the target primary's own replication never forwards them: every
+        replica of the target must receive the copy directly, or a
+        post-split promotion would serve the moved range from a follower
+        that never saw it.
+        """
+        if self._target_followers is None:
+            shard = self.map.shard(self.target_id)
+            self._target_followers = [
+                self.client_factory(_ReplicaTarget(
+                    shard.shard_id, follower.replica_id, follower.address
+                ))
+                for follower in shard.followers
+            ]
+        return self._target_followers
+
     def _moving_components(self, stage: str, lo: int, hi: int) -> list[str]:
         components = self._retrying(stage, lambda: self.donor().components())
         return [c for c in components if lo <= default_hash(c) < hi]
@@ -242,6 +285,13 @@ class ShardMigration:
                     stage,
                     lambda batch=absolute: self.target().repair_leaves(batch),
                 )
+                # Followers are best-effort: one being down must not
+                # wedge the migration — it rebuilds by replica repair.
+                for client in self.target_followers():
+                    try:
+                        client.repair_leaves(absolute)
+                    except _COMM_ERRORS:
+                        self.report.follower_copy_misses += 1
             shipped += len(absolute)
             self.report.components_copied += 1
             self._observe(f"{stage}_component")
@@ -319,8 +369,20 @@ class ShardMigration:
             self.report.purged_leaves += self._retrying(
                 PURGE, lambda: self.donor().purge_components(moving)
             )
-        self.fs.delete_if_exists(MIGRATION_STATE_FILE)
-        self.fs.fsync_dir()
+            # ``ns_purge`` ships state, not history, so the donor's own
+            # replication never carries it: purge every donor replica
+            # directly (followers best-effort — a dead one rebuilds from
+            # the already-purged primary).
+            shard = self.map.shard(self.donor_id)
+            for follower in shard.followers:
+                client = self.client_factory(_ReplicaTarget(
+                    shard.shard_id, follower.replica_id, follower.address
+                ))
+                try:
+                    client.purge_components(moving)
+                except _COMM_ERRORS:
+                    self.report.follower_copy_misses += 1
+        self.store.clear_migration()
 
     # -- the resume point --------------------------------------------------------
 
@@ -334,19 +396,11 @@ class ShardMigration:
             "hi": self.report.hi,
             "new_map": new_map.to_wire(),
         }
-        self.fs.write(
-            MIGRATION_STATE_FILE, json.dumps(state).encode("ascii")
-        )
-        self.fs.fsync(MIGRATION_STATE_FILE)
+        self.store.save_migration(state)
         self._observe(f"saved_{stage}")
 
     def _load_state(self) -> dict | None:
-        if not self.fs.exists(MIGRATION_STATE_FILE):
-            return None
-        try:
-            state = json.loads(self.fs.read(MIGRATION_STATE_FILE))
-        except Exception:
-            return None  # unreadable: the run never got past PLAN
+        state = self.store.load_migration()
         if (
             not isinstance(state, dict)
             or state.get("format") != MIGRATION_FORMAT
@@ -361,18 +415,33 @@ class ShardMigration:
         new_map = ShardMap.from_wire(state["new_map"])
         self.report.lo = int(state["lo"])
         self.report.hi = int(state["hi"])
+        if self.map.epoch >= new_map.epoch:
+            # The cluster moved on while the migration was down — e.g. a
+            # failover promotion bumped the epoch past the persisted
+            # post-cutover map.  Publishing the stale map would be a
+            # silent no-op (epochs only move forward), skipping the
+            # commit entirely, so recompute against the live map.  If
+            # the live map already shows the range on the target, the
+            # cutover *did* publish and the live map is the truth.
+            if self.map.shard(self.target_id).owns(self.report.lo):
+                new_map = self.map
+            else:
+                new_map = self.map.with_range_moved(
+                    self.donor_id,
+                    self.target_id,
+                    (self.report.lo, self.report.hi),
+                )
         self.report.new_epoch = new_map.epoch
         return state["stage"], new_map
 
 
-def pending_migration(fs: FileSystem) -> dict | None:
-    """The persisted state of an interrupted migration, if any."""
-    if not fs.exists(MIGRATION_STATE_FILE):
-        return None
-    try:
-        state = json.loads(fs.read(MIGRATION_STATE_FILE))
-    except Exception:
-        return None
+def pending_migration(store) -> dict | None:
+    """The persisted state of an interrupted migration, if any.
+
+    Accepts a map store or (historically) the coordinator's raw
+    filesystem; a quorum store answers with the most advanced copy.
+    """
+    state = as_store(store).load_migration()
     if (
         isinstance(state, dict)
         and state.get("format") == MIGRATION_FORMAT

@@ -1,0 +1,246 @@
+"""Coordinator state replication: a quorum of shard-map copies.
+
+The coordinator owns two durable things — the shard map and the
+migration resume point — and PR 8 kept both in one directory, making the
+coordinator the cluster's last single point of failure.  This module
+removes it with the smallest protocol that is still correct for a
+single-writer regime:
+
+* :class:`MapStore` is the one-directory persistence the coordinator has
+  always used (version-switch idiom for the map, fsynced state file for
+  the migration), factored out of :class:`~repro.cluster.coordinator
+  .Coordinator` so it can be multiplied;
+* :class:`QuorumMapStore` fans every write out to N peer stores and
+  requires a **majority ack** before reporting success, and every read
+  collects from a **majority** and keeps the newest copy — any committed
+  write intersects any later read in at least one store, so a standby
+  coordinator rebuilding from the surviving stores always sees the last
+  published epoch and the most advanced migration stage.
+
+There is no leader election here — the deployment designates the acting
+coordinator (the supervisor process, or the operator starting a
+standby), exactly as the paper's administrative model assumes.  What the
+quorum buys is durability of the *decisions*: a publish acked to a
+migration is on a majority of disks, so no single machine loss can roll
+the map back or lose a migration's resume point.
+
+Ordering needs no extra machinery: shard maps are totally ordered by
+``epoch`` and migration states by stage (the persisted machine only
+moves forward), so "newest copy wins" is well-defined without timestamps.
+
+A store that missed a ``clear_migration`` (it was down) can later
+resurrect a completed migration's state at a standby.  That is safe by
+construction: every stage from the persisted resume point onward is
+idempotent — re-publishing an old epoch is a no-op, re-installing maps
+and re-copying an already-moved (and purged) range ships nothing — so a
+resurrected migration just runs itself back to DONE.  :meth:`heal`
+shrinks the window by rewriting the authoritative state onto every
+reachable store.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster.errors import QuorumLost
+from repro.cluster.shardmap import ShardMap
+from repro.storage.interface import FileSystem
+
+#: the committed map and its staging file (version-switch idiom)
+SHARDMAP_FILE = "shardmap.json"
+SHARDMAP_STAGING_FILE = "shardmap.new"
+#: the fsynced migration resume point
+MIGRATION_STATE_FILE = "migration.json"
+
+#: migration stage order, duplicated from repro.cluster.migrate to keep
+#: the import graph acyclic (migrate imports this module's stores)
+_STAGE_ORDER = ("plan", "copy", "mirror", "cutover", "flush", "purge", "done")
+
+
+class MapStore:
+    """One directory holding the coordinator's durable possessions."""
+
+    def __init__(self, fs: FileSystem) -> None:
+        self.fs = fs
+
+    # -- the shard map (version-switch idiom) -------------------------------
+
+    def load_map(self) -> ShardMap | None:
+        # An interrupted publish leaves a staging file; the committed map
+        # is whatever the *rename* last made visible.
+        self.fs.delete_if_exists(SHARDMAP_STAGING_FILE)
+        if not self.fs.exists(SHARDMAP_FILE):
+            return None
+        return ShardMap.from_wire(json.loads(self.fs.read(SHARDMAP_FILE)))
+
+    def publish_map(self, shard_map: ShardMap) -> None:
+        payload = json.dumps(shard_map.to_wire(), sort_keys=True)
+        self.fs.write(SHARDMAP_STAGING_FILE, payload.encode("ascii"))
+        self.fs.fsync(SHARDMAP_STAGING_FILE)
+        self.fs.rename(SHARDMAP_STAGING_FILE, SHARDMAP_FILE)
+        self.fs.fsync_dir()
+
+    # -- the migration resume point -----------------------------------------
+
+    def load_migration(self) -> dict | None:
+        if not self.fs.exists(MIGRATION_STATE_FILE):
+            return None
+        try:
+            state = json.loads(self.fs.read(MIGRATION_STATE_FILE))
+        except Exception:
+            return None  # unreadable: the run never got past PLAN
+        if not isinstance(state, dict):
+            return None
+        return state
+
+    def save_migration(self, state: dict) -> None:
+        self.fs.write(
+            MIGRATION_STATE_FILE, json.dumps(state).encode("ascii")
+        )
+        self.fs.fsync(MIGRATION_STATE_FILE)
+
+    def clear_migration(self) -> None:
+        self.fs.delete_if_exists(MIGRATION_STATE_FILE)
+        self.fs.fsync_dir()
+
+
+def as_store(fs_or_store) -> "MapStore | QuorumMapStore":
+    """Accept a raw :class:`FileSystem` (pre-replication callers) or a store.
+
+    The coordinator and migration machine historically took the
+    coordinator's filesystem directly; wrapping here keeps every old
+    call site working unchanged.
+    """
+    if hasattr(fs_or_store, "load_migration"):
+        return fs_or_store
+    return MapStore(fs_or_store)
+
+
+def _stage_rank(state: dict | None) -> int:
+    """Total order over migration copies: later stage = more advanced."""
+    if state is None:
+        return -1
+    stage = state.get("stage")
+    return _STAGE_ORDER.index(stage) if stage in _STAGE_ORDER else -1
+
+
+class QuorumMapStore:
+    """Majority-replicated coordinator state over N :class:`MapStore`\\ s.
+
+    ``stores`` are the peers (typically each on a different machine's
+    directory); ``quorum`` defaults to a strict majority.  Every
+    operation tolerates individual store failures and raises
+    :class:`~repro.cluster.errors.QuorumLost` only when fewer than
+    ``quorum`` stores answered — at which point the caller must stop
+    mutating (the current in-memory map may keep serving reads).
+    """
+
+    def __init__(self, stores: list[MapStore], quorum: int | None = None):
+        if not stores:
+            raise ValueError("a quorum store needs at least one peer store")
+        self.stores = list(stores)
+        self.quorum = (
+            quorum if quorum is not None else len(self.stores) // 2 + 1
+        )
+        if not 1 <= self.quorum <= len(self.stores):
+            raise ValueError(
+                f"quorum {self.quorum} out of range for "
+                f"{len(self.stores)} stores"
+            )
+        #: per-store error text from the most recent operation (None = ok)
+        self.last_errors: list[str | None] = [None] * len(self.stores)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _fanout(self, op: str, fn) -> list:
+        """Run ``fn(store)`` on every peer; quorum-or-raise.
+
+        Returns the successful results (order preserved, failures
+        dropped).
+        """
+        answers: list = []
+        acked = 0
+        for index, store in enumerate(self.stores):
+            try:
+                answers.append(fn(store))
+                self.last_errors[index] = None
+                acked += 1
+            except Exception as exc:
+                self.last_errors[index] = f"{type(exc).__name__}: {exc}"
+        if acked < self.quorum:
+            raise QuorumLost(op, acked, self.quorum, len(self.stores))
+        return answers
+
+    # -- the shard map -------------------------------------------------------
+
+    def load_map(self) -> ShardMap | None:
+        """Quorum read: the highest-epoch map on any answering store.
+
+        A committed publish reached a majority; this read reaches a
+        majority; the two majorities intersect, so the newest committed
+        epoch is always among the answers.
+        """
+        answers = self._fanout("load_map", lambda s: s.load_map())
+        maps = [m for m in answers if m is not None]
+        if not maps:
+            return None
+        return max(maps, key=lambda m: m.epoch)
+
+    def publish_map(self, shard_map: ShardMap) -> None:
+        self._fanout("publish_map", lambda s: s.publish_map(shard_map))
+
+    # -- the migration resume point -----------------------------------------
+
+    def load_migration(self) -> dict | None:
+        """Quorum read: the most advanced migration copy, if any."""
+        answers = self._fanout("load_migration", lambda s: s.load_migration())
+        best = None
+        for state in answers:
+            if _stage_rank(state) > _stage_rank(best):
+                best = state
+        return best
+
+    def save_migration(self, state: dict) -> None:
+        self._fanout("save_migration", lambda s: s.save_migration(state))
+
+    def clear_migration(self) -> None:
+        self._fanout("clear_migration", lambda s: s.clear_migration())
+
+    # -- convergence ---------------------------------------------------------
+
+    def heal(self) -> int:
+        """Rewrite the authoritative state onto every reachable store.
+
+        Run at standby takeover (and harmless any time): stores that
+        missed writes while down converge to the quorum's truth.
+        Returns the number of stores that are now fully caught up.
+        """
+        shard_map = self.load_map()
+        migration = self.load_migration()
+        healthy = 0
+        for index, store in enumerate(self.stores):
+            try:
+                if shard_map is not None:
+                    current = store.load_map()
+                    if current is None or current.epoch < shard_map.epoch:
+                        store.publish_map(shard_map)
+                if migration is not None:
+                    if _stage_rank(store.load_migration()) < _stage_rank(
+                        migration
+                    ):
+                        store.save_migration(migration)
+                else:
+                    store.clear_migration()
+                self.last_errors[index] = None
+                healthy += 1
+            except Exception as exc:
+                self.last_errors[index] = f"{type(exc).__name__}: {exc}"
+        return healthy
+
+    def status(self) -> dict:
+        """Per-store reachability for operators (after the last op)."""
+        return {
+            "stores": len(self.stores),
+            "quorum": self.quorum,
+            "errors": list(self.last_errors),
+        }

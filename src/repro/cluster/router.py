@@ -1,4 +1,4 @@
-"""The shard router: one name-server API over many shards.
+"""The shard router: one name-server API over many replicated shards.
 
 ``ShardRouter`` presents the exact :class:`RemoteNameServer` surface —
 callers cannot tell one shard from sixteen — and routes each call:
@@ -14,31 +14,66 @@ callers cannot tell one shard from sixteen — and routes each call:
   failed shard yields a :class:`ClusterPartialFailure` carrying the
   partial answer unless the caller opted into ``partial=True``.
 
+When the map carries replica sets the router is failover-aware:
+
+* **reads** that cannot reach the primary rotate through the shard's
+  followers.  A follower-served read is *degraded*: the router fetches
+  the follower's version vector and records its staleness lag
+  (``last_read_lag``); with ``max_read_lag`` set, a follower further
+  behind than the bound is skipped rather than served from;
+* **writes** go to the primary only.  A follower answers with a typed
+  :class:`~repro.cluster.errors.NotPrimary` redirect (handled like
+  ``WrongShard``).  When the primary is *unreachable* and the transport
+  vouches the request was never delivered, the router asks the surviving
+  replicas for a newer map — if a promotion is visible it retries
+  against the new primary, otherwise it raises a typed
+  :class:`~repro.cluster.errors.PrimaryFailed` (retryable: the next
+  attempt after the coordinator promotes will succeed).  A write that
+  *may* have executed is never reissued — at-most-once is preserved;
+* **scatter** jobs fail over to followers per shard, reporting
+  degraded-but-served shards (``last_scatter_degraded``) instead of
+  failing the call, and each shard's job runs under an optional
+  ``scatter_deadline`` so one hung shard cannot stall an enumeration —
+  a shard that misses the deadline is folded into
+  :class:`ClusterPartialFailure` as a typed timeout.
+
 The router is a client-side object: it holds one cached RPC client per
-shard address and no server state.  Many routers (one per application
-process) can coexist; the coordinator's published map is the single
-source of truth they all converge toward.
+*address* — and drops clients whose address vanishes from a newly
+installed map, so an epoch bump cannot leak connections to
+decommissioned replicas.  Many routers (one per application process) can
+coexist; the coordinator's published map is the single source of truth
+they all converge toward.
 """
 
 from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Callable
 
 from repro.cluster.errors import (
     ClusterPartialFailure,
+    NotPrimary,
+    PrimaryFailed,
+    ScatterTimeout,
     ShardUnavailable,
     WrongShard,
 )
 from repro.cluster.shard import RemoteShard
 from repro.cluster.shardmap import ShardInfo, ShardMap
 from repro.nameserver.tree import parse_path
+from repro.rpc.errors import CallMaybeExecuted, TransportError
 
-#: upper bound on WrongShard-driven retries of one call (each retry
-#: installs a strictly newer epoch, so this bounds map churn tolerated
-#: during a single call, not steady-state behaviour)
+#: upper bound on WrongShard/NotPrimary-driven retries of one call (each
+#: retry installs a strictly newer epoch, so this bounds map churn
+#: tolerated during a single call, not steady-state behaviour)
 MAX_REDIRECTS = 4
+
+#: communication failures that rotate a *read* to the next replica;
+#: CallMaybeExecuted is harmless for an enquiry (re-asking elsewhere has
+#: no side effect)
+_READ_ERRORS = (TransportError, CallMaybeExecuted, OSError)
 
 
 def _tcp_transport(address: str):
@@ -46,6 +81,20 @@ def _tcp_transport(address: str):
 
     host, _, port = address.rpartition(":")
     return TcpTransport(host, int(port))
+
+
+def _never_delivered(exc: Exception) -> bool:
+    """Whether the transport vouches the request never reached a server.
+
+    Only then may a *write* be retried elsewhere without risking double
+    execution: ``CallMaybeExecuted`` (and any transport failure that
+    admits delivery) must surface to the caller instead.
+    """
+    if isinstance(exc, CallMaybeExecuted):
+        return False
+    if isinstance(exc, TransportError):
+        return not getattr(exc, "maybe_delivered", False)
+    return isinstance(exc, OSError)
 
 
 class ShardRouter:
@@ -56,6 +105,8 @@ class ShardRouter:
         shard_map: ShardMap,
         transport_factory: Callable[[str], object] | None = None,
         max_fanout: int = 8,
+        max_read_lag: int | None = None,
+        scatter_deadline: float | None = None,
         **client_options: object,
     ) -> None:
         self.map = shard_map
@@ -64,30 +115,124 @@ class ShardRouter:
         self._clients: dict[str, RemoteShard] = {}
         self._lock = threading.Lock()
         self._max_fanout = max_fanout
+        #: skip a follower whose version-vector lag exceeds this bound
+        #: (None: serve from any follower, recording the lag)
+        self.max_read_lag = max_read_lag
+        #: per-shard wall-clock bound on scatter jobs (None: unbounded)
+        self.scatter_deadline = scatter_deadline
         self.redirects_followed = 0
+        #: reads served by a follower because the primary was unreachable
+        self.read_failovers = 0
+        #: writes retried against a newly promoted primary
+        self.write_retries = 0
+        #: version-vector lag of the last follower-served read
+        self.last_read_lag: int | None = None
+        #: {shard_id: follower replica_id} for the last scatter's
+        #: degraded-but-served shards
+        self.last_scatter_degraded: dict[str, str] = {}
+        #: freshest version vector observed from any replica (origin→seq)
+        self._best_vector: dict[str, int] = {}
 
     # -- plumbing -----------------------------------------------------------
 
-    def _client(self, shard: ShardInfo) -> RemoteShard:
+    def _client_for(self, address: str) -> RemoteShard:
         with self._lock:
-            client = self._clients.get(shard.address)
+            client = self._clients.get(address)
             if client is None:
                 client = RemoteShard(
-                    self._transport_factory(shard.address),
+                    self._transport_factory(address),
                     **self._client_options,
                 )
-                self._clients[shard.address] = client
+                self._clients[address] = client
             return client
 
+    def _client(self, shard: ShardInfo) -> RemoteShard:
+        return self._client_for(shard.address)
+
     def install_map(self, shard_map: ShardMap) -> bool:
-        """Adopt a newer map; returns whether it replaced the cache."""
+        """Adopt a newer map; returns whether it replaced the cache.
+
+        Clients for addresses that vanished with the new map are evicted
+        and closed — an epoch bump that decommissions a replica must not
+        leave a live connection to it in the cache.
+        """
         with self._lock:
             if shard_map.epoch <= self.map.epoch:
                 return False
             self.map = shard_map
-            return True
+            keep = shard_map.addresses()
+            evicted = [
+                self._clients.pop(address)
+                for address in list(self._clients)
+                if address not in keep
+            ]
+        for client in evicted:
+            _close_quietly(client)
+        return True
 
-    def _keyed(self, path, call: Callable) -> object:
+    def _note_vector(self, vector: dict[str, int]) -> None:
+        for origin, seq in vector.items():
+            if seq > self._best_vector.get(origin, -1):
+                self._best_vector[origin] = seq
+
+    def _lag_of(self, vector: dict[str, int]) -> int:
+        return sum(
+            best - vector.get(origin, 0)
+            for origin, best in self._best_vector.items()
+            if best > vector.get(origin, 0)
+        )
+
+    def _follower_read(self, shard: ShardInfo, call: Callable, parsed):
+        """Serve one read from the first acceptable follower.
+
+        Returns ``(value, replica_id)``; raises ShardUnavailable when no
+        follower could (acceptably) answer.
+        """
+        last_error = "no followers"
+        for follower in shard.followers:
+            client = self._client_for(follower.address)
+            try:
+                vector = dict(client.summary())
+                self._note_vector(vector)
+                lag = self._lag_of(vector)
+                if (
+                    self.max_read_lag is not None
+                    and lag > self.max_read_lag
+                ):
+                    last_error = (
+                        f"{follower.replica_id} lags by {lag} updates"
+                    )
+                    continue
+                value = call(client, parsed)
+            except _READ_ERRORS as exc:
+                last_error = f"{follower.replica_id}: {exc}"
+                continue
+            self.read_failovers += 1
+            self.last_read_lag = lag
+            return value, follower.replica_id
+        raise ShardUnavailable(
+            shard.shard_id, f"primary and followers failed ({last_error})"
+        )
+
+    def _learn_newer_map(self, shard: ShardInfo) -> bool:
+        """Ask the surviving replicas for a newer map; install the best.
+
+        Returns whether a strictly newer epoch was installed — the
+        write path's signal that a promotion (or other reconfiguration)
+        is visible and a retry is worthwhile.
+        """
+        best: ShardMap | None = None
+        for replica in shard.replica_set[1:]:
+            client = self._client_for(replica.address)
+            try:
+                candidate = ShardMap.from_wire(client.shard_map())
+            except Exception:
+                continue
+            if best is None or candidate.epoch > best.epoch:
+                best = candidate
+        return best is not None and self.install_map(best)
+
+    def _keyed(self, path, call: Callable, write: bool = False) -> object:
         """Run ``call(client)`` against the owner, following redirects."""
         parsed = parse_path(path)
         component = parsed[0]
@@ -102,8 +247,51 @@ class ShardRouter:
                     # are; surface it rather than spinning.
                     raise
                 self.redirects_followed += 1
+            except NotPrimary as redirect:
+                # A follower answered a write: adopt its (newer) map and
+                # retry against the promoted primary.
+                newer = ShardMap.from_wire(redirect.map)
+                if not self.install_map(newer):
+                    raise
+                self.redirects_followed += 1
+            except _READ_ERRORS as exc:
+                if not write:
+                    value, _served_by = self._follower_read(
+                        shard, call, parsed
+                    )
+                    return value
+                if not _never_delivered(exc):
+                    # The write may have executed — at-most-once forbids
+                    # reissuing it anywhere.
+                    raise
+                if self._learn_newer_map(shard):
+                    # A promotion is visible: retry against it.
+                    self.write_retries += 1
+                    continue
+                raise PrimaryFailed(shard.shard_id, f"{exc}") from exc
         raise ShardUnavailable(
             shard.shard_id, f"still redirecting after {MAX_REDIRECTS} retries"
+        )
+
+    def _scatter_one(self, shard: ShardInfo, call: Callable):
+        """One shard's scatter job: primary first, then followers.
+
+        Returns ``(value, served_by)`` where ``served_by`` is None for a
+        primary-served answer and the follower's replica id otherwise.
+        """
+        try:
+            return call(self._client(shard)), None
+        except _READ_ERRORS:
+            pass
+        last_error = "no followers"
+        for follower in shard.followers:
+            client = self._client_for(follower.address)
+            try:
+                return call(client), follower.replica_id
+            except _READ_ERRORS as exc:
+                last_error = f"{follower.replica_id}: {exc}"
+        raise ShardUnavailable(
+            shard.shard_id, f"primary and followers failed ({last_error})"
         )
 
     def _scatter(self, call: Callable, partial: bool = False) -> dict:
@@ -111,26 +299,51 @@ class ShardRouter:
         shards = list(self.map.shards)
         results: dict[str, object] = {}
         failures: dict[str, str] = {}
+        timeouts: list[str] = []
+        degraded: dict[str, str] = {}
 
         def one(shard: ShardInfo):
-            return call(self._client(shard))
+            return self._scatter_one(shard, call)
 
-        if len(shards) == 1:
+        deadline = self.scatter_deadline
+        if len(shards) == 1 and deadline is None:
             outcomes = [_outcome(one, shards[0])]
         else:
-            with ThreadPoolExecutor(
+            # shutdown(wait=False): a worker stuck past its deadline is
+            # abandoned, not joined — the whole point of the bound.
+            pool = ThreadPoolExecutor(
                 max_workers=min(len(shards), self._max_fanout)
-            ) as pool:
-                outcomes = list(
-                    pool.map(lambda s: _outcome(one, s), shards)
-                )
+            )
+            try:
+                futures = [
+                    (shard, pool.submit(_outcome, one, shard))
+                    for shard in shards
+                ]
+                outcomes = []
+                for shard, future in futures:
+                    try:
+                        outcomes.append(future.result(timeout=deadline))
+                    except FutureTimeout:
+                        timeout = ScatterTimeout(shard.shard_id, deadline)
+                        outcomes.append(
+                            (shard, False, f"ScatterTimeout: {timeout}")
+                        )
+                        timeouts.append(shard.shard_id)
+            finally:
+                pool.shutdown(wait=False)
         for shard, ok, value in outcomes:
             if ok:
-                results[shard.shard_id] = value
+                answer, served_by = value
+                results[shard.shard_id] = answer
+                if served_by is not None:
+                    degraded[shard.shard_id] = served_by
             else:
                 failures[shard.shard_id] = value
+        self.last_scatter_degraded = degraded
         if failures and not partial:
-            raise ClusterPartialFailure(results, failures)
+            raise ClusterPartialFailure(
+                results, failures, timeouts=timeouts, degraded=degraded
+            )
         return results
 
     # -- keyed enquiries ------------------------------------------------------
@@ -144,16 +357,18 @@ class ShardRouter:
     # -- keyed updates --------------------------------------------------------
 
     def bind(self, path, value, exclusive: bool = False) -> None:
-        self._keyed(path, lambda c, p: c.bind(p, value, exclusive))
+        self._keyed(path, lambda c, p: c.bind(p, value, exclusive), write=True)
 
     def unbind(self, path) -> None:
-        self._keyed(path, lambda c, p: c.unbind(p))
+        self._keyed(path, lambda c, p: c.unbind(p), write=True)
 
     def unbind_subtree(self, path) -> None:
-        self._keyed(path, lambda c, p: c.unbind_subtree(p))
+        self._keyed(path, lambda c, p: c.unbind_subtree(p), write=True)
 
     def write_subtree(self, path, entries) -> None:
-        self._keyed(path, lambda c, p: c.write_subtree(p, entries))
+        self._keyed(
+            path, lambda c, p: c.write_subtree(p, entries), write=True
+        )
 
     # -- scatter-gather -------------------------------------------------------
 
@@ -205,10 +420,14 @@ class ShardRouter:
         with self._lock:
             clients, self._clients = dict(self._clients), {}
         for client in clients.values():
-            try:
-                client.close()
-            except Exception:
-                pass
+            _close_quietly(client)
+
+
+def _close_quietly(client) -> None:
+    try:
+        client.close()
+    except Exception:
+        pass
 
 
 def _outcome(fn: Callable, shard: ShardInfo) -> tuple[ShardInfo, bool, object]:
@@ -216,3 +435,6 @@ def _outcome(fn: Callable, shard: ShardInfo) -> tuple[ShardInfo, bool, object]:
         return shard, True, fn(shard)
     except Exception as exc:
         return shard, False, f"{type(exc).__name__}: {exc}"
+
+
+__all__ = ["MAX_REDIRECTS", "ShardRouter"]

@@ -1,13 +1,23 @@
-"""The cluster as a deployable unit: N shard processes + a coordinator.
+"""The cluster as a deployable unit: N×R shard processes + a coordinator.
 
-    python -m repro.cluster.serve /var/lib/cluster --shards 4 --port 9800
+    python -m repro.cluster.serve /var/lib/cluster --shards 4 \
+        --replicas 2 --port 9800
 
-Each shard is an ordinary ``repro.nameserver.serve`` process — its own
+Each replica is an ordinary ``repro.nameserver.serve`` process — its own
 directory, log, checkpoint and version files, its own event-loop TCP
 front end — started with ``--shard-id``/``--shard-map`` so it enforces
-range ownership.  The coordinator runs *in this process*: it owns the
-persisted shard map (``coordinator/shardmap.json``), serves the
-``Coordinator`` RPC interface, health-checks the shards, and drives
+range ownership and ``--replica-id`` so it knows its role under the
+map.  With ``--replicas R > 1`` every shard is a replica group: the
+primary and its followers gossip as peers (anti-entropy loop), the
+primary eagerly propagates each acked write, followers answer reads and
+redirect writes, and every process runs with ``--auto-recover`` so a
+replaced replica rebuilds itself from its peers (snapshot shipping +
+log-tail catch-up) without an operator.
+
+The coordinator runs *in this process*: it owns the persisted shard map
+(``coordinator/shardmap.json``), serves the ``Coordinator`` RPC
+interface, health-checks the replicas, promotes a follower when a
+primary dies (:meth:`ClusterSupervisor.failover_check`), and drives
 online splits.  ``ClusterSupervisor`` is the embeddable form the tests
 and benchmarks use; ``main`` adds argument parsing.
 """
@@ -48,7 +58,7 @@ def free_port(host: str = "127.0.0.1") -> int:
 
 
 class ShardProcess:
-    """One spawned shard: its process, endpoint and log file."""
+    """One spawned replica: its process, endpoint and log file."""
 
     def __init__(
         self,
@@ -59,18 +69,25 @@ class ShardProcess:
         port: int,
         map_path: str,
         extra_args: list[str],
+        replica_id: str | None = None,
+        peers: list[str] | None = None,
     ) -> None:
         self.shard_id = shard_id
+        self.replica_id = replica_id if replica_id is not None else shard_id
         self.directory = directory
         self.logfile = logfile
         self.host = host
         self.port = port
         os.makedirs(directory, exist_ok=True)
+        peer_args: list[str] = []
+        for peer in peers or []:
+            peer_args += ["--peer", peer]
         command = [
             sys.executable, "-m", "repro.nameserver.serve", directory,
             "--host", host, "--port", str(port),
-            "--replica-id", shard_id,
+            "--replica-id", self.replica_id,
             "--shard-id", shard_id, "--shard-map", map_path,
+            *peer_args,
             *extra_args,
         ]
         env = dict(os.environ)
@@ -124,6 +141,13 @@ class ShardProcess:
     def alive(self) -> bool:
         return self.process.poll() is None
 
+    def kill(self) -> None:
+        """SIGKILL — the chaos path: no graceful shutdown, no flush."""
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(10)
+        self._log_handle.close()
+
     def stop(self, timeout: float = 10.0) -> None:
         if self.process.poll() is None:
             self.process.terminate()  # SIGTERM: dumps the black box
@@ -145,26 +169,32 @@ class ClusterSupervisor:
         host: str = "127.0.0.1",
         port: int = 0,
         shard_args: list[str] | None = None,
+        replicas: int = 1,
     ) -> None:
+        if replicas < 1:
+            raise ValueError("a shard needs at least one replica")
         self.base_dir = base_dir
         self.host = host
+        self.replicas = replicas
         self.shard_args = list(shard_args or [])
         os.makedirs(os.path.join(base_dir, "logs"), exist_ok=True)
         coordinator_dir = os.path.join(base_dir, "coordinator")
         os.makedirs(coordinator_dir, exist_ok=True)
         self.coordinator = Coordinator(LocalFS(coordinator_dir))
         self.map_path = os.path.join(coordinator_dir, SHARDMAP_FILE)
+        #: {replica_id: its process} — one entry per spawned replica
         self.processes: dict[str, ShardProcess] = {}
 
         if self.coordinator.map is None:
             addresses = {
-                f"s{i}": f"{host}:{free_port(host)}"
+                f"s{i}": self._replica_spec(f"s{i}")
                 for i in range(num_shards)
             }
             self.coordinator.bootstrap(addresses)
-        # (Re)spawn one process per mapped shard, at its mapped address.
+        # (Re)spawn one process per mapped replica, at its mapped address.
         for shard in self.coordinator.current_map().shards:
-            self._spawn(shard.shard_id, shard.address)
+            for replica in shard.replica_set:
+                self._spawn(shard, replica)
         for proc in self.processes.values():
             proc.wait_ready()
         # An interrupted split resumes before the cluster opens for
@@ -177,18 +207,48 @@ class ClusterSupervisor:
 
     # -- assembly ----------------------------------------------------------------
 
-    def _spawn(self, shard_id: str, address: str) -> ShardProcess:
-        host, _, port = address.rpartition(":")
+    def _replica_spec(self, shard_id: str):
+        """Fresh (replica_id, address) pairs for one shard, primary first.
+
+        A single-replica cluster keeps the plain ``host:port`` form so
+        its map file stays byte-compatible with pre-replication runs.
+        """
+        if self.replicas == 1:
+            return f"{self.host}:{free_port(self.host)}"
+        return [
+            (
+                shard_id if k == 0 else f"{shard_id}r{k}",
+                f"{self.host}:{free_port(self.host)}",
+            )
+            for k in range(self.replicas)
+        ]
+
+    def _spawn(self, shard, replica) -> ShardProcess:
+        host, _, port = replica.address.rpartition(":")
+        siblings = [
+            peer.address
+            for peer in shard.replica_set
+            if peer.replica_id != replica.replica_id
+        ]
+        extra = list(self.shard_args)
+        if siblings and "--auto-recover" not in extra:
+            extra.append("--auto-recover")
+        if siblings and "--sync-interval" not in " ".join(extra):
+            # Replicated shards converge by anti-entropy too; the
+            # default 30s tick is an eternity next to failover.
+            extra += ["--sync-interval", "2"]
         proc = ShardProcess(
-            shard_id,
-            os.path.join(self.base_dir, "data", shard_id),
-            os.path.join(self.base_dir, "logs", f"{shard_id}.log"),
+            shard.shard_id,
+            os.path.join(self.base_dir, "data", replica.replica_id),
+            os.path.join(self.base_dir, "logs", f"{replica.replica_id}.log"),
             host,
             int(port),
             self.map_path,
-            self.shard_args,
+            extra,
+            replica_id=replica.replica_id,
+            peers=siblings,
         )
-        self.processes[shard_id] = proc
+        self.processes[replica.replica_id] = proc
         return proc
 
     @property
@@ -205,17 +265,68 @@ class ClusterSupervisor:
     # -- operations --------------------------------------------------------------
 
     def add_shard(self, shard_id: str | None = None) -> str:
-        """Spawn an empty shard process and admit it to the map."""
+        """Spawn an empty shard (replica group) and admit it to the map."""
         if shard_id is None:
             index = len(self.coordinator.current_map().shards)
             while f"s{index}" in self.processes:
                 index += 1
             shard_id = f"s{index}"
-        address = f"{self.host}:{free_port(self.host)}"
-        self.coordinator.add_shard(shard_id, address)
-        self._spawn(shard_id, address).wait_ready()
+        self.coordinator.add_shard(shard_id, self._replica_spec(shard_id))
+        shard = self.coordinator.current_map().shard(shard_id)
+        spawned = [
+            self._spawn(shard, replica) for replica in shard.replica_set
+        ]
+        for proc in spawned:
+            proc.wait_ready()
         self.coordinator.push_map()
         return shard_id
+
+    def kill_replica(self, replica_id: str) -> None:
+        """SIGKILL one replica's process (the chaos/benchmark path)."""
+        self.processes[replica_id].kill()
+
+    def failover_check(self) -> list[str]:
+        """Promote a follower on every shard whose primary process died.
+
+        The supervisor's detection loop: a killed or crashed primary is
+        fenced by an epoch-bumped map with a surviving follower at the
+        head of the replica set.  Returns the shard ids promoted.
+        Shards whose primary is healthy — or with no reachable follower
+        (nothing safe to do) — are left alone.
+        """
+        from repro.cluster.errors import ClusterError
+
+        promoted = []
+        for shard in self.coordinator.current_map().shards:
+            proc = self.processes.get(shard.primary.replica_id)
+            if proc is None or proc.alive():
+                continue
+            if not shard.followers:
+                continue
+            try:
+                self.coordinator.promote(shard.shard_id)
+                promoted.append(shard.shard_id)
+            except ClusterError:
+                continue  # no reachable follower yet; retried next check
+        return promoted
+
+    def repair_replica(self, replica_id: str) -> ShardProcess:
+        """Respawn a dead replica at its mapped address.
+
+        The fresh process starts on its (possibly stale or wiped)
+        directory with ``--auto-recover``: it rebuilds from its peers by
+        snapshot shipping + log-tail catch-up and rejoins the gossip
+        loop — automatic replica repair, no operator in the loop.
+        """
+        old = self.processes.get(replica_id)
+        if old is not None and old.alive():
+            raise RuntimeError(f"replica {replica_id} is still running")
+        shard = self.coordinator.current_map().shard_of_replica(replica_id)
+        replica = shard.replica(replica_id)
+        proc = self._spawn(shard, replica)
+        proc.wait_ready()
+        self.coordinator.push_map()
+        return proc
 
     def split(self, donor_id: str, target_id: str | None = None, **kwargs):
         """Online split: admit a target if needed, migrate half the range."""
@@ -249,6 +360,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("directory", help="cluster base directory")
     parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard (1 primary + R-1 auto-recovering "
+        "followers)",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument(
         "--port", type=int, default=0,
@@ -270,6 +386,7 @@ def main(argv: list[str] | None = None) -> int:
         host=args.host,
         port=args.port,
         shard_args=args.shard_arg,
+        replicas=args.replicas,
     )
     shard_map = supervisor.coordinator.current_map()
     print(
@@ -278,7 +395,13 @@ def main(argv: list[str] | None = None) -> int:
         flush=True,
     )
     for shard in shard_map.shards:
-        print(f"  {shard.shard_id} on {shard.address}", flush=True)
+        for replica in shard.replica_set:
+            role = shard.role_of(replica.replica_id)
+            print(
+                f"  {shard.shard_id}/{replica.replica_id} ({role}) "
+                f"on {replica.address}",
+                flush=True,
+            )
     try:
         terminated.wait()
     except KeyboardInterrupt:

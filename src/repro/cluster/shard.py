@@ -2,7 +2,7 @@
 
 ``ShardService`` wraps an ordinary :class:`~repro.nameserver.server
 .NameServer` (or :class:`~repro.nameserver.replication.Replica`) with
-three cluster behaviours, leaving the storage engine untouched:
+four cluster behaviours, leaving the storage engine untouched:
 
 * **ownership enforcement** — a keyed request whose first path component
   hashes outside this shard's ranges raises a typed
@@ -15,7 +15,17 @@ three cluster behaviours, leaving the storage engine untouched:
 * **dual-write mirroring** — during a migration handoff the donor
   forwards every acked update in the moving range to the target (as
   idempotent ``repair_leaves``), so the target misses nothing between
-  the bulk copy and the cutover.
+  the bulk copy and the cutover;
+
+* **replica roles** — when the shard map carries a replica set, only
+  the primary acks updates: a follower answers enquiries (read
+  failover) but raises a typed
+  :class:`~repro.cluster.errors.NotPrimary` redirect for writes, so a
+  client racing a promotion re-routes in one round trip.  With
+  ``eager_propagate`` the primary synchronously pushes each acked
+  update to its peers, putting it on two nodes before the client sees
+  the ack — the property the chaos sweep's "no acked update lost"
+  invariant rests on.
 
 The replication and repair hooks pass through *unchecked*: peers inside
 a shard's replica group, and the migration machinery itself, address the
@@ -27,7 +37,7 @@ from __future__ import annotations
 import threading
 from typing import Callable
 
-from repro.cluster.errors import WrongShard
+from repro.cluster.errors import NotPrimary, WrongShard
 from repro.cluster.shardmap import ShardMap
 from repro.core.sharding import default_hash
 from repro.nameserver.server import nameserver_interface
@@ -55,6 +65,7 @@ def shard_interface() -> Interface:
     iface.method("end_mirror", returns=Int)
     iface.method("shard_status", returns=Pickled())
     iface.error(WrongShard)
+    iface.error(NotPrimary)
     return iface
 
 
@@ -70,10 +81,21 @@ class ShardService:
         shard_id: str,
         shard_map: ShardMap,
         forward_factory: Callable[[str], object] | None = None,
+        replica_id: str | None = None,
+        eager_propagate: bool | Callable[[], None] = False,
     ) -> None:
         self.server = server
         self.shard_id = shard_id
+        #: which member of the shard's replica set this node is; the
+        #: primary (or a pre-replication single-replica shard) defaults
+        #: to the shard id itself
+        self.replica_id = replica_id if replica_id is not None else shard_id
         self.map = shard_map
+        #: when True, every acked update is synchronously pushed to the
+        #: wrapped replica's peers before returning — the acked value is
+        #: then on at least two nodes whenever a follower is reachable,
+        #: so a single node loss cannot lose it
+        self.eager_propagate = eager_propagate
         # address -> client with a repair_leaves method (tests inject
         # loopback factories; production dials a TCP name server).
         self._forward_factory = forward_factory or _tcp_forwarder
@@ -83,11 +105,16 @@ class ShardService:
         self.forwarded = 0
         self.forward_failures = 0
         self.redirects = 0
+        self.writes_rejected_not_primary = 0
 
     # -- ownership ----------------------------------------------------------
 
     def _owns(self, component: str) -> bool:
         return self.map.shard(self.shard_id).owns(default_hash(component))
+
+    def role(self) -> str:
+        """``"primary"`` or ``"follower"`` under the current map."""
+        return self.map.shard(self.shard_id).role_of(self.replica_id)
 
     def _check(self, path) -> tuple:
         parsed = parse_path(path)
@@ -95,6 +122,38 @@ class ShardService:
             self.redirects += 1
             raise WrongShard.redirect(self.map, parsed[0])
         return parsed
+
+    def _check_write(self, path) -> tuple:
+        """Ownership plus role: only the primary acks updates."""
+        parsed = self._check(path)
+        if self.role() != "primary":
+            self.writes_rejected_not_primary += 1
+            raise NotPrimary.redirect(self.map, self.shard_id)
+        return parsed
+
+    def _propagate(self) -> None:
+        """Push the just-acked update to the replica's peers, eagerly.
+
+        ``eager_propagate`` may be a callable (the serving node's hook,
+        which also reconnects peers that were down at boot) or a truthy
+        flag meaning "call the wrapped replica's own ``propagate``".
+
+        Best-effort: a dead follower misses the push and is healed by
+        anti-entropy later; what matters is that whenever a follower
+        *is* reachable, the acked update exists on two nodes before the
+        client sees the ack.
+        """
+        if not self.eager_propagate:
+            return
+        if callable(self.eager_propagate):
+            propagate = self.eager_propagate
+        else:
+            propagate = getattr(self.server, "propagate", None)
+        if propagate is not None:
+            try:
+                propagate()
+            except Exception:
+                pass  # counted by the replica's own propagation metrics
 
     def _mirror_target(self, component: str):
         with self._lock:
@@ -185,24 +244,28 @@ class ShardService:
     # -- keyed updates --------------------------------------------------------
 
     def bind(self, path, value, exclusive: bool = False) -> None:
-        parsed = self._check(path)
+        parsed = self._check_write(path)
         self.server.bind(parsed, value, exclusive)
         self._forward(parsed)
+        self._propagate()
 
     def unbind(self, path) -> None:
-        parsed = self._check(path)
+        parsed = self._check_write(path)
         self.server.unbind(parsed)
         self._forward(parsed)
+        self._propagate()
 
     def unbind_subtree(self, path) -> None:
-        parsed = self._check(path)
+        parsed = self._check_write(path)
         self.server.unbind_subtree(parsed)
         self._forward(parsed)
+        self._propagate()
 
     def write_subtree(self, path, entries) -> None:
-        parsed = self._check(path)
+        parsed = self._check_write(path)
         self.server.write_subtree(parsed, entries)
         self._forward(parsed)
+        self._propagate()
 
     # -- cluster control ------------------------------------------------------
 
@@ -260,6 +323,8 @@ class ShardService:
             mirror = self._mirror
         return {
             "shard_id": self.shard_id,
+            "replica_id": self.replica_id,
+            "role": self.role(),
             "epoch": self.map.epoch,
             "ranges": [list(r) for r in mine.ranges],
             "span": mine.span(),
@@ -268,6 +333,7 @@ class ShardService:
             "forwarded": self.forwarded,
             "forward_failures": self.forward_failures,
             "redirects": self.redirects,
+            "writes_rejected_not_primary": self.writes_rejected_not_primary,
         }
 
     # -- pass-through (replication, repair, migration, admin) -----------------
@@ -316,10 +382,6 @@ class ShardService:
     @property
     def db(self):
         return self.server.db
-
-    @property
-    def replica_id(self):
-        return self.server.replica_id
 
     @property
     def stats(self):

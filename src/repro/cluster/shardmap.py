@@ -14,6 +14,16 @@ the authoritative copy (persisted through the version-switch idiom);
 shards and clients hold cached copies and converge by comparing epochs —
 a ``WrongShard`` redirect carries the newer map, so staleness heals on
 first contact.
+
+Since format v2 each shard entry carries a **replica set**: an ordered
+tuple of ``(replica_id, address)`` pairs whose first entry is the
+primary (the only replica that acks writes) and whose tail are
+followers (read failover targets, promotion candidates).  A primary
+change is just another epoch bump — :meth:`ShardMap.with_primary`
+reorders the set — so the same redirect/install machinery that heals
+stale range placement also heals stale primaries.  v1 maps (no replica
+sets) load as single-replica shards whose one replica is the shard
+itself, keeping every pre-replication deployment readable.
 """
 
 from __future__ import annotations
@@ -23,8 +33,18 @@ from dataclasses import dataclass
 from repro.cluster.errors import ShardMapError
 from repro.core.sharding import HASH_SPACE, default_hash
 
-#: wire/disk format tag for serialized maps
-SHARDMAP_FORMAT = "repro-shardmap-v1"
+#: wire/disk format tag for serialized maps (replica-set aware)
+SHARDMAP_FORMAT = "repro-shardmap-v2"
+#: the pre-replication format: one implicit replica per shard
+SHARDMAP_FORMAT_V1 = "repro-shardmap-v1"
+
+
+@dataclass(frozen=True)
+class ReplicaInfo:
+    """One replica of a shard: its id and RPC endpoint."""
+
+    replica_id: str
+    address: str  # "host:port"
 
 
 @dataclass(frozen=True)
@@ -34,11 +54,50 @@ class ShardInfo:
     ``ranges`` is a tuple of half-open ``(lo, hi)`` pairs; a shard with
     no ranges is legal — a freshly added node owns nothing until a split
     migrates a range onto it.
+
+    ``replicas`` is the ordered replica set: first the primary, then the
+    followers.  ``address`` always equals the primary's address (the
+    endpoint pre-replication clients keep dialing).  An empty tuple is
+    normalised at map construction into the single implicit replica
+    ``(shard_id, address)``.
     """
 
     shard_id: str
-    address: str  # "host:port"
+    address: str  # "host:port" — the primary's endpoint
     ranges: tuple[tuple[int, int], ...] = ()
+    replicas: tuple[ReplicaInfo, ...] = ()
+
+    @property
+    def primary(self) -> ReplicaInfo:
+        return self.replica_set[0]
+
+    @property
+    def followers(self) -> tuple[ReplicaInfo, ...]:
+        return self.replica_set[1:]
+
+    @property
+    def replica_set(self) -> tuple[ReplicaInfo, ...]:
+        """The replicas, never empty: defaults to the shard itself."""
+        if self.replicas:
+            return self.replicas
+        return (ReplicaInfo(self.shard_id, self.address),)
+
+    def replica(self, replica_id: str) -> ReplicaInfo:
+        for replica in self.replica_set:
+            if replica.replica_id == replica_id:
+                return replica
+        raise ShardMapError(
+            f"no replica {replica_id!r} in shard {self.shard_id!r}"
+        )
+
+    def role_of(self, replica_id: str) -> str:
+        """``"primary"`` or ``"follower"`` for a member of the set."""
+        self.replica(replica_id)  # must exist
+        return (
+            "primary"
+            if self.primary.replica_id == replica_id
+            else "follower"
+        )
 
     def owns(self, hash_value: int) -> bool:
         return any(lo <= hash_value < hi for lo, hi in self.ranges)
@@ -52,7 +111,17 @@ class ShardMap:
 
     def __init__(self, epoch: int, shards: list[ShardInfo]) -> None:
         self.epoch = int(epoch)
-        self.shards = tuple(shards)
+        # Normalise: every shard carries an explicit replica set, so a
+        # map built pre-replication equals its own wire round trip.
+        self.shards = tuple(
+            shard if shard.replicas else ShardInfo(
+                shard.shard_id,
+                shard.address,
+                shard.ranges,
+                (ReplicaInfo(shard.shard_id, shard.address),),
+            )
+            for shard in shards
+        )
         self._validate()
 
     def _validate(self) -> None:
@@ -63,6 +132,19 @@ class ShardMap:
             raise ShardMapError(f"duplicate shard ids in {ids}")
         if not self.shards:
             raise ShardMapError("a shard map needs at least one shard")
+        replica_ids: list[str] = []
+        for shard in self.shards:
+            for replica in shard.replica_set:
+                replica_ids.append(replica.replica_id)
+            if shard.address != shard.primary.address:
+                raise ShardMapError(
+                    f"shard {shard.shard_id!r} address {shard.address!r} "
+                    f"is not its primary's ({shard.primary.address!r})"
+                )
+        if len(set(replica_ids)) != len(replica_ids):
+            raise ShardMapError(
+                f"duplicate replica ids across the map in {replica_ids}"
+            )
         spans = []
         for shard in self.shards:
             for lo, hi in shard.ranges:
@@ -106,8 +188,28 @@ class ShardMap:
                 return shard
         raise ShardMapError(f"no shard {shard_id!r} in epoch {self.epoch}")
 
+    def shard_of_replica(self, replica_id: str) -> ShardInfo:
+        """The shard whose replica set contains ``replica_id``."""
+        for shard in self.shards:
+            if any(
+                replica.replica_id == replica_id
+                for replica in shard.replica_set
+            ):
+                return shard
+        raise ShardMapError(
+            f"no shard has replica {replica_id!r} in epoch {self.epoch}"
+        )
+
     def ids(self) -> list[str]:
         return [shard.shard_id for shard in self.shards]
+
+    def addresses(self) -> set[str]:
+        """Every replica endpoint the map names (cache-eviction set)."""
+        return {
+            replica.address
+            for shard in self.shards
+            for replica in shard.replica_set
+        }
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -125,23 +227,93 @@ class ShardMap:
     # -- evolution ----------------------------------------------------------
 
     @classmethod
-    def initial(cls, addresses: dict[str, str]) -> "ShardMap":
-        """Epoch 1: equal ranges over ``{shard_id: address}`` (sorted ids)."""
+    def initial(cls, addresses: dict) -> "ShardMap":
+        """Epoch 1: equal ranges over sorted shard ids.
+
+        Each value of ``addresses`` is either a single ``"host:port"``
+        string (one implicit replica) or a list of ``(replica_id,
+        address)`` pairs whose first entry becomes the primary.
+        """
         from repro.core.sharding import shard_ranges
 
         ids = sorted(addresses)
         ranges = shard_ranges(len(ids))
-        return cls(1, [
-            ShardInfo(shard_id, addresses[shard_id], (ranges[i],))
-            for i, shard_id in enumerate(ids)
-        ])
+        shards = []
+        for i, shard_id in enumerate(ids):
+            replicas = _replica_tuple(shard_id, addresses[shard_id])
+            shards.append(ShardInfo(
+                shard_id, replicas[0].address, (ranges[i],), replicas
+            ))
+        return cls(1, shards)
 
-    def with_shard(self, shard_id: str, address: str) -> "ShardMap":
+    def with_shard(
+        self, shard_id: str, address: str | list | tuple
+    ) -> "ShardMap":
         """Epoch+1 with a new, empty shard added (a split target)."""
+        replicas = _replica_tuple(shard_id, address)
         return ShardMap(
             self.epoch + 1,
-            list(self.shards) + [ShardInfo(shard_id, address, ())],
+            list(self.shards)
+            + [ShardInfo(shard_id, replicas[0].address, (), replicas)],
         )
+
+    def with_primary(self, shard_id: str, replica_id: str) -> "ShardMap":
+        """Epoch+1 with ``replica_id`` promoted to the shard's primary.
+
+        The placement (ranges) is untouched — only the replica order and
+        the shard's advertised address change.  Promoting the current
+        primary is an error: a no-op epoch bump would make clients spin.
+        """
+        shard = self.shard(shard_id)
+        promoted = shard.replica(replica_id)
+        if shard.primary.replica_id == replica_id:
+            raise ShardMapError(
+                f"{replica_id!r} is already the primary of {shard_id!r}"
+            )
+        reordered = (promoted,) + tuple(
+            replica
+            for replica in shard.replica_set
+            if replica.replica_id != replica_id
+        )
+        return self._with_replicas(shard_id, reordered)
+
+    def with_replica(
+        self, shard_id: str, replica_id: str, address: str
+    ) -> "ShardMap":
+        """Epoch+1 adding (or re-addressing) a follower of ``shard_id``.
+
+        A re-provisioned node rejoins through this: same replica id, its
+        new endpoint, always at the back of the set (it must catch up
+        before it is promotion-worthy).  Re-addressing the primary is an
+        error — promote first, then re-admit the old primary.
+        """
+        shard = self.shard(shard_id)
+        if shard.primary.replica_id == replica_id:
+            raise ShardMapError(
+                f"cannot re-address primary {replica_id!r} of "
+                f"{shard_id!r}; promote a follower first"
+            )
+        kept = tuple(
+            replica
+            for replica in shard.replica_set
+            if replica.replica_id != replica_id
+        )
+        return self._with_replicas(
+            shard_id, kept + (ReplicaInfo(replica_id, address),)
+        )
+
+    def _with_replicas(
+        self, shard_id: str, replicas: tuple[ReplicaInfo, ...]
+    ) -> "ShardMap":
+        shards = [
+            ShardInfo(
+                shard.shard_id, replicas[0].address, shard.ranges, replicas
+            )
+            if shard.shard_id == shard_id
+            else shard
+            for shard in self.shards
+        ]
+        return ShardMap(self.epoch + 1, shards)
 
     def split(self, donor_id: str, target_id: str) -> "ShardMap":
         """Epoch+1 moving the upper half of the donor's widest range.
@@ -191,14 +363,16 @@ class ShardMap:
                             kept.append((mhi, hi))
                     else:
                         kept.append((lo, hi))
-                shards.append(
-                    ShardInfo(shard.shard_id, shard.address, tuple(kept))
-                )
+                shards.append(ShardInfo(
+                    shard.shard_id, shard.address, tuple(kept),
+                    shard.replicas,
+                ))
             elif shard.shard_id == target_id:
                 merged = sorted(shard.ranges + ((mlo, mhi),))
-                shards.append(
-                    ShardInfo(shard.shard_id, shard.address, tuple(merged))
-                )
+                shards.append(ShardInfo(
+                    shard.shard_id, shard.address, tuple(merged),
+                    shard.replicas,
+                ))
             else:
                 shards.append(shard)
         return ShardMap(self.epoch + 1, shards)
@@ -215,6 +389,10 @@ class ShardMap:
                     "id": shard.shard_id,
                     "address": shard.address,
                     "ranges": [[lo, hi] for lo, hi in shard.ranges],
+                    "replicas": [
+                        {"id": r.replica_id, "address": r.address}
+                        for r in shard.replica_set
+                    ],
                 }
                 for shard in self.shards
             ],
@@ -222,7 +400,8 @@ class ShardMap:
 
     @classmethod
     def from_wire(cls, payload: dict) -> "ShardMap":
-        if payload.get("format") != SHARDMAP_FORMAT:
+        """Parse a v2 map; v1 loads as single-replica shards."""
+        if payload.get("format") not in (SHARDMAP_FORMAT, SHARDMAP_FORMAT_V1):
             raise ShardMapError(
                 f"unknown shard map format {payload.get('format')!r}"
             )
@@ -231,6 +410,22 @@ class ShardMap:
                 entry["id"],
                 entry["address"],
                 tuple((int(lo), int(hi)) for lo, hi in entry["ranges"]),
+                tuple(
+                    ReplicaInfo(r["id"], r["address"])
+                    for r in entry.get("replicas", ())
+                ),
             )
             for entry in payload["shards"]
         ])
+
+
+def _replica_tuple(shard_id: str, spec) -> tuple[ReplicaInfo, ...]:
+    """Normalise an address spec into a replica tuple (primary first)."""
+    if isinstance(spec, str):
+        return (ReplicaInfo(shard_id, spec),)
+    replicas = tuple(
+        ReplicaInfo(replica_id, address) for replica_id, address in spec
+    )
+    if not replicas:
+        raise ShardMapError(f"shard {shard_id!r} needs at least one replica")
+    return replicas

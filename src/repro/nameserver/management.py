@@ -55,7 +55,7 @@ class ManagementService:
     def status(self) -> dict:
         """A one-call health summary."""
         db = self.server.db
-        return {
+        status = {
             "replica_id": self.server.replica_id,
             "version": db.version,
             "names": self.server.count(),
@@ -64,6 +64,10 @@ class ManagementService:
             "clock": db.clock.now(),
             "health": db.health,
         }
+        peer_status = getattr(self.server, "peer_status", None)
+        if peer_status is not None:
+            status["peers"] = peer_status()
+        return status
 
     def health(self) -> dict:
         """The storage health state machine: state, cause, pending retry.

@@ -57,6 +57,14 @@ class Replica(NameServer):
     ) -> None:
         super().__init__(fs, replica_id=replica_id, **db_options)
         self.peers: list[object] = []
+        self._peer_ids: list[str] = []
+        #: per-peer circuit state maintained by :meth:`propagate` — pure
+        #: observability (propagation stays best-effort and always
+        #: attempts every peer; anti-entropy heals whatever it misses),
+        #: surfaced through the management ``status()`` so ``top
+        #: --cluster`` can show a failing peer link at a glance.
+        self.peer_breakers: dict[str, CircuitBreaker] = {}
+        self.peer_errors: dict[str, str | None] = {}
         # Registered eagerly on the database's registry so a node's
         # Prometheus export shows the replication layer from the start.
         registry = self.db.registry
@@ -79,7 +87,27 @@ class Replica(NameServer):
 
     def add_peer(self, peer: object) -> None:
         """Register a peer (NameServer, Replica or RemoteNameServer)."""
+        peer_id = str(
+            getattr(peer, "replica_id", f"peer{len(self.peers)}")
+        )
         self.peers.append(peer)
+        self._peer_ids.append(peer_id)
+        self.peer_breakers.setdefault(
+            peer_id, CircuitBreaker(self.db.clock)
+        )
+        self.peer_errors.setdefault(peer_id, None)
+
+    def peer_status(self) -> dict[str, dict[str, object]]:
+        """Per-peer circuit state and last propagation error."""
+        return {
+            peer_id: {
+                "state": breaker.state,
+                "consecutive_failures": breaker.consecutive_failures,
+                "times_opened": breaker.times_opened,
+                "last_error": self.peer_errors.get(peer_id),
+            }
+            for peer_id, breaker in self.peer_breakers.items()
+        }
 
     # -- propagation -----------------------------------------------------------
 
@@ -90,7 +118,9 @@ class Replica(NameServer):
         simply misses this round and is healed later by anti-entropy.
         """
         delivered = 0
-        for peer in self.peers:
+        for peer_id, peer in zip(self._peer_ids, self.peers):
+            breaker = self.peer_breakers[peer_id]
+            breaker.allow()  # advance open -> half-open once timed out
             try:
                 their_vector = peer.summary()
                 missing = self.updates_since(their_vector)
@@ -98,8 +128,12 @@ class Replica(NameServer):
                     peer.apply_remote(missing)
                     delivered += len(missing)
                     self._records_propagated.inc(len(missing))
-            except Exception:
+                breaker.record_success()
+                self.peer_errors[peer_id] = None
+            except Exception as exc:
                 self._propagation_failures.inc()
+                breaker.record_failure()
+                self.peer_errors[peer_id] = repr(exc)
         return delivered
 
     # -- anti-entropy -------------------------------------------------------------

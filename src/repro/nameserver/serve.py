@@ -327,10 +327,32 @@ class Node:
                 f"pointing at the coordinator's published map"
             )
         assert isinstance(shard_map, ShardMap)
+        # A replicated shard propagates each acked update to its peers
+        # synchronously: one node loss then cannot lose an acked write
+        # (the ack waited for the push whenever a follower was up).
         self.shard = ShardService(
-            replica, self.options.shard_id, shard_map
+            replica,
+            self.options.shard_id,
+            shard_map,
+            replica_id=self.options.replica_id,
+            eager_propagate=(
+                self._eager_propagate if self.options.peers else False
+            ),
         )
         self.rpc.export(SHARD_INTERFACE, self.shard)
+
+    def _eager_propagate(self) -> None:
+        """The shard's post-ack push: reconnect stragglers, then gossip.
+
+        Peers that were down when this node booted (whole-cluster cold
+        starts spawn every replica at once) would otherwise stay
+        unconnected until the anti-entropy loop's next tick — far too
+        late for the "acked update exists on two nodes" property.
+        """
+        for address in list(self.unreachable_peers):
+            if self._try_connect(address):
+                self.unreachable_peers.remove(address)
+        self.replica.propagate()
 
     def _rewire(self, replica: Replica, peers: list[object]) -> None:
         """Point the node's moving parts at a freshly opened replica."""

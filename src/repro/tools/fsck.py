@@ -58,7 +58,7 @@ from repro.tools.meter import scan_summary, timed_pass
 
 _KNOWN = re.compile(
     r"^(checkpoint\d+|logfile\d+|archive\d+|version|newversion"
-    r"|manifest|recovery\.json|quarantine\..+)$"
+    r"|manifest|recovery\.json|blackbox\.json|quarantine\..+)$"
 )
 
 #: the replica recoverer's fsynced resume point (see nameserver.recover)

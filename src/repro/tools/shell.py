@@ -177,11 +177,20 @@ class Shell:
     # -- cluster mode --------------------------------------------------------
 
     def do_shards(self, args: list[str]) -> None:
-        """``shards``: the coordinator's shard map, one line per shard."""
+        """``shards``: the shard map plus one line per replica.
+
+        Each replica row shows its role (primary/follower), reachability
+        / storage health, and its peer-link circuit breakers — the
+        at-a-glance view of a failover in progress.
+        """
         if self.coordinator is None:
             self._print("not connected to a cluster (use --cluster)")
             return
         shard_map = self.coordinator.shard_map()
+        try:
+            health = self.coordinator.health()["shards"]
+        except Exception:  # noqa: BLE001 - map still prints without probes
+            health = {}
         self._print(
             f"epoch {shard_map.epoch}, {len(shard_map.shards)} shards"
         )
@@ -190,6 +199,27 @@ class Shell:
                 f"[{lo:#010x},{hi:#010x})" for lo, hi in shard.ranges
             )
             self._print(f"  {shard.shard_id:<8} {shard.address:<22} {ranges}")
+            probes = (health.get(shard.shard_id) or {}).get("replicas") or {}
+            for replica in shard.replica_set:
+                probe = probes.get(replica.replica_id) or {}
+                if probe:
+                    state = (
+                        str(probe.get("health", "?"))
+                        if probe.get("reachable")
+                        else "DOWN"
+                    )
+                else:
+                    state = "?"
+                breakers = ",".join(
+                    f"{pid}={info.get('state', '?')}"
+                    for pid, info in sorted((probe.get("peers") or {}).items())
+                )
+                self._print(
+                    f"    {replica.replica_id:<12} "
+                    f"{shard.role_of(replica.replica_id):<10} "
+                    f"{state:<18} {replica.address:<22} "
+                    f"breakers {breakers or '-'}"
+                )
 
     def _each_shard(self, target: str):
         """Yield ``(shard_id, management)`` for one named shard or all.

@@ -180,6 +180,31 @@ def render_cluster(
         row("ranges", lambda s, st: str(len(st.get("ranges") or [])))
     )
     lines.append(row("address", lambda s, st: st.get("address", "-")))
+
+    replica_lines = []
+    for sid, status in shards:
+        for rid, rep in sorted((status.get("replicas") or {}).items()):
+            state = (
+                str(rep.get("health", "?"))
+                if rep.get("reachable")
+                else "DOWN"
+            )
+            peers = rep.get("peers") or {}
+            breakers = ",".join(
+                f"{pid}={info.get('state', '?')}"
+                for pid, info in sorted(peers.items())
+            )
+            replica_lines.append(
+                f"  {sid:<10} {rid:<14} {rep.get('role', '?'):<10} "
+                f"{state:<18} breakers {breakers or '-'}"
+            )
+    if replica_lines:
+        lines.append("")
+        lines.append(
+            f"  {'SHARD':<10} {'REPLICA':<14} {'ROLE':<10} "
+            f"{'STATE':<18} PEER LINKS"
+        )
+        lines.extend(replica_lines)
     lines.append("")
     return "\n".join(lines)
 

@@ -11,10 +11,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import Coordinator, RemoteShard, ShardRouter, ShardService
+from repro.cluster import (
+    Coordinator,
+    MapStore,
+    QuorumMapStore,
+    RemoteShard,
+    ShardRouter,
+    ShardService,
+)
 from repro.cluster.shard import SHARD_INTERFACE
+from repro.nameserver.replication import Replica
 from repro.nameserver.server import NameServer
 from repro.rpc import LoopbackTransport, RpcServer
+from repro.rpc.errors import TransportError
 from repro.sim.clock import SimClock
 from repro.storage import SimFS
 
@@ -65,6 +74,121 @@ class LoopbackCluster:
         )
 
 
+class _NodeTransport:
+    """Loopback transport that honours the cluster's ``dead`` set."""
+
+    def __init__(self, cluster: "ReplicatedLoopbackCluster", node: str):
+        self.cluster = cluster
+        self.node = node
+
+    def call(self, request: bytes) -> bytes:
+        if self.node in self.cluster.dead:
+            raise TransportError(
+                f"node {self.node} is down", maybe_delivered=False
+            )
+        return self.cluster.rpcs[self.node].dispatch(request)
+
+    def close(self) -> None:
+        pass
+
+
+class _PeerLink:
+    """Replication peer resolved through the cluster per call, so a
+    killed peer raises instead of silently serving a stale object."""
+
+    def __init__(self, cluster: "ReplicatedLoopbackCluster", node: str):
+        self.cluster = cluster
+        self.replica_id = node
+
+    def _peer(self) -> Replica:
+        if self.replica_id in self.cluster.dead:
+            raise TransportError(
+                f"peer {self.replica_id} is down", maybe_delivered=False
+            )
+        return self.cluster.replicas[self.replica_id]
+
+    def summary(self):
+        return self._peer().summary()
+
+    def updates_since(self, vector):
+        return self._peer().updates_since(vector)
+
+    def apply_remote(self, records):
+        return self._peer().apply_remote(records)
+
+
+class ReplicatedLoopbackCluster:
+    """Two shards, two replicas each, over loopback RPC with a quorum
+    coordinator store and a ``dead`` set for fault injection."""
+
+    LAYOUT = {
+        "s0": [("s0", "sim:s0"), ("s0r1", "sim:s0r1")],
+        "s1": [("s1", "sim:s1"), ("s1r1", "sim:s1r1")],
+    }
+
+    def __init__(self, layout: dict | None = None) -> None:
+        self.clock = SimClock()
+        self.dead: set[str] = set()
+        self.rpcs: dict[str, RpcServer] = {}
+        self.services: dict[str, ShardService] = {}
+        self.replicas: dict[str, Replica] = {}
+        self.stores = [
+            MapStore(SimFS(clock=self.clock)) for _ in range(3)
+        ]
+        self.coordinator = Coordinator(
+            QuorumMapStore(self.stores),
+            shard_client_factory=self.shard_client,
+        )
+        shard_map = self.coordinator.bootstrap(layout or self.LAYOUT)
+        for shard in shard_map.shards:
+            for replica in shard.replica_set:
+                self.add_service(
+                    shard.shard_id, replica.replica_id, shard_map
+                )
+        for shard in shard_map.shards:
+            ids = [r.replica_id for r in shard.replica_set]
+            for node in ids:
+                for other in ids:
+                    if other != node:
+                        self.replicas[node].add_peer(_PeerLink(self, other))
+
+    def add_service(
+        self, shard_id: str, replica_id: str, shard_map
+    ) -> ShardService:
+        replica = Replica(SimFS(clock=self.clock), replica_id)
+        service = ShardService(
+            replica,
+            shard_id,
+            shard_map,
+            forward_factory=self.forwarder,
+            replica_id=replica_id,
+            eager_propagate=True,
+        )
+        rpc = RpcServer()
+        rpc.export(SHARD_INTERFACE, service)
+        self.replicas[replica_id] = replica
+        self.services[replica_id] = service
+        self.rpcs[replica_id] = rpc
+        return service
+
+    # address convention: "sim:<replica_id>"
+    def transport(self, address: str) -> _NodeTransport:
+        return _NodeTransport(self, address.split(":")[1])
+
+    def shard_client(self, shard_info) -> RemoteShard:
+        return RemoteShard(self.transport(shard_info.address))
+
+    def forwarder(self, address: str) -> RemoteShard:
+        return RemoteShard(self.transport(address))
+
+    def router(self, **options) -> ShardRouter:
+        return ShardRouter(
+            self.coordinator.current_map(),
+            transport_factory=self.transport,
+            **options,
+        )
+
+
 @pytest.fixture
 def cluster2() -> LoopbackCluster:
     return LoopbackCluster(("s0", "s1"))
@@ -73,3 +197,8 @@ def cluster2() -> LoopbackCluster:
 @pytest.fixture
 def cluster1() -> LoopbackCluster:
     return LoopbackCluster(("s0",))
+
+
+@pytest.fixture
+def rcluster() -> ReplicatedLoopbackCluster:
+    return ReplicatedLoopbackCluster()

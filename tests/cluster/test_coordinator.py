@@ -11,6 +11,7 @@ from repro.cluster import (
     ClusterError,
     Coordinator,
     RemoteCoordinator,
+    ShardRouter,
 )
 from repro.cluster.coordinator import SHARDMAP_FILE, SHARDMAP_STAGING_FILE
 from repro.rpc import LoopbackTransport, RpcServer
@@ -52,8 +53,10 @@ class TestPersistence:
 
     def test_map_file_is_the_wire_schema(self, cluster2):
         raw = json.loads(cluster2.coordinator_fs.read(SHARDMAP_FILE))
-        assert raw["format"] == "repro-shardmap-v1"
+        assert raw["format"] == "repro-shardmap-v2"
         assert {entry["id"] for entry in raw["shards"]} == {"s0", "s1"}
+        for entry in raw["shards"]:
+            assert entry["replicas"][0]["address"] == entry["address"]
 
 
 class TestMapDistribution:
@@ -158,3 +161,204 @@ class TestRemoteCoordinator:
         assert status["donor"] == "s0" and status["target"] == "s1"
         remote.close()
         cluster2.coordinator.abandon_migration()
+
+
+def _kill_store(store) -> None:
+    """Make every operation on a MapStore raise (the host is gone)."""
+
+    def dead(*args, **kwargs):
+        raise OSError("store host is down")
+
+    store.load_map = dead
+    store.publish_map = dead
+    store.load_migration = dead
+    store.save_migration = dead
+    store.clear_migration = dead
+
+
+def _seed(cluster, count: int = 40) -> dict[str, int]:
+    router = cluster.router()
+    bound = {}
+    for i in range(count):
+        path = f"svc{i:03d}/addr"
+        router.bind(path, i)
+        bound[path] = i
+    router.close()
+    return bound
+
+
+class TestQuorumCoordinator:
+    def test_bootstrap_reaches_every_store(self, rcluster):
+        current = rcluster.coordinator.current_map()
+        for store in rcluster.stores:
+            assert store.load_map() == current
+
+    def test_publish_survives_one_store_loss(self, rcluster):
+        _kill_store(rcluster.stores[2])
+        grown = rcluster.coordinator.current_map().with_shard(
+            "s9", "sim:s0"
+        )
+        rcluster.coordinator.publish(grown)
+        assert rcluster.stores[0].load_map().epoch == grown.epoch
+        assert rcluster.stores[1].load_map().epoch == grown.epoch
+
+    def test_standby_takes_over_via_quorum_read(self, rcluster):
+        from repro.cluster import QuorumMapStore
+
+        grown = rcluster.coordinator.current_map().with_shard(
+            "s9", "sim:s0"
+        )
+        rcluster.coordinator.publish(grown)
+        _kill_store(rcluster.stores[0])
+        standby = Coordinator(
+            QuorumMapStore(rcluster.stores),
+            shard_client_factory=rcluster.shard_client,
+        )
+        assert standby.current_map().epoch == grown.epoch
+
+    def test_standby_heals_a_lagging_store(self, rcluster):
+        grown = rcluster.coordinator.current_map().with_shard(
+            "s9", "sim:s0"
+        )
+        # Store 2 misses the publish (down), then comes back.
+        saved = dict(vars(rcluster.stores[2]))
+        _kill_store(rcluster.stores[2])
+        rcluster.coordinator.publish(grown)
+        for name, value in saved.items():
+            setattr(rcluster.stores[2], name, value)
+        for name in (
+            "load_map", "publish_map", "load_migration",
+            "save_migration", "clear_migration",
+        ):
+            try:
+                delattr(rcluster.stores[2], name)
+            except AttributeError:
+                pass
+        from repro.cluster import QuorumMapStore
+
+        standby = Coordinator(
+            QuorumMapStore(rcluster.stores),
+            shard_client_factory=rcluster.shard_client,
+        )
+        assert standby.current_map().epoch == grown.epoch
+        assert rcluster.stores[2].load_map().epoch == grown.epoch
+
+
+class TestPromotion:
+    def test_promote_reorders_bumps_and_pushes(self, rcluster):
+        before = rcluster.coordinator.current_map()
+        rcluster.dead.add("s0")
+        payload = rcluster.coordinator.promote("s0")
+        after = rcluster.coordinator.current_map()
+        assert after.epoch == before.epoch + 1
+        assert after.shard("s0").primary.replica_id == "s0r1"
+        assert after.shard("s0").address == "sim:s0r1"
+        assert payload["epoch"] == after.epoch
+        # The survivors learned their new roles immediately.
+        assert rcluster.services["s0r1"].map.epoch == after.epoch
+        assert rcluster.services["s0r1"].role() == "primary"
+
+    def test_promote_with_no_reachable_follower_raises(self, rcluster):
+        rcluster.dead.add("s0")
+        rcluster.dead.add("s0r1")
+        with pytest.raises(ClusterError, match="no reachable follower"):
+            rcluster.coordinator.promote("s0")
+
+    def test_promoting_the_current_primary_is_rejected(self, rcluster):
+        with pytest.raises(ClusterError, match="already the primary"):
+            rcluster.coordinator.promote("s0", "s0")
+
+    def test_health_reports_per_replica_roles(self, rcluster):
+        health = rcluster.coordinator.health()
+        replicas = health["shards"]["s0"]["replicas"]
+        assert replicas["s0"]["role"] == "primary"
+        assert replicas["s0r1"]["role"] == "follower"
+        assert "store" in health
+
+
+class TestReplicatedMigration:
+    def test_split_copies_to_and_purges_donor_followers(self, rcluster):
+        bound = _seed(rcluster)
+        report = rcluster.coordinator.split("s0", "s1")
+        assert report.stages[-1] == "done"
+        # Every replica of each shard converged to its primary's state:
+        # the migration ships state (not history), so followers must
+        # have been copied to and purged directly.
+        assert (
+            rcluster.replicas["s1r1"].count()
+            == rcluster.replicas["s1"].count()
+        )
+        assert (
+            rcluster.replicas["s0r1"].count()
+            == rcluster.replicas["s0"].count()
+        )
+        assert rcluster.replicas["s0"].count() < len(bound)
+
+        # The moved range survives losing the target primary outright.
+        rcluster.dead.add("s1")
+        router = rcluster.router()
+        for path, value in bound.items():
+            assert router.lookup(path) == value
+        router.close()
+
+    def test_resume_after_promotion_recomputes_the_map(self, rcluster):
+        bound = _seed(rcluster)
+
+        class Crash(Exception):
+            pass
+
+        def crash_at(point):
+            if point == "saved_cutover":
+                raise Crash(point)
+
+        with pytest.raises(Crash):
+            rcluster.coordinator.split("s0", "s1", stage_observer=crash_at)
+
+        # The donor primary dies before the resume; the promotion bumps
+        # the live epoch past the persisted new_map's epoch, so a naive
+        # resume would publish a stale map and silently skip the cutover.
+        rcluster.dead.add("s0")
+        rcluster.coordinator.promote("s0")
+        promoted_epoch = rcluster.coordinator.current_map().epoch
+
+        report = rcluster.coordinator.resume_migration()
+        assert report.resumed
+        after = rcluster.coordinator.current_map()
+        assert after.epoch > promoted_epoch
+        assert after.shard("s1").owns(report.lo)
+        assert after.shard("s0").primary.replica_id == "s0r1"
+
+        router = rcluster.router()
+        for path, value in bound.items():
+            assert router.lookup(path) == value
+        assert router.count() == len(bound)
+        router.close()
+
+    def test_mid_split_resume_under_a_standby_coordinator(self, rcluster):
+        from repro.cluster import QuorumMapStore
+
+        bound = _seed(rcluster)
+
+        class Crash(Exception):
+            pass
+
+        def crash_at(point):
+            if point == "saved_flush":
+                raise Crash(point)
+
+        with pytest.raises(Crash):
+            rcluster.coordinator.split("s0", "s1", stage_observer=crash_at)
+        _kill_store(rcluster.stores[0])
+
+        standby = Coordinator(
+            QuorumMapStore(rcluster.stores),
+            shard_client_factory=rcluster.shard_client,
+        )
+        report = standby.resume_migration()
+        assert report is not None and report.resumed
+        router = ShardRouter(
+            standby.current_map(), transport_factory=rcluster.transport
+        )
+        for path, value in bound.items():
+            assert router.lookup(path) == value
+        router.close()

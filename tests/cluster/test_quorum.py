@@ -1,0 +1,166 @@
+"""Quorum-replicated coordinator state: majority acks, newest-copy reads.
+
+The single-writer protocol from :mod:`repro.cluster.quorum`: a publish
+is committed once a majority of stores hold it, a read collects a
+majority and keeps the newest copy, and a standby's ``heal()`` converges
+stores that missed writes while down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import MapStore, QuorumMapStore, QuorumLost, ShardMap
+from repro.cluster.quorum import as_store
+from repro.sim.clock import SimClock
+from repro.storage import SimFS
+
+
+class DownableStore(MapStore):
+    """A MapStore whose host can be 'down' (every op raises OSError)."""
+
+    def __init__(self, fs):
+        super().__init__(fs)
+        self.down = False
+
+    def _check(self):
+        if self.down:
+            raise OSError("store host is down")
+
+    def load_map(self):
+        self._check()
+        return super().load_map()
+
+    def publish_map(self, shard_map):
+        self._check()
+        super().publish_map(shard_map)
+
+    def load_migration(self):
+        self._check()
+        return super().load_migration()
+
+    def save_migration(self, state):
+        self._check()
+        super().save_migration(state)
+
+    def clear_migration(self):
+        self._check()
+        super().clear_migration()
+
+
+@pytest.fixture
+def stores():
+    clock = SimClock()
+    return [DownableStore(SimFS(clock=clock)) for _ in range(3)]
+
+
+def _map(epoch_bumps: int = 0) -> ShardMap:
+    shard_map = ShardMap.initial({"s0": "h:1"})
+    for _ in range(epoch_bumps):
+        shard_map = shard_map.with_shard(f"s{shard_map.epoch}", "h:9")
+    return shard_map
+
+
+class TestMapStore:
+    def test_publish_then_load_round_trips(self):
+        store = MapStore(SimFS(clock=SimClock()))
+        assert store.load_map() is None
+        store.publish_map(_map())
+        assert store.load_map() == _map()
+
+    def test_interrupted_publish_leaves_the_committed_map(self):
+        fs = SimFS(clock=SimClock())
+        store = MapStore(fs)
+        store.publish_map(_map())
+        # A later publish that died after staging but before the rename:
+        fs.write("shardmap.new", b"half-written garbage")
+        assert store.load_map() == _map()
+        assert not fs.exists("shardmap.new")
+
+    def test_migration_state_round_trips_and_clears(self):
+        store = MapStore(SimFS(clock=SimClock()))
+        assert store.load_migration() is None
+        store.save_migration({"stage": "copy", "donor": "s0"})
+        assert store.load_migration() == {"stage": "copy", "donor": "s0"}
+        store.clear_migration()
+        assert store.load_migration() is None
+
+    def test_as_store_wraps_a_raw_filesystem(self):
+        fs = SimFS(clock=SimClock())
+        store = as_store(fs)
+        assert isinstance(store, MapStore)
+        assert as_store(store) is store
+
+
+class TestQuorumWrites:
+    def test_publish_succeeds_with_one_store_down(self, stores):
+        stores[2].down = True
+        quorum = QuorumMapStore(stores)
+        quorum.publish_map(_map())
+        assert stores[0].load_map() == _map()
+        assert stores[1].load_map() == _map()
+
+    def test_publish_raises_quorum_lost_with_majority_down(self, stores):
+        stores[1].down = True
+        stores[2].down = True
+        quorum = QuorumMapStore(stores)
+        with pytest.raises(QuorumLost) as excinfo:
+            quorum.publish_map(_map())
+        assert excinfo.value.acked == 1
+        assert excinfo.value.needed == 2
+
+    def test_status_names_the_unreachable_stores(self, stores):
+        stores[0].down = True
+        quorum = QuorumMapStore(stores)
+        quorum.publish_map(_map())
+        status = quorum.status()
+        assert status["quorum"] == 2
+        assert status["errors"][0] is not None
+        assert status["errors"][1] is None
+
+
+class TestQuorumReads:
+    def test_read_returns_the_highest_epoch_copy(self, stores):
+        # store 2 missed the second publish (it was down at the time).
+        stores[0].publish_map(_map(1))
+        stores[1].publish_map(_map(1))
+        stores[2].publish_map(_map())
+        assert QuorumMapStore(stores).load_map().epoch == _map(1).epoch
+
+    def test_committed_write_intersects_any_later_read(self, stores):
+        quorum = QuorumMapStore(stores)
+        stores[2].down = True
+        quorum.publish_map(_map(1))  # acked by 0 and 1 only
+        stores[2].down = False
+        stores[0].down = True  # a *different* majority answers the read
+        assert QuorumMapStore(stores).load_map().epoch == _map(1).epoch
+
+    def test_migration_read_keeps_the_most_advanced_stage(self, stores):
+        stores[0].save_migration({"stage": "copy"})
+        stores[1].save_migration({"stage": "cutover"})
+        assert QuorumMapStore(stores).load_migration() == {"stage": "cutover"}
+
+
+class TestHeal:
+    def test_heal_converges_a_store_that_missed_writes(self, stores):
+        quorum = QuorumMapStore(stores)
+        stores[2].down = True
+        quorum.publish_map(_map(1))
+        quorum.save_migration({"stage": "mirror"})
+        stores[2].down = False
+        assert quorum.heal() == 3
+        assert stores[2].load_map().epoch == _map(1).epoch
+        assert stores[2].load_migration() == {"stage": "mirror"}
+
+    def test_heal_clears_a_resurrected_migration(self, stores):
+        quorum = QuorumMapStore(stores)
+        quorum.publish_map(_map())
+        stores[2].save_migration({"stage": "purge"})  # stale leftover
+        # The quorum's truth is "no migration" only if a majority agree;
+        # the most advanced copy wins, so the leftover *is* the truth
+        # here — a standby re-runs it to DONE (idempotent stages), then
+        # clears it everywhere.
+        assert quorum.load_migration() == {"stage": "purge"}
+        quorum.clear_migration()
+        assert quorum.heal() == 3
+        assert stores[2].load_migration() is None

@@ -11,7 +11,6 @@ from repro.cluster import (
     WrongShard,
 )
 from repro.nameserver.errors import NameNotFound
-from repro.rpc import LoopbackTransport
 
 
 class TestKeyedRouting:
@@ -134,3 +133,225 @@ class TestMapInstall:
         assert not router.install_map(old)
         assert router.map.epoch == grown.epoch
         router.close()
+
+
+def _component_for(shard_map, shard_id: str, leaf: str = "addr") -> str:
+    """A path whose first component hashes into ``shard_id``."""
+    for i in range(10_000):
+        name = f"svc{i:04d}"
+        if shard_map.owner_of(name).shard_id == shard_id:
+            return f"{name}/{leaf}"
+    raise AssertionError(f"no component hashes into {shard_id}")
+
+
+class TestReadFailover:
+    def test_read_fails_over_to_a_follower(self, rcluster):
+        router = rcluster.router()
+        path = _component_for(router.map, "s0")
+        router.bind(path, "v1")  # eager propagation puts it on s0r1 too
+        rcluster.dead.add("s0")
+        assert router.lookup(path) == "v1"
+        assert router.read_failovers == 1
+        assert router.last_read_lag == 0
+        router.close()
+
+    def test_staleness_bound_rejects_a_lagging_follower(self, rcluster):
+        router = rcluster.router(max_read_lag=0)
+        path = _component_for(router.map, "s0")
+        router.bind(path, "v1")
+        rcluster.dead.add("s0")
+        # The router has seen a fresher vector than the follower holds
+        # (another follower answered a read meanwhile); the only
+        # surviving follower is now over the staleness bound.
+        router._best_vector = {"s0": 99}
+        from repro.cluster import ShardUnavailable
+
+        with pytest.raises(ShardUnavailable, match="lags"):
+            router.lookup(path)
+        router.close()
+
+    def test_unbounded_read_serves_and_records_the_lag(self, rcluster):
+        router = rcluster.router()  # max_read_lag=None: serve anything
+        path = _component_for(router.map, "s0")
+        router.bind(path, "v1")
+        rcluster.dead.add("s0")
+        router._best_vector = {"s0": 99}
+        assert router.lookup(path) == "v1"
+        assert router.last_read_lag > 0
+        router.close()
+
+
+class TestWriteFailover:
+    def test_write_retries_after_promotion(self, rcluster):
+        router = rcluster.router()
+        path = _component_for(router.map, "s0")
+        router.bind(path, "v1")
+        old_epoch = router.map.epoch
+        rcluster.dead.add("s0")
+        # The operator (or supervisor) promotes the follower; the
+        # coordinator pushes the new map to the survivors, but this
+        # router still holds the stale one.
+        rcluster.coordinator.promote("s0")
+        router.bind(path, "v2")
+        assert router.write_retries == 1
+        assert router.map.epoch > old_epoch
+        assert router.map.shard("s0").primary.replica_id == "s0r1"
+        assert router.lookup(path) == "v2"
+        router.close()
+
+    def test_write_without_promotion_raises_typed_primary_failed(
+        self, rcluster
+    ):
+        from repro.cluster import PrimaryFailed
+
+        router = rcluster.router()
+        path = _component_for(router.map, "s0")
+        rcluster.dead.add("s0")
+        with pytest.raises(PrimaryFailed) as caught:
+            router.bind(path, "v1")
+        assert caught.value.shard_id == "s0"
+        router.close()
+
+    def test_maybe_delivered_write_is_not_retried(self, rcluster):
+        """At-most-once: a write that *may* have executed must surface."""
+        from repro.rpc.errors import CallMaybeExecuted, TransportError
+
+        router = rcluster.router()
+        path = _component_for(router.map, "s0")
+        rcluster.coordinator.promote("s0")  # a newer map is available
+
+        class HalfOpen:
+            def call(self, request):
+                raise TransportError("reset mid-call", maybe_delivered=True)
+
+            def close(self):
+                pass
+
+        router._transport_factory = lambda address: HalfOpen()
+        router._clients.clear()
+        with pytest.raises(CallMaybeExecuted):
+            router.bind(path, "v1")
+        assert router.write_retries == 0
+        router.close()
+
+
+class TestCacheEviction:
+    def test_epoch_bump_evicts_vanished_replica_connections(self, rcluster):
+        from repro.cluster.shardmap import ShardInfo, ShardMap
+
+        router = rcluster.router()
+        path = _component_for(router.map, "s0")
+        router.bind(path, "v1")
+        rcluster.dead.add("s0")
+        router.lookup(path)  # follower read opens a client to s0r1
+        assert "sim:s0r1" in router._clients
+
+        # An epoch bump that decommissions s0r1 entirely.
+        old = router.map
+        shards = tuple(
+            ShardInfo(
+                s.shard_id,
+                s.address,
+                s.ranges,
+                (s.primary,) if s.shard_id == "s0" else s.replica_set,
+            )
+            for s in old.shards
+        )
+        assert router.install_map(ShardMap(old.epoch + 1, shards))
+        assert "sim:s0r1" not in router._clients
+        assert "sim:s0" in router._clients  # survivors keep their client
+        router.close()
+
+
+class TestScatterFailover:
+    def test_scatter_serves_degraded_from_followers(self, rcluster):
+        router = rcluster.router()
+        for i in range(8):
+            router.bind(f"svc{i:04d}/addr", i)
+        rcluster.dead.add("s1")
+        assert router.count() == 8
+        assert router.last_scatter_degraded == {"s1": "s1r1"}
+        router.close()
+
+    def test_scatter_deadline_reports_typed_timeouts(self, cluster2):
+        import time
+
+        from repro.cluster import SHARD_INTERFACE
+
+        def stuck(*args, **kwargs):
+            time.sleep(0.5)
+            return 0
+
+        cluster2.services["s1"].count = stuck
+        # The RPC dispatch table pre-binds methods at export time.
+        cluster2.rpcs["s1"].export(SHARD_INTERFACE, cluster2.services["s1"])
+        router = cluster2.router(scatter_deadline=0.05)
+        with pytest.raises(ClusterPartialFailure) as caught:
+            router.count()
+        assert caught.value.timeouts == ["s1"]
+        assert "ScatterTimeout" in caught.value.failures["s1"]
+        router.close()
+
+
+class TestConcurrentRedirects:
+    def test_racing_clients_converge_without_duplicate_execution(
+        self, cluster2
+    ):
+        """S3: two clients race binds across an epoch bump.
+
+        Both hold the pre-split map; after the split both must follow the
+        ``WrongShard`` redirect to the new owner, and an exclusive bind
+        must execute exactly once across the pair — the redirect retry
+        must not double-execute anyone's write.
+        """
+        import threading
+
+        from repro.nameserver.errors import NameExists
+
+        seed_router = cluster2.router()
+        for i in range(16):
+            seed_router.bind(f"svc{i:04d}/addr", i)
+        seed_router.close()
+
+        stale_a = cluster2.router()
+        stale_b = cluster2.router()
+        report = cluster2.coordinator.split("s0", "s1")
+        from repro.core.sharding import default_hash
+
+        moved = next(
+            f"svc{i:04d}"
+            for i in range(10_000)
+            if report.lo <= default_hash(f"svc{i:04d}") < report.hi
+        )
+
+        outcomes: dict[str, object] = {}
+        barrier = threading.Barrier(2)
+
+        def race(name: str, router) -> None:
+            barrier.wait()
+            try:
+                router.bind(f"{moved}/winner", name, exclusive=True)
+                outcomes[name] = "bound"
+            except NameExists:
+                outcomes[name] = "exists"
+
+        threads = [
+            threading.Thread(target=race, args=("a", stale_a)),
+            threading.Thread(target=race, args=("b", stale_b)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert sorted(outcomes.values()) == ["bound", "exists"]
+        new_epoch = cluster2.coordinator.current_map().epoch
+        assert stale_a.map.epoch == new_epoch
+        assert stale_b.map.epoch == new_epoch
+        # The winner's value is the one bound value — executed once.
+        check = cluster2.router()
+        winner = [k for k, v in outcomes.items() if v == "bound"][0]
+        assert check.lookup(f"{moved}/winner") == winner
+        check.close()
+        stale_a.close()
+        stale_b.close()

@@ -117,7 +117,88 @@ class TestWire:
 
     def test_wire_format_is_tagged(self):
         payload = ShardMap.initial({"s0": "h:1"}).to_wire()
-        assert payload["format"] == "repro-shardmap-v1"
+        assert payload["format"] == "repro-shardmap-v2"
         payload["format"] = "something-else"
         with pytest.raises(ShardMapError):
             ShardMap.from_wire(payload)
+
+    def test_v1_wire_payload_still_loads(self):
+        # Maps persisted before replica sets carry no "replicas" key.
+        payload = ShardMap.initial({"s0": "h:1"}).to_wire()
+        payload["format"] = "repro-shardmap-v1"
+        for entry in payload["shards"]:
+            entry.pop("replicas", None)
+        loaded = ShardMap.from_wire(payload)
+        assert loaded == ShardMap.initial({"s0": "h:1"})
+        assert loaded.shard("s0").primary.address == "h:1"
+
+
+class TestReplicaSets:
+    MAP = {
+        "s0": [("s0", "h:1"), ("s0r1", "h:2"), ("s0r2", "h:3")],
+        "s1": "h:9",
+    }
+
+    def test_primary_is_the_head_of_the_replica_set(self):
+        shard_map = ShardMap.initial(self.MAP)
+        shard = shard_map.shard("s0")
+        assert shard.primary.replica_id == "s0"
+        assert [r.replica_id for r in shard.followers] == ["s0r1", "s0r2"]
+        assert shard.address == "h:1"  # advertised = primary's
+        assert shard.role_of("s0") == "primary"
+        assert shard.role_of("s0r2") == "follower"
+
+    def test_single_address_shard_is_its_own_replica_set(self):
+        shard = ShardMap.initial(self.MAP).shard("s1")
+        assert [r.replica_id for r in shard.replica_set] == ["s1"]
+        assert shard.primary.address == "h:9"
+
+    def test_with_primary_promotes_and_bumps_the_epoch(self):
+        shard_map = ShardMap.initial(self.MAP)
+        promoted = shard_map.with_primary("s0", "s0r1")
+        assert promoted.epoch == shard_map.epoch + 1
+        shard = promoted.shard("s0")
+        assert shard.primary.replica_id == "s0r1"
+        assert shard.address == "h:2"
+        # The old primary is demoted, not dropped.
+        assert [r.replica_id for r in shard.replica_set] == [
+            "s0r1", "s0", "s0r2"
+        ]
+        # The placement is untouched.
+        assert shard.ranges == shard_map.shard("s0").ranges
+
+    def test_promoting_the_primary_is_rejected(self):
+        with pytest.raises(ShardMapError):
+            ShardMap.initial(self.MAP).with_primary("s0", "s0")
+
+    def test_with_replica_rejoins_at_the_back(self):
+        shard_map = ShardMap.initial(self.MAP).with_primary("s0", "s0r1")
+        # The replaced old primary rejoins at its new endpoint.
+        rejoined = shard_map.with_replica("s0", "s0", "h:7")
+        shard = rejoined.shard("s0")
+        assert shard.replica_set[-1].replica_id == "s0"
+        assert shard.replica_set[-1].address == "h:7"
+        assert shard.primary.replica_id == "s0r1"
+
+    def test_readdressing_the_primary_is_rejected(self):
+        with pytest.raises(ShardMapError, match="promote"):
+            ShardMap.initial(self.MAP).with_replica("s0", "s0", "h:8")
+
+    def test_shard_of_replica_and_addresses(self):
+        shard_map = ShardMap.initial(self.MAP)
+        assert shard_map.shard_of_replica("s0r2").shard_id == "s0"
+        with pytest.raises(ShardMapError):
+            shard_map.shard_of_replica("nope")
+        assert shard_map.addresses() == {"h:1", "h:2", "h:3", "h:9"}
+
+    def test_split_preserves_replica_sets(self):
+        shard_map = ShardMap.initial(self.MAP)
+        moved = shard_map.split_range("s0")
+        after = shard_map.with_range_moved("s0", "s1", moved)
+        assert [r.replica_id for r in after.shard("s0").replica_set] == [
+            "s0", "s0r1", "s0r2"
+        ]
+
+    def test_replica_round_trips_on_the_wire(self):
+        shard_map = ShardMap.initial(self.MAP).with_primary("s0", "s0r2")
+        assert ShardMap.from_wire(shard_map.to_wire()) == shard_map
