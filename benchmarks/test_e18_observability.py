@@ -1,0 +1,117 @@
+"""E18 — observability overhead: what the obs plane costs the hot path.
+
+The cluster observability plane is pull-based by design — traces,
+metrics and flight events accumulate in per-node rings and cost the
+shards nothing until the coordinator polls.  What *does* ride the hot
+path is the inline instrumentation: the metrics counters (always on),
+the flight recorder (always on), and — when a node is started with
+tracing — span creation, the slow-op log's offer on every finished
+span, and a scraper draining the registry.
+
+This experiment measures that inline cost as a throughput ratio on a
+single in-process name server doing a bind+lookup mix, wall clock:
+
+* **off** — the baseline every node already pays: metrics registry and
+  flight recorder (both unconditional in the database), no tracer;
+* **on** — the full plane: a tracer sampling 1-in-8 (the documented
+  cluster setting), a slow-op log offered every span, and a registry
+  snapshot every ``SCRAPE_EVERY`` operations standing in for the
+  aggregator's periodic scrape.
+
+Passes are interleaved (off, on, off, on …) and the best round of each
+config is compared, so a background hiccup cannot charge one side
+only.  The acceptance bar is ≤5% overhead; wall-clock ratios on shared
+machines wobble, so the sentry band in ``results/regress.json`` is
+wide and the in-test assertion carries a small slack on top of the
+bar.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import once
+from repro.nameserver import NameServer
+from repro.obs.export import SlowOpLog
+from repro.obs.regress import metric
+from repro.obs.tracing import Tracer
+from repro.storage import SimFS
+
+OPS = 6000  # bind+lookup pairs per pass
+ROUNDS = 3  # best-of, interleaved
+SAMPLE_1_IN = 8  # the documented cluster trace-sampling setting
+SCRAPE_EVERY = 500  # ops between simulated aggregator scrapes
+OVERHEAD_BAR_PCT = 5.0
+SLACK_PCT = 5.0  # shared-machine wobble allowance on the bar
+
+
+def _pass(traced: bool) -> float:
+    """One measured pass; returns operations per second."""
+    tracer = None
+    if traced:
+        tracer = Tracer(
+            sample_1_in=SAMPLE_1_IN,
+            slow_log=SlowOpLog(threshold_seconds=0.05),
+        )
+    server = NameServer(SimFS(), tracer=tracer)
+    scrapes = 0
+    started = time.perf_counter()
+    for i in range(OPS):
+        path = f"svc{i:05d}/addr"
+        server.bind(path, i)
+        assert server.lookup(path) == i
+        if traced and i % SCRAPE_EVERY == SCRAPE_EVERY - 1:
+            server.db.registry.snapshot()
+            scrapes += 1
+    elapsed = time.perf_counter() - started
+    if traced:
+        assert scrapes == OPS // SCRAPE_EVERY
+        assert tracer.spans_started > 0
+    return (2 * OPS) / elapsed
+
+
+def _measure() -> dict:
+    best = {"off": 0.0, "on": 0.0}
+    for _ in range(ROUNDS):
+        best["off"] = max(best["off"], _pass(traced=False))
+        best["on"] = max(best["on"], _pass(traced=True))
+    overhead_pct = (best["off"] - best["on"]) / best["off"] * 100.0
+    return {
+        "ops_per_s_off": best["off"],
+        "ops_per_s_on": best["on"],
+        "overhead_pct": overhead_pct,
+    }
+
+
+def test_e18_observability_overhead(benchmark, report):
+    results: dict = {}
+
+    def run():
+        results.clear()
+        results.update(_measure())
+        return results
+
+    once(benchmark, run)
+
+    assert results["overhead_pct"] <= OVERHEAD_BAR_PCT + SLACK_PCT, results
+
+    report(
+        "E18 observability overhead (bind+lookup mix, wall clock)",
+        [
+            f"plane off                 {results['ops_per_s_off']:10.0f} ops/s "
+            f"(registry + flight only)",
+            f"plane on                  {results['ops_per_s_on']:10.0f} ops/s "
+            f"(tracer 1-in-{SAMPLE_1_IN} + slow log + scrapes)",
+            f"overhead                  {results['overhead_pct']:10.1f} % "
+            f"(bar: {OVERHEAD_BAR_PCT:.0f}%)",
+        ],
+        data=results,
+        metrics={
+            "e18_obs_overhead_pct": metric(
+                results["overhead_pct"], "%", direction="lower"
+            ),
+            "e18_ops_per_s_obs_on": metric(
+                results["ops_per_s_on"], "ops/s", direction="higher"
+            ),
+        },
+    )

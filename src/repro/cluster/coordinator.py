@@ -40,6 +40,9 @@ from repro.cluster.quorum import (
 )
 from repro.cluster.shard import RemoteShard
 from repro.cluster.shardmap import ShardMap
+from repro.obs.aggregate import MetricsAggregator
+from repro.obs.collect import ClusterTraceCollector
+from repro.obs.slo import SloMonitor
 from repro.rpc import DictOf, Int, Interface, Pickled, Str
 
 __all__ = [
@@ -93,6 +96,8 @@ class Coordinator:
         management_factory: Callable[[str], object] | None = None,
         flight=None,
         stage_retries: int = 2,
+        slo_targets=None,
+        trace_sample: int = 1,
     ) -> None:
         self.store = as_store(store)
         # Back-compat: single-store callers historically reached the
@@ -102,6 +107,18 @@ class Coordinator:
         self.management_factory = management_factory or _tcp_management
         self.flight = flight
         self.stage_retries = stage_retries
+        # The cluster-wide observability plane: every piece pulls over
+        # the replicas' management RPC, so attaching it costs the shards
+        # nothing until the coordinator actually polls.
+        self.trace_collector = ClusterTraceCollector(
+            self._trace_targets,
+            self.management_factory,
+            sample_1_in=trace_sample,
+        )
+        self.aggregator = MetricsAggregator(
+            self._obs_targets, self.management_factory
+        )
+        self.slo = SloMonitor(targets=slo_targets, flight=flight)
         self._lock = threading.Lock()
         heal = getattr(self.store, "heal", None)
         if heal is not None:
@@ -253,6 +270,78 @@ class Coordinator:
                 status.get("entries_since_checkpoint", 0)
             )
         return totals
+
+    # -- the observability plane ------------------------------------------------
+
+    def _obs_targets(self) -> list[tuple[str, str, str]]:
+        """``(replica_id, shard_id, address)`` for every replica in the map.
+
+        Empty before bootstrap — the obs plane simply has nothing to
+        scrape yet, rather than erroring.
+        """
+        if self.map is None:
+            return []
+        targets = []
+        for shard in self.map.shards:
+            for replica in shard.replica_set:
+                targets.append(
+                    (replica.replica_id, shard.shard_id, replica.address)
+                )
+        return targets
+
+    def _trace_targets(self) -> list[tuple[str, str]]:
+        return [(rid, addr) for rid, _sid, addr in self._obs_targets()]
+
+    def cluster_metrics_snapshot(self) -> dict:
+        """One scrape sweep: per-replica snapshots plus every rollup.
+
+        ``per_shard`` and ``cluster`` are derived from the *same*
+        per-replica scrapes, so their series always equal the sum of the
+        per-node data in this answer — the invariant the obs-smoke CI
+        asserts.
+        """
+        return self.aggregator.scrape()
+
+    def cluster_metrics_text(self) -> str:
+        """Cluster + per-shard rollups in Prometheus text format."""
+        return self.aggregator.prometheus_text()
+
+    def cluster_trace_ids(self) -> list:
+        """Poll every replica's span ring; the trace ids now assembled."""
+        self.trace_collector.poll()
+        return self.trace_collector.trace_ids()
+
+    def cluster_trace(self, trace_id: str) -> dict:
+        """Poll, then assemble one cross-node trace tree + critical path.
+
+        An empty ``trace_id`` means "the newest trace" — handy from the
+        shell right after an operation.
+        """
+        self.trace_collector.poll()
+        wanted = trace_id
+        if not wanted:
+            ids = self.trace_collector.trace_ids()
+            if not ids:
+                return {}
+            wanted = ids[-1]
+        return self.trace_collector.assemble(wanted)
+
+    def cluster_slo(self) -> dict:
+        """Scrape, feed the SLO monitor one sample, return its status.
+
+        Each call is one monitoring tick: burn rates sharpen as the
+        window fills.  Alert transitions land in the coordinator's
+        flight recorder (``slo_burn_alert`` / ``slo_burn_clear``).
+        """
+        scrape = self.aggregator.scrape()
+        self.slo.observe(scrape["per_replica"])
+        return self.slo.status()
+
+    def flight_events(self) -> list:
+        """The coordinator's own flight ring (promotions, epochs, SLOs)."""
+        if self.flight is None:
+            return []
+        return self.flight.snapshot()
 
     def migration_status(self) -> dict:
         """The persisted state of an in-flight migration (or idle)."""
@@ -424,6 +513,14 @@ COORDINATOR_INTERFACE.method("shards", returns=DictOf(Str, Str))
 COORDINATOR_INTERFACE.method("push_map", returns=DictOf(Str, Int))
 COORDINATOR_INTERFACE.method("health", returns=Pickled())
 COORDINATOR_INTERFACE.method("cluster_metrics", returns=Pickled())
+COORDINATOR_INTERFACE.method("cluster_metrics_snapshot", returns=Pickled())
+COORDINATOR_INTERFACE.method("cluster_metrics_text", returns=Str)
+COORDINATOR_INTERFACE.method("cluster_trace_ids", returns=Pickled())
+COORDINATOR_INTERFACE.method(
+    "cluster_trace", params=[("trace_id", Str)], returns=Pickled()
+)
+COORDINATOR_INTERFACE.method("cluster_slo", returns=Pickled())
+COORDINATOR_INTERFACE.method("flight_events", returns=Pickled())
 COORDINATOR_INTERFACE.method("migration_status", returns=Pickled())
 COORDINATOR_INTERFACE.method(
     "promote",
@@ -447,6 +544,12 @@ class RemoteCoordinator:
         self.push_map = proxy.push_map
         self.health = proxy.health
         self.cluster_metrics = proxy.cluster_metrics
+        self.cluster_metrics_snapshot = proxy.cluster_metrics_snapshot
+        self.cluster_metrics_text = proxy.cluster_metrics_text
+        self.cluster_trace_ids = proxy.cluster_trace_ids
+        self.cluster_trace = proxy.cluster_trace
+        self.cluster_slo = proxy.cluster_slo
+        self.flight_events = proxy.flight_events
         self.migration_status = proxy.migration_status
         self.promote = proxy.promote
 

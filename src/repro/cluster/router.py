@@ -43,6 +43,14 @@ installed map, so an epoch bump cannot leak connections to
 decommissioned replicas.  Many routers (one per application process) can
 coexist; the coordinator's published map is the single source of truth
 they all converge toward.
+
+Hand the router a ``tracer`` and every keyed operation runs under one
+``router.<op>`` span for its *whole* retry loop: redirect-driven
+reissues, follower-read failovers and learn-promoted-map write retries
+all record as children of the same trace (the RPC client parents on the
+thread's active span), annotated with ``redirect`` /
+``failover_retry`` / ``follower_read`` span events — so a post-failover
+trace shows one operation with its detour, not two unrelated traces.
 """
 
 from __future__ import annotations
@@ -63,6 +71,7 @@ from repro.cluster.errors import (
 from repro.cluster.shard import RemoteShard
 from repro.cluster.shardmap import ShardInfo, ShardMap
 from repro.nameserver.tree import parse_path
+from repro.obs.tracing import Tracer, maybe_span
 from repro.rpc.errors import CallMaybeExecuted, TransportError
 
 #: upper bound on WrongShard/NotPrimary-driven retries of one call (each
@@ -107,10 +116,14 @@ class ShardRouter:
         max_fanout: int = 8,
         max_read_lag: int | None = None,
         scatter_deadline: float | None = None,
+        tracer: Tracer | None = None,
         **client_options: object,
     ) -> None:
         self.map = shard_map
         self._transport_factory = transport_factory or _tcp_transport
+        #: when set, each keyed call's whole retry loop is one span —
+        #: redirects and failover retries stay inside the original trace
+        self.tracer = tracer
         self._client_options = dict(client_options)
         self._clients: dict[str, RemoteShard] = {}
         self._lock = threading.Lock()
@@ -232,46 +245,87 @@ class ShardRouter:
                 best = candidate
         return best is not None and self.install_map(best)
 
-    def _keyed(self, path, call: Callable, write: bool = False) -> object:
-        """Run ``call(client)`` against the owner, following redirects."""
+    def _keyed(
+        self, path, call: Callable, write: bool = False, op: str = "call"
+    ) -> object:
+        """Run ``call(client)`` against the owner, following redirects.
+
+        The whole retry loop lives under one ``router.<op>`` span
+        (entered, so every reissued RPC's client span is its child and
+        shares one trace id): a WrongShard/NotPrimary reissue records a
+        ``redirect`` event, a learn-promoted-map write retry a
+        ``failover_retry`` event, a follower-served read a
+        ``follower_read`` event — trace continuity across failover.
+        """
         parsed = parse_path(path)
         component = parsed[0]
-        for _attempt in range(MAX_REDIRECTS + 1):
-            shard = self.map.owner_of(component)
-            try:
-                return call(self._client(shard), parsed)
-            except WrongShard as redirect:
-                newer = ShardMap.from_wire(redirect.map)
-                if not self.install_map(newer):
-                    # Equal/older epoch: the shard is as confused as we
-                    # are; surface it rather than spinning.
-                    raise
-                self.redirects_followed += 1
-            except NotPrimary as redirect:
-                # A follower answered a write: adopt its (newer) map and
-                # retry against the promoted primary.
-                newer = ShardMap.from_wire(redirect.map)
-                if not self.install_map(newer):
-                    raise
-                self.redirects_followed += 1
-            except _READ_ERRORS as exc:
-                if not write:
-                    value, _served_by = self._follower_read(
-                        shard, call, parsed
+        with maybe_span(
+            self.tracer, f"router.{op}", key=str(component)
+        ) as span:
+            for _attempt in range(MAX_REDIRECTS + 1):
+                shard = self.map.owner_of(component)
+                try:
+                    return call(self._client(shard), parsed)
+                except WrongShard as redirect:
+                    newer = ShardMap.from_wire(redirect.map)
+                    if not self.install_map(newer):
+                        # Equal/older epoch: the shard is as confused as
+                        # we are; surface it rather than spinning.
+                        raise
+                    self.redirects_followed += 1
+                    span.event(
+                        "redirect",
+                        kind="wrong_shard",
+                        shard=shard.shard_id,
+                        epoch=newer.epoch,
                     )
-                    return value
-                if not _never_delivered(exc):
-                    # The write may have executed — at-most-once forbids
-                    # reissuing it anywhere.
-                    raise
-                if self._learn_newer_map(shard):
-                    # A promotion is visible: retry against it.
-                    self.write_retries += 1
-                    continue
-                raise PrimaryFailed(shard.shard_id, f"{exc}") from exc
-        raise ShardUnavailable(
-            shard.shard_id, f"still redirecting after {MAX_REDIRECTS} retries"
-        )
+                    span.set("redirected", True)
+                except NotPrimary as redirect:
+                    # A follower answered a write: adopt its (newer) map
+                    # and retry against the promoted primary.
+                    newer = ShardMap.from_wire(redirect.map)
+                    if not self.install_map(newer):
+                        raise
+                    self.redirects_followed += 1
+                    span.event(
+                        "redirect",
+                        kind="not_primary",
+                        shard=shard.shard_id,
+                        epoch=newer.epoch,
+                    )
+                    span.set("redirected", True)
+                except _READ_ERRORS as exc:
+                    if not write:
+                        value, served_by = self._follower_read(
+                            shard, call, parsed
+                        )
+                        span.event(
+                            "follower_read",
+                            shard=shard.shard_id,
+                            replica=served_by,
+                            lag=self.last_read_lag,
+                        )
+                        span.set("read_failover", served_by)
+                        return value
+                    if not _never_delivered(exc):
+                        # The write may have executed — at-most-once
+                        # forbids reissuing it anywhere.
+                        raise
+                    if self._learn_newer_map(shard):
+                        # A promotion is visible: retry against it.
+                        self.write_retries += 1
+                        span.event(
+                            "failover_retry",
+                            shard=shard.shard_id,
+                            epoch=self.map.epoch,
+                        )
+                        span.set("failover_retry", True)
+                        continue
+                    raise PrimaryFailed(shard.shard_id, f"{exc}") from exc
+            raise ShardUnavailable(
+                shard.shard_id,
+                f"still redirecting after {MAX_REDIRECTS} retries",
+            )
 
     def _scatter_one(self, shard: ShardInfo, call: Callable):
         """One shard's scatter job: primary first, then followers.
@@ -349,32 +403,47 @@ class ShardRouter:
     # -- keyed enquiries ------------------------------------------------------
 
     def lookup(self, path):
-        return self._keyed(path, lambda c, p: c.lookup(p))
+        return self._keyed(path, lambda c, p: c.lookup(p), op="lookup")
 
     def exists(self, path) -> bool:
-        return self._keyed(path, lambda c, p: c.exists(p))
+        return self._keyed(path, lambda c, p: c.exists(p), op="exists")
 
     # -- keyed updates --------------------------------------------------------
 
     def bind(self, path, value, exclusive: bool = False) -> None:
-        self._keyed(path, lambda c, p: c.bind(p, value, exclusive), write=True)
+        self._keyed(
+            path,
+            lambda c, p: c.bind(p, value, exclusive),
+            write=True,
+            op="bind",
+        )
 
     def unbind(self, path) -> None:
-        self._keyed(path, lambda c, p: c.unbind(p), write=True)
+        self._keyed(path, lambda c, p: c.unbind(p), write=True, op="unbind")
 
     def unbind_subtree(self, path) -> None:
-        self._keyed(path, lambda c, p: c.unbind_subtree(p), write=True)
+        self._keyed(
+            path,
+            lambda c, p: c.unbind_subtree(p),
+            write=True,
+            op="unbind_subtree",
+        )
 
     def write_subtree(self, path, entries) -> None:
         self._keyed(
-            path, lambda c, p: c.write_subtree(p, entries), write=True
+            path,
+            lambda c, p: c.write_subtree(p, entries),
+            write=True,
+            op="write_subtree",
         )
 
     # -- scatter-gather -------------------------------------------------------
 
     def list_dir(self, path=(), partial: bool = False) -> list[str]:
         if path:
-            return self._keyed(path, lambda c, p: c.list_dir(p))
+            return self._keyed(
+                path, lambda c, p: c.list_dir(p), op="list_dir"
+            )
         per_shard = self._scatter(lambda c: c.list_dir(()), partial)
         merged: set[str] = set()
         for names in per_shard.values():
@@ -383,7 +452,9 @@ class ShardRouter:
 
     def read_subtree(self, path=(), partial: bool = False) -> list:
         if path:
-            return self._keyed(path, lambda c, p: c.read_subtree(p))
+            return self._keyed(
+                path, lambda c, p: c.read_subtree(p), op="read_subtree"
+            )
         entries: list = []
         for result in self._scatter(
             lambda c: c.read_subtree(()), partial
@@ -401,7 +472,7 @@ class ShardRouter:
         parsed = parse_pattern(pattern)
         head = parsed[0]
         if not any(mark in head for mark in "*?[") and head != "**":
-            return self._keyed((head,), lambda c, p: c.glob(parsed))
+            return self._keyed((head,), lambda c, p: c.glob(parsed), op="glob")
         unique: dict[tuple, object] = {}
         for result in self._scatter(
             lambda c: c.glob(parsed), partial

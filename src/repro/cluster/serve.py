@@ -25,7 +25,9 @@ and benchmarks use; ``main`` adds argument parsing.
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import shutil
 import signal
 import socket
 import subprocess
@@ -39,6 +41,8 @@ from repro.cluster.coordinator import (
     Coordinator,
 )
 from repro.cluster.router import ShardRouter
+from repro.obs.aggregate import ClusterMetricsExporter
+from repro.obs.flight import BLACKBOX_FILE, FLIGHT_FORMAT, FlightRecorder
 from repro.rpc import EventLoopServer, RpcServer
 from repro.storage.localfs import LocalFS
 
@@ -170,6 +174,8 @@ class ClusterSupervisor:
         port: int = 0,
         shard_args: list[str] | None = None,
         replicas: int = 1,
+        metrics_port: int | None = None,
+        trace_sample: int = 1,
     ) -> None:
         if replicas < 1:
             raise ValueError("a shard needs at least one replica")
@@ -177,13 +183,26 @@ class ClusterSupervisor:
         self.host = host
         self.replicas = replicas
         self.shard_args = list(shard_args or [])
+        if trace_sample > 1 and "--trace-sample" not in " ".join(
+            self.shard_args
+        ):
+            self.shard_args += ["--trace-sample", str(trace_sample)]
         os.makedirs(os.path.join(base_dir, "logs"), exist_ok=True)
         coordinator_dir = os.path.join(base_dir, "coordinator")
         os.makedirs(coordinator_dir, exist_ok=True)
-        self.coordinator = Coordinator(LocalFS(coordinator_dir))
+        #: the supervisor/coordinator's own black box: promotions, map
+        #: epochs, replica kills/losses, SLO burn alerts.
+        self.flight = FlightRecorder()
+        self.coordinator = Coordinator(
+            LocalFS(coordinator_dir),
+            flight=self.flight,
+            trace_sample=trace_sample,
+        )
         self.map_path = os.path.join(coordinator_dir, SHARDMAP_FILE)
         #: {replica_id: its process} — one entry per spawned replica
         self.processes: dict[str, ShardProcess] = {}
+        #: replicas whose unexpected death was already recorded/salvaged
+        self._lost_reported: set[str] = set()
 
         if self.coordinator.map is None:
             addresses = {
@@ -204,6 +223,17 @@ class ClusterSupervisor:
         self.rpc = RpcServer()
         self.rpc.export(COORDINATOR_INTERFACE, self.coordinator)
         self.listener = EventLoopServer(self.rpc, host=host, port=port).start()
+
+        #: optional HTTP endpoint serving ``/cluster/metrics`` rollups
+        self.metrics_exporter: ClusterMetricsExporter | None = None
+        if metrics_port is not None:
+            self.metrics_exporter = ClusterMetricsExporter(
+                self.coordinator.aggregator,
+                host=host,
+                port=metrics_port,
+                slo_status=self.coordinator.cluster_slo,
+            )
+            self.metrics_exporter.start()
 
     # -- assembly ----------------------------------------------------------------
 
@@ -282,8 +312,79 @@ class ClusterSupervisor:
         return shard_id
 
     def kill_replica(self, replica_id: str) -> None:
-        """SIGKILL one replica's process (the chaos/benchmark path)."""
-        self.processes[replica_id].kill()
+        """SIGKILL one replica's process (the chaos/benchmark path).
+
+        SIGKILL means the victim's own SIGTERM black-box dump never
+        runs, so the supervisor takes the dump *for* it first: it pulls
+        the flight ring over the management RPC and writes the standard
+        black-box file into the replica's data directory before the
+        kill.  Best-effort — a replica too wedged to answer still dies,
+        just without a box — and always recorded in the supervisor's own
+        flight ring.
+        """
+        proc = self.processes[replica_id]
+        salvaged = self._dump_blackbox(proc, cause="supervisor_kill")
+        proc.kill()
+        self.flight.record(
+            "replica_killed", replica=replica_id, blackbox=salvaged
+        )
+
+    def _dump_blackbox(self, proc: ShardProcess, cause: str) -> bool:
+        """Write ``data/<rid>/blackbox.json`` from the live flight ring."""
+        if not proc.alive():
+            return os.path.exists(os.path.join(proc.directory, BLACKBOX_FILE))
+        try:
+            mgmt = self.coordinator.management_factory(proc.address)
+            try:
+                events = mgmt.flight_events()
+            finally:
+                close = getattr(mgmt, "close", None)
+                if close is not None:
+                    close()
+        except Exception:
+            return False
+        box = {
+            "format": FLIGHT_FORMAT,
+            "dumped_at": time.time(),
+            "recorded": len(events),
+            "dropped": 0,
+            "events": events,
+            "node": proc.replica_id,
+            "cause": cause,
+        }
+        path = os.path.join(proc.directory, BLACKBOX_FILE)
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(box, handle, sort_keys=True)
+        except OSError:
+            return False
+        return True
+
+    def _salvage_blackbox(self, replica_id: str) -> str | None:
+        """Copy a dead replica's on-disk box into ``postmortem/``.
+
+        A replica that died unexpectedly (crash, OOM kill) may still
+        have dumped a box on its way down, or the supervisor may have
+        written one at kill time; either way the evidence is preserved
+        under a name that survives the replica's directory being wiped
+        by repair.
+        """
+        source = os.path.join(
+            self.base_dir, "data", replica_id, BLACKBOX_FILE
+        )
+        if not os.path.exists(source):
+            return None
+        salvage_dir = os.path.join(self.base_dir, "postmortem")
+        os.makedirs(salvage_dir, exist_ok=True)
+        epoch = self.coordinator.current_map().epoch
+        target = os.path.join(
+            salvage_dir, f"{replica_id}-epoch{epoch}-{BLACKBOX_FILE}"
+        )
+        try:
+            shutil.copyfile(source, target)
+        except OSError:
+            return None
+        return target
 
     def failover_check(self) -> list[str]:
         """Promote a follower on every shard whose primary process died.
@@ -301,6 +402,15 @@ class ClusterSupervisor:
             proc = self.processes.get(shard.primary.replica_id)
             if proc is None or proc.alive():
                 continue
+            if shard.primary.replica_id not in self._lost_reported:
+                self._lost_reported.add(shard.primary.replica_id)
+                salvaged = self._salvage_blackbox(shard.primary.replica_id)
+                self.flight.record(
+                    "replica_lost",
+                    replica=shard.primary.replica_id,
+                    shard=shard.shard_id,
+                    blackbox=salvaged or "",
+                )
             if not shard.followers:
                 continue
             try:
@@ -321,6 +431,7 @@ class ClusterSupervisor:
         old = self.processes.get(replica_id)
         if old is not None and old.alive():
             raise RuntimeError(f"replica {replica_id} is still running")
+        self._lost_reported.discard(replica_id)
         shard = self.coordinator.current_map().shard_of_replica(replica_id)
         replica = shard.replica(replica_id)
         proc = self._spawn(shard, replica)
@@ -335,6 +446,8 @@ class ClusterSupervisor:
         return self.coordinator.split(donor_id, target_id, **kwargs), target_id
 
     def shutdown(self) -> None:
+        if self.metrics_exporter is not None:
+            self.metrics_exporter.stop()
         self.listener.stop()
         for proc in self.processes.values():
             proc.stop()
@@ -375,6 +488,15 @@ def main(argv: list[str] | None = None) -> int:
         help="extra argument passed to every shard's serve process "
         "(repeatable, e.g. --shard-arg=--durability=immediate)",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve cluster-wide metric rollups over HTTP at "
+        "/cluster/metrics (0 = any free port)",
+    )
+    parser.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="head-sample 1 in N traces cluster-wide (1 = every trace)",
+    )
     args = parser.parse_args(argv)
 
     # Registered before boot so a prompt SIGTERM still shuts down cleanly.
@@ -387,6 +509,8 @@ def main(argv: list[str] | None = None) -> int:
         port=args.port,
         shard_args=args.shard_arg,
         replicas=args.replicas,
+        metrics_port=args.metrics_port,
+        trace_sample=args.trace_sample,
     )
     shard_map = supervisor.coordinator.current_map()
     print(
@@ -394,6 +518,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{shard_map.epoch}, coordinator on {supervisor.address}",
         flush=True,
     )
+    if supervisor.metrics_exporter is not None:
+        print(
+            "cluster metrics on http://"
+            f"{args.host}:{supervisor.metrics_exporter.port}/cluster/metrics",
+            flush=True,
+        )
     for shard in shard_map.shards:
         for replica in shard.replica_set:
             role = shard.role_of(replica.replica_id)

@@ -185,12 +185,16 @@ class ManagementService:
 
         The caller merges these with its own client-side spans (they
         share the propagated trace id) via
-        :func:`repro.obs.export.merge_trees`.
+        :func:`repro.obs.export.merge_trees`.  An empty ``trace_id``
+        drains the *whole* ring — how the coordinator's
+        :class:`~repro.obs.collect.ClusterTraceCollector` pulls every
+        node's spans in one call.
         """
         tracer = self.server.db.tracer
         if tracer is None:
             return []
-        return [span.to_dict() for span in tracer.finished_spans(trace_id)]
+        wanted = trace_id if trace_id else None
+        return [span.to_dict() for span in tracer.finished_spans(wanted)]
 
     def slow_ops(self) -> list:
         """The retained over-threshold spans, oldest first."""

@@ -89,6 +89,11 @@ class NodeOptions:
     #: (wall-clock; see repro.storage.latency.ThrottledFS) — benchmark
     #: fidelity for commit-bound scaling runs, None disables
     commit_latency: float | None = None
+    #: head-based trace sampling: record 1 in N new traces (1 = all).
+    #: Sampled-out roots propagate no trace header, so a cluster of
+    #: nodes at the same N samples coherently — a trace is either
+    #: recorded on every node it touches or on none.
+    trace_sample: int = 1
 
 
 class Node:
@@ -100,7 +105,9 @@ class Node:
         # replication and RPC all record into the same export.
         self.registry = MetricsRegistry()
         self.slow_log = SlowOpLog(threshold_seconds=options.slow_op_threshold)
-        self.tracer = Tracer(slow_log=self.slow_log)
+        self.tracer = Tracer(
+            slow_log=self.slow_log, sample_1_in=options.trace_sample
+        )
         self.flight = FlightRecorder()
         self.profiler: SamplingProfiler | None = None
         if options.profile_interval is not None:
@@ -518,6 +525,12 @@ def main(argv: list[str] | None = None) -> int:
         "(wall-clock sleep; benchmark fidelity for commit-bound runs)",
     )
     parser.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="head-sample 1 in N traces (1 = trace everything); "
+        "sampled-out requests propagate no trace header, so a cluster "
+        "at the same N samples coherently",
+    )
+    parser.add_argument(
         "--auto-recover", action="store_true",
         help="when degraded or booting on an empty directory, "
         "automatically rebuild this replica from a peer (snapshot "
@@ -546,6 +559,7 @@ def main(argv: list[str] | None = None) -> int:
             shard_map_file=args.shard_map,
             durability=args.durability,
             commit_latency=args.commit_latency,
+            trace_sample=args.trace_sample,
         )
     )
     extra = ""

@@ -10,11 +10,25 @@ with memory of what happened and how fast it used to be.
 trace-header format and the postmortem runbook.
 """
 
+from repro.obs.aggregate import (
+    ClusterMetricsExporter,
+    MetricsAggregator,
+    merge_snapshots,
+    rollup,
+    snapshot_to_prometheus,
+)
+from repro.obs.collect import ClusterTraceCollector, critical_path, stage_of
 from repro.obs.flight import (
     BLACKBOX_FILE,
     FLIGHT_FORMAT,
     FlightRecorder,
     load_blackbox,
+)
+from repro.obs.slo import (
+    SloMonitor,
+    SloTarget,
+    default_slo_targets,
+    load_slo_config,
 )
 from repro.obs.profiler import SamplingProfiler
 from repro.obs.regress import metric
@@ -49,15 +63,20 @@ from repro.obs.tracing import (
 
 __all__ = [
     "BLACKBOX_FILE",
+    "ClusterMetricsExporter",
+    "ClusterTraceCollector",
     "DEFAULT_BUCKETS",
     "FLIGHT_FORMAT",
     "FlightRecorder",
     "SIZE_BUCKETS",
     "MetricError",
     "MetricFamily",
+    "MetricsAggregator",
     "MetricsExporter",
     "MetricsRegistry",
     "NULL_SPAN",
+    "SloMonitor",
+    "SloTarget",
     "SamplingProfiler",
     "SlowOpLog",
     "Span",
@@ -65,14 +84,21 @@ __all__ = [
     "Tracer",
     "build_tree",
     "child_span",
+    "critical_path",
     "current_span",
+    "default_slo_targets",
     "extract",
     "format_tree",
     "load_blackbox",
+    "load_slo_config",
     "maybe_span",
+    "merge_snapshots",
     "merge_trees",
     "metric",
+    "rollup",
+    "snapshot_to_prometheus",
     "span_names",
+    "stage_of",
     "to_json",
     "to_prometheus",
     "trace_payload",

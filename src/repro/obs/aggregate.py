@@ -1,0 +1,413 @@
+"""Cluster metrics aggregation: merge per-node scrapes into one view.
+
+Every node exports its own :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot over the ``metrics`` management RPC.  This module turns a set
+of those snapshots into cluster-level series:
+
+* :func:`merge_snapshots` — relabel each node's series with its replica
+  and shard ids, so per-node series coexist in one snapshot;
+* :func:`rollup` — drop labels and *merge* the colliding series:
+  counters and gauges sum, histograms merge bucket-by-bucket (cumulative
+  counts are step functions, so the merged cumulative count at any bound
+  is the sum of each series' count at that bound) and re-estimate the
+  p50/p90/p99 from the merged buckets — a true cluster p99, not an
+  average of per-node p99s;
+* :class:`MetricsAggregator` — scrape all replicas (via the injectable
+  management factory), producing ``per_replica`` / ``per_shard`` /
+  ``cluster`` snapshots from one consistent sweep;
+* :class:`ClusterMetricsExporter` — the coordinator's stdlib HTTP
+  endpoint serving ``/cluster/metrics`` (Prometheus text) and
+  ``/cluster/metrics.json`` (plus ``/cluster/slo.json`` when an SLO
+  monitor is wired), with the same deterministic bind/start/stop
+  lifecycle as the per-node :class:`~repro.obs.export.MetricsExporter`.
+
+All outputs use the registry ``snapshot()`` schema, so every existing
+renderer (``top``, the shell) works on them unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = [
+    "ClusterMetricsExporter",
+    "MetricsAggregator",
+    "merge_snapshots",
+    "rollup",
+    "snapshot_to_prometheus",
+]
+
+
+def merge_snapshots(
+    snapshots: dict[str, dict],
+    node_labels: dict[str, dict] | None = None,
+) -> dict:
+    """One snapshot holding every node's series, node-labelled.
+
+    ``snapshots`` maps node id → ``registry.snapshot()`` dict.  Each
+    series gains ``{"replica": node_id}`` plus any extra labels from
+    ``node_labels[node_id]`` (the aggregator adds ``shard``).  Families
+    keep the kind/help of their first appearance; a node whose family
+    kind disagrees (mixed versions mid-upgrade) is skipped for that
+    family rather than corrupting the merge.
+    """
+    merged: dict[str, dict] = {}
+    for node_id in sorted(snapshots):
+        extra = {"replica": node_id}
+        extra.update((node_labels or {}).get(node_id, {}))
+        for name, family in snapshots[node_id].items():
+            target = merged.get(name)
+            if target is None:
+                target = merged[name] = {
+                    "kind": family["kind"],
+                    "help": family.get("help", ""),
+                    "series": [],
+                }
+            elif target["kind"] != family["kind"]:
+                continue
+            for series in family["series"]:
+                entry = dict(series)
+                labels = dict(series.get("labels") or {})
+                labels.update(extra)
+                entry["labels"] = labels
+                target["series"].append(entry)
+    return merged
+
+
+def rollup(snapshot: dict, drop: tuple[str, ...] = ("replica",)) -> dict:
+    """Merge series that collide once ``drop`` labels are removed.
+
+    Counters and gauges sum; histograms merge cumulative buckets and
+    recompute count/sum/mean and quantile estimates.  The result is
+    again snapshot-schema, so it nests (roll per-replica up to
+    per-shard, then to cluster).
+    """
+    out: dict[str, dict] = {}
+    for name, family in snapshot.items():
+        groups: dict[tuple, list[dict]] = {}
+        order: list[tuple] = []
+        for series in family["series"]:
+            labels = {
+                k: v
+                for k, v in (series.get("labels") or {}).items()
+                if k not in drop
+            }
+            key = tuple(sorted(labels.items()))
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(series)
+        merged_series = []
+        for key in order:
+            members = groups[key]
+            entry: dict = {"labels": dict(key)}
+            if family["kind"] == "histogram":
+                entry.update(_merge_histograms(members))
+            else:
+                entry["value"] = sum(
+                    float(m.get("value", 0.0)) for m in members
+                )
+            merged_series.append(entry)
+        out[name] = {
+            "kind": family["kind"],
+            "help": family.get("help", ""),
+            "series": merged_series,
+        }
+    return out
+
+
+def _cum_at(buckets: list, bound: float) -> float:
+    """A cumulative-bucket step function's value at ``bound``."""
+    best = 0.0
+    for b, count in buckets:
+        if float(b) <= bound:
+            best = float(count)
+        else:
+            break
+    return best
+
+
+def _merge_histograms(members: list[dict]) -> dict:
+    bounds: set[float] = set()
+    for member in members:
+        for b, _count in member.get("buckets") or []:
+            bounds.add(float(b))
+    ordered = sorted(bounds)
+    merged = [
+        [b, sum(_cum_at(m.get("buckets") or [], b) for m in members)]
+        for b in ordered
+    ]
+    count = sum(int(m.get("count", 0)) for m in members)
+    total = sum(float(m.get("sum", 0.0)) for m in members)
+    return {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "p50": quantile_from_buckets(merged, 0.50),
+        "p90": quantile_from_buckets(merged, 0.90),
+        "p99": quantile_from_buckets(merged, 0.99),
+        "buckets": merged,
+    }
+
+
+def quantile_from_buckets(buckets: list, q: float) -> float:
+    """Estimate a quantile from cumulative ``[bound, count]`` buckets.
+
+    Linear interpolation within the bucket containing the rank; the
+    +Inf bucket reports its lower bound (no max is carried across the
+    wire).  Empty histograms report 0.0.
+    """
+    if not buckets:
+        return 0.0
+    total = float(buckets[-1][1])
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    prev_bound, prev_cum = 0.0, 0.0
+    for bound, cum in buckets:
+        bound, cum = float(bound), float(cum)
+        if cum >= rank and cum > prev_cum:
+            if bound == float("inf"):
+                return prev_bound
+            within = (rank - prev_cum) / (cum - prev_cum)
+            return prev_bound + (bound - prev_bound) * within
+        prev_bound, prev_cum = bound, cum
+    return prev_bound
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot-schema dict in Prometheus text format.
+
+    The snapshot twin of :func:`repro.obs.export.to_prometheus`, used
+    for merged cluster snapshots (which exist only as dicts — there is
+    no cluster-wide registry object).
+    """
+    from repro.obs.export import _format_labels, _format_value
+
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        lines.append(f"# HELP {name} {family.get('help', '')}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for series in family["series"]:
+            labels = series.get("labels") or {}
+            names = tuple(sorted(labels))
+            values = tuple(labels[k] for k in names)
+            if family["kind"] == "histogram":
+                for bound, count in series.get("buckets") or []:
+                    text = _format_labels(
+                        names, values,
+                        extra=(("le", _format_value(float(bound))),),
+                    )
+                    lines.append(
+                        f"{name}_bucket{text} {_format_value(float(count))}"
+                    )
+                text = _format_labels(names, values)
+                lines.append(
+                    f"{name}_sum{text} "
+                    f"{_format_value(float(series.get('sum', 0.0)))}"
+                )
+                lines.append(
+                    f"{name}_count{text} {int(series.get('count', 0))}"
+                )
+            else:
+                text = _format_labels(names, values)
+                lines.append(
+                    f"{name}{text} "
+                    f"{_format_value(float(series.get('value', 0.0)))}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+class MetricsAggregator:
+    """Scrape every replica's registry; merge into cluster rollups.
+
+    ``targets`` is a zero-argument callable returning
+    ``[(replica_id, shard_id, address), ...]`` — the coordinator derives
+    it from the current map so the aggregator follows promotions and
+    splits without replumbing.  ``management_factory(address)`` dials a
+    node's management RPC (injectable for loopback tests).
+    """
+
+    def __init__(self, targets, management_factory) -> None:
+        self.targets = targets
+        self.management_factory = management_factory
+        self.scrapes = 0
+        self.unreachable = 0
+
+    def scrape(self) -> dict:
+        """One consistent sweep: per-replica, per-shard and cluster views.
+
+        Returns ``{"nodes": {replica_id: {shard, address, reachable}},
+        "per_replica": ..., "per_shard": ..., "cluster": ...}`` — the
+        three snapshots are all derived from the *same* set of per-node
+        scrapes, so their totals agree by construction (what the cluster
+        smoke check asserts).
+        """
+        snapshots: dict[str, dict] = {}
+        node_labels: dict[str, dict] = {}
+        nodes: dict[str, dict] = {}
+        for replica_id, shard_id, address in self.targets():
+            info: dict = {"shard": shard_id, "address": address}
+            try:
+                mgmt = self.management_factory(address)
+                try:
+                    snapshots[replica_id] = mgmt.metrics()
+                finally:
+                    _close_quietly(mgmt)
+                info["reachable"] = True
+            except Exception as exc:
+                info["reachable"] = False
+                info["error"] = f"{exc}"
+                self.unreachable += 1
+            node_labels[replica_id] = {"shard": shard_id}
+            nodes[replica_id] = info
+        per_replica = merge_snapshots(snapshots, node_labels)
+        self.scrapes += 1
+        return {
+            "nodes": nodes,
+            "per_replica": per_replica,
+            "per_shard": rollup(per_replica, drop=("replica",)),
+            "cluster": rollup(per_replica, drop=("replica", "shard")),
+        }
+
+    def prometheus_text(self, scrape: dict | None = None) -> str:
+        """Cluster rollup + per-shard series as one Prometheus page.
+
+        Each family appears once; its series are the per-shard rollups
+        (labelled ``shard="..."``) followed by the shard-less cluster
+        total, so both "sum by shard" and the grand total scrape clean.
+        """
+        if scrape is None:
+            scrape = self.scrape()
+        combined: dict[str, dict] = {}
+        for name, family in scrape["per_shard"].items():
+            combined[name] = {
+                "kind": family["kind"],
+                "help": family.get("help", ""),
+                "series": list(family["series"]),
+            }
+        for name, family in scrape["cluster"].items():
+            combined.setdefault(
+                name,
+                {"kind": family["kind"], "help": family.get("help", ""),
+                 "series": []},
+            )["series"].extend(family["series"])
+        return snapshot_to_prometheus(combined)
+
+
+class _ClusterMetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-obs-cluster/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        exporter: ClusterMetricsExporter = self.server.exporter  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path in ("/cluster/metrics", "/metrics", "/"):
+                body = exporter.aggregator.prometheus_text().encode()
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif path in ("/cluster/metrics.json", "/metrics.json"):
+                body = json.dumps(
+                    exporter.aggregator.scrape(), sort_keys=True
+                ).encode()
+                content_type = "application/json"
+            elif path in ("/cluster/slo.json", "/slo.json") and (
+                exporter.slo_status is not None
+            ):
+                body = json.dumps(
+                    exporter.slo_status(), sort_keys=True
+                ).encode()
+                content_type = "application/json"
+            else:
+                self.send_error(404, "unknown path")
+                return
+        except Exception as exc:  # noqa: BLE001 - a scrape races shutdown
+            self.send_error(503, f"scrape failed: {exc!r}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        pass  # keep scrapes out of stderr
+
+
+class ClusterMetricsExporter:
+    """The coordinator's HTTP face for aggregated cluster metrics.
+
+    Same lifecycle contract as the per-node exporter: the socket binds
+    at construction (port 0 picks a free one, readable before
+    :meth:`start`), :meth:`stop` joins the thread and closes the socket,
+    and a stopped exporter restarts on the *same* port.
+    ``slo_status`` is an optional zero-argument callable serving
+    ``/cluster/slo.json``.
+    """
+
+    def __init__(
+        self,
+        aggregator: MetricsAggregator,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slo_status=None,
+    ) -> None:
+        self.aggregator = aggregator
+        self.slo_status = slo_status
+        self._server: ThreadingHTTPServer | None = self._bind((host, port))
+        self._bound = self._server.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    def _bind(self, address: tuple[str, int]) -> ThreadingHTTPServer:
+        server = ThreadingHTTPServer(address, _ClusterMetricsHandler)
+        server.daemon_threads = True
+        server.exporter = self  # type: ignore[attr-defined]
+        return server
+
+    @property
+    def host(self) -> str:
+        return self._bound[0]
+
+    @property
+    def port(self) -> int:
+        return self._bound[1]
+
+    def start(self) -> "ClusterMetricsExporter":
+        if self._thread is not None:
+            return self
+        if self._server is None:
+            self._server = self._bind(self._bound)
+            self._bound = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="obs-cluster-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._server is not None:
+            self._server.server_close()
+            self._server = None
+
+    def __enter__(self) -> "ClusterMetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def _close_quietly(client) -> None:
+    close = getattr(client, "close", None)
+    if close is not None:
+        try:
+            close()
+        except Exception:
+            pass

@@ -20,6 +20,7 @@ and exit 1.  No third-party dependencies: the scrape uses urllib.
 
 from __future__ import annotations
 
+import argparse
 import sys
 import tempfile
 import urllib.request
@@ -133,6 +134,152 @@ def run_smoke(out: TextIO = sys.stdout) -> int:
     return 0
 
 
+#: Span names that must appear in the assembled *cluster* trace: router
+#: retry loop, client stub, primary dispatch, durability, and the eager
+#: propagation to a follower — one update traced end to end.
+REQUIRED_CLUSTER_SPANS = (
+    "router.bind",
+    "rpc.client.bind",
+    "rpc.server.bind",
+    "db.update",
+    "db.log_append",
+    "rpc.server.apply_remote",  # the follower's half of eager propagation
+)
+
+
+def run_cluster_smoke(out: TextIO = sys.stdout) -> int:
+    """The cluster-plane smoke: 2 shards × 2 replicas, real processes.
+
+    Verifies the cluster observability claims end to end:
+
+    1. one routed update assembles into a single cross-node trace tree
+       (router → primary → follower) with a non-empty critical-path
+       breakdown, pulled by the coordinator's trace collector; and
+    2. the coordinator's ``/cluster/metrics`` rollups equal the sum of
+       the per-node scrapes they were derived from, and serve over HTTP.
+    """
+    from repro.cluster.serve import ClusterSupervisor
+    from repro.obs import Tracer, span_names
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="obs-cluster-smoke-") as base:
+        with ClusterSupervisor(
+            base, num_shards=2, replicas=2, metrics_port=0
+        ) as supervisor:
+            coordinator = supervisor.coordinator
+            router_tracer = Tracer()
+            router = supervisor.router(tracer=router_tracer)
+            try:
+                # -- scripted workload ------------------------------------
+                # Heads h0..h7 spread across both shards' hash ranges.
+                for i in range(8):
+                    router.bind(f"h{i}/addr", {"addr": f"10.0.0.{i}"})
+                # The newest trace at this point is the last *update* —
+                # the one that must reconstruct router -> primary ->
+                # follower.  The lookups below only add more traffic.
+                trace_id = router_tracer.last_trace_id()
+                for i in range(8):
+                    assert router.lookup(f"h{i}/addr")["addr"] == (
+                        f"10.0.0.{i}"
+                    )
+
+                # -- check 1: one cross-node trace tree -------------------
+                if not trace_id:
+                    failures.append("router tracer recorded no spans")
+                router_spans = [
+                    span.to_dict() for span in router_tracer.finished_spans()
+                ]
+                collector = coordinator.trace_collector
+                collector.ingest("router", router_spans)
+                poll = collector.poll()
+                unreachable = [
+                    node
+                    for node, info in poll["nodes"].items()
+                    if not info.get("reachable")
+                ]
+                if unreachable:
+                    failures.append(f"unreachable replicas: {unreachable}")
+                assembled = collector.assemble(trace_id) if trace_id else {}
+                nodes = assembled.get("nodes", [])
+                if len(nodes) < 3:
+                    failures.append(
+                        f"trace {trace_id} spans {len(nodes)} node(s) "
+                        f"({nodes}), expected router + primary + follower"
+                    )
+                names = set(span_names(assembled.get("tree")))
+                for name in REQUIRED_CLUSTER_SPANS:
+                    if name not in names:
+                        failures.append(
+                            f"span {name!r} missing from cluster trace "
+                            f"{trace_id} (got {sorted(names)})"
+                        )
+                path = assembled.get("critical_path") or {}
+                if not path.get("steps"):
+                    failures.append(
+                        f"trace {trace_id} produced no critical path"
+                    )
+                elif not path.get("total_s", 0) > 0:
+                    failures.append(
+                        f"critical path total is {path.get('total_s')}"
+                    )
+                else:
+                    out.write(f"cluster trace {trace_id}:\n")
+                    for step in path["steps"]:
+                        out.write(
+                            f"  {step['stage']:<12} {step['name']:<28} "
+                            f"node={step['node']} "
+                            f"self={step['self_s'] * 1000:.3f}ms\n"
+                        )
+
+                # -- check 2: rollups equal the sum of per-node scrapes ---
+                scrape = coordinator.cluster_metrics_snapshot()
+                per_node = _counter_sum(scrape["per_replica"], "db_updates_total")
+                rolled = _counter_sum(scrape["cluster"], "db_updates_total")
+                if per_node <= 0:
+                    failures.append("no db_updates_total in per-node scrapes")
+                if abs(per_node - rolled) > 1e-9:
+                    failures.append(
+                        f"cluster rollup db_updates_total={rolled} != "
+                        f"sum of per-node scrapes {per_node}"
+                    )
+
+                # -- check 3: the rollups serve over HTTP -----------------
+                port = supervisor.metrics_exporter.port
+                url = f"http://127.0.0.1:{port}/cluster/metrics"
+                with urllib.request.urlopen(url, timeout=10) as response:
+                    text = response.read().decode("utf-8")
+                if "db_updates_total" not in text:
+                    failures.append(f"db_updates_total missing from {url}")
+
+                # -- check 4: the SLO monitor evaluates -------------------
+                slo = coordinator.cluster_slo()
+                if not slo.get("targets"):
+                    failures.append("cluster_slo() reported no targets")
+            finally:
+                router.close()
+
+    if failures:
+        for failure in failures:
+            out.write(f"FAIL: {failure}\n")
+        return 1
+    out.write(
+        "cluster observability smoke OK: one update traced router -> "
+        "primary -> follower with a critical path, rollups = sum of "
+        "per-node scrapes, SLOs evaluated\n"
+    )
+    return 0
+
+
+def _counter_sum(snapshot: dict, family: str) -> float:
+    """Sum of every series value of one counter family in a snapshot."""
+    entry = snapshot.get(family)
+    if not entry:
+        return 0.0
+    return sum(
+        float(series.get("value", 0.0)) for series in entry.get("series", [])
+    )
+
+
 def _sample(scrape: str, name: str) -> float | None:
     """The value of an unlabelled sample in Prometheus text, if present."""
     for line in scrape.splitlines():
@@ -142,6 +289,18 @@ def _sample(scrape: str, name: str) -> float | None:
 
 
 def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.smoke",
+        description="End-to-end observability smoke checks.",
+    )
+    parser.add_argument(
+        "--cluster", action="store_true",
+        help="run the cluster-plane smoke (2 shards x 2 replicas) "
+        "instead of the single-node one",
+    )
+    args = parser.parse_args(argv)
+    if args.cluster:
+        return run_cluster_smoke(out)
     return run_smoke(out)
 
 

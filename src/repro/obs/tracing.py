@@ -193,6 +193,15 @@ class Tracer:
     ``capacity`` bounds memory: the ring keeps the newest finished spans.
     ``slow_log``, when given, receives every finished span (it applies
     its own threshold — see :class:`repro.obs.export.SlowOpLog`).
+
+    ``sample_1_in`` is head-based sampling: only every Nth *root* span
+    is recorded (the rest get :data:`NULL_SPAN`, costing one counter
+    bump).  The decision is made once, at trace start — a sampled-out
+    root emits no trace header, so nothing downstream records either,
+    while header-parented server spans are *always* kept: whichever node
+    started the trace already decided it should exist, and dropping
+    fragments here would tear cross-node trees apart.  The default of 1
+    keeps every trace.
     """
 
     def __init__(
@@ -200,15 +209,21 @@ class Tracer:
         clock: Clock | None = None,
         capacity: int = 4096,
         slow_log: object | None = None,
+        sample_1_in: int = 1,
     ) -> None:
         if capacity < 1:
             raise ValueError("tracer capacity counts from 1")
+        if sample_1_in < 1:
+            raise ValueError("sample_1_in counts from 1 (1 = keep all)")
         self.clock = clock if clock is not None else WallClock()
         self.slow_log = slow_log
+        self.sample_1_in = sample_1_in
         self._finished: deque[Span] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self.spans_started = 0
         self.spans_dropped = 0
+        self.spans_sampled_out = 0
+        self._roots_seen = 0
 
     # -- creation ------------------------------------------------------------
 
@@ -219,6 +234,14 @@ class Tracer:
         attrs: dict[str, object] | None = None,
     ) -> Span:
         if parent is None:
+            if self.sample_1_in > 1:
+                with self._lock:
+                    self._roots_seen += 1
+                    kept = self._roots_seen % self.sample_1_in == 1
+                    if not kept:
+                        self.spans_sampled_out += 1
+                if not kept:
+                    return NULL_SPAN  # type: ignore[return-value]
             trace_id, parent_id = _new_id(), None
         else:
             trace_id, parent_id = parent.trace_id, parent.span_id

@@ -272,6 +272,33 @@ class Shell:
                     f"{shard_id}: DOWN ({status['address']}): "
                     f"{status.get('error', '?')}"
                 )
+        self._cluster_slo_lines()
+
+    def _cluster_slo_lines(self) -> None:
+        """Append SLO burn-rate status when the coordinator serves it."""
+        cluster_slo = getattr(self.coordinator, "cluster_slo", None)
+        if cluster_slo is None:
+            return
+        try:
+            slo = cluster_slo()
+        except Exception:  # noqa: BLE001 - pre-obs-plane coordinator
+            return
+        targets = slo.get("targets") or []
+        if not targets:
+            return
+        alerting = slo.get("alerting") or []
+        self._print(
+            f"slo: {len(targets)} targets, "
+            + (f"ALERTING: {', '.join(alerting)}" if alerting else "all ok")
+        )
+        for target in targets:
+            state = "ALERT" if target.get("alerting") else "ok"
+            self._print(
+                f"  {target['name']:<22} objective "
+                f"{target['objective'] * 100:.2f}%  "
+                f"burn {target['burn_fast']:.2f}/{target['burn_slow']:.2f}"
+                f"  {state}"
+            )
 
     def _cluster_metrics(self, args: list[str]) -> None:
         if not args:

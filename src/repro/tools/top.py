@@ -128,12 +128,36 @@ def _cluster_totals(health: dict) -> dict:
     return totals
 
 
+#: the cluster-rollup series worth a console line (true cluster totals)
+_CLUSTER_COUNTERS = (
+    "db_updates_total",
+    "db_enquiries_total",
+    "rpc_server_calls_total",
+    "replication_records_propagated_total",
+)
+_CLUSTER_HISTOGRAMS = (
+    "db_update_seconds",
+    "rpc_server_seconds",
+    "storage_fsync_seconds",
+)
+
+
 def render_cluster(
     health: dict,
     previous: dict | None = None,
     interval: float = 1.0,
+    scrape: dict | None = None,
+    previous_scrape: dict | None = None,
+    slo: dict | None = None,
 ) -> str:
-    """One screenful of cluster console: one column per shard."""
+    """One screenful of cluster console: one column per shard.
+
+    ``scrape`` (a coordinator ``cluster_metrics_snapshot``) adds true
+    cluster-level rates and latency quantiles — merged histograms, not
+    a max-of-maxes — and ``slo`` (``cluster_slo``) the burn-rate lines.
+    Both are optional so the console still works against an older
+    coordinator that predates the observability plane.
+    """
     totals = _cluster_totals(health)
     shards = sorted(health["shards"].items())
     width = max(16, *(len(sid) + 2 for sid, _ in shards))
@@ -205,6 +229,62 @@ def render_cluster(
             f"{'STATE':<18} PEER LINKS"
         )
         lines.extend(replica_lines)
+
+    if scrape is not None:
+        cluster = _flatten(scrape.get("cluster", {}))
+        before = _flatten(previous_scrape.get("cluster", {})) if (
+            previous_scrape
+        ) else {}
+        counter_rows = []
+        for name in _CLUSTER_COUNTERS:
+            entry = cluster.get(name)
+            if entry is None:
+                continue
+            rate = ""
+            prior = before.get(name)
+            if prior is not None and interval > 0:
+                rate = f"{(entry['value'] - prior['value']) / interval:10.1f}"
+            counter_rows.append(
+                f"  {name:<44} {entry['value']:>12.0f} {rate:>10}"
+            )
+        histogram_rows = []
+        for name in _CLUSTER_HISTOGRAMS:
+            entry = cluster.get(name)
+            if entry is None:
+                continue
+            histogram_rows.append(
+                f"  {name:<44} {entry['count']:>8} "
+                f"{_ms(entry.get('mean')):>10} {_ms(entry.get('p50')):>10} "
+                f"{_ms(entry.get('p99')):>10}"
+            )
+        if counter_rows:
+            lines.append("")
+            lines.append(
+                f"  {'CLUSTER COUNTER':<44} {'total':>12} {'per-sec':>10}"
+            )
+            lines.extend(counter_rows)
+        if histogram_rows:
+            lines.append("")
+            lines.append(
+                f"  {'CLUSTER HISTOGRAM':<44} {'count':>8} {'mean':>10} "
+                f"{'p50':>10} {'p99':>10}"
+            )
+            lines.extend(histogram_rows)
+
+    if slo is not None and slo.get("targets"):
+        lines.append("")
+        lines.append(
+            f"  {'SLO':<24} {'objective':>10} {'burn fast':>10} "
+            f"{'burn slow':>10}  state"
+        )
+        for target in slo["targets"]:
+            state = "ALERT" if target.get("alerting") else "ok"
+            lines.append(
+                f"  {target['name']:<24} "
+                f"{target['objective'] * 100:>9.2f}% "
+                f"{target['burn_fast']:>10.2f} {target['burn_slow']:>10.2f}"
+                f"  {state}"
+            )
     lines.append("")
     return "\n".join(lines)
 
@@ -217,17 +297,39 @@ def run_cluster(
     clear_screen: bool = False,
     sleep=time.sleep,
 ) -> int:
-    """The cluster refresh loop: one coordinator health poll per frame."""
+    """The cluster refresh loop: health + metric rollups + SLOs per frame.
+
+    A coordinator that predates the observability plane (no
+    ``cluster_metrics_snapshot``/``cluster_slo`` RPC) still renders the
+    health columns — the extra sections just stay absent.
+    """
     previous: dict | None = None
+    previous_scrape: dict | None = None
     drawn = 0
+    obs_available = True
     while True:
         health = coordinator.health()
-        frame = render_cluster(health, previous, interval)
+        scrape = slo = None
+        if obs_available:
+            try:
+                scrape = coordinator.cluster_metrics_snapshot()
+                slo = coordinator.cluster_slo()
+            except Exception:
+                obs_available = False
+        frame = render_cluster(
+            health,
+            previous,
+            interval,
+            scrape=scrape,
+            previous_scrape=previous_scrape,
+            slo=slo,
+        )
         if clear_screen:
             out.write(_CLEAR)
         out.write(frame + "\n")
         out.flush()
         previous = health
+        previous_scrape = scrape
         drawn += 1
         if iterations and drawn >= iterations:
             return 0

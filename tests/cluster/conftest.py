@@ -5,6 +5,13 @@ Every shard is a real :class:`~repro.nameserver.server.NameServer` on a
 :class:`~repro.cluster.shard.ShardService` and exported through a real
 :class:`~repro.rpc.RpcServer` — the full wire path (interface encoding,
 typed errors, reply cache) without sockets or subprocesses.
+
+Every node also carries a :class:`~repro.obs.tracing.Tracer` (shared by
+its database and its RPC server, so cross-node traces assemble) and a
+:class:`~repro.nameserver.management.ManagementService`, and the
+coordinator's observability plane is wired to them through a loopback
+``management_factory`` — the cluster obs tests scrape and trace without
+sockets either.
 """
 
 from __future__ import annotations
@@ -20,8 +27,10 @@ from repro.cluster import (
     ShardService,
 )
 from repro.cluster.shard import SHARD_INTERFACE
+from repro.nameserver.management import ManagementService
 from repro.nameserver.replication import Replica
 from repro.nameserver.server import NameServer
+from repro.obs.tracing import Tracer
 from repro.rpc import LoopbackTransport, RpcServer
 from repro.rpc.errors import TransportError
 from repro.sim.clock import SimClock
@@ -35,9 +44,13 @@ class LoopbackCluster:
         self.clock = SimClock()
         self.rpcs: dict[str, RpcServer] = {}
         self.services: dict[str, ShardService] = {}
+        self.tracers: dict[str, Tracer] = {}
+        self.managements: dict[str, ManagementService] = {}
         self.coordinator_fs = SimFS(clock=self.clock)
         self.coordinator = Coordinator(
-            self.coordinator_fs, shard_client_factory=self.shard_client
+            self.coordinator_fs,
+            shard_client_factory=self.shard_client,
+            management_factory=self.management_client,
         )
         shard_map = self.coordinator.bootstrap(
             {shard_id: f"sim:{shard_id}" for shard_id in shard_ids}
@@ -46,15 +59,23 @@ class LoopbackCluster:
             self.add_service(shard_id, shard_map)
 
     def add_service(self, shard_id: str, shard_map) -> ShardService:
-        server = NameServer(SimFS(clock=self.clock), replica_id=shard_id)
+        tracer = Tracer()
+        server = NameServer(
+            SimFS(clock=self.clock), replica_id=shard_id, tracer=tracer
+        )
         service = ShardService(
             server, shard_id, shard_map, forward_factory=self.forwarder
         )
-        rpc = RpcServer()
+        rpc = RpcServer(tracer=tracer)
         rpc.export(SHARD_INTERFACE, service)
         self.services[shard_id] = service
         self.rpcs[shard_id] = rpc
+        self.tracers[shard_id] = tracer
+        self.managements[shard_id] = ManagementService(server)
         return service
+
+    def management_client(self, address: str) -> ManagementService:
+        return self.managements[address.split(":")[1]]
 
     # address convention: "sim:<shard_id>"
     def transport(self, address: str) -> LoopbackTransport:
@@ -132,12 +153,15 @@ class ReplicatedLoopbackCluster:
         self.rpcs: dict[str, RpcServer] = {}
         self.services: dict[str, ShardService] = {}
         self.replicas: dict[str, Replica] = {}
+        self.tracers: dict[str, Tracer] = {}
+        self.managements: dict[str, ManagementService] = {}
         self.stores = [
             MapStore(SimFS(clock=self.clock)) for _ in range(3)
         ]
         self.coordinator = Coordinator(
             QuorumMapStore(self.stores),
             shard_client_factory=self.shard_client,
+            management_factory=self.management_client,
         )
         shard_map = self.coordinator.bootstrap(layout or self.LAYOUT)
         for shard in shard_map.shards:
@@ -155,7 +179,10 @@ class ReplicatedLoopbackCluster:
     def add_service(
         self, shard_id: str, replica_id: str, shard_map
     ) -> ShardService:
-        replica = Replica(SimFS(clock=self.clock), replica_id)
+        tracer = Tracer()
+        replica = Replica(
+            SimFS(clock=self.clock), replica_id, tracer=tracer
+        )
         service = ShardService(
             replica,
             shard_id,
@@ -164,12 +191,22 @@ class ReplicatedLoopbackCluster:
             replica_id=replica_id,
             eager_propagate=True,
         )
-        rpc = RpcServer()
+        rpc = RpcServer(tracer=tracer)
         rpc.export(SHARD_INTERFACE, service)
         self.replicas[replica_id] = replica
         self.services[replica_id] = service
         self.rpcs[replica_id] = rpc
+        self.tracers[replica_id] = tracer
+        self.managements[replica_id] = ManagementService(replica)
         return service
+
+    def management_client(self, address: str) -> ManagementService:
+        node = address.split(":")[1]
+        if node in self.dead:
+            raise TransportError(
+                f"node {node} is down", maybe_delivered=False
+            )
+        return self.managements[node]
 
     # address convention: "sim:<replica_id>"
     def transport(self, address: str) -> _NodeTransport:

@@ -1,0 +1,202 @@
+"""Cluster trace collection: polling, sampling, trees, critical paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.collect import ClusterTraceCollector, critical_path, stage_of
+
+
+def span(trace, sid, parent, name, start, dur, node=None):
+    out = {
+        "trace_id": trace,
+        "span_id": sid,
+        "parent_id": parent,
+        "name": name,
+        "start": start,
+        "end": start + dur,
+        "duration": dur,
+        "attrs": {},
+        "events": [],
+        "error": None,
+    }
+    if node is not None:
+        out["node"] = node
+    return out
+
+
+class FakeManagement:
+    def __init__(self, spans, fail=False):
+        self.spans = spans
+        self.fail = fail
+        self.closed = 0
+
+    def trace_spans(self, trace_id):
+        if self.fail:
+            raise ConnectionError("node down")
+        return list(self.spans)
+
+    def close(self):
+        self.closed += 1
+
+
+def collector_over(rings, **options):
+    """A collector over {node_id: [span dicts]} fake rings."""
+    managements = {
+        node: FakeManagement(spans) for node, spans in rings.items()
+    }
+    collector = ClusterTraceCollector(
+        lambda: [(node, f"addr:{node}") for node in rings],
+        lambda address: managements[address.split(":", 1)[1]],
+        **options,
+    )
+    return collector, managements
+
+
+class TestStageMapping:
+    def test_the_pipeline_stages(self):
+        assert stage_of("router.bind") == "router"
+        assert stage_of("rpc.client.lookup") == "transport"
+        assert stage_of("rpc.transport") == "transport"
+        assert stage_of("rpc.server.bind") == "dispatch"
+        assert stage_of("db.log_append") == "log_append"
+        assert stage_of("db.commit_barrier") == "fsync"
+        assert stage_of("commit.fsync") == "fsync"
+        assert stage_of("rpc.client.apply_remote") == "replica_ack"
+        assert stage_of("rpc.server.apply_remote") == "replica_ack"
+        assert stage_of("db.update") == "db"
+        assert stage_of("something.else") == "other"
+
+
+class TestPolling:
+    def test_poll_drains_and_tags_every_node(self):
+        rings = {
+            "n1": [span("t1", "a", None, "rpc.client.bind", 0.0, 1.0)],
+            "n2": [span("t1", "b", "a", "rpc.server.bind", 0.1, 0.8)],
+        }
+        collector, managements = collector_over(rings)
+        report = collector.poll()
+        assert report["spans"] == 2
+        assert report["nodes"]["n1"]["reachable"]
+        assert report["nodes"]["n2"]["added"] == 1
+        assert collector.nodes_of("t1") == ["n1", "n2"]
+        # transports are closed after every poll
+        assert all(m.closed == 1 for m in managements.values())
+
+    def test_repeated_polls_deduplicate_by_span_id(self):
+        rings = {"n1": [span("t1", "a", None, "op", 0.0, 1.0)]}
+        collector, _ = collector_over(rings)
+        assert collector.poll()["spans"] == 1
+        assert collector.poll()["spans"] == 0
+        assert len(collector.spans_of("t1")) == 1
+
+    def test_an_unreachable_node_is_reported_not_fatal(self):
+        collector = ClusterTraceCollector(
+            lambda: [("dead", "addr:dead")],
+            lambda address: FakeManagement([], fail=True),
+        )
+        report = collector.poll()
+        assert report["nodes"]["dead"]["reachable"] is False
+        assert "down" in report["nodes"]["dead"]["error"]
+
+    def test_capacity_evicts_oldest_traces(self):
+        spans = [
+            span(f"t{i}", f"s{i}", None, "op", float(i), 1.0)
+            for i in range(5)
+        ]
+        collector, _ = collector_over({"n1": spans}, capacity=3)
+        collector.poll()
+        assert collector.trace_ids() == ["t2", "t3", "t4"]
+
+    def test_head_sampling_is_deterministic_by_trace_id(self):
+        spans = [
+            span(f"t{i}", f"s{i}", None, "op", 0.0, 1.0) for i in range(64)
+        ]
+        collector, _ = collector_over({"n1": spans}, sample_1_in=4)
+        collector.poll()
+        kept = collector.trace_ids()
+        assert 0 < len(kept) < 64
+        assert all(collector.keeps(t) for t in kept)
+        assert collector.spans_sampled_out == 64 - len(kept)
+        # the decision is stable across polls
+        collector.poll()
+        assert collector.trace_ids() == kept
+
+    def test_sample_1_in_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ClusterTraceCollector(lambda: [], None, sample_1_in=0)
+
+
+class TestAssembly:
+    def cross_node_rings(self):
+        # router(2.0) -> client(1.8) -> [transport(1.6), server(1.4)
+        #   -> update(0.5), append(0.3), barrier(0.4)]
+        return {
+            "router": [
+                span("t1", "r", None, "router.bind", 0.0, 2.0),
+                span("t1", "c", "r", "rpc.client.bind", 0.05, 1.8),
+                span("t1", "w", "c", "rpc.transport", 0.1, 1.6),
+            ],
+            "s0": [
+                span("t1", "s", "c", "rpc.server.bind", 0.2, 1.4),
+                span("t1", "u", "s", "db.update", 0.3, 0.5),
+                span("t1", "l", "s", "db.log_append", 0.85, 0.3),
+                span("t1", "f", "s", "db.commit_barrier", 1.2, 0.4),
+            ],
+        }
+
+    def test_cross_node_tree_assembles_rooted(self):
+        collector, _ = collector_over(self.cross_node_rings())
+        collector.poll()
+        assembled = collector.assemble("t1")
+        tree = assembled["tree"]
+        assert tree["name"] == "router.bind"
+        assert assembled["nodes"] == ["router", "s0"]
+        assert len(assembled["spans"]) == 7
+
+    def test_critical_path_follows_the_remote_child(self):
+        collector, _ = collector_over(self.cross_node_rings())
+        collector.poll()
+        path = collector.assemble("t1")["critical_path"]
+        names = [step["name"] for step in path["steps"]]
+        # The walk crosses onto s0 (the server dispatch) instead of
+        # dead-ending in the longer transport leaf — and still charges
+        # the wire its remainder.
+        assert "rpc.server.bind" in names
+        assert "rpc.transport" in names
+        # ends at the longest database child, not the transport leaf
+        assert names[-1] == "db.update"
+        assert path["total_s"] == pytest.approx(2.0)
+        wire = next(
+            s for s in path["steps"] if s["name"] == "rpc.transport"
+        )
+        assert wire["self_s"] == pytest.approx(1.6 - 1.4)
+        assert path["breakdown"]["db"] == pytest.approx(0.5)
+
+    def test_extra_spans_merge_into_the_tree(self):
+        collector, _ = collector_over(
+            {"s0": [span("t1", "s", "c", "rpc.server.bind", 0.2, 1.0)]}
+        )
+        collector.poll()
+        extra = [span("t1", "c", None, "rpc.client.bind", 0.0, 1.5)]
+        tree = collector.tree("t1", extra_spans=extra)
+        assert tree["name"] == "rpc.client.bind"
+        assert tree["children"][0]["name"] == "rpc.server.bind"
+
+    def test_critical_path_of_none_is_empty(self):
+        assert critical_path(None) == {}
+
+    def test_critical_path_skips_the_trace_holder(self):
+        tree = {
+            "name": "<trace>",
+            "trace_id": "t",
+            "duration": 0.0,
+            "start": 0.0,
+            "children": [
+                dict(span("t", "a", None, "op.short", 0.0, 1.0), children=[]),
+                dict(span("t", "b", None, "op.long", 0.5, 3.0), children=[]),
+            ],
+        }
+        path = critical_path(tree)
+        assert path["steps"][0]["name"] == "op.long"
+        assert path["total_s"] == pytest.approx(3.0)

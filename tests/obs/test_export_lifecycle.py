@@ -5,9 +5,11 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 
+from repro.obs.aggregate import ClusterMetricsExporter, MetricsAggregator
 from repro.obs.export import MetricsExporter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import SamplingProfiler
@@ -53,6 +55,74 @@ class TestLifecycle:
         probe = socket.socket()
         try:
             probe.bind((exporter.host, exporter.port))
+        finally:
+            probe.close()
+
+    def test_concurrent_scrapes_race_stop_without_torn_responses(self):
+        """Scrapers hammering /metrics while stop() runs either get a
+        whole response or a connection error — never a truncated body —
+        and the server thread and port are fully released after."""
+        registry = MetricsRegistry()
+        registry.counter("ticks_total").inc()
+        exporter = MetricsExporter(registry)
+        exporter.start()
+        self._race_stop(exporter, "/metrics", b"ticks_total")
+        assert not any(
+            t.name == "obs-metrics-http" for t in threading.enumerate()
+        )
+
+    def test_cluster_exporter_survives_the_same_race(self):
+        registry = MetricsRegistry()
+        registry.counter("db_updates_total").inc(3)
+
+        class OneNode:
+            def metrics(self):
+                return registry.snapshot()
+
+        aggregator = MetricsAggregator(
+            lambda: [("r1", "s0", "sim:r1")], lambda address: OneNode()
+        )
+        exporter = ClusterMetricsExporter(aggregator)
+        exporter.start()
+        self._race_stop(exporter, "/cluster/metrics", b"db_updates_total")
+        assert not any(
+            t.name == "obs-cluster-http" for t in threading.enumerate()
+        )
+
+    def _race_stop(self, exporter, path, marker):
+        url = f"http://{exporter.host}:{exporter.port}{path}"
+        port = exporter.port
+        done = threading.Event()
+        bodies: list[bytes] = []
+
+        def hammer():
+            while not done.is_set():
+                try:
+                    with urllib.request.urlopen(url, timeout=5) as response:
+                        bodies.append(response.read())
+                except Exception:
+                    pass  # refused/reset once the listener is gone
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for _ in range(200):  # let a few scrapes land first
+            if len(bodies) >= 4:
+                break
+            time.sleep(0.01)
+        exporter.stop()
+        done.set()
+        for worker in workers:
+            worker.join(timeout=5)
+        assert not any(worker.is_alive() for worker in workers)
+        # every scrape that succeeded carries the complete render
+        assert bodies
+        assert all(marker in body for body in bodies)
+        # the port is actually released: we can bind it ourselves
+        probe = socket.socket()
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            probe.bind((exporter.host, port))
         finally:
             probe.close()
 

@@ -92,6 +92,49 @@ class TestContextPropagation:
         assert server_side.parent_id == client_side.span_id
 
 
+class TestHeadSampling:
+    def test_every_nth_root_is_kept(self):
+        tracer = Tracer(clock=SimClock(), sample_1_in=4)
+        for _ in range(8):
+            tracer.start_span("op").end()
+        assert len(tracer.finished_spans()) == 2  # roots 1 and 5
+        assert tracer.spans_sampled_out == 6
+        assert tracer.spans_started == 2
+
+    def test_a_sampled_out_root_is_the_null_span(self):
+        tracer = Tracer(clock=SimClock(), sample_1_in=2)
+        tracer.start_span("kept").end()
+        assert tracer.start_span("dropped") is NULL_SPAN
+
+    def test_sampling_out_silences_the_whole_downstream(self):
+        """A dropped root emits no header and no children — entering
+        the null span leaves no active span, so nothing downstream
+        records either (coherent sampling across layers)."""
+        tracer = Tracer(clock=SimClock(), sample_1_in=2)
+        tracer.start_span("kept").end()
+        with tracer.span("dropped") as root:
+            assert root is NULL_SPAN
+            assert current_span() is None
+            assert child_span("inner") is NULL_SPAN
+        assert len(tracer.finished_spans()) == 1
+
+    def test_header_parented_spans_are_always_kept(self):
+        """Whoever started the trace already decided it should exist;
+        a downstream node must not tear the tree apart."""
+        client = Tracer(clock=SimClock())
+        with client.span("rpc.client.bind") as client_side:
+            header = client_side.context().to_header()
+        server = Tracer(clock=SimClock(), sample_1_in=1000)
+        span = server.start_span("rpc.server.bind", parent=extract(header))
+        span.end()
+        assert len(server.finished_spans()) == 1
+        assert server.spans_sampled_out == 0
+
+    def test_sample_1_in_counts_from_one(self):
+        with pytest.raises(ValueError):
+            Tracer(clock=SimClock(), sample_1_in=0)
+
+
 class TestActiveSpanStack:
     def test_entering_makes_a_span_current(self):
         tracer = Tracer(clock=SimClock())
